@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+The case-study pipeline (12 applications × 3 instrumentation modes × hot
+nests) is the expensive part of the reproduction, so it runs once per
+benchmark session and the per-table benchmarks consume the cached result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_case_study
+from repro.survey.population import generate_population
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """Full case-study results over all twelve workloads (cached per session)."""
+    return run_case_study()
+
+
+@pytest.fixture(scope="session")
+def population():
+    """The 174-respondent synthetic survey population."""
+    return generate_population(seed=2015)

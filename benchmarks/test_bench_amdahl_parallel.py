@@ -1,0 +1,62 @@
+"""Benchmarks for the paper's headline quantitative claims (Sections 4.2 / 5):
+
+* the Amdahl upper bound exceeds 3x for 5 of the 12 applications when only
+  counting easy-to-parallelize loops, and obtaining any significant speedup is
+  hard or very hard for 5 of the 12;
+* the modelled parallel execution of the easy nests stays within the Amdahl
+  bound while delivering >2x for the loop-dominated applications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_tables
+from repro.ceres.report import render_summary_table
+from repro.parallel import model_application_speedup, validate_against_amdahl
+
+
+def test_bench_amdahl_bounds(benchmark, case_study):
+    """Amdahl speedup upper bounds per application."""
+    tables = benchmark.pedantic(lambda: build_tables(case_study.analyses), rounds=1, iterations=1)
+    print()
+    print(tables.render_speedups())
+
+    exceeding = tables.applications_exceeding_3x()
+    hard = tables.applications_hard_to_speed_up()
+    print(f"\napplications with bound > 3x : {exceeding} of 12 (paper: 5 of 12)")
+    print(f"applications hard/very hard  : {hard} of 12 (paper: 5 of 12)")
+    assert 4 <= exceeding <= 6
+    assert 4 <= hard <= 6
+
+    bounds = {bound.application: bound for bound in tables.speedups}
+    # The pixel kernels are the clear winners, the DOM-bound apps the losers.
+    assert bounds["Realtime Raytracing"].bound > 3.0
+    assert bounds["Normal Mapping"].bound > 3.0
+    assert bounds["fluidSim"].bound > 3.0
+    for name in ("Harmony", "Ace", "MyScript", "sigma.js", "D3.js"):
+        assert bounds[name].hard_to_speed_up
+
+
+def test_bench_parallel_execution_model(benchmark, case_study):
+    """Modelled parallel re-execution of the analysed nests (latent-parallelism check)."""
+
+    def model_all():
+        return [model_application_speedup(analysis) for analysis in case_study.analyses]
+
+    speedups = benchmark.pedantic(model_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_summary_table(
+            [s.as_row() for s in speedups],
+            ["application", "busy (s)", "modelled (s)", "speedup", "Amdahl bound"],
+            title="Modelled parallel execution vs Amdahl bound",
+        )
+    )
+
+    assert validate_against_amdahl(speedups)
+    by_app = {s.application: s for s in speedups}
+    assert by_app["Realtime Raytracing"].speedup > 2.5
+    assert by_app["Normal Mapping"].speedup > 2.5
+    assert by_app["Ace"].speedup == pytest.approx(1.0, abs=0.1)
+    assert by_app["Harmony"].speedup == pytest.approx(1.0, abs=0.1)

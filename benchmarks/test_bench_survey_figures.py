@@ -1,0 +1,63 @@
+"""Benchmarks regenerating the survey figures (Figures 1-4 of the paper).
+
+Each benchmark times the regeneration of one figure from the synthetic
+population and prints the reproduced series next to the paper's percentages,
+then asserts that the qualitative shape holds (ordering, dominant categories).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.survey.figures import (
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    render_figure,
+)
+from repro.survey.population import generate_population
+
+
+def test_bench_figure1_future_categories(benchmark, population):
+    """Figure 1: future web application categories."""
+    series = benchmark(lambda: figure1_data(generate_population(seed=2015)))
+    print()
+    print(render_figure(series))
+    percents = series.percent_by_label()
+    assert series.rank_order()[0] == "Games"
+    assert percents["Games"] == pytest.approx(31.0, abs=5.0)
+    assert percents["Peer-to-Peer and Social"] > percents["Visualization"]
+    assert series.extra["inter_rater_agreement"] >= 0.8
+
+
+def test_bench_figure2_bottlenecks(benchmark, population):
+    """Figure 2: perceived performance bottlenecks."""
+    series = benchmark(lambda: figure2_data(population))
+    print()
+    print(render_figure(series))
+    percents = series.percent_by_label()
+    assert percents["resource loading"] == pytest.approx(52.0, abs=5.0)
+    assert percents["DOM manipulation"] == pytest.approx(49.0, abs=5.0)
+    assert percents["number crunching"] == pytest.approx(21.0, abs=5.0)
+    assert percents["styling (CSS)"] < percents["number crunching"]
+
+
+def test_bench_figure3_style_preference(benchmark, population):
+    """Figure 3: functional vs imperative preference scale."""
+    series = benchmark(lambda: figure3_data(population))
+    print()
+    print(render_figure(series))
+    percents = series.percent_by_label()
+    assert percents["1"] + percents["2"] > 55.0  # functional-leaning majority
+    assert percents["5"] < 10.0
+
+
+def test_bench_figure4_polymorphism(benchmark, population):
+    """Figure 4: monomorphic vs polymorphic variable usage."""
+    series = benchmark(lambda: figure4_data(population))
+    print()
+    print(render_figure(series))
+    percents = series.percent_by_label()
+    assert percents["1"] == pytest.approx(58.0, abs=6.0)
+    assert percents["5"] <= 3.0

@@ -1,0 +1,77 @@
+"""Benchmarks regenerating Table 1, Table 2 and Table 3 of the paper.
+
+The heavyweight case-study sweep runs once (session fixture); the table
+benchmarks time the assembly/rendering on top of it and assert the headline
+shape of the paper's results:
+
+* at least half of the applications are computationally intensive and most of
+  their computation happens in loops (Table 2);
+* about three fourths of the inspected nests have intrinsic parallelism and a
+  substantial share touch the DOM/Canvas (Table 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Difficulty, build_tables
+from repro.ceres.report import render_summary_table
+from repro.workloads import table1
+
+
+def test_bench_table1_workloads(benchmark):
+    """Table 1: the twelve case-study applications."""
+    rows = benchmark(table1)
+    print()
+    print(render_summary_table(rows, ["Name/URL", "Category/Description"], title="Table 1"))
+    assert len(rows) == 12
+
+
+def test_bench_table2_running_time(benchmark, case_study):
+    """Table 2: total / active / in-loop running time per application."""
+    tables = benchmark.pedantic(lambda: build_tables(case_study.analyses), rounds=1, iterations=1)
+    print()
+    print(tables.render_table2())
+
+    assert len(tables.table2) == 12
+    # "at least half of the applications can be considered computationally
+    # intensive and, for most of these, a large part of the computation occurs
+    # in loops."
+    intensive = tables.computationally_intensive()
+    assert len(intensive) >= 6
+    loop_dominated = [
+        row.name
+        for row in tables.table2
+        if row.name in intensive and row.loops_seconds >= 0.5 * max(row.active_seconds, 1e-9)
+    ]
+    assert len(loop_dominated) >= len(intensive) // 2
+    # Interactive applications are idle most of the time (Harmony, Ace, MyScript).
+    rows = {row.name: row for row in tables.table2}
+    for name in ("Harmony", "Ace", "MyScript"):
+        assert rows[name].active_seconds < 0.25 * rows[name].total_seconds
+    # The Gecko-style sampler can report less active time than the loop time
+    # (the paper's methodology anomaly).
+    assert any(row.active_seconds < row.loops_seconds for row in tables.table2)
+
+
+def test_bench_table3_loop_nests(benchmark, case_study):
+    """Table 3: detailed inspection of the hot loop nests."""
+    tables = benchmark.pedantic(lambda: build_tables(case_study.analyses), rounds=1, iterations=1)
+    print()
+    print(tables.render_table3())
+
+    assert 12 <= len(tables.table3) <= 30
+    # "About three fourths of the inspected loop nests have some intrinsic
+    # parallelism" — ours is at least that.
+    assert tables.fraction_with_intrinsic_parallelism() >= 0.7
+    # A substantial share of the nests interact with the DOM/Canvas.
+    assert 0.15 <= tables.fraction_accessing_dom() <= 0.6
+    # Per-application spot checks of the paper's characterization.
+    by_app = {}
+    for row in tables.table3:
+        by_app.setdefault(row.application, []).append(row)
+    assert all(row.breaking <= Difficulty.EASY for row in by_app["Realtime Raytracing"])
+    assert all(row.breaking <= Difficulty.EASY for row in by_app["Normal Mapping"])
+    assert all(row.parallelization is Difficulty.VERY_HARD for row in by_app["Ace"])
+    assert all(row.parallelization is Difficulty.VERY_HARD for row in by_app["Harmony"])
+    assert any(row.dom_access for row in by_app["D3.js"])

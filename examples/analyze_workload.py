@@ -1,0 +1,46 @@
+"""Analyze one case-study application end to end (its Table 2 row, its hot
+loop nests and its Amdahl bound), the way Section 3's methodology describes.
+
+Usage::
+
+    python examples/analyze_workload.py [workload-name]
+
+The default workload is fluidSim; run with ``--list`` to see all twelve.
+"""
+
+import sys
+
+from repro.analysis import CaseStudyRunner, build_tables
+from repro.parallel import model_application_speedup
+from repro.workloads import get_workload, workload_names
+
+
+def main(argv) -> int:
+    if "--list" in argv:
+        for name in workload_names():
+            print(name)
+        return 0
+    name = argv[0] if argv else "fluidSim"
+
+    runner = CaseStudyRunner()
+    analysis = runner.analyze_application(get_workload(name))
+    tables = build_tables([analysis])
+
+    print(tables.render_table2())
+    print()
+    print(tables.render_table3())
+    print()
+    print(tables.render_speedups())
+    print()
+
+    modelled = model_application_speedup(analysis)
+    print(
+        f"modelled parallel execution: {modelled.serial_seconds:.2f}s busy -> "
+        f"{modelled.parallel_seconds:.2f}s on {modelled.outcomes[0].workers if modelled.outcomes else 8} "
+        f"hardware threads ({modelled.speedup:.2f}x, Amdahl bound {modelled.amdahl_bound:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

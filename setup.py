@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (which build an editable wheel) are unavailable.
+Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` code path, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Reproduction of "Are web applications ready for parallelism?" (PPoPP 2015).
+
+The package is organised as a stack of substrates plus the paper's primary
+contribution:
+
+* :mod:`repro.jsvm` — a mini-JavaScript engine (lexer, parser, interpreter).
+* :mod:`repro.browser` — DOM, Canvas, event loop, virtual clock and a
+  Gecko-style sampling profiler.
+* :mod:`repro.ceres` — JS-CERES: staged profiling and runtime dependence
+  analysis (the paper's tool).
+* :mod:`repro.analysis` — latent-parallelism analysis producing the paper's
+  Table 2 and Table 3.
+* :mod:`repro.parallel` — machine model used to validate latent parallelism.
+* :mod:`repro.survey` — the developer survey study (Figures 1-4).
+* :mod:`repro.workloads` — the 12 case-study applications in mini-JS.
+* :mod:`repro.experiments` — experiment registry mapped to paper artifacts.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "jsvm",
+    "browser",
+    "ceres",
+    "analysis",
+    "parallel",
+    "survey",
+    "workloads",
+    "experiments",
+]

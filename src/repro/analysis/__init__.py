@@ -1,0 +1,55 @@
+"""Latent-parallelism analysis built on top of JS-CERES output.
+
+Provides the automatic classifiers (control-flow divergence, DOM access,
+dependence-breaking and parallelization difficulty), the Amdahl speedup
+bounds, and the case-study pipeline that regenerates Table 2 and Table 3 of
+the paper.
+"""
+
+from .amdahl import SpeedupBound, amdahl_speedup, bound_for_application, parallel_fraction_needed
+from .casestudy import (
+    ApplicationAnalysis,
+    CaseStudyRunner,
+    NestAnalysis,
+    Table2Row,
+    Table3Row,
+)
+from .difficulty import (
+    DependenceFacts,
+    Difficulty,
+    assess_breaking_difficulty,
+    assess_parallelization_difficulty,
+    difficulty_from_label,
+    summarize_dependences,
+)
+from .divergence import DivergenceLevel, DivergenceThresholds, assess_divergence
+from .domaccess import DomAccessResult, assess_dom_access
+from .observer import NestObservation, NestObserver
+from .tables import CaseStudyTables, build_tables
+
+__all__ = [
+    "SpeedupBound",
+    "amdahl_speedup",
+    "bound_for_application",
+    "parallel_fraction_needed",
+    "ApplicationAnalysis",
+    "CaseStudyRunner",
+    "NestAnalysis",
+    "Table2Row",
+    "Table3Row",
+    "DependenceFacts",
+    "Difficulty",
+    "assess_breaking_difficulty",
+    "assess_parallelization_difficulty",
+    "difficulty_from_label",
+    "summarize_dependences",
+    "DivergenceLevel",
+    "DivergenceThresholds",
+    "assess_divergence",
+    "DomAccessResult",
+    "assess_dom_access",
+    "NestObservation",
+    "NestObserver",
+    "CaseStudyTables",
+    "build_tables",
+]

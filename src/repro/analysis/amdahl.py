@@ -1,0 +1,114 @@
+"""Amdahl's-law speedup bounds (Section 4.2 / Section 5 of the paper).
+
+"Considering Amdahl's law, the upper bound for speedup is greater than 3x for
+5 of the 12 applications when only counting easy to parallelize loops.  On
+the other end of the spectrum we think it would be hard or very hard to
+obtain any significant speedup for 5 of the 12 applications."
+
+The bound is computed per application from
+
+* the fraction ``p`` of the application's *busy* time spent in loop nests
+  graded easy (or very easy) to parallelize, and
+* a core count ``N`` from the machine model (the paper's test machine is a
+  quad-core i7 with hyper-threading; we default to 8 hardware threads).
+
+``speedup = 1 / ((1 - p) + p / N)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .difficulty import Difficulty
+
+
+def amdahl_speedup(parallel_fraction: float, cores: int) -> float:
+    """Amdahl's law: speedup of a program with ``parallel_fraction`` on ``cores``."""
+    if cores <= 0:
+        raise ValueError("cores must be positive")
+    p = min(max(parallel_fraction, 0.0), 1.0)
+    return 1.0 / ((1.0 - p) + p / cores)
+
+
+def parallel_fraction_needed(speedup: float, cores: int) -> float:
+    """Inverse of :func:`amdahl_speedup`: fraction needed to reach ``speedup``."""
+    if speedup <= 1.0:
+        return 0.0
+    if cores <= 1:
+        return 1.0
+    return (1.0 - 1.0 / speedup) / (1.0 - 1.0 / cores)
+
+
+@dataclass
+class SpeedupBound:
+    """Amdahl bound for one application."""
+
+    application: str
+    easy_fraction: float
+    cores: int
+    bound: float
+    worst_difficulty: Difficulty
+    best_difficulty: Difficulty = Difficulty.VERY_HARD
+
+    @property
+    def exceeds_3x(self) -> bool:
+        return self.bound > 3.0
+
+    @property
+    def hard_to_speed_up(self) -> bool:
+        """The paper's other bucket: "hard or very hard to obtain any
+        significant speedup" — every inspected nest of the application is at
+        least *hard* to exploit."""
+        return self.best_difficulty >= Difficulty.HARD
+
+
+def bound_for_application(
+    application: str,
+    nest_fractions_and_difficulties: Iterable[tuple],
+    busy_seconds: float,
+    loop_seconds: float,
+    cores: int = 8,
+    easy_cutoff: Difficulty = Difficulty.EASY,
+) -> SpeedupBound:
+    """Compute the Amdahl bound for one application.
+
+    Parameters
+    ----------
+    nest_fractions_and_difficulties:
+        Iterable of ``(fraction_of_loop_time, parallelization_difficulty)`` for
+        the inspected nests of this application.
+    busy_seconds:
+        The application's busy time (the larger of sampled active time and
+        loop time — the denominator of the parallel fraction).
+    loop_seconds:
+        Total time spent in loops (converts nest fractions into absolute time).
+    cores:
+        Machine-model core count.
+    easy_cutoff:
+        Nests graded at or below this difficulty count as parallelizable.
+    """
+    pairs = list(nest_fractions_and_difficulties)
+    easy_loop_seconds = sum(
+        fraction * loop_seconds for fraction, difficulty in pairs if difficulty <= easy_cutoff
+    )
+    denominator = max(busy_seconds, loop_seconds, 1e-9)
+    easy_fraction = min(easy_loop_seconds / denominator, 1.0)
+    worst = max((difficulty for _fraction, difficulty in pairs), default=Difficulty.VERY_HARD)
+    best = min((difficulty for _fraction, difficulty in pairs), default=Difficulty.VERY_HARD)
+    return SpeedupBound(
+        application=application,
+        easy_fraction=easy_fraction,
+        cores=cores,
+        bound=amdahl_speedup(easy_fraction, cores),
+        worst_difficulty=worst,
+        best_difficulty=best,
+    )
+
+
+def count_exceeding(bounds: Iterable[SpeedupBound], threshold: float = 3.0) -> int:
+    return sum(1 for bound in bounds if bound.bound > threshold)
+
+
+def count_hard(bounds: Iterable[SpeedupBound]) -> int:
+    return sum(1 for bound in bounds if bound.hard_to_speed_up)

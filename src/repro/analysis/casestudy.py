@@ -1,0 +1,338 @@
+"""Per-application case-study pipeline (Section 3's four steps).
+
+For one workload the pipeline mirrors the paper's methodology:
+
+1. lightweight profiling + Gecko-style sampling → total / active / in-loop
+   time (one Table 2 row);
+2. loop profiling (plus the nest observer) → identify the hot top-level loop
+   nests that together cover at least two thirds of the loop time;
+3. dependence analysis focused on each hot nest → warnings + access patterns;
+4. interpretation: divergence, DOM access, dependence-breaking difficulty and
+   parallelization difficulty (one Table 3 row per inspected nest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..browser.gecko_profiler import GeckoProfiler
+from ..browser.window import BrowserSession
+from ..ceres.dependence import DependenceAnalyzer, DependenceReport
+from ..ceres.lightweight import LightweightProfiler
+from ..ceres.loop_profiler import LoopProfile, LoopProfiler
+from ..ceres.proxy import InstrumentationMode, InstrumentingProxy, OriginServer
+from .amdahl import SpeedupBound, bound_for_application
+from .difficulty import (
+    Difficulty,
+    assess_breaking_difficulty,
+    assess_parallelization_difficulty,
+)
+from .divergence import DivergenceLevel, assess_divergence
+from .domaccess import DomAccessResult, assess_dom_access
+from .observer import NestObservation, NestObserver
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2: running time of a case-study application."""
+
+    name: str
+    total_seconds: float
+    active_seconds: float
+    loops_seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "Name": self.name,
+            "Total": round(self.total_seconds, 2),
+            "Active": round(self.active_seconds, 2),
+            "In Loops": round(self.loops_seconds, 2),
+        }
+
+
+@dataclass
+class Table3Row:
+    """One row of Table 3: detailed inspection of one hot loop nest."""
+
+    application: str
+    nest_label: str
+    line: int
+    runtime_percent: float
+    instances: int
+    mean_trips: float
+    trips_std: float
+    divergence: DivergenceLevel
+    dom_access: bool
+    breaking: Difficulty
+    parallelization: Difficulty
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.application,
+            "nest": self.nest_label,
+            "%": round(self.runtime_percent, 1),
+            "instances": self.instances,
+            "trips": f"{self.mean_trips:.0f}±{self.trips_std:.0f}",
+            "divergence": str(self.divergence),
+            "DOM": "yes" if self.dom_access else "no",
+            "breaking": str(self.breaking),
+            "difficulty": str(self.parallelization),
+        }
+
+
+@dataclass
+class NestAnalysis:
+    """Everything learned about one hot loop nest."""
+
+    observation: NestObservation
+    profile: LoopProfile
+    dependence: DependenceReport
+    divergence: DivergenceLevel
+    dom: DomAccessResult
+    breaking: Difficulty
+    parallelization: Difficulty
+    fraction_of_loop_time: float
+
+
+@dataclass
+class ApplicationAnalysis:
+    """Full analysis of one case-study application."""
+
+    name: str
+    category: str
+    table2: Table2Row
+    nests: List[NestAnalysis] = field(default_factory=list)
+    speedup: Optional[SpeedupBound] = None
+
+    def table3_rows(self) -> List[Table3Row]:
+        rows = []
+        for nest in self.nests:
+            rows.append(
+                Table3Row(
+                    application=self.name,
+                    nest_label=nest.profile.label,
+                    line=nest.profile.line,
+                    runtime_percent=nest.fraction_of_loop_time * 100.0,
+                    instances=nest.profile.instances,
+                    mean_trips=nest.profile.mean_trip_count,
+                    trips_std=nest.profile.trip_count_std,
+                    divergence=nest.divergence,
+                    # Table 3's column counts both DOM and Canvas interaction:
+                    # both are non-concurrent browser structures.
+                    dom_access=nest.dom.accesses_shared_browser_state,
+                    breaking=nest.breaking,
+                    parallelization=nest.parallelization,
+                )
+            )
+        return rows
+
+
+class CaseStudyRunner:
+    """Runs the four-step methodology for one or more workloads."""
+
+    def __init__(
+        self,
+        cores: int = 8,
+        coverage_target: float = 0.80,
+        max_nests_per_app: int = 5,
+    ) -> None:
+        self.cores = cores
+        #: Keep inspecting nests until this fraction of loop time is covered
+        #: (the paper inspects "at least two thirds" of each app's loop time).
+        self.coverage_target = coverage_target
+        self.max_nests_per_app = max_nests_per_app
+
+    # ------------------------------------------------------------- plumbing
+    def _fresh_run(self, workload, mode: InstrumentationMode, tracers: List) -> tuple:
+        """Host the workload, instrument it, attach ``tracers``, load and exercise."""
+        from ..jsvm.hooks import HookBus
+
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(origin, mode=mode)
+        hooks = HookBus()
+        session = BrowserSession(hooks=hooks, title=workload.name)
+        if hasattr(workload, "prepare"):
+            workload.prepare(session)
+        intercepted = [proxy.request(path) for path, _ in workload.scripts]
+        for tracer in tracers:
+            hooks.attach(tracer)
+        for document in intercepted:
+            session.run_script(document.document.content, name=document.document.path)
+        workload.exercise(session)
+        return proxy, session, tracers
+
+    # ------------------------------------------------------------------ steps
+    def measure_runtime(self, workload) -> Table2Row:
+        """Step 1: lightweight profiling + sampling profiler (Table 2 row)."""
+        lightweight = LightweightProfiler()
+        gecko = GeckoProfiler()
+        _proxy, session, _ = self._fresh_run(
+            workload, InstrumentationMode.LIGHTWEIGHT, [lightweight, gecko]
+        )
+        lightweight.stop(session.clock)
+        result = lightweight.result(session.clock)
+        return Table2Row(
+            name=workload.name,
+            total_seconds=session.clock.now() / 1000.0,
+            active_seconds=gecko.active_seconds(),
+            loops_seconds=result.loops_seconds,
+        )
+
+    def profile_loops(self, workload) -> tuple:
+        """Step 2: loop profiling + nest observation."""
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(origin, mode=InstrumentationMode.LOOP_PROFILE)
+        from ..jsvm.hooks import HookBus
+
+        hooks = HookBus()
+        session = BrowserSession(hooks=hooks, title=workload.name)
+        if hasattr(workload, "prepare"):
+            workload.prepare(session)
+        intercepted = [proxy.request(path) for path, _ in workload.scripts]
+        profiler = hooks.attach(LoopProfiler(registry=proxy.registry))
+        observer = hooks.attach(NestObserver(registry=proxy.registry))
+        for document in intercepted:
+            session.run_script(document.document.content, name=document.document.path)
+        workload.exercise(session)
+        return proxy, profiler, observer
+
+    def select_hot_nests(self, profiler: LoopProfiler, observer: NestObserver) -> List[LoopProfile]:
+        """Pick the top-level nests covering ``coverage_target`` of loop time."""
+        top_level = [
+            profiler.profiles[loop_id]
+            for loop_id in observer.observations
+            if loop_id in profiler.profiles
+        ]
+        top_level.sort(key=lambda p: p.total_time_ms, reverse=True)
+        total = sum(p.total_time_ms for p in top_level)
+        if total <= 0:
+            return top_level[: self.max_nests_per_app]
+        selected: List[LoopProfile] = []
+        covered = 0.0
+        for profile in top_level:
+            selected.append(profile)
+            covered += profile.total_time_ms
+            if covered / total >= self.coverage_target or len(selected) >= self.max_nests_per_app:
+                break
+        return selected
+
+    def analyze_nest(
+        self,
+        workload,
+        profile: LoopProfile,
+        observation: NestObservation,
+        fraction_of_loop_time: float,
+    ) -> NestAnalysis:
+        """Steps 3-4 for one nest: dependence analysis + interpretation."""
+        from ..jsvm.hooks import HookBus
+
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(origin, mode=InstrumentationMode.DEPENDENCE)
+        hooks = HookBus()
+        session = BrowserSession(hooks=hooks, title=workload.name)
+        if hasattr(workload, "prepare"):
+            workload.prepare(session)
+        intercepted = [proxy.request(path) for path, _ in workload.scripts]
+        analyzer = hooks.attach(
+            DependenceAnalyzer(registry=proxy.registry, focus_loop_id=profile.loop_id)
+        )
+        for document in intercepted:
+            session.run_script(document.document.content, name=document.document.path)
+        workload.exercise(session)
+
+        report = analyzer.report()
+        divergence = assess_divergence(observation, profile.mean_trip_count)
+        dom = assess_dom_access(observation)
+        breaking = assess_breaking_difficulty(report)
+        parallelization = assess_parallelization_difficulty(
+            breaking, dom, divergence, observation, profile.mean_trip_count
+        )
+        return NestAnalysis(
+            observation=observation,
+            profile=profile,
+            dependence=report,
+            divergence=divergence,
+            dom=dom,
+            breaking=breaking,
+            parallelization=parallelization,
+            fraction_of_loop_time=fraction_of_loop_time,
+        )
+
+    # ------------------------------------------------------------------ driver
+    def analyze_application(self, workload) -> ApplicationAnalysis:
+        """Run the full pipeline for one workload."""
+        table2 = self.measure_runtime(workload)
+        _proxy, profiler, observer = self.profile_loops(workload)
+        hot = self.select_hot_nests(profiler, observer)
+        total_nest_time = sum(
+            profiler.profiles[loop_id].total_time_ms for loop_id in observer.observations
+            if loop_id in profiler.profiles
+        )
+
+        analysis = ApplicationAnalysis(
+            name=workload.name, category=getattr(workload, "category", ""), table2=table2
+        )
+        for profile in hot:
+            observation = observer.observations.get(profile.loop_id)
+            if observation is None:
+                continue
+            fraction = profile.total_time_ms / total_nest_time if total_nest_time > 0 else 0.0
+            nest = self.analyze_nest(workload, profile, observation, fraction)
+            # "In a few cases the parallelizable loop is not the outer loop of
+            # a nest" — when the outer loop barely iterates, re-focus on the
+            # heaviest inner loop and report that instead (fluidSim, Cloth).
+            nest = self._maybe_use_inner_loop(workload, nest, profiler, observation, fraction)
+            analysis.nests.append(nest)
+
+        analysis.speedup = bound_for_application(
+            application=workload.name,
+            nest_fractions_and_difficulties=[
+                (nest.fraction_of_loop_time, nest.parallelization) for nest in analysis.nests
+            ],
+            busy_seconds=max(table2.active_seconds, table2.loops_seconds),
+            loop_seconds=table2.loops_seconds,
+            cores=self.cores,
+        )
+        return analysis
+
+    def _maybe_use_inner_loop(
+        self,
+        workload,
+        nest: NestAnalysis,
+        profiler: LoopProfiler,
+        observation: NestObservation,
+        fraction: float,
+    ) -> NestAnalysis:
+        """Re-focus on an inner loop when the outer loop is not the parallelizable one.
+
+        The paper: "In a few cases the parallelizable loop is not the outer
+        loop of a nest.  In these cases we consider the loop nest formed
+        without some of the outer layers, and report the results for this
+        inner loop nest instead."  We apply the same refinement mechanically:
+        when the root loop's dependences are hard to break *and* the root
+        barely iterates, we retry the dependence analysis focused on the
+        heaviest inner loop with a useful trip count and keep whichever
+        characterization is more favourable.
+        """
+        root = nest.profile
+        # Keep the outer loop when it iterates enough to be the unit of
+        # parallelism, or when the nest interacts with the DOM/Canvas anyway
+        # (inner parallelism would still be unexploitable — Ace, MyScript).
+        if root.mean_trip_count >= 8.0 or nest.dom.accesses_shared_browser_state:
+            return nest
+        candidates = [
+            profiler.profiles[loop_id]
+            for loop_id in observation.inner_loop_ids
+            if loop_id in profiler.profiles and profiler.profiles[loop_id].mean_trip_count >= 8.0
+        ]
+        if not candidates:
+            return nest
+        inner_profile = max(candidates, key=lambda p: p.total_time_ms)
+        return self.analyze_nest(workload, inner_profile, observation, fraction)
+
+    def analyze_all(self, workloads) -> List[ApplicationAnalysis]:
+        return [self.analyze_application(workload) for workload in workloads]

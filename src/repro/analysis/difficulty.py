@@ -1,0 +1,247 @@
+"""Dependence-breaking and parallelization difficulty rubric (Table 3, cols 7-8).
+
+The paper assigns each hot loop nest two qualitative grades:
+
+* *breaking dependencies* — how hard it would be for a programmer to remove
+  the inter-iteration dependencies JS-CERES reports ("very easy", "easy",
+  "medium", "hard", "very hard"); and
+* *parallelization difficulty* — the overall effort, additionally accounting
+  for browser limitations (non-concurrent DOM/Canvas) and whether the loop is
+  compute-intensive enough to be worth it.
+
+The original grades were produced by manual inspection aided by the
+dependence tool.  Here the same judgement is encoded as an explicit rubric
+over (a) the dependence report's access patterns and warnings and (b) the
+nest's runtime observation.  The rules follow the paper's narrative:
+
+* "in more than two thirds of the loop nests the write accesses have a
+  well-defined pattern that allows parallelism" → disjoint per-iteration
+  write sets grade *easy*/*very easy*;
+* scalar accumulations (the N-body centre of mass, pixel histograms) are
+  reductions → *easy*/*medium* depending on how much state they touch;
+* flow dependences on non-reduction state are *hard*; widespread flow
+  dependences and tiny trip counts are *very hard*;
+* DOM access inside the nest makes exploitation *very hard* today regardless
+  of the dependence structure (Harmony, Ace, MyScript, sigma.js, D3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Iterable, List, Optional
+
+from ..ceres.dependence import AccessPattern, DependenceReport
+from ..ceres.warnings_ import WarningKind
+from .divergence import DivergenceLevel
+from .domaccess import DomAccessResult
+from .observer import NestObservation
+
+
+class Difficulty(IntEnum):
+    """Ordered difficulty scale used by both Table 3 columns."""
+
+    VERY_EASY = 0
+    EASY = 1
+    MEDIUM = 2
+    HARD = 3
+    VERY_HARD = 4
+
+    def label(self) -> str:
+        return {
+            Difficulty.VERY_EASY: "very easy",
+            Difficulty.EASY: "easy",
+            Difficulty.MEDIUM: "medium",
+            Difficulty.HARD: "hard",
+            Difficulty.VERY_HARD: "very hard",
+        }[self]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label()
+
+
+_LABEL_TO_DIFFICULTY = {
+    "very easy": Difficulty.VERY_EASY,
+    "easy": Difficulty.EASY,
+    "medium": Difficulty.MEDIUM,
+    "hard": Difficulty.HARD,
+    "very hard": Difficulty.VERY_HARD,
+}
+
+
+def difficulty_from_label(label: str) -> Difficulty:
+    return _LABEL_TO_DIFFICULTY[label.strip().lower()]
+
+
+@dataclass
+class DependenceFacts:
+    """Summary of a dependence report from the focus loop's point of view."""
+
+    shared_targets: int = 0
+    disjoint_write_targets: int = 0
+    overlapping_write_targets: int = 0
+    reduction_like_targets: int = 0
+    #: targets with cross-iteration reads but disjoint per-iteration writes —
+    #: the classic stencil shape (Gauss-Seidel sweeps), which the paper grades
+    #: easy to break (switch to a Jacobi-style update).
+    stencil_targets: int = 0
+    flow_dependence_targets: int = 0
+    #: function-scoped scalars written every iteration (the paper's ``var p``
+    #: case) — reported as warnings but trivially privatizable, so they do not
+    #: count as shared targets.
+    privatizable_scalars: int = 0
+    variable_warnings: int = 0
+    total_warnings: int = 0
+
+    @property
+    def has_flow(self) -> bool:
+        return self.flow_dependence_targets > 0
+
+    @property
+    def mostly_well_defined(self) -> bool:
+        """True when most shared writes follow a disjoint per-iteration pattern."""
+        if self.shared_targets == 0:
+            return True
+        good = self.disjoint_write_targets + self.reduction_like_targets + self.stencil_targets
+        return good >= max(1, self.shared_targets - 1)
+
+
+def _is_read_modify_write(pattern: AccessPattern) -> bool:
+    """Every overlapping property of the target is also read — the signature
+    of an accumulator update (``com.m = com.m + p.m``, ``histogram[b]++``)."""
+    overlap = pattern.overlapping_write_targets()
+    if not overlap or len(overlap) > 32:
+        return False
+    for prop in overlap:
+        read_somewhere = any(prop in props for props in pattern.reads_by_iteration.values())
+        if not read_somewhere:
+            return False
+    return True
+
+
+def _classify_pattern(pattern: AccessPattern) -> str:
+    """Classify one shared runtime object: rmw / stencil / disjoint /
+    overlapping / flow."""
+    if pattern.writes_are_disjoint():
+        return "stencil" if pattern.has_flow_dependence() else "disjoint"
+    if _is_read_modify_write(pattern):
+        return "rmw"
+    return "flow" if pattern.has_flow_dependence() else "overlapping"
+
+
+#: Severity order used when several objects from the same creation site fall
+#: into different classes — the worst class wins for that site.
+_CLASS_SEVERITY = {"disjoint": 0, "rmw": 1, "stencil": 2, "overlapping": 3, "flow": 4}
+
+#: A creation site whose objects are all accumulators still only counts as a
+#: reduction when the loop updates a *few* such objects (a histogram, a running
+#: centre of mass).  When hundreds of objects from one site are shared between
+#: iterations (cloth particles touched by their incident constraints), the
+#: structure is neighbour sharing, not a reduction.
+_MAX_REDUCTION_OBJECTS = 4
+
+
+def summarize_dependences(report: DependenceReport) -> DependenceFacts:
+    """Reduce a dependence report to the counters the rubric needs.
+
+    Object targets are aggregated per *creation site*: one cloth simulation
+    allocates hundreds of particle objects from a single ``{...}`` literal,
+    and the programmer breaks (or fails to break) the dependences of all of
+    them with one code change, so they count as a single target.
+    """
+    facts = DependenceFacts()
+    facts.total_warnings = len(report.warnings)
+    facts.variable_warnings = len(report.warnings_of_kind(WarningKind.VAR_WRITE))
+
+    site_patterns: Dict[str, List[str]] = {}
+    for pattern in report.patterns.values():
+        if pattern.total_writes == 0:
+            continue
+        # Targets written by only one iteration are iteration-private.
+        if len(pattern.writes_by_iteration) <= 1:
+            continue
+        if pattern.target_kind == "variable":
+            # Loop-body ``var`` scalars are function-scoped and therefore
+            # shared between iterations (an output dependence, exactly the
+            # Figure 6 ``var p`` warning) — but privatizing them is a purely
+            # mechanical fix (extract the body into a function / use forEach),
+            # so the paper does not let them raise the difficulty grade.
+            facts.privatizable_scalars += 1
+            continue
+        site = pattern.creation_site_label or pattern.name
+        site_patterns.setdefault(site, []).append(_classify_pattern(pattern))
+
+    for classes in site_patterns.values():
+        facts.shared_targets += 1
+        worst = max(classes, key=lambda c: _CLASS_SEVERITY[c])
+        if worst == "disjoint":
+            facts.disjoint_write_targets += 1
+        elif worst == "rmw":
+            if len(classes) <= _MAX_REDUCTION_OBJECTS:
+                facts.reduction_like_targets += 1
+            else:
+                facts.flow_dependence_targets += 1
+        elif worst == "stencil":
+            facts.stencil_targets += 1
+        elif worst == "overlapping":
+            facts.overlapping_write_targets += 1
+        else:  # "flow"
+            facts.flow_dependence_targets += 1
+    return facts
+
+
+def assess_breaking_difficulty(report: DependenceReport) -> Difficulty:
+    """Column 7: how hard it is to break the reported dependencies."""
+    facts = summarize_dependences(report)
+
+    if facts.shared_targets == 0:
+        # At most variable-scoping warnings (the Figure 6 ``var p`` case):
+        # fixed by extracting the body into a function or using forEach.
+        return Difficulty.VERY_EASY
+
+    if not facts.has_flow:
+        if facts.overlapping_write_targets == 0 and facts.stencil_targets == 0:
+            return Difficulty.VERY_EASY if facts.shared_targets <= 2 else Difficulty.EASY
+        if facts.mostly_well_defined:
+            return Difficulty.EASY
+        return Difficulty.MEDIUM
+
+    # True (non-stencil, non-reduction) flow dependences present.
+    if facts.flow_dependence_targets <= 1:
+        return Difficulty.MEDIUM
+    if facts.flow_dependence_targets <= 3 or facts.mostly_well_defined:
+        return Difficulty.HARD
+    return Difficulty.VERY_HARD
+
+
+def assess_parallelization_difficulty(
+    breaking: Difficulty,
+    dom: DomAccessResult,
+    divergence: DivergenceLevel,
+    observation: NestObservation,
+    mean_trip_count: float,
+) -> Difficulty:
+    """Column 8: overall difficulty of exploiting the nest's parallelism."""
+    level = breaking
+
+    # Non-concurrent browser structures: loops that interact with the DOM or
+    # issue Canvas drawing commands per iteration cannot run concurrently in
+    # any current browser, so exploitation is "very hard" today regardless of
+    # the dependence structure (Harmony, Ace, MyScript, sigma.js, D3).  Pixel
+    # kernels that merely read/write ImageData buffers are unaffected.
+    if dom.accesses_dom:
+        return Difficulty.VERY_HARD
+    if dom.canvas_accesses > 0 and observation.root_iterations:
+        canvas_per_iteration = dom.canvas_accesses / observation.root_iterations
+        if canvas_per_iteration > 0.5:
+            return Difficulty.VERY_HARD
+
+    # Too little work per instance to be worth parallelizing.
+    if 0 < mean_trip_count < 3.0:
+        level = Difficulty(min(level + 2, Difficulty.VERY_HARD))
+
+    # Significant divergence costs one level (SIMD mapping needs restructuring).
+    if divergence is DivergenceLevel.YES:
+        level = Difficulty(min(level + 1, Difficulty.VERY_HARD))
+
+    return level

@@ -1,0 +1,80 @@
+"""Control-flow divergence assessment (Table 3, column 5).
+
+The paper grades each loop nest as having ``none``, ``little`` or ``yes``
+(significant) control-flow divergence, because divergence determines whether
+the latent parallelism could be mapped onto SIMD/GPU hardware.  The paper's
+rubric, extracted from Section 4.2:
+
+* *none* — straight-line iteration bodies;
+* *little* — "the iterations contain branching statements but their effect is
+  local and they only contain a few instructions", so predication would work;
+* *yes* — recursion of data-dependent depth (HAAR.js, Raytracing), loops that
+  execute roughly one iteration (Ace), inner loops with data-dependent
+  bounds, or heavy per-iteration branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .observer import NestObservation
+
+
+class DivergenceLevel(Enum):
+    NONE = "none"
+    LITTLE = "little"
+    YES = "yes"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class DivergenceThresholds:
+    """Tunable thresholds of the divergence rubric."""
+
+    #: Below this many dynamic branches per innermost iteration → "none".
+    none_branches_per_iteration: float = 0.2
+    #: Below this many branches per innermost iteration → "little"; above, "yes".
+    little_branches_per_iteration: float = 4.0
+    #: Root loops averaging fewer iterations than this are divergent by the
+    #: paper's "only execute roughly one iteration" argument.
+    minimum_useful_trip_count: float = 3.0
+    #: Coefficient of variation of inner trip counts above which bounds are
+    #: considered data dependent.
+    inner_trip_cv_threshold: float = 1.0
+
+
+def assess_divergence(
+    observation: NestObservation,
+    mean_trip_count: float,
+    thresholds: DivergenceThresholds | None = None,
+) -> DivergenceLevel:
+    """Classify a loop nest's control-flow divergence.
+
+    Parameters
+    ----------
+    observation:
+        Dynamic facts about the nest collected by :class:`NestObserver`.
+    mean_trip_count:
+        Mean trip count of the nest's root loop (from the loop profiler).
+    """
+    thresholds = thresholds or DivergenceThresholds()
+
+    # Variable-depth recursion inside the nest → divergent (HAAR, Raytracing).
+    if observation.has_recursion:
+        return DivergenceLevel.YES
+    # Loops that barely iterate cannot amortize divergence (Ace, MyScript).
+    if 0 < mean_trip_count < thresholds.minimum_useful_trip_count:
+        return DivergenceLevel.YES
+    # Inner loops with strongly data-dependent bounds.
+    if observation.inner_trip_variability > thresholds.inner_trip_cv_threshold:
+        return DivergenceLevel.YES
+
+    branches = observation.branches_per_iteration
+    if branches <= thresholds.none_branches_per_iteration:
+        return DivergenceLevel.NONE
+    if branches <= thresholds.little_branches_per_iteration:
+        return DivergenceLevel.LITTLE
+    return DivergenceLevel.YES

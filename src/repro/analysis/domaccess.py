@@ -1,0 +1,44 @@
+"""DOM/Canvas access detection per loop nest (Table 3, column 6).
+
+"Column 6 shows that half of the loop nests access the DOM.  This is
+problematic as [...] no major browser currently supports concurrent accesses
+to the DOM."  The paper folds Canvas into the same practical limitation when
+discussing Harmony ("very hard" despite easy dependences), so the result
+object exposes both counts plus the combined verdict used by the
+parallelization-difficulty rubric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .observer import NestObservation
+
+
+@dataclass
+class DomAccessResult:
+    """DOM/Canvas interaction summary for one loop nest."""
+
+    dom_accesses: int
+    canvas_accesses: int
+
+    @property
+    def accesses_dom(self) -> bool:
+        """Strict DOM access (Table 3's yes/no column)."""
+        return self.dom_accesses > 0
+
+    @property
+    def accesses_shared_browser_state(self) -> bool:
+        """DOM or Canvas access — both are non-concurrent browser structures."""
+        return self.dom_accesses > 0 or self.canvas_accesses > 0
+
+    def verdict(self) -> str:
+        return "yes" if self.accesses_dom else "no"
+
+
+def assess_dom_access(observation: NestObservation) -> DomAccessResult:
+    """Build the DOM-access summary for a nest from its runtime observation."""
+    return DomAccessResult(
+        dom_accesses=observation.dom_accesses,
+        canvas_accesses=observation.canvas_accesses,
+    )

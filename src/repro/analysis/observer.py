@@ -1,0 +1,179 @@
+"""Per-loop-nest runtime observations used by the Table 3 classifiers.
+
+The paper's authors inspected each hot loop nest manually to judge
+control-flow divergence and DOM usage.  To regenerate Table 3 mechanically we
+record, for every *top-level* loop (the root of a dynamic loop nest):
+
+* iterations of the root loop and of the inner loops (trip-count variability
+  of inner loops signals data-dependent bounds),
+* dynamically taken branches inside the nest (divergence),
+* guest function calls and whether any of them were recursive (variable-depth
+  recursion is called out by the paper for HAAR.js and Raytracing),
+* host accesses (DOM / Canvas / timers) performed while the nest was open,
+* time spent inside the nest.
+
+This observer is attached together with the loop profiler; it only consumes
+events that the interpreter already emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..jsvm.hooks import Tracer
+from ..ceres.ids import IndexRegistry
+from ..ceres.welford import OnlineStats
+
+
+@dataclass
+class NestObservation:
+    """Dynamic facts about one loop nest (keyed by its root loop)."""
+
+    root_loop_id: int
+    label: str
+    line: int = 0
+    root_iterations: int = 0
+    root_instances: int = 0
+    #: iterations of *any* loop (root or inner) while the nest was open — the
+    #: denominator for per-innermost-iteration branch rates.
+    total_iterations: int = 0
+    branch_events: int = 0
+    call_events: int = 0
+    recursive_calls: int = 0
+    dom_accesses: int = 0
+    canvas_accesses: int = 0
+    host_accesses: int = 0
+    inner_loop_ids: Set[int] = field(default_factory=set)
+    inner_trip_stats: OnlineStats = field(default_factory=OnlineStats)
+    time_ms: float = 0.0
+
+    # -- derived metrics -----------------------------------------------------
+    @property
+    def branches_per_iteration(self) -> float:
+        """Dynamic branches per innermost iteration (divergence indicator)."""
+        denominator = self.total_iterations or self.root_iterations
+        return self.branch_events / denominator if denominator else 0.0
+
+    @property
+    def calls_per_iteration(self) -> float:
+        return self.call_events / self.root_iterations if self.root_iterations else 0.0
+
+    @property
+    def has_recursion(self) -> bool:
+        return self.recursive_calls > 0
+
+    @property
+    def accesses_dom(self) -> bool:
+        return self.dom_accesses > 0
+
+    @property
+    def accesses_canvas(self) -> bool:
+        return self.canvas_accesses > 0
+
+    @property
+    def inner_trip_variability(self) -> float:
+        """Coefficient of variation of inner-loop trip counts (0 when uniform)."""
+        if self.inner_trip_stats.count == 0 or self.inner_trip_stats.mean == 0:
+            return 0.0
+        return self.inner_trip_stats.std / self.inner_trip_stats.mean
+
+
+@dataclass
+class _OpenNest:
+    root_loop_id: int
+    start_ms: float
+
+
+class NestObserver(Tracer):
+    """Collects :class:`NestObservation` records for every top-level loop."""
+
+    def __init__(self, registry: Optional[IndexRegistry] = None) -> None:
+        self.registry = registry
+        self.observations: Dict[int, NestObservation] = {}
+        self._open_loops: List[int] = []
+        self._open_nest: Optional[_OpenNest] = None
+        self._guest_call_stack: List[str] = []
+
+    # -- helpers ---------------------------------------------------------------
+    def _label(self, loop_id: int) -> str:
+        return self.registry.loop_label(loop_id) if self.registry else f"loop#{loop_id}"
+
+    def _observation(self, loop_id: int, line: int = 0) -> NestObservation:
+        observation = self.observations.get(loop_id)
+        if observation is None:
+            observation = NestObservation(root_loop_id=loop_id, label=self._label(loop_id), line=line)
+            self.observations[loop_id] = observation
+        return observation
+
+    def _current(self) -> Optional[NestObservation]:
+        if self._open_nest is None:
+            return None
+        return self.observations.get(self._open_nest.root_loop_id)
+
+    # -- loop events -------------------------------------------------------------
+    def on_loop_enter(self, interp, node) -> None:
+        if not self._open_loops:
+            observation = self._observation(node.node_id, getattr(node, "line", 0))
+            observation.root_instances += 1
+            self._open_nest = _OpenNest(root_loop_id=node.node_id, start_ms=interp.clock.now())
+        else:
+            current = self._current()
+            if current is not None:
+                current.inner_loop_ids.add(node.node_id)
+        self._open_loops.append(node.node_id)
+
+    def on_loop_iteration(self, interp, node, iteration) -> None:
+        current = self._current()
+        if current is None:
+            return
+        current.total_iterations += 1
+        if node.node_id == current.root_loop_id and len(self._open_loops) == 1:
+            current.root_iterations += 1
+
+    def on_loop_exit(self, interp, node, trip_count) -> None:
+        if node.node_id in self._open_loops:
+            # Remove the innermost occurrence.
+            for index in range(len(self._open_loops) - 1, -1, -1):
+                if self._open_loops[index] == node.node_id:
+                    self._open_loops.pop(index)
+                    break
+        current = self._current()
+        if current is not None and node.node_id in current.inner_loop_ids:
+            current.inner_trip_stats.push(trip_count)
+        if current is not None and node.node_id == current.root_loop_id and not self._open_loops:
+            current.time_ms += interp.clock.now() - self._open_nest.start_ms
+            self._open_nest = None
+
+    # -- other events -------------------------------------------------------------
+    def on_branch(self, interp, node, taken) -> None:
+        current = self._current()
+        if current is not None:
+            current.branch_events += 1
+
+    def on_function_enter(self, interp, func, call_node) -> None:
+        name = getattr(func, "name", "<native>")
+        current = self._current()
+        if current is not None:
+            current.call_events += 1
+            if name in self._guest_call_stack:
+                current.recursive_calls += 1
+        self._guest_call_stack.append(name)
+
+    def on_function_exit(self, interp, func) -> None:
+        if self._guest_call_stack:
+            self._guest_call_stack.pop()
+
+    def on_host_access(self, interp, category, detail, node) -> None:
+        current = self._current()
+        if current is None:
+            return
+        current.host_accesses += 1
+        if category == "dom":
+            current.dom_accesses += 1
+        elif category == "canvas":
+            current.canvas_accesses += 1
+
+    # -- results ---------------------------------------------------------------------
+    def by_time(self) -> List[NestObservation]:
+        return sorted(self.observations.values(), key=lambda o: o.time_ms, reverse=True)

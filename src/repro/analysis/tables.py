@@ -1,0 +1,99 @@
+"""Assembly and text rendering of the paper's Table 2 and Table 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..ceres.report import render_summary_table
+from .amdahl import SpeedupBound, count_exceeding, count_hard
+from .casestudy import ApplicationAnalysis, Table2Row, Table3Row
+from .difficulty import Difficulty
+
+
+@dataclass
+class CaseStudyTables:
+    """Both result tables plus the Amdahl summary for a set of applications."""
+
+    table2: List[Table2Row] = field(default_factory=list)
+    table3: List[Table3Row] = field(default_factory=list)
+    speedups: List[SpeedupBound] = field(default_factory=list)
+
+    # ------------------------------------------------------------- aggregates
+    def applications(self) -> List[str]:
+        return [row.name for row in self.table2]
+
+    def computationally_intensive(self, active_fraction: float = 0.25) -> List[str]:
+        """Applications whose CPU is busy a large part of their running time."""
+        names = []
+        for row in self.table2:
+            busy = max(row.active_seconds, row.loops_seconds)
+            if row.total_seconds > 0 and busy / row.total_seconds >= active_fraction:
+                names.append(row.name)
+        return names
+
+    def nests_with_intrinsic_parallelism(self) -> int:
+        """Nests whose dependencies can plausibly be broken (<= medium)."""
+        return sum(1 for row in self.table3 if row.breaking <= Difficulty.MEDIUM)
+
+    def fraction_with_intrinsic_parallelism(self) -> float:
+        if not self.table3:
+            return 0.0
+        return self.nests_with_intrinsic_parallelism() / len(self.table3)
+
+    def nests_accessing_dom(self) -> int:
+        return sum(1 for row in self.table3 if row.dom_access)
+
+    def fraction_accessing_dom(self) -> float:
+        if not self.table3:
+            return 0.0
+        return self.nests_accessing_dom() / len(self.table3)
+
+    def applications_exceeding_3x(self) -> int:
+        return count_exceeding(self.speedups, 3.0)
+
+    def applications_hard_to_speed_up(self) -> int:
+        return count_hard(self.speedups)
+
+    # ---------------------------------------------------------------- rendering
+    def render_table2(self) -> str:
+        rows = [row.as_dict() for row in self.table2]
+        return render_summary_table(
+            rows, ["Name", "Total", "Active", "In Loops"], title="Table 2. Case study - running time (s)"
+        )
+
+    def render_table3(self) -> str:
+        rows = [row.as_dict() for row in self.table3]
+        return render_summary_table(
+            rows,
+            ["name", "nest", "%", "instances", "trips", "divergence", "DOM", "breaking", "difficulty"],
+            title="Table 3. Case study - detailed inspection of loop nests",
+        )
+
+    def render_speedups(self) -> str:
+        rows = [
+            {
+                "application": bound.application,
+                "easy fraction": f"{bound.easy_fraction * 100:.0f}%",
+                "cores": bound.cores,
+                "Amdahl bound": f"{bound.bound:.2f}x",
+                ">3x": "yes" if bound.exceeds_3x else "no",
+            }
+            for bound in self.speedups
+        ]
+        return render_summary_table(
+            rows,
+            ["application", "easy fraction", "cores", "Amdahl bound", ">3x"],
+            title="Amdahl upper bounds (easy-to-parallelize loops only)",
+        )
+
+
+def build_tables(analyses: List[ApplicationAnalysis]) -> CaseStudyTables:
+    """Assemble both tables from per-application analyses."""
+    tables = CaseStudyTables()
+    for analysis in analyses:
+        tables.table2.append(analysis.table2)
+        tables.table3.extend(analysis.table3_rows())
+        if analysis.speedup is not None:
+            tables.speedups.append(analysis.speedup)
+    return tables

@@ -1,0 +1,23 @@
+"""Browser-environment substrate: DOM, Canvas, events, clock, sampling profiler."""
+
+from .canvas import CanvasElement, HostCanvas, attach_canvas_support, make_context2d
+from .clock_adapter import VirtualClock
+from .dom import Document, DOMAccessLog, DOMElement
+from .events import EventLoop
+from .gecko_profiler import GeckoProfile, GeckoProfiler
+from .window import BrowserSession
+
+__all__ = [
+    "CanvasElement",
+    "HostCanvas",
+    "attach_canvas_support",
+    "make_context2d",
+    "VirtualClock",
+    "Document",
+    "DOMAccessLog",
+    "DOMElement",
+    "EventLoop",
+    "GeckoProfile",
+    "GeckoProfiler",
+    "BrowserSession",
+]

@@ -1,0 +1,11 @@
+"""Re-export of the virtual clock under the browser namespace.
+
+The clock lives in :mod:`repro.jsvm.clock` because the interpreter charges
+operation costs against it, but conceptually it is the browser's
+high-resolution timer (``performance.now()``), so the browser package exposes
+it too.
+"""
+
+from ..jsvm.clock import VirtualClock
+
+__all__ = ["VirtualClock"]

@@ -1,0 +1,268 @@
+"""A small, non-concurrent DOM implementation.
+
+The paper repeatedly points out that "no major browser currently supports
+concurrent accesses to the DOM" and that half of the inspected loop nests
+touch the DOM, which caps how much of the latent parallelism is exploitable.
+To reproduce that analysis we need (1) a DOM that guest code can read and
+mutate, and (2) an access log that records *when* (virtual time) and *from
+where* (guest call stack) each access happened so the dependence/DOM analysis
+can attribute accesses to loop nests.
+
+DOM elements are guest-visible :class:`~repro.jsvm.values.JSObject` instances
+(class :class:`DOMElement`), so ordinary property reads/writes on them flow
+through the interpreter's instrumentation hooks like any other object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..jsvm.values import UNDEFINED, JSArray, JSObject, NativeFunction, to_number, to_string
+
+
+@dataclass
+class DOMAccess:
+    """One logged host access to the DOM."""
+
+    operation: str  # e.g. "createElement", "appendChild", "setAttribute", "read"
+    detail: str
+    time_ms: float
+    function: str = ""
+
+
+@dataclass
+class DOMAccessLog:
+    """Chronological log of DOM operations performed by guest code."""
+
+    accesses: List[DOMAccess] = field(default_factory=list)
+
+    def record(self, operation: str, detail: str, time_ms: float, function: str = "") -> None:
+        self.accesses.append(DOMAccess(operation, detail, time_ms, function))
+
+    def count(self) -> int:
+        return len(self.accesses)
+
+    def operations(self) -> List[str]:
+        return [access.operation for access in self.accesses]
+
+    def clear(self) -> None:
+        self.accesses.clear()
+
+
+class DOMElement(JSObject):
+    """A DOM element, visible to guest code as a normal object."""
+
+    __slots__ = ("tag_name", "children", "parent", "document")
+
+    def __init__(self, tag_name: str, document: "Document", prototype: Optional[JSObject] = None) -> None:
+        super().__init__(prototype=prototype, class_name="HTMLElement")
+        self.tag_name = tag_name.lower()
+        self.children: List["DOMElement"] = []
+        self.parent: Optional["DOMElement"] = None
+        self.document = document
+        self.set("tagName", tag_name.upper())
+        self.set("id", "")
+        self.set("className", "")
+        self.set("textContent", "")
+        self.set("innerHTML", "")
+        style = JSObject(class_name="CSSStyleDeclaration")
+        self.set("style", style)
+        attributes = JSObject(class_name="NamedNodeMap")
+        self.set("attributes", attributes)
+
+    # The DOM log is fed from the Document so that elements detached from the
+    # tree still account against the same log.
+    def _log(self, operation: str, detail: str) -> None:
+        self.document.log_access(operation, f"<{self.tag_name}> {detail}".strip())
+
+    def append_child(self, child: "DOMElement") -> "DOMElement":
+        if child.parent is not None:
+            child.parent.children.remove(child)
+        child.parent = self
+        self.children.append(child)
+        self._log("appendChild", child.tag_name)
+        return child
+
+    def remove_child(self, child: "DOMElement") -> "DOMElement":
+        if child in self.children:
+            self.children.remove(child)
+            child.parent = None
+        self._log("removeChild", child.tag_name)
+        return child
+
+    def set_attribute(self, name: str, value: str) -> None:
+        attributes = self.get("attributes")
+        if isinstance(attributes, JSObject):
+            attributes.set(name, value)
+        if name == "id":
+            self.set("id", value)
+        if name == "class":
+            self.set("className", value)
+        self._log("setAttribute", name)
+
+    def get_attribute(self, name: str) -> Any:
+        attributes = self.get("attributes")
+        value = attributes.get(name) if isinstance(attributes, JSObject) else UNDEFINED
+        self._log("getAttribute", name)
+        return value
+
+    def descendants(self):
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+
+class Document:
+    """The host-side document object owning the element tree and access log."""
+
+    def __init__(self, clock=None, title: str = "document") -> None:
+        self.clock = clock
+        self.title = title
+        self.access_log = DOMAccessLog()
+        self.element_prototype = JSObject(class_name="HTMLElement.prototype")
+        self._install_element_methods()
+        self.root = DOMElement("html", self, prototype=self.element_prototype)
+        self.body = DOMElement("body", self, prototype=self.element_prototype)
+        self.head = DOMElement("head", self, prototype=self.element_prototype)
+        self.root.children = [self.head, self.body]
+        self.head.parent = self.root
+        self.body.parent = self.root
+        self._current_function = lambda: ""
+
+    # ------------------------------------------------------------------ host
+    def bind_interpreter(self, interp) -> None:
+        """Attach the interpreter so the log can record guest stack context."""
+        self.clock = interp.clock
+        self._current_function = interp.current_function_name
+
+    def log_access(self, operation: str, detail: str) -> None:
+        time_ms = self.clock.now() if self.clock is not None else 0.0
+        self.access_log.record(operation, detail, time_ms, self._current_function())
+
+    def create_element(self, tag_name: str) -> DOMElement:
+        element = DOMElement(tag_name, self, prototype=self.element_prototype)
+        self.log_access("createElement", tag_name)
+        return element
+
+    def get_element_by_id(self, element_id: str) -> Optional[DOMElement]:
+        self.log_access("getElementById", element_id)
+        for element in self.root.descendants():
+            if element.get("id") == element_id:
+                return element
+        return None
+
+    def query_selector_all(self, selector: str) -> List[DOMElement]:
+        """Very small selector engine: ``#id``, ``.class`` and tag selectors."""
+        self.log_access("querySelectorAll", selector)
+        matches: List[DOMElement] = []
+        for element in self.root.descendants():
+            if selector.startswith("#"):
+                if element.get("id") == selector[1:]:
+                    matches.append(element)
+            elif selector.startswith("."):
+                classes = to_string(element.get("className")).split()
+                if selector[1:] in classes:
+                    matches.append(element)
+            elif element.tag_name == selector.lower():
+                matches.append(element)
+        return matches
+
+    def element_count(self) -> int:
+        return sum(1 for _ in self.root.descendants())
+
+    # ----------------------------------------------------------- guest shims
+    def _install_element_methods(self) -> None:
+        proto = self.element_prototype
+
+        def append_child(interp, this, args):
+            if isinstance(this, DOMElement) and args and isinstance(args[0], DOMElement):
+                interp.notify_host_access("dom", "appendChild")
+                return this.append_child(args[0])
+            return UNDEFINED
+
+        def remove_child(interp, this, args):
+            if isinstance(this, DOMElement) and args and isinstance(args[0], DOMElement):
+                interp.notify_host_access("dom", "removeChild")
+                return this.remove_child(args[0])
+            return UNDEFINED
+
+        def set_attribute(interp, this, args):
+            if isinstance(this, DOMElement) and len(args) >= 2:
+                interp.notify_host_access("dom", "setAttribute")
+                this.set_attribute(to_string(args[0]), to_string(args[1]))
+            return UNDEFINED
+
+        def get_attribute(interp, this, args):
+            if isinstance(this, DOMElement) and args:
+                interp.notify_host_access("dom", "getAttribute")
+                return this.get_attribute(to_string(args[0]))
+            return UNDEFINED
+
+        def get_bounding_client_rect(interp, this, args):
+            interp.notify_host_access("dom", "getBoundingClientRect")
+            rect = interp.make_object()
+            width = to_number(this.get("width")) if isinstance(this, DOMElement) else 0.0
+            height = to_number(this.get("height")) if isinstance(this, DOMElement) else 0.0
+            rect.set("left", 0.0)
+            rect.set("top", 0.0)
+            rect.set("width", width if width == width else 0.0)
+            rect.set("height", height if height == height else 0.0)
+            return rect
+
+        def add_event_listener(interp, this, args):
+            interp.notify_host_access("dom", "addEventListener")
+            if isinstance(this, DOMElement) and len(args) >= 2:
+                listeners = this.get("__listeners")
+                if not isinstance(listeners, JSObject):
+                    listeners = interp.make_object()
+                    this.set("__listeners", listeners)
+                listeners.set(to_string(args[0]), args[1])
+            return UNDEFINED
+
+        proto.set("appendChild", NativeFunction("appendChild", append_child))
+        proto.set("removeChild", NativeFunction("removeChild", remove_child))
+        proto.set("setAttribute", NativeFunction("setAttribute", set_attribute))
+        proto.set("getAttribute", NativeFunction("getAttribute", get_attribute))
+        proto.set("getBoundingClientRect", NativeFunction("getBoundingClientRect", get_bounding_client_rect))
+        proto.set("addEventListener", NativeFunction("addEventListener", add_event_listener))
+
+    def make_guest_document(self, interp) -> JSObject:
+        """Build the guest-visible ``document`` object for an interpreter."""
+        self.bind_interpreter(interp)
+        doc_obj = JSObject(prototype=interp.object_prototype, class_name="Document")
+        doc_obj.extra["host_document"] = self
+        doc_obj.set("body", self.body)
+        doc_obj.set("head", self.head)
+        doc_obj.set("documentElement", self.root)
+        doc_obj.set("title", self.title)
+
+        def create_element(interpreter, this, args):
+            interpreter.notify_host_access("dom", "createElement")
+            tag = to_string(args[0]) if args else "div"
+            return self.create_element(tag)
+
+        def get_element_by_id(interpreter, this, args):
+            interpreter.notify_host_access("dom", "getElementById")
+            element = self.get_element_by_id(to_string(args[0]) if args else "")
+            from ..jsvm.values import NULL
+
+            return element if element is not None else NULL
+
+        def query_selector(interpreter, this, args):
+            interpreter.notify_host_access("dom", "querySelector")
+            matches = self.query_selector_all(to_string(args[0]) if args else "*")
+            from ..jsvm.values import NULL
+
+            return matches[0] if matches else NULL
+
+        def query_selector_all(interpreter, this, args):
+            interpreter.notify_host_access("dom", "querySelectorAll")
+            matches = self.query_selector_all(to_string(args[0]) if args else "*")
+            return interpreter.make_array(list(matches))
+
+        doc_obj.set("createElement", NativeFunction("createElement", create_element))
+        doc_obj.set("getElementById", NativeFunction("getElementById", get_element_by_id))
+        doc_obj.set("querySelector", NativeFunction("querySelector", query_selector))
+        doc_obj.set("querySelectorAll", NativeFunction("querySelectorAll", query_selector_all))
+        return doc_obj

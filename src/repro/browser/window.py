@@ -1,0 +1,139 @@
+"""Assembles a browser-like global environment around an interpreter.
+
+:class:`BrowserSession` is the unit the case-study drivers and JS-CERES work
+with: one interpreter, one document (with Canvas support), one event loop and
+the guest globals (``window``, ``document``, ``performance``,
+``requestAnimationFrame``, ``setTimeout``...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..jsvm.hooks import HookBus
+from ..jsvm.interpreter import Interpreter
+from ..jsvm.values import UNDEFINED, JSObject, NativeFunction, to_number, to_string
+from .canvas import attach_canvas_support
+from .clock_adapter import VirtualClock
+from .dom import Document
+from .events import EventLoop
+
+
+class BrowserSession:
+    """A simulated browser tab: interpreter + DOM + event loop + globals."""
+
+    def __init__(
+        self,
+        hooks: Optional[HookBus] = None,
+        clock: Optional[VirtualClock] = None,
+        rng_seed: int = 20150207,
+        title: str = "page",
+    ) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.interp = Interpreter(hooks=hooks, clock=self.clock, rng_seed=rng_seed)
+        self.document = Document(clock=self.clock, title=title)
+        attach_canvas_support(self.interp, self.document)
+        self.event_loop = EventLoop(self.interp)
+        self.scripts_run: List[str] = []
+        self._install_globals()
+
+    # ------------------------------------------------------------------ setup
+    def _install_globals(self) -> None:
+        interp = self.interp
+        env = interp.global_env
+
+        guest_document = self.document.make_guest_document(interp)
+        env.declare_var("document", guest_document)
+
+        window = JSObject(prototype=interp.object_prototype, class_name="Window")
+        window.set("document", guest_document)
+        window.set("innerWidth", 1280.0)
+        window.set("innerHeight", 800.0)
+        window.set("devicePixelRatio", 1.0)
+        env.declare_var("window", window)
+        env.declare_var("self", window)
+
+        navigator = JSObject(prototype=interp.object_prototype, class_name="Navigator")
+        navigator.set("userAgent", "repro-browser/1.0 (simulated)")
+        navigator.set("hardwareConcurrency", 4.0)
+        env.declare_var("navigator", navigator)
+        window.set("navigator", navigator)
+
+        performance = JSObject(prototype=interp.object_prototype, class_name="Performance")
+
+        def performance_now(interpreter, this, args):
+            interpreter.notify_host_access("timer", "performance.now")
+            return interpreter.clock.now()
+
+        performance.set("now", NativeFunction("now", performance_now))
+        env.declare_var("performance", performance)
+        window.set("performance", performance)
+
+        def request_animation_frame(interpreter, this, args):
+            interpreter.notify_host_access("timer", "requestAnimationFrame")
+            callback = args[0] if args else UNDEFINED
+            return float(self.event_loop.request_animation_frame(callback))
+
+        def set_timeout(interpreter, this, args):
+            interpreter.notify_host_access("timer", "setTimeout")
+            callback = args[0] if args else UNDEFINED
+            delay = to_number(args[1]) if len(args) > 1 else 0.0
+            return float(self.event_loop.set_timeout(callback, delay))
+
+        def set_interval(interpreter, this, args):
+            interpreter.notify_host_access("timer", "setInterval")
+            callback = args[0] if args else UNDEFINED
+            delay = to_number(args[1]) if len(args) > 1 else 0.0
+            return float(self.event_loop.set_timeout(callback, delay, repeat=True))
+
+        def clear_timer(interpreter, this, args):
+            if args:
+                self.event_loop.clear_timeout(int(to_number(args[0])))
+            return UNDEFINED
+
+        def alert(interpreter, this, args):
+            interpreter.console_output.append("[alert] " + " ".join(to_string(a) for a in args))
+            return UNDEFINED
+
+        for name, func in [
+            ("requestAnimationFrame", request_animation_frame),
+            ("setTimeout", set_timeout),
+            ("setInterval", set_interval),
+            ("clearTimeout", clear_timer),
+            ("clearInterval", clear_timer),
+            ("alert", alert),
+        ]:
+            native = NativeFunction(name, func)
+            env.declare_var(name, native)
+            window.set(name, native)
+
+    # ------------------------------------------------------------------ usage
+    def run_script(self, source: str, name: str = "<script>") -> Any:
+        """Execute a script in the page's global scope."""
+        self.scripts_run.append(name)
+        return self.interp.run_source(source, name=name)
+
+    def run_frames(self, count: int) -> int:
+        """Drive the event loop for ``count`` animation frames."""
+        return self.event_loop.run_frames(count)
+
+    def idle(self, ms: float) -> None:
+        """Simulate user idle time (no script execution)."""
+        self.event_loop.idle(ms)
+
+    def create_canvas(self, element_id: str, width: int, height: int):
+        """Host helper: add a canvas of the given size to ``document.body``."""
+        canvas = self.document.create_element("canvas")
+        canvas.set("id", element_id)
+        canvas.set("width", float(width))
+        canvas.set("height", float(height))
+        self.document.body.append_child(canvas)
+        return canvas
+
+    @property
+    def total_seconds(self) -> float:
+        return self.clock.now() / 1000.0
+
+    @property
+    def dom_access_count(self) -> int:
+        return self.document.access_log.count()

@@ -1,0 +1,65 @@
+"""JS-CERES: staged profiling and runtime dependence analysis for mini-JS.
+
+This package is the reproduction of the paper's primary contribution
+(Section 3): a proxy-based tool with three instrumentation modes —
+lightweight profiling, loop profiling, and dependence analysis — plus the
+report/publication pipeline.
+"""
+
+from .dependence import AccessPattern, DependenceAnalyzer, DependenceReport
+from .ids import CreationSite, IndexRegistry, LoopSite, ProgramIndex
+from .lightweight import LightweightProfiler, LightweightResult
+from .loop_profiler import LoopProfile, LoopProfiler
+from .loopstack import CharTriple, LoopStack, StackEntry, diff_stamp, is_problematic, render_triples
+from .proxy import (
+    InstrumentationMode,
+    InstrumentedDocument,
+    InstrumentingProxy,
+    OriginServer,
+    WebDocument,
+)
+from .report import render_dependence, render_lightweight, render_loop_profiles, render_summary_table
+from .repository import Commit, RemotePublisher, ResultsRepository
+from .tool import DependenceRun, JSCeres, LightweightRun, LoopProfileRun
+from .warnings_ import DependenceWarning, RecursionWarning, WarningKind
+from .welford import OnlineStats
+
+__all__ = [
+    "AccessPattern",
+    "DependenceAnalyzer",
+    "DependenceReport",
+    "CreationSite",
+    "IndexRegistry",
+    "LoopSite",
+    "ProgramIndex",
+    "LightweightProfiler",
+    "LightweightResult",
+    "LoopProfile",
+    "LoopProfiler",
+    "CharTriple",
+    "LoopStack",
+    "StackEntry",
+    "diff_stamp",
+    "is_problematic",
+    "render_triples",
+    "InstrumentationMode",
+    "InstrumentedDocument",
+    "InstrumentingProxy",
+    "OriginServer",
+    "WebDocument",
+    "render_dependence",
+    "render_lightweight",
+    "render_loop_profiles",
+    "render_summary_table",
+    "Commit",
+    "RemotePublisher",
+    "ResultsRepository",
+    "DependenceRun",
+    "JSCeres",
+    "LightweightRun",
+    "LoopProfileRun",
+    "DependenceWarning",
+    "RecursionWarning",
+    "WarningKind",
+    "OnlineStats",
+]

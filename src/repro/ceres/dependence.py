@@ -1,0 +1,357 @@
+"""JS-CERES instrumentation mode 3: runtime dependence analysis.
+
+This tracer reproduces Section 3.3 of the paper:
+
+* It maintains the loop-characterization stack (:class:`LoopStack`).
+* Every object creation site stamps the new object with the current stack
+  (standing in for the ``Proxy`` wrapper used by the original tool), and
+  every *environment* creation stamps the environment, which is how writes to
+  ``var``-scoped variables are characterized.
+* Every variable write, property write and property read is diffed against
+  the relevant stamp; problematic accesses produce
+  :class:`~repro.ceres.warnings_.DependenceWarning` records whose rendered
+  form matches the paper's ``while(line 24) ok ok -> for(line 6) ok
+  dependence`` notation.
+* Reads of properties written in a *different* iteration are detected via a
+  per-(object, property) snapshot of the stack at the last write, yielding
+  flow-dependence warnings.
+
+Because this instrumentation has a very high overhead, the paper lets the
+user focus the analysis on one loop; ``focus_loop_id`` provides the same
+capability (``None`` analyses every loop).
+
+In addition to the warnings themselves, the tracer gathers per-iteration
+*access-pattern summaries* for the focused loop (which properties of which
+shared objects each iteration reads/writes).  These are not part of the
+original tool's output — the paper's authors inspected access patterns
+manually — but they feed the automated difficulty rubric in
+:mod:`repro.analysis.difficulty` that regenerates Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..jsvm.hooks import Tracer
+from ..jsvm.values import JSArray, JSObject
+from .ids import IndexRegistry
+from .loopstack import CharTriple, LoopStack, Stamp, diff_stamp, is_problematic
+from .warnings_ import DependenceWarning, RecursionWarning, WarningKind
+
+#: Maximum number of distinct iterations sampled per access-pattern record.
+_MAX_SAMPLED_ITERATIONS = 4096
+
+
+@dataclass
+class AccessPattern:
+    """Per-iteration read/write footprint of one shared target in the focus loop."""
+
+    name: str
+    target_kind: str  # "variable" | "object"
+    creation_site_label: str = ""
+    #: iteration -> set of property names written (variables use the name itself)
+    writes_by_iteration: Dict[int, Set[str]] = field(default_factory=dict)
+    reads_by_iteration: Dict[int, Set[str]] = field(default_factory=dict)
+    compound_writes: int = 0  # writes that were read-modify-write on the same property
+    total_writes: int = 0
+    total_reads: int = 0
+    #: cross-iteration reads of values written in the *same instance* of the
+    #: focus loop (true loop-carried flow dependences)
+    flow_dependences: int = 0
+    truncated: bool = False
+
+    def record_write(self, iteration: int, prop: str) -> None:
+        self.total_writes += 1
+        bucket = self.writes_by_iteration.setdefault(iteration, set())
+        if len(self.writes_by_iteration) <= _MAX_SAMPLED_ITERATIONS:
+            bucket.add(prop)
+        else:
+            self.truncated = True
+
+    def record_read(self, iteration: int, prop: str) -> None:
+        self.total_reads += 1
+        bucket = self.reads_by_iteration.setdefault(iteration, set())
+        if len(self.reads_by_iteration) <= _MAX_SAMPLED_ITERATIONS:
+            bucket.add(prop)
+        else:
+            self.truncated = True
+
+    # -- pattern queries used by the difficulty rubric -----------------------
+    def writes_are_disjoint(self) -> bool:
+        """True when no property is written by two different iterations."""
+        seen: Set[str] = set()
+        for props in self.writes_by_iteration.values():
+            if props & seen:
+                return False
+            seen |= props
+        return True
+
+    def overlapping_write_targets(self) -> Set[str]:
+        seen: Set[str] = set()
+        overlap: Set[str] = set()
+        for props in self.writes_by_iteration.values():
+            overlap |= props & seen
+            seen |= props
+        return overlap
+
+    def has_flow_dependence(self) -> bool:
+        return self.flow_dependences > 0
+
+
+@dataclass
+class DependenceReport:
+    """Full output of one dependence-analysis run."""
+
+    focus_loop_id: Optional[int]
+    focus_loop_label: str
+    warnings: List[DependenceWarning] = field(default_factory=list)
+    recursion_warnings: List[RecursionWarning] = field(default_factory=list)
+    patterns: Dict[str, AccessPattern] = field(default_factory=dict)
+    iterations_observed: int = 0
+
+    def problematic_names(self) -> List[str]:
+        return sorted({w.name for w in self.warnings})
+
+    def warnings_of_kind(self, kind: WarningKind) -> List[DependenceWarning]:
+        return [w for w in self.warnings if w.kind == kind]
+
+    def has_flow_dependences(self) -> bool:
+        return any(w.kind == WarningKind.FLOW_READ for w in self.warnings)
+
+
+class DependenceAnalyzer(Tracer):
+    """Dependence-analysis tracer (JS-CERES mode 3)."""
+
+    def __init__(
+        self,
+        registry: Optional[IndexRegistry] = None,
+        focus_loop_id: Optional[int] = None,
+    ) -> None:
+        self.registry = registry
+        self.focus_loop_id = focus_loop_id
+        self.stack = LoopStack()
+        self.warnings: Dict[Tuple, DependenceWarning] = {}
+        self.recursion_loop_ids: Set[int] = set()
+        self.patterns: Dict[str, AccessPattern] = {}
+        self.iterations_observed = 0
+        #: (id(object), property) -> stack snapshot of the last write
+        self._last_write_stamp: Dict[Tuple[int, str], Stamp] = {}
+        #: id(environment) -> creation stamp (environments are not JSObjects)
+        self._env_stamps: Dict[int, Stamp] = {}
+        #: names of variables that hold per-iteration aliases (informational)
+        self._variable_names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------ labels
+    def _label(self, loop_id: int) -> str:
+        if self.registry is not None:
+            return self.registry.loop_label(loop_id)
+        return f"loop#{loop_id}"
+
+    def _creation_label(self, obj: Any) -> str:
+        if isinstance(obj, JSObject) and obj.creation_site >= 0 and self.registry is not None:
+            for index in self.registry.indexes.values():
+                site = index.creation_sites.get(obj.creation_site)
+                if site is not None:
+                    return site.label
+        if isinstance(obj, JSArray):
+            return "array"
+        if isinstance(obj, JSObject):
+            return obj.class_name.lower()
+        return ""
+
+    # -------------------------------------------------------------- loop hooks
+    def on_loop_enter(self, interp, node) -> None:
+        self.stack.push_loop(node.node_id)
+        if self.stack.recursion_warnings and node.node_id in self.stack.recursion_warnings:
+            self.recursion_loop_ids.add(node.node_id)
+
+    def on_loop_iteration(self, interp, node, iteration) -> None:
+        self.stack.next_iteration(node.node_id)
+        if self._in_focus(node.node_id):
+            self.iterations_observed += 1
+
+    def on_loop_exit(self, interp, node, trip_count) -> None:
+        self.stack.pop_loop(node.node_id)
+
+    # --------------------------------------------------------- creation stamps
+    def on_object_created(self, interp, obj, node) -> None:
+        if isinstance(obj, JSObject):
+            obj.creation_stamp = self.stack.snapshot()
+
+    def on_env_created(self, interp, env, kind) -> None:
+        self._env_stamps[id(env)] = self.stack.snapshot()
+
+    # ------------------------------------------------------------ access hooks
+    def on_var_write(self, interp, name, env, value, node) -> None:
+        if not self._analysis_active():
+            return
+        stamp = self._env_stamps.get(id(env), ())
+        triples = diff_stamp(self.stack.entries, stamp)
+        self._record_pattern("variable", name, "", write=True, prop=name)
+        if is_problematic(triples, self._focus_for_check()):
+            self._add_warning(WarningKind.VAR_WRITE, name, triples, "", node)
+
+    def on_prop_write(self, interp, obj, name, value, node) -> None:
+        if not self._analysis_active() or not isinstance(obj, JSObject):
+            return
+        stamp: Stamp = obj.creation_stamp if obj.creation_stamp is not None else ()
+        triples = diff_stamp(self.stack.entries, stamp)
+        target = self._target_name(obj)
+        self._record_pattern("object", target, self._creation_label(obj), write=True, prop=name, obj=obj)
+        if is_problematic(triples, self._focus_for_check()):
+            self._add_warning(
+                WarningKind.PROP_WRITE, f"{target}.{name}", triples, self._creation_label(obj), node
+            )
+        # Remember the stack at this write so future reads can detect flow deps.
+        self._last_write_stamp[(id(obj), name)] = self.stack.snapshot()
+
+    def on_prop_read(self, interp, obj, name, node) -> None:
+        if not self._analysis_active() or not isinstance(obj, JSObject):
+            return
+        target = self._target_name(obj)
+        self._record_pattern("object", target, self._creation_label(obj), write=False, prop=name, obj=obj)
+        write_stamp = self._last_write_stamp.get((id(obj), name))
+        if write_stamp is None:
+            return
+        if not self._is_cross_iteration_write(write_stamp):
+            # Last write happened before the loop (read-only input) or in the
+            # current iteration (iteration-private) — no loop-carried flow.
+            return
+        triples = diff_stamp(self.stack.entries, write_stamp)
+        pattern = self.patterns.get(self._pattern_key("object", target, obj))
+        if pattern is not None:
+            pattern.flow_dependences += 1
+        self._add_warning(
+            WarningKind.FLOW_READ, f"{target}.{name}", triples, self._creation_label(obj), node
+        )
+
+    def _is_cross_iteration_write(self, write_stamp: Stamp) -> bool:
+        """True when the last write happened in the *same instance* of the
+        relevant loop but in a *different iteration* — the paper's definition
+        of a flow dependence (Section 3.3, access type c).
+
+        With a focus loop only that loop is considered; otherwise any
+        currently open loop qualifies.
+        """
+        stamp_by_loop = {entry.loop_id: entry for entry in write_stamp}
+        for entry in self.stack.entries:
+            if self.focus_loop_id is not None and entry.loop_id != self.focus_loop_id:
+                continue
+            written = stamp_by_loop.get(entry.loop_id)
+            if written is not None and written.instance == entry.instance and written.iteration != entry.iteration:
+                return True
+        return False
+
+    # ----------------------------------------------------------------- helpers
+    def _analysis_active(self) -> bool:
+        """Accesses only matter while at least one (focused) loop is open."""
+        if not self.stack.entries:
+            return False
+        if self.focus_loop_id is None:
+            return True
+        return self.stack.contains(self.focus_loop_id)
+
+    def _in_focus(self, loop_id: int) -> bool:
+        return self.focus_loop_id is None or loop_id == self.focus_loop_id
+
+    def _focus_for_check(self) -> Optional[int]:
+        return self.focus_loop_id
+
+    def _focus_iteration(self) -> int:
+        """Current iteration number of the focus loop (or of the innermost loop)."""
+        if self.focus_loop_id is not None:
+            for entry in self.stack.entries:
+                if entry.loop_id == self.focus_loop_id:
+                    return entry.iteration
+            return -1
+        innermost = self.stack.innermost()
+        return innermost.iteration if innermost is not None else -1
+
+    def _target_name(self, obj: JSObject) -> str:
+        label = self._creation_label(obj)
+        return label if label else obj.class_name.lower()
+
+    def _pattern_key(self, kind: str, name: str, obj: Optional[JSObject] = None) -> str:
+        # Object patterns are tracked per runtime object (distinct objects
+        # allocated at the same site have independent footprints); variables
+        # are tracked per name.
+        if obj is not None:
+            return f"{kind}:{id(obj)}"
+        return f"{kind}:{name}"
+
+    def _record_pattern(
+        self,
+        kind: str,
+        name: str,
+        creation_label: str,
+        write: bool,
+        prop: str,
+        obj: Optional[JSObject] = None,
+    ) -> None:
+        iteration = self._focus_iteration()
+        if iteration < 0:
+            return
+        key = self._pattern_key(kind, name, obj)
+        pattern = self.patterns.get(key)
+        if pattern is None:
+            pattern = AccessPattern(name=name, target_kind=kind, creation_site_label=creation_label)
+            self.patterns[key] = pattern
+        if write:
+            pattern.record_write(iteration, prop)
+        else:
+            pattern.record_read(iteration, prop)
+
+    def _add_warning(
+        self,
+        kind: WarningKind,
+        name: str,
+        triples: List[CharTriple],
+        creation_label: str,
+        node,
+    ) -> None:
+        warning = DependenceWarning(
+            kind=kind,
+            name=name,
+            triples=tuple(triples),
+            focus_loop_id=self.focus_loop_id,
+            creation_site_label=creation_label,
+            first_line=getattr(node, "line", 0),
+        )
+        existing = self.warnings.get(warning.key())
+        if existing is None:
+            warning.sample_iterations.append(self._focus_iteration())
+            self.warnings[warning.key()] = warning
+        else:
+            existing.occurrences += 1
+            if len(existing.sample_iterations) < 64:
+                iteration = self._focus_iteration()
+                if iteration not in existing.sample_iterations:
+                    existing.sample_iterations.append(iteration)
+
+    # ------------------------------------------------------------------ report
+    def report(self) -> DependenceReport:
+        focus_label = self._label(self.focus_loop_id) if self.focus_loop_id is not None else "(all loops)"
+        recursion = [
+            RecursionWarning(loop_id=loop_id, loop_label=self._label(loop_id))
+            for loop_id in sorted(self.recursion_loop_ids)
+        ]
+        warnings = list(self.warnings.values())
+        # The paper discards results for nests affected by recursion.
+        if self.recursion_loop_ids:
+            warnings = [
+                w
+                for w in warnings
+                if not any(t.loop_id in self.recursion_loop_ids for t in w.triples)
+            ]
+        return DependenceReport(
+            focus_loop_id=self.focus_loop_id,
+            focus_loop_label=focus_label,
+            warnings=warnings,
+            recursion_warnings=recursion,
+            patterns=dict(self.patterns),
+            iterations_observed=self.iterations_observed,
+        )
+
+    def render_warnings(self) -> List[str]:
+        return [w.render(self._label) for w in self.warnings.values()]

@@ -1,0 +1,144 @@
+"""Identification of syntactic loops and object creation sites.
+
+JS-CERES reports refer to loops by their syntax and source line, e.g.
+``for(line 6)`` or ``while(line 24)`` in the paper's Figure 6 walkthrough.
+This module assigns those labels by walking the parsed program once, and also
+records every object creation site (object/array literals, ``new``
+expressions, function definitions) so the dependence analysis can describe
+where a shared object came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..jsvm import ast_nodes as ast
+
+_LOOP_KEYWORD = {
+    ast.ForStatement: "for",
+    ast.ForInStatement: "for-in",
+    ast.WhileStatement: "while",
+    ast.DoWhileStatement: "do-while",
+}
+
+
+@dataclass
+class LoopSite:
+    """A syntactic loop in a program."""
+
+    node_id: int
+    kind: str
+    line: int
+    program: str
+    label: str
+    #: node ids of the syntactic loops that enclose this one (outermost first).
+    enclosing: List[int] = field(default_factory=list)
+    #: True when the loop is (syntactically) nested inside a function that is
+    #: itself nested inside another loop body — used only for reporting.
+    depth: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+@dataclass
+class CreationSite:
+    """A syntactic location that creates objects at runtime."""
+
+    node_id: int
+    kind: str
+    line: int
+    program: str
+    label: str
+
+
+class ProgramIndex:
+    """Per-program index of loop and creation sites."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.loops: Dict[int, LoopSite] = {}
+        self.creation_sites: Dict[int, CreationSite] = {}
+        self._index(program)
+
+    # ------------------------------------------------------------------ build
+    def _index(self, program: ast.Program) -> None:
+        self._walk(program, enclosing=[])
+
+    def _walk(self, node: ast.Node, enclosing: List[int]) -> None:
+        node_type = type(node)
+        if node_type in _LOOP_KEYWORD:
+            kind = _LOOP_KEYWORD[node_type]
+            site = LoopSite(
+                node_id=node.node_id,
+                kind=kind,
+                line=node.line,
+                program=self.program.name,
+                label=f"{kind}(line {node.line})",
+                enclosing=list(enclosing),
+                depth=len(enclosing),
+            )
+            self.loops[node.node_id] = site
+            enclosing = enclosing + [node.node_id]
+        elif node_type in ast.CREATION_SITE_TYPES:
+            kind = node_type.__name__
+            self.creation_sites[node.node_id] = CreationSite(
+                node_id=node.node_id,
+                kind=kind,
+                line=node.line,
+                program=self.program.name,
+                label=f"{kind.lower()}(line {node.line})",
+            )
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, enclosing)
+
+    # ------------------------------------------------------------------ query
+    def loop_label(self, node_id: int) -> str:
+        site = self.loops.get(node_id)
+        return site.label if site is not None else f"loop#{node_id}"
+
+    def loop_for_line(self, line: int) -> Optional[LoopSite]:
+        """Return the loop declared on ``line`` (the paper identifies loops by line)."""
+        for site in self.loops.values():
+            if site.line == line:
+                return site
+        return None
+
+    def top_level_loops(self) -> List[LoopSite]:
+        return [site for site in self.loops.values() if not site.enclosing]
+
+    def loops_of_nest(self, root_node_id: int) -> List[LoopSite]:
+        """All loops whose enclosing chain starts at ``root_node_id`` (plus the root)."""
+        nest = [self.loops[root_node_id]] if root_node_id in self.loops else []
+        for site in self.loops.values():
+            if root_node_id in site.enclosing:
+                nest.append(site)
+        return nest
+
+
+class IndexRegistry:
+    """Indexes for every program analysed in a session (keyed by program name)."""
+
+    def __init__(self) -> None:
+        self.indexes: Dict[str, ProgramIndex] = {}
+
+    def add(self, program: ast.Program) -> ProgramIndex:
+        index = ProgramIndex(program)
+        self.indexes[program.name] = index
+        return index
+
+    def get(self, program_name: str) -> Optional[ProgramIndex]:
+        return self.indexes.get(program_name)
+
+    def loop_label(self, node_id: int) -> str:
+        for index in self.indexes.values():
+            if node_id in index.loops:
+                return index.loops[node_id].label
+        return f"loop#{node_id}"
+
+    def all_loops(self) -> List[LoopSite]:
+        sites: List[LoopSite] = []
+        for index in self.indexes.values():
+            sites.extend(index.loops.values())
+        return sites

@@ -1,0 +1,93 @@
+"""JS-CERES instrumentation mode 1: lightweight profiling.
+
+Section 3.1: "the tool only measures two scalar values: the total time from
+the start of the application, and the total runtime spent in all the loops in
+the program.  JS-CERES adds before and after each loop code that increments
+and, respectively, decrements a counter that represents the number of open
+loops in the program.  When encountering a loop and the counter is 0, a
+separate variable remembers a timestamp.  When exiting a loop brings the
+counter to 0, the difference between the current timestamp and the last
+remembered timestamp is added to a global variable that holds the total time
+spent in loops."
+
+The implementation below mirrors that description exactly, against the
+virtual high-resolution clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..jsvm.hooks import Tracer
+
+
+@dataclass
+class LightweightResult:
+    """Scalar results of a lightweight profiling run (times in milliseconds)."""
+
+    total_ms: float
+    loops_ms: float
+    top_level_loop_entries: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_ms / 1000.0
+
+    @property
+    def loops_seconds(self) -> float:
+        return self.loops_ms / 1000.0
+
+    @property
+    def loop_fraction(self) -> float:
+        if self.total_ms <= 0:
+            return 0.0
+        return min(self.loops_ms / self.total_ms, 1.0)
+
+
+class LightweightProfiler(Tracer):
+    """Open-loop counter + timestamps, exactly as described in Section 3.1."""
+
+    def __init__(self) -> None:
+        self.open_loops = 0
+        self.loops_ms = 0.0
+        self.top_level_loop_entries = 0
+        self._outermost_entry_ms: Optional[float] = None
+        self._start_ms: Optional[float] = None
+        self._end_ms: Optional[float] = None
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self, clock) -> None:
+        """Remember the application start time."""
+        self._start_ms = clock.now()
+
+    def stop(self, clock) -> None:
+        """Remember the moment the results are gathered."""
+        self._end_ms = clock.now()
+
+    # -- hook events --------------------------------------------------------
+    def on_loop_enter(self, interp, node) -> None:
+        if self._start_ms is None:
+            self._start_ms = interp.clock.now()
+        if self.open_loops == 0:
+            self._outermost_entry_ms = interp.clock.now()
+            self.top_level_loop_entries += 1
+        self.open_loops += 1
+
+    def on_loop_exit(self, interp, node, trip_count) -> None:
+        if self.open_loops == 0:
+            return
+        self.open_loops -= 1
+        if self.open_loops == 0 and self._outermost_entry_ms is not None:
+            self.loops_ms += interp.clock.now() - self._outermost_entry_ms
+            self._outermost_entry_ms = None
+
+    # -- results --------------------------------------------------------------
+    def result(self, clock) -> LightweightResult:
+        start = self._start_ms if self._start_ms is not None else 0.0
+        end = self._end_ms if self._end_ms is not None else clock.now()
+        return LightweightResult(
+            total_ms=max(end - start, 0.0),
+            loops_ms=self.loops_ms,
+            top_level_loop_entries=self.top_level_loop_entries,
+        )

@@ -1,0 +1,164 @@
+"""The loop-characterization stack and the stamp-diff algebra.
+
+Section 3.3 of the paper: JS-CERES "instruments the original program to
+maintain, at each point during execution, a characterization with respect to
+the open, i.e., currently iterating, loops.  The characterization is
+maintained as a stack", each entry being a triple of
+
+* a loop unique identifier (the syntactic loop),
+* the current value of a global per-loop *instance* counter (how many times
+  the loop has been entered so far), and
+* the current *iteration* number of that loop instance.
+
+Objects and environments are stamped with a copy of the stack at their
+creation moment.  On every access the current stack is diffed against the
+stamp, yielding one ``(loop, instance-flag, iteration-flag)`` triple per open
+loop, rendered as ``ok`` / ``dependence`` — e.g.
+``while(line 24) ok ok -> for(line 6) ok dependence`` for the paper's N-body
+example.
+
+Diff semantics implemented here (documented deviation from the paper is noted
+in EXPERIMENTS.md):
+
+* If the stamp entry at a position matches loop id, instance and iteration,
+  the access target was created in the *current iteration* → ``ok ok``.
+* If loop id and instance match but the iteration differs → the target is
+  shared between iterations of this instance → ``ok dependence``.
+* If all outer positions matched exactly and the stamp simply ends before
+  this position (the target was created in the same enclosing iteration,
+  just before this loop started) → ``ok dependence`` for inner loops.
+* Anything else (created in a different instance, or outside the enclosing
+  iteration) → ``dependence dependence``.  ``dependence ok`` is never
+  produced — as the paper notes, it is not a valid characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class StackEntry:
+    """One open loop: ``(loop id, instance number, iteration number)``."""
+
+    loop_id: int
+    instance: int
+    iteration: int
+
+
+@dataclass(frozen=True)
+class CharTriple:
+    """Characterization of one loop level of an access."""
+
+    loop_id: int
+    instance_private: bool
+    iteration_private: bool
+
+    def render(self, label: str) -> str:
+        instance = "ok" if self.instance_private else "dependence"
+        iteration = "ok" if self.iteration_private else "dependence"
+        return f"{label} {instance} {iteration}"
+
+
+Stamp = Tuple[StackEntry, ...]
+
+
+class LoopStack:
+    """Runtime stack of open loops plus the global per-loop instance counters."""
+
+    def __init__(self) -> None:
+        self.entries: List[StackEntry] = []
+        self.instance_counters: Dict[int, int] = {}
+        self.recursion_warnings: List[int] = []
+
+    # ------------------------------------------------------------------ stack
+    def push_loop(self, loop_id: int) -> StackEntry:
+        """A loop instance begins: bump its global counter and push it."""
+        count = self.instance_counters.get(loop_id, 0) + 1
+        self.instance_counters[loop_id] = count
+        if any(entry.loop_id == loop_id for entry in self.entries):
+            # A recursive call re-entered a loop that is already open.  The
+            # paper raises a warning and discards results for that nest.
+            self.recursion_warnings.append(loop_id)
+        entry = StackEntry(loop_id=loop_id, instance=count, iteration=0)
+        self.entries.append(entry)
+        return entry
+
+    def next_iteration(self, loop_id: int) -> Optional[StackEntry]:
+        """The innermost open instance of ``loop_id`` advances one iteration."""
+        for index in range(len(self.entries) - 1, -1, -1):
+            if self.entries[index].loop_id == loop_id:
+                entry = self.entries[index]
+                updated = StackEntry(entry.loop_id, entry.instance, entry.iteration + 1)
+                self.entries[index] = updated
+                return updated
+        return None
+
+    def pop_loop(self, loop_id: int) -> Optional[StackEntry]:
+        """The innermost open instance of ``loop_id`` finishes."""
+        for index in range(len(self.entries) - 1, -1, -1):
+            if self.entries[index].loop_id == loop_id:
+                return self.entries.pop(index)
+        return None
+
+    def depth(self) -> int:
+        return len(self.entries)
+
+    def innermost(self) -> Optional[StackEntry]:
+        return self.entries[-1] if self.entries else None
+
+    def open_loop_ids(self) -> List[int]:
+        return [entry.loop_id for entry in self.entries]
+
+    def snapshot(self) -> Stamp:
+        """An immutable copy of the current stack (a characterization stamp)."""
+        return tuple(self.entries)
+
+    def contains(self, loop_id: int) -> bool:
+        return any(entry.loop_id == loop_id for entry in self.entries)
+
+
+def diff_stamp(current: Sequence[StackEntry], stamp: Sequence[StackEntry]) -> List[CharTriple]:
+    """Diff the current stack against a creation stamp.
+
+    Returns one :class:`CharTriple` per entry of ``current`` (outermost
+    first).  See the module docstring for the exact semantics.
+    """
+    triples: List[CharTriple] = []
+    prefix_matches = True
+    for position, entry in enumerate(current):
+        stamped: Optional[StackEntry] = stamp[position] if position < len(stamp) else None
+        if stamped is not None and stamped.loop_id == entry.loop_id and stamped.instance == entry.instance:
+            if not prefix_matches:
+                triples.append(CharTriple(entry.loop_id, False, False))
+                continue
+            iteration_private = stamped.iteration == entry.iteration
+            triples.append(CharTriple(entry.loop_id, True, iteration_private))
+            prefix_matches = prefix_matches and iteration_private
+        elif stamped is None and prefix_matches and len(stamp) == position and position > 0:
+            # Created earlier in the same enclosing iteration, before this
+            # loop instance began: shared by its iterations, private per
+            # enclosing iteration.
+            triples.append(CharTriple(entry.loop_id, True, False))
+            prefix_matches = False
+        else:
+            triples.append(CharTriple(entry.loop_id, False, False))
+            prefix_matches = False
+    return triples
+
+
+def is_problematic(triples: Sequence[CharTriple], focus_loop_id: Optional[int] = None) -> bool:
+    """An access is problematic if some loop level shares the target between
+    iterations.  With a focus loop, only that loop level is considered."""
+    for triple in triples:
+        if focus_loop_id is not None and triple.loop_id != focus_loop_id:
+            continue
+        if not triple.iteration_private:
+            return True
+    return False
+
+
+def render_triples(triples: Sequence[CharTriple], labeler) -> str:
+    """Render triples in the paper's arrow-separated format."""
+    return " -> ".join(triple.render(labeler(triple.loop_id)) for triple in triples)

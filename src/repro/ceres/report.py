@@ -1,0 +1,86 @@
+"""Human-readable report rendering for the three JS-CERES modes.
+
+The proxy "analyzes the results and transforms them to a human readable
+format" before committing them (Section 3, step 6).  These renderers produce
+plain-text reports in that spirit; they are also what the benchmark harness
+prints so the regenerated tables can be compared with the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .dependence import DependenceReport
+from .lightweight import LightweightResult
+from .loop_profiler import LoopProfile
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def render_lightweight(name: str, result: LightweightResult, active_seconds: Optional[float] = None) -> str:
+    """Report for mode 1 (Table 2 style row)."""
+    lines = [
+        f"JS-CERES lightweight profile: {name}",
+        _rule(),
+        f"total running time      : {result.total_seconds:8.2f} s",
+    ]
+    if active_seconds is not None:
+        lines.append(f"active time (sampling)  : {active_seconds:8.2f} s")
+    lines += [
+        f"time spent in loops     : {result.loops_seconds:8.2f} s",
+        f"loop fraction of total  : {result.loop_fraction * 100.0:8.1f} %",
+        f"top-level loop entries  : {result.top_level_loop_entries:8d}",
+    ]
+    return "\n".join(lines)
+
+
+def render_loop_profiles(name: str, profiles: Iterable[LoopProfile], limit: int = 20) -> str:
+    """Report for mode 2: one row per syntactic loop, hottest first."""
+    rows = sorted(profiles, key=lambda p: p.total_time_ms, reverse=True)[:limit]
+    header = (
+        f"{'loop':<28} {'instances':>9} {'total ms':>10} {'mean ms':>9} "
+        f"{'trips avg':>10} {'trips sd':>9}"
+    )
+    lines = [f"JS-CERES loop profile: {name}", _rule(), header, _rule()]
+    for profile in rows:
+        lines.append(
+            f"{profile.label:<28} {profile.instances:>9d} {profile.total_time_ms:>10.1f} "
+            f"{profile.time_stats_ms.mean:>9.2f} {profile.trip_stats.mean:>10.1f} "
+            f"{profile.trip_stats.std:>9.1f}"
+        )
+    if not rows:
+        lines.append("(no loops executed)")
+    return "\n".join(lines)
+
+
+def render_dependence(name: str, report: DependenceReport, labeler) -> str:
+    """Report for mode 3: warnings in the paper's triple notation."""
+    lines = [
+        f"JS-CERES dependence analysis: {name}",
+        f"focused loop: {report.focus_loop_label}",
+        f"iterations observed: {report.iterations_observed}",
+        _rule(),
+    ]
+    if not report.warnings:
+        lines.append("no problematic accesses detected")
+    for warning in sorted(report.warnings, key=lambda w: (w.kind.value, w.name)):
+        lines.append(warning.render(labeler))
+    for recursion in report.recursion_warnings:
+        lines.append(recursion.render())
+    return "\n".join(lines)
+
+
+def render_summary_table(rows: List[dict], columns: List[str], title: str = "") -> str:
+    """Generic fixed-width table renderer used by the experiment harness."""
+    widths = {col: max(len(col), *(len(str(row.get(col, ""))) for row in rows)) if rows else len(col) for col in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{col:<{widths[col]}}" for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(f"{str(row.get(col, '')):<{widths[col]}}" for col in columns))
+    return "\n".join(lines)

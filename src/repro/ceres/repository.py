@@ -1,0 +1,106 @@
+"""Versioned results repository.
+
+The original JS-CERES proxy "pairs the results to the original documents, and
+saves them by committing to a local git repository.  Finally, the proxy
+pushes the results to github.com" (Section 3, step 6).  Publishing to an
+external service is out of scope for an offline reproduction, so this module
+provides a small in-memory/on-disk content store with git-like commits plus a
+:class:`RemotePublisher` that records what *would* have been pushed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Commit:
+    """One commit: a message, a timestamp and the full file snapshot."""
+
+    commit_id: str
+    message: str
+    time_ms: float
+    files: Dict[str, str]
+
+    def short_id(self) -> str:
+        return self.commit_id[:10]
+
+
+class ResultsRepository:
+    """A content-addressed, append-only store of analysis reports."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.working_tree: Dict[str, str] = {}
+        self.commits: List[Commit] = []
+
+    # ------------------------------------------------------------------ write
+    def write_file(self, path: str, content: str) -> None:
+        self.working_tree[path] = content
+
+    def commit(self, message: str, time_ms: float = 0.0) -> Commit:
+        snapshot = dict(self.working_tree)
+        digest = hashlib.sha1()
+        digest.update(message.encode("utf-8"))
+        digest.update(str(time_ms).encode("utf-8"))
+        for path in sorted(snapshot):
+            digest.update(path.encode("utf-8"))
+            digest.update(snapshot[path].encode("utf-8"))
+        commit = Commit(commit_id=digest.hexdigest(), message=message, time_ms=time_ms, files=snapshot)
+        self.commits.append(commit)
+        if self.root is not None:
+            self._flush_to_disk(commit)
+        return commit
+
+    def _flush_to_disk(self, commit: Commit) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        for path, content in commit.files.items():
+            target = self.root / path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+        log_path = self.root / "commits.jsonl"
+        with log_path.open("a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"id": commit.commit_id, "message": commit.message, "time_ms": commit.time_ms})
+                + "\n"
+            )
+
+    # ------------------------------------------------------------------- read
+    def head(self) -> Optional[Commit]:
+        return self.commits[-1] if self.commits else None
+
+    def file_at_head(self, path: str) -> Optional[str]:
+        head = self.head()
+        if head is None:
+            return None
+        return head.files.get(path)
+
+    def history(self) -> List[str]:
+        return [f"{c.short_id()} {c.message}" for c in self.commits]
+
+
+@dataclass
+class PushRecord:
+    remote: str
+    commit_id: str
+    message: str
+
+
+class RemotePublisher:
+    """Stand-in for the github.com upload step: records pushes, sends nothing."""
+
+    def __init__(self, remote_name: str = "github.com/js-ceres/results") -> None:
+        self.remote_name = remote_name
+        self.pushes: List[PushRecord] = []
+
+    def push(self, repository: ResultsRepository) -> Optional[PushRecord]:
+        head = repository.head()
+        if head is None:
+            return None
+        record = PushRecord(remote=self.remote_name, commit_id=head.commit_id, message=head.message)
+        self.pushes.append(record)
+        return record

@@ -1,0 +1,226 @@
+"""JSCeres facade: run a workload under one of the three instrumentation modes.
+
+This is the top-level API most users interact with::
+
+    from repro.ceres import JSCeres
+    from repro.workloads import get_workload
+
+    tool = JSCeres()
+    light = tool.run_lightweight(get_workload("fluidSim"))
+    loops = tool.run_loop_profile(get_workload("fluidSim"))
+    deps  = tool.run_dependence(get_workload("fluidSim"), focus_line=loops.hottest[0].line)
+
+A *workload* is any object implementing the small protocol used by
+:mod:`repro.workloads.base`:
+
+* ``name`` — display name,
+* ``scripts`` — list of ``(path, javascript_source)`` pairs,
+* ``prepare(session)`` — host-side page setup (canvas elements, data...),
+* ``exercise(session)`` — drives the app the way a user would (step 4 of the
+  paper's process), advancing the virtual clock through both computation and
+  idle time.
+
+Every run uses a fresh :class:`BrowserSession` so the three modes never
+interfere — mirroring the staged design that the paper uses to keep
+instrumentation overhead from biasing results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..browser.gecko_profiler import GeckoProfiler
+from ..browser.window import BrowserSession
+from ..jsvm.hooks import HookBus
+from .dependence import DependenceAnalyzer, DependenceReport
+from .ids import IndexRegistry, LoopSite
+from .lightweight import LightweightProfiler, LightweightResult
+from .loop_profiler import LoopProfile, LoopProfiler
+from .proxy import InstrumentationMode, InstrumentingProxy, OriginServer
+from .report import render_dependence, render_lightweight, render_loop_profiles
+from .repository import RemotePublisher, ResultsRepository
+
+
+@dataclass
+class LightweightRun:
+    """Results of a mode-1 run (one Table 2 row)."""
+
+    workload: str
+    result: LightweightResult
+    active_seconds: float
+    report_text: str
+    commit_id: str
+
+    @property
+    def total_seconds(self) -> float:
+        return self.result.total_seconds
+
+    @property
+    def loops_seconds(self) -> float:
+        return self.result.loops_seconds
+
+
+@dataclass
+class LoopProfileRun:
+    """Results of a mode-2 run."""
+
+    workload: str
+    profiles: List[LoopProfile]
+    registry: IndexRegistry
+    total_loop_time_ms: float
+    report_text: str
+    commit_id: str
+
+    @property
+    def hottest(self) -> List[LoopProfile]:
+        return sorted(self.profiles, key=lambda p: p.total_time_ms, reverse=True)
+
+    def profile_for_line(self, line: int) -> Optional[LoopProfile]:
+        for profile in self.profiles:
+            if profile.line == line:
+                return profile
+        return None
+
+
+@dataclass
+class DependenceRun:
+    """Results of a mode-3 run."""
+
+    workload: str
+    report: DependenceReport
+    registry: IndexRegistry
+    report_text: str
+    commit_id: str
+
+
+class JSCeres:
+    """The profiling and runtime dependence-analysis tool."""
+
+    def __init__(self, repository: Optional[ResultsRepository] = None) -> None:
+        self.repository = repository if repository is not None else ResultsRepository()
+        self.publisher = RemotePublisher()
+
+    # ------------------------------------------------------------------ runs
+    def run_lightweight(self, workload, with_gecko: bool = True) -> LightweightRun:
+        """Mode 1: total time + time in loops (+ Gecko-style active time)."""
+        hooks = HookBus()
+        profiler = hooks.attach(LightweightProfiler())
+        gecko = hooks.attach(GeckoProfiler()) if with_gecko else None
+
+        proxy, session = self._prepare(workload, hooks, InstrumentationMode.LIGHTWEIGHT)
+        profiler.start(session.clock)
+        self._load_scripts(proxy, session, workload)
+        workload.exercise(session)
+        profiler.stop(session.clock)
+
+        result = profiler.result(session.clock)
+        active_seconds = gecko.active_seconds() if gecko is not None else 0.0
+        text = render_lightweight(workload.name, result, active_seconds if with_gecko else None)
+        commit_id = proxy.collect_results(f"{workload.name}-lightweight", text, session.clock.now())
+        return LightweightRun(
+            workload=workload.name,
+            result=result,
+            active_seconds=active_seconds,
+            report_text=text,
+            commit_id=commit_id,
+        )
+
+    def run_loop_profile(self, workload) -> LoopProfileRun:
+        """Mode 2: per-syntactic-loop instance/time/trip-count statistics."""
+        hooks = HookBus()
+        proxy, session = self._prepare(workload, hooks, InstrumentationMode.LOOP_PROFILE)
+        profiler = hooks.attach(LoopProfiler(registry=proxy.registry))
+        self._load_scripts(proxy, session, workload)
+        workload.exercise(session)
+
+        profiles = list(profiler.profiles.values())
+        text = render_loop_profiles(workload.name, profiles)
+        commit_id = proxy.collect_results(f"{workload.name}-loops", text, session.clock.now())
+        return LoopProfileRun(
+            workload=workload.name,
+            profiles=profiles,
+            registry=proxy.registry,
+            total_loop_time_ms=profiler.total_loop_time_ms(),
+            report_text=text,
+            commit_id=commit_id,
+        )
+
+    def run_dependence(
+        self,
+        workload,
+        focus_line: Optional[int] = None,
+        focus_loop_id: Optional[int] = None,
+    ) -> DependenceRun:
+        """Mode 3: dependence analysis, optionally focused on one loop.
+
+        ``focus_line`` identifies the loop by source line in the workload's
+        (first matching) script, which is how the paper's reports name loops.
+        """
+        hooks = HookBus()
+        proxy, session = self._prepare(workload, hooks, InstrumentationMode.DEPENDENCE)
+        # The registry is only populated once scripts pass through the proxy,
+        # so intercept them first, then resolve the focus loop, then attach
+        # the analyzer and finally execute the scripts.
+        intercepted = [proxy.request(path) for path, _source in workload.scripts]
+
+        resolved_focus = focus_loop_id
+        if resolved_focus is None and focus_line is not None:
+            site = self._find_loop_by_line(proxy.registry, focus_line)
+            resolved_focus = site.node_id if site is not None else None
+
+        analyzer = hooks.attach(DependenceAnalyzer(registry=proxy.registry, focus_loop_id=resolved_focus))
+        for document in intercepted:
+            session.run_script(document.document.content, name=document.document.path)
+        workload.exercise(session)
+
+        report = analyzer.report()
+        text = render_dependence(workload.name, report, proxy.registry.loop_label)
+        commit_id = proxy.collect_results(f"{workload.name}-dependence", text, session.clock.now())
+        return DependenceRun(
+            workload=workload.name,
+            report=report,
+            registry=proxy.registry,
+            report_text=text,
+            commit_id=commit_id,
+        )
+
+    def run_uninstrumented(self, workload) -> float:
+        """Baseline run with no tracers; returns the total virtual seconds.
+
+        Used by the overhead benchmark that backs the paper's "no discernible
+        impact" claims for modes 1 and 2.
+        """
+        hooks = HookBus()
+        proxy, session = self._prepare(workload, hooks, InstrumentationMode.NONE)
+        self._load_scripts(proxy, session, workload)
+        workload.exercise(session)
+        return session.clock.now() / 1000.0
+
+    # ------------------------------------------------------------------ plumbing
+    def _prepare(self, workload, hooks: HookBus, mode: InstrumentationMode):
+        """Steps 1-2 of Figure 5: host the documents and set up page + proxy."""
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(
+            origin, mode=mode, repository=self.repository, publisher=self.publisher
+        )
+        session = BrowserSession(hooks=hooks, title=workload.name)
+        if hasattr(workload, "prepare"):
+            workload.prepare(session)
+        return proxy, session
+
+    @staticmethod
+    def _load_scripts(proxy: InstrumentingProxy, session: BrowserSession, workload) -> None:
+        """Steps 3-4 of Figure 5: serve the instrumented documents to the page."""
+        for path, _source in workload.scripts:
+            instrumented = proxy.request(path)
+            session.run_script(instrumented.document.content, name=path)
+
+    @staticmethod
+    def _find_loop_by_line(registry: IndexRegistry, line: int) -> Optional[LoopSite]:
+        for index in registry.indexes.values():
+            site = index.loop_for_line(line)
+            if site is not None:
+                return site
+        return None

@@ -1,0 +1,87 @@
+"""Warning records produced by the dependence-analysis mode.
+
+The paper's Section 3.3 defines three classes of problematic memory access,
+each of which maps to a classic dependence kind:
+
+* ``VAR_WRITE`` — a write to a variable declared outside the context of the
+  current loop iteration (output / write-after-write dependence).
+* ``PROP_WRITE`` — a write to a field of an object initialized outside the
+  current loop iteration (output dependence, possibly anti-dependence).
+* ``FLOW_READ`` — a read of a field that was written in a *different*
+  iteration of the loop (flow / read-after-write, i.e. a true dependence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from .loopstack import CharTriple
+
+
+class WarningKind(Enum):
+    VAR_WRITE = "write to shared variable"
+    PROP_WRITE = "write to field of shared object"
+    FLOW_READ = "cross-iteration read (flow dependence)"
+
+
+#: Map from warning kind to the classic dependence terminology used in the
+#: paper's discussion (Allen & Kennedy).
+DEPENDENCE_CLASS = {
+    WarningKind.VAR_WRITE: "output (write-after-write)",
+    WarningKind.PROP_WRITE: "output/anti (write-after-write, write-after-read)",
+    WarningKind.FLOW_READ: "flow (read-after-write)",
+}
+
+
+@dataclass
+class DependenceWarning:
+    """One aggregated warning for a (kind, name, characterization) combination."""
+
+    kind: WarningKind
+    name: str
+    triples: Tuple[CharTriple, ...]
+    focus_loop_id: Optional[int]
+    creation_site_label: str = ""
+    first_line: int = 0
+    occurrences: int = 1
+    #: Distinct iterations of the focus loop in which the access occurred
+    #: (bounded sample; used by the difficulty classifier).
+    sample_iterations: List[int] = field(default_factory=list)
+
+    @property
+    def dependence_class(self) -> str:
+        return DEPENDENCE_CLASS[self.kind]
+
+    def key(self) -> Tuple:
+        return (self.kind, self.name, self.triples)
+
+    def render(self, labeler) -> str:
+        from .loopstack import render_triples
+
+        chain = render_triples(self.triples, labeler)
+        location = f" (created at {self.creation_site_label})" if self.creation_site_label else ""
+        return (
+            f"[{self.kind.value}] {self.name}{location}: {chain} "
+            f"| {self.dependence_class} | seen {self.occurrences} time(s)"
+        )
+
+
+@dataclass
+class RecursionWarning:
+    """Raised when recursion re-opens a loop that is already on the stack.
+
+    The paper: "recursive function calls may make the stack grow indefinitely.
+    JS-CERES detects this, raises a warning, and discards the analysis results
+    for the affected loop nest."
+    """
+
+    loop_id: int
+    loop_label: str
+
+    def render(self) -> str:
+        return (
+            f"[recursion] loop {self.loop_label} was re-entered recursively; "
+            "analysis results for this nest are discarded"
+        )

@@ -1,0 +1,87 @@
+"""Welford's online algorithm for running mean and variance.
+
+Section 3.2 of the paper: "the trip count and the loop's running time are
+added to the running totals, and variance is updated using Welford's online
+algorithm [36]".  The same accumulator is used here for both trip counts and
+per-instance running times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class OnlineStats:
+    """Numerically stable running mean/variance accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    total: float = 0.0
+
+    def push(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        delta2 = value - self.mean
+        self.m2 += delta * delta2
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance (matches Welford's running M2/n)."""
+        if self.count == 0:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return self
+        combined = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / combined
+        self.mean = (self.mean * self.count + other.mean * other.count) / combined
+        self.count = combined
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }

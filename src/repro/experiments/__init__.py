@@ -1,0 +1,19 @@
+"""Experiment registry mapping paper tables/figures to runnable code."""
+
+from .registry import (
+    CaseStudyResults,
+    Experiment,
+    build_registry,
+    run_all_experiments,
+    run_case_study,
+    run_experiment,
+)
+
+__all__ = [
+    "CaseStudyResults",
+    "Experiment",
+    "build_registry",
+    "run_all_experiments",
+    "run_case_study",
+    "run_experiment",
+]

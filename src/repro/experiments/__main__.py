@@ -1,0 +1,42 @@
+"""Command-line entry point: ``python -m repro.experiments [experiment-id ...]``.
+
+Without arguments every registered experiment runs (the full reproduction of
+the paper's tables and figures); with arguments only the named experiments
+run.  Use ``--list`` to see the available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import build_registry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Run the paper-reproduction experiments")
+    parser.add_argument("experiments", nargs="*", help="experiment ids to run (default: all)")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    registry = build_registry()
+    if args.list:
+        for experiment_id, experiment in registry.items():
+            print(f"{experiment_id:<22} {experiment.paper_artifact:<22} {experiment.description}")
+        return 0
+
+    selected = args.experiments or list(registry)
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for experiment_id in selected:
+        experiment = registry[experiment_id]
+        print(f"=== {experiment.experiment_id} ({experiment.paper_artifact}) ===")
+        print(experiment.run())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI glue
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Each experiment knows which paper artifact it regenerates, how to run it and
+how to render its result as text.  The heavyweight case-study pipeline (which
+backs Table 2, Table 3, the Amdahl bounds and the parallel validation) is run
+once per process and cached, so the individual experiments and benchmarks can
+share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..analysis import CaseStudyRunner, CaseStudyTables, build_tables
+from ..analysis.casestudy import ApplicationAnalysis
+from ..ceres.report import render_summary_table
+from ..parallel import model_application_speedup
+from ..survey import (
+    all_figures,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    generate_population,
+    render_figure,
+)
+from ..workloads import all_workloads, table1
+
+
+@dataclass
+class CaseStudyResults:
+    """Cached output of the full case-study pipeline."""
+
+    analyses: List[ApplicationAnalysis]
+    tables: CaseStudyTables
+
+
+_CASE_STUDY_CACHE: Dict[str, CaseStudyResults] = {}
+
+
+def run_case_study(
+    workload_names: Optional[List[str]] = None,
+    force: bool = False,
+    runner: Optional[CaseStudyRunner] = None,
+) -> CaseStudyResults:
+    """Run (or reuse) the case-study pipeline over the given workloads."""
+    key = ",".join(workload_names) if workload_names else "<all>"
+    if not force and key in _CASE_STUDY_CACHE:
+        return _CASE_STUDY_CACHE[key]
+    runner = runner or CaseStudyRunner()
+    workloads = all_workloads()
+    if workload_names:
+        workloads = [w for w in workloads if w.name in workload_names]
+    analyses = runner.analyze_all(workloads)
+    results = CaseStudyResults(analyses=analyses, tables=build_tables(analyses))
+    _CASE_STUDY_CACHE[key] = results
+    return results
+
+
+@dataclass
+class Experiment:
+    """One reproducible experiment, mapped to a paper artifact."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable[[], str]
+
+    def run(self) -> str:
+        """Run the experiment and return the rendered result."""
+        return self.runner()
+
+
+def _figure_runner(builder) -> Callable[[], str]:
+    def run() -> str:
+        population = generate_population()
+        return render_figure(builder(population))
+
+    return run
+
+
+def _table1_runner() -> str:
+    return render_summary_table(table1(), ["Name/URL", "Category/Description"], title="Table 1. Case study - web applications")
+
+
+def _table2_runner() -> str:
+    return run_case_study().tables.render_table2()
+
+
+def _table3_runner() -> str:
+    return run_case_study().tables.render_table3()
+
+
+def _amdahl_runner() -> str:
+    results = run_case_study()
+    tables = results.tables
+    summary = [
+        tables.render_speedups(),
+        "",
+        f"applications with Amdahl bound > 3x : {tables.applications_exceeding_3x()} of {len(tables.table2)}",
+        f"applications hard/very hard         : {tables.applications_hard_to_speed_up()} of {len(tables.table2)}",
+        f"nests with intrinsic parallelism    : {tables.nests_with_intrinsic_parallelism()} of {len(tables.table3)}",
+        f"nests accessing the DOM/Canvas      : {tables.nests_accessing_dom()} of {len(tables.table3)}",
+    ]
+    return "\n".join(summary)
+
+
+def _parallel_validation_runner() -> str:
+    results = run_case_study()
+    rows = [model_application_speedup(analysis).as_row() for analysis in results.analyses]
+    return render_summary_table(
+        rows,
+        ["application", "busy (s)", "modelled (s)", "speedup", "Amdahl bound"],
+        title="Modelled parallel execution vs Amdahl bound",
+    )
+
+
+def _nbody_runner() -> str:
+    from ..ceres import JSCeres
+    from ..workloads.nbody import STEP_FOR_LINE, make_nbody_workload
+
+    tool = JSCeres()
+    run = tool.run_dependence(make_nbody_workload(), focus_line=STEP_FOR_LINE)
+    return run.report_text
+
+
+def _overhead_runner() -> str:
+    from ..ceres import JSCeres
+    from ..workloads import get_workload
+
+    tool = JSCeres()
+    rows = []
+    for name in ("fluidSim", "Normal Mapping"):
+        workload_factory = lambda: get_workload(name)  # noqa: E731 - tiny local helper
+        baseline = tool.run_uninstrumented(workload_factory())
+        lightweight = tool.run_lightweight(workload_factory(), with_gecko=False)
+        loops = tool.run_loop_profile(workload_factory())
+        rows.append(
+            {
+                "workload": name,
+                "uninstrumented (s)": round(baseline, 2),
+                "mode 1 (s)": round(lightweight.total_seconds, 2),
+                "mode 2 loop time (s)": round(loops.total_loop_time_ms / 1000.0, 2),
+            }
+        )
+    return render_summary_table(
+        rows,
+        ["workload", "uninstrumented (s)", "mode 1 (s)", "mode 2 loop time (s)"],
+        title="Instrumentation overhead on the virtual clock (Sections 3.1-3.2)",
+    )
+
+
+def build_registry() -> Dict[str, Experiment]:
+    """All experiments, keyed by experiment id (see DESIGN.md)."""
+    return {
+        "fig1-categories": Experiment(
+            "fig1-categories", "Figure 1", "Future web application categories (thematic coding)",
+            _figure_runner(figure1_data)),
+        "fig2-bottlenecks": Experiment(
+            "fig2-bottlenecks", "Figure 2", "Perceived performance bottlenecks",
+            _figure_runner(figure2_data)),
+        "fig3-style": Experiment(
+            "fig3-style", "Figure 3", "Functional vs imperative style preference",
+            _figure_runner(figure3_data)),
+        "fig4-polymorphism": Experiment(
+            "fig4-polymorphism", "Figure 4", "Monomorphic vs polymorphic variable usage",
+            _figure_runner(figure4_data)),
+        "fig6-nbody": Experiment(
+            "fig6-nbody", "Figure 6 / Section 3.3", "N-body dependence-analysis walkthrough",
+            _nbody_runner),
+        "table1-workloads": Experiment(
+            "table1-workloads", "Table 1", "The twelve case-study applications",
+            _table1_runner),
+        "table2-runtime": Experiment(
+            "table2-runtime", "Table 2", "Total / active / in-loop running time",
+            _table2_runner),
+        "table3-loopnests": Experiment(
+            "table3-loopnests", "Table 3", "Detailed inspection of hot loop nests",
+            _table3_runner),
+        "amdahl-bounds": Experiment(
+            "amdahl-bounds", "Section 4.2 / 5", "Amdahl speedup upper bounds and headline counts",
+            _amdahl_runner),
+        "parallel-validation": Experiment(
+            "parallel-validation", "Section 1 / 4", "Modelled parallel execution of easy nests",
+            _parallel_validation_runner),
+        "ceres-overhead": Experiment(
+            "ceres-overhead", "Sections 3.1-3.2", "Instrumentation overhead of modes 1 and 2",
+            _overhead_runner),
+    }
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Run one experiment by id and return its rendered output."""
+    registry = build_registry()
+    if experiment_id not in registry:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(registry)}")
+    return registry[experiment_id].run()
+
+
+def run_all_experiments() -> Dict[str, str]:
+    """Run every registered experiment (the full reproduction)."""
+    return {experiment_id: experiment.run() for experiment_id, experiment in build_registry().items()}

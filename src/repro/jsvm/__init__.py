@@ -1,0 +1,64 @@
+"""Mini-JavaScript engine substrate.
+
+This package provides the lexer, parser, value model and tree-walking
+interpreter that stand in for the browser's JavaScript engine in the
+JS-CERES reproduction.  See :mod:`repro.jsvm.interpreter` for the entry
+point.
+"""
+
+from .ast_nodes import LOOP_NODE_TYPES, Program, walk
+from .clock import VirtualClock
+from .errors import (
+    InterpreterLimitError,
+    JSError,
+    JSReferenceError,
+    JSRuntimeError,
+    JSSyntaxError,
+    JSThrownValue,
+    JSTypeError,
+)
+from .hooks import HookBus, Tracer
+from .interpreter import Interpreter
+from .lexer import tokenize
+from .parser import parse
+from .values import (
+    NULL,
+    UNDEFINED,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    to_boolean,
+    to_number,
+    to_string,
+    type_of,
+)
+
+__all__ = [
+    "LOOP_NODE_TYPES",
+    "Program",
+    "walk",
+    "VirtualClock",
+    "InterpreterLimitError",
+    "JSError",
+    "JSReferenceError",
+    "JSRuntimeError",
+    "JSSyntaxError",
+    "JSThrownValue",
+    "JSTypeError",
+    "HookBus",
+    "Tracer",
+    "Interpreter",
+    "tokenize",
+    "parse",
+    "NULL",
+    "UNDEFINED",
+    "JSArray",
+    "JSFunction",
+    "JSObject",
+    "NativeFunction",
+    "to_boolean",
+    "to_number",
+    "to_string",
+    "type_of",
+]

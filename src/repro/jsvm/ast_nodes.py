@@ -1,0 +1,335 @@
+"""AST node definitions for the mini-JavaScript language.
+
+Every node carries:
+
+* ``line``/``column`` — source position (used in JS-CERES reports, which
+  identify loops by ``for(line 6)`` style labels, mirroring the paper), and
+* ``node_id`` — a per-program unique integer assigned by the parser, used by
+  the instrumentation layer to identify syntactic loops and object creation
+  sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = 0
+    column: int = 0
+    node_id: int = -1
+
+    @property
+    def kind(self) -> str:
+        """Short class-name identifier (useful for dispatch and reports)."""
+        return type(self).__name__
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class NumberLiteral(Node):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str = ""
+
+
+@dataclass
+class BooleanLiteral(Node):
+    value: bool = False
+
+
+@dataclass
+class NullLiteral(Node):
+    pass
+
+
+@dataclass
+class UndefinedLiteral(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    name: str = ""
+
+
+@dataclass
+class ThisExpression(Node):
+    pass
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Property(Node):
+    key: str = ""
+    value: Optional[Node] = None
+
+
+@dataclass
+class ObjectLiteral(Node):
+    properties: List[Property] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpression(Node):
+    name: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    body: Optional["BlockStatement"] = None
+    is_arrow: bool = False
+
+
+@dataclass
+class UnaryExpression(Node):
+    operator: str = ""
+    operand: Optional[Node] = None
+
+
+@dataclass
+class UpdateExpression(Node):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``."""
+
+    operator: str = "++"
+    target: Optional[Node] = None
+    prefix: bool = True
+
+
+@dataclass
+class BinaryExpression(Node):
+    operator: str = ""
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class LogicalExpression(Node):
+    operator: str = "&&"
+    left: Optional[Node] = None
+    right: Optional[Node] = None
+
+
+@dataclass
+class AssignmentExpression(Node):
+    operator: str = "="
+    target: Optional[Node] = None
+    value: Optional[Node] = None
+
+
+@dataclass
+class ConditionalExpression(Node):
+    test: Optional[Node] = None
+    consequent: Optional[Node] = None
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class CallExpression(Node):
+    callee: Optional[Node] = None
+    arguments: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewExpression(Node):
+    callee: Optional[Node] = None
+    arguments: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class MemberExpression(Node):
+    object: Optional[Node] = None
+    property: Optional[Node] = None
+    computed: bool = False  # True for obj[expr], False for obj.name
+
+
+@dataclass
+class SequenceExpression(Node):
+    expressions: List[Node] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class VariableDeclarator(Node):
+    name: str = ""
+    init: Optional[Node] = None
+
+
+@dataclass
+class VariableDeclaration(Node):
+    kind_keyword: str = "var"  # "var" | "let" | "const"
+    declarations: List[VariableDeclarator] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDeclaration(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: Optional["BlockStatement"] = None
+
+
+@dataclass
+class BlockStatement(Node):
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class ExpressionStatement(Node):
+    expression: Optional[Node] = None
+
+
+@dataclass
+class IfStatement(Node):
+    test: Optional[Node] = None
+    consequent: Optional[Node] = None
+    alternate: Optional[Node] = None
+
+
+@dataclass
+class ForStatement(Node):
+    init: Optional[Node] = None
+    test: Optional[Node] = None
+    update: Optional[Node] = None
+    body: Optional[Node] = None
+
+
+@dataclass
+class ForInStatement(Node):
+    """Covers both ``for (x in obj)`` and ``for (x of arr)``."""
+
+    declaration_kind: Optional[str] = None  # None when the target is a bare identifier
+    target_name: str = ""
+    iterable: Optional[Node] = None
+    body: Optional[Node] = None
+    of_loop: bool = False
+
+
+@dataclass
+class WhileStatement(Node):
+    test: Optional[Node] = None
+    body: Optional[Node] = None
+
+
+@dataclass
+class DoWhileStatement(Node):
+    body: Optional[Node] = None
+    test: Optional[Node] = None
+
+
+@dataclass
+class ReturnStatement(Node):
+    argument: Optional[Node] = None
+
+
+@dataclass
+class BreakStatement(Node):
+    pass
+
+
+@dataclass
+class ContinueStatement(Node):
+    pass
+
+
+@dataclass
+class ThrowStatement(Node):
+    argument: Optional[Node] = None
+
+
+@dataclass
+class CatchClause(Node):
+    param: Optional[str] = None
+    body: Optional[BlockStatement] = None
+
+
+@dataclass
+class TryStatement(Node):
+    block: Optional[BlockStatement] = None
+    handler: Optional[CatchClause] = None
+    finalizer: Optional[BlockStatement] = None
+
+
+@dataclass
+class SwitchCase(Node):
+    test: Optional[Node] = None  # None for "default"
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class SwitchStatement(Node):
+    discriminant: Optional[Node] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class EmptyStatement(Node):
+    pass
+
+
+@dataclass
+class Program(Node):
+    body: List[Node] = field(default_factory=list)
+    source: str = ""
+    name: str = "<program>"
+
+
+#: AST node classes that represent syntactic loops (the unit of analysis in
+#: JS-CERES loop profiling and dependence analysis).
+LOOP_NODE_TYPES: Tuple[type, ...] = (
+    ForStatement,
+    ForInStatement,
+    WhileStatement,
+    DoWhileStatement,
+)
+
+#: AST node classes that create new guest objects at runtime. Section 3.3 of
+#: the paper instruments "each object creation site in the program (by any
+#: means, new, function, Object.create)".
+CREATION_SITE_TYPES: Tuple[type, ...] = (
+    ObjectLiteral,
+    ArrayLiteral,
+    NewExpression,
+    FunctionExpression,
+    FunctionDeclaration,
+)
+
+
+def iter_child_nodes(node: Node):
+    """Yield the direct child :class:`Node` instances of ``node``.
+
+    This walks dataclass fields generically so analysis passes do not need a
+    per-node-type visitor just to traverse the tree.
+    """
+    for field_name in node.__dataclass_fields__:
+        if field_name in ("line", "column", "node_id"):
+            continue
+        value = getattr(node, field_name)
+        if isinstance(value, Node):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield item
+
+
+def walk(node: Node):
+    """Yield ``node`` and all of its descendants in depth-first pre-order."""
+    yield node
+    for child in iter_child_nodes(node):
+        yield from walk(child)

@@ -1,0 +1,672 @@
+"""Built-in global objects for the mini-JavaScript realm.
+
+Installs ``Math``, ``Object``, ``Array``, ``JSON``, ``console``, ``Date``,
+``Number``/``parseInt``/``parseFloat``/``isNaN`` and the Array/Function
+prototype methods used by the case-study workloads.  The high-level Array
+operators (``map``, ``forEach``, ``reduce``, ``filter``, ``every``, ``some``)
+matter for the paper's survey discussion of functional-style iteration, so
+they are implemented completely and invoke guest callbacks through the
+interpreter (which means instrumentation sees the callback's accesses).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List
+
+from .errors import JSRangeError, JSTypeError
+from .values import (
+    NULL,
+    UNDEFINED,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    is_callable,
+    to_boolean,
+    to_number,
+    to_string,
+)
+
+
+def _native(name: str):
+    """Decorator-style helper returning a NativeFunction around ``func``."""
+
+    def wrap(func):
+        return NativeFunction(name, func)
+
+    return wrap
+
+
+def _arg(args: List[Any], index: int, default: Any = UNDEFINED) -> Any:
+    return args[index] if index < len(args) else default
+
+
+# --------------------------------------------------------------------------
+# Math
+# --------------------------------------------------------------------------
+
+
+def _install_math(interp) -> None:
+    math_obj = JSObject(prototype=interp.object_prototype, class_name="Math")
+
+    def unary(fn):
+        def impl(interpreter, this, args):
+            return float(fn(to_number(_arg(args, 0, 0.0))))
+
+        return impl
+
+    def guarded(fn):
+        def impl(value: float) -> float:
+            try:
+                return fn(value)
+            except (ValueError, OverflowError):
+                return float("nan")
+
+        return impl
+
+    math_obj.set("PI", math.pi)
+    math_obj.set("E", math.e)
+    math_obj.set("LN2", math.log(2.0))
+    math_obj.set("SQRT2", math.sqrt(2.0))
+    math_obj.set("abs", NativeFunction("abs", unary(abs)))
+    math_obj.set("floor", NativeFunction("floor", unary(math.floor)))
+    math_obj.set("ceil", NativeFunction("ceil", unary(math.ceil)))
+    math_obj.set("round", NativeFunction("round", unary(lambda x: math.floor(x + 0.5))))
+    math_obj.set("sqrt", NativeFunction("sqrt", unary(guarded(math.sqrt))))
+    math_obj.set("sin", NativeFunction("sin", unary(math.sin)))
+    math_obj.set("cos", NativeFunction("cos", unary(math.cos)))
+    math_obj.set("tan", NativeFunction("tan", unary(math.tan)))
+    math_obj.set("asin", NativeFunction("asin", unary(guarded(math.asin))))
+    math_obj.set("acos", NativeFunction("acos", unary(guarded(math.acos))))
+    math_obj.set("atan", NativeFunction("atan", unary(math.atan)))
+    math_obj.set("exp", NativeFunction("exp", unary(guarded(math.exp))))
+    math_obj.set("log", NativeFunction("log", unary(guarded(math.log))))
+
+    def math_atan2(interpreter, this, args):
+        return math.atan2(to_number(_arg(args, 0, 0.0)), to_number(_arg(args, 1, 0.0)))
+
+    def math_pow(interpreter, this, args):
+        base = to_number(_arg(args, 0, 0.0))
+        exponent = to_number(_arg(args, 1, 0.0))
+        try:
+            result = math.pow(base, exponent)
+        except (ValueError, OverflowError):
+            return float("nan")
+        return float(result)
+
+    def math_min(interpreter, this, args):
+        if not args:
+            return math.inf
+        numbers = [to_number(a) for a in args]
+        if any(math.isnan(n) for n in numbers):
+            return float("nan")
+        return min(numbers)
+
+    def math_max(interpreter, this, args):
+        if not args:
+            return -math.inf
+        numbers = [to_number(a) for a in args]
+        if any(math.isnan(n) for n in numbers):
+            return float("nan")
+        return max(numbers)
+
+    def math_random(interpreter, this, args):
+        return interpreter.rng.random()
+
+    math_obj.set("atan2", NativeFunction("atan2", math_atan2))
+    math_obj.set("pow", NativeFunction("pow", math_pow))
+    math_obj.set("min", NativeFunction("min", math_min))
+    math_obj.set("max", NativeFunction("max", math_max))
+    math_obj.set("random", NativeFunction("random", math_random))
+    interp.global_env.declare_var("Math", math_obj)
+
+
+# --------------------------------------------------------------------------
+# Array prototype
+# --------------------------------------------------------------------------
+
+
+def _require_array(this: Any, method: str) -> JSArray:
+    if not isinstance(this, JSArray):
+        raise JSTypeError(f"Array.prototype.{method} called on a non-array")
+    return this
+
+
+def _install_array(interp) -> None:
+    proto = interp.array_prototype
+
+    def array_push(interpreter, this, args):
+        arr = _require_array(this, "push")
+        arr.elements.extend(args)
+        return float(len(arr.elements))
+
+    def array_pop(interpreter, this, args):
+        arr = _require_array(this, "pop")
+        return arr.elements.pop() if arr.elements else UNDEFINED
+
+    def array_shift(interpreter, this, args):
+        arr = _require_array(this, "shift")
+        return arr.elements.pop(0) if arr.elements else UNDEFINED
+
+    def array_unshift(interpreter, this, args):
+        arr = _require_array(this, "unshift")
+        arr.elements[0:0] = list(args)
+        return float(len(arr.elements))
+
+    def array_slice(interpreter, this, args):
+        arr = _require_array(this, "slice")
+        length = len(arr.elements)
+        start = int(to_number(_arg(args, 0, 0.0))) if args else 0
+        end_arg = _arg(args, 1, UNDEFINED)
+        end = length if end_arg is UNDEFINED else int(to_number(end_arg))
+        if start < 0:
+            start = max(length + start, 0)
+        if end < 0:
+            end = max(length + end, 0)
+        return interpreter.make_array(arr.elements[start:end])
+
+    def array_concat(interpreter, this, args):
+        arr = _require_array(this, "concat")
+        elements = list(arr.elements)
+        for value in args:
+            if isinstance(value, JSArray):
+                elements.extend(value.elements)
+            else:
+                elements.append(value)
+        return interpreter.make_array(elements)
+
+    def array_join(interpreter, this, args):
+        arr = _require_array(this, "join")
+        separator = to_string(_arg(args, 0, ","))
+        if _arg(args, 0, UNDEFINED) is UNDEFINED:
+            separator = ","
+        return separator.join(
+            "" if el is UNDEFINED or el is NULL else to_string(el) for el in arr.elements
+        )
+
+    def array_index_of(interpreter, this, args):
+        arr = _require_array(this, "indexOf")
+        target = _arg(args, 0)
+        from .values import strict_equals
+
+        for index, value in enumerate(arr.elements):
+            if strict_equals(value, target):
+                return float(index)
+        return -1.0
+
+    def array_reverse(interpreter, this, args):
+        arr = _require_array(this, "reverse")
+        arr.elements.reverse()
+        return arr
+
+    def array_fill(interpreter, this, args):
+        arr = _require_array(this, "fill")
+        value = _arg(args, 0)
+        for index in range(len(arr.elements)):
+            arr.elements[index] = value
+        return arr
+
+    def _iterate(interpreter, arr: JSArray, callback, collect=None, predicate=None):
+        for index, value in enumerate(arr.elements):
+            result = interpreter.call_function(callback, UNDEFINED, [value, float(index), arr])
+            if collect is not None:
+                collect(index, value, result)
+
+    def array_for_each(interpreter, this, args):
+        arr = _require_array(this, "forEach")
+        callback = _arg(args, 0)
+        if not is_callable(callback):
+            raise JSTypeError("forEach callback is not a function")
+        _iterate(interpreter, arr, callback)
+        return UNDEFINED
+
+    def array_map(interpreter, this, args):
+        arr = _require_array(this, "map")
+        callback = _arg(args, 0)
+        if not is_callable(callback):
+            raise JSTypeError("map callback is not a function")
+        out: List[Any] = [UNDEFINED] * len(arr.elements)
+
+        def collect(index, value, result):
+            out[index] = result
+
+        _iterate(interpreter, arr, callback, collect=collect)
+        return interpreter.make_array(out)
+
+    def array_filter(interpreter, this, args):
+        arr = _require_array(this, "filter")
+        callback = _arg(args, 0)
+        if not is_callable(callback):
+            raise JSTypeError("filter callback is not a function")
+        out: List[Any] = []
+
+        def collect(index, value, result):
+            if to_boolean(result):
+                out.append(value)
+
+        _iterate(interpreter, arr, callback, collect=collect)
+        return interpreter.make_array(out)
+
+    def array_reduce(interpreter, this, args):
+        arr = _require_array(this, "reduce")
+        callback = _arg(args, 0)
+        if not is_callable(callback):
+            raise JSTypeError("reduce callback is not a function")
+        elements = arr.elements
+        if len(args) >= 2:
+            accumulator = args[1]
+            start = 0
+        else:
+            if not elements:
+                raise JSTypeError("reduce of empty array with no initial value")
+            accumulator = elements[0]
+            start = 1
+        for index in range(start, len(elements)):
+            accumulator = interpreter.call_function(
+                callback, UNDEFINED, [accumulator, elements[index], float(index), arr]
+            )
+        return accumulator
+
+    def array_every(interpreter, this, args):
+        arr = _require_array(this, "every")
+        callback = _arg(args, 0)
+        if not is_callable(callback):
+            raise JSTypeError("every callback is not a function")
+        for index, value in enumerate(arr.elements):
+            if not to_boolean(interpreter.call_function(callback, UNDEFINED, [value, float(index), arr])):
+                return False
+        return True
+
+    def array_some(interpreter, this, args):
+        arr = _require_array(this, "some")
+        callback = _arg(args, 0)
+        if not is_callable(callback):
+            raise JSTypeError("some callback is not a function")
+        for index, value in enumerate(arr.elements):
+            if to_boolean(interpreter.call_function(callback, UNDEFINED, [value, float(index), arr])):
+                return True
+        return False
+
+    def array_sort(interpreter, this, args):
+        arr = _require_array(this, "sort")
+        comparator = _arg(args, 0)
+        if is_callable(comparator):
+            import functools
+
+            def cmp(a, b):
+                result = to_number(interpreter.call_function(comparator, UNDEFINED, [a, b]))
+                if math.isnan(result):
+                    return 0
+                return -1 if result < 0 else (1 if result > 0 else 0)
+
+            arr.elements.sort(key=functools.cmp_to_key(cmp))
+        else:
+            arr.elements.sort(key=to_string)
+        return arr
+
+    def array_splice(interpreter, this, args):
+        arr = _require_array(this, "splice")
+        length = len(arr.elements)
+        start = int(to_number(_arg(args, 0, 0.0)))
+        if start < 0:
+            start = max(length + start, 0)
+        start = min(start, length)
+        delete_count = (
+            length - start if len(args) < 2 else max(0, int(to_number(_arg(args, 1, 0.0))))
+        )
+        removed = arr.elements[start : start + delete_count]
+        arr.elements[start : start + delete_count] = list(args[2:])
+        return interpreter.make_array(removed)
+
+    for name, func in [
+        ("push", array_push),
+        ("pop", array_pop),
+        ("shift", array_shift),
+        ("unshift", array_unshift),
+        ("slice", array_slice),
+        ("splice", array_splice),
+        ("concat", array_concat),
+        ("join", array_join),
+        ("indexOf", array_index_of),
+        ("reverse", array_reverse),
+        ("fill", array_fill),
+        ("forEach", array_for_each),
+        ("map", array_map),
+        ("filter", array_filter),
+        ("reduce", array_reduce),
+        ("every", array_every),
+        ("some", array_some),
+        ("sort", array_sort),
+    ]:
+        proto.set(name, NativeFunction(name, func))
+
+    def array_constructor(interpreter, this, args):
+        if len(args) == 1 and isinstance(args[0], (int, float)) and not isinstance(args[0], bool):
+            length = int(to_number(args[0]))
+            if length < 0:
+                raise JSRangeError("invalid array length")
+            return interpreter.make_array([UNDEFINED] * length)
+        return interpreter.make_array(list(args))
+
+    array_ctor = NativeFunction("Array", array_constructor)
+
+    def array_is_array(interpreter, this, args):
+        return isinstance(_arg(args, 0), JSArray)
+
+    array_ctor.set("isArray", NativeFunction("isArray", array_is_array))
+    array_ctor.set("prototype", proto)
+    interp.global_env.declare_var("Array", array_ctor)
+
+
+# --------------------------------------------------------------------------
+# Object / Function / JSON / console / numeric globals
+# --------------------------------------------------------------------------
+
+
+def _install_object(interp) -> None:
+    def object_keys(interpreter, this, args):
+        target = _arg(args, 0)
+        if not isinstance(target, JSObject):
+            return interpreter.make_array([])
+        return interpreter.make_array(list(target.own_keys()))
+
+    def object_create(interpreter, this, args):
+        proto = _arg(args, 0)
+        prototype = proto if isinstance(proto, JSObject) else None
+        obj = JSObject(prototype=prototype)
+        interpreter.stats.objects_created += 1
+        if interpreter.hooks.wants_objects:
+            interpreter.hooks.object_created(interpreter, obj, None)
+        return obj
+
+    def object_constructor(interpreter, this, args):
+        return interpreter.make_object()
+
+    object_ctor = NativeFunction("Object", object_constructor)
+    object_ctor.set("keys", NativeFunction("keys", object_keys))
+    object_ctor.set("create", NativeFunction("create", object_create))
+    object_ctor.set("prototype", interp.object_prototype)
+
+    def object_has_own(interpreter, this, args):
+        if isinstance(this, JSObject):
+            return this.has_own(to_string(_arg(args, 0, "")))
+        return False
+
+    interp.object_prototype.set("hasOwnProperty", NativeFunction("hasOwnProperty", object_has_own))
+
+    def object_to_string(interpreter, this, args):
+        return to_string(this)
+
+    interp.object_prototype.set("toString", NativeFunction("toString", object_to_string))
+    interp.global_env.declare_var("Object", object_ctor)
+
+
+def _install_function_prototype(interp) -> None:
+    def function_call(interpreter, this, args):
+        if not is_callable(this):
+            raise JSTypeError("Function.prototype.call on non-function")
+        bound_this = _arg(args, 0, UNDEFINED)
+        return interpreter.call_function(this, bound_this, list(args[1:]))
+
+    def function_apply(interpreter, this, args):
+        if not is_callable(this):
+            raise JSTypeError("Function.prototype.apply on non-function")
+        bound_this = _arg(args, 0, UNDEFINED)
+        arg_list = _arg(args, 1, UNDEFINED)
+        call_args = list(arg_list.elements) if isinstance(arg_list, JSArray) else []
+        return interpreter.call_function(this, bound_this, call_args)
+
+    def function_bind(interpreter, this, args):
+        if not is_callable(this):
+            raise JSTypeError("Function.prototype.bind on non-function")
+        bound_this = _arg(args, 0, UNDEFINED)
+        bound_args = list(args[1:])
+        target = this
+
+        def bound(inner_interp, call_this, call_args):
+            return inner_interp.call_function(target, bound_this, bound_args + list(call_args))
+
+        name = getattr(target, "name", "bound")
+        return NativeFunction(f"bound {name}", bound, prototype=interp.function_prototype)
+
+    interp.function_prototype.set("call", NativeFunction("call", function_call))
+    interp.function_prototype.set("apply", NativeFunction("apply", function_apply))
+    interp.function_prototype.set("bind", NativeFunction("bind", function_bind))
+
+
+def _json_stringify_value(value: Any, depth: int = 0) -> str:
+    if depth > 16:
+        return "null"
+    if value is UNDEFINED:
+        return "null"
+    if value is NULL:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        number = float(value)
+        if math.isnan(number) or math.isinf(number):
+            return "null"
+        return to_string(number)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    if isinstance(value, JSArray):
+        return "[" + ",".join(_json_stringify_value(el, depth + 1) for el in value.elements) + "]"
+    if isinstance(value, JSObject):
+        parts = []
+        for key in value.own_keys():
+            item = value.get(key)
+            if is_callable(item):
+                continue
+            parts.append(f'"{key}":{_json_stringify_value(item, depth + 1)}')
+        return "{" + ",".join(parts) + "}"
+    return "null"
+
+
+def _install_json_console(interp) -> None:
+    json_obj = JSObject(prototype=interp.object_prototype, class_name="JSON")
+
+    def json_stringify(interpreter, this, args):
+        return _json_stringify_value(_arg(args, 0))
+
+    json_obj.set("stringify", NativeFunction("stringify", json_stringify))
+    interp.global_env.declare_var("JSON", json_obj)
+
+    console = JSObject(prototype=interp.object_prototype, class_name="Console")
+
+    def console_log(interpreter, this, args):
+        interpreter.console_output.append(" ".join(to_string(a) for a in args))
+        return UNDEFINED
+
+    console.set("log", NativeFunction("log", console_log))
+    console.set("warn", NativeFunction("warn", console_log))
+    console.set("error", NativeFunction("error", console_log))
+    interp.global_env.declare_var("console", console)
+
+
+def _install_numeric_globals(interp) -> None:
+    def parse_int(interpreter, this, args):
+        text = to_string(_arg(args, 0, "")).strip()
+        radix_arg = _arg(args, 1, UNDEFINED)
+        radix = int(to_number(radix_arg)) if radix_arg is not UNDEFINED else 10
+        if radix == 0:
+            radix = 10
+        sign = 1
+        if text.startswith("-"):
+            sign, text = -1, text[1:]
+        elif text.startswith("+"):
+            text = text[1:]
+        if radix == 16 and text.lower().startswith("0x"):
+            text = text[2:]
+        digits = "0123456789abcdefghijklmnopqrstuvwxyz"[:radix]
+        accumulated = ""
+        for ch in text.lower():
+            if ch in digits:
+                accumulated += ch
+            else:
+                break
+        if not accumulated:
+            return float("nan")
+        return float(sign * int(accumulated, radix))
+
+    def parse_float(interpreter, this, args):
+        text = to_string(_arg(args, 0, "")).strip()
+        matched = ""
+        seen_dot = seen_exp = False
+        for index, ch in enumerate(text):
+            if ch.isdigit():
+                matched += ch
+            elif ch == "." and not seen_dot and not seen_exp:
+                matched += ch
+                seen_dot = True
+            elif ch in "eE" and not seen_exp and matched:
+                matched += ch
+                seen_exp = True
+            elif ch in "+-" and (index == 0 or matched[-1:].lower() == "e"):
+                matched += ch
+            else:
+                break
+        try:
+            return float(matched)
+        except ValueError:
+            return float("nan")
+
+    def is_nan(interpreter, this, args):
+        return math.isnan(to_number(_arg(args, 0)))
+
+    def is_finite(interpreter, this, args):
+        number = to_number(_arg(args, 0))
+        return not (math.isnan(number) or math.isinf(number))
+
+    interp.global_env.declare_var("parseInt", NativeFunction("parseInt", parse_int))
+    interp.global_env.declare_var("parseFloat", NativeFunction("parseFloat", parse_float))
+    interp.global_env.declare_var("isNaN", NativeFunction("isNaN", is_nan))
+    interp.global_env.declare_var("isFinite", NativeFunction("isFinite", is_finite))
+    interp.global_env.declare_var("NaN", float("nan"))
+    interp.global_env.declare_var("Infinity", math.inf)
+    interp.global_env.declare_var("undefined", UNDEFINED)
+
+    number_obj = NativeFunction("Number", lambda i, t, a: to_number(_arg(a, 0, 0.0)))
+    number_obj.set("MAX_VALUE", 1.7976931348623157e308)
+    number_obj.set("MIN_VALUE", 5e-324)
+    number_obj.set("POSITIVE_INFINITY", math.inf)
+    number_obj.set("NEGATIVE_INFINITY", -math.inf)
+    number_obj.set("isInteger", NativeFunction(
+        "isInteger",
+        lambda i, t, a: isinstance(_arg(a, 0), (int, float))
+        and not isinstance(_arg(a, 0), bool)
+        and float(_arg(a, 0)) == int(float(_arg(a, 0))),
+    ))
+    interp.global_env.declare_var("Number", number_obj)
+
+    string_ctor = NativeFunction("String", lambda i, t, a: to_string(_arg(a, 0, "")))
+
+    def from_char_code(interpreter, this, args):
+        return "".join(chr(int(to_number(a))) for a in args)
+
+    string_ctor.set("fromCharCode", NativeFunction("fromCharCode", from_char_code))
+    interp.global_env.declare_var("String", string_ctor)
+
+    boolean_ctor = NativeFunction("Boolean", lambda i, t, a: to_boolean(_arg(a, 0, False)))
+    interp.global_env.declare_var("Boolean", boolean_ctor)
+
+    date_ctor = NativeFunction("Date", lambda i, t, a: i.make_object())
+
+    def date_now(interpreter, this, args):
+        return interpreter.clock.now()
+
+    date_ctor.set("now", NativeFunction("now", date_now))
+    interp.global_env.declare_var("Date", date_ctor)
+
+
+def install_builtins(interp) -> None:
+    """Populate the realm's global environment with the standard library."""
+    _install_math(interp)
+    _install_array(interp)
+    _install_object(interp)
+    _install_function_prototype(interp)
+    _install_json_console(interp)
+    _install_numeric_globals(interp)
+
+
+# --------------------------------------------------------------------------
+# Primitive "wrapper" property access (strings and numbers)
+# --------------------------------------------------------------------------
+
+
+def get_string_property(interp, value: str, key: str) -> Any:
+    """Property access on a primitive string (length, methods, indexing)."""
+    if key == "length":
+        return float(len(value))
+    if key.isdigit():
+        index = int(key)
+        return value[index] if 0 <= index < len(value) else UNDEFINED
+
+    def method(name, impl):
+        return NativeFunction(name, impl)
+
+    if key == "charCodeAt":
+        return method(key, lambda i, t, a: float(ord(value[int(to_number(_arg(a, 0, 0.0)))]))
+                      if 0 <= int(to_number(_arg(a, 0, 0.0))) < len(value) else float("nan"))
+    if key == "charAt":
+        return method(key, lambda i, t, a: value[int(to_number(_arg(a, 0, 0.0)))]
+                      if 0 <= int(to_number(_arg(a, 0, 0.0))) < len(value) else "")
+    if key == "indexOf":
+        return method(key, lambda i, t, a: float(value.find(to_string(_arg(a, 0, "")))))
+    if key == "lastIndexOf":
+        return method(key, lambda i, t, a: float(value.rfind(to_string(_arg(a, 0, "")))))
+    if key == "substring":
+        def substring(i, t, a):
+            start = max(0, int(to_number(_arg(a, 0, 0.0))))
+            end_arg = _arg(a, 1, UNDEFINED)
+            end = len(value) if end_arg is UNDEFINED else max(0, int(to_number(end_arg)))
+            start, end = min(start, end), max(start, end)
+            return value[start:end]
+
+        return method(key, substring)
+    if key == "slice":
+        def str_slice(i, t, a):
+            start = int(to_number(_arg(a, 0, 0.0)))
+            end_arg = _arg(a, 1, UNDEFINED)
+            end = len(value) if end_arg is UNDEFINED else int(to_number(end_arg))
+            return value[start:end] if end >= 0 or start >= 0 else value[start:end]
+
+        return method(key, str_slice)
+    if key == "split":
+        def split(i, t, a):
+            separator = _arg(a, 0, UNDEFINED)
+            if separator is UNDEFINED:
+                return i.make_array([value])
+            sep = to_string(separator)
+            parts = list(value) if sep == "" else value.split(sep)
+            return i.make_array(parts)
+
+        return method(key, split)
+    if key == "toUpperCase":
+        return method(key, lambda i, t, a: value.upper())
+    if key == "toLowerCase":
+        return method(key, lambda i, t, a: value.lower())
+    if key == "trim":
+        return method(key, lambda i, t, a: value.strip())
+    if key == "replace":
+        return method(key, lambda i, t, a: value.replace(to_string(_arg(a, 0, "")), to_string(_arg(a, 1, "")), 1))
+    if key == "concat":
+        return method(key, lambda i, t, a: value + "".join(to_string(x) for x in a))
+    if key == "toString":
+        return method(key, lambda i, t, a: value)
+    return UNDEFINED
+
+
+def get_number_property(interp, value: float, key: str) -> Any:
+    """Property access on a primitive number (``toFixed`` and friends)."""
+    if key == "toFixed":
+        def to_fixed(i, t, a):
+            digits = int(to_number(_arg(a, 0, 0.0)))
+            return f"{value:.{digits}f}"
+
+        return NativeFunction(key, to_fixed)
+    if key == "toString":
+        return NativeFunction(key, lambda i, t, a: to_string(value))
+    return UNDEFINED

@@ -1,0 +1,73 @@
+"""Error types raised by the mini-JavaScript engine.
+
+The engine distinguishes three error families:
+
+* :class:`JSSyntaxError` — raised by the lexer or parser for malformed source.
+* :class:`JSRuntimeError` — raised by the interpreter for semantic errors
+  (calling a non-function, reading a property of ``undefined``, ...).
+* :class:`JSThrownValue` — carries a value thrown by JS ``throw`` so that
+  ``try``/``catch`` in guest code (and host tests) can observe it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class JSError(Exception):
+    """Base class for all engine errors."""
+
+
+@dataclass
+class SourceLocation:
+    """A position in guest source code (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.line}:{self.column}"
+
+
+class JSSyntaxError(JSError):
+    """Lexical or grammatical error in guest source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"SyntaxError: {message} (line {line}, col {column})")
+        self.raw_message = message
+        self.line = line
+        self.column = column
+
+
+class JSRuntimeError(JSError):
+    """Semantic error raised while evaluating guest code."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"RuntimeError: {message} (line {line})")
+        self.raw_message = message
+        self.line = line
+
+
+class JSReferenceError(JSRuntimeError):
+    """Access to an undeclared identifier."""
+
+
+class JSTypeError(JSRuntimeError):
+    """Operation applied to a value of the wrong type."""
+
+
+class JSRangeError(JSRuntimeError):
+    """Value outside the allowed range (e.g. invalid array length)."""
+
+
+class JSThrownValue(JSError):
+    """A value thrown by guest ``throw`` that escaped to the host."""
+
+    def __init__(self, value: object, line: int = 0) -> None:
+        super().__init__(f"Uncaught JS value: {value!r} (line {line})")
+        self.value = value
+        self.line = line
+
+
+class InterpreterLimitError(JSRuntimeError):
+    """Execution exceeded a configured safety limit (steps or call depth)."""

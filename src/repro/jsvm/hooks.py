@@ -1,0 +1,189 @@
+"""Instrumentation hook bus for the mini-JavaScript interpreter.
+
+JS-CERES (the paper's tool) instruments JavaScript *on the wire*, inserting
+callbacks before/after loops, around iterations and on every variable or
+property access.  In this reproduction the interpreter plays the role of the
+instrumented engine: it emits the same events through a :class:`HookBus`, and
+each JS-CERES instrumentation mode is implemented as a :class:`Tracer`
+subscribed to the bus.
+
+Keeping the three modes as separate tracers mirrors the staged design of the
+paper (Section 3): lightweight profiling, loop profiling, and dependence
+analysis are attached one at a time to keep instrumentation overhead from
+biasing the measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class Tracer:
+    """Base class with no-op implementations of every instrumentation event.
+
+    Subclasses override only the events they need.  All callbacks receive the
+    interpreter as the first argument so tracers can read the virtual clock or
+    the current call stack without holding their own reference.
+    """
+
+    # -- loops ---------------------------------------------------------------
+    def on_loop_enter(self, interp: Any, node: Any) -> None:
+        """A syntactic loop was entered (a new runtime *instance* begins)."""
+
+    def on_loop_iteration(self, interp: Any, node: Any, iteration: int) -> None:
+        """A new iteration of the innermost open loop is about to run."""
+
+    def on_loop_exit(self, interp: Any, node: Any, trip_count: int) -> None:
+        """The loop instance finished (normally or via break/return/throw)."""
+
+    # -- functions -----------------------------------------------------------
+    def on_function_enter(self, interp: Any, func: Any, call_node: Any) -> None:
+        """A guest function call started."""
+
+    def on_function_exit(self, interp: Any, func: Any) -> None:
+        """A guest function call returned (or unwound)."""
+
+    # -- environments and variables -------------------------------------------
+    def on_env_created(self, interp: Any, env: Any, kind: str) -> None:
+        """A new environment frame was created (``kind`` is 'function'/'block')."""
+
+    def on_var_write(self, interp: Any, name: str, env: Any, value: Any, node: Any) -> None:
+        """A variable binding was written."""
+
+    def on_var_read(self, interp: Any, name: str, env: Any, node: Any) -> None:
+        """A variable binding was read."""
+
+    # -- objects and properties ------------------------------------------------
+    def on_object_created(self, interp: Any, obj: Any, node: Any) -> None:
+        """A guest object/array/function was instantiated."""
+
+    def on_prop_write(self, interp: Any, obj: Any, name: str, value: Any, node: Any) -> None:
+        """A property of a guest object was written."""
+
+    def on_prop_read(self, interp: Any, obj: Any, name: str, node: Any) -> None:
+        """A property of a guest object was read."""
+
+    # -- control flow / host interaction ---------------------------------------
+    def on_branch(self, interp: Any, node: Any, taken: bool) -> None:
+        """A dynamically evaluated predicate selected a branch."""
+
+    def on_host_access(self, interp: Any, category: str, detail: str, node: Any) -> None:
+        """Guest code touched a host subsystem (``dom``, ``canvas``, ``timer``...)."""
+
+    def on_statement(self, interp: Any, node: Any) -> None:
+        """A statement is about to execute (used by sampling profilers)."""
+
+    def on_recursion_warning(self, interp: Any, node: Any) -> None:
+        """Recursive calls made the loop-characterization stack grow (Section 3.3)."""
+
+
+class HookBus:
+    """Dispatches interpreter events to the attached tracers.
+
+    The bus exposes boolean fast-path flags (``wants_*``) so the interpreter
+    can skip building event arguments entirely when no tracer cares about a
+    given event class — this keeps the uninstrumented baseline fast, which is
+    what the "minimal discernible impact" claims in Sections 3.1/3.2 rely on.
+    """
+
+    def __init__(self) -> None:
+        self.tracers: List[Tracer] = []
+        self._refresh_flags()
+
+    def attach(self, tracer: Tracer) -> Tracer:
+        self.tracers.append(tracer)
+        self._refresh_flags()
+        return tracer
+
+    def detach(self, tracer: Tracer) -> None:
+        if tracer in self.tracers:
+            self.tracers.remove(tracer)
+        self._refresh_flags()
+
+    def clear(self) -> None:
+        self.tracers.clear()
+        self._refresh_flags()
+
+    def _overrides(self, method_name: str) -> bool:
+        return any(
+            type(tracer).__dict__.get(method_name) is not None
+            or getattr(type(tracer), method_name) is not getattr(Tracer, method_name)
+            for tracer in self.tracers
+        )
+
+    def _refresh_flags(self) -> None:
+        self.wants_loops = self._overrides("on_loop_enter") or self._overrides(
+            "on_loop_iteration"
+        ) or self._overrides("on_loop_exit")
+        self.wants_functions = self._overrides("on_function_enter") or self._overrides(
+            "on_function_exit"
+        )
+        self.wants_vars = self._overrides("on_var_write") or self._overrides("on_var_read")
+        self.wants_props = self._overrides("on_prop_write") or self._overrides("on_prop_read")
+        self.wants_objects = self._overrides("on_object_created")
+        self.wants_envs = self._overrides("on_env_created")
+        self.wants_branches = self._overrides("on_branch")
+        self.wants_host = self._overrides("on_host_access")
+        self.wants_statements = self._overrides("on_statement")
+        self.any_tracer = bool(self.tracers)
+
+    # -- dispatch helpers (thin wrappers; hot paths check the flags first) ----
+    def loop_enter(self, interp, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_loop_enter(interp, node)
+
+    def loop_iteration(self, interp, node, iteration) -> None:
+        for tracer in self.tracers:
+            tracer.on_loop_iteration(interp, node, iteration)
+
+    def loop_exit(self, interp, node, trip_count) -> None:
+        for tracer in self.tracers:
+            tracer.on_loop_exit(interp, node, trip_count)
+
+    def function_enter(self, interp, func, call_node) -> None:
+        for tracer in self.tracers:
+            tracer.on_function_enter(interp, func, call_node)
+
+    def function_exit(self, interp, func) -> None:
+        for tracer in self.tracers:
+            tracer.on_function_exit(interp, func)
+
+    def env_created(self, interp, env, kind) -> None:
+        for tracer in self.tracers:
+            tracer.on_env_created(interp, env, kind)
+
+    def var_write(self, interp, name, env, value, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_var_write(interp, name, env, value, node)
+
+    def var_read(self, interp, name, env, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_var_read(interp, name, env, node)
+
+    def object_created(self, interp, obj, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_object_created(interp, obj, node)
+
+    def prop_write(self, interp, obj, name, value, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_prop_write(interp, obj, name, value, node)
+
+    def prop_read(self, interp, obj, name, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_prop_read(interp, obj, name, node)
+
+    def branch(self, interp, node, taken) -> None:
+        for tracer in self.tracers:
+            tracer.on_branch(interp, node, taken)
+
+    def host_access(self, interp, category, detail, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_host_access(interp, category, detail, node)
+
+    def statement(self, interp, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_statement(interp, node)
+
+    def recursion_warning(self, interp, node) -> None:
+        for tracer in self.tracers:
+            tracer.on_recursion_warning(interp, node)

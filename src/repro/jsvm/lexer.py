@@ -1,0 +1,194 @@
+"""Hand-written tokenizer for the mini-JavaScript language.
+
+The lexer converts guest source text into a flat list of :class:`Token`
+objects.  It supports:
+
+* decimal and hexadecimal number literals (including fractions / exponents),
+* single- and double-quoted string literals with common escapes,
+* line (``//``) and block (``/* */``) comments,
+* all multi-character punctuators used by the parser,
+* identifiers / keywords.
+
+Regular-expression literals are not supported; the case-study workloads do
+not need them and rejecting them keeps the grammar unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import JSSyntaxError
+from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenType
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_PART = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "'": "'",
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+}
+
+
+class Lexer:
+    """Tokenizes a guest source string."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ api
+    def tokenize(self) -> List[Token]:
+        """Return the full token stream, ending with a single EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenType.EOF, None, self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------ internals
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise JSSyntaxError("unterminated block comment", start_line, start_col)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        ch = self._peek()
+        line, column = self.line, self.column
+        if ch in _IDENT_START:
+            return self._read_identifier(line, column)
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._read_number(line, column)
+        if ch in "'\"":
+            return self._read_string(line, column)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenType.PUNCTUATOR, punct, line, column)
+        raise JSSyntaxError(f"unexpected character {ch!r}", line, column)
+
+    def _read_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() in _IDENT_PART:
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENTIFIER
+        return Token(kind, text, line, column)
+
+    def _read_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if self._peek() not in _HEX_DIGITS:
+                raise JSSyntaxError("invalid hexadecimal literal", line, column)
+            while self.pos < len(self.source) and self._peek() in _HEX_DIGITS:
+                self._advance()
+            value = float(int(self.source[start : self.pos], 16))
+            return Token(TokenType.NUMBER, value, line, column)
+
+        while self.pos < len(self.source) and self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == ".":
+            self._advance()
+            while self.pos < len(self.source) and self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in ("e", "E"):
+            save = self.pos
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            if self._peek() in _DIGITS:
+                while self.pos < len(self.source) and self._peek() in _DIGITS:
+                    self._advance()
+            else:
+                # Not an exponent after all (e.g. `1e` followed by identifier);
+                # treat as malformed input.
+                self.pos = save
+                raise JSSyntaxError("malformed exponent in number literal", line, column)
+        text = self.source[start : self.pos]
+        try:
+            value = float(text)
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise JSSyntaxError(f"invalid number literal {text!r}", line, column) from exc
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _read_string(self, line: int, column: int) -> Token:
+        quote = self._advance()
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise JSSyntaxError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == quote:
+                break
+            if ch == "\n":
+                raise JSSyntaxError("newline in string literal", line, column)
+            if ch == "\\":
+                esc = self._advance()
+                if esc == "u":
+                    hex_digits = self._advance(4)
+                    if len(hex_digits) != 4 or any(c not in _HEX_DIGITS for c in hex_digits):
+                        raise JSSyntaxError("invalid unicode escape", line, column)
+                    chars.append(chr(int(hex_digits, 16)))
+                elif esc == "x":
+                    hex_digits = self._advance(2)
+                    if len(hex_digits) != 2 or any(c not in _HEX_DIGITS for c in hex_digits):
+                        raise JSSyntaxError("invalid hex escape", line, column)
+                    chars.append(chr(int(hex_digits, 16)))
+                elif esc in _ESCAPES:
+                    chars.append(_ESCAPES[esc])
+                else:
+                    chars.append(esc)
+            else:
+                chars.append(ch)
+        return Token(TokenType.STRING, "".join(chars), line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

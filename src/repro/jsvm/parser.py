@@ -1,0 +1,757 @@
+"""Recursive-descent parser for the mini-JavaScript language.
+
+The parser produces the AST defined in :mod:`repro.jsvm.ast_nodes`.  It
+implements the expression grammar with standard ECMAScript precedence and a
+pragmatic form of automatic semicolon insertion (a missing ``;`` is accepted
+when the next token starts on a new line, is ``}`` or is end-of-file).
+
+Every node receives a unique ``node_id`` so downstream passes (JS-CERES loop
+identification, creation-site stamping) can refer to syntactic locations
+without re-walking source text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .errors import JSSyntaxError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+# Binary operator precedence (higher binds tighter).  Mirrors ECMAScript.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "===": 6,
+    "!==": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "instanceof": 7,
+    "in": 7,
+    "<<": 8,
+    ">>": 8,
+    ">>>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGNMENT_OPERATORS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.jsvm.ast_nodes.Program`."""
+
+    def __init__(self, source: str, name: str = "<program>") -> None:
+        self.source = source
+        self.name = name
+        self.tokens: List[Token] = tokenize(source)
+        self.pos = 0
+        self._next_node_id = 0
+
+    # ------------------------------------------------------------------ api
+    def parse(self) -> ast.Program:
+        body: List[ast.Node] = []
+        while not self._at_end():
+            body.append(self._parse_statement())
+        program = self._make(ast.Program, self.tokens[0] if self.tokens else None)
+        program.body = body
+        program.source = self.source
+        program.name = self.name
+        return program
+
+    # ------------------------------------------------------------ utilities
+    def _make(self, cls, token: Optional[Token], **kwargs) -> ast.Node:
+        node = cls(**kwargs)
+        if token is not None:
+            node.line = token.line
+            node.column = token.column
+        node.node_id = self._next_node_id
+        self._next_node_id += 1
+        return node
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _at_end(self) -> bool:
+        return self._peek().type is TokenType.EOF
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check_punct(self, text: str) -> bool:
+        return self._peek().is_punct(text)
+
+    def _check_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _match_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._check_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise JSSyntaxError(
+                f"expected {text!r} but found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise JSSyntaxError(
+                f"expected keyword {word!r} but found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise JSSyntaxError(
+                f"expected identifier but found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _consume_semicolon(self, previous: Token) -> None:
+        """Consume a statement terminator, applying simple semicolon insertion."""
+        if self._match_punct(";"):
+            return
+        token = self._peek()
+        if token.type is TokenType.EOF or token.is_punct("}"):
+            return
+        if token.line > previous.line:
+            return
+        raise JSSyntaxError(
+            f"expected ';' but found {token.value!r}", token.line, token.column
+        )
+
+    # ------------------------------------------------------------ statements
+    def _parse_statement(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD:
+            word = token.value
+            if word in ("var", "let", "const"):
+                return self._parse_variable_declaration()
+            if word == "function":
+                return self._parse_function_declaration()
+            if word == "if":
+                return self._parse_if()
+            if word == "for":
+                return self._parse_for()
+            if word == "while":
+                return self._parse_while()
+            if word == "do":
+                return self._parse_do_while()
+            if word == "return":
+                return self._parse_return()
+            if word == "break":
+                start = self._advance()
+                node = self._make(ast.BreakStatement, start)
+                self._consume_semicolon(start)
+                return node
+            if word == "continue":
+                start = self._advance()
+                node = self._make(ast.ContinueStatement, start)
+                self._consume_semicolon(start)
+                return node
+            if word == "throw":
+                return self._parse_throw()
+            if word == "try":
+                return self._parse_try()
+            if word == "switch":
+                return self._parse_switch()
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_punct(";"):
+            start = self._advance()
+            return self._make(ast.EmptyStatement, start)
+        return self._parse_expression_statement()
+
+    def _parse_block(self) -> ast.BlockStatement:
+        start = self._expect_punct("{")
+        body: List[ast.Node] = []
+        while not self._check_punct("}"):
+            if self._at_end():
+                raise JSSyntaxError("unterminated block", start.line, start.column)
+            body.append(self._parse_statement())
+        self._expect_punct("}")
+        node = self._make(ast.BlockStatement, start)
+        node.body = body
+        return node
+
+    def _parse_variable_declaration(self, consume_semicolon: bool = True) -> ast.VariableDeclaration:
+        start = self._advance()  # var/let/const keyword
+        kind = start.value
+        declarations: List[ast.VariableDeclarator] = []
+        while True:
+            name_token = self._expect_identifier()
+            declarator = self._make(ast.VariableDeclarator, name_token)
+            declarator.name = name_token.value
+            if self._match_punct("="):
+                declarator.init = self._parse_assignment()
+            declarations.append(declarator)
+            if not self._match_punct(","):
+                break
+        node = self._make(ast.VariableDeclaration, start)
+        node.kind_keyword = kind
+        node.declarations = declarations
+        if consume_semicolon:
+            self._consume_semicolon(start)
+        return node
+
+    def _parse_function_declaration(self) -> ast.FunctionDeclaration:
+        start = self._expect_keyword("function")
+        name_token = self._expect_identifier()
+        params = self._parse_params()
+        body = self._parse_block()
+        node = self._make(ast.FunctionDeclaration, start)
+        node.name = name_token.value
+        node.params = params
+        node.body = body
+        return node
+
+    def _parse_params(self) -> List[str]:
+        self._expect_punct("(")
+        params: List[str] = []
+        if not self._check_punct(")"):
+            while True:
+                params.append(self._expect_identifier().value)
+                if not self._match_punct(","):
+                    break
+        self._expect_punct(")")
+        return params
+
+    def _parse_if(self) -> ast.IfStatement:
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        consequent = self._parse_statement()
+        alternate = None
+        if self._match_keyword("else"):
+            alternate = self._parse_statement()
+        node = self._make(ast.IfStatement, start)
+        node.test = test
+        node.consequent = consequent
+        node.alternate = alternate
+        return node
+
+    def _parse_for(self) -> ast.Node:
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+
+        # Distinguish `for (... in/of ...)` from a classic three-clause for.
+        if self._looks_like_for_in():
+            return self._finish_for_in(start)
+
+        init: Optional[ast.Node] = None
+        if not self._check_punct(";"):
+            if self._peek().type is TokenType.KEYWORD and self._peek().value in ("var", "let", "const"):
+                init = self._parse_variable_declaration(consume_semicolon=False)
+            else:
+                expr = self._parse_expression()
+                init = self._make(ast.ExpressionStatement, start)
+                init.expression = expr
+        self._expect_punct(";")
+        test = None if self._check_punct(";") else self._parse_expression()
+        self._expect_punct(";")
+        update = None if self._check_punct(")") else self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        node = self._make(ast.ForStatement, start)
+        node.init = init
+        node.test = test
+        node.update = update
+        node.body = body
+        return node
+
+    def _looks_like_for_in(self) -> bool:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in ("var", "let", "const"):
+            ident = self._peek(1)
+            keyword = self._peek(2)
+            return (
+                ident.type is TokenType.IDENTIFIER
+                and keyword.type is TokenType.KEYWORD
+                and keyword.value in ("in", "of")
+            )
+        if token.type is TokenType.IDENTIFIER:
+            keyword = self._peek(1)
+            return keyword.type is TokenType.KEYWORD and keyword.value in ("in", "of")
+        return False
+
+    def _finish_for_in(self, start: Token) -> ast.ForInStatement:
+        declaration_kind: Optional[str] = None
+        if self._peek().type is TokenType.KEYWORD and self._peek().value in ("var", "let", "const"):
+            declaration_kind = self._advance().value
+        target_name = self._expect_identifier().value
+        keyword = self._advance()  # `in` or `of`
+        of_loop = keyword.value == "of"
+        iterable = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        node = self._make(ast.ForInStatement, start)
+        node.declaration_kind = declaration_kind
+        node.target_name = target_name
+        node.iterable = iterable
+        node.body = body
+        node.of_loop = of_loop
+        return node
+
+    def _parse_while(self) -> ast.WhileStatement:
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        node = self._make(ast.WhileStatement, start)
+        node.test = test
+        node.body = body
+        return node
+
+    def _parse_do_while(self) -> ast.DoWhileStatement:
+        start = self._expect_keyword("do")
+        body = self._parse_statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self._parse_expression()
+        self._expect_punct(")")
+        self._consume_semicolon(start)
+        node = self._make(ast.DoWhileStatement, start)
+        node.body = body
+        node.test = test
+        return node
+
+    def _parse_return(self) -> ast.ReturnStatement:
+        start = self._expect_keyword("return")
+        argument = None
+        token = self._peek()
+        if (
+            not token.is_punct(";")
+            and not token.is_punct("}")
+            and token.type is not TokenType.EOF
+            and token.line == start.line
+        ):
+            argument = self._parse_expression()
+        self._consume_semicolon(start)
+        node = self._make(ast.ReturnStatement, start)
+        node.argument = argument
+        return node
+
+    def _parse_throw(self) -> ast.ThrowStatement:
+        start = self._expect_keyword("throw")
+        argument = self._parse_expression()
+        self._consume_semicolon(start)
+        node = self._make(ast.ThrowStatement, start)
+        node.argument = argument
+        return node
+
+    def _parse_try(self) -> ast.TryStatement:
+        start = self._expect_keyword("try")
+        block = self._parse_block()
+        handler = None
+        finalizer = None
+        if self._check_keyword("catch"):
+            catch_token = self._advance()
+            param = None
+            if self._match_punct("("):
+                param = self._expect_identifier().value
+                self._expect_punct(")")
+            handler_body = self._parse_block()
+            handler = self._make(ast.CatchClause, catch_token)
+            handler.param = param
+            handler.body = handler_body
+        if self._match_keyword("finally"):
+            finalizer = self._parse_block()
+        if handler is None and finalizer is None:
+            raise JSSyntaxError("try without catch or finally", start.line, start.column)
+        node = self._make(ast.TryStatement, start)
+        node.block = block
+        node.handler = handler
+        node.finalizer = finalizer
+        return node
+
+    def _parse_switch(self) -> ast.SwitchStatement:
+        start = self._expect_keyword("switch")
+        self._expect_punct("(")
+        discriminant = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        while not self._check_punct("}"):
+            case_token = self._peek()
+            if self._match_keyword("case"):
+                test = self._parse_expression()
+            elif self._match_keyword("default"):
+                test = None
+            else:
+                raise JSSyntaxError(
+                    "expected 'case' or 'default' in switch", case_token.line, case_token.column
+                )
+            self._expect_punct(":")
+            body: List[ast.Node] = []
+            while not (
+                self._check_punct("}") or self._check_keyword("case") or self._check_keyword("default")
+            ):
+                body.append(self._parse_statement())
+            case_node = self._make(ast.SwitchCase, case_token)
+            case_node.test = test
+            case_node.body = body
+            cases.append(case_node)
+        self._expect_punct("}")
+        node = self._make(ast.SwitchStatement, start)
+        node.discriminant = discriminant
+        node.cases = cases
+        return node
+
+    def _parse_expression_statement(self) -> ast.ExpressionStatement:
+        start = self._peek()
+        expression = self._parse_expression()
+        self._consume_semicolon(start)
+        node = self._make(ast.ExpressionStatement, start)
+        node.expression = expression
+        return node
+
+    # ----------------------------------------------------------- expressions
+    def _parse_expression(self) -> ast.Node:
+        expr = self._parse_assignment()
+        if self._check_punct(","):
+            start = self._peek()
+            expressions = [expr]
+            while self._match_punct(","):
+                expressions.append(self._parse_assignment())
+            node = self._make(ast.SequenceExpression, start)
+            node.expressions = expressions
+            return node
+        return expr
+
+    def _parse_assignment(self) -> ast.Node:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATOR and token.value in _ASSIGNMENT_OPERATORS:
+            if not isinstance(left, (ast.Identifier, ast.MemberExpression)):
+                raise JSSyntaxError("invalid assignment target", token.line, token.column)
+            self._advance()
+            value = self._parse_assignment()
+            node = self._make(ast.AssignmentExpression, token)
+            node.operator = token.value
+            node.target = left
+            node.value = value
+            return node
+        return left
+
+    def _parse_conditional(self) -> ast.Node:
+        test = self._parse_binary(0)
+        if self._check_punct("?"):
+            token = self._advance()
+            consequent = self._parse_assignment()
+            self._expect_punct(":")
+            alternate = self._parse_assignment()
+            node = self._make(ast.ConditionalExpression, token)
+            node.test = test
+            node.consequent = consequent
+            node.alternate = alternate
+            return node
+        return test
+
+    def _binary_op_at(self) -> Optional[str]:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATOR and token.value in _BINARY_PRECEDENCE:
+            return token.value
+        if token.type is TokenType.KEYWORD and token.value in ("instanceof", "in"):
+            return token.value
+        return None
+
+    def _parse_binary(self, min_precedence: int) -> ast.Node:
+        left = self._parse_unary()
+        while True:
+            operator = self._binary_op_at()
+            if operator is None:
+                return left
+            precedence = _BINARY_PRECEDENCE[operator]
+            if precedence < min_precedence:
+                return left
+            token = self._advance()
+            right = self._parse_binary(precedence + 1)
+            if operator in ("&&", "||"):
+                node = self._make(ast.LogicalExpression, token)
+            else:
+                node = self._make(ast.BinaryExpression, token)
+            node.operator = operator
+            node.left = left
+            node.right = right
+            left = node
+
+    def _parse_unary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATOR and token.value in ("!", "-", "+", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            node = self._make(ast.UnaryExpression, token)
+            node.operator = token.value
+            node.operand = operand
+            return node
+        if token.type is TokenType.KEYWORD and token.value in ("typeof", "void", "delete"):
+            self._advance()
+            operand = self._parse_unary()
+            node = self._make(ast.UnaryExpression, token)
+            node.operator = token.value
+            node.operand = operand
+            return node
+        if token.type is TokenType.PUNCTUATOR and token.value in ("++", "--"):
+            self._advance()
+            target = self._parse_unary()
+            node = self._make(ast.UpdateExpression, token)
+            node.operator = token.value
+            node.target = target
+            node.prefix = True
+            return node
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Node:
+        expr = self._parse_call_member()
+        token = self._peek()
+        if (
+            token.type is TokenType.PUNCTUATOR
+            and token.value in ("++", "--")
+            and token.line == self._previous_line()
+        ):
+            self._advance()
+            node = self._make(ast.UpdateExpression, token)
+            node.operator = token.value
+            node.target = expr
+            node.prefix = False
+            return node
+        return expr
+
+    def _previous_line(self) -> int:
+        if self.pos == 0:
+            return self._peek().line
+        return self.tokens[self.pos - 1].line
+
+    def _parse_call_member(self) -> ast.Node:
+        if self._check_keyword("new"):
+            return self._parse_new()
+        expr = self._parse_primary()
+        return self._parse_call_member_tail(expr)
+
+    def _parse_call_member_tail(self, expr: ast.Node) -> ast.Node:
+        while True:
+            if self._check_punct("."):
+                token = self._advance()
+                prop_token = self._peek()
+                if prop_token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+                    raise JSSyntaxError(
+                        "expected property name after '.'", prop_token.line, prop_token.column
+                    )
+                self._advance()
+                prop = self._make(ast.StringLiteral, prop_token)
+                prop.value = str(prop_token.value)
+                node = self._make(ast.MemberExpression, token)
+                node.object = expr
+                node.property = prop
+                node.computed = False
+                expr = node
+            elif self._check_punct("["):
+                token = self._advance()
+                prop = self._parse_expression()
+                self._expect_punct("]")
+                node = self._make(ast.MemberExpression, token)
+                node.object = expr
+                node.property = prop
+                node.computed = True
+                expr = node
+            elif self._check_punct("("):
+                token = self._peek()
+                arguments = self._parse_arguments()
+                node = self._make(ast.CallExpression, token)
+                node.callee = expr
+                node.arguments = arguments
+                expr = node
+            else:
+                return expr
+
+    def _parse_new(self) -> ast.Node:
+        start = self._expect_keyword("new")
+        callee = self._parse_primary()
+        # Allow member access on the constructor (`new lib.Thing(...)`).
+        while self._check_punct(".") or self._check_punct("["):
+            if self._match_punct("."):
+                prop_token = self._peek()
+                if prop_token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+                    raise JSSyntaxError(
+                        "expected property name after '.'", prop_token.line, prop_token.column
+                    )
+                self._advance()
+                prop = self._make(ast.StringLiteral, prop_token)
+                prop.value = str(prop_token.value)
+                member = self._make(ast.MemberExpression, prop_token)
+                member.object = callee
+                member.property = prop
+                member.computed = False
+                callee = member
+            else:
+                self._expect_punct("[")
+                prop = self._parse_expression()
+                self._expect_punct("]")
+                member = self._make(ast.MemberExpression, start)
+                member.object = callee
+                member.property = prop
+                member.computed = True
+                callee = member
+        arguments: List[ast.Node] = []
+        if self._check_punct("("):
+            arguments = self._parse_arguments()
+        node = self._make(ast.NewExpression, start)
+        node.callee = callee
+        node.arguments = arguments
+        return self._parse_call_member_tail(node)
+
+    def _parse_arguments(self) -> List[ast.Node]:
+        self._expect_punct("(")
+        arguments: List[ast.Node] = []
+        if not self._check_punct(")"):
+            while True:
+                arguments.append(self._parse_assignment())
+                if not self._match_punct(","):
+                    break
+        self._expect_punct(")")
+        return arguments
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            node = self._make(ast.NumberLiteral, token)
+            node.value = float(token.value)
+            return node
+        if token.type is TokenType.STRING:
+            self._advance()
+            node = self._make(ast.StringLiteral, token)
+            node.value = str(token.value)
+            return node
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            node = self._make(ast.Identifier, token)
+            node.name = token.value
+            return node
+        if token.type is TokenType.KEYWORD:
+            word = token.value
+            if word == "true" or word == "false":
+                self._advance()
+                node = self._make(ast.BooleanLiteral, token)
+                node.value = word == "true"
+                return node
+            if word == "null":
+                self._advance()
+                return self._make(ast.NullLiteral, token)
+            if word == "undefined":
+                self._advance()
+                return self._make(ast.UndefinedLiteral, token)
+            if word == "this":
+                self._advance()
+                return self._make(ast.ThisExpression, token)
+            if word == "function":
+                return self._parse_function_expression()
+            raise JSSyntaxError(f"unexpected keyword {word!r}", token.line, token.column)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        if token.is_punct("["):
+            return self._parse_array_literal()
+        if token.is_punct("{"):
+            return self._parse_object_literal()
+        raise JSSyntaxError(f"unexpected token {token.value!r}", token.line, token.column)
+
+    def _parse_function_expression(self) -> ast.FunctionExpression:
+        start = self._expect_keyword("function")
+        name = None
+        if self._peek().type is TokenType.IDENTIFIER:
+            name = self._advance().value
+        params = self._parse_params()
+        body = self._parse_block()
+        node = self._make(ast.FunctionExpression, start)
+        node.name = name
+        node.params = params
+        node.body = body
+        return node
+
+    def _parse_array_literal(self) -> ast.ArrayLiteral:
+        start = self._expect_punct("[")
+        elements: List[ast.Node] = []
+        while not self._check_punct("]"):
+            elements.append(self._parse_assignment())
+            if not self._match_punct(","):
+                break
+        self._expect_punct("]")
+        node = self._make(ast.ArrayLiteral, start)
+        node.elements = elements
+        return node
+
+    def _parse_object_literal(self) -> ast.ObjectLiteral:
+        start = self._expect_punct("{")
+        properties: List[ast.Property] = []
+        while not self._check_punct("}"):
+            key_token = self._peek()
+            if key_token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+                key = str(key_token.value)
+                self._advance()
+            elif key_token.type is TokenType.STRING:
+                key = str(key_token.value)
+                self._advance()
+            elif key_token.type is TokenType.NUMBER:
+                key = _number_to_key(float(key_token.value))
+                self._advance()
+            else:
+                raise JSSyntaxError(
+                    f"invalid property key {key_token.value!r}", key_token.line, key_token.column
+                )
+            self._expect_punct(":")
+            value = self._parse_assignment()
+            prop = self._make(ast.Property, key_token)
+            prop.key = key
+            prop.value = value
+            properties.append(prop)
+            if not self._match_punct(","):
+                break
+        self._expect_punct("}")
+        node = self._make(ast.ObjectLiteral, start)
+        node.properties = properties
+        return node
+
+
+def _number_to_key(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def parse(source: str, name: str = "<program>") -> ast.Program:
+    """Parse ``source`` and return the :class:`Program` AST."""
+    return Parser(source, name=name).parse()

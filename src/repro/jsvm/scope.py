@@ -1,0 +1,120 @@
+"""Lexical environments for the mini-JavaScript interpreter.
+
+JavaScript (ES5) ``var`` declarations have *function* scope: a ``var``
+declared inside a loop body is hoisted to the top of the enclosing function.
+The paper's dependence-analysis walkthrough (Figure 6) relies on exactly this
+behaviour — the ``var p = bodies[i]`` inside the ``for`` loop is shared by
+every iteration, producing an output dependence.  ``let``/``const`` introduce
+block-scoped bindings.
+
+The environment model therefore distinguishes *function* environments (the
+hoisting target for ``var``) from *block* environments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from .errors import JSReferenceError, JSTypeError
+from .values import UNDEFINED
+
+
+class Environment:
+    """A single lexical environment frame."""
+
+    __slots__ = ("bindings", "parent", "is_function_scope", "consts", "label")
+
+    def __init__(
+        self,
+        parent: Optional["Environment"] = None,
+        is_function_scope: bool = False,
+        label: str = "",
+    ) -> None:
+        self.bindings: Dict[str, Any] = {}
+        self.parent = parent
+        self.is_function_scope = is_function_scope
+        self.consts: set = set()
+        self.label = label
+
+    # ------------------------------------------------------------ declaring
+    def declare_var(self, name: str, value: Any = UNDEFINED) -> None:
+        """Declare a ``var`` binding: hoisted to the nearest function scope."""
+        target = self.nearest_function_scope()
+        if name not in target.bindings:
+            target.bindings[name] = value
+        elif value is not UNDEFINED:
+            target.bindings[name] = value
+
+    def declare_let(self, name: str, value: Any = UNDEFINED, constant: bool = False) -> None:
+        """Declare a block-scoped binding in this environment."""
+        self.bindings[name] = value
+        if constant:
+            self.consts.add(name)
+
+    def nearest_function_scope(self) -> "Environment":
+        env: Environment = self
+        while not env.is_function_scope and env.parent is not None:
+            env = env.parent
+        return env
+
+    # ------------------------------------------------------------ accessing
+    def lookup_env(self, name: str) -> Optional["Environment"]:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.bindings:
+                return env
+            env = env.parent
+        return None
+
+    def get(self, name: str) -> Any:
+        env = self.lookup_env(name)
+        if env is None:
+            raise JSReferenceError(f"{name} is not defined")
+        return env.bindings[name]
+
+    def has(self, name: str) -> bool:
+        return self.lookup_env(name) is not None
+
+    def set(self, name: str, value: Any) -> "Environment":
+        """Assign to an existing binding; returns the environment that holds it.
+
+        Assignment to an undeclared identifier creates a global binding (JS
+        sloppy-mode semantics), which is exactly the "global variable" pattern
+        the survey section of the paper discusses.
+        """
+        env = self.lookup_env(name)
+        if env is None:
+            global_env = self.global_env()
+            global_env.bindings[name] = value
+            return global_env
+        if name in env.consts:
+            raise JSTypeError(f"assignment to constant variable {name!r}")
+        env.bindings[name] = value
+        return env
+
+    def global_env(self) -> "Environment":
+        env: Environment = self
+        while env.parent is not None:
+            env = env.parent
+        return env
+
+    def depth_of(self, name: str) -> int:
+        """Number of frames between this environment and the one holding ``name``."""
+        depth = 0
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.bindings:
+                return depth
+            env = env.parent
+            depth += 1
+        raise JSReferenceError(f"{name} is not defined")
+
+    def frames(self) -> Iterator["Environment"]:
+        env: Optional[Environment] = self
+        while env is not None:
+            yield env
+            env = env.parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "fn" if self.is_function_scope else "block"
+        return f"<Environment {kind} {self.label} {list(self.bindings)[:6]}>"

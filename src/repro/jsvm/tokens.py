@@ -1,0 +1,144 @@
+"""Token definitions for the mini-JavaScript lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Kinds of lexical tokens produced by :class:`repro.jsvm.lexer.Lexer`."""
+
+    NUMBER = auto()
+    STRING = auto()
+    IDENTIFIER = auto()
+    KEYWORD = auto()
+    PUNCTUATOR = auto()
+    EOF = auto()
+
+
+#: Reserved words recognised by the parser.  This deliberately covers the
+#: subset of ECMAScript 5 (+ ``let``/``const``) that the case-study workloads
+#: use.  Unsupported reserved words are still lexed as keywords so the parser
+#: can emit a clear error instead of silently treating them as identifiers.
+KEYWORDS = frozenset(
+    {
+        "var",
+        "let",
+        "const",
+        "function",
+        "return",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "break",
+        "continue",
+        "new",
+        "this",
+        "typeof",
+        "instanceof",
+        "in",
+        "of",
+        "true",
+        "false",
+        "null",
+        "undefined",
+        "throw",
+        "try",
+        "catch",
+        "finally",
+        "delete",
+        "void",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can use greedy
+#: matching.
+PUNCTUATORS = (
+    "===",
+    "!==",
+    ">>>=",
+    "<<=",
+    ">>=",
+    ">>>",
+    "...",
+    "=>",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "!",
+    "?",
+    ":",
+    ".",
+    "&",
+    "|",
+    "^",
+    "~",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    type:
+        The :class:`TokenType` of the token.
+    value:
+        The token text for identifiers/keywords/punctuators, the decoded
+        string for string literals, or the numeric value (as ``float``) for
+        number literals.
+    line, column:
+        1-based source position of the first character of the token.
+    """
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.type is TokenType.PUNCTUATOR and self.value == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

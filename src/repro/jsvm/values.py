@@ -1,0 +1,384 @@
+"""Runtime value model for the mini-JavaScript engine.
+
+Guest values map onto host Python values as follows:
+
+===================  =====================================================
+JS type              Python representation
+===================  =====================================================
+``number``           ``float``
+``string``           ``str``
+``boolean``          ``bool``
+``undefined``        the :data:`UNDEFINED` singleton
+``null``             the :data:`NULL` singleton
+object               :class:`JSObject`
+array                :class:`JSArray`
+function             :class:`JSFunction` (guest) or :class:`NativeFunction`
+===================  =====================================================
+
+Objects carry a ``creation_site`` (AST node id) and a ``creation_stamp``
+slot used by the JS-CERES dependence analysis.  The stamp plays the role of
+the ``Proxy`` wrapper described in Section 3.3 of the paper: it records the
+loop-characterization stack at the moment the object was instantiated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import JSTypeError
+
+
+class _Undefined:
+    """Singleton type for the JS ``undefined`` value."""
+
+    _instance: Optional["_Undefined"] = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _Null:
+    """Singleton type for the JS ``null`` value."""
+
+    _instance: Optional["_Null"] = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "null"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = _Undefined()
+NULL = _Null()
+
+
+class JSObject:
+    """A guest object: a property map plus a prototype link."""
+
+    __slots__ = ("properties", "prototype", "class_name", "creation_site", "creation_stamp", "extra")
+
+    def __init__(
+        self,
+        prototype: Optional["JSObject"] = None,
+        class_name: str = "Object",
+        creation_site: int = -1,
+    ) -> None:
+        self.properties: Dict[str, Any] = {}
+        self.prototype = prototype
+        self.class_name = class_name
+        #: AST node id of the syntactic location that created this object.
+        self.creation_site = creation_site
+        #: Loop-characterization stamp attached by the dependence analysis.
+        self.creation_stamp: Any = None
+        #: Free-form slot for host-side companions (DOM elements, canvases...).
+        self.extra: Dict[str, Any] = {}
+
+    # -- property protocol -------------------------------------------------
+    def get(self, name: str) -> Any:
+        obj: Optional[JSObject] = self
+        while obj is not None:
+            if name in obj.properties:
+                return obj.properties[name]
+            obj = obj.prototype
+        return UNDEFINED
+
+    def has(self, name: str) -> bool:
+        obj: Optional[JSObject] = self
+        while obj is not None:
+            if name in obj.properties:
+                return True
+            obj = obj.prototype
+        return False
+
+    def has_own(self, name: str) -> bool:
+        return name in self.properties
+
+    def set(self, name: str, value: Any) -> None:
+        self.properties[name] = value
+
+    def delete(self, name: str) -> bool:
+        return self.properties.pop(name, None) is not None
+
+    def own_keys(self) -> List[str]:
+        return list(self.properties.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JSObject {self.class_name} {list(self.properties)[:6]}>"
+
+
+class JSArray(JSObject):
+    """A guest array.  Elements live in a dense Python list."""
+
+    __slots__ = ("elements",)
+
+    def __init__(
+        self,
+        elements: Optional[List[Any]] = None,
+        prototype: Optional[JSObject] = None,
+        creation_site: int = -1,
+    ) -> None:
+        super().__init__(prototype=prototype, class_name="Array", creation_site=creation_site)
+        self.elements: List[Any] = list(elements) if elements is not None else []
+
+    # Array index access is routed through get/set so instrumentation sees a
+    # single property protocol for both named and indexed properties.
+    def get(self, name: str) -> Any:
+        if name == "length":
+            return float(len(self.elements))
+        index = _as_array_index(name)
+        if index is not None:
+            if 0 <= index < len(self.elements):
+                return self.elements[index]
+            return UNDEFINED
+        return super().get(name)
+
+    def set(self, name: str, value: Any) -> None:
+        if name == "length":
+            new_length = int(to_number(value))
+            if new_length < 0:
+                raise JSTypeError("invalid array length")
+            current = len(self.elements)
+            if new_length < current:
+                del self.elements[new_length:]
+            else:
+                self.elements.extend([UNDEFINED] * (new_length - current))
+            return
+        index = _as_array_index(name)
+        if index is not None:
+            if index >= len(self.elements):
+                self.elements.extend([UNDEFINED] * (index + 1 - len(self.elements)))
+            self.elements[index] = value
+            return
+        super().set(name, value)
+
+    def has(self, name: str) -> bool:
+        if name == "length":
+            return True
+        index = _as_array_index(name)
+        if index is not None:
+            return 0 <= index < len(self.elements)
+        return super().has(name)
+
+    def own_keys(self) -> List[str]:
+        return [str(i) for i in range(len(self.elements))] + list(self.properties.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JSArray len={len(self.elements)}>"
+
+
+class JSFunction(JSObject):
+    """A guest function (closure over its defining environment)."""
+
+    __slots__ = ("name", "params", "body", "closure", "is_arrow", "declaration_node")
+
+    def __init__(
+        self,
+        name: str,
+        params: List[str],
+        body: Any,
+        closure: Any,
+        prototype: Optional[JSObject] = None,
+        creation_site: int = -1,
+        declaration_node: Any = None,
+    ) -> None:
+        super().__init__(prototype=prototype, class_name="Function", creation_site=creation_site)
+        self.name = name or "<anonymous>"
+        self.params = params
+        self.body = body
+        self.closure = closure
+        self.is_arrow = False
+        self.declaration_node = declaration_node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JSFunction {self.name}({', '.join(self.params)})>"
+
+
+class NativeFunction(JSObject):
+    """A host (Python) function exposed to guest code.
+
+    The wrapped callable receives ``(interpreter, this, args)`` and returns a
+    guest value.
+    """
+
+    __slots__ = ("name", "func")
+
+    def __init__(self, name: str, func: Callable[..., Any], prototype: Optional[JSObject] = None) -> None:
+        super().__init__(prototype=prototype, class_name="Function")
+        self.name = name
+        self.func = func
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NativeFunction {self.name}>"
+
+
+def _as_array_index(name: str) -> Optional[int]:
+    """Return the integer index encoded by ``name``, or None."""
+    if isinstance(name, str) and name.isdigit():
+        return int(name)
+    return None
+
+
+# --------------------------------------------------------------------------
+# Conversions (subset of the ECMAScript abstract operations)
+# --------------------------------------------------------------------------
+
+
+def is_callable(value: Any) -> bool:
+    return isinstance(value, (JSFunction, NativeFunction))
+
+
+def type_of(value: Any) -> str:
+    """The guest ``typeof`` operator."""
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "object"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, float) or isinstance(value, int):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if is_callable(value):
+        return "function"
+    return "object"
+
+
+def to_boolean(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if value is UNDEFINED or value is NULL:
+        return False
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return not (number == 0.0 or math.isnan(number))
+    if isinstance(value, str):
+        return len(value) > 0
+    return True
+
+
+def to_number(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if value is UNDEFINED:
+        return float("nan")
+    if value is NULL:
+        return 0.0
+    if isinstance(value, str):
+        text = value.strip()
+        if text == "":
+            return 0.0
+        try:
+            if text.lower().startswith("0x"):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return float("nan")
+    if isinstance(value, JSArray):
+        if len(value.elements) == 0:
+            return 0.0
+        if len(value.elements) == 1:
+            return to_number(value.elements[0])
+        return float("nan")
+    return float("nan")
+
+
+def format_number(number: float) -> str:
+    """Format a guest number roughly like JavaScript's ``String(n)``."""
+    if math.isnan(number):
+        return "NaN"
+    if number == math.inf:
+        return "Infinity"
+    if number == -math.inf:
+        return "-Infinity"
+    if number == int(number) and abs(number) < 1e21:
+        return str(int(number))
+    return repr(number)
+
+
+def to_string(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return format_number(float(value))
+    if value is UNDEFINED:
+        return "undefined"
+    if value is NULL:
+        return "null"
+    if isinstance(value, JSArray):
+        return ",".join("" if el is UNDEFINED or el is NULL else to_string(el) for el in value.elements)
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return f"function {getattr(value, 'name', '')}() {{ [code] }}"
+    if isinstance(value, JSObject):
+        return "[object Object]"
+    return str(value)
+
+
+def to_property_key(value: Any) -> str:
+    """Convert a computed property key expression result to a property name."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return format_number(float(value))
+    return to_string(value)
+
+
+def strict_equals(a: Any, b: Any) -> bool:
+    if a is UNDEFINED and b is UNDEFINED:
+        return True
+    if a is NULL and b is NULL:
+        return True
+    if isinstance(a, bool) or isinstance(b, bool):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return a == b
+        # A bool and a number are different JS types under ===.
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            return False
+        return False
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return float(a) == float(b)
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    return a is b
+
+
+def loose_equals(a: Any, b: Any) -> bool:
+    """The guest ``==`` operator (subset of the abstract equality algorithm)."""
+    if (a is UNDEFINED or a is NULL) and (b is UNDEFINED or b is NULL):
+        return True
+    if a is UNDEFINED or a is NULL or b is UNDEFINED or b is NULL:
+        return False
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    if isinstance(a, JSObject) and isinstance(b, JSObject):
+        return a is b
+    if isinstance(a, JSObject) or isinstance(b, JSObject):
+        # Compare via string/number coercion of the primitive side.
+        if isinstance(a, JSObject):
+            return loose_equals(to_string(a), b)
+        return loose_equals(a, to_string(b))
+    number_a, number_b = to_number(a), to_number(b)
+    if math.isnan(number_a) or math.isnan(number_b):
+        return False
+    return number_a == number_b

@@ -1,0 +1,21 @@
+"""Parallel-execution model used to validate the latent-parallelism findings."""
+
+from .executor import ParallelOutcome, simulate_parallel_execution
+from .machine import PAPER_MACHINE, SIMD_MACHINE, MachineModel
+from .partition import Chunk, assigned_iterations, block_partition, cyclic_partition
+from .speedup import ApplicationSpeedup, model_application_speedup, validate_against_amdahl
+
+__all__ = [
+    "ParallelOutcome",
+    "simulate_parallel_execution",
+    "PAPER_MACHINE",
+    "SIMD_MACHINE",
+    "MachineModel",
+    "Chunk",
+    "assigned_iterations",
+    "block_partition",
+    "cyclic_partition",
+    "ApplicationSpeedup",
+    "model_application_speedup",
+    "validate_against_amdahl",
+]

@@ -1,0 +1,128 @@
+"""Deterministic parallel-execution model for analysed loop nests.
+
+CPython threads cannot speed up interpreted guest code, and the paper's point
+is about *latent* parallelism anyway, so validation uses an analytical model:
+given a nest's measured serial time, trip count, divergence level and
+per-iteration cost imbalance, the executor computes the wall-clock time the
+loop would take on a :class:`MachineModel` with a given partitioning
+strategy, charging scheduling overhead and respecting the dependence verdict
+(nests whose dependences cannot be broken simply do not scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.casestudy import NestAnalysis
+from ..analysis.difficulty import Difficulty
+from ..analysis.divergence import DivergenceLevel
+from .machine import MachineModel
+from .partition import Chunk, block_partition, cyclic_partition
+
+
+@dataclass
+class ParallelOutcome:
+    """Result of (model-)executing one loop nest in parallel."""
+
+    nest_label: str
+    serial_ms: float
+    parallel_ms: float
+    workers: int
+    strategy: str
+    parallelizable: bool
+    divergence: DivergenceLevel
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_ms <= 0:
+            return 1.0
+        return self.serial_ms / self.parallel_ms
+
+
+def _iteration_costs(serial_ms: float, trip_count: int, imbalance: float) -> List[float]:
+    """Spread the nest's serial time over its iterations.
+
+    ``imbalance`` is the coefficient of variation of per-iteration cost; a
+    simple deterministic saw-tooth profile reproduces it well enough for the
+    scheduling model.
+    """
+    if trip_count <= 0:
+        return []
+    mean = serial_ms / trip_count
+    if imbalance <= 0:
+        return [mean] * trip_count
+    costs = []
+    for index in range(trip_count):
+        # Saw-tooth in [-1, 1] scaled to the requested imbalance.
+        wave = (2.0 * ((index % 8) / 7.0) - 1.0) if trip_count > 1 else 0.0
+        costs.append(max(mean * (1.0 + imbalance * wave), mean * 0.05))
+    scale = serial_ms / sum(costs)
+    return [cost * scale for cost in costs]
+
+
+def simulate_parallel_execution(
+    nest: NestAnalysis,
+    machine: MachineModel,
+    strategy: str = "block",
+    use_simd: bool = False,
+    easy_cutoff: Difficulty = Difficulty.MEDIUM,
+) -> ParallelOutcome:
+    """Model the parallel execution of one analysed nest.
+
+    Nests graded harder than ``easy_cutoff`` (or DOM-bound) keep their serial
+    time: their latent parallelism is not exploitable without the code changes
+    and browser support the paper discusses.
+    """
+    serial_ms = nest.profile.total_time_ms
+    trip_count = int(round(nest.profile.mean_trip_count * max(nest.profile.instances, 1)))
+    parallelizable = (
+        nest.parallelization <= easy_cutoff and not nest.dom.accesses_shared_browser_state
+    )
+    workers = machine.hardware_threads
+
+    if not parallelizable or trip_count <= 1 or serial_ms <= 0:
+        return ParallelOutcome(
+            nest_label=nest.profile.label,
+            serial_ms=serial_ms,
+            parallel_ms=serial_ms,
+            workers=workers,
+            strategy=strategy,
+            parallelizable=False,
+            divergence=nest.divergence,
+        )
+
+    imbalance = 0.0
+    if nest.divergence is DivergenceLevel.LITTLE:
+        imbalance = 0.25
+    elif nest.divergence is DivergenceLevel.YES:
+        imbalance = 0.9
+    costs = _iteration_costs(serial_ms, trip_count, imbalance)
+
+    if strategy == "cyclic":
+        chunks: Sequence[Chunk] = cyclic_partition(trip_count, workers)
+    else:
+        chunks = block_partition(trip_count, workers)
+
+    # Each worker's time is the sum of its iterations (divided by its SIMD
+    # throughput) plus scheduling overhead per chunk; the loop finishes when
+    # the slowest worker does.
+    simd_factor = 1.0
+    if use_simd:
+        simd_factor = machine.simd_width * machine.simd_efficiency(nest.divergence)
+    worker_times = []
+    for chunk in chunks:
+        work = sum(costs[i] for i in chunk.iterations) / max(simd_factor, 1.0)
+        overhead = serial_ms * machine.scheduling_overhead / max(workers, 1)
+        worker_times.append(work + overhead if len(chunk) else 0.0)
+    parallel_ms = max(worker_times) if worker_times else serial_ms
+
+    return ParallelOutcome(
+        nest_label=nest.profile.label,
+        serial_ms=serial_ms,
+        parallel_ms=max(parallel_ms, 1e-9),
+        workers=workers,
+        strategy=strategy,
+        parallelizable=True,
+        divergence=nest.divergence,
+    )

@@ -1,0 +1,55 @@
+"""Machine model used to validate the latent-parallelism findings.
+
+The paper measures on "a quad-core Intel Core i7 at 2.6 GHz (3720QM)" — four
+cores, eight hardware threads, AVX SIMD lanes — and discusses mapping loops
+onto both multi-core and SIMD/GPU hardware.  The model below captures the
+parameters the analysis needs: worker count, SIMD width, per-task scheduling
+overhead and the penalty divergent control flow pays on SIMD hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.divergence import DivergenceLevel
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of the parallel execution model."""
+
+    name: str = "quad-core i7 (3720QM)"
+    cores: int = 4
+    threads_per_core: int = 2
+    simd_width: int = 4
+    #: Fraction of a worker's time lost to scheduling/synchronization per chunk.
+    scheduling_overhead: float = 0.02
+    #: SIMD efficiency multipliers per divergence level.
+    simd_efficiency_none: float = 0.95
+    simd_efficiency_little: float = 0.70
+    simd_efficiency_divergent: float = 0.25
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+    def simd_efficiency(self, divergence: DivergenceLevel) -> float:
+        if divergence is DivergenceLevel.NONE:
+            return self.simd_efficiency_none
+        if divergence is DivergenceLevel.LITTLE:
+            return self.simd_efficiency_little
+        return self.simd_efficiency_divergent
+
+    def effective_parallelism(self, divergence: DivergenceLevel, use_simd: bool = False) -> float:
+        """Usable parallel lanes for a loop with the given divergence level."""
+        base = float(self.hardware_threads)
+        if use_simd:
+            base *= self.simd_width * self.simd_efficiency(divergence)
+        return max(base, 1.0)
+
+
+#: The paper's evaluation machine.
+PAPER_MACHINE = MachineModel()
+
+#: A SIMD-capable view of the same machine (AVX: 8 single-precision lanes).
+SIMD_MACHINE = MachineModel(name="quad-core i7 + AVX", simd_width=8)

@@ -1,0 +1,101 @@
+"""Application-level speedup validation.
+
+Combines the per-nest parallel execution model with the application's Table 2
+timings to produce a whole-application speedup, and compares it against the
+Amdahl upper bound from :mod:`repro.analysis.amdahl`.  The modelled speedup
+must never exceed the Amdahl bound (an invariant covered by tests), and for
+the loop-dominated applications it should land in the same ">3x for 5 of 12"
+bucket the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis.amdahl import SpeedupBound
+from ..analysis.casestudy import ApplicationAnalysis
+from ..analysis.difficulty import Difficulty
+from .executor import ParallelOutcome, simulate_parallel_execution
+from .machine import PAPER_MACHINE, MachineModel
+
+
+@dataclass
+class ApplicationSpeedup:
+    """Modelled whole-application speedup for one case-study application."""
+
+    application: str
+    serial_seconds: float
+    parallel_seconds: float
+    outcomes: List[ParallelOutcome] = field(default_factory=list)
+    amdahl_bound: Optional[float] = None
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_seconds <= 0:
+            return 1.0
+        return self.serial_seconds / self.parallel_seconds
+
+    def as_row(self) -> dict:
+        return {
+            "application": self.application,
+            "busy (s)": round(self.serial_seconds, 2),
+            "modelled (s)": round(self.parallel_seconds, 2),
+            "speedup": f"{self.speedup:.2f}x",
+            "Amdahl bound": f"{self.amdahl_bound:.2f}x" if self.amdahl_bound else "-",
+        }
+
+
+def model_application_speedup(
+    analysis: ApplicationAnalysis,
+    machine: MachineModel = PAPER_MACHINE,
+    strategy: str = "block",
+    use_simd: bool = False,
+) -> ApplicationSpeedup:
+    """Model an application's speedup from parallelizing its inspected nests.
+
+    The application's *busy* time (the larger of sampled active time and loop
+    time) is split into the inspected nests — which may or may not scale — and
+    a serial remainder that never does.
+    """
+    table2 = analysis.table2
+    busy_ms = max(table2.active_seconds, table2.loops_seconds) * 1000.0
+    loops_ms = table2.loops_seconds * 1000.0
+
+    # Use the same "easy to parallelize" cutoff as the Amdahl bound so the
+    # modelled speedup can never exceed it.
+    outcomes = [
+        simulate_parallel_execution(
+            nest, machine, strategy=strategy, use_simd=use_simd, easy_cutoff=Difficulty.EASY
+        )
+        for nest in analysis.nests
+    ]
+    inspected_serial_ms = sum(min(o.serial_ms, loops_ms) for o in outcomes)
+    inspected_serial_ms = min(inspected_serial_ms, loops_ms)
+    scale = 1.0
+    raw_total = sum(o.serial_ms for o in outcomes)
+    if raw_total > 0 and raw_total > loops_ms:
+        scale = loops_ms / raw_total
+
+    parallel_inspected_ms = sum(o.parallel_ms * scale for o in outcomes)
+    serial_rest_ms = max(busy_ms - sum(o.serial_ms * scale for o in outcomes), 0.0)
+    parallel_total_ms = parallel_inspected_ms + serial_rest_ms
+
+    result = ApplicationSpeedup(
+        application=analysis.name,
+        serial_seconds=busy_ms / 1000.0,
+        parallel_seconds=parallel_total_ms / 1000.0,
+        outcomes=outcomes,
+    )
+    if analysis.speedup is not None:
+        result.amdahl_bound = analysis.speedup.bound
+    return result
+
+
+def validate_against_amdahl(speedups: List[ApplicationSpeedup]) -> bool:
+    """Check the invariant: no modelled speedup exceeds its Amdahl bound."""
+    tolerance = 1e-6
+    for item in speedups:
+        if item.amdahl_bound is not None and item.speedup > item.amdahl_bound + tolerance:
+            return False
+    return True

@@ -1,0 +1,73 @@
+"""Developer survey subsystem (Section 2, Figures 1-4)."""
+
+from .aggregate import Distribution, choice_distribution, component_rating_distribution, scale_distribution
+from .coding import (
+    FIGURE1_CATEGORIES,
+    CodeBook,
+    CodingResult,
+    Rater,
+    code_answers,
+    default_codebook,
+    jaccard,
+    make_raters,
+)
+from .figures import (
+    FigureSeries,
+    all_figures,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    render_figure,
+)
+from .model import Question, QuestionKind, Questionnaire, Response, ResponseSet
+from .population import TOTAL_RESPONDENTS, generate_population
+from .questionnaire import (
+    BOTTLENECK_COMPONENTS,
+    BOTTLENECK_LEVELS,
+    Q_ARRAY_OPERATORS,
+    Q_BOTTLENECKS,
+    Q_FUTURE_TRENDS,
+    Q_GLOBALS,
+    Q_POLYMORPHISM,
+    Q_STYLE,
+    build_questionnaire,
+)
+
+__all__ = [
+    "Distribution",
+    "choice_distribution",
+    "component_rating_distribution",
+    "scale_distribution",
+    "FIGURE1_CATEGORIES",
+    "CodeBook",
+    "CodingResult",
+    "Rater",
+    "code_answers",
+    "default_codebook",
+    "jaccard",
+    "make_raters",
+    "FigureSeries",
+    "all_figures",
+    "figure1_data",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "render_figure",
+    "Question",
+    "QuestionKind",
+    "Questionnaire",
+    "Response",
+    "ResponseSet",
+    "TOTAL_RESPONDENTS",
+    "generate_population",
+    "BOTTLENECK_COMPONENTS",
+    "BOTTLENECK_LEVELS",
+    "Q_ARRAY_OPERATORS",
+    "Q_BOTTLENECKS",
+    "Q_FUTURE_TRENDS",
+    "Q_GLOBALS",
+    "Q_POLYMORPHISM",
+    "Q_STYLE",
+    "build_questionnaire",
+]

@@ -1,0 +1,72 @@
+"""Aggregation helpers turning a ResponseSet into per-question distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .model import QuestionKind, ResponseSet
+
+
+@dataclass
+class Distribution:
+    """A categorical distribution of answers to one question."""
+
+    question_id: str
+    counts: Dict[str, int]
+    total: int
+
+    def percentage(self, key: str) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.counts.get(key, 0) / self.total
+
+    def as_rows(self) -> List[dict]:
+        return [
+            {"answer": key, "count": count, "percent": round(self.percentage(key), 1)}
+            for key, count in self.counts.items()
+        ]
+
+
+def scale_distribution(responses: ResponseSet, question_id: str) -> Distribution:
+    """Distribution of a 1..N scale question, keyed by the scale value."""
+    question = responses.questionnaire.question(question_id)
+    if question.kind is not QuestionKind.SCALE:
+        raise ValueError(f"{question_id!r} is not a scale question")
+    counts = {str(value): 0 for value in range(1, question.scale_points + 1)}
+    answers = responses.answers_to(question_id)
+    for answer in answers:
+        key = str(int(answer))
+        if key in counts:
+            counts[key] += 1
+    return Distribution(question_id=question_id, counts=counts, total=len(answers))
+
+
+def choice_distribution(responses: ResponseSet, question_id: str) -> Distribution:
+    """Distribution of a single-choice question, keyed by the option label."""
+    question = responses.questionnaire.question(question_id)
+    counts = {option: 0 for option in question.options}
+    answers = responses.answers_to(question_id)
+    for answer in answers:
+        counts[answer] = counts.get(answer, 0) + 1
+    return Distribution(question_id=question_id, counts=counts, total=len(answers))
+
+
+def component_rating_distribution(
+    responses: ResponseSet, question_id: str, levels: Sequence[str]
+) -> Dict[str, Distribution]:
+    """Per-component distributions of a component-rating question."""
+    question = responses.questionnaire.question(question_id)
+    per_component: Dict[str, Dict[str, int]] = {
+        component: {level: 0 for level in levels} for component in question.options
+    }
+    totals: Dict[str, int] = {component: 0 for component in question.options}
+    for answer in responses.answers_to(question_id):
+        for component, rating in answer.items():
+            if component in per_component and rating in per_component[component]:
+                per_component[component][rating] += 1
+                totals[component] += 1
+    return {
+        component: Distribution(question_id=f"{question_id}:{component}", counts=counts, total=totals[component])
+        for component, counts in per_component.items()
+    }

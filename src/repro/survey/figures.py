@@ -1,0 +1,164 @@
+"""Regeneration of the paper's Figures 1-4 from a response set.
+
+Each ``figureN_data`` function returns the data series behind the figure
+(category/level → count and percentage) plus the values the paper reports, so
+tests and the benchmark harness can compare the reproduced shape against the
+published one.  ``render_*`` functions produce ASCII bar charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .aggregate import component_rating_distribution, scale_distribution
+from .coding import FIGURE1_CATEGORIES, CodingResult, code_answers
+from .model import ResponseSet
+from .questionnaire import (
+    BOTTLENECK_COMPONENTS,
+    BOTTLENECK_LEVELS,
+    Q_BOTTLENECKS,
+    Q_FUTURE_TRENDS,
+    Q_POLYMORPHISM,
+    Q_STYLE,
+)
+
+#: Percentages reported in the paper (used for shape comparison, not fitting).
+PAPER_FIGURE1_PERCENT = {
+    "Games": 31.0,
+    "Peer-to-Peer and Social": 20.0,
+    "Desktop like": 18.0,
+    "Data processing, analysis; productivity": 8.0,
+    "Audio and Video": 9.0,
+    "Visualization": 8.0,
+    "Augmented reality; voice, gesture, user recognition": 6.0,
+}
+
+PAPER_FIGURE2_BOTTLENECK_PERCENT = {
+    "resource loading": 52.0,
+    "DOM manipulation": 49.0,
+    "Canvas (read/write images)": 30.0,
+    "WebGL interaction": 27.0,
+    "number crunching": 21.0,
+    "styling (CSS)": 15.0,
+}
+
+PAPER_FIGURE3_PERCENT = {1: 31.3, 2: 30.1, 3: 24.7, 4: 9.0, 5: 4.8}
+PAPER_FIGURE4_PERCENT = {1: 58.0, 2: 29.0, 3: 7.0, 4: 5.0, 5: 1.0}
+
+
+@dataclass
+class FigureSeries:
+    """One data series (label → count/percent) behind a figure."""
+
+    figure: str
+    labels: List[str]
+    counts: List[int]
+    percents: List[float]
+    paper_percents: List[Optional[float]] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_rows(self) -> List[dict]:
+        rows = []
+        for index, label in enumerate(self.labels):
+            row = {
+                "label": label,
+                "count": self.counts[index],
+                "percent": round(self.percents[index], 1),
+            }
+            if index < len(self.paper_percents) and self.paper_percents[index] is not None:
+                row["paper percent"] = self.paper_percents[index]
+            rows.append(row)
+        return rows
+
+    def percent_by_label(self) -> Dict[str, float]:
+        return dict(zip(self.labels, self.percents))
+
+    def rank_order(self) -> List[str]:
+        return [label for _, label in sorted(zip(self.percents, self.labels), reverse=True)]
+
+
+def figure1_data(responses: ResponseSet, coding: Optional[CodingResult] = None) -> FigureSeries:
+    """Figure 1: future web-application categories from thematic coding."""
+    answers = [a for a in responses.answers_to(Q_FUTURE_TRENDS) if isinstance(a, str)]
+    result = coding if coding is not None else code_answers(answers)
+    counts = result.category_counts(FIGURE1_CATEGORIES)
+    categorized_total = sum(counts.values())
+    labels = list(FIGURE1_CATEGORIES)
+    count_list = [counts[label] for label in labels]
+    percents = [100.0 * c / categorized_total if categorized_total else 0.0 for c in count_list]
+    return FigureSeries(
+        figure="Figure 1",
+        labels=labels,
+        counts=count_list,
+        percents=percents,
+        paper_percents=[PAPER_FIGURE1_PERCENT[label] for label in labels],
+        extra={
+            "answers": len(answers),
+            "uncategorized": result.uncategorized(),
+            "inter_rater_agreement": result.agreement,
+        },
+    )
+
+
+def figure2_data(responses: ResponseSet) -> FigureSeries:
+    """Figure 2: % of respondents rating each component "is a bottleneck"."""
+    distributions = component_rating_distribution(responses, Q_BOTTLENECKS, BOTTLENECK_LEVELS)
+    labels = list(BOTTLENECK_COMPONENTS)
+    counts = [distributions[label].counts["is a bottleneck"] for label in labels]
+    percents = [distributions[label].percentage("is a bottleneck") for label in labels]
+    return FigureSeries(
+        figure="Figure 2",
+        labels=labels,
+        counts=counts,
+        percents=percents,
+        paper_percents=[PAPER_FIGURE2_BOTTLENECK_PERCENT[label] for label in labels],
+        extra={"levels": {label: distributions[label].counts for label in labels}},
+    )
+
+
+def _scale_figure(responses: ResponseSet, question_id: str, figure: str, paper: Dict[int, float]) -> FigureSeries:
+    distribution = scale_distribution(responses, question_id)
+    labels = [str(point) for point in range(1, 6)]
+    counts = [distribution.counts[label] for label in labels]
+    total = distribution.total or 1
+    percents = [100.0 * count / total for count in counts]
+    return FigureSeries(
+        figure=figure,
+        labels=labels,
+        counts=counts,
+        percents=percents,
+        paper_percents=[paper[int(label)] for label in labels],
+        extra={"answers": distribution.total},
+    )
+
+
+def figure3_data(responses: ResponseSet) -> FigureSeries:
+    """Figure 3: functional (1) vs imperative (5) style preference."""
+    return _scale_figure(responses, Q_STYLE, "Figure 3", PAPER_FIGURE3_PERCENT)
+
+
+def figure4_data(responses: ResponseSet) -> FigureSeries:
+    """Figure 4: monomorphic (1) vs polymorphic (5) variable usage."""
+    return _scale_figure(responses, Q_POLYMORPHISM, "Figure 4", PAPER_FIGURE4_PERCENT)
+
+
+def render_figure(series: FigureSeries, width: int = 40) -> str:
+    """ASCII bar chart of a figure series."""
+    lines = [series.figure]
+    label_width = max(len(label) for label in series.labels) if series.labels else 0
+    max_percent = max(series.percents) if series.percents else 1.0
+    for label, count, percent in zip(series.labels, series.counts, series.percents):
+        bar_length = int(round(width * percent / max_percent)) if max_percent else 0
+        lines.append(f"{label:<{label_width}} | {'#' * bar_length} {percent:5.1f}%  (n={count})")
+    return "\n".join(lines)
+
+
+def all_figures(responses: ResponseSet) -> Dict[str, FigureSeries]:
+    """All four survey figures for one response set."""
+    return {
+        "figure1": figure1_data(responses),
+        "figure2": figure2_data(responses),
+        "figure3": figure3_data(responses),
+        "figure4": figure4_data(responses),
+    }

@@ -1,0 +1,103 @@
+"""Data model for the developer survey (Section 2 of the paper).
+
+The survey instrument had 20 questions in four categories — trends in web
+applications, programming style, preferred tools and frameworks, and
+perceived performance bottlenecks — mixing multiple choice, rating scales and
+open-ended follow-ups.  The model below captures exactly the structure needed
+to regenerate Figures 1-4 plus the open-ended questions the paper discusses
+qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+
+class QuestionKind(Enum):
+    FREE_TEXT = "free text"
+    SINGLE_CHOICE = "single choice"
+    SCALE = "scale"  # 1..5 rating
+    COMPONENT_RATING = "component rating"  # rate each component on a small scale
+
+
+@dataclass(frozen=True)
+class Question:
+    """One survey question."""
+
+    question_id: str
+    text: str
+    kind: QuestionKind
+    category: str
+    #: For SINGLE_CHOICE: the options; for COMPONENT_RATING: the components.
+    options: Sequence[str] = ()
+    #: For SCALE questions: the labels of the scale endpoints.
+    scale_low: str = ""
+    scale_high: str = ""
+    scale_points: int = 5
+
+
+@dataclass
+class Questionnaire:
+    """An ordered set of questions."""
+
+    title: str
+    questions: List[Question] = field(default_factory=list)
+
+    def question(self, question_id: str) -> Question:
+        for question in self.questions:
+            if question.question_id == question_id:
+                return question
+        raise KeyError(f"no question with id {question_id!r}")
+
+    def ids(self) -> List[str]:
+        return [question.question_id for question in self.questions]
+
+    def by_category(self, category: str) -> List[Question]:
+        return [question for question in self.questions if question.category == category]
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return len(self.questions)
+
+
+@dataclass
+class Response:
+    """One respondent's answers, keyed by question id.
+
+    Answer types by question kind:
+
+    * FREE_TEXT → ``str``
+    * SINGLE_CHOICE → ``str`` (one of the options)
+    * SCALE → ``int`` (1..scale_points)
+    * COMPONENT_RATING → ``Dict[str, str]`` (component → rating label)
+
+    A missing key means the respondent skipped the question (the paper's
+    per-question response counts differ from the 174 total).
+    """
+
+    respondent_id: int
+    answers: Dict[str, object] = field(default_factory=dict)
+
+    def answer(self, question_id: str, default=None):
+        return self.answers.get(question_id, default)
+
+    def answered(self, question_id: str) -> bool:
+        return question_id in self.answers
+
+
+@dataclass
+class ResponseSet:
+    """All collected responses for one questionnaire."""
+
+    questionnaire: Questionnaire
+    responses: List[Response] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def answers_to(self, question_id: str) -> List[object]:
+        return [r.answers[question_id] for r in self.responses if question_id in r.answers]
+
+    def response_count(self, question_id: str) -> int:
+        return sum(1 for r in self.responses if question_id in r.answers)

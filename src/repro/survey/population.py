@@ -1,0 +1,255 @@
+"""Synthetic respondent population calibrated to the paper's marginals.
+
+The paper collected 174 distinct responses but never published the raw
+per-respondent data, only aggregate distributions (Figures 1-4 and scattered
+percentages in the text).  To exercise the full questionnaire → coding →
+aggregation pipeline we synthesize a population whose *marginal*
+distributions match the published aggregates; within those quotas the
+assignment of answers to respondents is randomized by a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from .coding import (
+    CATEGORY_AR_RECOGNITION,
+    CATEGORY_AUDIO_VIDEO,
+    CATEGORY_DATA,
+    CATEGORY_DESKTOP_LIKE,
+    CATEGORY_GAMES,
+    CATEGORY_P2P_SOCIAL,
+    CATEGORY_VISUALIZATION,
+)
+from .model import Response, ResponseSet
+from .questionnaire import (
+    BOTTLENECK_COMPONENTS,
+    BOTTLENECK_LEVELS,
+    Q_ARRAY_OPERATORS,
+    Q_BOTTLENECKS,
+    Q_FUTURE_TRENDS,
+    Q_GLOBALS,
+    Q_POLYMORPHISM,
+    Q_STYLE,
+    Q_STYLE_WHY,
+    build_questionnaire,
+)
+
+#: Total number of survey respondents (Section 2).
+TOTAL_RESPONDENTS = 174
+
+#: Figure 1 calibration — respondents per category, plus answers that could
+#: not be categorized and respondents who skipped the question entirely.
+TREND_CATEGORY_COUNTS: Dict[str, int] = {
+    CATEGORY_GAMES: 26,
+    CATEGORY_P2P_SOCIAL: 17,
+    CATEGORY_DESKTOP_LIKE: 15,
+    CATEGORY_DATA: 7,
+    CATEGORY_AUDIO_VIDEO: 8,
+    CATEGORY_VISUALIZATION: 7,
+    CATEGORY_AR_RECOGNITION: 5,
+}
+TREND_UNCATEGORIZED = 44
+TREND_SKIPPED = TOTAL_RESPONDENTS - sum(TREND_CATEGORY_COUNTS.values()) - TREND_UNCATEGORIZED
+
+#: Template free-text answers per category (keyword-bearing, as real answers are).
+_TREND_PHRASES: Dict[str, List[str]] = {
+    CATEGORY_GAMES: [
+        "Full 3D games using WebGL, with real physics",
+        "Commercial quality games in the browser",
+        "Multiplayer gaming with a proper engine",
+    ],
+    CATEGORY_P2P_SOCIAL: [
+        "More social applications and peer to peer collaboration",
+        "Realtime chat and collaborative editing with WebRTC",
+    ],
+    CATEGORY_DESKTOP_LIKE: [
+        "Everything that today runs on the desktop",
+        "Office suites and IDE-like desktop applications in the browser",
+    ],
+    CATEGORY_DATA: [
+        "Data analysis and productivity tools, spreadsheets",
+        "In-browser analytics and data processing",
+    ],
+    CATEGORY_AUDIO_VIDEO: [
+        "Audio and video editing, music applications",
+        "Photo and image editing, video streaming tools",
+    ],
+    CATEGORY_VISUALIZATION: [
+        "Interactive visualization dashboards and charts",
+        "Rich maps and graphs visualization",
+    ],
+    CATEGORY_AR_RECOGNITION: [
+        "Augmented reality, voice and gesture recognition",
+        "Speech recognition and camera based interaction",
+    ],
+}
+_TREND_UNCATEGORIZED_PHRASES = [
+    "More of the same, just faster",
+    "Hard to tell, the web changes every year",
+    "Better frameworks",
+    "Everything will be responsive",
+]
+
+#: Figure 2 calibration — per component: (not an issue, so-so, is a bottleneck).
+BOTTLENECK_COUNTS: Dict[str, Sequence[int]] = {
+    "resource loading": (13, 64, 85),
+    "DOM manipulation": (23, 65, 83),
+    "Canvas (read/write images)": (37, 72, 46),
+    "WebGL interaction": (37, 72, 41),
+    "number crunching": (65, 65, 35),
+    "styling (CSS)": (62, 77, 25),
+}
+
+#: Figure 3 calibration — functional (1) ... imperative (5), 166 answers.
+STYLE_COUNTS: Sequence[int] = (52, 50, 41, 15, 8)
+
+#: Figure 4 calibration — monomorphic (1) ... polymorphic (5), 168 answers.
+POLYMORPHISM_COUNTS: Sequence[int] = (98, 47, 12, 9, 2)
+
+#: Section 2.3 — 74% of those who answered prefer the built-in operators.
+ARRAY_OPERATOR_PREFERENCE = {"built-in operators": 118, "explicit loops": 42}
+
+#: Section 2.4 — 105 answers to the global-variables question, 33 of which
+#: mention namespacing/module emulation.
+GLOBALS_ANSWERS = 105
+GLOBALS_NAMESPACE_ANSWERS = 33
+
+_STYLE_WHY_FUNCTIONAL = [
+    "Functional code is more concise and readable",
+    "Easier to understand and to test",
+]
+_STYLE_WHY_IMPERATIVE = [
+    "Imperative code performs better",
+    "That is the style I learned first",
+]
+_GLOBALS_NAMESPACE = [
+    "Emulating a namespace or module system",
+    "A single global object acting as a module namespace",
+]
+_GLOBALS_OTHER = [
+    "Sharing values between scripts on the same page",
+    "Passing configuration from the server to the client on page load",
+    "A global singleton holding important data structures",
+]
+
+
+def _quota_list(counts: Dict[str, int] | Sequence, rng: random.Random) -> List:
+    """Expand a {value: count} mapping (or per-index counts) into a shuffled list."""
+    expanded: List = []
+    if isinstance(counts, dict):
+        for value, count in counts.items():
+            expanded.extend([value] * count)
+    else:
+        for index, count in enumerate(counts):
+            expanded.extend([index + 1] * count)
+    rng.shuffle(expanded)
+    return expanded
+
+
+def generate_population(seed: int = 2015, size: int = TOTAL_RESPONDENTS) -> ResponseSet:
+    """Generate the synthetic respondent population.
+
+    ``size`` other than 174 scales every quota proportionally (useful for
+    property tests); the default reproduces the paper's population.
+    """
+    rng = random.Random(seed)
+    questionnaire = build_questionnaire()
+    responses = [Response(respondent_id=index) for index in range(size)]
+    scale = size / TOTAL_RESPONDENTS
+
+    def scaled(count: int) -> int:
+        return max(0, round(count * scale))
+
+    # -- Figure 1: future trends ---------------------------------------------
+    trend_answers: List[Optional[str]] = []
+    for category, count in TREND_CATEGORY_COUNTS.items():
+        for _ in range(scaled(count)):
+            trend_answers.append(rng.choice(_TREND_PHRASES[category]))
+    for _ in range(scaled(TREND_UNCATEGORIZED)):
+        trend_answers.append(rng.choice(_TREND_UNCATEGORIZED_PHRASES))
+    while len(trend_answers) < size:
+        trend_answers.append(None)  # skipped the question
+    trend_answers = trend_answers[:size]
+    rng.shuffle(trend_answers)
+    for response, answer in zip(responses, trend_answers):
+        if answer is not None:
+            response.answers[Q_FUTURE_TRENDS] = answer
+
+    # -- Figure 2: bottleneck ratings -----------------------------------------
+    for component, counts in BOTTLENECK_COUNTS.items():
+        ratings: List[Optional[str]] = []
+        for level, count in zip(BOTTLENECK_LEVELS, counts):
+            ratings.extend([level] * scaled(count))
+        while len(ratings) < size:
+            ratings.append(None)
+        ratings = ratings[:size]
+        rng.shuffle(ratings)
+        for response, rating in zip(responses, ratings):
+            if rating is None:
+                continue
+            component_ratings = response.answers.setdefault(Q_BOTTLENECKS, {})
+            component_ratings[component] = rating
+
+    # -- Figure 3: style scale --------------------------------------------------
+    style_values = _quota_list([scaled(c) for c in STYLE_COUNTS], rng)
+    while len(style_values) < size:
+        style_values.append(None)
+    style_values = style_values[:size]
+    rng.shuffle(style_values)
+    for response, value in zip(responses, style_values):
+        if value is None:
+            continue
+        response.answers[Q_STYLE] = value
+        if rng.random() < 0.52:  # 52% answered the "Why" follow-up
+            pool = _STYLE_WHY_FUNCTIONAL if value <= 2 else _STYLE_WHY_IMPERATIVE
+            response.answers[Q_STYLE_WHY] = rng.choice(pool)
+
+    # -- Figure 4: polymorphism scale -------------------------------------------
+    poly_values = _quota_list([scaled(c) for c in POLYMORPHISM_COUNTS], rng)
+    while len(poly_values) < size:
+        poly_values.append(None)
+    poly_values = poly_values[:size]
+    rng.shuffle(poly_values)
+    for response, value in zip(responses, poly_values):
+        if value is not None:
+            response.answers[Q_POLYMORPHISM] = value
+
+    # -- array operators preference ----------------------------------------------
+    operator_answers: List[Optional[str]] = []
+    for choice, count in ARRAY_OPERATOR_PREFERENCE.items():
+        operator_answers.extend([choice] * scaled(count))
+    while len(operator_answers) < size:
+        operator_answers.append(None)
+    operator_answers = operator_answers[:size]
+    rng.shuffle(operator_answers)
+    for response, choice in zip(responses, operator_answers):
+        if choice is not None:
+            response.answers[Q_ARRAY_OPERATORS] = choice
+
+    # -- global variables scenario -------------------------------------------------
+    globals_answers: List[Optional[str]] = []
+    for _ in range(scaled(GLOBALS_NAMESPACE_ANSWERS)):
+        globals_answers.append(rng.choice(_GLOBALS_NAMESPACE))
+    for _ in range(scaled(GLOBALS_ANSWERS - GLOBALS_NAMESPACE_ANSWERS)):
+        globals_answers.append(rng.choice(_GLOBALS_OTHER))
+    while len(globals_answers) < size:
+        globals_answers.append(None)
+    globals_answers = globals_answers[:size]
+    rng.shuffle(globals_answers)
+    for response, answer in zip(responses, globals_answers):
+        if answer is not None:
+            response.answers[Q_GLOBALS] = answer
+
+    # -- filler questions (demographics, tools, parallelism) ------------------------
+    for response in responses:
+        for question in questionnaire.questions:
+            if question.question_id in response.answers:
+                continue
+            if question.kind.name == "SINGLE_CHOICE" and question.options and rng.random() < 0.9:
+                response.answers[question.question_id] = rng.choice(list(question.options))
+            elif question.kind.name == "SCALE" and rng.random() < 0.85:
+                response.answers[question.question_id] = rng.randint(1, question.scale_points)
+
+    return ResponseSet(questionnaire=questionnaire, responses=responses)

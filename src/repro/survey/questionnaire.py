@@ -1,0 +1,99 @@
+"""The paper's 20-question survey instrument.
+
+Only a handful of questions feed the published figures; the remaining ones
+(demographics, tools, open-ended follow-ups) are included so the instrument
+has the same shape and so the population generator produces a realistic
+response set.
+"""
+
+from __future__ import annotations
+
+from .model import Question, QuestionKind, Questionnaire
+
+# Question ids used throughout the package.
+Q_FUTURE_TRENDS = "future-trends"
+Q_BOTTLENECKS = "bottlenecks"
+Q_STYLE = "functional-vs-imperative"
+Q_STYLE_WHY = "functional-vs-imperative-why"
+Q_POLYMORPHISM = "monomorphic-vs-polymorphic"
+Q_ARRAY_OPERATORS = "array-operators-vs-loops"
+Q_ARRAY_OPERATORS_WHY = "array-operators-why"
+Q_GLOBALS = "global-variables-scenario"
+
+#: The six components rated in Figure 2, in the paper's order.
+BOTTLENECK_COMPONENTS = (
+    "resource loading",
+    "DOM manipulation",
+    "Canvas (read/write images)",
+    "WebGL interaction",
+    "number crunching",
+    "styling (CSS)",
+)
+
+#: The three-point rating used in Figure 2.
+BOTTLENECK_LEVELS = ("not an issue", "so, so...", "is a bottleneck")
+
+
+def build_questionnaire() -> Questionnaire:
+    """Build the 20-question instrument described in Section 2."""
+    questions = [
+        # -- demographics / tools ------------------------------------------------
+        Question("years-experience", "How many years have you been developing for the web?",
+                 QuestionKind.SINGLE_CHOICE, "demographics",
+                 options=("<1", "1-3", "3-5", "5-10", ">10")),
+        Question("role", "What best describes your current role?",
+                 QuestionKind.SINGLE_CHOICE, "demographics",
+                 options=("front-end developer", "full-stack developer", "back-end developer",
+                          "designer", "student", "other")),
+        Question("primary-libraries", "Which JavaScript libraries or frameworks do you use most?",
+                 QuestionKind.FREE_TEXT, "tools"),
+        Question("ide", "Which editor or IDE do you mainly use?",
+                 QuestionKind.SINGLE_CHOICE, "tools",
+                 options=("Sublime Text", "Vim", "Emacs", "WebStorm", "Visual Studio", "Eclipse", "other")),
+        Question("compile-to-js", "Do you use compile-to-JavaScript languages (CoffeeScript, TypeScript, Dart...)?",
+                 QuestionKind.SINGLE_CHOICE, "tools", options=("never", "sometimes", "often")),
+        # -- trends ---------------------------------------------------------------
+        Question(Q_FUTURE_TRENDS,
+                 "In your opinion, what new kinds of applications will trend on the web over the next 5 years?",
+                 QuestionKind.FREE_TEXT, "trends"),
+        Question("native-vs-web", "Will web applications replace native desktop applications?",
+                 QuestionKind.SCALE, "trends", scale_low="never", scale_high="completely"),
+        # -- performance ----------------------------------------------------------
+        Question(Q_BOTTLENECKS,
+                 "For each of the following components, tell us whether it is a performance "
+                 "bottleneck in the web applications you write.",
+                 QuestionKind.COMPONENT_RATING, "performance", options=BOTTLENECK_COMPONENTS),
+        Question("bottlenecks-other", "Any other performance bottleneck we missed?",
+                 QuestionKind.FREE_TEXT, "performance"),
+        Question("perf-tools", "Which tools do you use to diagnose performance problems?",
+                 QuestionKind.FREE_TEXT, "performance"),
+        # -- programming style ----------------------------------------------------
+        Question(Q_STYLE, "Rate your preferred programming style.",
+                 QuestionKind.SCALE, "style",
+                 scale_low="strongly functional", scale_high="strongly imperative"),
+        Question(Q_STYLE_WHY, "Why?", QuestionKind.FREE_TEXT, "style"),
+        Question(Q_ARRAY_OPERATORS,
+                 "Do you prefer the built-in Array operators (map, forEach, every...) or explicit loops?",
+                 QuestionKind.SINGLE_CHOICE, "style",
+                 options=("built-in operators", "explicit loops")),
+        Question(Q_ARRAY_OPERATORS_WHY, "Why?", QuestionKind.FREE_TEXT, "style"),
+        Question(Q_POLYMORPHISM, "Rate the variables in the programs you write.",
+                 QuestionKind.SCALE, "style",
+                 scale_low="purely monomorphic", scale_high="extensively polymorphic"),
+        Question(Q_GLOBALS, "What would be a scenario where using global variables helps?",
+                 QuestionKind.FREE_TEXT, "style"),
+        Question("closures", "How often do you use closures?",
+                 QuestionKind.SINGLE_CHOICE, "style", options=("rarely", "sometimes", "all the time")),
+        Question("eval-usage", "How often do you use eval or Function constructors?",
+                 QuestionKind.SINGLE_CHOICE, "style", options=("never", "rarely", "sometimes", "often")),
+        # -- parallelism ----------------------------------------------------------
+        Question("web-workers", "Have you used Web Workers?",
+                 QuestionKind.SINGLE_CHOICE, "parallelism",
+                 options=("never heard of them", "heard of them, never used", "experimented", "use them in production")),
+        Question("parallel-apis", "Would you use a data-parallel JavaScript API (map/reduce style) if it were available?",
+                 QuestionKind.SINGLE_CHOICE, "parallelism",
+                 options=("yes", "maybe", "no")),
+    ]
+    questionnaire = Questionnaire(title="JavaScript in practice", questions=questions)
+    assert len(questionnaire) == 20, "the paper's instrument has 20 questions"
+    return questionnaire

@@ -1,0 +1,28 @@
+"""The case-study workloads (Table 1) plus the paper's Figure 6 example."""
+
+from .base import (
+    REGISTRY,
+    Workload,
+    WorkloadRegistry,
+    all_workloads,
+    get_workload,
+    register_workload,
+    table1,
+    workload_names,
+)
+from .nbody import DRIVER_WHILE_LINE, NBODY_SOURCE, STEP_FOR_LINE, make_nbody_workload
+
+__all__ = [
+    "REGISTRY",
+    "Workload",
+    "WorkloadRegistry",
+    "all_workloads",
+    "get_workload",
+    "register_workload",
+    "table1",
+    "workload_names",
+    "DRIVER_WHILE_LINE",
+    "NBODY_SOURCE",
+    "STEP_FOR_LINE",
+    "make_nbody_workload",
+]

@@ -1,0 +1,136 @@
+"""Ace — code editor used by the Cloud9 IDE (Productivity).
+
+Table 1: ``Ace / ace.c9.io — Productivity / code editor``.
+
+Table 3's two Ace nests are the archetype of loops that are *not* worth
+parallelizing: they "only execute roughly one iteration on average" (the
+outer render loop runs "until there are no more cascading changes"), they are
+divergent, they touch the DOM heavily, and breaking their dependences would
+be very hard.  Table 2 shows the editor is idle most of the time (30 s total,
+0.4 s active).
+
+The kernel models the editor's render pipeline: a dirty-flag loop that
+re-runs layout/highlight passes until the document stops changing, where each
+pass tokenizes the visible lines and updates DOM rows.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_PRODUCTIVITY, Workload, register_workload
+
+ACE_SOURCE = """\
+var ace = {};
+ace.lines = [];
+ace.dirty = false;
+ace.rows = [];
+ace.tokensRendered = 0;
+
+function aceInit(lineCount) {
+  ace.lines = [];
+  ace.rows = [];
+  var container = document.getElementById("editor");
+  var i = 0;
+  while (i < lineCount) {
+    ace.lines.push("var value" + i + " = compute(" + i + ") + offset;");
+    var row = document.createElement("div");
+    row.className = "ace_line";
+    container.appendChild(row);
+    ace.rows.push(row);
+    i++;
+  }
+  return ace.lines.length;
+}
+
+function aceTokenizeLine(text) {
+  var tokens = [];
+  var current = "";
+  var i = 0;
+  while (i < text.length) {
+    var ch = text.charAt(i);
+    if (ch === " " || ch === ";" || ch === "(" || ch === ")" || ch === "=" || ch === "+") {
+      if (current.length > 0) { tokens.push(current); current = ""; }
+      if (ch !== " ") { tokens.push(ch); }
+    } else {
+      current = current + ch;
+    }
+    i++;
+  }
+  if (current.length > 0) { tokens.push(current); }
+  return tokens;
+}
+
+function aceRenderLine(index) {
+  var tokens = aceTokenizeLine(ace.lines[index]);
+  var html = "";
+  for (var t = 0; t < tokens.length; t++) {
+    html = html + "<span>" + tokens[t] + "</span>";
+  }
+  ace.rows[index].innerHTML = html;
+  ace.rows[index].setAttribute("data-tokens", "" + tokens.length);
+  ace.tokensRendered += tokens.length;
+  return tokens.length;
+}
+
+function aceEdit(lineIndex, text) {
+  ace.lines[lineIndex] = text;
+  ace.dirty = true;
+}
+
+function aceRenderLoop(visibleFrom, visibleTo) {
+  var passes = 0;
+  // The outer loop re-runs while edits cascade; in steady state it runs once.
+  while (ace.dirty) {
+    ace.dirty = false;
+    for (var row = visibleFrom; row < visibleTo; row++) {
+      var tokenCount = aceRenderLine(row);
+      if (tokenCount > 40) {
+        // wrapping a very long line dirties the layout again
+        ace.dirty = true;
+      }
+    }
+    passes++;
+  }
+  return passes;
+}
+
+function aceKeystroke(lineIndex, suffix) {
+  aceEdit(lineIndex, ace.lines[lineIndex] + suffix);
+  var to = lineIndex + 3;
+  if (to > ace.lines.length) { to = ace.lines.length; }
+  return aceRenderLoop(lineIndex, to);
+}
+"""
+
+
+def _prepare(session) -> None:
+    editor = session.document.create_element("div")
+    editor.set("id", "editor")
+    session.document.body.append_child(editor)
+
+
+def _exercise(session) -> None:
+    session.run_script("aceInit(30);", name="ace-setup.js")
+    # A user types in two places with thinking pauses between keystrokes, so
+    # each keystroke triggers one render-loop invocation from the event
+    # handler (the keystroke "loop" is the user, not guest code).
+    for keystroke in range(10):
+        session.run_script(f"aceKeystroke(4, ' + k{keystroke}');", name="ace-typing1.js")
+        session.idle(900.0)
+    session.idle(4000.0)
+    for keystroke in range(10):
+        session.run_script(f"aceKeystroke(17, ' + j{keystroke}');", name="ace-typing2.js")
+        session.idle(900.0)
+    session.idle(6000.0)
+
+
+@register_workload("Ace")
+def make_ace_workload() -> Workload:
+    return Workload(
+        name="Ace",
+        category=CATEGORY_PRODUCTIVITY,
+        description="code editor used by the Cloud9 IDE",
+        url="ace.c9.io",
+        scripts=[("ace.js", ACE_SOURCE)],
+        prepare_fn=_prepare,
+        exercise_fn=_exercise,
+    )

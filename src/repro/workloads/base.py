@@ -1,0 +1,131 @@
+"""Workload abstraction and the Table 1 registry.
+
+A :class:`Workload` bundles the mini-JS source of one case-study application
+with the host-side code that prepares the page and exercises the app the way
+a user would (step 4 of the paper's Figure 5).  The registry mirrors Table 1
+of the paper: twelve applications chosen as "the most mature implementations
+of the various trends identified by the survey respondents".
+
+The original applications are real-world JavaScript code bases; here each
+workload re-implements the application's *computational kernel* — the loops
+the paper actually inspects — with the same loop structure, DOM/Canvas usage,
+recursion behaviour and trip-count profile.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..browser.window import BrowserSession
+
+#: Survey trend categories (Figure 1) used to tag each workload.
+CATEGORY_USER_RECOGNITION = "User recognition"
+CATEGORY_GAMES = "Games"
+CATEGORY_AUDIO_VIDEO = "Audio and Video"
+CATEGORY_PRODUCTIVITY = "Productivity"
+CATEGORY_VISUALIZATION = "Visualization"
+
+
+@dataclass
+class Workload:
+    """One case-study application."""
+
+    name: str
+    category: str
+    description: str
+    url: str
+    scripts: List[Tuple[str, str]]
+    prepare_fn: Optional[Callable[[BrowserSession], None]] = None
+    exercise_fn: Optional[Callable[[BrowserSession], None]] = None
+    #: Approximate scale knob used by drivers (grid size, pixel count, ...).
+    scale: float = 1.0
+
+    def prepare(self, session: BrowserSession) -> None:
+        """Host-side page setup (canvas elements, input data)."""
+        if self.prepare_fn is not None:
+            self.prepare_fn(session)
+
+    def exercise(self, session: BrowserSession) -> None:
+        """Drive the application the way a user would."""
+        if self.exercise_fn is not None:
+            self.exercise_fn(session)
+
+    def table1_row(self) -> dict:
+        return {"Name/URL": f"{self.name} / {self.url}", "Category/Description": f"{self.category} / {self.description}"}
+
+
+class WorkloadRegistry:
+    """Registry of the case-study workloads (Table 1)."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], Workload]] = {}
+
+    def register(self, name: str, factory: Callable[[], Workload]) -> None:
+        self._factories[name] = factory
+
+    def names(self) -> List[str]:
+        return list(self._factories.keys())
+
+    def create(self, name: str) -> Workload:
+        if name not in self._factories:
+            raise KeyError(f"unknown workload {name!r}; known: {sorted(self._factories)}")
+        return self._factories[name]()
+
+    def create_all(self) -> List[Workload]:
+        return [factory() for factory in self._factories.values()]
+
+
+#: Global registry populated by the workload modules at import time.
+REGISTRY = WorkloadRegistry()
+
+
+def register_workload(name: str):
+    """Decorator registering a zero-argument workload factory."""
+
+    def decorator(factory: Callable[[], Workload]) -> Callable[[], Workload]:
+        REGISTRY.register(name, factory)
+        return factory
+
+    return decorator
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a registered workload by name."""
+    _ensure_loaded()
+    return REGISTRY.create(name)
+
+
+def all_workloads() -> List[Workload]:
+    """Instantiate every registered case-study workload (Table 1 order)."""
+    _ensure_loaded()
+    return REGISTRY.create_all()
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return REGISTRY.names()
+
+
+def table1() -> List[dict]:
+    """The Table 1 rows (name/URL and category/description)."""
+    return [workload.table1_row() for workload in all_workloads()]
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules so they register themselves."""
+    from . import (  # noqa: F401  (import side effects populate REGISTRY)
+        haar,
+        cloth,
+        caman,
+        fluidsim,
+        harmony,
+        ace,
+        myscript,
+        raytrace,
+        normalmap,
+        sigma,
+        processing,
+        d3map,
+    )

@@ -1,0 +1,138 @@
+"""CamanJS — image manipulation library (Audio and Video).
+
+Table 1: ``CamanJS / camanjs.com — Audio and Video / image manipulation
+library``.
+
+Table 3 inspects three nests, all easy to parallelize with little divergence
+and no DOM access inside the hot loops: the main per-pixel filter loop (72%
+of loop time, ~90k trips per instance) plus two smaller per-pixel passes.
+The kernel below reads ImageData from a canvas once, then applies a chain of
+pixel-wise filters (brightness, contrast, saturation) and a convolution, and
+writes the result back — the same render pipeline CamanJS uses.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_AUDIO_VIDEO, Workload, register_workload
+
+CAMAN_SOURCE = """\
+var caman = {};
+caman.width = 0;
+caman.height = 0;
+caman.pixels = [];
+
+function camanLoad(width, height) {
+  caman.width = width;
+  caman.height = height;
+  caman.pixels = [];
+  var canvas = document.getElementById("caman-canvas");
+  var ctx = canvas.getContext("2d");
+  var image = ctx.getImageData(0, 0, width, height);
+  var data = image.data;
+  var i = 0;
+  while (i < width * height * 4) {
+    caman.pixels.push(data[i]);
+    i++;
+  }
+  return caman.pixels.length;
+}
+
+function camanBrightness(adjust) {
+  // per-pixel brightness: each iteration touches only its own channel values
+  for (var i = 0; i < caman.pixels.length; i += 4) {
+    caman.pixels[i] = caman.pixels[i] + adjust;
+    caman.pixels[i + 1] = caman.pixels[i + 1] + adjust;
+    caman.pixels[i + 2] = caman.pixels[i + 2] + adjust;
+  }
+}
+
+function camanContrast(adjust) {
+  var factor = (259 * (adjust + 255)) / (255 * (259 - adjust));
+  for (var i = 0; i < caman.pixels.length; i += 4) {
+    caman.pixels[i] = factor * (caman.pixels[i] - 128) + 128;
+    caman.pixels[i + 1] = factor * (caman.pixels[i + 1] - 128) + 128;
+    caman.pixels[i + 2] = factor * (caman.pixels[i + 2] - 128) + 128;
+  }
+}
+
+function camanSaturation(adjust) {
+  var level = adjust * -0.01;
+  for (var i = 0; i < caman.pixels.length; i += 4) {
+    var r = caman.pixels[i];
+    var g = caman.pixels[i + 1];
+    var b = caman.pixels[i + 2];
+    var max = Math.max(r, Math.max(g, b));
+    caman.pixels[i] = r + (max - r) * level;
+    caman.pixels[i + 1] = g + (max - g) * level;
+    caman.pixels[i + 2] = b + (max - b) * level;
+  }
+}
+
+function camanHistogram() {
+  // luminance histogram: a classic reduction over all pixels
+  var histogram = [];
+  var bin = 0;
+  while (bin < 16) { histogram.push(0); bin++; }
+  for (var i = 0; i < caman.pixels.length; i += 4) {
+    var luma = 0.299 * caman.pixels[i] + 0.587 * caman.pixels[i + 1] + 0.114 * caman.pixels[i + 2];
+    var index = Math.floor(luma / 16);
+    if (index < 0) { index = 0; }
+    if (index > 15) { index = 15; }
+    histogram[index] = histogram[index] + 1;
+  }
+  return histogram;
+}
+
+function camanRender() {
+  var canvas = document.getElementById("caman-canvas");
+  var ctx = canvas.getContext("2d");
+  var image = ctx.createImageData(caman.width, caman.height);
+  var data = image.data;
+  var i = 0;
+  while (i < caman.pixels.length) {
+    var value = caman.pixels[i];
+    if (value < 0) { value = 0; }
+    if (value > 255) { value = 255; }
+    data[i] = value;
+    i++;
+  }
+  ctx.putImageData(image, 0, 0);
+  return caman.pixels.length;
+}
+
+function camanProcess(brightness, contrast, saturation) {
+  camanBrightness(brightness);
+  camanContrast(contrast);
+  camanSaturation(saturation);
+  var histogram = camanHistogram();
+  return histogram[8];
+}
+"""
+
+
+def _prepare(session) -> None:
+    canvas = session.create_canvas("caman-canvas", 36, 28)
+    # Paint something non-trivial into the buffer so the filters have data.
+    host = canvas.host_canvas
+    for band in range(4):
+        host.fill_rect(band * 9, 0, 9, 28, rgba=(40 + band * 50, 90, 200 - band * 40, 255))
+
+
+def _exercise(session) -> None:
+    session.run_script("camanLoad(36, 28);", name="caman-load.js")
+    session.run_script("camanProcess(12, 20, 35); camanProcess(-8, 10, 15);", name="caman-driver.js")
+    session.run_script("camanRender();", name="caman-render.js")
+    session.idle(4000.0)
+
+
+@register_workload("CamanJS")
+def make_caman_workload() -> Workload:
+    return Workload(
+        name="CamanJS",
+        category=CATEGORY_AUDIO_VIDEO,
+        description="image manipulation library",
+        url="camanjs.com",
+        scripts=[("caman.js", CAMAN_SOURCE)],
+        prepare_fn=_prepare,
+        exercise_fn=_exercise,
+    )

@@ -1,0 +1,134 @@
+"""Tear-able Cloth — Verlet-integration cloth physics (Games).
+
+Table 1: ``Tear-able Cloth / lonely-pixel.com/lab/cloth — Games / cloth
+physics simulation (Verlet integration)``.
+
+Table 3 reports a single dominant nest (80% of loop time, ~1077 instances,
+~1581 trips per instance, little divergence, no DOM) whose dependences are of
+*medium* difficulty to break: constraint relaxation reads and writes
+neighbouring particles, so iterations are not independent, but the structure
+is regular (a classic stencil-style medium case).
+
+The kernel simulates a grid of points connected by distance constraints; each
+animation frame performs the Verlet position update and several constraint
+relaxation sweeps, then "renders" by accumulating line lengths (the original
+draws to a canvas; drawing is intentionally kept outside the hot loops, as in
+the original where the physics loop dominates).
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_GAMES, Workload, register_workload
+
+CLOTH_SOURCE = """\
+var cloth = {};
+cloth.points = [];
+cloth.constraints = [];
+cloth.gravity = 0.3;
+cloth.friction = 0.99;
+
+function clothInit(cols, rows, spacing) {
+  cloth.points = [];
+  cloth.constraints = [];
+  var y = 0;
+  for (y = 0; y < rows; y++) {
+    for (var x = 0; x < cols; x++) {
+      var p = {
+        x: x * spacing,
+        y: y * spacing,
+        px: x * spacing,
+        py: y * spacing,
+        pinned: (y === 0 && x % 4 === 0)
+      };
+      cloth.points.push(p);
+      if (x > 0) {
+        cloth.constraints.push({ a: y * cols + x - 1, b: y * cols + x, length: spacing });
+      }
+      if (y > 0) {
+        cloth.constraints.push({ a: (y - 1) * cols + x, b: y * cols + x, length: spacing });
+      }
+    }
+  }
+  return cloth.points.length;
+}
+
+function clothVerlet(delta) {
+  // position integration: each point only touches itself (data parallel)
+  for (var i = 0; i < cloth.points.length; i++) {
+    var p = cloth.points[i];
+    if (p.pinned) { continue; }
+    var vx = (p.x - p.px) * cloth.friction;
+    var vy = (p.y - p.py) * cloth.friction;
+    p.px = p.x;
+    p.py = p.y;
+    p.x += vx;
+    p.y += vy + cloth.gravity * delta;
+  }
+}
+
+function clothRelax() {
+  // constraint relaxation: each constraint moves both of its endpoints,
+  // so neighbouring iterations share particles (medium-difficulty deps)
+  for (var c = 0; c < cloth.constraints.length; c++) {
+    var constraint = cloth.constraints[c];
+    var p1 = cloth.points[constraint.a];
+    var p2 = cloth.points[constraint.b];
+    var dx = p2.x - p1.x;
+    var dy = p2.y - p1.y;
+    var dist = Math.sqrt(dx * dx + dy * dy);
+    if (dist < 0.000001) { dist = 0.000001; }
+    var diff = (constraint.length - dist) / dist;
+    var ox = dx * diff * 0.5;
+    var oy = dy * diff * 0.5;
+    if (!p1.pinned) { p1.x -= ox; p1.y -= oy; }
+    if (!p2.pinned) { p2.x += ox; p2.y += oy; }
+  }
+}
+
+function clothMeasure() {
+  var total = 0;
+  for (var c = 0; c < cloth.constraints.length; c++) {
+    var constraint = cloth.constraints[c];
+    var p1 = cloth.points[constraint.a];
+    var p2 = cloth.points[constraint.b];
+    var dx = p2.x - p1.x;
+    var dy = p2.y - p1.y;
+    total += Math.sqrt(dx * dx + dy * dy);
+  }
+  return total;
+}
+
+function clothStep(relaxations, delta) {
+  clothVerlet(delta);
+  var r = 0;
+  while (r < relaxations) {
+    clothRelax();
+    r++;
+  }
+  return clothMeasure();
+}
+"""
+
+
+def _exercise(session) -> None:
+    session.run_script("clothInit(14, 10, 8);", name="cloth-setup.js")
+    # A few seconds of simulated interaction: one physics step per frame.
+    session.run_script(
+        "function clothFrame() { clothStep(2, 1.0); requestAnimationFrame(clothFrame); }"
+        " requestAnimationFrame(clothFrame);",
+        name="cloth-driver.js",
+    )
+    session.run_frames(10)
+    session.idle(2500.0)
+
+
+@register_workload("Tear-able Cloth")
+def make_cloth_workload() -> Workload:
+    return Workload(
+        name="Tear-able Cloth",
+        category=CATEGORY_GAMES,
+        description="cloth physics simulation (Verlet integration)",
+        url="lonely-pixel.com/lab/cloth",
+        scripts=[("cloth.js", CLOTH_SOURCE)],
+        exercise_fn=_exercise,
+    )

@@ -1,0 +1,111 @@
+"""D3.js — interactive azimuthal projection map (Visualization).
+
+Table 1: ``D3.js / d3js.org — Visualization / interactive azimuthal
+projection map``.
+
+Table 3: a single nest with 99% of loop time, ~51 instances (one per
+drag/zoom event) and trips 156±57 (one per geometry), graded *yes* for
+divergence (polygons have data-dependent vertex counts), *yes* for DOM access
+(every feature updates an SVG-like path element) and *hard* overall.
+Table 2: 18 s total, 5 s active, 4 s in loops.
+
+The kernel re-projects a synthetic set of geographic features through an
+azimuthal-equidistant projection on every pan event and writes the resulting
+path strings into DOM elements.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_VISUALIZATION, Workload, register_workload
+
+D3_SOURCE = """\
+var d3map = {};
+d3map.features = [];
+d3map.paths = [];
+d3map.rotation = 0;
+
+function d3LoadFeatures(featureCount) {
+  d3map.features = [];
+  d3map.paths = [];
+  var svg = document.getElementById("map");
+  var f = 0;
+  while (f < featureCount) {
+    var vertexCount = 6 + (f * 13) % 40;
+    var coordinates = [];
+    var v = 0;
+    while (v < vertexCount) {
+      coordinates.push({
+        lon: -180 + (f * 17 + v * 11) % 360,
+        lat: -80 + (f * 7 + v * 5) % 160
+      });
+      v++;
+    }
+    d3map.features.push({ id: f, coordinates: coordinates });
+    var path = document.createElement("path");
+    path.setAttribute("data-feature", "" + f);
+    svg.appendChild(path);
+    d3map.paths.push(path);
+    f++;
+  }
+  return d3map.features.length;
+}
+
+function d3Project(lon, lat, rotation) {
+  // azimuthal equidistant projection centred on (rotation, 0)
+  var lambda = (lon + rotation) * Math.PI / 180;
+  var phi = lat * Math.PI / 180;
+  var cosC = Math.cos(phi) * Math.cos(lambda);
+  var c = Math.acos(cosC > 1 ? 1 : (cosC < -1 ? -1 : cosC));
+  var k = c === 0 ? 1 : c / Math.sin(c);
+  var x = k * Math.cos(phi) * Math.sin(lambda);
+  var y = k * Math.sin(phi);
+  return { x: 200 + x * 60, y: 150 - y * 60 };
+}
+
+function d3Redraw(rotation) {
+  d3map.rotation = rotation;
+  var rendered = 0;
+  // re-project every feature and update its DOM path
+  for (var f = 0; f < d3map.features.length; f++) {
+    var feature = d3map.features[f];
+    var d = "M";
+    for (var v = 0; v < feature.coordinates.length; v++) {
+      var coordinate = feature.coordinates[v];
+      var point = d3Project(coordinate.lon, coordinate.lat, rotation);
+      if (v > 0) { d = d + "L"; }
+      d = d + point.x.toFixed(1) + "," + point.y.toFixed(1);
+    }
+    d3map.paths[f].setAttribute("d", d);
+    rendered++;
+  }
+  return rendered;
+}
+"""
+
+
+def _prepare(session) -> None:
+    svg = session.document.create_element("svg")
+    svg.set("id", "map")
+    session.document.body.append_child(svg)
+
+
+def _exercise(session) -> None:
+    session.run_script("d3LoadFeatures(24);", name="d3-setup.js")
+    # The user drags the globe: each drag event triggers one full re-projection.
+    for event in range(6):
+        session.run_script(f"d3Redraw({event * 12});", name="d3-drag.js")
+        session.idle(700.0)
+    session.idle(5000.0)
+
+
+@register_workload("D3.js")
+def make_d3_workload() -> Workload:
+    return Workload(
+        name="D3.js",
+        category=CATEGORY_VISUALIZATION,
+        description="interactive azimuthal projection map",
+        url="d3js.org",
+        scripts=[("d3map.js", D3_SOURCE)],
+        prepare_fn=_prepare,
+        exercise_fn=_exercise,
+    )

@@ -1,0 +1,154 @@
+"""HAAR.js — Viola-Jones face detection (User recognition).
+
+Table 1: ``HAAR.js / github.com/foo123/HAAR.js — User recognition / face
+recognition (Viola-Jones)``.
+
+The paper inspects two hot loop nests (Table 3):
+
+* the integral-image / feature preparation loops — ~10 instances, trips
+  31±23, little divergence, no DOM, easy to parallelize;
+* the cascade evaluation loop — tens of thousands of instances with trips
+  15±15, *divergent* because "at each iteration, [it does] a recursive search
+  through a tree which makes the iterations uneven".
+
+The kernel below builds a grayscale + integral image of a synthetic frame and
+then slides detection windows over it; each window walks a small classifier
+tree recursively (data-dependent depth), reproducing the divergence profile.
+Most of the application's wall-clock time is idle (Table 2: 8 s total, 2 s
+active, 0.44 s in loops), which the driver reproduces with event-loop idle
+time around a single detection pass.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_USER_RECOGNITION, Workload, register_workload
+
+HAAR_SOURCE = """\
+var haar = {};
+haar.width = 0;
+haar.height = 0;
+haar.gray = [];
+haar.integral = [];
+haar.cascade = null;
+haar.detections = [];
+
+function haarBuildCascade(depth, seed) {
+  // A small binary tree of weak classifiers; leaves carry a vote.
+  var node = {};
+  node.threshold = (seed % 17) / 17.0;
+  node.featureDx = 1 + seed % 3;
+  node.featureDy = 1 + seed % 2;
+  if (depth <= 0) {
+    node.leaf = true;
+    node.vote = (seed % 2 === 0) ? 1.0 : -0.4;
+    node.left = null;
+    node.right = null;
+  } else {
+    node.leaf = false;
+    node.vote = 0.0;
+    node.left = haarBuildCascade(depth - 1, seed * 3 + 1);
+    node.right = haarBuildCascade(depth - 1, seed * 5 + 2);
+  }
+  return node;
+}
+
+function haarInit(width, height) {
+  haar.width = width;
+  haar.height = height;
+  haar.cascade = haarBuildCascade(4, 7);
+  var y = 0;
+  // grayscale conversion: one row per iteration of the outer loop
+  for (y = 0; y < height; y++) {
+    var row = [];
+    for (var x = 0; x < width; x++) {
+      var r = (x * 37 + y * 17) % 256;
+      var g = (x * 11 + y * 29) % 256;
+      var b = (x * 5 + y * 41) % 256;
+      row.push((0.299 * r + 0.587 * g + 0.114 * b) / 255.0);
+    }
+    haar.gray.push(row);
+  }
+}
+
+function haarIntegralImage() {
+  // integral image (summed-area table), row by row
+  for (var y = 0; y < haar.height; y++) {
+    var row = [];
+    var rowSum = 0;
+    for (var x = 0; x < haar.width; x++) {
+      rowSum += haar.gray[y][x];
+      var above = (y > 0) ? haar.integral[y - 1][x] : 0;
+      row.push(rowSum + above);
+    }
+    haar.integral.push(row);
+  }
+}
+
+function haarWindowSum(x, y, w, h) {
+  var x2 = x + w - 1;
+  var y2 = y + h - 1;
+  if (x2 >= haar.width) { x2 = haar.width - 1; }
+  if (y2 >= haar.height) { y2 = haar.height - 1; }
+  var a = (x > 0 && y > 0) ? haar.integral[y - 1][x - 1] : 0;
+  var b = (y > 0) ? haar.integral[y - 1][x2] : 0;
+  var c = (x > 0) ? haar.integral[y2][x - 1] : 0;
+  var d = haar.integral[y2][x2];
+  return d - b - c + a;
+}
+
+function haarEvalTree(node, x, y, scale) {
+  // recursive, data-dependent-depth tree walk (the divergence source)
+  if (node.leaf) {
+    return node.vote;
+  }
+  var feature = haarWindowSum(x, y, node.featureDx * scale, node.featureDy * scale)
+              - haarWindowSum(x + node.featureDx * scale, y, node.featureDx * scale, node.featureDy * scale);
+  if (feature > node.threshold) {
+    return node.vote + haarEvalTree(node.left, x, y, scale);
+  }
+  return node.vote + haarEvalTree(node.right, x, y, scale);
+}
+
+function haarDetect(windowSize, stride) {
+  haar.detections = [];
+  var count = 0;
+  for (var y = 0; y + windowSize < haar.height; y += stride) {
+    // cascade evaluation over one row of windows
+    for (var x = 0; x + windowSize < haar.width; x += stride) {
+      var score = haarEvalTree(haar.cascade, x, y, 2);
+      if (score > 0.8) {
+        haar.detections.push({ x: x, y: y, size: windowSize, score: score });
+        count++;
+      }
+    }
+  }
+  return count;
+}
+
+function haarRun(width, height) {
+  haarInit(width, height);
+  haarIntegralImage();
+  return haarDetect(8, 3);
+}
+"""
+
+
+def _exercise(session) -> None:
+    # One detection pass over a small frame; the rest of the session is the
+    # user loading the page and looking at the result (idle time dominates,
+    # as in Table 2 where HAAR.js is active 2 s out of 8 s).
+    session.idle(2000.0)
+    session.run_script("haarRun(48, 36);", name="haar-driver.js")
+    session.idle(3500.0)
+
+
+@register_workload("HAAR.js")
+def make_haar_workload() -> Workload:
+    return Workload(
+        name="HAAR.js",
+        category=CATEGORY_USER_RECOGNITION,
+        description="face recognition (Viola-Jones)",
+        url="github.com/foo123/HAAR.js",
+        scripts=[("haar.js", HAAR_SOURCE)],
+        exercise_fn=_exercise,
+    )

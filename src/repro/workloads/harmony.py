@@ -1,0 +1,117 @@
+"""Harmony — procedural drawing application (Audio and Video).
+
+Table 1: ``Harmony / mrdoob.com/projects/harmony — Audio and Video / Drawing
+application``.
+
+Harmony's brushes draw strokes by connecting each new point to nearby
+previous points on a canvas.  Table 2 shows the application is almost always
+idle (41 s total, 0.36 s active), and Table 3 grades its three hot nests as
+*easy* to break dependence-wise but *very hard* to parallelize, because every
+iteration issues canvas drawing commands (non-concurrent browser state).
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_AUDIO_VIDEO, Workload, register_workload
+
+HARMONY_SOURCE = """\
+var harmony = {};
+harmony.points = [];
+harmony.context = null;
+harmony.brushScale = 0.2;
+
+function harmonyInit() {
+  var canvas = document.getElementById("harmony-canvas");
+  harmony.context = canvas.getContext("2d");
+  harmony.points = [];
+  return canvas.width;
+}
+
+function harmonyStroke(x, y) {
+  var ctx = harmony.context;
+  ctx.beginPath();
+  // sketchy brush: connect the new point to every sufficiently close old one
+  for (var i = 0; i < harmony.points.length; i++) {
+    var p = harmony.points[i];
+    var dx = p.x - x;
+    var dy = p.y - y;
+    var d = dx * dx + dy * dy;
+    if (d < 900) {
+      ctx.moveTo(x + dx * harmony.brushScale, y + dy * harmony.brushScale);
+      ctx.lineTo(p.x - dx * harmony.brushScale, p.y - dy * harmony.brushScale);
+    }
+  }
+  ctx.stroke();
+  harmony.points.push({ x: x, y: y });
+  return harmony.points.length;
+}
+
+function harmonySmooth(windowSize) {
+  // small smoothing pass over the recorded points (short trip counts)
+  var smoothed = 0;
+  for (var i = 0; i < harmony.points.length; i++) {
+    var sumX = 0;
+    var sumY = 0;
+    var count = 0;
+    for (var k = i - windowSize; k <= i + windowSize; k++) {
+      if (k >= 0 && k < harmony.points.length) {
+        sumX += harmony.points[k].x;
+        sumY += harmony.points[k].y;
+        count++;
+      }
+    }
+    harmony.points[i].sx = sumX / count;
+    harmony.points[i].sy = sumY / count;
+    smoothed++;
+  }
+  return smoothed;
+}
+
+function harmonyRedraw() {
+  var ctx = harmony.context;
+  ctx.clearRect(0, 0, 320, 200);
+  for (var i = 0; i < harmony.points.length; i++) {
+    var p = harmony.points[i];
+    ctx.fillRect(p.x, p.y, 1, 1);
+  }
+  return harmony.points.length;
+}
+
+function harmonyDrag(startX, startY, steps) {
+  var i = 0;
+  while (i < steps) {
+    harmonyStroke(startX + i * 3.5, startY + Math.sin(i * 0.4) * 12);
+    i++;
+  }
+  return harmony.points.length;
+}
+"""
+
+
+def _prepare(session) -> None:
+    session.create_canvas("harmony-canvas", 320, 200)
+
+
+def _exercise(session) -> None:
+    session.run_script("harmonyInit();", name="harmony-setup.js")
+    # The user sketches a few strokes with long pauses in between; almost all
+    # wall-clock time is idle, as in Table 2.
+    session.run_script("harmonyDrag(20, 40, 45);", name="harmony-stroke1.js")
+    session.idle(9000.0)
+    session.run_script("harmonyDrag(60, 120, 45);", name="harmony-stroke2.js")
+    session.idle(9000.0)
+    session.run_script("harmonySmooth(3); harmonyRedraw();", name="harmony-finish.js")
+    session.idle(8000.0)
+
+
+@register_workload("Harmony")
+def make_harmony_workload() -> Workload:
+    return Workload(
+        name="Harmony",
+        category=CATEGORY_AUDIO_VIDEO,
+        description="Drawing application",
+        url="mrdoob.com/projects/harmony",
+        scripts=[("harmony.js", HARMONY_SOURCE)],
+        prepare_fn=_prepare,
+        exercise_fn=_exercise,
+    )

@@ -1,0 +1,105 @@
+"""MyScript — handwriting recognition front-end (User recognition).
+
+Table 1: ``MyScript / webdemo.visionobjects.com — User recognition /
+handwriting recognition application``.
+
+The paper notes that "the only client-side expensive loop executes only a few
+iterations, computing the length of line segments" — the heavy recognition
+runs on a server.  Table 2: 12 s total, 0.33 s active, 0.15 s in loops;
+Table 3 grades the nest divergent, DOM-accessing and very hard.
+
+The kernel captures pen strokes, computes per-segment lengths/curvature of
+the most recent stroke fragment (a handful of iterations per pen event) and
+mirrors the ink into DOM elements, then "sends" the stroke away (a no-op
+standing in for the XHR to the recognition service).
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_USER_RECOGNITION, Workload, register_workload
+
+MYSCRIPT_SOURCE = """\
+var myscript = {};
+myscript.strokes = [];
+myscript.current = null;
+myscript.inkLength = 0;
+
+function myscriptPenDown(x, y) {
+  myscript.current = { points: [], length: 0 };
+  myscript.current.points.push({ x: x, y: y });
+  return myscript.strokes.length;
+}
+
+function myscriptPenMove(x, y) {
+  var stroke = myscript.current;
+  stroke.points.push({ x: x, y: y });
+  var from = stroke.points.length - 5;
+  if (from < 1) { from = 1; }
+  var fragmentLength = 0;
+  var ink = document.getElementById("ink");
+  // measure the length of the last few line segments of the active stroke
+  // and mirror each re-measured segment into the ink overlay (DOM)
+  for (var i = from; i < stroke.points.length; i++) {
+    var a = stroke.points[i - 1];
+    var b = stroke.points[i];
+    var dx = b.x - a.x;
+    var dy = b.y - a.y;
+    fragmentLength += Math.sqrt(dx * dx + dy * dy);
+    var dot = document.createElement("span");
+    dot.setAttribute("data-x", "" + b.x);
+    dot.setAttribute("data-y", "" + b.y);
+    ink.appendChild(dot);
+  }
+  stroke.length += fragmentLength;
+  return fragmentLength;
+}
+
+function myscriptPenUp() {
+  var stroke = myscript.current;
+  myscript.strokes.push(stroke);
+  myscript.inkLength += stroke.length;
+  myscript.current = null;
+  return myscript.inkLength;
+}
+
+function myscriptClear() {
+  myscript.strokes = [];
+  myscript.inkLength = 0;
+  return 0;
+}
+"""
+
+
+def _prepare(session) -> None:
+    ink = session.document.create_element("div")
+    ink.set("id", "ink")
+    session.document.body.append_child(ink)
+
+
+def _exercise(session) -> None:
+    import math
+
+    # The user writes two short words; each pen event triggers a tiny loop,
+    # and the app waits on the remote recognizer in between (idle).
+    for stroke in range(3):
+        session.run_script(f"myscriptPenDown({10 + stroke * 30}, 40);", name="myscript-pen.js")
+        for step in range(14):
+            x = 10 + stroke * 30 + step * 2
+            y = 40 + 10 * math.sin(step * 0.7)
+            session.run_script(f"myscriptPenMove({x:.1f}, {y:.1f});", name="myscript-pen.js")
+        session.run_script("myscriptPenUp();", name="myscript-pen.js")
+        session.idle(2500.0)
+    session.idle(4000.0)
+
+
+@register_workload("MyScript")
+def make_myscript_workload() -> Workload:
+    return Workload(
+        name="MyScript",
+        category=CATEGORY_USER_RECOGNITION,
+        description="handwriting recognition application",
+        url="webdemo.visionobjects.com",
+        scripts=[("myscript.js", MYSCRIPT_SOURCE)],
+        prepare_fn=_prepare,
+        exercise_fn=_exercise,
+    )

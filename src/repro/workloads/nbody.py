@@ -1,0 +1,117 @@
+"""The paper's Figure 6 example: an N-body simulation step.
+
+This is the program Section 3.3 uses to explain the dependence-analysis
+warnings: the ``var p`` declared inside the ``for`` loop is function-scoped
+and therefore shared by all iterations (an output dependence), and the
+centre-of-mass accumulator ``com`` carries both output and flow dependences
+between iterations.  The workload exists mainly as the canonical test case
+for the dependence analyzer, but it is also a perfectly good example program
+for the public API.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_GAMES, Workload
+
+#: Line numbers (1-based) of the two loops in ``NBODY_SOURCE`` that the
+#: paper's walkthrough refers to.  Tests assert against these.
+STEP_FOR_LINE = 18
+DRIVER_WHILE_LINE = 36
+
+NBODY_SOURCE = """\
+var bodies = [];
+var dT = 0.01;
+
+function Particle() {
+  this.x = 0; this.y = 0;
+  this.vX = 0; this.vY = 0;
+  this.fX = 0; this.fY = 0;
+  this.m = 1;
+}
+
+function computeForces() {
+  for (var j = 0; j < bodies.length; j++) {
+    bodies[j].fX = 0.05 * (j % 7 - 3);
+    bodies[j].fY = -0.04 * (j % 5 - 2);
+  }
+}
+
+function step() {
+  computeForces();
+
+  var com = new Particle();
+
+  for (var i = 0; i < bodies.length; i++) {
+    var p = bodies[i];
+
+    // update velocity
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+
+    // update position
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+
+    // update center of mass
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+    com.y = (com.y * (com.m - p.m) + p.y * p.m) / com.m;
+  }
+  return com;
+}
+
+function display(bodies, com) {
+  // Rendering is a no-op in the kernel version of the example.
+  return com.x + com.y;
+}
+
+function init(n) {
+  var k = 0;
+  while (k < n) {
+    var b = new Particle();
+    b.x = k * 1.5;
+    b.y = -k * 0.5;
+    b.m = 1 + (k % 3);
+    bodies.push(b);
+    k++;
+  }
+}
+
+function simulate(steps) {
+  var s = 0;
+  while (s < steps) {
+    var com = step();
+    display(bodies, com);
+    s++;
+  }
+  return bodies.length;
+}
+"""
+
+#: The ``for`` loop inside ``step`` is on this source line (1-based).
+#: Computed from the literal above so the constant can never drift.
+STEP_FOR_LINE = next(
+    index + 1 for index, line in enumerate(NBODY_SOURCE.splitlines()) if line.startswith("  for (var i = 0")
+)
+DRIVER_WHILE_LINE = next(
+    index + 1
+    for index, line in enumerate(NBODY_SOURCE.splitlines())
+    if line.strip().startswith("while (s < steps)")
+)
+
+
+def make_nbody_workload(bodies: int = 24, steps: int = 20) -> Workload:
+    """Build the Figure 6 N-body workload with the given problem size."""
+
+    def exercise(session) -> None:
+        session.run_script(f"init({bodies}); simulate({steps});", name="nbody-driver.js")
+
+    return Workload(
+        name="N-body (Figure 6)",
+        category=CATEGORY_GAMES,
+        description="N-body simulation step with live centre-of-mass (paper Figure 6)",
+        url="paper figure 6",
+        scripts=[("nbody.js", NBODY_SOURCE)],
+        exercise_fn=exercise,
+        scale=float(bodies),
+    )

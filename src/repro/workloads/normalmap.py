@@ -1,0 +1,93 @@
+"""Normal Mapping demo (Games).
+
+Table 1: ``Normal Mapping / 29a.ch/experiments — Games / normal mapping``.
+
+Table 3: a single nest with 99% of loop time, 64 instances (one per frame)
+and ~65k trips (one per pixel), little divergence, no DOM in the hot loop,
+*very easy* dependence breaking and easy parallelization — the text-book data
+parallel pixel kernel.  Table 2: 25 s total, 6 s active, 4 s in loops.
+
+The kernel computes per-pixel Lambertian shading of a height-field-derived
+normal map under a moving point light and writes the result into a flat
+output buffer.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_GAMES, Workload, register_workload
+
+NORMALMAP_SOURCE = """\
+var nm = {};
+nm.width = 0;
+nm.height = 0;
+nm.normals = [];
+nm.output = [];
+
+function nmInit(width, height) {
+  nm.width = width;
+  nm.height = height;
+  nm.normals = [];
+  nm.output = [];
+  // derive a normal map from a procedural height field
+  for (var y = 0; y < height; y++) {
+    for (var x = 0; x < width; x++) {
+      var h = Math.sin(x * 0.3) * Math.cos(y * 0.25);
+      var hx = Math.sin((x + 1) * 0.3) * Math.cos(y * 0.25) - h;
+      var hy = Math.sin(x * 0.3) * Math.cos((y + 1) * 0.25) - h;
+      var len = Math.sqrt(hx * hx + hy * hy + 1);
+      nm.normals.push({ x: -hx / len, y: -hy / len, z: 1 / len });
+      nm.output.push(0);
+    }
+  }
+  return nm.normals.length;
+}
+
+function nmShadeFrame(lightX, lightY, lightZ) {
+  var count = 0;
+  for (var y = 0; y < nm.height; y++) {
+    // shade one scan line of pixels
+    for (var x = 0; x < nm.width; x++) {
+      var index = y * nm.width + x;
+      var n = nm.normals[index];
+      var lx = lightX - x;
+      var ly = lightY - y;
+      var lz = lightZ;
+      var len = Math.sqrt(lx * lx + ly * ly + lz * lz);
+      var intensity = (n.x * lx + n.y * ly + n.z * lz) / len;
+      if (intensity < 0) { intensity = 0; }
+      if (intensity > 1) { intensity = 1; }
+      nm.output[index] = intensity * 255;
+      count++;
+    }
+  }
+  return count;
+}
+"""
+
+
+def _exercise(session) -> None:
+    session.run_script("nmInit(36, 24);", name="normalmap-setup.js")
+    session.run_script(
+        "var nmAngle = 0;"
+        "function nmFrame() {"
+        "  nmShadeFrame(18 + Math.cos(nmAngle) * 15, 12 + Math.sin(nmAngle) * 9, 14);"
+        "  nmAngle += 0.2;"
+        "  requestAnimationFrame(nmFrame);"
+        "}"
+        " requestAnimationFrame(nmFrame);",
+        name="normalmap-driver.js",
+    )
+    session.run_frames(5)
+    session.idle(2500.0)
+
+
+@register_workload("Normal Mapping")
+def make_normalmap_workload() -> Workload:
+    return Workload(
+        name="Normal Mapping",
+        category=CATEGORY_GAMES,
+        description="normal mapping",
+        url="29a.ch/experiments",
+        scripts=[("normalmap.js", NORMALMAP_SOURCE)],
+        exercise_fn=_exercise,
+    )

@@ -1,0 +1,159 @@
+"""processing.js — interactive spiral visual effect (Visualization).
+
+Table 1: ``processing.js / processingjs.org — Visualization / interactive
+spiral visual effect``.
+
+Table 3 inspects four nests with very large instance counts (~54.6k) and tiny
+trip counts (4±37): processing.js sketches call small helper loops (per-shape
+vertex loops, per-particle updates) from inside the draw callback tens of
+thousands of times.  Breaking dependences is easy-to-medium, but one nest
+touches the DOM/Canvas and is very hard to exploit.  Table 2: 21 s total,
+12 s active, only 2 s in loops — much of the work is in straight-line code.
+
+The kernel mimics a Processing sketch: a ``draw()`` callback updates a spiral
+of particles, each particle running a short vertex loop, and periodically
+draws to the canvas.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_VISUALIZATION, Workload, register_workload
+
+PROCESSING_SOURCE = """\
+var sketch = {};
+sketch.particles = [];
+sketch.context = null;
+sketch.frame = 0;
+sketch.trail = [];
+
+function sketchSetup(particleCount) {
+  var canvas = document.getElementById("sketch-canvas");
+  sketch.context = canvas.getContext("2d");
+  sketch.particles = [];
+  var i = 0;
+  while (i < particleCount) {
+    sketch.particles.push({ angle: i * 0.25, radius: 2 + i * 0.8, x: 0, y: 0, history: [] });
+    i++;
+  }
+  return sketch.particles.length;
+}
+
+function sketchVertexLoop(particle, segments) {
+  // tiny per-shape loop: a handful of iterations, called very often
+  var length = 0;
+  var px = particle.x;
+  var py = particle.y;
+  for (var s = 1; s <= segments; s++) {
+    var x = particle.x + Math.cos(particle.angle + s * 0.6) * s;
+    var y = particle.y + Math.sin(particle.angle + s * 0.6) * s;
+    var dx = x - px;
+    var dy = y - py;
+    length += Math.sqrt(dx * dx + dy * dy);
+    px = x;
+    py = y;
+  }
+  return length;
+}
+
+function sketchUpdateParticle(particle, speed) {
+  particle.angle += speed;
+  particle.x = 60 + Math.cos(particle.angle) * particle.radius;
+  particle.y = 60 + Math.sin(particle.angle) * particle.radius;
+  // short history window per particle
+  particle.history.push(particle.x + particle.y);
+  if (particle.history.length > 4) {
+    particle.history.shift();
+  }
+  return sketchVertexLoop(particle, 4);
+}
+
+function sketchSmoothTrail() {
+  // small smoothing loop over the recent trail samples
+  var sum = 0;
+  for (var i = 0; i < sketch.trail.length; i++) {
+    sum += sketch.trail[i];
+  }
+  return sketch.trail.length > 0 ? sum / sketch.trail.length : 0;
+}
+
+function sketchDrawParticles() {
+  // canvas interaction per particle: the very-hard-to-parallelize nest
+  var ctx = sketch.context;
+  for (var i = 0; i < sketch.particles.length; i++) {
+    var particle = sketch.particles[i];
+    ctx.fillRect(particle.x, particle.y, 2, 2);
+  }
+  return sketch.particles.length;
+}
+
+function sketchNoise(x, y, depth) {
+  // fractal value noise evaluated recursively — straight-line code with no
+  // loops, mirroring the large amount of framework/sketch code processing.js
+  // executes outside of loops (Table 2: only 2 s of 21 s is loop time).
+  var value = Math.sin(x * 12.9898 + y * 78.233) * 43758.5453;
+  value = value - Math.floor(value);
+  if (depth <= 0) {
+    return value;
+  }
+  var high = sketchNoise(x * 2.1 + 1.3, y * 1.9 + 0.7, depth - 1);
+  var low = sketchNoise(x * 0.6 - 0.4, y * 0.5 + 0.3, depth - 1);
+  return value * 0.5 + high * 0.25 + low * 0.25;
+}
+
+function sketchBackground() {
+  // per-frame background shading driven by the noise field (no loops: the
+  // four corners are sampled and blended in straight-line code)
+  var a = sketchNoise(sketch.frame * 0.01, 0.0, 6);
+  var b = sketchNoise(0.0, sketch.frame * 0.013, 6);
+  var c = sketchNoise(sketch.frame * 0.007, 1.0, 6);
+  var d = sketchNoise(1.0, sketch.frame * 0.011, 6);
+  var blend = (a + b + c + d) * 0.25;
+  sketch.context.fillStyle = "#101018";
+  sketch.context.fillRect(0, 0, 120, 120);
+  return blend;
+}
+
+function sketchDraw() {
+  sketch.frame++;
+  sketchBackground();
+  var total = 0;
+  for (var i = 0; i < sketch.particles.length; i++) {
+    total += sketchUpdateParticle(sketch.particles[i], 0.11);
+  }
+  sketch.trail.push(total);
+  if (sketch.trail.length > 8) { sketch.trail.shift(); }
+  sketchSmoothTrail();
+  if (sketch.frame % 2 === 0) {
+    sketchDrawParticles();
+  }
+  return total;
+}
+"""
+
+
+def _prepare(session) -> None:
+    session.create_canvas("sketch-canvas", 120, 120)
+
+
+def _exercise(session) -> None:
+    session.run_script("sketchSetup(26);", name="processing-setup.js")
+    session.run_script(
+        "function sketchTick() { sketchDraw(); requestAnimationFrame(sketchTick); }"
+        " requestAnimationFrame(sketchTick);",
+        name="processing-driver.js",
+    )
+    session.run_frames(14)
+    session.idle(3000.0)
+
+
+@register_workload("processing.js")
+def make_processing_workload() -> Workload:
+    return Workload(
+        name="processing.js",
+        category=CATEGORY_VISUALIZATION,
+        description="interactive spiral visual effect",
+        url="processingjs.org",
+        scripts=[("processing.js", PROCESSING_SOURCE)],
+        prepare_fn=_prepare,
+        exercise_fn=_exercise,
+    )

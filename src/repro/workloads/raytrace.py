@@ -1,0 +1,128 @@
+"""Realtime Raytracing demo (Games).
+
+Table 1: ``Raytracing / gist.github.com/jwagner/422755 — Games / real-time
+raytracing demo``.
+
+Table 3: one nest covering 98% of loop time, ~772 instances (one per scan
+line per frame), ~120 trips (one per pixel column), graded *divergent*
+because "the Raytracing algorithm contains variable depth recursion", yet its
+dependences are *very easy* to break (each pixel is independent) and
+parallelization is easy.  Table 2: 62 s total, 19 s active, 26 s in loops —
+the most loop-dominated application of the set.
+
+The kernel traces a small sphere scene with recursive reflections and writes
+the pixels into a flat output array (the original blits it into ImageData).
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_GAMES, Workload, register_workload
+
+RAYTRACE_SOURCE = """\
+var rt = {};
+rt.spheres = [];
+rt.width = 0;
+rt.height = 0;
+rt.output = [];
+
+function rtInit(width, height) {
+  rt.width = width;
+  rt.height = height;
+  rt.output = [];
+  var i = 0;
+  while (i < width * height) { rt.output.push(0); i++; }
+  rt.spheres = [
+    { x: 0.0, y: 0.0, z: 4.0, r: 1.2, reflect: 0.6, shade: 0.8 },
+    { x: 1.6, y: 0.6, z: 5.5, r: 0.8, reflect: 0.3, shade: 0.4 },
+    { x: -1.4, y: -0.4, z: 3.2, r: 0.6, reflect: 0.0, shade: 0.6 }
+  ];
+  return rt.spheres.length;
+}
+
+function rtIntersect(ox, oy, oz, dx, dy, dz, sphere) {
+  var cx = sphere.x - ox;
+  var cy = sphere.y - oy;
+  var cz = sphere.z - oz;
+  var proj = cx * dx + cy * dy + cz * dz;
+  if (proj < 0) { return -1; }
+  var d2 = cx * cx + cy * cy + cz * cz - proj * proj;
+  var r2 = sphere.r * sphere.r;
+  if (d2 > r2) { return -1; }
+  return proj - Math.sqrt(r2 - d2);
+}
+
+function rtTrace(ox, oy, oz, dx, dy, dz, depth) {
+  var closest = -1;
+  var closestDist = 1000000.0;
+  for (var s = 0; s < rt.spheres.length; s++) {
+    var dist = rtIntersect(ox, oy, oz, dx, dy, dz, rt.spheres[s]);
+    if (dist > 0 && dist < closestDist) {
+      closestDist = dist;
+      closest = s;
+    }
+  }
+  if (closest < 0) {
+    return 0.1 + 0.2 * (dy > 0 ? dy : 0);
+  }
+  var sphere = rt.spheres[closest];
+  var hx = ox + dx * closestDist;
+  var hy = oy + dy * closestDist;
+  var hz = oz + dz * closestDist;
+  var nx = (hx - sphere.x) / sphere.r;
+  var ny = (hy - sphere.y) / sphere.r;
+  var nz = (hz - sphere.z) / sphere.r;
+  var light = nx * 0.5 + ny * 0.7 - nz * 0.2;
+  if (light < 0) { light = 0; }
+  var color = sphere.shade * light;
+  // variable-depth recursion: reflective surfaces spawn secondary rays
+  if (sphere.reflect > 0 && depth > 0) {
+    var dot = dx * nx + dy * ny + dz * nz;
+    var rx = dx - 2 * dot * nx;
+    var ry = dy - 2 * dot * ny;
+    var rz = dz - 2 * dot * nz;
+    color += sphere.reflect * rtTrace(hx, hy, hz, rx, ry, rz, depth - 1);
+  }
+  return color;
+}
+
+function rtRenderFrame(time) {
+  var count = 0;
+  for (var y = 0; y < rt.height; y++) {
+    // one scan line: trace a primary ray per pixel column
+    for (var x = 0; x < rt.width; x++) {
+      var dx = (x - rt.width / 2) / rt.width;
+      var dy = (y - rt.height / 2) / rt.height;
+      var dz = 1.0;
+      var len = Math.sqrt(dx * dx + dy * dy + dz * dz);
+      var color = rtTrace(0, 0, Math.sin(time) * 0.1, dx / len, dy / len, dz / len, 3);
+      rt.output[y * rt.width + x] = color;
+      count++;
+    }
+  }
+  return count;
+}
+"""
+
+
+def _exercise(session) -> None:
+    session.run_script("rtInit(26, 18);", name="raytrace-setup.js")
+    session.run_script(
+        "var rtTime = 0;"
+        "function rtFrame() { rtRenderFrame(rtTime); rtTime += 0.05; requestAnimationFrame(rtFrame); }"
+        " requestAnimationFrame(rtFrame);",
+        name="raytrace-driver.js",
+    )
+    session.run_frames(4)
+    session.idle(2000.0)
+
+
+@register_workload("Realtime Raytracing")
+def make_raytrace_workload() -> Workload:
+    return Workload(
+        name="Realtime Raytracing",
+        category=CATEGORY_GAMES,
+        description="real-time raytracing demo",
+        url="gist.github.com/jwagner/422755",
+        scripts=[("raytrace.js", RAYTRACE_SOURCE)],
+        exercise_fn=_exercise,
+    )

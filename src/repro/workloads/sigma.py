@@ -1,0 +1,146 @@
+"""sigma.js — GEXF graph rendering (Visualization).
+
+Table 1: ``sigma.js / sigmajs.org — Visualization / GEXF rendering``.
+
+Table 3 inspects two nests (68% and 22% of loop time, ~2070 and ~638
+instances, trips around 190±25): the force-directed layout iteration and the
+node/edge rendering pass.  Both are graded *very hard*: the layout loop
+carries flow dependences between nodes (every node reads positions other
+iterations just wrote) and the render loop updates the DOM for every node.
+Table 2: 32 s total, 9 s active, 8 s in loops.
+
+The kernel loads a synthetic GEXF-like graph, runs a ForceAtlas-style layout
+step per frame, and mirrors node positions into DOM elements.
+"""
+
+from __future__ import annotations
+
+from .base import CATEGORY_VISUALIZATION, Workload, register_workload
+
+SIGMA_SOURCE = """\
+var sigma = {};
+sigma.nodes = [];
+sigma.edges = [];
+sigma.container = null;
+sigma.rendered = 0;
+sigma.totalSwing = 0;
+sigma.totalTraction = 0;
+
+function sigmaLoadGraph(nodeCount, edgesPerNode) {
+  sigma.nodes = [];
+  sigma.edges = [];
+  sigma.container = document.getElementById("graph");
+  var i = 0;
+  while (i < nodeCount) {
+    var node = {
+      id: i,
+      x: Math.cos(i * 2.4) * 50 + 60,
+      y: Math.sin(i * 2.4) * 50 + 60,
+      dx: 0,
+      dy: 0,
+      size: 1 + i % 3
+    };
+    sigma.nodes.push(node);
+    var element = document.createElement("div");
+    element.className = "sigma-node";
+    sigma.container.appendChild(element);
+    node.element = element;
+    i++;
+  }
+  i = 0;
+  while (i < nodeCount * edgesPerNode) {
+    sigma.edges.push({ source: i % nodeCount, target: (i * 7 + 3) % nodeCount });
+    i++;
+  }
+  return sigma.nodes.length + sigma.edges.length;
+}
+
+function sigmaLayoutAndRender(repulsion, attraction) {
+  // ForceAtlas-style layout fused with rendering, the way the demo updates
+  // the display: each node computes its force, moves, updates the global
+  // swing accumulators, and refreshes its DOM element in the same pass.
+  sigma.totalSwing = 0;
+  sigma.totalTraction = 0;
+  for (var i = 0; i < sigma.nodes.length; i++) {
+    var node = sigma.nodes[i];
+    var fx = 0;
+    var fy = 0;
+    for (var j = 0; j < sigma.nodes.length; j++) {
+      if (i === j) { continue; }
+      var other = sigma.nodes[j];
+      var dx = node.x - other.x;
+      var dy = node.y - other.y;
+      var d2 = dx * dx + dy * dy + 0.01;
+      fx += repulsion * dx / d2;
+      fy += repulsion * dy / d2;
+      fx -= (node.x - other.x) * attraction * 0.1;
+      fy -= (node.y - other.y) * attraction * 0.1;
+    }
+    // global adaptive-speed accumulators (ForceAtlas2 swing/traction)
+    var swing = Math.sqrt((fx - node.dx) * (fx - node.dx) + (fy - node.dy) * (fy - node.dy));
+    sigma.totalSwing += node.size * swing;
+    sigma.totalTraction += node.size * Math.sqrt(fx * fx + fy * fy);
+    node.dx = fx;
+    node.dy = fy;
+    // positions written here are read by later iterations of the same pass
+    node.x += fx * 0.05;
+    node.y += fy * 0.05;
+    // mirror the node into the DOM
+    var style = node.element.style;
+    style.left = node.x + "px";
+    style.top = node.y + "px";
+    node.element.setAttribute("data-size", "" + node.size);
+    sigma.rendered++;
+  }
+  return sigma.rendered;
+}
+
+function sigmaDrawEdges() {
+  // edge rendering pass: reads both endpoints, updates the DOM per edge
+  for (var e = 0; e < sigma.edges.length; e++) {
+    var edge = sigma.edges[e];
+    var source = sigma.nodes[edge.source];
+    var target = sigma.nodes[edge.target];
+    var length = Math.sqrt(
+      (target.x - source.x) * (target.x - source.x) +
+      (target.y - source.y) * (target.y - source.y));
+    source.element.setAttribute("data-edge-length", "" + length);
+  }
+  return sigma.edges.length;
+}
+
+function sigmaFrame() {
+  sigmaLayoutAndRender(9.0, 0.02);
+  return sigmaDrawEdges();
+}
+"""
+
+
+def _prepare(session) -> None:
+    container = session.document.create_element("div")
+    container.set("id", "graph")
+    session.document.body.append_child(container)
+
+
+def _exercise(session) -> None:
+    session.run_script("sigmaLoadGraph(26, 2);", name="sigma-setup.js")
+    session.run_script(
+        "function sigmaTick() { sigmaFrame(); requestAnimationFrame(sigmaTick); }"
+        " requestAnimationFrame(sigmaTick);",
+        name="sigma-driver.js",
+    )
+    session.run_frames(5)
+    session.idle(3500.0)
+
+
+@register_workload("sigma.js")
+def make_sigma_workload() -> Workload:
+    return Workload(
+        name="sigma.js",
+        category=CATEGORY_VISUALIZATION,
+        description="GEXF rendering",
+        url="sigmajs.org",
+        scripts=[("sigma.js", SIGMA_SOURCE)],
+        prepare_fn=_prepare,
+        exercise_fn=_exercise,
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser.window import BrowserSession
+from repro.jsvm.hooks import HookBus
+from repro.jsvm.interpreter import Interpreter
+from repro.survey.population import generate_population
+
+
+@pytest.fixture
+def interp() -> Interpreter:
+    """A fresh interpreter with no tracers attached."""
+    return Interpreter()
+
+
+@pytest.fixture
+def hooks() -> HookBus:
+    return HookBus()
+
+
+@pytest.fixture
+def session() -> BrowserSession:
+    """A fresh browser session (interpreter + DOM + event loop)."""
+    return BrowserSession()
+
+
+@pytest.fixture(scope="session")
+def population():
+    """The 174-respondent synthetic survey population (expensive enough to share)."""
+    return generate_population(seed=2015)
+
+
+def run_js(source: str, interpreter: Interpreter | None = None):
+    """Helper: run a source string and return (result, interpreter)."""
+    interpreter = interpreter or Interpreter()
+    result = interpreter.run_source(source)
+    return result, interpreter

@@ -1,0 +1,286 @@
+"""Tests for the latent-parallelism analysis layer: observer, divergence,
+DOM access, difficulty rubric, Amdahl bounds and table assembly."""
+
+import pytest
+
+from repro.analysis import (
+    CaseStudyTables,
+    DivergenceLevel,
+    Difficulty,
+    NestObservation,
+    NestObserver,
+    SpeedupBound,
+    amdahl_speedup,
+    assess_breaking_difficulty,
+    assess_divergence,
+    assess_dom_access,
+    assess_parallelization_difficulty,
+    bound_for_application,
+    difficulty_from_label,
+    parallel_fraction_needed,
+    summarize_dependences,
+)
+from repro.analysis.casestudy import Table2Row, Table3Row
+from repro.analysis.tables import build_tables
+from repro.ceres.dependence import DependenceAnalyzer
+from repro.ceres.ids import IndexRegistry
+from repro.jsvm.hooks import HookBus
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.parser import parse
+
+
+def run_with_tracers(source, *tracer_factories, driver=None):
+    program = parse(source, name="app.js")
+    registry = IndexRegistry()
+    registry.add(program)
+    hooks = HookBus()
+    tracers = [factory(registry) for factory in tracer_factories]
+    for tracer in tracers:
+        hooks.attach(tracer)
+    interp = Interpreter(hooks=hooks)
+    interp.run(program)
+    if driver:
+        interp.run_source(driver)
+    return registry, tracers
+
+
+PIXEL_KERNEL = """
+var out = [];
+function init(n) { var i = 0; while (i < n) { out.push(0); i++; } }
+function render(n) {
+  for (var i = 0; i < n; i++) {
+    out[i] = Math.sin(i) * Math.cos(i);
+  }
+}
+"""
+
+SCAN_KERNEL = """
+var cells = [1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+function scan() {
+  for (var i = 1; i < cells.length; i++) {
+    cells[i] = cells[i] + cells[i - 1];
+  }
+}
+"""
+
+
+class TestNestObserver:
+    def test_root_and_inner_loops_tracked(self):
+        source = """
+        function grid(n) {
+          for (var y = 0; y < n; y++) {
+            for (var x = 0; x < 3; x++) { Math.sqrt(x * y); }
+          }
+        }
+        """
+        registry, (observer,) = run_with_tracers(source, lambda reg: NestObserver(registry=reg), driver="grid(5);")
+        assert len(observer.observations) == 1
+        observation = next(iter(observer.observations.values()))
+        assert observation.root_iterations == 5
+        assert observation.total_iterations == 5 + 15
+        assert len(observation.inner_loop_ids) == 1
+        assert observation.time_ms > 0
+
+    def test_branches_and_calls_counted(self):
+        source = """
+        function work(n) {
+          for (var i = 0; i < n; i++) {
+            if (i % 2 === 0) { Math.abs(i); }
+          }
+        }
+        """
+        registry, (observer,) = run_with_tracers(source, lambda reg: NestObserver(registry=reg), driver="work(10);")
+        observation = next(iter(observer.observations.values()))
+        assert observation.branch_events == 10
+        assert observation.call_events >= 5
+
+    def test_recursion_detected(self):
+        source = """
+        function deep(n) { if (n > 0) { return deep(n - 1); } return 0; }
+        function drive(k) { for (var i = 0; i < k; i++) { deep(i % 4); } }
+        """
+        registry, (observer,) = run_with_tracers(source, lambda reg: NestObserver(registry=reg), driver="drive(8);")
+        observation = next(iter(observer.observations.values()))
+        assert observation.has_recursion
+
+
+class TestDivergence:
+    def _observation(self, **kwargs):
+        observation = NestObservation(root_loop_id=1, label="for(line 1)")
+        for key, value in kwargs.items():
+            setattr(observation, key, value)
+        return observation
+
+    def test_straight_line_loop_is_none(self):
+        observation = self._observation(root_iterations=100, total_iterations=100, branch_events=0)
+        assert assess_divergence(observation, mean_trip_count=100) is DivergenceLevel.NONE
+
+    def test_local_branching_is_little(self):
+        observation = self._observation(root_iterations=100, total_iterations=100, branch_events=150)
+        assert assess_divergence(observation, mean_trip_count=100) is DivergenceLevel.LITTLE
+
+    def test_recursion_is_divergent(self):
+        observation = self._observation(root_iterations=50, total_iterations=50, recursive_calls=3)
+        assert assess_divergence(observation, mean_trip_count=50) is DivergenceLevel.YES
+
+    def test_single_iteration_loops_are_divergent(self):
+        observation = self._observation(root_iterations=5, total_iterations=5)
+        assert assess_divergence(observation, mean_trip_count=1.2) is DivergenceLevel.YES
+
+    def test_heavy_branching_is_divergent(self):
+        observation = self._observation(root_iterations=10, total_iterations=10, branch_events=100)
+        assert assess_divergence(observation, mean_trip_count=10) is DivergenceLevel.YES
+
+
+class TestDomAccess:
+    def test_counts_and_verdict(self):
+        observation = NestObservation(root_loop_id=1, label="x", dom_accesses=3, canvas_accesses=0)
+        result = assess_dom_access(observation)
+        assert result.accesses_dom and result.verdict() == "yes"
+
+    def test_canvas_only_counts_as_shared_browser_state(self):
+        observation = NestObservation(root_loop_id=1, label="x", dom_accesses=0, canvas_accesses=7)
+        result = assess_dom_access(observation)
+        assert not result.accesses_dom and result.accesses_shared_browser_state
+
+
+class TestDifficultyRubric:
+    def _dependence_report(self, source, focus_line, driver):
+        program = parse(source, name="kernel.js")
+        registry = IndexRegistry()
+        index = registry.add(program)
+        analyzer = DependenceAnalyzer(registry=registry, focus_loop_id=index.loop_for_line(focus_line).node_id)
+        hooks = HookBus()
+        hooks.attach(analyzer)
+        interp = Interpreter(hooks=hooks)
+        interp.run(program)
+        interp.run_source(driver)
+        return analyzer.report()
+
+    def test_disjoint_pixel_kernel_is_very_easy(self):
+        report = self._dependence_report(PIXEL_KERNEL, focus_line=5, driver="init(40); render(40);")
+        facts = summarize_dependences(report)
+        assert facts.flow_dependence_targets == 0
+        assert assess_breaking_difficulty(report) is Difficulty.VERY_EASY
+
+    def test_prefix_scan_is_not_trivially_breakable(self):
+        report = self._dependence_report(SCAN_KERNEL, focus_line=4, driver="scan();")
+        assert assess_breaking_difficulty(report) >= Difficulty.EASY
+        facts = summarize_dependences(report)
+        assert facts.stencil_targets + facts.flow_dependence_targets >= 1
+
+    def test_parallelization_capped_by_dom(self):
+        observation = NestObservation(root_loop_id=1, label="x", root_iterations=100, dom_accesses=50)
+        dom = assess_dom_access(observation)
+        result = assess_parallelization_difficulty(
+            Difficulty.VERY_EASY, dom, DivergenceLevel.NONE, observation, mean_trip_count=100
+        )
+        assert result is Difficulty.VERY_HARD
+
+    def test_parallelization_capped_by_canvas_per_iteration(self):
+        observation = NestObservation(root_loop_id=1, label="x", root_iterations=10, canvas_accesses=30)
+        dom = assess_dom_access(observation)
+        result = assess_parallelization_difficulty(
+            Difficulty.EASY, dom, DivergenceLevel.LITTLE, observation, mean_trip_count=10
+        )
+        assert result is Difficulty.VERY_HARD
+
+    def test_tiny_trip_counts_raise_difficulty(self):
+        observation = NestObservation(root_loop_id=1, label="x", root_iterations=10)
+        dom = assess_dom_access(observation)
+        result = assess_parallelization_difficulty(
+            Difficulty.VERY_EASY, dom, DivergenceLevel.NONE, observation, mean_trip_count=1.5
+        )
+        assert result >= Difficulty.MEDIUM
+
+    def test_divergence_costs_one_level(self):
+        observation = NestObservation(root_loop_id=1, label="x", root_iterations=100)
+        dom = assess_dom_access(observation)
+        result = assess_parallelization_difficulty(
+            Difficulty.EASY, dom, DivergenceLevel.YES, observation, mean_trip_count=100
+        )
+        assert result is Difficulty.MEDIUM
+
+    def test_difficulty_labels_round_trip(self):
+        for difficulty in Difficulty:
+            assert difficulty_from_label(difficulty.label()) is difficulty
+        assert str(Difficulty.VERY_HARD) == "very hard"
+        assert Difficulty.EASY < Difficulty.MEDIUM < Difficulty.VERY_HARD
+
+
+class TestAmdahl:
+    def test_amdahl_formula(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(1.0)
+        assert amdahl_speedup(1.0, 8) == pytest.approx(8.0)
+        assert amdahl_speedup(0.5, 2) == pytest.approx(4.0 / 3.0)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+    def test_fraction_needed_is_inverse(self):
+        fraction = parallel_fraction_needed(3.0, 8)
+        assert amdahl_speedup(fraction, 8) == pytest.approx(3.0)
+        assert parallel_fraction_needed(1.0, 8) == 0.0
+
+    def test_bound_for_application_counts_only_easy_nests(self):
+        bound = bound_for_application(
+            "app",
+            [(0.6, Difficulty.EASY), (0.4, Difficulty.VERY_HARD)],
+            busy_seconds=10.0,
+            loop_seconds=10.0,
+            cores=8,
+        )
+        assert bound.easy_fraction == pytest.approx(0.6)
+        assert bound.bound == pytest.approx(amdahl_speedup(0.6, 8))
+        assert not bound.hard_to_speed_up
+
+    def test_all_hard_nests_mark_application_hard(self):
+        bound = bound_for_application(
+            "app", [(1.0, Difficulty.VERY_HARD)], busy_seconds=5.0, loop_seconds=4.0, cores=8
+        )
+        assert bound.easy_fraction == 0.0 and bound.hard_to_speed_up
+
+    def test_fraction_never_exceeds_one(self):
+        bound = bound_for_application(
+            "app", [(1.0, Difficulty.VERY_EASY)], busy_seconds=1.0, loop_seconds=50.0, cores=4
+        )
+        assert bound.easy_fraction <= 1.0
+
+
+class TestTables:
+    def _tables(self):
+        tables = CaseStudyTables()
+        tables.table2 = [
+            Table2Row("A", 10.0, 8.0, 7.0),
+            Table2Row("B", 30.0, 0.5, 0.4),
+        ]
+        tables.table3 = [
+            Table3Row("A", "for(line 1)", 1, 80.0, 10, 100.0, 1.0,
+                      DivergenceLevel.NONE, False, Difficulty.EASY, Difficulty.EASY),
+            Table3Row("B", "while(line 2)", 2, 90.0, 3, 1.0, 0.2,
+                      DivergenceLevel.YES, True, Difficulty.VERY_HARD, Difficulty.VERY_HARD),
+        ]
+        tables.speedups = [
+            SpeedupBound("A", 0.8, 8, amdahl_speedup(0.8, 8), Difficulty.EASY, Difficulty.EASY),
+            SpeedupBound("B", 0.0, 8, 1.0, Difficulty.VERY_HARD, Difficulty.VERY_HARD),
+        ]
+        return tables
+
+    def test_aggregate_queries(self):
+        tables = self._tables()
+        assert tables.computationally_intensive() == ["A"]
+        assert tables.nests_with_intrinsic_parallelism() == 1
+        assert tables.fraction_accessing_dom() == pytest.approx(0.5)
+        assert tables.applications_exceeding_3x() == 1
+        assert tables.applications_hard_to_speed_up() == 1
+
+    def test_rendered_tables_contain_rows(self):
+        tables = self._tables()
+        assert "Table 2" in tables.render_table2() and "A" in tables.render_table2()
+        assert "very hard" in tables.render_table3()
+        assert "Amdahl" in tables.render_speedups()
+
+    def test_build_tables_from_empty_list(self):
+        tables = build_tables([])
+        assert tables.table2 == [] and tables.fraction_with_intrinsic_parallelism() == 0.0

@@ -1,0 +1,294 @@
+"""Tests for the three JS-CERES instrumentation modes and the tool facade."""
+
+import pytest
+
+from repro.ceres import (
+    DependenceAnalyzer,
+    InstrumentationMode,
+    InstrumentingProxy,
+    JSCeres,
+    LightweightProfiler,
+    LoopProfiler,
+    OriginServer,
+    WarningKind,
+)
+from repro.ceres.ids import IndexRegistry
+from repro.jsvm.hooks import HookBus
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.parser import parse
+from repro.workloads.nbody import NBODY_SOURCE, STEP_FOR_LINE, make_nbody_workload
+
+SIMPLE_LOOPS = """
+function work(n) {
+  var total = 0;
+  for (var i = 0; i < n; i++) {
+    for (var j = 0; j < 3; j++) {
+      total += i * j;
+    }
+  }
+  return total;
+}
+"""
+
+
+def make_instrumented_interpreter(tracers):
+    hooks = HookBus()
+    for tracer in tracers:
+        hooks.attach(tracer)
+    return Interpreter(hooks=hooks)
+
+
+class TestLightweightProfiler:
+    def test_time_in_loops_is_positive_and_bounded_by_total(self):
+        profiler = LightweightProfiler()
+        interp = make_instrumented_interpreter([profiler])
+        profiler.start(interp.clock)
+        interp.run_source(SIMPLE_LOOPS + "work(50);")
+        profiler.stop(interp.clock)
+        result = profiler.result(interp.clock)
+        assert 0.0 < result.loops_ms <= result.total_ms
+        assert result.top_level_loop_entries == 1
+        assert 0.0 < result.loop_fraction <= 1.0
+
+    def test_no_loops_means_zero_loop_time(self):
+        profiler = LightweightProfiler()
+        interp = make_instrumented_interpreter([profiler])
+        profiler.start(interp.clock)
+        interp.run_source("var x = 1 + 2;")
+        result = profiler.result(interp.clock)
+        assert result.loops_ms == 0.0 and result.top_level_loop_entries == 0
+
+    def test_nested_loops_counted_once(self):
+        """The open-loop counter means nested loop time is not double counted."""
+        profiler = LightweightProfiler()
+        interp = make_instrumented_interpreter([profiler])
+        interp.run_source(SIMPLE_LOOPS + "work(20);")
+        result = profiler.result(interp.clock)
+        assert result.loops_ms <= interp.clock.now()
+
+
+class TestLoopProfiler:
+    def test_per_loop_instances_and_trip_counts(self):
+        program = parse(SIMPLE_LOOPS + "work(10); work(10);", name="loops.js")
+        registry = IndexRegistry()
+        registry.add(program)
+        profiler = LoopProfiler(registry=registry)
+        interp = make_instrumented_interpreter([profiler])
+        interp.run(program)
+
+        outer = next(p for p in profiler.profiles.values() if p.label.startswith("for(line 4)"))
+        inner = next(p for p in profiler.profiles.values() if p.label.startswith("for(line 5)"))
+        assert outer.instances == 2 and outer.mean_trip_count == pytest.approx(10.0)
+        assert inner.instances == 20 and inner.mean_trip_count == pytest.approx(3.0)
+        assert inner.trip_stats.std == pytest.approx(0.0)
+        assert outer.total_time_ms > inner.time_stats_ms.mean
+
+    def test_observed_parents_identify_nesting(self):
+        program = parse(SIMPLE_LOOPS + "work(5);", name="loops.js")
+        registry = IndexRegistry()
+        registry.add(program)
+        profiler = LoopProfiler(registry=registry)
+        interp = make_instrumented_interpreter([profiler])
+        interp.run(program)
+        inner = next(p for p in profiler.profiles.values() if p.label.startswith("for(line 5)"))
+        outer = next(p for p in profiler.profiles.values() if p.label.startswith("for(line 4)"))
+        assert inner.observed_parents == [outer.loop_id]
+        assert profiler.total_loop_time_ms() == pytest.approx(outer.total_time_ms)
+
+    def test_hottest_ordering(self):
+        program = parse(SIMPLE_LOOPS + "work(30);", name="loops.js")
+        registry = IndexRegistry()
+        registry.add(program)
+        profiler = LoopProfiler(registry=registry)
+        interp = make_instrumented_interpreter([profiler])
+        interp.run(program)
+        hottest = profiler.hottest(1)[0]
+        assert hottest.label == "for(line 4)"
+
+
+class TestDependenceAnalyzer:
+    def run_nbody(self, focus_line=STEP_FOR_LINE):
+        program = parse(NBODY_SOURCE, name="nbody.js")
+        registry = IndexRegistry()
+        index = registry.add(program)
+        focus = index.loop_for_line(focus_line)
+        analyzer = DependenceAnalyzer(registry=registry, focus_loop_id=focus.node_id)
+        interp = make_instrumented_interpreter([analyzer])
+        interp.run(program)
+        interp.run_source("init(12); simulate(6);")
+        return analyzer, registry
+
+    def test_var_p_warning_matches_paper_characterization(self):
+        """Figure 6: the write to `p` is `while ... ok ok -> for ... ok dependence`."""
+        analyzer, registry = self.run_nbody()
+        report = analyzer.report()
+        p_warnings = [w for w in report.warnings if w.kind is WarningKind.VAR_WRITE and w.name == "p"]
+        assert p_warnings, "expected a warning for the function-scoped var p"
+        rendered = p_warnings[0].render(registry.loop_label)
+        assert "ok dependence" in rendered
+        # The while level is private per iteration, the for level is shared.
+        triples = p_warnings[0].triples
+        assert triples[-1].iteration_private is False
+        assert triples[0].instance_private is True and triples[0].iteration_private is True
+
+    def test_com_accumulator_reports_output_and_flow_dependences(self):
+        analyzer, registry = self.run_nbody()
+        report = analyzer.report()
+        com_writes = [
+            w for w in report.warnings
+            if w.kind is WarningKind.PROP_WRITE and w.name.endswith(".m")
+        ]
+        com_flows = [
+            w for w in report.warnings
+            if w.kind is WarningKind.FLOW_READ and w.name.endswith(".m")
+        ]
+        assert com_writes and com_flows
+        for warning in com_writes + com_flows:
+            assert warning.triples[-1].iteration_private is False
+
+    def test_iteration_private_objects_not_reported(self):
+        source = """
+        function f(n) {
+          for (var i = 0; i < n; i++) {
+            var local = {v: i};
+            local.v += 1;
+          }
+          return n;
+        }
+        f(10);
+        """
+        program = parse(source, name="private.js")
+        registry = IndexRegistry()
+        index = registry.add(program)
+        focus = index.loop_for_line(3)
+        analyzer = DependenceAnalyzer(registry=registry, focus_loop_id=focus.node_id)
+        interp = make_instrumented_interpreter([analyzer])
+        interp.run(program)
+        prop_warnings = analyzer.report().warnings_of_kind(WarningKind.PROP_WRITE)
+        assert prop_warnings == []
+
+    def test_read_of_preloop_data_is_not_a_flow_dependence(self):
+        source = """
+        var input = [1, 2, 3, 4];
+        var output = [0, 0, 0, 0];
+        function copy() {
+          for (var i = 0; i < input.length; i++) { output[i] = input[i] * 2; }
+        }
+        copy();
+        """
+        program = parse(source, name="copy.js")
+        registry = IndexRegistry()
+        index = registry.add(program)
+        focus = index.loop_for_line(5)
+        analyzer = DependenceAnalyzer(registry=registry, focus_loop_id=focus.node_id)
+        interp = make_instrumented_interpreter([analyzer])
+        interp.run(program)
+        report = analyzer.report()
+        assert report.warnings_of_kind(WarningKind.FLOW_READ) == []
+        assert not report.has_flow_dependences()
+
+    def test_cross_iteration_read_is_a_flow_dependence(self):
+        source = """
+        var cells = [1, 1, 1, 1, 1, 1];
+        function smooth() {
+          for (var i = 1; i < cells.length; i++) { cells[i] = cells[i] + cells[i - 1]; }
+        }
+        smooth();
+        """
+        program = parse(source, name="scan.js")
+        registry = IndexRegistry()
+        index = registry.add(program)
+        focus = index.loop_for_line(4)
+        analyzer = DependenceAnalyzer(registry=registry, focus_loop_id=focus.node_id)
+        interp = make_instrumented_interpreter([analyzer])
+        interp.run(program)
+        assert analyzer.report().has_flow_dependences()
+
+    def test_recursion_through_loop_discards_nest(self):
+        source = """
+        function visit(depth) {
+          for (var i = 0; i < 2; i++) {
+            if (depth > 0) { visit(depth - 1); }
+          }
+        }
+        visit(3);
+        """
+        program = parse(source, name="recurse.js")
+        registry = IndexRegistry()
+        registry.add(program)
+        analyzer = DependenceAnalyzer(registry=registry)
+        interp = make_instrumented_interpreter([analyzer])
+        interp.run(program)
+        report = analyzer.report()
+        assert report.recursion_warnings
+
+    def test_access_patterns_capture_disjoint_writes(self):
+        source = """
+        var out = [0, 0, 0, 0, 0, 0, 0, 0];
+        function fill() {
+          for (var i = 0; i < out.length; i++) { out[i] = i * i; }
+        }
+        fill();
+        """
+        program = parse(source, name="fill.js")
+        registry = IndexRegistry()
+        index = registry.add(program)
+        analyzer = DependenceAnalyzer(registry=registry, focus_loop_id=index.loop_for_line(4).node_id)
+        interp = make_instrumented_interpreter([analyzer])
+        interp.run(program)
+        patterns = [p for p in analyzer.report().patterns.values() if p.total_writes and p.target_kind == "object"]
+        assert patterns and all(p.writes_are_disjoint() for p in patterns)
+
+
+class TestProxyPipeline:
+    def test_proxy_instruments_javascript_documents(self):
+        origin = OriginServer()
+        origin.host("app.js", "for (var i = 0; i < 3; i++) {}")
+        origin.host("index.html", "<html></html>", content_type="text/html")
+        proxy = InstrumentingProxy(origin, mode=InstrumentationMode.LOOP_PROFILE)
+        js_doc = proxy.request("app.js")
+        html_doc = proxy.request("index.html")
+        assert js_doc.program is not None and js_doc.mode is InstrumentationMode.LOOP_PROFILE
+        assert html_doc.program is None and html_doc.mode is InstrumentationMode.NONE
+        assert len(proxy.registry.all_loops()) == 1
+
+    def test_unknown_document_raises(self):
+        proxy = InstrumentingProxy(OriginServer())
+        with pytest.raises(KeyError):
+            proxy.request("missing.js")
+
+    def test_collect_results_commits_and_pushes(self):
+        origin = OriginServer()
+        origin.host("app.js", "var x = 1;")
+        proxy = InstrumentingProxy(origin)
+        proxy.request("app.js")
+        commit_id = proxy.collect_results("app-lightweight", "report body", time_ms=12.0)
+        head = proxy.repository.head()
+        assert head is not None and head.commit_id == commit_id
+        assert "reports/app-lightweight.txt" in head.files
+        assert proxy.publisher.pushes and proxy.publisher.pushes[0].commit_id == commit_id
+
+
+class TestJSCeresFacade:
+    def test_three_modes_on_nbody(self):
+        tool = JSCeres()
+        workload = make_nbody_workload(bodies=10, steps=5)
+        light = tool.run_lightweight(workload)
+        assert light.total_seconds > 0 and light.loops_seconds > 0
+        assert light.loops_seconds <= light.total_seconds + 1e-9
+
+        loops = tool.run_loop_profile(make_nbody_workload(bodies=10, steps=5))
+        assert loops.profiles and loops.hottest[0].total_time_ms > 0
+
+        deps = tool.run_dependence(make_nbody_workload(bodies=10, steps=5), focus_line=STEP_FOR_LINE)
+        assert deps.report.warnings and "ok dependence" in deps.report_text
+
+    def test_repository_accumulates_reports_across_runs(self):
+        tool = JSCeres()
+        tool.run_lightweight(make_nbody_workload(bodies=6, steps=3), with_gecko=False)
+        tool.run_loop_profile(make_nbody_workload(bodies=6, steps=3))
+        assert len(tool.repository.commits) == 2
+
+    def test_uninstrumented_run_returns_positive_time(self):
+        tool = JSCeres()
+        assert tool.run_uninstrumented(make_nbody_workload(bodies=6, steps=3)) > 0.0

@@ -1,0 +1,110 @@
+"""Integration tests: the full case-study pipeline on a subset of workloads,
+the experiment registry, and the parallel-validation invariant.
+
+The full 12-application sweep lives in the benchmark harness; here a
+representative pair (one compute-bound, one DOM-bound) keeps the test suite
+fast while still exercising every stage end to end.
+"""
+
+import pytest
+
+from repro.analysis import CaseStudyRunner, Difficulty, build_tables
+from repro.experiments import build_registry, run_case_study, run_experiment
+from repro.parallel import model_application_speedup, validate_against_amdahl
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_case_study():
+    runner = CaseStudyRunner()
+    analyses = [
+        runner.analyze_application(get_workload("Normal Mapping")),
+        runner.analyze_application(get_workload("Ace")),
+    ]
+    return analyses, build_tables(analyses)
+
+
+class TestCaseStudyPipeline:
+    def test_table2_rows_have_consistent_times(self, small_case_study):
+        _analyses, tables = small_case_study
+        assert len(tables.table2) == 2
+        for row in tables.table2:
+            assert row.total_seconds > 0
+            assert 0 <= row.loops_seconds <= row.total_seconds + 1e-6
+            assert 0 <= row.active_seconds <= row.total_seconds + 1e-6
+
+    def test_compute_bound_vs_interactive_shape(self, small_case_study):
+        _analyses, tables = small_case_study
+        rows = {row.name: row for row in tables.table2}
+        normal_mapping = rows["Normal Mapping"]
+        ace = rows["Ace"]
+        # Normal Mapping is loop dominated; Ace is idle dominated.
+        assert normal_mapping.loops_seconds / normal_mapping.total_seconds > 0.5
+        assert ace.loops_seconds / ace.total_seconds < 0.2
+
+    def test_table3_rows_reflect_paper_characterization(self, small_case_study):
+        _analyses, tables = small_case_study
+        by_app = {}
+        for row in tables.table3:
+            by_app.setdefault(row.application, []).append(row)
+        normal_rows = by_app["Normal Mapping"]
+        ace_rows = by_app["Ace"]
+        assert all(not row.dom_access for row in normal_rows)
+        assert all(row.breaking <= Difficulty.EASY for row in normal_rows)
+        assert all(row.dom_access for row in ace_rows)
+        assert all(row.parallelization is Difficulty.VERY_HARD for row in ace_rows)
+        assert all(row.mean_trips < 3 for row in ace_rows)
+
+    def test_runtime_percentages_cover_two_thirds(self, small_case_study):
+        analyses, _tables = small_case_study
+        for analysis in analyses:
+            coverage = sum(nest.fraction_of_loop_time for nest in analysis.nests)
+            assert coverage >= 2.0 / 3.0 - 1e-6
+
+    def test_amdahl_bounds_direction(self, small_case_study):
+        analyses, tables = small_case_study
+        bounds = {bound.application: bound for bound in tables.speedups}
+        assert bounds["Normal Mapping"].bound > 3.0
+        assert bounds["Ace"].bound == pytest.approx(1.0)
+        assert bounds["Ace"].hard_to_speed_up and not bounds["Normal Mapping"].hard_to_speed_up
+
+    def test_parallel_model_respects_amdahl(self, small_case_study):
+        analyses, _tables = small_case_study
+        speedups = [model_application_speedup(analysis) for analysis in analyses]
+        assert validate_against_amdahl(speedups)
+        by_app = {s.application: s for s in speedups}
+        assert by_app["Normal Mapping"].speedup > 2.0
+        assert by_app["Ace"].speedup == pytest.approx(1.0, abs=0.05)
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_every_paper_artifact(self):
+        registry = build_registry()
+        artifacts = {experiment.paper_artifact for experiment in registry.values()}
+        for expected in ("Figure 1", "Figure 2", "Figure 3", "Figure 4", "Table 1", "Table 2", "Table 3"):
+            assert any(expected in artifact for artifact in artifacts)
+
+    def test_survey_experiments_run(self):
+        for experiment_id in ("fig1-categories", "fig2-bottlenecks", "fig3-style", "fig4-polymorphism"):
+            output = run_experiment(experiment_id)
+            assert "Figure" in output and "%" in output
+
+    def test_table1_experiment_lists_all_applications(self):
+        output = run_experiment("table1-workloads")
+        for name in ("HAAR.js", "D3.js", "fluidSim"):
+            assert name in output
+
+    def test_nbody_experiment_reports_dependence_chain(self):
+        output = run_experiment("fig6-nbody")
+        assert "ok dependence" in output and "flow" in output
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("does-not-exist")
+
+    def test_case_study_cache_reuses_results(self):
+        first = run_case_study(workload_names=["Normal Mapping"])
+        second = run_case_study(workload_names=["Normal Mapping"])
+        assert first is second
+        forced = run_case_study(workload_names=["Normal Mapping"], force=True)
+        assert forced is not first

@@ -1,0 +1,298 @@
+"""Semantics tests for the mini-JS interpreter."""
+
+import math
+
+import pytest
+
+from repro.jsvm import Interpreter, JSArray, JSObject, UNDEFINED
+from repro.jsvm.errors import (
+    InterpreterLimitError,
+    JSReferenceError,
+    JSRuntimeError,
+    JSThrownValue,
+    JSTypeError,
+)
+
+
+def run(source):
+    return Interpreter().run_source(source)
+
+
+class TestArithmeticAndOperators:
+    def test_basic_arithmetic(self):
+        assert run("2 + 3 * 4;") == 14.0
+
+    def test_division_by_zero_is_infinity(self):
+        assert run("1 / 0;") == math.inf
+        assert run("-1 / 0;") == -math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(run("0 / 0;"))
+
+    def test_modulo(self):
+        assert run("7 % 3;") == 1.0
+        assert run("-7 % 3;") == -1.0  # JS fmod semantics
+
+    def test_string_concatenation_with_plus(self):
+        assert run("'a' + 1 + 2;") == "a12"
+        assert run("1 + 2 + 'a';") == "3a"
+
+    def test_comparisons(self):
+        assert run("3 < 5;") is True
+        assert run("'abc' < 'abd';") is True
+        assert run("5 <= 5;") is True
+
+    def test_strict_vs_loose_equality(self):
+        assert run("'1' == 1;") is True
+        assert run("'1' === 1;") is False
+        assert run("null == undefined;") is True
+        assert run("null === undefined;") is False
+
+    def test_logical_short_circuit_returns_operand(self):
+        assert run("0 || 'fallback';") == "fallback"
+        assert run("'first' && 'second';") == "second"
+        assert run("0 && explode();") == 0.0  # right side never evaluated
+
+    def test_ternary(self):
+        assert run("5 > 3 ? 'yes' : 'no';") == "yes"
+
+    def test_bitwise_operators(self):
+        assert run("5 & 3;") == 1.0
+        assert run("5 | 2;") == 7.0
+        assert run("1 << 4;") == 16.0
+        assert run("-1 >>> 28;") == 15.0
+
+    def test_typeof(self):
+        assert run("typeof 1;") == "number"
+        assert run("typeof 'x';") == "string"
+        assert run("typeof undefined;") == "undefined"
+        assert run("typeof {};") == "object"
+        assert run("typeof function(){};") == "function"
+        assert run("typeof neverDeclared;") == "undefined"
+
+    def test_update_expressions(self):
+        assert run("var i = 1; i++; i;") == 2.0
+        assert run("var i = 1; var j = i++; j;") == 1.0
+        assert run("var i = 1; var j = ++i; j;") == 2.0
+
+    def test_compound_assignment(self):
+        assert run("var x = 10; x -= 4; x *= 2; x;") == 12.0
+
+
+class TestVariablesAndScope:
+    def test_var_is_function_scoped(self):
+        # The `var p` inside the loop is hoisted: it survives after the loop.
+        assert run("function f() { for (var i = 0; i < 3; i++) { var p = i; } return p; } f();") == 2.0
+
+    def test_let_is_block_scoped(self):
+        source = "var out = 'outer'; { let out = 'inner'; } out;"
+        assert run(source) == "outer"
+
+    def test_const_cannot_be_reassigned(self):
+        with pytest.raises(JSTypeError):
+            run("const c = 1; c = 2;")
+
+    def test_undeclared_read_raises_reference_error(self):
+        with pytest.raises(JSReferenceError):
+            run("missing + 1;")
+
+    def test_assignment_to_undeclared_creates_global(self):
+        assert run("function f() { leak = 42; } f(); leak;") == 42.0
+
+    def test_closures_capture_environment(self):
+        source = """
+        function counter() {
+          var n = 0;
+          return function() { n += 1; return n; };
+        }
+        var next = counter();
+        next(); next(); next();
+        """
+        assert run(source) == 3.0
+
+    def test_hoisted_function_declarations_callable_before_definition(self):
+        assert run("var r = early(); function early() { return 'ok'; } r;") == "ok"
+
+    def test_recursion(self):
+        assert run("function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } fib(12);") == 144.0
+
+    def test_call_depth_limit(self):
+        interp = Interpreter(max_call_depth=30)
+        with pytest.raises(InterpreterLimitError):
+            interp.run_source("function f(n) { return f(n + 1); } f(0);")
+
+    def test_operation_limit(self):
+        interp = Interpreter(max_ops=2_000)
+        with pytest.raises(InterpreterLimitError):
+            interp.run_source("var i = 0; while (true) { i++; }")
+
+
+class TestObjectsAndPrototypes:
+    def test_object_literal_and_member_access(self):
+        assert run("var o = {a: 1, b: {c: 2}}; o.a + o.b.c;") == 3.0
+
+    def test_computed_access(self):
+        assert run("var o = {x: 7}; var k = 'x'; o[k];") == 7.0
+
+    def test_constructor_and_prototype_method(self):
+        source = """
+        function Point(x, y) { this.x = x; this.y = y; }
+        Point.prototype.norm = function() { return Math.sqrt(this.x * this.x + this.y * this.y); };
+        var p = new Point(3, 4);
+        p.norm();
+        """
+        assert run(source) == 5.0
+
+    def test_instanceof(self):
+        assert run("function A() {} var a = new A(); a instanceof A;") is True
+
+    def test_in_operator_and_delete(self):
+        assert run("var o = {a: 1}; 'a' in o;") is True
+        assert run("var o = {a: 1}; delete o.a; 'a' in o;") is False
+
+    def test_this_in_method_call(self):
+        assert run("var o = {v: 10, get: function() { return this.v; }}; o.get();") == 10.0
+
+    def test_reading_property_of_undefined_raises(self):
+        with pytest.raises(JSTypeError):
+            run("var u; u.field;")
+
+    def test_object_keys_and_hasownproperty(self):
+        assert run("var o = {a:1, b:2}; Object.keys(o).length;") == 2.0
+        assert run("var o = {a:1}; o.hasOwnProperty('a');") is True
+
+    def test_for_in_iterates_own_keys(self):
+        assert run("var o = {a:1, b:2, c:3}; var s=''; for (var k in o) { s += k; } s;") == "abc"
+
+
+class TestArraysAndBuiltins:
+    def test_array_literal_indexing_and_length(self):
+        assert run("var a = [10, 20, 30]; a[1] + a.length;") == 23.0
+
+    def test_array_growth_by_index_assignment(self):
+        assert run("var a = []; a[4] = 9; a.length;") == 5.0
+
+    def test_push_pop_shift_unshift(self):
+        assert run("var a = [1]; a.push(2, 3); a.pop(); a.unshift(0); a.join('-');") == "0-1-2"
+
+    def test_map_filter_reduce(self):
+        source = """
+        var xs = [1, 2, 3, 4, 5];
+        xs.filter(function(x) { return x % 2 === 1; })
+          .map(function(x) { return x * x; })
+          .reduce(function(a, b) { return a + b; }, 0);
+        """
+        assert run(source) == 35.0
+
+    def test_for_each_and_every_some(self):
+        assert run("var s = 0; [1,2,3].forEach(function(x){ s += x; }); s;") == 6.0
+        assert run("[2,4,6].every(function(x){ return x % 2 === 0; });") is True
+        assert run("[1,2,3].some(function(x){ return x > 2; });") is True
+
+    def test_slice_concat_indexof(self):
+        assert run("[1,2,3,4].slice(1, 3).length;") == 2.0
+        assert run("[1].concat([2, 3]).length;") == 3.0
+        assert run("[5, 6, 7].indexOf(7);") == 2.0
+
+    def test_sort_with_comparator(self):
+        assert run("[3,1,2].sort(function(a,b){ return a - b; }).join(',');") == "1,2,3"
+
+    def test_splice(self):
+        assert run("var a = [1,2,3,4]; a.splice(1, 2); a.join(',');") == "1,4"
+
+    def test_for_of_loop(self):
+        assert run("var t = 0; for (var v of [1,2,3]) { t += v; } t;") == 6.0
+
+    def test_math_builtins(self):
+        assert run("Math.max(1, 9, 4);") == 9.0
+        assert run("Math.floor(3.7) + Math.ceil(3.1);") == 7.0
+        assert run("Math.abs(-2.5);") == 2.5
+        assert abs(run("Math.pow(2, 10);") - 1024.0) < 1e-9
+
+    def test_math_random_is_seeded_and_deterministic(self):
+        a = Interpreter(rng_seed=7).run_source("Math.random();")
+        b = Interpreter(rng_seed=7).run_source("Math.random();")
+        assert a == b and 0.0 <= a < 1.0
+
+    def test_parse_int_and_float(self):
+        assert run("parseInt('42px');") == 42.0
+        assert run("parseInt('ff', 16);") == 255.0
+        assert run("parseFloat('3.5e2');") == 350.0
+        assert run("isNaN(parseInt('nope'));") is True
+
+    def test_string_methods(self):
+        assert run("'hello world'.toUpperCase();") == "HELLO WORLD"
+        assert run("'a,b,c'.split(',').length;") == 3.0
+        assert run("'hello'.charCodeAt(1);") == 101.0
+        assert run("'hello'.substring(1, 3);") == "el"
+        assert run("'  x  '.trim();") == "x"
+
+    def test_number_to_fixed(self):
+        assert run("(3.14159).toFixed(2);") == "3.14"
+
+    def test_json_stringify(self):
+        assert run("JSON.stringify({a: 1, b: [1, 2], c: 'x'});") == '{"a":1,"b":[1,2],"c":"x"}'
+
+    def test_console_log_collects_output(self):
+        interp = Interpreter()
+        interp.run_source("console.log('value', 42);")
+        assert interp.console_output == ["value 42"]
+
+    def test_function_call_apply_bind(self):
+        assert run("function f(a, b) { return this.k + a + b; } f.call({k: 1}, 2, 3);") == 6.0
+        assert run("function f(a, b) { return a * b; } f.apply(null, [4, 5]);") == 20.0
+        assert run("function f(a, b) { return a - b; } var g = f.bind(null, 10); g(3);") == 7.0
+
+    def test_date_now_uses_virtual_clock(self):
+        interp = Interpreter()
+        value = interp.run_source("var t0 = Date.now(); var x = 0; var i = 0; while (i < 50) { x += i; i++; } Date.now() - t0;")
+        assert value > 0.0
+
+
+class TestControlFlowAndErrors:
+    def test_switch_with_fallthrough_and_default(self):
+        source = """
+        function label(x) {
+          var out = '';
+          switch (x) {
+            case 1: out += 'one ';
+            case 2: out += 'two'; break;
+            default: out = 'other';
+          }
+          return out;
+        }
+        label(1) + '|' + label(2) + '|' + label(9);
+        """
+        assert run(source) == "one two|two|other"
+
+    def test_break_and_continue(self):
+        assert run("var s = 0; for (var i = 0; i < 10; i++) { if (i === 5) break; if (i % 2) continue; s += i; } s;") == 6.0
+
+    def test_throw_and_catch_guest_value(self):
+        assert run("var r; try { throw 'boom'; } catch (e) { r = e; } r;") == "boom"
+
+    def test_uncaught_throw_escapes_to_host(self):
+        with pytest.raises(JSThrownValue):
+            run("throw 42;")
+
+    def test_runtime_error_caught_by_guest_try(self):
+        assert run("var r = 'none'; try { missing.x; } catch (e) { r = e.name; } r;") == "JSReferenceError"
+
+    def test_finally_always_runs(self):
+        assert run("var log = ''; try { log += 'a'; } finally { log += 'b'; } log;") == "ab"
+
+    def test_calling_non_function_raises(self):
+        with pytest.raises(JSTypeError):
+            run("var x = 3; x();")
+
+    def test_do_while_runs_at_least_once(self):
+        assert run("var n = 0; do { n++; } while (false); n;") == 1.0
+
+    def test_nested_loops(self):
+        assert run("var c = 0; for (var i = 0; i < 4; i++) { for (var j = 0; j < 3; j++) { c++; } } c;") == 12.0
+
+    def test_stats_and_clock_advance(self):
+        interp = Interpreter()
+        interp.run_source("var t = 0; for (var i = 0; i < 100; i++) { t += i; }")
+        assert interp.stats.loop_iterations == 100
+        assert interp.clock.now() > 0.0

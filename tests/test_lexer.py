@@ -1,0 +1,119 @@
+"""Unit tests for the mini-JS lexer."""
+
+import pytest
+
+from repro.jsvm.errors import JSSyntaxError
+from repro.jsvm.lexer import tokenize
+from repro.jsvm.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestNumbers:
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == 42.0
+
+    def test_float_literal(self):
+        assert values("3.25") == [3.25]
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [0.5]
+
+    def test_exponent(self):
+        assert values("1e3 2.5e-2") == [1000.0, 0.025]
+
+    def test_hex_literal(self):
+        assert values("0xFF 0x10") == [255.0, 16.0]
+
+    def test_malformed_exponent_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("1e+")
+
+    def test_invalid_hex_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("0x")
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_single_quoted(self):
+        assert values("'world'") == ["world"]
+
+    def test_escapes(self):
+        assert values(r'"a\nb\tc\\d"') == ["a\nb\tc\\d"]
+
+    def test_unicode_escape(self):
+        assert values(r'"A"') == ["A"]
+
+    def test_hex_escape(self):
+        assert values(r'"\x41"') == ["A"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize('"ab\ncd"')
+
+
+class TestIdentifiersAndKeywords:
+    def test_identifier(self):
+        tokens = tokenize("fooBar $x _y")
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+
+    def test_keywords_recognised(self):
+        tokens = tokenize("var function return while")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens = tokenize("variable functional")
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+
+
+class TestPunctuatorsAndTrivia:
+    def test_multichar_punctuators_are_greedy(self):
+        assert values("=== !== <= >= && || ++ +=") == ["===", "!==", "<=", ">=", "&&", "||", "++", "+="]
+
+    def test_line_comment_skipped(self):
+        assert values("1 // comment\n2") == [1.0, 2.0]
+
+    def test_block_comment_skipped(self):
+        assert values("1 /* x\ny */ 2") == [1.0, 2.0]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("/* never closed")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(JSSyntaxError):
+            tokenize("var a = #")
+
+    def test_eof_token_always_last(self):
+        tokens = tokenize("a + b")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_columns_advance_on_same_line(self):
+        tokens = tokenize("ab cd")
+        assert tokens[1].column == 4

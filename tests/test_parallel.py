@@ -1,0 +1,134 @@
+"""Tests for the parallel-execution model: partitioning, machine model, executor."""
+
+import pytest
+
+from repro.analysis.casestudy import NestAnalysis, Table2Row
+from repro.analysis.difficulty import Difficulty
+from repro.analysis.divergence import DivergenceLevel
+from repro.analysis.domaccess import DomAccessResult
+from repro.analysis.observer import NestObservation
+from repro.ceres.dependence import DependenceReport
+from repro.ceres.loop_profiler import LoopProfile
+from repro.parallel import (
+    PAPER_MACHINE,
+    SIMD_MACHINE,
+    MachineModel,
+    assigned_iterations,
+    block_partition,
+    cyclic_partition,
+    simulate_parallel_execution,
+)
+
+
+def make_nest(
+    total_ms=8000.0,
+    instances=10,
+    trips=100.0,
+    difficulty=Difficulty.EASY,
+    divergence=DivergenceLevel.NONE,
+    dom=False,
+    canvas=0,
+):
+    profile = LoopProfile(loop_id=1, label="for(line 1)", kind="for", line=1, program="app.js")
+    profile.instances = instances
+    for _ in range(instances):
+        profile.trip_stats.push(trips)
+        profile.time_stats_ms.push(total_ms / instances)
+    observation = NestObservation(root_loop_id=1, label="for(line 1)", root_iterations=int(trips) * instances)
+    return NestAnalysis(
+        observation=observation,
+        profile=profile,
+        dependence=DependenceReport(focus_loop_id=1, focus_loop_label="for(line 1)"),
+        divergence=divergence,
+        dom=DomAccessResult(dom_accesses=5 if dom else 0, canvas_accesses=canvas),
+        breaking=difficulty,
+        parallelization=difficulty,
+        fraction_of_loop_time=1.0,
+    )
+
+
+class TestPartitioning:
+    def test_block_partition_covers_every_iteration_once(self):
+        chunks = block_partition(103, 8)
+        assert assigned_iterations(chunks) == list(range(103))
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cyclic_partition_covers_every_iteration_once(self):
+        chunks = cyclic_partition(50, 7)
+        assert assigned_iterations(chunks) == list(range(50))
+        assert chunks[0].iterations[:2] == (0, 7)
+
+    def test_empty_iteration_space(self):
+        assert assigned_iterations(block_partition(0, 4)) == []
+        assert assigned_iterations(cyclic_partition(0, 4)) == []
+
+    def test_more_workers_than_iterations(self):
+        chunks = block_partition(3, 8)
+        assert assigned_iterations(chunks) == [0, 1, 2]
+        assert sum(1 for chunk in chunks if len(chunk) == 0) == 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+        with pytest.raises(ValueError):
+            cyclic_partition(-1, 2)
+
+
+class TestMachineModel:
+    def test_hardware_threads(self):
+        assert PAPER_MACHINE.hardware_threads == 8
+
+    def test_simd_efficiency_decreases_with_divergence(self):
+        machine = SIMD_MACHINE
+        assert (
+            machine.simd_efficiency(DivergenceLevel.NONE)
+            > machine.simd_efficiency(DivergenceLevel.LITTLE)
+            > machine.simd_efficiency(DivergenceLevel.YES)
+        )
+
+    def test_effective_parallelism_with_simd(self):
+        machine = MachineModel(cores=2, threads_per_core=1, simd_width=4)
+        plain = machine.effective_parallelism(DivergenceLevel.NONE)
+        simd = machine.effective_parallelism(DivergenceLevel.NONE, use_simd=True)
+        assert simd > plain >= 1.0
+
+
+class TestExecutor:
+    def test_easy_nest_scales_close_to_core_count(self):
+        outcome = simulate_parallel_execution(make_nest(), PAPER_MACHINE)
+        assert outcome.parallelizable
+        assert 4.0 < outcome.speedup <= PAPER_MACHINE.hardware_threads
+
+    def test_hard_nest_does_not_scale(self):
+        outcome = simulate_parallel_execution(make_nest(difficulty=Difficulty.VERY_HARD), PAPER_MACHINE)
+        assert not outcome.parallelizable and outcome.speedup == pytest.approx(1.0)
+
+    def test_dom_bound_nest_does_not_scale(self):
+        outcome = simulate_parallel_execution(make_nest(dom=True), PAPER_MACHINE)
+        assert not outcome.parallelizable
+
+    def test_divergent_nest_scales_worse(self):
+        uniform = simulate_parallel_execution(make_nest(divergence=DivergenceLevel.NONE), PAPER_MACHINE)
+        divergent = simulate_parallel_execution(make_nest(divergence=DivergenceLevel.YES), PAPER_MACHINE)
+        assert divergent.speedup <= uniform.speedup
+
+    def test_both_partitioning_strategies_produce_valid_speedups(self):
+        block = simulate_parallel_execution(make_nest(divergence=DivergenceLevel.YES), PAPER_MACHINE, strategy="block")
+        cyclic = simulate_parallel_execution(make_nest(divergence=DivergenceLevel.YES), PAPER_MACHINE, strategy="cyclic")
+        for outcome in (block, cyclic):
+            assert outcome.parallelizable
+            assert 1.0 < outcome.speedup <= PAPER_MACHINE.hardware_threads + 1e-6
+
+    def test_simd_execution_beats_threads_only_for_uniform_loops(self):
+        threads = simulate_parallel_execution(make_nest(), SIMD_MACHINE, use_simd=False)
+        simd = simulate_parallel_execution(make_nest(), SIMD_MACHINE, use_simd=True)
+        assert simd.speedup > threads.speedup
+
+    def test_single_iteration_loop_cannot_speed_up(self):
+        outcome = simulate_parallel_execution(make_nest(trips=1.0, instances=1), PAPER_MACHINE)
+        assert outcome.speedup == pytest.approx(1.0)
+
+    def test_speedup_never_exceeds_lane_count(self):
+        outcome = simulate_parallel_execution(make_nest(trips=10000.0), PAPER_MACHINE)
+        assert outcome.speedup <= PAPER_MACHINE.hardware_threads + 1e-6

@@ -1,0 +1,188 @@
+"""Unit tests for the mini-JS parser."""
+
+import pytest
+
+from repro.jsvm import ast_nodes as ast
+from repro.jsvm.errors import JSSyntaxError
+from repro.jsvm.parser import parse
+
+
+def first_statement(source):
+    return parse(source).body[0]
+
+
+def expression_of(source):
+    statement = first_statement(source)
+    assert isinstance(statement, ast.ExpressionStatement)
+    return statement.expression
+
+
+class TestExpressions:
+    def test_precedence_multiplication_over_addition(self):
+        expr = expression_of("1 + 2 * 3;")
+        assert isinstance(expr, ast.BinaryExpression) and expr.operator == "+"
+        assert isinstance(expr.right, ast.BinaryExpression) and expr.right.operator == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = expression_of("(1 + 2) * 3;")
+        assert expr.operator == "*"
+        assert isinstance(expr.left, ast.BinaryExpression) and expr.left.operator == "+"
+
+    def test_left_associativity_of_subtraction(self):
+        expr = expression_of("10 - 3 - 2;")
+        assert expr.operator == "-"
+        assert isinstance(expr.left, ast.BinaryExpression)
+        assert expr.right.value == 2.0
+
+    def test_comparison_and_equality(self):
+        expr = expression_of("a < b === c;")
+        assert expr.operator == "==="
+        assert isinstance(expr.left, ast.BinaryExpression) and expr.left.operator == "<"
+
+    def test_logical_operators_produce_logical_nodes(self):
+        expr = expression_of("a && b || c;")
+        assert isinstance(expr, ast.LogicalExpression) and expr.operator == "||"
+        assert isinstance(expr.left, ast.LogicalExpression) and expr.left.operator == "&&"
+
+    def test_conditional_expression(self):
+        expr = expression_of("a ? 1 : 2;")
+        assert isinstance(expr, ast.ConditionalExpression)
+
+    def test_assignment_targets_member_expression(self):
+        expr = expression_of("obj.field = 3;")
+        assert isinstance(expr, ast.AssignmentExpression)
+        assert isinstance(expr.target, ast.MemberExpression)
+
+    def test_compound_assignment(self):
+        expr = expression_of("x += 2;")
+        assert expr.operator == "+="
+
+    def test_invalid_assignment_target_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse("1 = 2;")
+
+    def test_call_with_member_chain(self):
+        expr = expression_of("a.b.c(1, 2);")
+        assert isinstance(expr, ast.CallExpression)
+        assert isinstance(expr.callee, ast.MemberExpression)
+        assert len(expr.arguments) == 2
+
+    def test_computed_member_access(self):
+        expr = expression_of("arr[i + 1];")
+        assert isinstance(expr, ast.MemberExpression) and expr.computed
+
+    def test_new_expression_with_arguments(self):
+        expr = expression_of("new Particle(1, 2);")
+        assert isinstance(expr, ast.NewExpression)
+        assert len(expr.arguments) == 2
+
+    def test_new_then_call_on_result(self):
+        expr = expression_of("new Thing().run();")
+        assert isinstance(expr, ast.CallExpression)
+
+    def test_unary_and_update(self):
+        assert isinstance(expression_of("!done;"), ast.UnaryExpression)
+        assert isinstance(expression_of("typeof x;"), ast.UnaryExpression)
+        update = expression_of("i++;")
+        assert isinstance(update, ast.UpdateExpression) and not update.prefix
+
+    def test_array_and_object_literals(self):
+        array = expression_of("[1, 2, 3];")
+        assert isinstance(array, ast.ArrayLiteral) and len(array.elements) == 3
+        obj = expression_of('({a: 1, "b": 2, 3: 4});')
+        assert isinstance(obj, ast.ObjectLiteral) and [p.key for p in obj.properties] == ["a", "b", "3"]
+
+    def test_function_expression(self):
+        expr = expression_of("(function add(a, b) { return a + b; });")
+        assert isinstance(expr, ast.FunctionExpression) and expr.params == ["a", "b"]
+
+    def test_sequence_expression(self):
+        expr = expression_of("a = 1, b = 2;")
+        assert isinstance(expr, ast.SequenceExpression) and len(expr.expressions) == 2
+
+
+class TestStatements:
+    def test_var_declaration_with_multiple_declarators(self):
+        statement = first_statement("var a = 1, b, c = 3;")
+        assert isinstance(statement, ast.VariableDeclaration)
+        assert [d.name for d in statement.declarations] == ["a", "b", "c"]
+
+    def test_let_and_const_kinds(self):
+        assert first_statement("let x = 1;").kind_keyword == "let"
+        assert first_statement("const y = 2;").kind_keyword == "const"
+
+    def test_function_declaration(self):
+        statement = first_statement("function f(x) { return x; }")
+        assert isinstance(statement, ast.FunctionDeclaration) and statement.name == "f"
+
+    def test_if_else(self):
+        statement = first_statement("if (a) { b(); } else c();")
+        assert isinstance(statement, ast.IfStatement) and statement.alternate is not None
+
+    def test_classic_for_loop(self):
+        statement = first_statement("for (var i = 0; i < 10; i++) { work(); }")
+        assert isinstance(statement, ast.ForStatement)
+        assert isinstance(statement.init, ast.VariableDeclaration)
+
+    def test_for_with_empty_clauses(self):
+        statement = first_statement("for (;;) { break; }")
+        assert statement.init is None and statement.test is None and statement.update is None
+
+    def test_for_in_loop(self):
+        statement = first_statement("for (var key in obj) { use(key); }")
+        assert isinstance(statement, ast.ForInStatement) and not statement.of_loop
+
+    def test_for_of_loop(self):
+        statement = first_statement("for (var item of items) { use(item); }")
+        assert isinstance(statement, ast.ForInStatement) and statement.of_loop
+
+    def test_while_and_do_while(self):
+        assert isinstance(first_statement("while (x) { x--; }"), ast.WhileStatement)
+        assert isinstance(first_statement("do { x--; } while (x);"), ast.DoWhileStatement)
+
+    def test_switch_statement(self):
+        statement = first_statement(
+            "switch (x) { case 1: a(); break; case 2: b(); break; default: c(); }"
+        )
+        assert isinstance(statement, ast.SwitchStatement) and len(statement.cases) == 3
+
+    def test_try_catch_finally(self):
+        statement = first_statement("try { f(); } catch (e) { g(e); } finally { h(); }")
+        assert isinstance(statement, ast.TryStatement)
+        assert statement.handler.param == "e" and statement.finalizer is not None
+
+    def test_try_without_handler_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse("try { f(); }")
+
+    def test_throw_statement(self):
+        assert isinstance(first_statement("throw err;"), ast.ThrowStatement)
+
+    def test_semicolon_insertion_at_newline(self):
+        program = parse("var a = 1\nvar b = 2\n")
+        assert len(program.body) == 2
+
+    def test_missing_semicolon_same_line_raises(self):
+        with pytest.raises(JSSyntaxError):
+            parse("var a = 1 var b = 2;")
+
+
+class TestNodeMetadata:
+    def test_every_node_gets_unique_id(self):
+        program = parse("function f(a) { for (var i = 0; i < a; i++) { g(i); } }")
+        ids = [node.node_id for node in ast.walk(program)]
+        assert len(ids) == len(set(ids))
+
+    def test_loop_nodes_carry_source_line(self):
+        program = parse("var a = 1;\nwhile (a) { a--; }")
+        loops = [node for node in ast.walk(program) if isinstance(node, ast.WhileStatement)]
+        assert loops[0].line == 2
+
+    def test_walk_visits_nested_functions(self):
+        program = parse("function outer() { function inner() { return 1; } return inner(); }")
+        names = [node.name for node in ast.walk(program) if isinstance(node, ast.FunctionDeclaration)]
+        assert names == ["outer", "inner"]
+
+    def test_program_records_name_and_source(self):
+        program = parse("var x = 1;", name="page.js")
+        assert program.name == "page.js" and "var x" in program.source

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.analysis.amdahl import amdahl_speedup, parallel_fraction_needed
+from repro.ceres.loopstack import LoopStack, diff_stamp
+from repro.ceres.welford import OnlineStats
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.lexer import tokenize
+from repro.jsvm.tokens import TokenType
+from repro.parallel.partition import assigned_iterations, block_partition, cyclic_partition
+from repro.survey.coding import jaccard
+
+
+# --------------------------------------------------------------------------- Welford
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_welford_matches_numpy(data):
+    stats = OnlineStats()
+    for value in data:
+        stats.push(value)
+    assert stats.count == len(data)
+    assert math.isclose(stats.mean, float(np.mean(data)), rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(stats.variance, float(np.var(data)), rel_tol=1e-7, abs_tol=1e-5)
+    assert stats.minimum == min(data) and stats.maximum == max(data)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False), min_size=1, max_size=100),
+    st.lists(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False), min_size=1, max_size=100),
+)
+def test_welford_merge_equivalent_to_concatenation(left_data, right_data):
+    left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+    for value in left_data:
+        left.push(value)
+        combined.push(value)
+    for value in right_data:
+        right.push(value)
+        combined.push(value)
+    left.merge(right)
+    assert math.isclose(left.mean, combined.mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(left.variance, combined.variance, rel_tol=1e-6, abs_tol=1e-4)
+
+
+# --------------------------------------------------------------------------- partitioning
+@given(st.integers(min_value=0, max_value=2000), st.integers(min_value=1, max_value=64))
+def test_block_partition_is_exact_cover(iterations, workers):
+    assert assigned_iterations(block_partition(iterations, workers)) == list(range(iterations))
+
+
+@given(st.integers(min_value=0, max_value=2000), st.integers(min_value=1, max_value=64))
+def test_cyclic_partition_is_exact_cover(iterations, workers):
+    assert assigned_iterations(cyclic_partition(iterations, workers)) == list(range(iterations))
+
+
+@given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=64))
+def test_block_partition_is_balanced(iterations, workers):
+    sizes = [len(chunk) for chunk in block_partition(iterations, workers)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# --------------------------------------------------------------------------- Amdahl
+@given(st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=1, max_value=1024))
+def test_amdahl_bound_is_monotone_and_bounded(fraction, cores):
+    speedup = amdahl_speedup(fraction, cores)
+    assert 1.0 <= speedup <= cores + 1e-9
+    assert amdahl_speedup(fraction, cores + 1) >= speedup - 1e-12
+
+
+@given(st.floats(min_value=1.0, max_value=7.5), st.integers(min_value=8, max_value=64))
+def test_amdahl_fraction_needed_round_trips(speedup, cores):
+    fraction = parallel_fraction_needed(speedup, cores)
+    assert 0.0 <= fraction <= 1.0
+    assert math.isclose(amdahl_speedup(fraction, cores), speedup, rel_tol=1e-9)
+
+
+# --------------------------------------------------------------------------- Jaccard
+@given(st.sets(st.text(max_size=6), max_size=8), st.sets(st.text(max_size=6), max_size=8))
+def test_jaccard_properties(a, b):
+    value = jaccard(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == jaccard(b, a)
+    assert jaccard(a, a) == 1.0
+    if a and not b:
+        assert value == 0.0
+
+
+# --------------------------------------------------------------------------- loop stack
+@given(st.lists(st.sampled_from([1, 2, 3]), min_size=0, max_size=30))
+def test_loopstack_depth_never_negative_and_diff_never_invalid(loop_events):
+    """Random push/iterate sequences keep the stack consistent, and diffing
+    any snapshot against the current stack never yields 'dependence ok'."""
+    stack = LoopStack()
+    snapshots = [stack.snapshot()]
+    open_count = 0
+    for loop_id in loop_events:
+        if stack.contains(loop_id) and open_count % 2:
+            stack.next_iteration(loop_id)
+        else:
+            stack.push_loop(loop_id)
+            open_count += 1
+        snapshots.append(stack.snapshot())
+    for snapshot in snapshots:
+        for triple in diff_stamp(stack.entries, snapshot):
+            assert not (not triple.instance_private and triple.iteration_private)
+    while stack.entries:
+        stack.pop_loop(stack.entries[-1].loop_id)
+    assert stack.depth() == 0
+
+
+# --------------------------------------------------------------------------- lexer / interpreter
+@given(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False))
+def test_number_literals_round_trip_through_lexer(value):
+    literal = repr(abs(value))
+    tokens = tokenize(literal)
+    assert tokens[0].type is TokenType.NUMBER
+    assert math.isclose(tokens[0].value, abs(value), rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+    st.sampled_from(["+", "-", "*"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_interpreter_integer_arithmetic_matches_python(a, b, op):
+    result = Interpreter().run_source(f"({a}) {op} ({b});")
+    assert result == float(eval(f"({a}) {op} ({b})"))
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), min_size=0, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_guest_array_reduce_matches_python_sum(values):
+    literal = "[" + ", ".join(str(v) for v in values) + "]"
+    result = Interpreter().run_source(
+        f"{literal}.reduce(function(a, b) {{ return a + b; }}, 0);"
+    )
+    assert result == float(sum(values))
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127), max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_guest_string_literals_round_trip(text):
+    result = Interpreter().run_source(f'"{text}";')
+    assert result == text

@@ -1,0 +1,155 @@
+"""Tests for the survey subsystem: questionnaire, population, coding, figures."""
+
+import pytest
+
+from repro.survey import (
+    BOTTLENECK_COMPONENTS,
+    FIGURE1_CATEGORIES,
+    Q_ARRAY_OPERATORS,
+    Q_BOTTLENECKS,
+    Q_FUTURE_TRENDS,
+    Q_GLOBALS,
+    Q_POLYMORPHISM,
+    Q_STYLE,
+    QuestionKind,
+    build_questionnaire,
+    choice_distribution,
+    code_answers,
+    default_codebook,
+    figure1_data,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    generate_population,
+    jaccard,
+    make_raters,
+    render_figure,
+    scale_distribution,
+)
+from repro.survey.population import TOTAL_RESPONDENTS
+
+
+class TestQuestionnaire:
+    def test_has_twenty_questions(self):
+        assert len(build_questionnaire()) == 20
+
+    def test_key_questions_present_with_right_kinds(self):
+        questionnaire = build_questionnaire()
+        assert questionnaire.question(Q_FUTURE_TRENDS).kind is QuestionKind.FREE_TEXT
+        assert questionnaire.question(Q_BOTTLENECKS).kind is QuestionKind.COMPONENT_RATING
+        assert questionnaire.question(Q_STYLE).kind is QuestionKind.SCALE
+        assert questionnaire.question(Q_POLYMORPHISM).kind is QuestionKind.SCALE
+
+    def test_bottleneck_components_match_figure2(self):
+        assert tuple(build_questionnaire().question(Q_BOTTLENECKS).options) == BOTTLENECK_COMPONENTS
+
+    def test_unknown_question_raises(self):
+        with pytest.raises(KeyError):
+            build_questionnaire().question("nope")
+
+    def test_categories_cover_paper_sections(self):
+        questionnaire = build_questionnaire()
+        assert {"trends", "performance", "style", "demographics", "tools", "parallelism"} <= {
+            q.category for q in questionnaire.questions
+        }
+
+
+class TestPopulation:
+    def test_population_size(self, population):
+        assert len(population) == TOTAL_RESPONDENTS
+
+    def test_generation_is_deterministic(self):
+        a = generate_population(seed=11)
+        b = generate_population(seed=11)
+        assert [r.answers.get(Q_STYLE) for r in a.responses] == [r.answers.get(Q_STYLE) for r in b.responses]
+
+    def test_different_seeds_shuffle_assignment(self):
+        a = generate_population(seed=1)
+        b = generate_population(seed=2)
+        assert [r.answers.get(Q_STYLE) for r in a.responses] != [r.answers.get(Q_STYLE) for r in b.responses]
+
+    def test_not_every_respondent_answers_every_question(self, population):
+        assert population.response_count(Q_FUTURE_TRENDS) < TOTAL_RESPONDENTS
+        assert population.response_count(Q_STYLE) < TOTAL_RESPONDENTS
+
+    def test_scaled_population(self):
+        small = generate_population(seed=3, size=60)
+        assert len(small) == 60
+        assert small.response_count(Q_STYLE) <= 60
+
+    def test_array_operator_preference_matches_paper(self, population):
+        distribution = choice_distribution(population, Q_ARRAY_OPERATORS)
+        assert distribution.percentage("built-in operators") == pytest.approx(74.0, abs=3.0)
+
+    def test_globals_question_gets_about_105_answers(self, population):
+        assert population.response_count(Q_GLOBALS) == pytest.approx(105, abs=3)
+
+
+class TestCoding:
+    def test_jaccard_basics(self):
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({"a"}, set()) == 0.0
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_codebook_covers_all_figure1_categories(self):
+        assert set(default_codebook().categories()) == set(FIGURE1_CATEGORIES)
+
+    def test_rater_assigns_expected_category(self):
+        rater, _ = make_raters()
+        assert "Games" in rater.code("Full 3D games using WebGL")
+        assert "Visualization" in rater.code("interactive charts and dashboards")
+        assert rater.code("nothing in particular") == set()
+
+    def test_keyword_matching_respects_word_boundaries(self):
+        rater, _ = make_raters()
+        # "video" must not trigger the Desktop-like category via the "ide" keyword.
+        assert "Desktop like" not in rater.code("video streaming")
+
+    def test_code_answers_measures_agreement(self):
+        answers = ["3D games", "social collaboration", "audio editing", "big spreadsheets", "charts"] * 4
+        result = code_answers(answers)
+        assert result.agreement >= 0.8
+        assert result.agreement_sample_size == max(1, int(len(answers) * 0.2))
+
+    def test_category_counts_and_uncategorized(self):
+        result = code_answers(["3D games", "completely unrelated"])
+        counts = result.category_counts(FIGURE1_CATEGORIES)
+        assert counts["Games"] == 1 and result.uncategorized() == 1
+
+
+class TestFigures:
+    def test_figure1_reproduces_paper_ordering(self, population):
+        series = figure1_data(population)
+        percents = series.percent_by_label()
+        assert series.rank_order()[0] == "Games"
+        for label, paper_percent in zip(series.labels, series.paper_percents):
+            assert percents[label] == pytest.approx(paper_percent, abs=4.0)
+        assert series.extra["inter_rater_agreement"] >= 0.8
+
+    def test_figure2_bottleneck_ranking(self, population):
+        series = figure2_data(population)
+        percents = series.percent_by_label()
+        assert percents["resource loading"] > percents["number crunching"] > percents["styling (CSS)"]
+        assert percents["resource loading"] == pytest.approx(52.0, abs=4.0)
+        assert percents["number crunching"] == pytest.approx(21.0, abs=4.0)
+
+    def test_figure3_skews_functional(self, population):
+        series = figure3_data(population)
+        percents = series.percent_by_label()
+        assert percents["1"] > percents["5"]
+        assert percents["1"] == pytest.approx(31.0, abs=4.0)
+        assert sum(series.counts) == series.extra["answers"]
+
+    def test_figure4_skews_monomorphic(self, population):
+        series = figure4_data(population)
+        percents = series.percent_by_label()
+        assert percents["1"] == pytest.approx(58.0, abs=5.0)
+        assert percents["5"] <= 3.0
+
+    def test_render_figure_produces_bars(self, population):
+        text = render_figure(figure3_data(population))
+        assert "Figure 3" in text and "#" in text and "%" in text
+
+    def test_figure_rows_include_paper_reference(self, population):
+        rows = figure2_data(population).as_rows()
+        assert all("paper percent" in row for row in rows)

@@ -1,0 +1,165 @@
+"""Unit tests for the value model and lexical environments."""
+
+import math
+
+import pytest
+
+from repro.jsvm.errors import JSReferenceError, JSTypeError
+from repro.jsvm.scope import Environment
+from repro.jsvm.values import (
+    NULL,
+    UNDEFINED,
+    JSArray,
+    JSObject,
+    format_number,
+    loose_equals,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_property_key,
+    to_string,
+    type_of,
+)
+
+
+class TestConversions:
+    def test_to_boolean_falsy_values(self):
+        for value in (UNDEFINED, NULL, 0.0, float("nan"), ""):
+            assert to_boolean(value) is False
+
+    def test_to_boolean_truthy_values(self):
+        for value in (1.0, "x", JSObject(), JSArray([])):
+            assert to_boolean(value) is True
+
+    def test_to_number_strings(self):
+        assert to_number("42") == 42.0
+        assert to_number("  3.5 ") == 3.5
+        assert to_number("0x10") == 16.0
+        assert to_number("") == 0.0
+        assert math.isnan(to_number("nope"))
+
+    def test_to_number_specials(self):
+        assert to_number(True) == 1.0
+        assert to_number(NULL) == 0.0
+        assert math.isnan(to_number(UNDEFINED))
+
+    def test_to_number_arrays(self):
+        assert to_number(JSArray([])) == 0.0
+        assert to_number(JSArray([7.0])) == 7.0
+        assert math.isnan(to_number(JSArray([1.0, 2.0])))
+
+    def test_format_number_integers_have_no_decimal_point(self):
+        assert format_number(3.0) == "3"
+        assert format_number(-0.5) == "-0.5"
+        assert format_number(float("nan")) == "NaN"
+        assert format_number(float("inf")) == "Infinity"
+
+    def test_to_string(self):
+        assert to_string(UNDEFINED) == "undefined"
+        assert to_string(NULL) == "null"
+        assert to_string(True) == "true"
+        assert to_string(JSArray([1.0, 2.0])) == "1,2"
+        assert to_string(JSObject()) == "[object Object]"
+
+    def test_to_property_key(self):
+        assert to_property_key(3.0) == "3"
+        assert to_property_key("x") == "x"
+        assert to_property_key(True) == "true"
+
+    def test_type_of(self):
+        assert type_of(NULL) == "object"
+        assert type_of(1) == "number"
+        assert type_of(JSArray([])) == "object"
+
+
+class TestEquality:
+    def test_strict_equality_distinguishes_types(self):
+        assert strict_equals(1.0, 1.0)
+        assert not strict_equals(1.0, "1")
+        assert not strict_equals(True, 1.0)
+        assert strict_equals(UNDEFINED, UNDEFINED)
+        assert not strict_equals(float("nan"), float("nan"))
+
+    def test_strict_equality_objects_by_identity(self):
+        obj = JSObject()
+        assert strict_equals(obj, obj)
+        assert not strict_equals(obj, JSObject())
+
+    def test_loose_equality_coerces(self):
+        assert loose_equals("5", 5.0)
+        assert loose_equals(NULL, UNDEFINED)
+        assert not loose_equals(NULL, 0.0)
+        assert not loose_equals(float("nan"), float("nan"))
+
+
+class TestObjects:
+    def test_prototype_chain_lookup(self):
+        proto = JSObject()
+        proto.set("inherited", 1.0)
+        obj = JSObject(prototype=proto)
+        assert obj.get("inherited") == 1.0
+        assert obj.has("inherited") and not obj.has_own("inherited")
+
+    def test_array_index_and_length_protocol(self):
+        arr = JSArray([1.0, 2.0])
+        assert arr.get("0") == 1.0
+        assert arr.get("length") == 2.0
+        arr.set("5", 9.0)
+        assert arr.get("length") == 6.0 and arr.get("3") is UNDEFINED
+
+    def test_array_length_truncation(self):
+        arr = JSArray([1.0, 2.0, 3.0])
+        arr.set("length", 1.0)
+        assert arr.elements == [1.0]
+        with pytest.raises(JSTypeError):
+            arr.set("length", -1.0)
+
+    def test_own_keys_order(self):
+        obj = JSObject()
+        obj.set("b", 1.0)
+        obj.set("a", 2.0)
+        assert obj.own_keys() == ["b", "a"]
+
+
+class TestEnvironment:
+    def test_var_hoists_to_function_scope(self):
+        function_env = Environment(is_function_scope=True)
+        block_env = Environment(parent=function_env)
+        block_env.declare_var("x", 1.0)
+        assert function_env.bindings["x"] == 1.0
+
+    def test_let_stays_in_block(self):
+        function_env = Environment(is_function_scope=True)
+        block_env = Environment(parent=function_env)
+        block_env.declare_let("y", 2.0)
+        assert "y" not in function_env.bindings and block_env.get("y") == 2.0
+
+    def test_set_walks_to_declaring_scope(self):
+        outer = Environment(is_function_scope=True)
+        outer.declare_var("n", 0.0)
+        inner = Environment(parent=outer)
+        holder = inner.set("n", 5.0)
+        assert holder is outer and outer.get("n") == 5.0
+
+    def test_assignment_to_undeclared_goes_global(self):
+        global_env = Environment(is_function_scope=True)
+        nested = Environment(parent=Environment(parent=global_env, is_function_scope=True))
+        nested.set("leak", 1.0)
+        assert global_env.get("leak") == 1.0
+
+    def test_const_assignment_rejected(self):
+        env = Environment(is_function_scope=True)
+        env.declare_let("c", 1.0, constant=True)
+        with pytest.raises(JSTypeError):
+            env.set("c", 2.0)
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(JSReferenceError):
+            Environment(is_function_scope=True).get("ghost")
+
+    def test_depth_of(self):
+        root = Environment(is_function_scope=True)
+        root.declare_var("a", 1.0)
+        child = Environment(parent=root)
+        grandchild = Environment(parent=child)
+        assert grandchild.depth_of("a") == 2

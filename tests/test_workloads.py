@@ -1,0 +1,142 @@
+"""Tests for the case-study workloads (Table 1) and the N-body example."""
+
+import pytest
+
+from repro.browser.window import BrowserSession
+from repro.jsvm.parser import parse
+from repro.workloads import (
+    NBODY_SOURCE,
+    STEP_FOR_LINE,
+    all_workloads,
+    get_workload,
+    make_nbody_workload,
+    table1,
+    workload_names,
+)
+from repro.jsvm import ast_nodes as ast
+
+PAPER_TABLE1_NAMES = [
+    "HAAR.js",
+    "Tear-able Cloth",
+    "CamanJS",
+    "fluidSim",
+    "Harmony",
+    "Ace",
+    "MyScript",
+    "Realtime Raytracing",
+    "Normal Mapping",
+    "sigma.js",
+    "processing.js",
+    "D3.js",
+]
+
+
+class TestRegistry:
+    def test_all_twelve_workloads_registered(self):
+        assert workload_names() == PAPER_TABLE1_NAMES
+
+    def test_table1_rows(self):
+        rows = table1()
+        assert len(rows) == 12
+        assert any("Viola-Jones" in row["Category/Description"] for row in rows)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("unknown-app")
+
+    def test_every_category_from_table1_covered(self):
+        categories = {workload.category for workload in all_workloads()}
+        assert categories == {
+            "User recognition",
+            "Games",
+            "Audio and Video",
+            "Productivity",
+            "Visualization",
+        }
+
+
+class TestWorkloadSources:
+    @pytest.mark.parametrize("name", PAPER_TABLE1_NAMES)
+    def test_scripts_parse_and_contain_loops(self, name):
+        workload = get_workload(name)
+        assert workload.scripts, f"{name} has no scripts"
+        loop_found = False
+        for path, source in workload.scripts:
+            program = parse(source, name=path)
+            if any(isinstance(node, ast.LOOP_NODE_TYPES) for node in ast.walk(program)):
+                loop_found = True
+        assert loop_found, f"{name} has no syntactic loops to analyse"
+
+    @pytest.mark.parametrize("name", PAPER_TABLE1_NAMES)
+    def test_exercise_runs_and_advances_clock(self, name):
+        workload = get_workload(name)
+        session = BrowserSession(title=workload.name)
+        workload.prepare(session)
+        for path, source in workload.scripts:
+            session.run_script(source, name=path)
+        workload.exercise(session)
+        assert session.clock.now() > 0.0
+        assert session.interp.stats.loop_iterations > 0
+
+    def test_dom_workloads_touch_the_dom(self):
+        for name in ("Ace", "sigma.js", "D3.js", "MyScript"):
+            workload = get_workload(name)
+            session = BrowserSession(title=name)
+            workload.prepare(session)
+            for path, source in workload.scripts:
+                session.run_script(source, name=path)
+            workload.exercise(session)
+            assert session.dom_access_count > 0, f"{name} should access the DOM"
+
+    def test_canvas_workloads_issue_drawing_commands(self):
+        for name in ("Harmony", "processing.js"):
+            workload = get_workload(name)
+            session = BrowserSession(title=name)
+            workload.prepare(session)
+            for path, source in workload.scripts:
+                session.run_script(source, name=path)
+            workload.exercise(session)
+            canvases = [
+                el for el in session.document.root.descendants() if hasattr(el, "host_canvas")
+            ]
+            assert canvases and any(c.host_canvas.log.count() > 0 for c in canvases)
+
+    def test_compute_workloads_produce_numeric_results(self):
+        workload = get_workload("fluidSim")
+        session = BrowserSession()
+        for path, source in workload.scripts:
+            session.run_script(source, name=path)
+        session.run_script("fluidInit(8);")
+        density = session.run_script("fluidStep(0.1);")
+        assert density > 0.0
+
+    def test_raytracer_renders_nonuniform_image(self):
+        workload = get_workload("Realtime Raytracing")
+        session = BrowserSession()
+        for path, source in workload.scripts:
+            session.run_script(source, name=path)
+        session.run_script("rtInit(16, 12); rtRenderFrame(0);")
+        values = session.run_script("rt.output;")
+        pixels = [v for v in values.elements]
+        assert len(set(round(p, 4) for p in pixels)) > 4  # not a flat image
+
+
+class TestNBodyExample:
+    def test_source_matches_recorded_line_numbers(self):
+        lines = NBODY_SOURCE.splitlines()
+        assert lines[STEP_FOR_LINE - 1].strip().startswith("for (var i = 0")
+
+    def test_simulation_moves_bodies(self):
+        workload = make_nbody_workload(bodies=8, steps=4)
+        session = BrowserSession()
+        for path, source in workload.scripts:
+            session.run_script(source, name=path)
+        session.run_script("init(8);")
+        before = session.run_script("bodies[0].x;")
+        session.run_script("simulate(4);")
+        after = session.run_script("bodies[0].x;")
+        assert after != before
+
+    def test_workload_scale_parameter(self):
+        workload = make_nbody_workload(bodies=30, steps=2)
+        assert workload.scale == 30.0
