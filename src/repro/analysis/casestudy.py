@@ -22,7 +22,7 @@ from ..ceres.dependence import DependenceAnalyzer, DependenceReport
 from ..ceres.lightweight import LightweightProfiler
 from ..ceres.loop_profiler import LoopProfile, LoopProfiler
 from ..ceres.proxy import InstrumentationMode, InstrumentingProxy, OriginServer
-from .amdahl import SpeedupBound, bound_for_application
+from .amdahl import SpeedupBound
 from .difficulty import (
     Difficulty,
     assess_breaking_difficulty,
@@ -129,48 +129,64 @@ class ApplicationAnalysis:
 
 
 class CaseStudyRunner:
-    """Runs the four-step methodology for one or more workloads."""
+    """Runs the four-step methodology for one or more workloads.
+
+    The runner implements the individual measurement steps; the stage
+    *schedule* (and batching across workloads) is owned by
+    :mod:`repro.engine` — :meth:`analyze_application` and
+    :meth:`analyze_all` delegate there.
+    """
 
     def __init__(
         self,
         cores: int = 8,
         coverage_target: float = 0.80,
         max_nests_per_app: int = 5,
+        script_cache=None,
     ) -> None:
         self.cores = cores
         #: Keep inspecting nests until this fraction of loop time is covered
         #: (the paper inspects "at least two thirds" of each app's loop time).
         self.coverage_target = coverage_target
         self.max_nests_per_app = max_nests_per_app
+        #: Optional :class:`repro.engine.cache.ScriptCache` shared across the
+        #: runner's (many) instrumented runs of the same sources.
+        self.script_cache = script_cache
 
     # ------------------------------------------------------------- plumbing
-    def _fresh_run(self, workload, mode: InstrumentationMode, tracers: List) -> tuple:
-        """Host the workload, instrument it, attach ``tracers``, load and exercise."""
+    def _instrumented_run(self, workload, mode: InstrumentationMode, make_tracers) -> tuple:
+        """Host the workload, instrument it, attach tracers, load and exercise.
+
+        ``make_tracers`` receives the proxy (whose registry maps node ids to
+        loop labels) and returns the tracers to attach, in order.
+        """
         from ..jsvm.hooks import HookBus
 
         origin = OriginServer()
         origin.host_scripts(list(workload.scripts))
-        proxy = InstrumentingProxy(origin, mode=mode)
+        proxy = InstrumentingProxy(origin, mode=mode, script_cache=self.script_cache)
         hooks = HookBus()
         session = BrowserSession(hooks=hooks, title=workload.name)
         if hasattr(workload, "prepare"):
             workload.prepare(session)
         intercepted = [proxy.request(path) for path, _ in workload.scripts]
+        tracers = list(make_tracers(proxy))
         for tracer in tracers:
             hooks.attach(tracer)
         for document in intercepted:
-            session.run_script(document.document.content, name=document.document.path)
+            session.run_document(document)
         workload.exercise(session)
         return proxy, session, tracers
 
     # ------------------------------------------------------------------ steps
     def measure_runtime(self, workload) -> Table2Row:
         """Step 1: lightweight profiling + sampling profiler (Table 2 row)."""
-        lightweight = LightweightProfiler()
-        gecko = GeckoProfiler()
-        _proxy, session, _ = self._fresh_run(
-            workload, InstrumentationMode.LIGHTWEIGHT, [lightweight, gecko]
+        _proxy, session, tracers = self._instrumented_run(
+            workload,
+            InstrumentationMode.LIGHTWEIGHT,
+            lambda proxy: [LightweightProfiler(), GeckoProfiler()],
         )
+        lightweight, gecko = tracers
         lightweight.stop(session.clock)
         result = lightweight.result(session.clock)
         return Table2Row(
@@ -182,21 +198,15 @@ class CaseStudyRunner:
 
     def profile_loops(self, workload) -> tuple:
         """Step 2: loop profiling + nest observation."""
-        origin = OriginServer()
-        origin.host_scripts(list(workload.scripts))
-        proxy = InstrumentingProxy(origin, mode=InstrumentationMode.LOOP_PROFILE)
-        from ..jsvm.hooks import HookBus
-
-        hooks = HookBus()
-        session = BrowserSession(hooks=hooks, title=workload.name)
-        if hasattr(workload, "prepare"):
-            workload.prepare(session)
-        intercepted = [proxy.request(path) for path, _ in workload.scripts]
-        profiler = hooks.attach(LoopProfiler(registry=proxy.registry))
-        observer = hooks.attach(NestObserver(registry=proxy.registry))
-        for document in intercepted:
-            session.run_script(document.document.content, name=document.document.path)
-        workload.exercise(session)
+        proxy, _session, tracers = self._instrumented_run(
+            workload,
+            InstrumentationMode.LOOP_PROFILE,
+            lambda proxy: [
+                LoopProfiler(registry=proxy.registry),
+                NestObserver(registry=proxy.registry),
+            ],
+        )
+        profiler, observer = tracers
         return proxy, profiler, observer
 
     def select_hot_nests(self, profiler: LoopProfiler, observer: NestObserver) -> List[LoopProfile]:
@@ -227,22 +237,14 @@ class CaseStudyRunner:
         fraction_of_loop_time: float,
     ) -> NestAnalysis:
         """Steps 3-4 for one nest: dependence analysis + interpretation."""
-        from ..jsvm.hooks import HookBus
-
-        origin = OriginServer()
-        origin.host_scripts(list(workload.scripts))
-        proxy = InstrumentingProxy(origin, mode=InstrumentationMode.DEPENDENCE)
-        hooks = HookBus()
-        session = BrowserSession(hooks=hooks, title=workload.name)
-        if hasattr(workload, "prepare"):
-            workload.prepare(session)
-        intercepted = [proxy.request(path) for path, _ in workload.scripts]
-        analyzer = hooks.attach(
-            DependenceAnalyzer(registry=proxy.registry, focus_loop_id=profile.loop_id)
+        _proxy, _session, tracers = self._instrumented_run(
+            workload,
+            InstrumentationMode.DEPENDENCE,
+            lambda proxy: [
+                DependenceAnalyzer(registry=proxy.registry, focus_loop_id=profile.loop_id)
+            ],
         )
-        for document in intercepted:
-            session.run_script(document.document.content, name=document.document.path)
-        workload.exercise(session)
+        (analyzer,) = tracers
 
         report = analyzer.report()
         divergence = assess_divergence(observation, profile.mean_trip_count)
@@ -264,40 +266,11 @@ class CaseStudyRunner:
 
     # ------------------------------------------------------------------ driver
     def analyze_application(self, workload) -> ApplicationAnalysis:
-        """Run the full pipeline for one workload."""
-        table2 = self.measure_runtime(workload)
-        _proxy, profiler, observer = self.profile_loops(workload)
-        hot = self.select_hot_nests(profiler, observer)
-        total_nest_time = sum(
-            profiler.profiles[loop_id].total_time_ms for loop_id in observer.observations
-            if loop_id in profiler.profiles
-        )
+        """Run the full four-stage schedule for one workload."""
+        # Imported lazily: the engine schedules this runner's steps.
+        from ..engine.stages import run_stages
 
-        analysis = ApplicationAnalysis(
-            name=workload.name, category=getattr(workload, "category", ""), table2=table2
-        )
-        for profile in hot:
-            observation = observer.observations.get(profile.loop_id)
-            if observation is None:
-                continue
-            fraction = profile.total_time_ms / total_nest_time if total_nest_time > 0 else 0.0
-            nest = self.analyze_nest(workload, profile, observation, fraction)
-            # "In a few cases the parallelizable loop is not the outer loop of
-            # a nest" — when the outer loop barely iterates, re-focus on the
-            # heaviest inner loop and report that instead (fluidSim, Cloth).
-            nest = self._maybe_use_inner_loop(workload, nest, profiler, observation, fraction)
-            analysis.nests.append(nest)
-
-        analysis.speedup = bound_for_application(
-            application=workload.name,
-            nest_fractions_and_difficulties=[
-                (nest.fraction_of_loop_time, nest.parallelization) for nest in analysis.nests
-            ],
-            busy_seconds=max(table2.active_seconds, table2.loops_seconds),
-            loop_seconds=table2.loops_seconds,
-            cores=self.cores,
-        )
-        return analysis
+        return run_stages(self, workload)
 
     def _maybe_use_inner_loop(
         self,
@@ -335,4 +308,19 @@ class CaseStudyRunner:
         return self.analyze_nest(workload, inner_profile, observation, fraction)
 
     def analyze_all(self, workloads) -> List[ApplicationAnalysis]:
-        return [self.analyze_application(workload) for workload in workloads]
+        """Analyze a batch of workloads via the engine (fan-out capable).
+
+        Subclassed runners carry behaviour the engine cannot reconstruct in a
+        worker process, so they are passed through as-is (which keeps the
+        batch serial); plain runners let the engine fan out.
+        """
+        from ..engine.pipeline import AnalysisPipeline
+
+        pipeline = AnalysisPipeline(
+            script_cache=self.script_cache,
+            cores=self.cores,
+            coverage_target=self.coverage_target,
+            max_nests_per_app=self.max_nests_per_app,
+        )
+        runner = self if type(self) is not CaseStudyRunner else None
+        return pipeline.analyze_many(workloads, runner=runner)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..jsvm.hooks import Tracer
+from ..jsvm.hooks import EV_BRANCH, EV_FUNCTION, EV_HOST, EV_LOOP, Tracer
 from ..ceres.ids import IndexRegistry
 from ..ceres.welford import OnlineStats
 
@@ -87,6 +87,8 @@ class _OpenNest:
 
 class NestObserver(Tracer):
     """Collects :class:`NestObservation` records for every top-level loop."""
+
+    EVENTS = EV_LOOP | EV_BRANCH | EV_FUNCTION | EV_HOST
 
     def __init__(self, registry: Optional[IndexRegistry] = None) -> None:
         self.registry = registry

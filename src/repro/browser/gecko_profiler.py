@@ -22,7 +22,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..jsvm.hooks import Tracer
+from ..jsvm.hooks import EV_FUNCTION, EV_STATEMENT, Tracer
 
 
 @dataclass
@@ -73,6 +73,8 @@ class GeckoProfiler(Tracer):
         while guest code is on the stack counts as active (an idealized
         statement-level sampler).
     """
+
+    EVENTS = EV_FUNCTION | EV_STATEMENT
 
     def __init__(self, sample_interval_ms: float = 1.0, function_granularity: bool = True) -> None:
         self.sample_interval_ms = sample_interval_ms

@@ -113,6 +113,27 @@ class BrowserSession:
         self.scripts_run.append(name)
         return self.interp.run_source(source, name=name)
 
+    def run_program(self, program, name: Optional[str] = None) -> Any:
+        """Execute an already-parsed program in the page's global scope.
+
+        Parsing is deterministic, so running a cached AST is observationally
+        identical to :meth:`run_script` on its source — minus the parse.
+        """
+        self.scripts_run.append(name if name is not None else program.name)
+        return self.interp.run(program)
+
+    def run_document(self, instrumented) -> Any:
+        """Execute a proxy response (an ``InstrumentedDocument``).
+
+        Prefers the proxy's parsed AST when it has one (instrumented
+        JavaScript); plain documents fall back to source execution.
+        """
+        document = instrumented.document
+        program = getattr(instrumented, "program", None)
+        if program is not None:
+            return self.run_program(program, name=document.path)
+        return self.run_script(document.content, name=document.path)
+
     def run_frames(self, count: int) -> int:
         """Drive the event loop for ``count`` animation frames."""
         return self.event_loop.run_frames(count)

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..jsvm.hooks import Tracer
+from ..jsvm.hooks import EV_ENV, EV_LOOP, EV_OBJECT, EV_PROP, EV_VAR, Tracer
 from ..jsvm.values import JSArray, JSObject
 from .ids import IndexRegistry
 from .loopstack import CharTriple, LoopStack, Stamp, diff_stamp, is_problematic
@@ -122,6 +122,10 @@ class DependenceReport:
 
 class DependenceAnalyzer(Tracer):
     """Dependence-analysis tracer (JS-CERES mode 3)."""
+
+    #: Mode 3 watches loops, creation sites, environments and every variable
+    #: and property access — the paper's "very high overhead" configuration.
+    EVENTS = EV_LOOP | EV_OBJECT | EV_ENV | EV_VAR | EV_PROP
 
     def __init__(
         self,

@@ -128,6 +128,11 @@ class IndexRegistry:
         self.indexes[program.name] = index
         return index
 
+    def add_index(self, index: ProgramIndex) -> ProgramIndex:
+        """Register a prebuilt (cached) index; indexes are immutable once built."""
+        self.indexes[index.program.name] = index
+        return index
+
     def get(self, program_name: str) -> Optional[ProgramIndex]:
         return self.indexes.get(program_name)
 

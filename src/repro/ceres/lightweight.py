@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..jsvm.hooks import Tracer
+from ..jsvm.hooks import EV_LOOP, Tracer
 
 
 @dataclass
@@ -47,6 +47,9 @@ class LightweightResult:
 
 class LightweightProfiler(Tracer):
     """Open-loop counter + timestamps, exactly as described in Section 3.1."""
+
+    #: Mode 1 only needs loop boundaries — the minimal instrumentation mask.
+    EVENTS = EV_LOOP
 
     def __init__(self) -> None:
         self.open_loops = 0

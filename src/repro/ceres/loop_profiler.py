@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..jsvm.hooks import Tracer
+from ..jsvm.hooks import EV_LOOP, Tracer
 from .ids import IndexRegistry
 from .welford import OnlineStats
 
@@ -66,6 +66,9 @@ class _OpenInstance:
 
 class LoopProfiler(Tracer):
     """Per-syntactic-loop instance/time/trip-count statistics."""
+
+    #: Mode 2 also only subscribes to loop events (Section 3.2).
+    EVENTS = EV_LOOP
 
     def __init__(self, registry: Optional[IndexRegistry] = None) -> None:
         self.registry = registry

@@ -98,12 +98,17 @@ class InstrumentingProxy:
         mode: InstrumentationMode = InstrumentationMode.LIGHTWEIGHT,
         repository: Optional[ResultsRepository] = None,
         publisher: Optional[RemotePublisher] = None,
+        script_cache=None,
     ) -> None:
         self.origin = origin
         self.mode = mode
         self.registry = IndexRegistry()
         self.repository = repository if repository is not None else ResultsRepository()
         self.publisher = publisher if publisher is not None else RemotePublisher()
+        #: Optional :class:`repro.engine.cache.ScriptCache`; when present, the
+        #: proxy reuses parsed ASTs and loop indexes instead of re-parsing
+        #: (parsing is deterministic, so node ids are identical either way).
+        self.script_cache = script_cache
         self.instrumented: Dict[str, InstrumentedDocument] = {}
         self.intercepted_requests: List[str] = []
 
@@ -114,6 +119,10 @@ class InstrumentingProxy:
         document = self.origin.get(path)
         if not document.is_javascript or self.mode is InstrumentationMode.NONE:
             instrumented = InstrumentedDocument(document, InstrumentationMode.NONE)
+        elif self.script_cache is not None:
+            program, index = self.script_cache.get(path, document.content)
+            self.registry.add_index(index)
+            instrumented = InstrumentedDocument(document, self.mode, program=program)
         else:
             program = parse(document.content, name=path)
             self.registry.add(program)

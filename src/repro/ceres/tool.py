@@ -97,9 +97,16 @@ class DependenceRun:
 class JSCeres:
     """The profiling and runtime dependence-analysis tool."""
 
-    def __init__(self, repository: Optional[ResultsRepository] = None) -> None:
+    def __init__(
+        self,
+        repository: Optional[ResultsRepository] = None,
+        script_cache=None,
+    ) -> None:
         self.repository = repository if repository is not None else ResultsRepository()
         self.publisher = RemotePublisher()
+        #: Optional :class:`repro.engine.cache.ScriptCache`; lets repeated runs
+        #: of the same workload (the three staged modes) share parsed ASTs.
+        self.script_cache = script_cache
 
     # ------------------------------------------------------------------ runs
     def run_lightweight(self, workload, with_gecko: bool = True) -> LightweightRun:
@@ -171,7 +178,7 @@ class JSCeres:
 
         analyzer = hooks.attach(DependenceAnalyzer(registry=proxy.registry, focus_loop_id=resolved_focus))
         for document in intercepted:
-            session.run_script(document.document.content, name=document.document.path)
+            session.run_document(document)
         workload.exercise(session)
 
         report = analyzer.report()
@@ -203,7 +210,11 @@ class JSCeres:
         origin = OriginServer()
         origin.host_scripts(list(workload.scripts))
         proxy = InstrumentingProxy(
-            origin, mode=mode, repository=self.repository, publisher=self.publisher
+            origin,
+            mode=mode,
+            repository=self.repository,
+            publisher=self.publisher,
+            script_cache=self.script_cache,
         )
         session = BrowserSession(hooks=hooks, title=workload.name)
         if hasattr(workload, "prepare"):
@@ -215,7 +226,7 @@ class JSCeres:
         """Steps 3-4 of Figure 5: serve the instrumented documents to the page."""
         for path, _source in workload.scripts:
             instrumented = proxy.request(path)
-            session.run_script(instrumented.document.content, name=path)
+            session.run_document(instrumented)
 
     @staticmethod
     def _find_loop_by_line(registry: IndexRegistry, line: int) -> Optional[LoopSite]:

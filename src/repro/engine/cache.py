@@ -1,0 +1,68 @@
+"""Source→AST caching for the analysis engine.
+
+The case-study methodology runs every workload once per instrumentation mode
+(plus once per inspected nest), and each run used to re-parse and re-index
+the same JavaScript sources.  Parsing is deterministic — identical source
+yields identical node ids — so the engine parses once per distinct
+``(path, content)`` pair and shares the resulting AST and
+:class:`~repro.ceres.ids.ProgramIndex` across sessions.  Because compiled
+closures (see :mod:`repro.jsvm.compiler`) are cached on the AST nodes and
+capture no interpreter state, AST reuse also amortizes compilation across
+pipeline stages and modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from ..ceres.ids import ProgramIndex
+from ..jsvm import ast_nodes as ast
+from ..jsvm.parser import parse
+
+
+def source_digest(source: str) -> str:
+    """Stable hex digest of one script source."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def workload_fingerprint(workload) -> str:
+    """Stable hex digest identifying a workload's name and exact sources.
+
+    Two workload instances with the same fingerprint are the same unit of
+    work; the pipeline uses this to decide whether a caller-supplied instance
+    can be reconstructed from the registry in a fan-out worker.
+    """
+    digest = hashlib.sha256()
+    digest.update(workload.name.encode("utf-8"))
+    for path, source in workload.scripts:
+        digest.update(b"\x00")
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ScriptCache:
+    """Parse-once cache of ``(path, content)`` → ``(Program, ProgramIndex)``."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, bytes], Tuple[ast.Program, ProgramIndex]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, path: str, source: str) -> Tuple[ast.Program, ProgramIndex]:
+        """The parsed program and loop/creation-site index for a script."""
+        key = (path, hashlib.sha256(source.encode("utf-8")).digest())
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            program = parse(source, name=path)
+            entry = (program, ProgramIndex(program))
+            self._entries[key] = entry
+        else:
+            self.hits += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,204 @@
+"""Batch driver for the case-study methodology.
+
+:class:`AnalysisPipeline` replaces two pieces of ad-hoc seed machinery:
+
+* the ``_CASE_STUDY_CACHE`` module global in ``experiments/registry.py`` —
+  result caching is now owned by a pipeline object (keyed by the requested
+  workload set), so tests and tools can hold independent pipelines;
+* the serial ``for workload in workloads`` loop in
+  ``analysis/casestudy.py`` — batches fan out across workloads with
+  ``multiprocessing`` when more than one CPU is available.
+
+Workloads are independent by construction (each analysis run uses a fresh
+browser session and virtual clock), so fan-out cannot change results — the
+pipeline ships workload *names* to forked workers and reassembles the
+analyses in request order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.casestudy import ApplicationAnalysis, CaseStudyRunner
+from ..analysis.tables import CaseStudyTables, build_tables
+from .cache import ScriptCache
+from .stages import run_stages
+
+#: Environment knob for the fan-out width (``1`` forces serial execution).
+WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+
+
+@dataclass
+class PipelineResult:
+    """Output of one pipeline batch (the full case-study artifact set)."""
+
+    analyses: List[ApplicationAnalysis]
+    tables: CaseStudyTables
+
+
+def resolve_worker_count(workers: Optional[int], task_count: int) -> int:
+    """Decide the fan-out width for ``task_count`` independent workloads.
+
+    ``workers`` wins when given; otherwise the ``REPRO_ENGINE_WORKERS``
+    environment variable; otherwise the CPU count.  The result is clamped to
+    ``task_count`` and is at least 1.
+    """
+    if workers is None:
+        env_value = os.environ.get(WORKERS_ENV_VAR)
+        if env_value is not None:
+            try:
+                workers = int(env_value)
+            except ValueError:
+                workers = None
+        if workers is None:
+            workers = os.cpu_count() or 1
+    return max(1, min(workers, task_count))
+
+
+def _analyze_in_worker(payload) -> ApplicationAnalysis:
+    """Fan-out entry point: analyze one workload by name in a fresh process."""
+    name, runner_kwargs = payload
+    from ..workloads import get_workload
+
+    runner = CaseStudyRunner(script_cache=ScriptCache(), **runner_kwargs)
+    return run_stages(runner, get_workload(name))
+
+
+class AnalysisPipeline:
+    """Owns caching, stage scheduling and fan-out for case-study batches.
+
+    Parameters
+    ----------
+    workers:
+        Fan-out width across workloads.  ``None`` (default) resolves from the
+        ``REPRO_ENGINE_WORKERS`` environment variable or the CPU count; ``1``
+        runs serially in-process.
+    script_cache:
+        Shared source→AST cache; a fresh one is created if omitted.
+    cores / coverage_target / max_nests_per_app:
+        Passed through to the :class:`CaseStudyRunner` the pipeline creates.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        script_cache: Optional[ScriptCache] = None,
+        cores: int = 8,
+        coverage_target: float = 0.80,
+        max_nests_per_app: int = 5,
+    ) -> None:
+        self.workers = workers
+        self.script_cache = script_cache if script_cache is not None else ScriptCache()
+        self._runner_kwargs = {
+            "cores": cores,
+            "coverage_target": coverage_target,
+            "max_nests_per_app": max_nests_per_app,
+        }
+        self._results: Dict[str, PipelineResult] = {}
+
+    # ------------------------------------------------------------------ batch
+    def run(
+        self,
+        workload_names: Optional[Sequence[str]] = None,
+        force: bool = False,
+        runner: Optional[CaseStudyRunner] = None,
+    ) -> PipelineResult:
+        """Run (or reuse) the full pipeline over the given workloads.
+
+        Results are cached per requested workload set; ``force`` recomputes.
+        A custom ``runner`` is honoured for the computation but disables
+        fan-out (runner instances do not cross process boundaries) and
+        bypasses the result cache — its configuration is not part of the
+        cache key, so its results must not be served to default callers.
+        """
+        from ..workloads import all_workloads
+
+        key = ",".join(workload_names) if workload_names else "<all>"
+        if runner is None and not force and key in self._results:
+            return self._results[key]
+        workloads = all_workloads()
+        if workload_names:
+            workloads = [w for w in workloads if w.name in workload_names]
+        analyses = self.analyze_many(workloads, runner=runner)
+        result = PipelineResult(analyses=analyses, tables=build_tables(analyses))
+        if runner is None:
+            self._results[key] = result
+        return result
+
+    def invalidate(self) -> None:
+        """Drop all cached batch results."""
+        self._results.clear()
+
+    # ------------------------------------------------------------------ units
+    def make_runner(self) -> CaseStudyRunner:
+        """A runner wired to this pipeline's shared script cache."""
+        return CaseStudyRunner(script_cache=self.script_cache, **self._runner_kwargs)
+
+    def analyze(self, workload) -> ApplicationAnalysis:
+        """Run the four-stage schedule for a single workload, in process."""
+        return run_stages(self.make_runner(), workload)
+
+    def analyze_many(
+        self,
+        workloads: Sequence,
+        runner: Optional[CaseStudyRunner] = None,
+    ) -> List[ApplicationAnalysis]:
+        """Analyze a batch of workloads, fanning out when it pays off.
+
+        Fan-out requires every workload to be reconstructible by name in the
+        worker process (i.e. registered in the workload registry); otherwise,
+        or when only one worker resolves, the batch runs serially in-process.
+        """
+        workloads = list(workloads)
+        if not workloads:
+            return []
+        workers = resolve_worker_count(self.workers, len(workloads))
+        if runner is None and workers > 1 and self._registry_reconstructible(workloads):
+            analyses = self._fan_out(workloads, workers)
+            if analyses is not None:
+                return analyses
+        runner = runner if runner is not None else self.make_runner()
+        return [run_stages(runner, workload) for workload in workloads]
+
+    # ------------------------------------------------------------------ fanout
+    @staticmethod
+    def _registry_reconstructible(workloads: Sequence) -> bool:
+        """True when every workload can be rebuilt *identically* by name.
+
+        Workers re-create workloads from the registry, so a caller-supplied
+        instance must match its registered factory's fingerprint (same name
+        AND same sources) — not merely share a name with it.
+        """
+        from ..workloads import get_workload, workload_names
+        from .cache import workload_fingerprint
+
+        known = set(workload_names())
+        for workload in workloads:
+            if workload.name not in known:
+                return False
+            if workload_fingerprint(get_workload(workload.name)) != workload_fingerprint(workload):
+                return False
+        return True
+
+    def _fan_out(self, workloads: Sequence, workers: int) -> Optional[List[ApplicationAnalysis]]:
+        """Analyze ``workloads`` in a fork pool; ``None`` if the environment
+        cannot fan out (no fork / no pickling), in which case the caller runs
+        serially.  Analysis errors raised by workers propagate unchanged.
+        """
+        import multiprocessing
+        import pickle
+
+        payloads = [(workload.name, self._runner_kwargs) for workload in workloads]
+        try:
+            context = multiprocessing.get_context("fork")
+            pool = context.Pool(processes=workers)
+        except (ImportError, OSError, ValueError):
+            return None
+        with pool:
+            try:
+                return pool.map(_analyze_in_worker, payloads)
+            except pickle.PicklingError:
+                # Results or payloads did not survive the process boundary.
+                return None

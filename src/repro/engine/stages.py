@@ -1,0 +1,119 @@
+"""The per-workload stage schedule of the case-study methodology.
+
+Section 3 of the paper stages its instrumentation deliberately — lightweight
+profiling, then loop profiling, then (per hot nest) dependence analysis —
+so that the heavyweight modes never bias the timing measurements.  This
+module makes that schedule an explicit, inspectable object: an ordered list
+of :class:`Stage` steps that read and extend a shared per-workload state
+dictionary, executed by :func:`run_stages` (and therefore by the
+:class:`~repro.engine.pipeline.AnalysisPipeline` for whole batches).
+
+The stages call back into :class:`~repro.analysis.casestudy.CaseStudyRunner`
+for the actual measurement steps, so the methodology itself lives in one
+place and this module only owns the scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..analysis.amdahl import bound_for_application
+from ..analysis.casestudy import ApplicationAnalysis
+
+StageState = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of the per-workload pipeline."""
+
+    name: str
+    description: str
+    run: Callable[[Any, Any, StageState], None]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _stage_profile(runner, workload, state: StageState) -> None:
+    """Step 1: lightweight profiling + sampling profiler (Table 2 row)."""
+    state["table2"] = runner.measure_runtime(workload)
+
+
+def _stage_loop_profile(runner, workload, state: StageState) -> None:
+    """Step 2: loop profiling + nest observation; select the hot nests."""
+    _proxy, profiler, observer = runner.profile_loops(workload)
+    state["profiler"] = profiler
+    state["observer"] = observer
+    state["hot"] = runner.select_hot_nests(profiler, observer)
+    state["total_nest_time"] = sum(
+        profiler.profiles[loop_id].total_time_ms
+        for loop_id in observer.observations
+        if loop_id in profiler.profiles
+    )
+
+
+def _stage_dependence(runner, workload, state: StageState) -> None:
+    """Step 3: dependence analysis + interpretation for each hot nest."""
+    profiler = state["profiler"]
+    observer = state["observer"]
+    total_nest_time = state["total_nest_time"]
+    nests = []
+    for profile in state["hot"]:
+        observation = observer.observations.get(profile.loop_id)
+        if observation is None:
+            continue
+        fraction = profile.total_time_ms / total_nest_time if total_nest_time > 0 else 0.0
+        nest = runner.analyze_nest(workload, profile, observation, fraction)
+        # "In a few cases the parallelizable loop is not the outer loop of
+        # a nest" — when the outer loop barely iterates, re-focus on the
+        # heaviest inner loop and report that instead (fluidSim, Cloth).
+        nest = runner._maybe_use_inner_loop(workload, nest, profiler, observation, fraction)
+        nests.append(nest)
+    state["nests"] = nests
+
+
+def _stage_parallel_model(runner, workload, state: StageState) -> None:
+    """Step 4: assemble the application analysis and its Amdahl bound."""
+    table2 = state["table2"]
+    analysis = ApplicationAnalysis(
+        name=workload.name, category=getattr(workload, "category", ""), table2=table2
+    )
+    analysis.nests.extend(state["nests"])
+    analysis.speedup = bound_for_application(
+        application=workload.name,
+        nest_fractions_and_difficulties=[
+            (nest.fraction_of_loop_time, nest.parallelization) for nest in analysis.nests
+        ],
+        busy_seconds=max(table2.active_seconds, table2.loops_seconds),
+        loop_seconds=table2.loops_seconds,
+        cores=runner.cores,
+    )
+    state["analysis"] = analysis
+
+
+_DEFAULT_STAGES: Tuple[Stage, ...] = (
+    Stage("profile", "lightweight profiling + sampling (Table 2 row)", _stage_profile),
+    Stage("loop-profile", "per-loop statistics + hot-nest selection", _stage_loop_profile),
+    Stage("dependence", "focused dependence analysis per hot nest", _stage_dependence),
+    Stage("parallel-model", "difficulty rubric + Amdahl speedup bound", _stage_parallel_model),
+)
+
+
+def default_stages() -> Tuple[Stage, ...]:
+    """The canonical four-stage schedule (profile → loops → deps → model)."""
+    return _DEFAULT_STAGES
+
+
+def run_stages(
+    runner,
+    workload,
+    stages: Optional[Tuple[Stage, ...]] = None,
+    state: Optional[StageState] = None,
+) -> ApplicationAnalysis:
+    """Run the stage schedule for one workload and return its analysis."""
+    state = state if state is not None else {}
+    for stage in stages if stages is not None else _DEFAULT_STAGES:
+        stage.run(runner, workload, state)
+    return state["analysis"]

@@ -2,19 +2,22 @@
 
 Each experiment knows which paper artifact it regenerates, how to run it and
 how to render its result as text.  The heavyweight case-study pipeline (which
-backs Table 2, Table 3, the Amdahl bounds and the parallel validation) is run
-once per process and cached, so the individual experiments and benchmarks can
-share it.
+backs Table 2, Table 3, the Amdahl bounds and the parallel validation) is
+owned by a process-wide :class:`~repro.engine.AnalysisPipeline`, which caches
+results per requested workload set, shares parsed ASTs across stages and
+fans out across workloads — so the individual experiments and benchmarks all
+reuse one batch run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from ..analysis import CaseStudyRunner, CaseStudyTables, build_tables
-from ..analysis.casestudy import ApplicationAnalysis
+from ..analysis import CaseStudyRunner
 from ..ceres.report import render_summary_table
+from ..engine import AnalysisPipeline
+from ..engine.pipeline import PipelineResult as CaseStudyResults
 from ..parallel import model_application_speedup
 from ..survey import (
     all_figures,
@@ -27,16 +30,17 @@ from ..survey import (
 )
 from ..workloads import all_workloads, table1
 
-
-@dataclass
-class CaseStudyResults:
-    """Cached output of the full case-study pipeline."""
-
-    analyses: List[ApplicationAnalysis]
-    tables: CaseStudyTables
+#: Process-wide pipeline backing ``run_case_study`` (replaces the former
+#: ``_CASE_STUDY_CACHE`` module-global dict).
+_DEFAULT_PIPELINE: Optional[AnalysisPipeline] = None
 
 
-_CASE_STUDY_CACHE: Dict[str, CaseStudyResults] = {}
+def get_default_pipeline() -> AnalysisPipeline:
+    """The shared pipeline used by the registered experiments."""
+    global _DEFAULT_PIPELINE
+    if _DEFAULT_PIPELINE is None:
+        _DEFAULT_PIPELINE = AnalysisPipeline()
+    return _DEFAULT_PIPELINE
 
 
 def run_case_study(
@@ -45,17 +49,7 @@ def run_case_study(
     runner: Optional[CaseStudyRunner] = None,
 ) -> CaseStudyResults:
     """Run (or reuse) the case-study pipeline over the given workloads."""
-    key = ",".join(workload_names) if workload_names else "<all>"
-    if not force and key in _CASE_STUDY_CACHE:
-        return _CASE_STUDY_CACHE[key]
-    runner = runner or CaseStudyRunner()
-    workloads = all_workloads()
-    if workload_names:
-        workloads = [w for w in workloads if w.name in workload_names]
-    analyses = runner.analyze_all(workloads)
-    results = CaseStudyResults(analyses=analyses, tables=build_tables(analyses))
-    _CASE_STUDY_CACHE[key] = results
-    return results
+    return get_default_pipeline().run(workload_names, force=force, runner=runner)
 
 
 @dataclass

@@ -42,7 +42,12 @@ class VirtualClock:
         return self._now_ms
 
     def tick_op(self, count: int = 1) -> None:
-        """Charge the cost of ``count`` interpreted operations."""
+        """Charge the cost of ``count`` interpreted operations.
+
+        The interpreter's per-operation hot path (``Interpreter._charge``)
+        inlines this arithmetic rather than calling here; keep the two in
+        sync when changing advance semantics.
+        """
         self.advance(self.ms_per_op * count)
 
     def add_listener(self, listener: Callable[[float], None]) -> None:

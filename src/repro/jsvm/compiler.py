@@ -1,0 +1,1340 @@
+"""Closure compilation of the mini-JavaScript AST.
+
+The seed interpreter walked the AST with a per-node ``dict`` dispatch
+(``type(node) -> bound method``) and re-resolved operators, member keys and
+instrumentation flags on every visit.  This module compiles each AST node
+*once* into a Python closure specialized for its node kind: child closures,
+operator functions and constant keys are bound at compile time, so executing
+a node is a single call with no dispatch lookups left on the hot path.
+
+Semantics are intentionally bit-identical to the seed tree-walker:
+
+* every node evaluation charges exactly one operation on the virtual clock
+  (statements executed in statement position additionally bump
+  ``stats.statements``, and expression nodes in statement position charge
+  twice — once for the statement step, once for the expression — exactly as
+  the old ``_exec``/``_eval`` pair did);
+* instrumentation events fire in the same order with the same arguments.
+  Compiled code consults the interpreter's cached ``trace_mask`` integer
+  (kept in sync by the :class:`~repro.jsvm.hooks.HookBus`) once per
+  construct, so uninstrumented runs never build event arguments at all.
+
+Compiled closures take ``(rt, env)`` where ``rt`` is the interpreter: they
+capture no interpreter state, so a compiled program is shared freely between
+interpreter instances (the analysis engine caches ASTs — and therefore
+compiled code — across pipeline stages and instrumentation modes).
+
+Compiled code is cached directly on the AST nodes (``_code`` for expression
+position, ``_stmt`` for statement position; ``_hoist_plan``/``_body_code``
+on function bodies and programs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .errors import (
+    InterpreterLimitError,
+    JSReferenceError,
+    JSRuntimeError,
+    JSThrownValue,
+    JSTypeError,
+)
+from .hooks import EV_BRANCH, EV_ENV, EV_LOOP, EV_STATEMENT, EV_VAR
+from .scope import Environment
+from .values import (
+    NULL,
+    UNDEFINED,
+    JSObject,
+    is_callable,
+    loose_equals,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_property_key,
+    to_string,
+    type_of,
+)
+
+Code = Callable[[Any, Any], Any]
+
+
+class BreakSignal(Exception):
+    pass
+
+
+class ContinueSignal(Exception):
+    pass
+
+
+class ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+_BREAK = BreakSignal
+_CONTINUE = ContinueSignal
+
+
+# ---------------------------------------------------------------------------
+# numeric helpers (identical to the seed interpreter's module helpers)
+# ---------------------------------------------------------------------------
+def _to_int32(number: float) -> int:
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    value = int(number) & 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def _to_uint32(number: float) -> int:
+    if math.isnan(number) or math.isinf(number):
+        return 0
+    return int(number) & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# binary operators, resolved once at compile time
+# ---------------------------------------------------------------------------
+def _op_add(left, right):
+    if isinstance(left, str) or isinstance(right, str):
+        return to_string(left) + to_string(right)
+    if isinstance(left, JSObject) or isinstance(right, JSObject):
+        return to_string(left) + to_string(right)
+    return to_number(left) + to_number(right)
+
+
+def _op_sub(left, right):
+    return to_number(left) - to_number(right)
+
+
+def _op_mul(left, right):
+    return to_number(left) * to_number(right)
+
+
+def _op_div(left, right):
+    denominator = to_number(right)
+    numerator = to_number(left)
+    if denominator == 0.0:
+        if numerator == 0.0 or math.isnan(numerator):
+            return float("nan")
+        return math.inf if numerator > 0 else -math.inf
+    return numerator / denominator
+
+
+def _op_mod(left, right):
+    denominator = to_number(right)
+    numerator = to_number(left)
+    if denominator == 0.0 or math.isnan(denominator) or math.isnan(numerator):
+        return float("nan")
+    return math.fmod(numerator, denominator)
+
+
+def _compare(operator: str):
+    def compare(left, right):
+        if isinstance(left, str) and isinstance(right, str):
+            if operator == "<":
+                return left < right
+            if operator == ">":
+                return left > right
+            if operator == "<=":
+                return left <= right
+            return left >= right
+        a, b = to_number(left), to_number(right)
+        if math.isnan(a) or math.isnan(b):
+            return False
+        if operator == "<":
+            return a < b
+        if operator == ">":
+            return a > b
+        if operator == "<=":
+            return a <= b
+        return a >= b
+
+    return compare
+
+
+def _op_strict_eq(left, right):
+    return strict_equals(left, right)
+
+
+def _op_strict_ne(left, right):
+    return not strict_equals(left, right)
+
+
+def _op_loose_eq(left, right):
+    return loose_equals(left, right)
+
+
+def _op_loose_ne(left, right):
+    return not loose_equals(left, right)
+
+
+def _op_bitand(left, right):
+    return float(_to_int32(to_number(left)) & _to_int32(to_number(right)))
+
+
+def _op_bitor(left, right):
+    return float(_to_int32(to_number(left)) | _to_int32(to_number(right)))
+
+
+def _op_bitxor(left, right):
+    return float(_to_int32(to_number(left)) ^ _to_int32(to_number(right)))
+
+
+def _op_shl(left, right):
+    return float(_to_int32(_to_int32(to_number(left)) << (_to_uint32(to_number(right)) & 31)))
+
+
+def _op_shr(left, right):
+    return float(_to_int32(to_number(left)) >> (_to_uint32(to_number(right)) & 31))
+
+
+def _op_ushr(left, right):
+    return float(_to_uint32(to_number(left)) >> (_to_uint32(to_number(right)) & 31))
+
+
+_PURE_BINARY_OPS = {
+    "+": _op_add,
+    "-": _op_sub,
+    "*": _op_mul,
+    "/": _op_div,
+    "%": _op_mod,
+    "<": _compare("<"),
+    ">": _compare(">"),
+    "<=": _compare("<="),
+    ">=": _compare(">="),
+    "===": _op_strict_eq,
+    "!==": _op_strict_ne,
+    "==": _op_loose_eq,
+    "!=": _op_loose_ne,
+    "&": _op_bitand,
+    "|": _op_bitor,
+    "^": _op_bitxor,
+    "<<": _op_shl,
+    ">>": _op_shr,
+    ">>>": _op_ushr,
+}
+
+
+def resolve_binary(operator: str, node: ast.Node) -> Callable[[Any, Any], Any]:
+    """Resolve ``operator`` into a two-argument function (node gives lines)."""
+    op = _PURE_BINARY_OPS.get(operator)
+    if op is not None:
+        return op
+    if operator == "instanceof":
+
+        def instance_of(left, right):
+            if not is_callable(right):
+                raise JSTypeError("right-hand side of instanceof is not callable", node.line)
+            proto = right.get("prototype")
+            current = left.prototype if isinstance(left, JSObject) else None
+            while current is not None:
+                if current is proto:
+                    return True
+                current = current.prototype
+            return False
+
+        return instance_of
+    if operator == "in":
+
+        def in_op(left, right):
+            if isinstance(right, JSObject):
+                return right.has(to_property_key(left))
+            raise JSTypeError("'in' applied to a non-object", node.line)
+
+        return in_op
+
+    def unsupported(left, right):
+        raise JSRuntimeError(f"unsupported binary operator {operator!r}", node.line)
+
+    return unsupported
+
+
+# ---------------------------------------------------------------------------
+# hoisting (precomputed once per statement list)
+# ---------------------------------------------------------------------------
+def build_hoist_plan(statements: List[ast.Node]) -> List[Tuple[str, Any]]:
+    """Precompute the seed's ``_hoist`` walk as a flat list of actions.
+
+    Actions are ``("var", name)`` or ``("func", FunctionDeclaration node)``,
+    in the exact order the recursive walk visited them.
+    """
+    plan: List[Tuple[str, Any]] = []
+    for statement in statements:
+        _hoist_statement(statement, plan)
+    return plan
+
+
+def _hoist_statement(node: Optional[ast.Node], plan: List[Tuple[str, Any]]) -> None:
+    if node is None:
+        return
+    if isinstance(node, ast.VariableDeclaration):
+        if node.kind_keyword == "var":
+            for declarator in node.declarations:
+                plan.append(("var", declarator.name))
+    elif isinstance(node, ast.FunctionDeclaration):
+        plan.append(("func", node))
+    elif isinstance(node, ast.BlockStatement):
+        for statement in node.body:
+            _hoist_statement(statement, plan)
+    elif isinstance(node, ast.IfStatement):
+        _hoist_statement(node.consequent, plan)
+        _hoist_statement(node.alternate, plan)
+    elif isinstance(node, ast.ForStatement):
+        _hoist_statement(node.init, plan)
+        _hoist_statement(node.body, plan)
+    elif isinstance(node, ast.ForInStatement):
+        if node.declaration_kind == "var":
+            plan.append(("var", node.target_name))
+        _hoist_statement(node.body, plan)
+    elif isinstance(node, (ast.WhileStatement, ast.DoWhileStatement)):
+        _hoist_statement(node.body, plan)
+    elif isinstance(node, ast.TryStatement):
+        _hoist_statement(node.block, plan)
+        if node.handler is not None:
+            _hoist_statement(node.handler.body, plan)
+        _hoist_statement(node.finalizer, plan)
+    elif isinstance(node, ast.SwitchStatement):
+        for case in node.cases:
+            for statement in case.body:
+                _hoist_statement(statement, plan)
+
+
+def run_hoist_plan(plan: List[Tuple[str, Any]], rt, env: Environment) -> None:
+    """Apply a precomputed hoist plan to ``env`` (fresh closures per call)."""
+    for kind, payload in plan:
+        if kind == "var":
+            env.declare_var(payload, UNDEFINED)
+        else:
+            func = rt.make_function(payload.name, payload.params, payload.body, env, payload)
+            env.declare_var(payload.name, func)
+
+
+# ---------------------------------------------------------------------------
+# expression compilers
+# ---------------------------------------------------------------------------
+def compile_expr(node: ast.Node) -> Code:
+    """Compile ``node`` for expression position (charges one op per eval)."""
+    code = getattr(node, "_code", None)
+    if code is None:
+        compiler = _EXPR_COMPILERS.get(type(node))
+        if compiler is not None:
+            code = compiler(node)
+        else:
+            code = _compile_stmt_in_expr_position(node)
+        node._code = code
+    return code
+
+
+def _compile_stmt_in_expr_position(node: ast.Node) -> Code:
+    """Statement node in expression position (e.g. a for-init declaration).
+
+    Mirrors the seed ``_eval`` fallback: one charge, then the statement body
+    — without the statement counter or the statement hook.
+    """
+    body_compiler = _STMT_BODY_COMPILERS.get(type(node))
+    if body_compiler is None:
+        kind, line = node.kind, node.line
+
+        def invalid(rt, env):
+            rt._charge()
+            raise JSRuntimeError(f"cannot evaluate node {kind}", line)
+
+        return invalid
+    body = body_compiler(node)
+
+    def run(rt, env):
+        rt._charge()
+        return body(rt, env)
+
+    return run
+
+
+def _compile_constant(node: ast.Node, value: Any) -> Code:
+    def run(rt, env):
+        rt._charge()
+        return value
+
+    return run
+
+
+def _compile_number(node: ast.NumberLiteral) -> Code:
+    return _compile_constant(node, node.value)
+
+
+def _compile_string(node: ast.StringLiteral) -> Code:
+    return _compile_constant(node, node.value)
+
+
+def _compile_boolean(node: ast.BooleanLiteral) -> Code:
+    return _compile_constant(node, node.value)
+
+
+def _compile_null(node: ast.NullLiteral) -> Code:
+    return _compile_constant(node, NULL)
+
+
+def _compile_undefined(node: ast.UndefinedLiteral) -> Code:
+    return _compile_constant(node, UNDEFINED)
+
+
+def _read_identifier(node: ast.Identifier):
+    """Uncharged identifier read used by update/compound assignment targets."""
+    name = node.name
+    line = node.line
+
+    def read(rt, env):
+        holder = env.lookup_env(name)
+        if holder is None:
+            raise JSReferenceError(f"{name} is not defined", line)
+        if rt.trace_mask & EV_VAR:
+            rt.hooks.var_read(rt, name, holder, node)
+        return holder.bindings[name]
+
+    return read
+
+
+def _compile_identifier(node: ast.Identifier) -> Code:
+    name = node.name
+    line = node.line
+
+    def run(rt, env):
+        rt._charge()
+        # Inline scope walk (Environment.lookup_env): identifier reads are the
+        # single most frequent operation in guest code.
+        holder = env
+        while holder is not None:
+            bindings = holder.bindings
+            if name in bindings:
+                if rt.trace_mask & EV_VAR:
+                    rt.hooks.var_read(rt, name, holder, node)
+                return bindings[name]
+            holder = holder.parent
+        raise JSReferenceError(f"{name} is not defined", line)
+
+    return run
+
+
+def _compile_this(node: ast.ThisExpression) -> Code:
+    def run(rt, env):
+        rt._charge()
+        holder = env.lookup_env("this")
+        return holder.bindings["this"] if holder is not None else UNDEFINED
+
+    return run
+
+
+def _compile_array_literal(node: ast.ArrayLiteral) -> Code:
+    elements = [compile_expr(element) for element in node.elements]
+    node_id = node.node_id
+
+    def run(rt, env):
+        rt._charge()
+        values = [element(rt, env) for element in elements]
+        return rt.make_array(values, creation_site=node_id, node=node)
+
+    return run
+
+
+def _compile_object_literal(node: ast.ObjectLiteral) -> Code:
+    properties = [(prop.key, compile_expr(prop.value)) for prop in node.properties]
+    node_id = node.node_id
+
+    def run(rt, env):
+        rt._charge()
+        obj = rt.make_object(creation_site=node_id, node=node)
+        for key, value_code in properties:
+            obj.set(key, value_code(rt, env))
+        return obj
+
+    return run
+
+
+def _compile_function_expression(node: ast.FunctionExpression) -> Code:
+    name = node.name
+    display_name = name or "<anonymous>"
+    params = node.params
+    body = node.body
+
+    def run(rt, env):
+        rt._charge()
+        func = rt.make_function(display_name, params, body, env, node)
+        if name:
+            # Named function expressions can refer to themselves.
+            func.closure = Environment(parent=env, is_function_scope=False, label="fnexpr")
+            func.closure.declare_let(name, func)
+        return func
+
+    return run
+
+
+def _member_key_code(node: ast.MemberExpression):
+    """Return ``f(rt, env) -> key`` for a member expression's key.
+
+    Non-computed keys are constants (the parser synthesizes a StringLiteral);
+    computed keys evaluate their expression (charging, as the seed did).
+    """
+    if node.computed:
+        property_code = compile_expr(node.property)
+
+        def computed_key(rt, env):
+            return to_property_key(property_code(rt, env))
+
+        return computed_key
+    constant = node.property.value
+
+    def constant_key(rt, env):
+        return constant
+
+    return constant_key
+
+
+def _compile_unary(node: ast.UnaryExpression) -> Code:
+    operator = node.operator
+    line = node.line
+
+    if operator == "typeof":
+        operand = node.operand
+        operand_code = compile_expr(operand)
+        if isinstance(operand, ast.Identifier):
+            identifier_name = operand.name
+
+            def run_typeof_identifier(rt, env):
+                rt._charge()
+                if not env.has(identifier_name):
+                    return "undefined"
+                return type_of(operand_code(rt, env))
+
+            return run_typeof_identifier
+
+        def run_typeof(rt, env):
+            rt._charge()
+            return type_of(operand_code(rt, env))
+
+        return run_typeof
+
+    if operator == "delete":
+        if isinstance(node.operand, ast.MemberExpression):
+            member = node.operand
+            object_code = compile_expr(member.object)
+            key_code = _member_key_code(member)
+
+            def run_delete_member(rt, env):
+                rt._charge()
+                obj = object_code(rt, env)
+                key = key_code(rt, env)
+                if isinstance(obj, JSObject):
+                    return obj.delete(key)
+                return True
+
+            return run_delete_member
+
+        def run_delete(rt, env):
+            rt._charge()
+            return True
+
+        return run_delete
+
+    operand_code = compile_expr(node.operand)
+    if operator == "!":
+
+        def run_not(rt, env):
+            rt._charge()
+            return not to_boolean(operand_code(rt, env))
+
+        return run_not
+    if operator == "-":
+
+        def run_neg(rt, env):
+            rt._charge()
+            return -to_number(operand_code(rt, env))
+
+        return run_neg
+    if operator == "+":
+
+        def run_pos(rt, env):
+            rt._charge()
+            return to_number(operand_code(rt, env))
+
+        return run_pos
+    if operator == "~":
+
+        def run_bitnot(rt, env):
+            rt._charge()
+            return float(~_to_int32(to_number(operand_code(rt, env))))
+
+        return run_bitnot
+    if operator == "void":
+
+        def run_void(rt, env):
+            rt._charge()
+            operand_code(rt, env)
+            return UNDEFINED
+
+        return run_void
+
+    def run_unsupported(rt, env):
+        rt._charge()
+        operand_code(rt, env)
+        raise JSRuntimeError(f"unsupported unary operator {operator!r}", line)
+
+    return run_unsupported
+
+
+def _compile_update(node: ast.UpdateExpression) -> Code:
+    delta = 1.0 if node.operator == "++" else -1.0
+    prefix = node.prefix
+    target = node.target
+    line = node.line
+
+    if isinstance(target, ast.Identifier):
+        read = _read_identifier(target)
+        name = target.name
+
+        def run_identifier(rt, env):
+            rt._charge()
+            old = to_number(read(rt, env))
+            new = old + delta
+            rt._set_variable(name, new, env, node)
+            return new if prefix else old
+
+        return run_identifier
+
+    if isinstance(target, ast.MemberExpression):
+        object_code = compile_expr(target.object)
+        key_code = _member_key_code(target)
+
+        def run_member(rt, env):
+            rt._charge()
+            obj = object_code(rt, env)
+            key = key_code(rt, env)
+            old = to_number(rt._get_property(obj, key, target))
+            new = old + delta
+            rt._set_property(obj, key, new, target)
+            return new if prefix else old
+
+        return run_member
+
+    def run_invalid(rt, env):
+        rt._charge()
+        raise JSRuntimeError("invalid update target", line)
+
+    return run_invalid
+
+
+def _compile_binary(node: ast.BinaryExpression) -> Code:
+    left_code = compile_expr(node.left)
+    right_code = compile_expr(node.right)
+    op = resolve_binary(node.operator, node)
+
+    def run(rt, env):
+        rt._charge()
+        return op(left_code(rt, env), right_code(rt, env))
+
+    return run
+
+
+def _compile_logical(node: ast.LogicalExpression) -> Code:
+    operator = node.operator
+    left_code = compile_expr(node.left)
+    right_code = compile_expr(node.right)
+    line = node.line
+
+    if operator == "&&":
+
+        def run_and(rt, env):
+            rt._charge()
+            left = left_code(rt, env)
+            if not to_boolean(left):
+                if rt.trace_mask & EV_BRANCH:
+                    rt.hooks.branch(rt, node, False)
+                return left
+            if rt.trace_mask & EV_BRANCH:
+                rt.hooks.branch(rt, node, True)
+            return right_code(rt, env)
+
+        return run_and
+    if operator == "||":
+
+        def run_or(rt, env):
+            rt._charge()
+            left = left_code(rt, env)
+            if to_boolean(left):
+                if rt.trace_mask & EV_BRANCH:
+                    rt.hooks.branch(rt, node, True)
+                return left
+            if rt.trace_mask & EV_BRANCH:
+                rt.hooks.branch(rt, node, False)
+            return right_code(rt, env)
+
+        return run_or
+
+    def run_unsupported(rt, env):
+        rt._charge()
+        raise JSRuntimeError(f"unsupported logical operator {operator!r}", line)
+
+    return run_unsupported
+
+
+def _compile_assignment(node: ast.AssignmentExpression) -> Code:
+    operator = node.operator
+    target = node.target
+    value_code = compile_expr(node.value)
+    line = node.line
+
+    if operator == "=":
+        if isinstance(target, ast.Identifier):
+            name = target.name
+
+            def run_simple_identifier(rt, env):
+                rt._charge()
+                value = value_code(rt, env)
+                rt._set_variable(name, value, env, node)
+                return value
+
+            return run_simple_identifier
+        if isinstance(target, ast.MemberExpression):
+            object_code = compile_expr(target.object)
+            key_code = _member_key_code(target)
+
+            def run_simple_member(rt, env):
+                rt._charge()
+                value = value_code(rt, env)
+                obj = object_code(rt, env)
+                key = key_code(rt, env)
+                rt._set_property(obj, key, value, target)
+                return value
+
+            return run_simple_member
+
+        def run_invalid(rt, env):
+            rt._charge()
+            value_code(rt, env)
+            raise JSRuntimeError("invalid assignment target", line)
+
+        return run_invalid
+
+    # Compound assignment: read-modify-write.
+    op = resolve_binary(operator[:-1], node)
+    if isinstance(target, ast.Identifier):
+        read = _read_identifier(target)
+        name = target.name
+
+        def run_compound_identifier(rt, env):
+            rt._charge()
+            current = read(rt, env)
+            value = op(current, value_code(rt, env))
+            rt._set_variable(name, value, env, node)
+            return value
+
+        return run_compound_identifier
+    if isinstance(target, ast.MemberExpression):
+        object_code = compile_expr(target.object)
+        key_code = _member_key_code(target)
+
+        def run_compound_member(rt, env):
+            rt._charge()
+            obj = object_code(rt, env)
+            key = key_code(rt, env)
+            current = rt._get_property(obj, key, target)
+            value = op(current, value_code(rt, env))
+            # The seed evaluated the target object (and key) a second time for
+            # the write-back; keep that behaviour for clock/hook parity.
+            obj = object_code(rt, env)
+            key = key_code(rt, env)
+            rt._set_property(obj, key, value, target)
+            return value
+
+        return run_compound_member
+
+    def run_invalid_compound(rt, env):
+        rt._charge()
+        raise JSRuntimeError("invalid assignment target", line)
+
+    return run_invalid_compound
+
+
+def _compile_conditional(node: ast.ConditionalExpression) -> Code:
+    test_code = compile_expr(node.test)
+    consequent_code = compile_expr(node.consequent)
+    alternate_code = compile_expr(node.alternate)
+
+    def run(rt, env):
+        rt._charge()
+        taken = to_boolean(test_code(rt, env))
+        if rt.trace_mask & EV_BRANCH:
+            rt.hooks.branch(rt, node, taken)
+        return consequent_code(rt, env) if taken else alternate_code(rt, env)
+
+    return run
+
+
+def _compile_sequence(node: ast.SequenceExpression) -> Code:
+    expressions = [compile_expr(expression) for expression in node.expressions]
+
+    def run(rt, env):
+        rt._charge()
+        result: Any = UNDEFINED
+        for expression in expressions:
+            result = expression(rt, env)
+        return result
+
+    return run
+
+
+def _compile_call(node: ast.CallExpression) -> Code:
+    callee = node.callee
+    argument_codes = [compile_expr(argument) for argument in node.arguments]
+    line = node.line
+
+    if isinstance(callee, ast.MemberExpression):
+        object_code = compile_expr(callee.object)
+        key_code = _member_key_code(callee)
+
+        def run_method(rt, env):
+            rt._charge()
+            this = object_code(rt, env)
+            key = key_code(rt, env)
+            func = rt._get_property(this, key, callee)
+            args = [argument(rt, env) for argument in argument_codes]
+            if not is_callable(func):
+                raise JSTypeError(f"{to_string(func)} is not a function", line)
+            return rt.call_function(func, this, args, call_node=node)
+
+        return run_method
+
+    callee_code = compile_expr(callee)
+    callee_name = callee.name if isinstance(callee, ast.Identifier) else None
+
+    def run_call(rt, env):
+        rt._charge()
+        func = callee_code(rt, env)
+        args = [argument(rt, env) for argument in argument_codes]
+        if not is_callable(func):
+            name = callee_name if callee_name is not None else to_string(func)
+            raise JSTypeError(f"{name} is not a function", line)
+        return rt.call_function(func, UNDEFINED, args, call_node=node)
+
+    return run_call
+
+
+def _compile_new(node: ast.NewExpression) -> Code:
+    callee_code = compile_expr(node.callee)
+    argument_codes = [compile_expr(argument) for argument in node.arguments]
+
+    def run(rt, env):
+        rt._charge()
+        constructor = callee_code(rt, env)
+        args = [argument(rt, env) for argument in argument_codes]
+        return rt._construct(constructor, args, node)
+
+    return run
+
+
+def _compile_member(node: ast.MemberExpression) -> Code:
+    object_code = compile_expr(node.object)
+    if not node.computed:
+        key = node.property.value
+
+        def run_static(rt, env):
+            rt._charge()
+            return rt._get_property(object_code(rt, env), key, node)
+
+        return run_static
+
+    key_code = _member_key_code(node)
+
+    def run_computed(rt, env):
+        rt._charge()
+        obj = object_code(rt, env)
+        return rt._get_property(obj, key_code(rt, env), node)
+
+    return run_computed
+
+
+_EXPR_COMPILERS = {
+    ast.NumberLiteral: _compile_number,
+    ast.StringLiteral: _compile_string,
+    ast.BooleanLiteral: _compile_boolean,
+    ast.NullLiteral: _compile_null,
+    ast.UndefinedLiteral: _compile_undefined,
+    ast.Identifier: _compile_identifier,
+    ast.ThisExpression: _compile_this,
+    ast.ArrayLiteral: _compile_array_literal,
+    ast.ObjectLiteral: _compile_object_literal,
+    ast.FunctionExpression: _compile_function_expression,
+    ast.UnaryExpression: _compile_unary,
+    ast.UpdateExpression: _compile_update,
+    ast.BinaryExpression: _compile_binary,
+    ast.LogicalExpression: _compile_logical,
+    ast.AssignmentExpression: _compile_assignment,
+    ast.ConditionalExpression: _compile_conditional,
+    ast.CallExpression: _compile_call,
+    ast.NewExpression: _compile_new,
+    ast.MemberExpression: _compile_member,
+    ast.SequenceExpression: _compile_sequence,
+}
+
+
+# ---------------------------------------------------------------------------
+# statement compilers
+# ---------------------------------------------------------------------------
+def compile_stmt(node: ast.Node) -> Code:
+    """Compile ``node`` for statement position (full ``_exec`` semantics)."""
+    code = getattr(node, "_stmt", None)
+    if code is None:
+        body_compiler = _STMT_BODY_COMPILERS.get(type(node))
+        if body_compiler is not None:
+            body = body_compiler(node)
+        else:
+            # Expression in a statement list: the seed charged once for the
+            # statement step and again inside ``_eval``.
+            body = compile_expr(node)
+
+        def run(rt, env):
+            rt._charge()
+            rt.stats.statements += 1
+            if rt.trace_mask & EV_STATEMENT:
+                rt.hooks.statement(rt, node)
+            return body(rt, env)
+
+        code = run
+        node._stmt = code
+    return code
+
+
+def _body_variable_declaration(node: ast.VariableDeclaration) -> Code:
+    kind_keyword = node.kind_keyword
+    is_var = kind_keyword == "var"
+    is_const = kind_keyword == "const"
+    declarators = [
+        (declarator.name, compile_expr(declarator.init) if declarator.init is not None else None, declarator)
+        for declarator in node.declarations
+    ]
+
+    def run(rt, env):
+        for name, init_code, declarator in declarators:
+            value = UNDEFINED if init_code is None else init_code(rt, env)
+            if is_var:
+                env.declare_var(name, value if init_code is not None else UNDEFINED)
+                target_env = env.nearest_function_scope()
+            else:
+                env.declare_let(name, value, constant=is_const)
+                target_env = env
+            if rt.trace_mask & EV_VAR and init_code is not None:
+                rt.hooks.var_write(rt, name, target_env, value, declarator)
+        return UNDEFINED
+
+    return run
+
+
+def _body_function_declaration(node: ast.FunctionDeclaration) -> Code:
+    name = node.name
+    params = node.params
+    body = node.body
+
+    def run(rt, env):
+        # Already handled during hoisting; re-declaring keeps later definitions
+        # authoritative when the same name is declared twice.
+        if not env.has(name):
+            func = rt.make_function(name, params, body, env, node)
+            env.declare_var(name, func)
+        return UNDEFINED
+
+    return run
+
+
+def _body_block(node: ast.BlockStatement) -> Code:
+    statements = [compile_stmt(statement) for statement in node.body]
+
+    def run(rt, env):
+        block_env = Environment(parent=env, is_function_scope=False, label="block")
+        if rt.trace_mask & EV_ENV:
+            rt.hooks.env_created(rt, block_env, "block")
+        result: Any = UNDEFINED
+        for statement in statements:
+            result = statement(rt, block_env)
+        return result
+
+    return run
+
+
+def _body_expression_statement(node: ast.ExpressionStatement) -> Code:
+    return compile_expr(node.expression)
+
+
+def _body_if(node: ast.IfStatement) -> Code:
+    test_code = compile_expr(node.test)
+    consequent_code = compile_stmt(node.consequent)
+    alternate_code = compile_stmt(node.alternate) if node.alternate is not None else None
+
+    def run(rt, env):
+        taken = to_boolean(test_code(rt, env))
+        if rt.trace_mask & EV_BRANCH:
+            rt.hooks.branch(rt, node, taken)
+        if taken:
+            return consequent_code(rt, env)
+        if alternate_code is not None:
+            return alternate_code(rt, env)
+        return UNDEFINED
+
+    return run
+
+
+def _body_for(node: ast.ForStatement) -> Code:
+    init_code = compile_stmt(node.init) if node.init is not None else None
+    test_code = compile_expr(node.test) if node.test is not None else None
+    update_code = compile_expr(node.update) if node.update is not None else None
+    body_code = compile_stmt(node.body)
+
+    def run(rt, env):
+        loop_env = Environment(parent=env, is_function_scope=False, label="for")
+        mask = rt.trace_mask
+        if mask & EV_ENV:
+            rt.hooks.env_created(rt, loop_env, "block")
+        if init_code is not None:
+            init_code(rt, loop_env)
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        hooks = rt.hooks
+        stats = rt.stats
+        if wants_loops:
+            hooks.loop_enter(rt, node)
+        trip = 0
+        try:
+            while True:
+                if test_code is not None and not to_boolean(test_code(rt, loop_env)):
+                    break
+                if wants_loops:
+                    hooks.loop_iteration(rt, node, trip)
+                trip += 1
+                stats.loop_iterations += 1
+                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="for-iter")
+                if wants_envs:
+                    hooks.env_created(rt, iteration_env, "block")
+                try:
+                    body_code(rt, iteration_env)
+                except _CONTINUE:
+                    pass
+                except _BREAK:
+                    break
+                if update_code is not None:
+                    update_code(rt, loop_env)
+        finally:
+            if wants_loops:
+                hooks.loop_exit(rt, node, trip)
+        return UNDEFINED
+
+    return run
+
+
+def _body_for_in(node: ast.ForInStatement) -> Code:
+    from .values import JSArray  # local import to avoid cycle noise at module load
+
+    iterable_code = compile_expr(node.iterable)
+    body_code = compile_stmt(node.body)
+    declaration_kind = node.declaration_kind
+    target_name = node.target_name
+    of_loop = node.of_loop
+    line = node.line
+
+    def run(rt, env):
+        iterable = iterable_code(rt, env)
+        if of_loop:
+            if isinstance(iterable, JSArray):
+                keys: List[Any] = list(iterable.elements)
+            elif isinstance(iterable, str):
+                keys = list(iterable)
+            else:
+                raise JSTypeError("for...of target is not iterable", line)
+        else:
+            if isinstance(iterable, JSArray):
+                keys = [str(i) for i in range(len(iterable.elements))]
+            elif isinstance(iterable, JSObject):
+                keys = iterable.own_keys()
+            elif isinstance(iterable, str):
+                keys = [str(i) for i in range(len(iterable))]
+            else:
+                keys = []
+
+        loop_env = Environment(parent=env, is_function_scope=False, label="for-in")
+        mask = rt.trace_mask
+        if mask & EV_ENV:
+            rt.hooks.env_created(rt, loop_env, "block")
+        if declaration_kind == "var":
+            loop_env.declare_var(target_name, UNDEFINED)
+        elif declaration_kind in ("let", "const"):
+            loop_env.declare_let(target_name, UNDEFINED)
+
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        hooks = rt.hooks
+        stats = rt.stats
+        if wants_loops:
+            hooks.loop_enter(rt, node)
+        trip = 0
+        try:
+            for key in keys:
+                if wants_loops:
+                    hooks.loop_iteration(rt, node, trip)
+                trip += 1
+                stats.loop_iterations += 1
+                rt._set_variable(target_name, key, loop_env, node)
+                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="forin-iter")
+                if wants_envs:
+                    hooks.env_created(rt, iteration_env, "block")
+                try:
+                    body_code(rt, iteration_env)
+                except _CONTINUE:
+                    continue
+                except _BREAK:
+                    break
+        finally:
+            if wants_loops:
+                hooks.loop_exit(rt, node, trip)
+        return UNDEFINED
+
+    return run
+
+
+def _body_while(node: ast.WhileStatement) -> Code:
+    test_code = compile_expr(node.test)
+    body_code = compile_stmt(node.body)
+
+    def run(rt, env):
+        mask = rt.trace_mask
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        hooks = rt.hooks
+        stats = rt.stats
+        if wants_loops:
+            hooks.loop_enter(rt, node)
+        trip = 0
+        try:
+            while to_boolean(test_code(rt, env)):
+                if wants_loops:
+                    hooks.loop_iteration(rt, node, trip)
+                trip += 1
+                stats.loop_iterations += 1
+                iteration_env = Environment(parent=env, is_function_scope=False, label="while-iter")
+                if wants_envs:
+                    hooks.env_created(rt, iteration_env, "block")
+                try:
+                    body_code(rt, iteration_env)
+                except _CONTINUE:
+                    continue
+                except _BREAK:
+                    break
+        finally:
+            if wants_loops:
+                hooks.loop_exit(rt, node, trip)
+        return UNDEFINED
+
+    return run
+
+
+def _body_do_while(node: ast.DoWhileStatement) -> Code:
+    test_code = compile_expr(node.test)
+    body_code = compile_stmt(node.body)
+
+    def run(rt, env):
+        mask = rt.trace_mask
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        hooks = rt.hooks
+        stats = rt.stats
+        if wants_loops:
+            hooks.loop_enter(rt, node)
+        trip = 0
+        try:
+            while True:
+                if wants_loops:
+                    hooks.loop_iteration(rt, node, trip)
+                trip += 1
+                stats.loop_iterations += 1
+                iteration_env = Environment(parent=env, is_function_scope=False, label="do-iter")
+                if wants_envs:
+                    hooks.env_created(rt, iteration_env, "block")
+                try:
+                    body_code(rt, iteration_env)
+                except _CONTINUE:
+                    pass
+                except _BREAK:
+                    break
+                if not to_boolean(test_code(rt, env)):
+                    break
+        finally:
+            if wants_loops:
+                hooks.loop_exit(rt, node, trip)
+        return UNDEFINED
+
+    return run
+
+
+def _body_return(node: ast.ReturnStatement) -> Code:
+    argument_code = compile_expr(node.argument) if node.argument is not None else None
+
+    def run(rt, env):
+        value = UNDEFINED if argument_code is None else argument_code(rt, env)
+        raise ReturnSignal(value)
+
+    return run
+
+
+def _body_break(node: ast.BreakStatement) -> Code:
+    def run(rt, env):
+        raise BreakSignal()
+
+    return run
+
+
+def _body_continue(node: ast.ContinueStatement) -> Code:
+    def run(rt, env):
+        raise ContinueSignal()
+
+    return run
+
+
+def _body_throw(node: ast.ThrowStatement) -> Code:
+    argument_code = compile_expr(node.argument)
+    line = node.line
+
+    def run(rt, env):
+        value = argument_code(rt, env)
+        raise JSThrownValue(value, line)
+
+    return run
+
+
+def _body_try(node: ast.TryStatement) -> Code:
+    block_code = compile_stmt(node.block)
+    handler = node.handler
+    handler_code = compile_stmt(handler.body) if handler is not None else None
+    handler_param = handler.param if handler is not None else None
+    finalizer_code = compile_stmt(node.finalizer) if node.finalizer is not None else None
+
+    def run(rt, env):
+        try:
+            block_code(rt, env)
+        except JSThrownValue as thrown:
+            if handler_code is not None:
+                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
+                if rt.trace_mask & EV_ENV:
+                    rt.hooks.env_created(rt, handler_env, "block")
+                if handler_param:
+                    handler_env.declare_let(handler_param, thrown.value)
+                handler_code(rt, handler_env)
+            else:
+                # No handler: re-raise; the finally clause below runs the
+                # finalizer exactly once, as in JS.  (The seed interpreter
+                # ran it twice on this path.)
+                raise
+        except JSRuntimeError as error:
+            if handler_code is not None:
+                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
+                if handler_param:
+                    error_obj = rt.make_object()
+                    error_obj.set("message", error.raw_message)
+                    error_obj.set("name", type(error).__name__)
+                    handler_env.declare_let(handler_param, error_obj)
+                handler_code(rt, handler_env)
+            else:
+                raise
+        finally:
+            if finalizer_code is not None:
+                finalizer_code(rt, env)
+        return UNDEFINED
+
+    return run
+
+
+def _body_switch(node: ast.SwitchStatement) -> Code:
+    discriminant_code = compile_expr(node.discriminant)
+    cases = [
+        (
+            case,
+            compile_expr(case.test) if case.test is not None else None,
+            [compile_stmt(statement) for statement in case.body],
+        )
+        for case in node.cases
+    ]
+
+    def run(rt, env):
+        value = discriminant_code(rt, env)
+        matched = False
+        try:
+            for case, test_code, body_codes in cases:
+                if not matched and test_code is not None:
+                    if strict_equals(value, test_code(rt, env)):
+                        matched = True
+                        if rt.trace_mask & EV_BRANCH:
+                            rt.hooks.branch(rt, case, True)
+                if matched:
+                    for statement in body_codes:
+                        statement(rt, env)
+            if not matched:
+                for case, test_code, body_codes in cases:
+                    if test_code is None:
+                        matched = True
+                    if matched:
+                        for statement in body_codes:
+                            statement(rt, env)
+        except _BREAK:
+            pass
+        return UNDEFINED
+
+    return run
+
+
+def _body_empty(node: ast.EmptyStatement) -> Code:
+    def run(rt, env):
+        return UNDEFINED
+
+    return run
+
+
+_STMT_BODY_COMPILERS = {
+    ast.VariableDeclaration: _body_variable_declaration,
+    ast.FunctionDeclaration: _body_function_declaration,
+    ast.BlockStatement: _body_block,
+    ast.ExpressionStatement: _body_expression_statement,
+    ast.IfStatement: _body_if,
+    ast.ForStatement: _body_for,
+    ast.ForInStatement: _body_for_in,
+    ast.WhileStatement: _body_while,
+    ast.DoWhileStatement: _body_do_while,
+    ast.ReturnStatement: _body_return,
+    ast.BreakStatement: _body_break,
+    ast.ContinueStatement: _body_continue,
+    ast.ThrowStatement: _body_throw,
+    ast.TryStatement: _body_try,
+    ast.SwitchStatement: _body_switch,
+    ast.EmptyStatement: _body_empty,
+}
+
+
+# ---------------------------------------------------------------------------
+# program / function-body entry points
+# ---------------------------------------------------------------------------
+def ensure_statement_list(owner: ast.Node, statements: List[ast.Node]):
+    """Compile (once) a hoist plan + statement closures for a statement list.
+
+    ``owner`` is the Program or BlockStatement the compiled artifacts are
+    cached on.
+    """
+    cached = getattr(owner, "_body_code", None)
+    if cached is None:
+        plan = build_hoist_plan(statements)
+        codes = [compile_stmt(statement) for statement in statements]
+        cached = (plan, codes)
+        owner._body_code = cached
+    return cached
+
+
+def ensure_program(program: ast.Program):
+    """Compile a whole :class:`Program` (idempotent, cached on the node)."""
+    return ensure_statement_list(program, program.body)

@@ -11,11 +11,67 @@ Keeping the three modes as separate tracers mirrors the staged design of the
 paper (Section 3): lightweight profiling, loop profiling, and dependence
 analysis are attached one at a time to keep instrumentation overhead from
 biasing the measurements.
+
+Event tiers
+-----------
+
+Every event class has a bit in a subscriber *mask* (``EV_*`` constants).  A
+tracer declares the events it needs via :attr:`Tracer.EVENTS`; the bus ORs
+the declarations of all attached tracers into :attr:`HookBus.mask` and pushes
+the result into every bound interpreter (``interp.trace_mask``).  The
+interpreter's compiled code consults that single integer once per construct,
+so a run with zero tracers never builds event arguments or enters the bus at
+all — the "minimal discernible impact" baseline of Sections 3.1/3.2.
 """
 
 from __future__ import annotations
 
 from typing import Any, List, Optional
+
+# -- event mask bits ----------------------------------------------------------
+EV_LOOP = 1 << 0  #: loop enter / iteration / exit
+EV_FUNCTION = 1 << 1  #: guest function enter / exit
+EV_VAR = 1 << 2  #: variable reads and writes
+EV_PROP = 1 << 3  #: property reads and writes
+EV_OBJECT = 1 << 4  #: object / array / function instantiation
+EV_ENV = 1 << 5  #: environment frame creation
+EV_BRANCH = 1 << 6  #: dynamically evaluated predicates
+EV_HOST = 1 << 7  #: DOM / canvas / timer host accesses
+EV_STATEMENT = 1 << 8  #: statement-level sampling
+EV_RECURSION = 1 << 9  #: loop-characterization recursion warnings
+
+EV_ALL = (
+    EV_LOOP
+    | EV_FUNCTION
+    | EV_VAR
+    | EV_PROP
+    | EV_OBJECT
+    | EV_ENV
+    | EV_BRANCH
+    | EV_HOST
+    | EV_STATEMENT
+    | EV_RECURSION
+)
+
+#: hook-method name -> event bit, used to derive a mask for legacy tracers
+#: that override methods without declaring :attr:`Tracer.EVENTS`.
+_METHOD_EVENTS = {
+    "on_loop_enter": EV_LOOP,
+    "on_loop_iteration": EV_LOOP,
+    "on_loop_exit": EV_LOOP,
+    "on_function_enter": EV_FUNCTION,
+    "on_function_exit": EV_FUNCTION,
+    "on_env_created": EV_ENV,
+    "on_var_write": EV_VAR,
+    "on_var_read": EV_VAR,
+    "on_object_created": EV_OBJECT,
+    "on_prop_write": EV_PROP,
+    "on_prop_read": EV_PROP,
+    "on_branch": EV_BRANCH,
+    "on_host_access": EV_HOST,
+    "on_statement": EV_STATEMENT,
+    "on_recursion_warning": EV_RECURSION,
+}
 
 
 class Tracer:
@@ -24,7 +80,29 @@ class Tracer:
     Subclasses override only the events they need.  All callbacks receive the
     interpreter as the first argument so tracers can read the virtual clock or
     the current call stack without holding their own reference.
+
+    Subclasses should declare the event classes they subscribe to in
+    :attr:`EVENTS` (an OR of ``EV_*`` bits) so the bus can compute a minimal
+    dispatch mask.  When ``EVENTS`` is ``None`` the bus falls back to
+    inspecting which hook methods the subclass overrides.
     """
+
+    #: OR of ``EV_*`` bits this tracer needs; ``None`` = derive from overrides.
+    EVENTS: Optional[int] = None
+
+    @classmethod
+    def declared_events(cls) -> int:
+        """The event mask this tracer subscribes to.
+
+        The override-derived mask is always included, so a subclass that
+        inherits an ``EVENTS`` declaration but overrides additional hook
+        methods still receives those events.
+        """
+        mask = cls.EVENTS if cls.EVENTS is not None else 0
+        for method_name, bit in _METHOD_EVENTS.items():
+            if getattr(cls, method_name) is not getattr(Tracer, method_name):
+                mask |= bit
+        return mask
 
     # -- loops ---------------------------------------------------------------
     def on_loop_enter(self, interp: Any, node: Any) -> None:
@@ -80,15 +158,32 @@ class Tracer:
 class HookBus:
     """Dispatches interpreter events to the attached tracers.
 
-    The bus exposes boolean fast-path flags (``wants_*``) so the interpreter
-    can skip building event arguments entirely when no tracer cares about a
-    given event class — this keeps the uninstrumented baseline fast, which is
-    what the "minimal discernible impact" claims in Sections 3.1/3.2 rely on.
+    The bus maintains a per-event subscriber :attr:`mask` (OR of the attached
+    tracers' declared events) plus the boolean ``wants_*`` flags derived from
+    it.  Interpreters :meth:`bind` themselves to the bus so that attaching or
+    detaching a tracer immediately updates their cached ``trace_mask`` — the
+    single integer the compiled execution core consults per construct.
     """
 
     def __init__(self) -> None:
         self.tracers: List[Tracer] = []
+        self.mask = 0
+        #: Weak references to bound interpreters: a bus outliving its
+        #: interpreters (e.g. one bus reused across many sessions) must not
+        #: keep their guest heaps alive.
+        self._bound: List[Any] = []
         self._refresh_flags()
+
+    def bind(self, interp: Any) -> None:
+        """Register an interpreter whose ``trace_mask`` mirrors this bus."""
+        import weakref
+
+        self._bound = [ref for ref in self._bound if ref() is not None and ref() is not interp]
+        self._bound.append(weakref.ref(interp))
+        interp.trace_mask = self.mask
+
+    def unbind(self, interp: Any) -> None:
+        self._bound = [ref for ref in self._bound if ref() is not None and ref() is not interp]
 
     def attach(self, tracer: Tracer) -> Tracer:
         self.tracers.append(tracer)
@@ -104,30 +199,30 @@ class HookBus:
         self.tracers.clear()
         self._refresh_flags()
 
-    def _overrides(self, method_name: str) -> bool:
-        return any(
-            type(tracer).__dict__.get(method_name) is not None
-            or getattr(type(tracer), method_name) is not getattr(Tracer, method_name)
-            for tracer in self.tracers
-        )
-
     def _refresh_flags(self) -> None:
-        self.wants_loops = self._overrides("on_loop_enter") or self._overrides(
-            "on_loop_iteration"
-        ) or self._overrides("on_loop_exit")
-        self.wants_functions = self._overrides("on_function_enter") or self._overrides(
-            "on_function_exit"
-        )
-        self.wants_vars = self._overrides("on_var_write") or self._overrides("on_var_read")
-        self.wants_props = self._overrides("on_prop_write") or self._overrides("on_prop_read")
-        self.wants_objects = self._overrides("on_object_created")
-        self.wants_envs = self._overrides("on_env_created")
-        self.wants_branches = self._overrides("on_branch")
-        self.wants_host = self._overrides("on_host_access")
-        self.wants_statements = self._overrides("on_statement")
+        mask = 0
+        for tracer in self.tracers:
+            mask |= type(tracer).declared_events()
+        self.mask = mask
+        self.wants_loops = bool(mask & EV_LOOP)
+        self.wants_functions = bool(mask & EV_FUNCTION)
+        self.wants_vars = bool(mask & EV_VAR)
+        self.wants_props = bool(mask & EV_PROP)
+        self.wants_objects = bool(mask & EV_OBJECT)
+        self.wants_envs = bool(mask & EV_ENV)
+        self.wants_branches = bool(mask & EV_BRANCH)
+        self.wants_host = bool(mask & EV_HOST)
+        self.wants_statements = bool(mask & EV_STATEMENT)
         self.any_tracer = bool(self.tracers)
+        alive = []
+        for ref in self._bound:
+            interp = ref()
+            if interp is not None:
+                interp.trace_mask = mask
+                alive.append(ref)
+        self._bound = alive
 
-    # -- dispatch helpers (thin wrappers; hot paths check the flags first) ----
+    # -- dispatch helpers (thin wrappers; hot paths check the mask first) ----
     def loop_enter(self, interp, node) -> None:
         for tracer in self.tracers:
             tracer.on_loop_enter(interp, node)

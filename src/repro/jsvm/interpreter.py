@@ -1,11 +1,18 @@
-"""Tree-walking interpreter for the mini-JavaScript language.
+"""Execution core for the mini-JavaScript language.
 
-The interpreter is deliberately a *straightforward* evaluator: its purpose is
-not speed but faithful ES5-style semantics (function-scoped ``var``,
-closures, prototype chains, ``this`` binding) plus a complete set of
+The interpreter provides faithful ES5-style semantics (function-scoped
+``var``, closures, prototype chains, ``this`` binding) plus a complete set of
 instrumentation events (see :mod:`repro.jsvm.hooks`) so that the JS-CERES
 reproduction can observe loops, variable accesses, property accesses and
 object creation exactly as the paper's proxy-instrumented code does.
+
+Execution is *compiled*: the AST is lowered once into a tree of Python
+closures (see :mod:`repro.jsvm.compiler`) — a precompiled node-kind →
+handler table with operators, member keys and child handlers resolved at
+compile time.  Instrumentation dispatch is tiered: the interpreter caches the
+hook bus's subscriber mask in :attr:`Interpreter.trace_mask` and compiled
+code consults that single integer once per construct, so uninstrumented runs
+take an inline fast path with zero event-dispatch cost.
 
 Time is virtual: every interpreted operation advances a
 :class:`~repro.jsvm.clock.VirtualClock`, making all profiling results
@@ -14,21 +21,15 @@ deterministic and platform-independent.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 from . import ast_nodes as ast
 from .builtins import get_number_property, get_string_property, install_builtins
 from .clock import VirtualClock
-from .errors import (
-    InterpreterLimitError,
-    JSReferenceError,
-    JSRuntimeError,
-    JSThrownValue,
-    JSTypeError,
-)
-from .hooks import HookBus
+from .compiler import ReturnSignal, ensure_program, ensure_statement_list, run_hoist_plan
+from .errors import InterpreterLimitError, JSTypeError
+from .hooks import EV_ENV, EV_FUNCTION, EV_HOST, EV_OBJECT, EV_PROP, EV_VAR, HookBus
 from .parser import parse
 from .scope import Environment
 from .values import (
@@ -38,28 +39,8 @@ from .values import (
     JSFunction,
     JSObject,
     NativeFunction,
-    is_callable,
-    loose_equals,
-    strict_equals,
-    to_boolean,
-    to_number,
-    to_property_key,
     to_string,
-    type_of,
 )
-
-
-class _BreakSignal(Exception):
-    pass
-
-
-class _ContinueSignal(Exception):
-    pass
-
-
-class _ReturnSignal(Exception):
-    def __init__(self, value: Any) -> None:
-        self.value = value
 
 
 @dataclass
@@ -112,6 +93,10 @@ class Interpreter:
         import random
 
         self.hooks = hooks if hooks is not None else HookBus()
+        #: Cached copy of ``hooks.mask`` — the per-event subscriber mask the
+        #: compiled code consults; kept in sync by :meth:`HookBus.bind`.
+        self.trace_mask = 0
+        self.hooks.bind(self)
         self.clock = clock if clock is not None else VirtualClock()
         self.rng = random.Random(rng_seed)
         self.max_ops = max_ops
@@ -130,55 +115,15 @@ class Interpreter:
         )
         install_builtins(self)
 
-        self._dispatch = {
-            ast.NumberLiteral: self._eval_number,
-            ast.StringLiteral: self._eval_string,
-            ast.BooleanLiteral: self._eval_boolean,
-            ast.NullLiteral: self._eval_null,
-            ast.UndefinedLiteral: self._eval_undefined,
-            ast.Identifier: self._eval_identifier,
-            ast.ThisExpression: self._eval_this,
-            ast.ArrayLiteral: self._eval_array_literal,
-            ast.ObjectLiteral: self._eval_object_literal,
-            ast.FunctionExpression: self._eval_function_expression,
-            ast.UnaryExpression: self._eval_unary,
-            ast.UpdateExpression: self._eval_update,
-            ast.BinaryExpression: self._eval_binary,
-            ast.LogicalExpression: self._eval_logical,
-            ast.AssignmentExpression: self._eval_assignment,
-            ast.ConditionalExpression: self._eval_conditional,
-            ast.CallExpression: self._eval_call,
-            ast.NewExpression: self._eval_new,
-            ast.MemberExpression: self._eval_member,
-            ast.SequenceExpression: self._eval_sequence,
-        }
-        self._stmt_dispatch = {
-            ast.VariableDeclaration: self._exec_variable_declaration,
-            ast.FunctionDeclaration: self._exec_function_declaration,
-            ast.BlockStatement: self._exec_block,
-            ast.ExpressionStatement: self._exec_expression_statement,
-            ast.IfStatement: self._exec_if,
-            ast.ForStatement: self._exec_for,
-            ast.ForInStatement: self._exec_for_in,
-            ast.WhileStatement: self._exec_while,
-            ast.DoWhileStatement: self._exec_do_while,
-            ast.ReturnStatement: self._exec_return,
-            ast.BreakStatement: self._exec_break,
-            ast.ContinueStatement: self._exec_continue,
-            ast.ThrowStatement: self._exec_throw,
-            ast.TryStatement: self._exec_try,
-            ast.SwitchStatement: self._exec_switch,
-            ast.EmptyStatement: self._exec_empty,
-        }
-
     # ------------------------------------------------------------------ api
     def run(self, program: ast.Program, env: Optional[Environment] = None) -> Any:
         """Execute a parsed :class:`Program`; returns the last statement value."""
         env = env or self.global_env
-        self._hoist(program.body, env)
+        plan, statements = ensure_program(program)
+        run_hoist_plan(plan, self, env)
         result: Any = UNDEFINED
-        for statement in program.body:
-            result = self._exec(statement, env)
+        for statement in statements:
+            result = statement(self, env)
         return result
 
     def run_source(self, source: str, name: str = "<program>") -> Any:
@@ -197,12 +142,12 @@ class Interpreter:
         if isinstance(func, NativeFunction):
             frame = CallFrame(func.name, is_native=True)
             self.call_stack.append(frame)
-            if self.hooks.wants_functions:
+            if self.trace_mask & EV_FUNCTION:
                 self.hooks.function_enter(self, func, call_node)
             try:
                 return func.func(self, this, args)
             finally:
-                if self.hooks.wants_functions:
+                if self.trace_mask & EV_FUNCTION:
                     self.hooks.function_exit(self, func)
                 self.call_stack.pop()
         if not isinstance(func, JSFunction):
@@ -214,28 +159,31 @@ class Interpreter:
             raise InterpreterLimitError("maximum guest call depth exceeded")
 
         env = Environment(parent=func.closure, is_function_scope=True, label=func.name)
-        if self.hooks.wants_envs:
+        if self.trace_mask & EV_ENV:
             self.hooks.env_created(self, env, "function")
         env.declare_let("this", this)
         arguments_array = JSArray(list(args), prototype=self.array_prototype)
         env.declare_let("arguments", arguments_array)
+        bindings = env.bindings
         for index, param in enumerate(func.params):
-            env.bindings[param] = args[index] if index < len(args) else UNDEFINED
+            bindings[param] = args[index] if index < len(args) else UNDEFINED
 
         frame = CallFrame(func.name, call_line=getattr(call_node, "line", 0))
         self.call_stack.append(frame)
         self.stats.calls += 1
-        if self.hooks.wants_functions:
+        if self.trace_mask & EV_FUNCTION:
             self.hooks.function_enter(self, func, call_node)
         try:
-            self._hoist(func.body.body, env)
-            for statement in func.body.body:
-                self._exec(statement, env)
+            body = func.body
+            plan, statements = ensure_statement_list(body, body.body)
+            run_hoist_plan(plan, self, env)
+            for statement in statements:
+                statement(self, env)
             return UNDEFINED
-        except _ReturnSignal as signal:
+        except ReturnSignal as signal:
             return signal.value
         finally:
-            if self.hooks.wants_functions:
+            if self.trace_mask & EV_FUNCTION:
                 self.hooks.function_exit(self, func)
             self.call_stack.pop()
 
@@ -243,7 +191,7 @@ class Interpreter:
     def make_object(self, creation_site: int = -1, node: Optional[ast.Node] = None) -> JSObject:
         obj = JSObject(prototype=self.object_prototype, creation_site=creation_site)
         self.stats.objects_created += 1
-        if self.hooks.wants_objects:
+        if self.trace_mask & EV_OBJECT:
             self.hooks.object_created(self, obj, node)
         return obj
 
@@ -252,7 +200,7 @@ class Interpreter:
     ) -> JSArray:
         arr = JSArray(elements or [], prototype=self.array_prototype, creation_site=creation_site)
         self.stats.objects_created += 1
-        if self.hooks.wants_objects:
+        if self.trace_mask & EV_OBJECT:
             self.hooks.object_created(self, arr, node)
         return arr
 
@@ -272,13 +220,13 @@ class Interpreter:
         proto.set("constructor", func)
         func.set("prototype", proto)
         self.stats.objects_created += 1
-        if self.hooks.wants_objects:
+        if self.trace_mask & EV_OBJECT:
             self.hooks.object_created(self, func, node)
         return func
 
     def notify_host_access(self, category: str, detail: str = "", node: Optional[ast.Node] = None) -> None:
         """Called by browser shims when guest code touches host subsystems."""
-        if self.hooks.wants_host:
+        if self.trace_mask & EV_HOST:
             self.hooks.host_access(self, category, detail, node)
 
     def current_function_name(self) -> str:
@@ -288,580 +236,28 @@ class Interpreter:
         """Names of functions currently on the guest call stack (outermost first)."""
         return [frame.function_name for frame in self.call_stack]
 
-    # --------------------------------------------------------------- hoisting
-    def _hoist(self, statements: List[ast.Node], env: Environment) -> None:
-        """Hoist ``var`` and function declarations to the enclosing function scope."""
-        for statement in statements:
-            self._hoist_statement(statement, env)
-
-    def _hoist_statement(self, node: Optional[ast.Node], env: Environment) -> None:
-        if node is None:
-            return
-        if isinstance(node, ast.VariableDeclaration):
-            if node.kind_keyword == "var":
-                for declarator in node.declarations:
-                    env.declare_var(declarator.name, UNDEFINED)
-        elif isinstance(node, ast.FunctionDeclaration):
-            func = self.make_function(node.name, node.params, node.body, env, node)
-            env.declare_var(node.name, func)
-        elif isinstance(node, ast.BlockStatement):
-            self._hoist(node.body, env)
-        elif isinstance(node, ast.IfStatement):
-            self._hoist_statement(node.consequent, env)
-            self._hoist_statement(node.alternate, env)
-        elif isinstance(node, ast.ForStatement):
-            self._hoist_statement(node.init, env)
-            self._hoist_statement(node.body, env)
-        elif isinstance(node, ast.ForInStatement):
-            if node.declaration_kind == "var":
-                env.declare_var(node.target_name, UNDEFINED)
-            self._hoist_statement(node.body, env)
-        elif isinstance(node, (ast.WhileStatement, ast.DoWhileStatement)):
-            self._hoist_statement(node.body, env)
-        elif isinstance(node, ast.TryStatement):
-            self._hoist_statement(node.block, env)
-            if node.handler is not None:
-                self._hoist_statement(node.handler.body, env)
-            self._hoist_statement(node.finalizer, env)
-        elif isinstance(node, ast.SwitchStatement):
-            for case in node.cases:
-                self._hoist(case.body, env)
-        elif isinstance(node, ast.ExpressionStatement):
-            pass
-
     # --------------------------------------------------------------- executing
     def _charge(self, cost: int = 1) -> None:
-        self.stats.ops += cost
-        if self.stats.ops > self.max_ops:
+        stats = self.stats
+        stats.ops += cost
+        if stats.ops > self.max_ops:
             raise InterpreterLimitError("maximum operation count exceeded")
-        self.clock.tick_op(cost)
+        # Inline of VirtualClock.tick_op: this runs once per interpreted
+        # operation, so the extra call frame is worth avoiding.
+        clock = self.clock
+        clock._now_ms += clock.ms_per_op * cost
+        if clock._listeners:
+            now = clock._now_ms
+            for listener in clock._listeners:
+                listener(now)
 
-    def _exec(self, node: ast.Node, env: Environment) -> Any:
-        self._charge()
-        self.stats.statements += 1
-        if self.hooks.wants_statements:
-            self.hooks.statement(self, node)
-        handler = self._stmt_dispatch.get(type(node))
-        if handler is None:
-            # Expressions can appear directly in statement lists (rare).
-            return self._eval(node, env)
-        return handler(node, env)
-
-    def _exec_variable_declaration(self, node: ast.VariableDeclaration, env: Environment) -> Any:
-        for declarator in node.declarations:
-            value = UNDEFINED if declarator.init is None else self._eval(declarator.init, env)
-            if node.kind_keyword == "var":
-                env.declare_var(declarator.name, value if declarator.init is not None else UNDEFINED)
-                target_env = env.nearest_function_scope()
-            else:
-                env.declare_let(declarator.name, value, constant=node.kind_keyword == "const")
-                target_env = env
-            if self.hooks.wants_vars and declarator.init is not None:
-                self.hooks.var_write(self, declarator.name, target_env, value, declarator)
-        return UNDEFINED
-
-    def _exec_function_declaration(self, node: ast.FunctionDeclaration, env: Environment) -> Any:
-        # Already handled during hoisting; re-declaring keeps later definitions
-        # authoritative when the same name is declared twice.
-        if not env.has(node.name):
-            func = self.make_function(node.name, node.params, node.body, env, node)
-            env.declare_var(node.name, func)
-        return UNDEFINED
-
-    def _exec_block(self, node: ast.BlockStatement, env: Environment) -> Any:
-        block_env = Environment(parent=env, is_function_scope=False, label="block")
-        if self.hooks.wants_envs:
-            self.hooks.env_created(self, block_env, "block")
-        result: Any = UNDEFINED
-        for statement in node.body:
-            result = self._exec(statement, block_env)
-        return result
-
-    def _exec_expression_statement(self, node: ast.ExpressionStatement, env: Environment) -> Any:
-        return self._eval(node.expression, env)
-
-    def _exec_if(self, node: ast.IfStatement, env: Environment) -> Any:
-        taken = to_boolean(self._eval(node.test, env))
-        if self.hooks.wants_branches:
-            self.hooks.branch(self, node, taken)
-        if taken:
-            return self._exec(node.consequent, env)
-        if node.alternate is not None:
-            return self._exec(node.alternate, env)
-        return UNDEFINED
-
-    def _run_loop_body(self, body: ast.Node, env: Environment) -> bool:
-        """Execute a loop body; returns False if the loop should break."""
-        try:
-            self._exec(body, env)
-        except _ContinueSignal:
-            return True
-        except _BreakSignal:
-            return False
-        return True
-
-    def _exec_for(self, node: ast.ForStatement, env: Environment) -> Any:
-        loop_env = Environment(parent=env, is_function_scope=False, label="for")
-        if self.hooks.wants_envs:
-            self.hooks.env_created(self, loop_env, "block")
-        if node.init is not None:
-            self._exec(node.init, loop_env)
-        wants_loops = self.hooks.wants_loops
-        if wants_loops:
-            self.hooks.loop_enter(self, node)
-        trip = 0
-        try:
-            while True:
-                if node.test is not None and not to_boolean(self._eval(node.test, loop_env)):
-                    break
-                if wants_loops:
-                    self.hooks.loop_iteration(self, node, trip)
-                trip += 1
-                self.stats.loop_iterations += 1
-                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="for-iter")
-                if self.hooks.wants_envs:
-                    self.hooks.env_created(self, iteration_env, "block")
-                if not self._run_loop_body(node.body, iteration_env):
-                    break
-                if node.update is not None:
-                    self._eval(node.update, loop_env)
-        finally:
-            if wants_loops:
-                self.hooks.loop_exit(self, node, trip)
-        return UNDEFINED
-
-    def _exec_for_in(self, node: ast.ForInStatement, env: Environment) -> Any:
-        iterable = self._eval(node.iterable, env)
-        if node.of_loop:
-            if isinstance(iterable, JSArray):
-                keys: List[Any] = list(iterable.elements)
-            elif isinstance(iterable, str):
-                keys = list(iterable)
-            else:
-                raise JSTypeError("for...of target is not iterable", node.line)
-        else:
-            if isinstance(iterable, JSArray):
-                keys = [float(i) if False else str(i) for i in range(len(iterable.elements))]
-            elif isinstance(iterable, JSObject):
-                keys = iterable.own_keys()
-            elif isinstance(iterable, str):
-                keys = [str(i) for i in range(len(iterable))]
-            else:
-                keys = []
-
-        loop_env = Environment(parent=env, is_function_scope=False, label="for-in")
-        if self.hooks.wants_envs:
-            self.hooks.env_created(self, loop_env, "block")
-        if node.declaration_kind == "var":
-            loop_env.declare_var(node.target_name, UNDEFINED)
-        elif node.declaration_kind in ("let", "const"):
-            loop_env.declare_let(node.target_name, UNDEFINED)
-
-        wants_loops = self.hooks.wants_loops
-        if wants_loops:
-            self.hooks.loop_enter(self, node)
-        trip = 0
-        try:
-            for key in keys:
-                if wants_loops:
-                    self.hooks.loop_iteration(self, node, trip)
-                trip += 1
-                self.stats.loop_iterations += 1
-                self._set_variable(node.target_name, key, loop_env, node)
-                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="forin-iter")
-                if self.hooks.wants_envs:
-                    self.hooks.env_created(self, iteration_env, "block")
-                if not self._run_loop_body(node.body, iteration_env):
-                    break
-        finally:
-            if wants_loops:
-                self.hooks.loop_exit(self, node, trip)
-        return UNDEFINED
-
-    def _exec_while(self, node: ast.WhileStatement, env: Environment) -> Any:
-        wants_loops = self.hooks.wants_loops
-        if wants_loops:
-            self.hooks.loop_enter(self, node)
-        trip = 0
-        try:
-            while to_boolean(self._eval(node.test, env)):
-                if wants_loops:
-                    self.hooks.loop_iteration(self, node, trip)
-                trip += 1
-                self.stats.loop_iterations += 1
-                iteration_env = Environment(parent=env, is_function_scope=False, label="while-iter")
-                if self.hooks.wants_envs:
-                    self.hooks.env_created(self, iteration_env, "block")
-                if not self._run_loop_body(node.body, iteration_env):
-                    break
-        finally:
-            if wants_loops:
-                self.hooks.loop_exit(self, node, trip)
-        return UNDEFINED
-
-    def _exec_do_while(self, node: ast.DoWhileStatement, env: Environment) -> Any:
-        wants_loops = self.hooks.wants_loops
-        if wants_loops:
-            self.hooks.loop_enter(self, node)
-        trip = 0
-        try:
-            while True:
-                if wants_loops:
-                    self.hooks.loop_iteration(self, node, trip)
-                trip += 1
-                self.stats.loop_iterations += 1
-                iteration_env = Environment(parent=env, is_function_scope=False, label="do-iter")
-                if self.hooks.wants_envs:
-                    self.hooks.env_created(self, iteration_env, "block")
-                if not self._run_loop_body(node.body, iteration_env):
-                    break
-                if not to_boolean(self._eval(node.test, env)):
-                    break
-        finally:
-            if wants_loops:
-                self.hooks.loop_exit(self, node, trip)
-        return UNDEFINED
-
-    def _exec_return(self, node: ast.ReturnStatement, env: Environment) -> Any:
-        value = UNDEFINED if node.argument is None else self._eval(node.argument, env)
-        raise _ReturnSignal(value)
-
-    def _exec_break(self, node: ast.BreakStatement, env: Environment) -> Any:
-        raise _BreakSignal()
-
-    def _exec_continue(self, node: ast.ContinueStatement, env: Environment) -> Any:
-        raise _ContinueSignal()
-
-    def _exec_throw(self, node: ast.ThrowStatement, env: Environment) -> Any:
-        value = self._eval(node.argument, env)
-        raise JSThrownValue(value, node.line)
-
-    def _exec_try(self, node: ast.TryStatement, env: Environment) -> Any:
-        try:
-            self._exec(node.block, env)
-        except JSThrownValue as thrown:
-            if node.handler is not None:
-                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
-                if self.hooks.wants_envs:
-                    self.hooks.env_created(self, handler_env, "block")
-                if node.handler.param:
-                    handler_env.declare_let(node.handler.param, thrown.value)
-                self._exec(node.handler.body, handler_env)
-            elif node.finalizer is None:
-                raise
-            else:
-                self._exec(node.finalizer, env)
-                raise
-        except (JSRuntimeError,) as error:
-            if node.handler is not None:
-                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
-                if node.handler.param:
-                    error_obj = self.make_object()
-                    error_obj.set("message", error.raw_message)
-                    error_obj.set("name", type(error).__name__)
-                    handler_env.declare_let(node.handler.param, error_obj)
-                self._exec(node.handler.body, handler_env)
-            else:
-                raise
-        finally:
-            if node.finalizer is not None:
-                self._exec(node.finalizer, env)
-        return UNDEFINED
-
-    def _exec_switch(self, node: ast.SwitchStatement, env: Environment) -> Any:
-        value = self._eval(node.discriminant, env)
-        matched = False
-        try:
-            for case in node.cases:
-                if not matched and case.test is not None:
-                    if strict_equals(value, self._eval(case.test, env)):
-                        matched = True
-                        if self.hooks.wants_branches:
-                            self.hooks.branch(self, case, True)
-                if matched:
-                    for statement in case.body:
-                        self._exec(statement, env)
-            if not matched:
-                for case in node.cases:
-                    if case.test is None:
-                        matched = True
-                    if matched:
-                        for statement in case.body:
-                            self._exec(statement, env)
-        except _BreakSignal:
-            pass
-        return UNDEFINED
-
-    def _exec_empty(self, node: ast.EmptyStatement, env: Environment) -> Any:
-        return UNDEFINED
-
-    # --------------------------------------------------------------- evaluating
-    def _eval(self, node: ast.Node, env: Environment) -> Any:
-        self._charge()
-        handler = self._dispatch.get(type(node))
-        if handler is None:
-            # Statement node used in expression position (e.g. for-init decl).
-            stmt_handler = self._stmt_dispatch.get(type(node))
-            if stmt_handler is not None:
-                return stmt_handler(node, env)
-            raise JSRuntimeError(f"cannot evaluate node {node.kind}", node.line)
-        return handler(node, env)
-
-    def _eval_number(self, node: ast.NumberLiteral, env: Environment) -> Any:
-        return node.value
-
-    def _eval_string(self, node: ast.StringLiteral, env: Environment) -> Any:
-        return node.value
-
-    def _eval_boolean(self, node: ast.BooleanLiteral, env: Environment) -> Any:
-        return node.value
-
-    def _eval_null(self, node: ast.NullLiteral, env: Environment) -> Any:
-        return NULL
-
-    def _eval_undefined(self, node: ast.UndefinedLiteral, env: Environment) -> Any:
-        return UNDEFINED
-
-    def _eval_identifier(self, node: ast.Identifier, env: Environment) -> Any:
-        holder = env.lookup_env(node.name)
-        if holder is None:
-            raise JSReferenceError(f"{node.name} is not defined", node.line)
-        if self.hooks.wants_vars:
-            self.hooks.var_read(self, node.name, holder, node)
-        return holder.bindings[node.name]
-
-    def _eval_this(self, node: ast.ThisExpression, env: Environment) -> Any:
-        holder = env.lookup_env("this")
-        return holder.bindings["this"] if holder is not None else UNDEFINED
-
-    def _eval_array_literal(self, node: ast.ArrayLiteral, env: Environment) -> Any:
-        elements = [self._eval(element, env) for element in node.elements]
-        return self.make_array(elements, creation_site=node.node_id, node=node)
-
-    def _eval_object_literal(self, node: ast.ObjectLiteral, env: Environment) -> Any:
-        obj = self.make_object(creation_site=node.node_id, node=node)
-        for prop in node.properties:
-            obj.set(prop.key, self._eval(prop.value, env))
-        return obj
-
-    def _eval_function_expression(self, node: ast.FunctionExpression, env: Environment) -> Any:
-        func = self.make_function(node.name or "<anonymous>", node.params, node.body, env, node)
-        if node.name:
-            # Named function expressions can refer to themselves.
-            func.closure = Environment(parent=env, is_function_scope=False, label="fnexpr")
-            func.closure.declare_let(node.name, func)
-        return func
-
-    def _eval_unary(self, node: ast.UnaryExpression, env: Environment) -> Any:
-        operator = node.operator
-        if operator == "typeof":
-            if isinstance(node.operand, ast.Identifier) and not env.has(node.operand.name):
-                return "undefined"
-            return type_of(self._eval(node.operand, env))
-        if operator == "delete":
-            if isinstance(node.operand, ast.MemberExpression):
-                obj = self._eval(node.operand.object, env)
-                key = self._member_key(node.operand, env)
-                if isinstance(obj, JSObject):
-                    return obj.delete(key)
-            return True
-        value = self._eval(node.operand, env)
-        if operator == "!":
-            return not to_boolean(value)
-        if operator == "-":
-            return -to_number(value)
-        if operator == "+":
-            return to_number(value)
-        if operator == "~":
-            return float(~_to_int32(to_number(value)))
-        if operator == "void":
-            return UNDEFINED
-        raise JSRuntimeError(f"unsupported unary operator {operator!r}", node.line)
-
-    def _eval_update(self, node: ast.UpdateExpression, env: Environment) -> Any:
-        delta = 1.0 if node.operator == "++" else -1.0
-        target = node.target
-        if isinstance(target, ast.Identifier):
-            old = to_number(self._eval_identifier(target, env))
-            new = old + delta
-            self._set_variable(target.name, new, env, node)
-            return new if node.prefix else old
-        if isinstance(target, ast.MemberExpression):
-            obj = self._eval(target.object, env)
-            key = self._member_key(target, env)
-            old = to_number(self._get_property(obj, key, target))
-            new = old + delta
-            self._set_property(obj, key, new, target)
-            return new if node.prefix else old
-        raise JSRuntimeError("invalid update target", node.line)
-
-    def _eval_binary(self, node: ast.BinaryExpression, env: Environment) -> Any:
-        operator = node.operator
-        left = self._eval(node.left, env)
-        right = self._eval(node.right, env)
-        return self._apply_binary(operator, left, right, node)
-
-    def _apply_binary(self, operator: str, left: Any, right: Any, node: ast.Node) -> Any:
-        if operator == "+":
-            if isinstance(left, str) or isinstance(right, str):
-                return to_string(left) + to_string(right)
-            if isinstance(left, (JSObject,)) or isinstance(right, (JSObject,)):
-                return to_string(left) + to_string(right)
-            return to_number(left) + to_number(right)
-        if operator == "-":
-            return to_number(left) - to_number(right)
-        if operator == "*":
-            return to_number(left) * to_number(right)
-        if operator == "/":
-            denominator = to_number(right)
-            numerator = to_number(left)
-            if denominator == 0.0:
-                if numerator == 0.0 or math.isnan(numerator):
-                    return float("nan")
-                return math.inf if numerator > 0 else -math.inf
-            return numerator / denominator
-        if operator == "%":
-            denominator = to_number(right)
-            numerator = to_number(left)
-            if denominator == 0.0 or math.isnan(denominator) or math.isnan(numerator):
-                return float("nan")
-            return math.fmod(numerator, denominator)
-        if operator in ("<", ">", "<=", ">="):
-            if isinstance(left, str) and isinstance(right, str):
-                if operator == "<":
-                    return left < right
-                if operator == ">":
-                    return left > right
-                if operator == "<=":
-                    return left <= right
-                return left >= right
-            a, b = to_number(left), to_number(right)
-            if math.isnan(a) or math.isnan(b):
-                return False
-            if operator == "<":
-                return a < b
-            if operator == ">":
-                return a > b
-            if operator == "<=":
-                return a <= b
-            return a >= b
-        if operator == "===":
-            return strict_equals(left, right)
-        if operator == "!==":
-            return not strict_equals(left, right)
-        if operator == "==":
-            return loose_equals(left, right)
-        if operator == "!=":
-            return not loose_equals(left, right)
-        if operator == "&":
-            return float(_to_int32(to_number(left)) & _to_int32(to_number(right)))
-        if operator == "|":
-            return float(_to_int32(to_number(left)) | _to_int32(to_number(right)))
-        if operator == "^":
-            return float(_to_int32(to_number(left)) ^ _to_int32(to_number(right)))
-        if operator == "<<":
-            return float(_to_int32(_to_int32(to_number(left)) << (_to_uint32(to_number(right)) & 31)))
-        if operator == ">>":
-            return float(_to_int32(to_number(left)) >> (_to_uint32(to_number(right)) & 31))
-        if operator == ">>>":
-            return float(_to_uint32(to_number(left)) >> (_to_uint32(to_number(right)) & 31))
-        if operator == "instanceof":
-            if not is_callable(right):
-                raise JSTypeError("right-hand side of instanceof is not callable", node.line)
-            proto = right.get("prototype")
-            current = left.prototype if isinstance(left, JSObject) else None
-            while current is not None:
-                if current is proto:
-                    return True
-                current = current.prototype
-            return False
-        if operator == "in":
-            if isinstance(right, JSObject):
-                return right.has(to_property_key(left))
-            raise JSTypeError("'in' applied to a non-object", node.line)
-        raise JSRuntimeError(f"unsupported binary operator {operator!r}", node.line)
-
-    def _eval_logical(self, node: ast.LogicalExpression, env: Environment) -> Any:
-        left = self._eval(node.left, env)
-        if node.operator == "&&":
-            if not to_boolean(left):
-                if self.hooks.wants_branches:
-                    self.hooks.branch(self, node, False)
-                return left
-            if self.hooks.wants_branches:
-                self.hooks.branch(self, node, True)
-            return self._eval(node.right, env)
-        if node.operator == "||":
-            if to_boolean(left):
-                if self.hooks.wants_branches:
-                    self.hooks.branch(self, node, True)
-                return left
-            if self.hooks.wants_branches:
-                self.hooks.branch(self, node, False)
-            return self._eval(node.right, env)
-        raise JSRuntimeError(f"unsupported logical operator {node.operator!r}", node.line)
-
-    def _eval_assignment(self, node: ast.AssignmentExpression, env: Environment) -> Any:
-        operator = node.operator
-        target = node.target
-        if operator == "=":
-            value = self._eval(node.value, env)
-        else:
-            # Compound assignment: read-modify-write.
-            binary_operator = operator[:-1]
-            if isinstance(target, ast.Identifier):
-                current = self._eval_identifier(target, env)
-            else:
-                obj = self._eval(target.object, env)
-                key = self._member_key(target, env)
-                current = self._get_property(obj, key, target)
-            value = self._apply_binary(binary_operator, current, self._eval(node.value, env), node)
-
-        if isinstance(target, ast.Identifier):
-            self._set_variable(target.name, value, env, node)
-            return value
-        if isinstance(target, ast.MemberExpression):
-            obj = self._eval(target.object, env)
-            key = self._member_key(target, env)
-            self._set_property(obj, key, value, target)
-            return value
-        raise JSRuntimeError("invalid assignment target", node.line)
-
-    def _eval_conditional(self, node: ast.ConditionalExpression, env: Environment) -> Any:
-        taken = to_boolean(self._eval(node.test, env))
-        if self.hooks.wants_branches:
-            self.hooks.branch(self, node, taken)
-        return self._eval(node.consequent if taken else node.alternate, env)
-
-    def _eval_sequence(self, node: ast.SequenceExpression, env: Environment) -> Any:
-        result: Any = UNDEFINED
-        for expression in node.expressions:
-            result = self._eval(expression, env)
-        return result
-
-    def _eval_call(self, node: ast.CallExpression, env: Environment) -> Any:
-        callee = node.callee
-        this: Any = UNDEFINED
-        if isinstance(callee, ast.MemberExpression):
-            this = self._eval(callee.object, env)
-            key = self._member_key(callee, env)
-            func = self._get_property(this, key, callee)
-        else:
-            func = self._eval(callee, env)
-        args = [self._eval(argument, env) for argument in node.arguments]
-        if not is_callable(func):
-            name = callee.name if isinstance(callee, ast.Identifier) else to_string(func)
-            raise JSTypeError(f"{name} is not a function", node.line)
-        return self.call_function(func, this, args, call_node=node)
-
-    def _eval_new(self, node: ast.NewExpression, env: Environment) -> Any:
-        constructor = self._eval(node.callee, env)
-        args = [self._eval(argument, env) for argument in node.arguments]
+    def _construct(self, constructor: Any, args: List[Any], node: ast.NewExpression) -> Any:
+        """``new`` semantics once callee and arguments are evaluated."""
         if isinstance(constructor, NativeFunction):
             result = constructor.func(self, UNDEFINED, args)
             if isinstance(result, JSObject):
                 result.creation_site = node.node_id
-                if self.hooks.wants_objects:
+                if self.trace_mask & EV_OBJECT:
                     self.hooks.object_created(self, result, node)
             return result
         if not isinstance(constructor, JSFunction):
@@ -871,30 +267,24 @@ class Interpreter:
             prototype = self.object_prototype
         instance = JSObject(prototype=prototype, class_name=constructor.name, creation_site=node.node_id)
         self.stats.objects_created += 1
-        if self.hooks.wants_objects:
+        if self.trace_mask & EV_OBJECT:
             self.hooks.object_created(self, instance, node)
         result = self.call_function(constructor, instance, args, call_node=node)
         return result if isinstance(result, JSObject) else instance
 
-    def _eval_member(self, node: ast.MemberExpression, env: Environment) -> Any:
-        obj = self._eval(node.object, env)
-        key = self._member_key(node, env)
-        return self._get_property(obj, key, node)
-
-    def _member_key(self, node: ast.MemberExpression, env: Environment) -> str:
-        if node.computed:
-            return to_property_key(self._eval(node.property, env))
-        return node.property.value  # StringLiteral synthesized by the parser
-
     # ------------------------------------------------------- variable access
     def _set_variable(self, name: str, value: Any, env: Environment, node: ast.Node) -> None:
         holder = env.set(name, value)
-        if self.hooks.wants_vars:
+        if self.trace_mask & EV_VAR:
             self.hooks.var_write(self, name, holder, value, node)
 
     # ------------------------------------------------------- property access
     def _get_property(self, obj: Any, key: str, node: ast.Node) -> Any:
         self.stats.property_reads += 1
+        if isinstance(obj, JSObject):
+            if self.trace_mask & EV_PROP:
+                self.hooks.prop_read(self, obj, key, node)
+            return obj.get(key)
         if isinstance(obj, str):
             return get_string_property(self, obj, key)
         if isinstance(obj, (int, float)) and not isinstance(obj, bool):
@@ -903,10 +293,6 @@ class Interpreter:
             raise JSTypeError(
                 f"cannot read property {key!r} of {to_string(obj)}", getattr(node, "line", 0)
             )
-        if isinstance(obj, JSObject):
-            if self.hooks.wants_props:
-                self.hooks.prop_read(self, obj, key, node)
-            return obj.get(key)
         return UNDEFINED
 
     def _set_property(self, obj: Any, key: str, value: Any, node: ast.Node) -> None:
@@ -917,21 +303,6 @@ class Interpreter:
             )
         if not isinstance(obj, JSObject):
             return  # Writes to primitive wrappers are silently dropped, as in JS.
-        if self.hooks.wants_props:
+        if self.trace_mask & EV_PROP:
             self.hooks.prop_write(self, obj, key, value, node)
         obj.set(key, value)
-
-
-def _to_int32(number: float) -> int:
-    if math.isnan(number) or math.isinf(number):
-        return 0
-    value = int(number) & 0xFFFFFFFF
-    if value >= 0x80000000:
-        value -= 0x100000000
-    return value
-
-
-def _to_uint32(number: float) -> int:
-    if math.isnan(number) or math.isinf(number):
-        return 0
-    return int(number) & 0xFFFFFFFF

@@ -35,8 +35,23 @@ class ParallelOutcome:
 
     @property
     def speedup(self) -> float:
+        """Serial time divided by modelled parallel time.
+
+        Convention: a nest with no measured work (``serial_ms <= 0`` —
+        empty or never-entered loops) has speedup 1.0 by definition, and is
+        the only case where ``parallel_ms <= 0`` is legal (the model clamps
+        every real execution to a strictly positive time).  A non-positive
+        ``parallel_ms`` paired with real serial work means the outcome was
+        constructed inconsistently, which is an error rather than a silent
+        1.0.
+        """
         if self.parallel_ms <= 0:
-            return 1.0
+            if self.serial_ms <= 0:
+                return 1.0
+            raise ValueError(
+                f"inconsistent ParallelOutcome for {self.nest_label!r}: "
+                f"parallel_ms={self.parallel_ms!r} with serial_ms={self.serial_ms!r}"
+            )
         return self.serial_ms / self.parallel_ms
 
 

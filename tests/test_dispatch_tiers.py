@@ -1,0 +1,232 @@
+"""Tests for the tiered hook dispatch and the compiled execution core.
+
+The contract of the refactor: instrumentation is *observationally free* on
+the virtual clock — an uninstrumented run and a fully-instrumented run of
+the same program produce identical guest results and identical interpreter
+stats — and the dispatch mask faithfully reflects what the attached tracers
+declared.
+"""
+
+import pytest
+
+from repro.ceres import DependenceAnalyzer, LightweightProfiler, LoopProfiler
+from repro.jsvm import hooks as hooks_mod
+from repro.jsvm.hooks import (
+    EV_ALL,
+    EV_BRANCH,
+    EV_ENV,
+    EV_FUNCTION,
+    EV_LOOP,
+    EV_OBJECT,
+    EV_PROP,
+    EV_STATEMENT,
+    EV_VAR,
+    HookBus,
+    Tracer,
+)
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.parser import parse
+
+PROGRAM = """
+function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+var cells = [];
+for (var i = 0; i < 12; i++) {
+  var row = {index: i, value: fib(i % 8)};
+  cells.push(row);
+}
+var total = 0;
+var k = 0;
+while (k < cells.length) {
+  total += cells[k].value;
+  cells[k].seen = true;
+  for (var j in cells[k]) { var unused = cells[k][j]; }
+  k++;
+}
+total;
+"""
+
+
+class EverythingTracer(Tracer):
+    """Subscribes to every event and counts each callback invocation."""
+
+    EVENTS = EV_ALL
+
+    def __init__(self):
+        self.counts = {}
+
+    def _bump(self, key):
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def on_loop_enter(self, interp, node):
+        self._bump("loop_enter")
+
+    def on_loop_iteration(self, interp, node, iteration):
+        self._bump("loop_iteration")
+
+    def on_loop_exit(self, interp, node, trip_count):
+        self._bump("loop_exit")
+
+    def on_function_enter(self, interp, func, call_node):
+        self._bump("function_enter")
+
+    def on_function_exit(self, interp, func):
+        self._bump("function_exit")
+
+    def on_env_created(self, interp, env, kind):
+        self._bump("env_created")
+
+    def on_var_write(self, interp, name, env, value, node):
+        self._bump("var_write")
+
+    def on_var_read(self, interp, name, env, node):
+        self._bump("var_read")
+
+    def on_object_created(self, interp, obj, node):
+        self._bump("object_created")
+
+    def on_prop_write(self, interp, obj, name, value, node):
+        self._bump("prop_write")
+
+    def on_prop_read(self, interp, obj, name, node):
+        self._bump("prop_read")
+
+    def on_branch(self, interp, node, taken):
+        self._bump("branch")
+
+    def on_statement(self, interp, node):
+        self._bump("statement")
+
+
+def run_once(tracers):
+    hooks = HookBus()
+    for tracer in tracers:
+        hooks.attach(tracer)
+    interp = Interpreter(hooks=hooks)
+    result = interp.run_source(PROGRAM)
+    return interp, result
+
+
+class TestDispatchTiers:
+    def test_uninstrumented_and_instrumented_runs_agree(self):
+        bare_interp, bare_result = run_once([])
+        tracer = EverythingTracer()
+        full_interp, full_result = run_once([tracer])
+
+        # Identical guest results...
+        assert full_result == bare_result
+        # ... identical interpreter stats ...
+        assert full_interp.stats == bare_interp.stats
+        # ... and an identical virtual clock: instrumentation charges nothing.
+        assert full_interp.clock.now() == pytest.approx(bare_interp.clock.now())
+        # The instrumented run really did observe events of every major class.
+        for key in (
+            "loop_enter",
+            "loop_iteration",
+            "loop_exit",
+            "function_enter",
+            "var_read",
+            "var_write",
+            "object_created",
+            "prop_read",
+            "prop_write",
+            "branch",
+            "statement",
+            "env_created",
+        ):
+            assert tracer.counts.get(key, 0) > 0, key
+
+    def test_each_ceres_mode_matches_uninstrumented_clock(self):
+        _bare_interp, bare_result = run_once([])
+        bare_clock = _bare_interp.clock.now()
+        for tracer in (LightweightProfiler(), LoopProfiler(), DependenceAnalyzer()):
+            interp, result = run_once([tracer])
+            assert result == bare_result
+            assert interp.clock.now() == pytest.approx(bare_clock)
+            assert interp.stats == _bare_interp.stats
+
+    def test_compiled_programs_are_shared_across_interpreters(self):
+        program = parse(PROGRAM)
+        first = Interpreter()
+        second = Interpreter()
+        assert first.run(program) == second.run(program)
+        # Compilation happened once: the cached closures live on the AST.
+        assert getattr(program, "_body_code", None) is not None
+
+
+class TestSubscriberMask:
+    def test_empty_bus_has_zero_mask(self):
+        assert HookBus().mask == 0
+
+    def test_mask_reflects_declared_events(self):
+        bus = HookBus()
+        bus.attach(LightweightProfiler())
+        assert bus.mask == EV_LOOP
+        assert bus.wants_loops and not bus.wants_vars and not bus.wants_props
+
+    def test_ceres_modes_declare_minimal_masks(self):
+        assert LightweightProfiler.declared_events() == EV_LOOP
+        assert LoopProfiler.declared_events() == EV_LOOP
+        assert DependenceAnalyzer.declared_events() == (
+            EV_LOOP | EV_OBJECT | EV_ENV | EV_VAR | EV_PROP
+        )
+
+    def test_legacy_tracer_mask_derived_from_overrides(self):
+        class Legacy(Tracer):
+            def on_var_read(self, interp, name, env, node):
+                pass
+
+            def on_branch(self, interp, node, taken):
+                pass
+
+        assert Legacy.declared_events() == EV_VAR | EV_BRANCH
+        bus = HookBus()
+        bus.attach(Legacy())
+        assert bus.mask == EV_VAR | EV_BRANCH
+
+    def test_detach_restores_fast_path(self):
+        bus = HookBus()
+        interp = Interpreter(hooks=bus)
+        assert interp.trace_mask == 0
+        profiler = bus.attach(LoopProfiler())
+        assert interp.trace_mask == EV_LOOP
+        bus.detach(profiler)
+        assert interp.trace_mask == 0
+
+    def test_masks_of_multiple_tracers_are_ored(self):
+        bus = HookBus()
+        bus.attach(LightweightProfiler())
+        bus.attach(DependenceAnalyzer())
+        assert bus.mask == EV_LOOP | EV_OBJECT | EV_ENV | EV_VAR | EV_PROP
+
+    def test_subclass_overrides_extend_inherited_event_declaration(self):
+        class ExtendedProfiler(LoopProfiler):
+            def on_var_read(self, interp, name, env, node):
+                pass
+
+        assert ExtendedProfiler.declared_events() == EV_LOOP | EV_VAR
+
+    def test_bus_does_not_keep_dead_interpreters_alive(self):
+        import gc
+        import weakref
+
+        bus = HookBus()
+        interp = Interpreter(hooks=bus)
+        ref = weakref.ref(interp)
+        del interp
+        gc.collect()
+        assert ref() is None
+        # Refreshing the mask after the interpreter died must not fail.
+        bus.attach(LoopProfiler())
+        assert bus.mask == EV_LOOP
+
+
+class TestTryFinallySemantics:
+    def test_finalizer_runs_once_when_throw_escapes(self):
+        interp = Interpreter()
+        with pytest.raises(Exception):
+            interp.run_source(
+                "var count = 0;"
+                "function f() { try { throw 'boom'; } finally { count++; } }"
+                "f();"
+            )
+        assert interp.global_env.get("count") == 1.0

@@ -1,0 +1,173 @@
+"""Tests for the analysis engine: AST cache, stage schedule, and fan-out."""
+
+import pytest
+
+from repro.engine import (
+    AnalysisPipeline,
+    ScriptCache,
+    default_stages,
+    resolve_worker_count,
+    run_stages,
+    source_digest,
+    workload_fingerprint,
+)
+from repro.engine.pipeline import WORKERS_ENV_VAR
+from repro.analysis.casestudy import CaseStudyRunner
+from repro.analysis.tables import build_tables
+from repro.workloads import get_workload
+from repro.workloads.base import REGISTRY, Workload
+
+TINY_SOURCE = """
+var grid = [];
+function smooth(row) {
+  var out = [];
+  for (var i = 0; i < row.length; i++) {
+    var left = i > 0 ? row[i - 1] : row[i];
+    var right = i < row.length - 1 ? row[i + 1] : row[i];
+    out.push((left + row[i] + right) / 3);
+  }
+  return out;
+}
+for (var r = 0; r < 24; r++) {
+  var row = [];
+  for (var c = 0; c < 24; c++) { row.push((r * 31 + c * 17) % 7); }
+  grid.push(row);
+}
+for (var pass = 0; pass < 3; pass++) {
+  for (var r2 = 0; r2 < grid.length; r2++) { grid[r2] = smooth(grid[r2]); }
+}
+"""
+
+
+def _make_tiny_workload(name):
+    return Workload(
+        name=name,
+        category="Visualization",
+        description="synthetic smoothing kernel for engine tests",
+        url="test://tiny",
+        scripts=[("tiny.js", TINY_SOURCE)],
+    )
+
+
+@pytest.fixture
+def tiny_workloads():
+    """Two registered synthetic workloads (registry restored afterwards)."""
+    names = ["engine-test-a", "engine-test-b"]
+    for name in names:
+        REGISTRY.register(name, (lambda n: (lambda: _make_tiny_workload(n)))(name))
+    try:
+        yield [get_workload(name) for name in names]
+    finally:
+        for name in names:
+            REGISTRY._factories.pop(name, None)
+
+
+class TestScriptCache:
+    def test_same_source_parses_once(self):
+        cache = ScriptCache()
+        first_program, first_index = cache.get("a.js", TINY_SOURCE)
+        second_program, second_index = cache.get("a.js", TINY_SOURCE)
+        assert first_program is second_program
+        assert first_index is second_index
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+
+    def test_different_sources_get_distinct_entries(self):
+        cache = ScriptCache()
+        first, _ = cache.get("a.js", "var x = 1;")
+        second, _ = cache.get("a.js", "var x = 2;")
+        third, _ = cache.get("b.js", "var x = 1;")
+        assert first is not second and first is not third
+        assert len(cache) == 3
+
+    def test_cached_runs_match_uncached_runs(self, tiny_workloads):
+        workload = tiny_workloads[0]
+        uncached = CaseStudyRunner().analyze_application(workload)
+        cached = CaseStudyRunner(script_cache=ScriptCache()).analyze_application(workload)
+        assert cached.table2 == uncached.table2
+        assert [row.as_dict() for row in cached.table3_rows()] == [
+            row.as_dict() for row in uncached.table3_rows()
+        ]
+
+    def test_fingerprints_identify_workloads(self, tiny_workloads):
+        first, second = tiny_workloads
+        assert workload_fingerprint(first) != workload_fingerprint(second)
+        assert workload_fingerprint(first) == workload_fingerprint(
+            get_workload("engine-test-a")
+        )
+        assert source_digest("a") != source_digest("b")
+
+
+class TestStageSchedule:
+    def test_default_stage_names_and_order(self):
+        assert [stage.name for stage in default_stages()] == [
+            "profile",
+            "loop-profile",
+            "dependence",
+            "parallel-model",
+        ]
+
+    def test_run_stages_produces_full_analysis(self, tiny_workloads):
+        state = {}
+        analysis = run_stages(CaseStudyRunner(), tiny_workloads[0], state=state)
+        assert analysis.name == "engine-test-a"
+        assert analysis.table2.total_seconds > 0
+        assert analysis.nests, "the synthetic kernel has a hot nest"
+        assert analysis.speedup is not None
+        # The shared state exposes every stage's intermediate product.
+        for key in ("table2", "profiler", "observer", "hot", "nests", "analysis"):
+            assert key in state
+
+
+class TestAnalysisPipeline:
+    def test_worker_resolution_clamps_and_reads_env(self, monkeypatch):
+        assert resolve_worker_count(4, 2) == 2
+        assert resolve_worker_count(0, 5) == 1
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert resolve_worker_count(None, 12) == 3
+        monkeypatch.setenv(WORKERS_ENV_VAR, "not-a-number")
+        assert resolve_worker_count(None, 1) == 1
+
+    def test_run_caches_per_workload_set(self, tiny_workloads):
+        pipeline = AnalysisPipeline(workers=1)
+        first = pipeline.run(["engine-test-a"])
+        assert pipeline.run(["engine-test-a"]) is first
+        forced = pipeline.run(["engine-test-a"], force=True)
+        assert forced is not first
+        pipeline.invalidate()
+        assert pipeline.run(["engine-test-a"]) is not forced
+
+    def test_fan_out_matches_serial_results(self, tiny_workloads):
+        serial = AnalysisPipeline(workers=1).analyze_many(tiny_workloads)
+        fanned = AnalysisPipeline(workers=2)._fan_out(tiny_workloads, 2)
+        serial_tables = build_tables(serial)
+        fanned_tables = build_tables(fanned)
+        assert fanned_tables.render_table2() == serial_tables.render_table2()
+        assert fanned_tables.render_table3() == serial_tables.render_table3()
+
+    def test_unregistered_workloads_fall_back_to_serial(self):
+        pipeline = AnalysisPipeline(workers=8)
+        anonymous = _make_tiny_workload("not-registered-anywhere")
+        analyses = pipeline.analyze_many([anonymous, anonymous])
+        assert len(analyses) == 2
+        assert all(a.name == "not-registered-anywhere" for a in analyses)
+
+    def test_modified_workload_sharing_a_registered_name_stays_serial(self, tiny_workloads):
+        # Same name as a registered workload, different sources: workers
+        # would silently analyze the registry version, so the pipeline must
+        # detect the fingerprint mismatch and analyze the instance serially.
+        impostor = _make_tiny_workload("engine-test-a")
+        impostor.scripts = [("tiny.js", "var onlyOne = 0; for (var i = 0; i < 4; i++) { onlyOne += i; }")]
+        assert not AnalysisPipeline._registry_reconstructible([impostor])
+        analyses = AnalysisPipeline(workers=8).analyze_many([impostor, impostor])
+        assert len(analyses) == 2
+        # The impostor's single tiny loop, not the registered kernel's nests.
+        assert all(a.table2.total_seconds < 0.1 for a in analyses)
+
+    def test_registry_run_case_study_uses_pipeline(self, tiny_workloads):
+        from repro.experiments.registry import get_default_pipeline, run_case_study
+
+        result = run_case_study(["engine-test-a"], force=True)
+        assert [a.name for a in result.analyses] == ["engine-test-a"]
+        assert run_case_study(["engine-test-a"]) is result
+        # Clean up the shared pipeline's cache entry for the synthetic name.
+        get_default_pipeline().invalidate()

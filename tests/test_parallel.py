@@ -132,3 +132,38 @@ class TestExecutor:
     def test_speedup_never_exceeds_lane_count(self):
         outcome = simulate_parallel_execution(make_nest(trips=10000.0), PAPER_MACHINE)
         assert outcome.speedup <= PAPER_MACHINE.hardware_threads + 1e-6
+
+
+class TestParallelOutcomeSpeedupConvention:
+    """The documented convention for degenerate (non-positive) timings."""
+
+    def _outcome(self, serial_ms, parallel_ms):
+        from repro.parallel.executor import ParallelOutcome
+
+        return ParallelOutcome(
+            nest_label="for(line 1)",
+            serial_ms=serial_ms,
+            parallel_ms=parallel_ms,
+            workers=4,
+            strategy="block",
+            parallelizable=True,
+            divergence=DivergenceLevel.NONE,
+        )
+
+    def test_no_measured_work_has_unit_speedup(self):
+        assert self._outcome(0.0, 0.0).speedup == pytest.approx(1.0)
+        assert self._outcome(-1.0, 0.0).speedup == pytest.approx(1.0)
+
+    def test_real_work_with_nonpositive_parallel_time_is_an_error(self):
+        with pytest.raises(ValueError, match="inconsistent ParallelOutcome"):
+            self._outcome(100.0, 0.0).speedup
+
+    def test_positive_times_divide_normally(self):
+        assert self._outcome(100.0, 25.0).speedup == pytest.approx(4.0)
+
+    def test_simulator_never_produces_nonpositive_parallel_time(self):
+        for trips, instances in ((0.0, 0), (1.0, 1), (100.0, 10)):
+            outcome = simulate_parallel_execution(
+                make_nest(trips=trips, instances=max(instances, 1)), PAPER_MACHINE
+            )
+            assert outcome.speedup >= 1.0 or outcome.serial_ms <= 0
