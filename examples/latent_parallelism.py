@@ -10,13 +10,14 @@ Usage::
     python examples/latent_parallelism.py
 """
 
-from repro.experiments import run_case_study
+from repro.api import AnalysisSession
 from repro.ceres.report import render_summary_table
 from repro.parallel import model_application_speedup, validate_against_amdahl
 
 
 def main() -> None:
-    results = run_case_study()
+    with AnalysisSession() as session:
+        results = session.case_study()
     tables = results.tables
 
     print(tables.render_table2())

@@ -1,37 +1,52 @@
-"""Quickstart: run JS-CERES's three instrumentation modes on the paper's
-Figure 6 N-body example.
+"""Quickstart: drive JS-CERES through the unified `repro.api` session layer,
+running the paper's Figure 6 N-body example under each instrumentation mode
+and then all of them composed in a single pass.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-from repro.ceres import JSCeres
+from repro.api import AnalysisSession, RunSpec
 from repro.workloads.nbody import STEP_FOR_LINE, make_nbody_workload
 
 
 def main() -> None:
-    tool = JSCeres()
+    with AnalysisSession() as session:
+        # Mode 1 - lightweight profiling: total time and time spent in loops.
+        lightweight = session.run(make_nbody_workload(bodies=24, steps=20), RunSpec.lightweight())
+        print(lightweight.report_text)
+        print()
 
-    # Mode 1 — lightweight profiling: total time and time spent in loops.
-    lightweight = tool.run_lightweight(make_nbody_workload(bodies=24, steps=20))
-    print(lightweight.report_text)
-    print()
+        # Mode 2 - loop profiling: per-syntactic-loop instances, time, trips.
+        loops = session.run(make_nbody_workload(bodies=24, steps=20), RunSpec.loop_profile())
+        print(loops.report_text)
+        print()
 
-    # Mode 2 — loop profiling: per-syntactic-loop instances, time, trip counts.
-    loops = tool.run_loop_profile(make_nbody_workload(bodies=24, steps=20))
-    print(loops.report_text)
-    print()
+        # Mode 3 - dependence analysis focused on the `for` loop inside step()
+        # (the loop the paper's Section 3.3 walkthrough discusses).
+        dependence = session.run(
+            make_nbody_workload(bodies=24, steps=20), RunSpec.dependence(focus_line=STEP_FOR_LINE)
+        )
+        print(dependence.report_text)
+        print()
 
-    # Mode 3 — dependence analysis focused on the `for` loop inside step()
-    # (the loop the paper's Section 3.3 walkthrough discusses).
-    dependence = tool.run_dependence(make_nbody_workload(bodies=24, steps=20), focus_line=STEP_FOR_LINE)
-    print(dependence.report_text)
-    print()
+        # Tracers compose: the same three modes in ONE pass over one hook bus,
+        # producing numbers identical to the staged runs above.
+        composed = session.run(
+            make_nbody_workload(bodies=24, steps=20),
+            RunSpec.lightweight() | RunSpec.loop_profile() | RunSpec.dependence(focus_line=STEP_FOR_LINE),
+        )
+        assert composed.payloads["lightweight"] == lightweight.payloads["lightweight"]
+        assert composed.payloads["loop_profile"] == loops.payloads["loop_profile"]
+        print(f"composed single-pass run matches the staged runs (modes={composed.modes})")
+        print()
 
-    print(f"reports committed to the results repository: {len(tool.repository.commits)}")
-    for line in tool.repository.history():
-        print("  ", line)
+        # Every run returns the same envelope, with a lossless JSON round trip.
+        print(f"result schema: {sorted(composed.to_dict())}")
+        print(f"reports committed to the results repository: {len(session.repository.commits)}")
+        for line in session.repository.history():
+            print("  ", line)
 
 
 if __name__ == "__main__":

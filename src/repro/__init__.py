@@ -14,11 +14,14 @@ contribution:
 * :mod:`repro.survey` — the developer survey study (Figures 1-4).
 * :mod:`repro.workloads` — the 12 case-study applications in mini-JS.
 * :mod:`repro.experiments` — experiment registry mapped to paper artifacts.
+* :mod:`repro.api` — the public entry layer: ``AnalysisSession`` +
+  ``RunSpec`` + ``RunResult`` (and the ``python -m repro`` CLI).
 """
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "jsvm",
     "browser",
     "ceres",

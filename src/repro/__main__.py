@@ -1,0 +1,174 @@
+"""One command-line front door: ``python -m repro <subcommand>``.
+
+Subcommands (all running through one :class:`~repro.api.session.AnalysisSession`):
+
+* ``list`` — available experiments (``--workloads`` for workload names);
+* ``run <id ...>`` — run experiments by id (``--json`` for a JSON envelope);
+* ``experiments`` — run every registered experiment (the full reproduction);
+* ``report`` — the case-study report (Tables 2-3 + Amdahl bounds), with
+  ``--json`` for machine-readable rows and ``--workloads`` to restrict the
+  batch.
+
+``python -m repro.experiments`` remains as the legacy entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_list(session, args) -> int:
+    from .experiments.registry import build_registry
+
+    if args.workloads:
+        from .workloads import workload_names
+
+        names = workload_names()
+        if args.json:
+            print(json.dumps(names, indent=2))
+        else:
+            for name in names:
+                print(name)
+        return 0
+    registry = build_registry(session=session)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "id": experiment.experiment_id,
+                        "artifact": experiment.paper_artifact,
+                        "description": experiment.description,
+                    }
+                    for experiment in registry.values()
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    for experiment_id, experiment in registry.items():
+        print(f"{experiment_id:<22} {experiment.paper_artifact:<22} {experiment.description}")
+    return 0
+
+
+def _run_experiments(session, experiment_ids, as_json: bool) -> int:
+    registry = session.experiments()
+    selected = experiment_ids if experiment_ids is not None else list(registry)
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    if as_json:
+        envelope = [
+            {
+                "id": experiment_id,
+                "artifact": registry[experiment_id].paper_artifact,
+                "description": registry[experiment_id].description,
+                "output": registry[experiment_id].run(),
+            }
+            for experiment_id in selected
+        ]
+        print(json.dumps(envelope, indent=2))
+        return 0
+    for experiment_id in selected:
+        experiment = registry[experiment_id]
+        print(f"=== {experiment.experiment_id} ({experiment.paper_artifact}) ===")
+        print(experiment.run())
+        print()
+    return 0
+
+
+def _cmd_run(session, args) -> int:
+    return _run_experiments(session, args.experiments, args.json)
+
+
+def _cmd_experiments(session, args) -> int:
+    return _run_experiments(session, None, as_json=False)
+
+
+def _cmd_report(session, args) -> int:
+    if args.workloads:
+        from .workloads import workload_names
+
+        known = workload_names()
+        unknown = [name for name in args.workloads if name not in known]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            print(f"known: {', '.join(known)}", file=sys.stderr)
+            return 2
+    result = session.case_study(args.workloads or None)
+    tables = result.tables
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "table2": [row.as_dict() for row in tables.table2],
+                    "table3": [row.as_dict() for row in tables.table3],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(tables.render_table2())
+    print()
+    print(tables.render_table3())
+    print()
+    print(tables.render_speedups())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the PPoPP'15 web-application parallelism study",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    p_list = subparsers.add_parser("list", help="list experiments (or --workloads)")
+    p_list.add_argument("--workloads", action="store_true", help="list workload names instead")
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = subparsers.add_parser("run", help="run experiments by id")
+    p_run.add_argument("experiments", nargs="+", help="experiment ids (see `list`)")
+    p_run.add_argument("--json", action="store_true", help="JSON envelope per experiment")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_experiments = subparsers.add_parser(
+        "experiments", help="run every experiment (the full reproduction)"
+    )
+    p_experiments.set_defaults(func=_cmd_experiments)
+
+    p_report = subparsers.add_parser(
+        "report", help="case-study report: Tables 2-3 + Amdahl bounds"
+    )
+    p_report.add_argument("--json", action="store_true", help="machine-readable rows")
+    p_report.add_argument(
+        "--workloads", nargs="*", default=None, help="restrict the batch to these workloads"
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    from .api.session import AnalysisSession
+
+    try:
+        with AnalysisSession() as session:
+            return args.func(session, args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that stopped reading (e.g. head).
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI glue
+    sys.exit(main())

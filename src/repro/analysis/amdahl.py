@@ -18,7 +18,7 @@ The bound is computed per application from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable
 
 from .difficulty import Difficulty
 

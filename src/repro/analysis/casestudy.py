@@ -14,7 +14,7 @@ For one workload the pipeline mirrors the paper's methodology:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..browser.gecko_profiler import GeckoProfiler
 from ..browser.window import BrowserSession

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from ..ceres.dependence import AccessPattern, DependenceReport
 from ..ceres.warnings_ import WarningKind

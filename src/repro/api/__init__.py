@@ -1,0 +1,45 @@
+"""Public entry layer for the reproduction: sessions, specs, results.
+
+This package is the one coherent surface over the staged pipeline the paper
+describes (profile → loop profile → dependence analysis → parallelism
+model):
+
+* :class:`AnalysisSession` — context-managed owner of the results
+  repository, publisher, script cache and batch pipeline;
+* :class:`RunSpec` — declarative, composable tracer selection for one run;
+* :class:`RunResult` — the uniform, JSON-round-trippable result envelope.
+
+Importing ``repro.api`` is side-effect-free: no workload module is imported
+until a workload is actually requested by name (the registry in
+:mod:`repro.workloads.base` resolves its manifest lazily).
+
+The legacy surfaces — ``repro.ceres.JSCeres`` and
+``repro.experiments.run_case_study`` — are thin deprecated shims over this
+layer; see README for the migration table.
+"""
+
+from .results import SCHEMA_VERSION, RunArtifacts, RunResult
+from .session import AnalysisSession
+from .spec import (
+    ALL_TRACERS,
+    DEPENDENCE,
+    GECKO,
+    LIGHTWEIGHT,
+    LOOP_PROFILE,
+    RunSpec,
+    UnknownFocusLineError,
+)
+
+__all__ = [
+    "ALL_TRACERS",
+    "AnalysisSession",
+    "DEPENDENCE",
+    "GECKO",
+    "LIGHTWEIGHT",
+    "LOOP_PROFILE",
+    "RunArtifacts",
+    "RunResult",
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "UnknownFocusLineError",
+]

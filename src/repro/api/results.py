@@ -1,0 +1,128 @@
+"""The uniform result envelope returned by every session run.
+
+The seed tool returned three unrelated dataclasses (``LightweightRun``,
+``LoopProfileRun``, ``DependenceRun``) with no serialization.  A
+:class:`RunResult` replaces them with one schema: the workload fingerprint,
+the composed mode set, one JSON-native payload per tracer, the rendered
+report and the results-repository commit id.  ``to_dict``/``from_dict`` are
+a lossless JSON round trip (``RunResult.from_dict(r.to_dict()) == r``), so
+results can be cached, diffed and shipped between processes.
+
+Live analysis objects (parsed-program registries, ``LoopProfile`` /
+``DependenceReport`` instances) are process-local and cannot cross a JSON
+boundary; they ride along in :attr:`RunResult.artifacts`, which is excluded
+from equality and serialization.  The deprecated ``JSCeres`` shims use them
+to rebuild the legacy return types.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Version stamp of the serialized envelope; bump on breaking payload changes.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunArtifacts:
+    """Process-local handles from one run (not part of the serialized schema).
+
+    Only lightweight analysis objects are kept — the run's browser session
+    and proxy (guest heap, documents, event queues) are deliberately not
+    retained, so holding many envelopes stays cheap.
+    """
+
+    registry: Any = None
+    lightweight_result: Any = None  #: :class:`~repro.ceres.lightweight.LightweightResult`
+    gecko_profiler: Any = None  #: :class:`~repro.browser.gecko_profiler.GeckoProfiler`
+    loop_profiler: Any = None  #: :class:`~repro.ceres.loop_profiler.LoopProfiler`
+    dependence_report: Any = None  #: :class:`~repro.ceres.dependence.DependenceReport`
+
+
+@dataclass
+class RunResult:
+    """Uniform envelope for one instrumented (or baseline) run."""
+
+    workload: str
+    #: Stable digest of the workload's name and exact sources
+    #: (:func:`~repro.engine.cache.workload_fingerprint`).
+    fingerprint: str
+    #: Composed tracer kinds, canonical order (see :mod:`repro.api.spec`).
+    modes: List[str]
+    #: One JSON-native payload per tracer kind.
+    payloads: Dict[str, Dict[str, Any]]
+    report_text: str
+    #: Results-repository commit id, or ``None`` when nothing was committed
+    #: (uninstrumented baselines, ``publish=False`` specs).
+    commit_id: Optional[str]
+    #: Final virtual-clock reading of the run, in seconds.
+    clock_seconds: float
+    #: The :meth:`~repro.api.spec.RunSpec.to_dict` of the spec that produced
+    #: this result.
+    spec: Dict[str, Any]
+    schema_version: int = SCHEMA_VERSION
+    #: Live handles for in-process consumers; never serialized, never compared.
+    artifacts: Optional[RunArtifacts] = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """A deep, JSON-native copy of the envelope (artifacts excluded)."""
+        return {
+            "schema_version": self.schema_version,
+            "workload": self.workload,
+            "fingerprint": self.fingerprint,
+            "modes": list(self.modes),
+            "payloads": copy.deepcopy(self.payloads),
+            "report_text": self.report_text,
+            "commit_id": self.commit_id,
+            "clock_seconds": self.clock_seconds,
+            "spec": copy.deepcopy(self.spec),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunResult schema version {version!r} (expected {SCHEMA_VERSION})"
+            )
+        return cls(
+            workload=data["workload"],
+            fingerprint=data["fingerprint"],
+            modes=list(data["modes"]),
+            payloads=copy.deepcopy(data["payloads"]),
+            report_text=data["report_text"],
+            commit_id=data.get("commit_id"),
+            clock_seconds=data["clock_seconds"],
+            spec=copy.deepcopy(data.get("spec", {})),
+            schema_version=version,
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------- conveniences
+    @property
+    def total_seconds(self) -> float:
+        """Mode-1 total running time (falls back to the clock for baselines)."""
+        payload = self.payloads.get("lightweight")
+        if payload is not None:
+            return payload["total_ms"] / 1000.0
+        return self.clock_seconds
+
+    @property
+    def loops_seconds(self) -> float:
+        payload = self.payloads.get("lightweight")
+        return payload["loops_ms"] / 1000.0 if payload is not None else 0.0
+
+    @property
+    def active_seconds(self) -> float:
+        payload = self.payloads.get("gecko")
+        return payload["active_seconds"] if payload is not None else 0.0

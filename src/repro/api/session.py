@@ -1,0 +1,366 @@
+"""The one public entry layer: a context-managed analysis session.
+
+:class:`AnalysisSession` owns the resources the seed code scattered across
+``JSCeres``, ``experiments.registry`` and a module global: the results
+repository, the remote publisher, the shared source→AST
+:class:`~repro.engine.cache.ScriptCache` and the batch
+:class:`~repro.engine.pipeline.AnalysisPipeline`.  One ``session.run(workload,
+spec)`` replaces the four near-duplicate ``JSCeres.run_*`` methods: the
+:class:`~repro.api.spec.RunSpec` names the tracers, any subset of which
+attaches to a single :class:`~repro.jsvm.hooks.HookBus` in one pass (tracers
+are clock-neutral, so composed runs produce numbers identical to staged
+runs), and every run returns the same
+:class:`~repro.api.results.RunResult` envelope.
+
+Typical use::
+
+    from repro.api import AnalysisSession, RunSpec
+
+    with AnalysisSession() as session:
+        result = session.run("fluidSim", RunSpec.lightweight() | RunSpec.loop_profile())
+        print(result.report_text)
+        portable = result.to_dict()          # lossless JSON round trip
+
+Workloads are referenced by registry name (resolved lazily — importing this
+module pulls in **no** workload modules) or passed as objects implementing
+the small protocol of :mod:`repro.workloads.base`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..browser.gecko_profiler import GeckoProfiler
+from ..browser.window import BrowserSession
+from ..ceres.dependence import DependenceAnalyzer, DependenceReport
+from ..ceres.lightweight import LightweightProfiler
+from ..ceres.loop_profiler import LoopProfiler
+from ..ceres.proxy import InstrumentingProxy, OriginServer
+from ..ceres.report import render_dependence, render_lightweight, render_loop_profiles
+from ..ceres.repository import RemotePublisher, ResultsRepository
+from ..engine.cache import ScriptCache, workload_fingerprint
+from ..engine.pipeline import AnalysisPipeline, PipelineResult
+from ..jsvm.hooks import HookBus
+from .results import RunArtifacts, RunResult
+from .spec import DEPENDENCE, GECKO, LIGHTWEIGHT, LOOP_PROFILE, RunSpec, UnknownFocusLineError
+
+
+class AnalysisSession:
+    """Owns repository, publisher, script cache and pipeline for a run series.
+
+    Parameters mirror the objects the session owns; everything is optional
+    and defaults to a fresh instance, so ``AnalysisSession()`` is a complete,
+    isolated environment.  Sessions are context managers::
+
+        with AnalysisSession() as session:
+            ...
+
+    ``close()`` drops the pipeline's cached batch results; the session object
+    itself holds no OS resources.
+    """
+
+    def __init__(
+        self,
+        repository: Optional[ResultsRepository] = None,
+        publisher: Optional[RemotePublisher] = None,
+        script_cache: Optional[ScriptCache] = None,
+        pipeline: Optional[AnalysisPipeline] = None,
+        workers: Optional[int] = None,
+        cores: int = 8,
+        coverage_target: float = 0.80,
+        max_nests_per_app: int = 5,
+    ) -> None:
+        self.repository = repository if repository is not None else ResultsRepository()
+        self.publisher = publisher if publisher is not None else RemotePublisher()
+        self.script_cache = script_cache if script_cache is not None else ScriptCache()
+        self.pipeline = (
+            pipeline
+            if pipeline is not None
+            else AnalysisPipeline(
+                workers=workers,
+                script_cache=self.script_cache,
+                cores=cores,
+                coverage_target=coverage_target,
+                max_nests_per_app=max_nests_per_app,
+            )
+        )
+        self.closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop cached batch results and mark the session closed."""
+        self.pipeline.invalidate()
+        self.closed = True
+
+    # ------------------------------------------------------------- workloads
+    @staticmethod
+    def resolve_workload(workload: Any):
+        """Accept a workload object or a registry name (resolved lazily)."""
+        if isinstance(workload, str):
+            from ..workloads.base import get_workload
+
+            return get_workload(workload)
+        return workload
+
+    # ------------------------------------------------------------------ runs
+    def run(self, workload: Any, spec: Optional[RunSpec] = None) -> RunResult:
+        """Run ``workload`` once with the tracers named by ``spec``.
+
+        All requested tracers attach to one hook bus and observe the same
+        single pass; an empty spec is the uninstrumented baseline.  Returns
+        the uniform :class:`~repro.api.results.RunResult` envelope.
+        """
+        if self.closed:
+            raise RuntimeError("AnalysisSession is closed")
+        spec = spec if spec is not None else RunSpec.lightweight()
+        workload = self.resolve_workload(workload)
+
+        # Steps 1-2 of Figure 5: host the documents, set up page + proxy.
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(
+            origin,
+            mode=spec.instrumentation_mode(),
+            repository=self.repository,
+            publisher=self.publisher,
+            script_cache=self.script_cache,
+        )
+        hooks = HookBus()
+        browser = BrowserSession(hooks=hooks, title=workload.name)
+        if hasattr(workload, "prepare"):
+            workload.prepare(browser)
+
+        # Step 3: intercept every script first so the loop registry is
+        # populated before the dependence focus is resolved (parsing never
+        # touches the virtual clock, so this cannot perturb timings).
+        intercepted = [proxy.request(path) for path, _source in workload.scripts]
+        focus_loop_id = self._resolve_focus(spec, proxy.registry, workload.name)
+
+        # Attach the composed tracer set to the one bus, single pass.
+        lightweight = gecko = loop_profiler = analyzer = None
+        if LIGHTWEIGHT in spec.tracers:
+            lightweight = hooks.attach(LightweightProfiler())
+        if GECKO in spec.tracers:
+            gecko = hooks.attach(GeckoProfiler())
+        if LOOP_PROFILE in spec.tracers:
+            loop_profiler = hooks.attach(LoopProfiler(registry=proxy.registry))
+        if DEPENDENCE in spec.tracers:
+            analyzer = hooks.attach(
+                DependenceAnalyzer(registry=proxy.registry, focus_loop_id=focus_loop_id)
+            )
+
+        # Step 4: execute the documents and exercise the application.
+        if lightweight is not None:
+            lightweight.start(browser.clock)
+        for document in intercepted:
+            browser.run_document(document)
+        workload.exercise(browser)
+        if lightweight is not None:
+            lightweight.stop(browser.clock)
+
+        # Steps 5-6: gather payloads, render the report, commit and publish.
+        payloads: Dict[str, Dict[str, Any]] = {}
+        sections: List[str] = []
+        artifacts = RunArtifacts(registry=proxy.registry)
+
+        if lightweight is not None:
+            result = lightweight.result(browser.clock)
+            artifacts.lightweight_result = result
+            payloads[LIGHTWEIGHT] = {
+                "total_ms": result.total_ms,
+                "loops_ms": result.loops_ms,
+                "top_level_loop_entries": result.top_level_loop_entries,
+            }
+            sections.append(
+                render_lightweight(
+                    workload.name,
+                    result,
+                    gecko.active_seconds() if gecko is not None else None,
+                )
+            )
+        if gecko is not None:
+            artifacts.gecko_profiler = gecko
+            payloads[GECKO] = {
+                "active_seconds": gecko.active_seconds(),
+                "active_ms": gecko.profile.active_ms,
+                "total_sampled_ms": gecko.profile.total_sampled_ms,
+                "samples": len(gecko.profile.samples),
+                "sample_interval_ms": gecko.sample_interval_ms,
+            }
+            if lightweight is None:
+                sections.append(self._render_gecko(workload.name, payloads[GECKO]))
+        if loop_profiler is not None:
+            artifacts.loop_profiler = loop_profiler
+            payloads[LOOP_PROFILE] = self._loop_payload(loop_profiler)
+            sections.append(
+                render_loop_profiles(workload.name, list(loop_profiler.profiles.values()))
+            )
+        if analyzer is not None:
+            report = analyzer.report()
+            artifacts.dependence_report = report
+            payloads[DEPENDENCE] = self._dependence_payload(report, proxy.registry)
+            sections.append(render_dependence(workload.name, report, proxy.registry.loop_label))
+
+        report_text = "\n\n".join(sections)
+        commit_id = None
+        suffix = spec.commit_suffix()
+        if suffix is not None:
+            commit_id = proxy.collect_results(
+                f"{workload.name}-{suffix}", report_text, browser.clock.now()
+            )
+
+        return RunResult(
+            workload=workload.name,
+            fingerprint=workload_fingerprint(workload),
+            modes=spec.modes(),
+            payloads=payloads,
+            report_text=report_text,
+            commit_id=commit_id,
+            clock_seconds=browser.clock.now() / 1000.0,
+            spec=spec.to_dict(),
+            artifacts=artifacts,
+        )
+
+    # ------------------------------------------------------------ case study
+    def case_study(
+        self,
+        workload_names: Optional[List[str]] = None,
+        force: bool = False,
+        runner: Any = None,
+    ) -> PipelineResult:
+        """Run (or reuse) the batch case-study pipeline this session owns."""
+        if self.closed:
+            raise RuntimeError("AnalysisSession is closed")
+        return self.pipeline.run(workload_names, force=force, runner=runner)
+
+    # ------------------------------------------------------------ experiments
+    def experiments(self) -> Dict[str, Any]:
+        """The experiment registry bound to this session's pipeline."""
+        from ..experiments.registry import build_registry
+
+        return build_registry(session=self)
+
+    def run_experiment(self, experiment_id: str) -> str:
+        """Run one registered experiment through this session."""
+        registry = self.experiments()
+        if experiment_id not in registry:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; known: {sorted(registry)}"
+            )
+        return registry[experiment_id].run()
+
+    def run_experiments(self, experiment_ids: Optional[List[str]] = None) -> Dict[str, str]:
+        """Run several (default: all) experiments; returns id → rendered output."""
+        registry = self.experiments()
+        selected = list(experiment_ids) if experiment_ids is not None else list(registry)
+        unknown = [experiment_id for experiment_id in selected if experiment_id not in registry]
+        if unknown:
+            raise KeyError(f"unknown experiments {unknown}; known: {sorted(registry)}")
+        return {experiment_id: registry[experiment_id].run() for experiment_id in selected}
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _resolve_focus(spec: RunSpec, registry, workload_name: str) -> Optional[int]:
+        if spec.focus_loop_id is not None:
+            return spec.focus_loop_id
+        if spec.focus_line is None:
+            return None
+        site = registry.loop_for_line(spec.focus_line)
+        if site is None:
+            raise UnknownFocusLineError(workload_name, spec.focus_line, registry.loop_lines())
+        return site.node_id
+
+    @staticmethod
+    def _render_gecko(name: str, payload: Dict[str, Any]) -> str:
+        lines = [
+            f"Gecko-style sampling profile: {name}",
+            "-" * 78,
+            f"active time (sampling)  : {payload['active_seconds']:8.2f} s",
+            f"sampled time            : {payload['total_sampled_ms'] / 1000.0:8.2f} s",
+            f"samples                 : {payload['samples']:8d}",
+        ]
+        return "\n".join(lines)
+
+    @staticmethod
+    def _stats_payload(stats) -> Dict[str, Any]:
+        return {
+            "count": stats.count,
+            "mean": stats.mean,
+            "variance": stats.variance,
+            "std": stats.std,
+            "total": stats.total,
+        }
+
+    @classmethod
+    def _loop_payload(cls, profiler: LoopProfiler) -> Dict[str, Any]:
+        profiles = []
+        for profile in profiler.profiles.values():
+            profiles.append(
+                {
+                    "loop_id": profile.loop_id,
+                    "label": profile.label,
+                    "kind": profile.kind,
+                    "line": profile.line,
+                    "program": profile.program,
+                    "instances": profile.instances,
+                    "observed_parents": list(profile.observed_parents),
+                    "time_ms": cls._stats_payload(profile.time_stats_ms),
+                    "trips": cls._stats_payload(profile.trip_stats),
+                }
+            )
+        return {
+            "total_loop_time_ms": profiler.total_loop_time_ms(),
+            "profiles": profiles,
+        }
+
+    @staticmethod
+    def _dependence_payload(report: DependenceReport, registry) -> Dict[str, Any]:
+        warnings_payload = []
+        for warning in report.warnings:
+            warnings_payload.append(
+                {
+                    "kind": warning.kind.name,
+                    "name": warning.name,
+                    "dependence_class": warning.dependence_class,
+                    "creation_site": warning.creation_site_label,
+                    "first_line": warning.first_line,
+                    "occurrences": warning.occurrences,
+                    "sample_iterations": list(warning.sample_iterations),
+                    "rendered": warning.render(registry.loop_label),
+                }
+            )
+        patterns_payload = []
+        for pattern in report.patterns.values():
+            patterns_payload.append(
+                {
+                    "name": pattern.name,
+                    "target_kind": pattern.target_kind,
+                    "creation_site_label": pattern.creation_site_label,
+                    "total_writes": pattern.total_writes,
+                    "total_reads": pattern.total_reads,
+                    "compound_writes": pattern.compound_writes,
+                    "flow_dependences": pattern.flow_dependences,
+                    "iterations_with_writes": len(pattern.writes_by_iteration),
+                    "iterations_with_reads": len(pattern.reads_by_iteration),
+                    "writes_are_disjoint": pattern.writes_are_disjoint(),
+                    "overlapping_write_targets": sorted(pattern.overlapping_write_targets()),
+                    "truncated": pattern.truncated,
+                }
+            )
+        return {
+            "focus_loop_id": report.focus_loop_id,
+            "focus_loop_label": report.focus_loop_label,
+            "iterations_observed": report.iterations_observed,
+            "warnings": warnings_payload,
+            "recursion_warnings": [
+                {"loop_id": recursion.loop_id, "label": recursion.loop_label}
+                for recursion in report.recursion_warnings
+            ],
+            "patterns": patterns_payload,
+        }

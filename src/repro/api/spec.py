@@ -1,0 +1,238 @@
+"""Declarative run specifications for :class:`~repro.api.session.AnalysisSession`.
+
+A :class:`RunSpec` names the tracers to attach for one instrumented run.  The
+paper stages its three modes to keep instrumentation overhead from biasing
+wall-clock measurements; in this reproduction every tracer is *clock-neutral*
+(the interpreter charges virtual time per operation regardless of the
+subscriber mask), so any subset of tracers can attach to one
+:class:`~repro.jsvm.hooks.HookBus` in a single pass and produce numbers
+identical to the staged runs.  :meth:`RunSpec.combined_mask` exposes the OR of
+the composed tracers' event masks — the single integer the compiled execution
+core consults per construct.
+
+Specs compose with ``|``::
+
+    spec = RunSpec.lightweight() | RunSpec.loop_profile()
+    result = session.run(workload, spec)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+#: Tracer kind names (the strings used in ``RunSpec.tracers`` and in
+#: :attr:`~repro.api.results.RunResult.payloads` keys).
+LIGHTWEIGHT = "lightweight"
+GECKO = "gecko"
+LOOP_PROFILE = "loop_profile"
+DEPENDENCE = "dependence"
+
+#: Canonical tracer order (used for deterministic labels and payload listing).
+ALL_TRACERS = (LIGHTWEIGHT, GECKO, LOOP_PROFILE, DEPENDENCE)
+
+#: Short names used in results-repository commit labels; the single-tracer
+#: labels match the historical ``JSCeres.run_*`` report names exactly.
+_COMMIT_NAMES = {
+    LIGHTWEIGHT: "lightweight",
+    GECKO: "gecko",
+    LOOP_PROFILE: "loops",
+    DEPENDENCE: "dependence",
+}
+
+
+class UnknownFocusLineError(ValueError):
+    """``focus_line`` matched no registered loop.
+
+    The legacy ``JSCeres.run_dependence`` silently fell back to analyzing
+    *all* loops in this case — a silent change of semantics.  The session
+    raises instead, listing the lines that do declare loops.
+    """
+
+    def __init__(self, workload: str, focus_line: int, known_lines: List[int]) -> None:
+        self.workload = workload
+        self.focus_line = focus_line
+        self.known_lines = list(known_lines)
+        super().__init__(
+            f"no loop at line {focus_line} in workload {workload!r}; "
+            f"loops are declared at lines {self.known_lines}"
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Which tracers to attach (and how to focus them) for one run.
+
+    ``tracers`` is any subset of :data:`ALL_TRACERS`; the empty set is the
+    uninstrumented baseline.  ``focus_line`` / ``focus_loop_id`` direct the
+    dependence analyzer at one loop (requires the ``dependence`` tracer).
+    ``publish`` controls whether the rendered report is committed to the
+    session's results repository (uninstrumented runs never commit).
+    """
+
+    tracers: FrozenSet[str] = frozenset()
+    focus_line: Optional[int] = None
+    focus_loop_id: Optional[int] = None
+    publish: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tracers", frozenset(self.tracers))
+        unknown = self.tracers - set(ALL_TRACERS)
+        if unknown:
+            raise ValueError(
+                f"unknown tracer kind(s) {sorted(unknown)}; known: {list(ALL_TRACERS)}"
+            )
+        if (self.focus_line is not None or self.focus_loop_id is not None) and (
+            DEPENDENCE not in self.tracers
+        ):
+            raise ValueError(
+                "focus_line/focus_loop_id require the 'dependence' tracer "
+                f"(got tracers={sorted(self.tracers)})"
+            )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def uninstrumented(cls) -> "RunSpec":
+        """Baseline: no tracers, no commit (the overhead-benchmark reference)."""
+        return cls(tracers=frozenset(), publish=False)
+
+    @classmethod
+    def lightweight(cls, with_gecko: bool = True) -> "RunSpec":
+        """Mode 1: total time + in-loop time (+ Gecko-style active time)."""
+        kinds = {LIGHTWEIGHT, GECKO} if with_gecko else {LIGHTWEIGHT}
+        return cls(tracers=frozenset(kinds))
+
+    @classmethod
+    def loop_profile(cls) -> "RunSpec":
+        """Mode 2: per-syntactic-loop instance/time/trip-count statistics."""
+        return cls(tracers=frozenset({LOOP_PROFILE}))
+
+    @classmethod
+    def dependence(
+        cls,
+        focus_line: Optional[int] = None,
+        focus_loop_id: Optional[int] = None,
+    ) -> "RunSpec":
+        """Mode 3: dependence analysis, optionally focused on one loop."""
+        return cls(
+            tracers=frozenset({DEPENDENCE}),
+            focus_line=focus_line,
+            focus_loop_id=focus_loop_id,
+        )
+
+    @classmethod
+    def composed(
+        cls,
+        *tracers: str,
+        focus_line: Optional[int] = None,
+        focus_loop_id: Optional[int] = None,
+        publish: bool = True,
+    ) -> "RunSpec":
+        """An explicit multi-tracer spec, e.g. ``composed(LIGHTWEIGHT, LOOP_PROFILE)``."""
+        return cls(
+            tracers=frozenset(tracers),
+            focus_line=focus_line,
+            focus_loop_id=focus_loop_id,
+            publish=publish,
+        )
+
+    # ------------------------------------------------------------- composition
+    def __or__(self, other: "RunSpec") -> "RunSpec":
+        """Merge two specs into one single-pass run.
+
+        Tracer sets union; focus settings must agree (or be set on only one
+        side) since a run drives a single dependence analyzer.
+        """
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+
+        def merge(mine, theirs, what):
+            if mine is not None and theirs is not None and mine != theirs:
+                raise ValueError(f"cannot compose specs with conflicting {what}: {mine} != {theirs}")
+            return mine if mine is not None else theirs
+
+        return RunSpec(
+            tracers=self.tracers | other.tracers,
+            focus_line=merge(self.focus_line, other.focus_line, "focus_line"),
+            focus_loop_id=merge(self.focus_loop_id, other.focus_loop_id, "focus_loop_id"),
+            publish=self.publish and other.publish,
+        )
+
+    # ------------------------------------------------------------------ masks
+    def combined_mask(self) -> int:
+        """OR of the composed tracers' event masks (one bus, single pass).
+
+        Tracers in this reproduction never advance the virtual clock, so
+        every combination of masks is compatible — composing tracers cannot
+        perturb each other's measurements.  The mask is what the compiled
+        execution core consults once per construct.
+        """
+        from ..browser.gecko_profiler import GeckoProfiler
+        from ..ceres.dependence import DependenceAnalyzer
+        from ..ceres.lightweight import LightweightProfiler
+        from ..ceres.loop_profiler import LoopProfiler
+
+        classes = {
+            LIGHTWEIGHT: LightweightProfiler,
+            GECKO: GeckoProfiler,
+            LOOP_PROFILE: LoopProfiler,
+            DEPENDENCE: DependenceAnalyzer,
+        }
+        mask = 0
+        for kind in self.tracers:
+            mask |= classes[kind].declared_events()
+        return mask
+
+    def instrumentation_mode(self):
+        """The proxy :class:`~repro.ceres.proxy.InstrumentationMode` to request.
+
+        The heaviest requested tracer decides how the proxy tags the
+        documents; with no tracers the proxy serves them uninstrumented.
+        """
+        from ..ceres.proxy import InstrumentationMode
+
+        if DEPENDENCE in self.tracers:
+            return InstrumentationMode.DEPENDENCE
+        if LOOP_PROFILE in self.tracers:
+            return InstrumentationMode.LOOP_PROFILE
+        if self.tracers:
+            return InstrumentationMode.LIGHTWEIGHT
+        return InstrumentationMode.NONE
+
+    # ------------------------------------------------------------------ labels
+    def modes(self) -> List[str]:
+        """The composed tracer kinds in canonical order."""
+        return [kind for kind in ALL_TRACERS if kind in self.tracers]
+
+    def commit_suffix(self) -> Optional[str]:
+        """Report name suffix for the results repository (None = no commit).
+
+        Single-tracer specs keep the historical names (``-lightweight``,
+        ``-loops``, ``-dependence``); a lightweight+gecko pair is still a
+        mode-1 run.  Composed specs join their short names deterministically.
+        """
+        if not self.tracers or not self.publish:
+            return None
+        if LIGHTWEIGHT in self.tracers and self.tracers <= {LIGHTWEIGHT, GECKO}:
+            return "lightweight"
+        if len(self.tracers) == 1:
+            return _COMMIT_NAMES[next(iter(self.tracers))]
+        return "+".join(_COMMIT_NAMES[kind] for kind in self.modes())
+
+    # ------------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tracers": sorted(self.tracers),
+            "focus_line": self.focus_line,
+            "focus_loop_id": self.focus_loop_id,
+            "publish": self.publish,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunSpec":
+        return cls(
+            tracers=frozenset(data.get("tracers", ())),
+            focus_line=data.get("focus_line"),
+            focus_loop_id=data.get("focus_loop_id"),
+            publish=bool(data.get("publish", True)),
+        )

@@ -16,7 +16,7 @@ attribute Canvas traffic to loop nests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, List
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
-from ..jsvm.values import UNDEFINED, JSArray, JSObject, NativeFunction, to_number, to_string
+from ..jsvm.values import UNDEFINED, JSObject, NativeFunction, to_number, to_string
 
 
 @dataclass

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from ..jsvm.values import UNDEFINED, is_callable
 from .clock_adapter import VirtualClock

@@ -142,6 +142,18 @@ class IndexRegistry:
                 return index.loops[node_id].label
         return f"loop#{node_id}"
 
+    def loop_for_line(self, line: int) -> Optional[LoopSite]:
+        """The (first) loop declared on ``line`` across every indexed program."""
+        for index in self.indexes.values():
+            site = index.loop_for_line(line)
+            if site is not None:
+                return site
+        return None
+
+    def loop_lines(self) -> List[int]:
+        """Sorted distinct source lines that declare a loop (for diagnostics)."""
+        return sorted({site.line for site in self.all_loops()})
+
     def all_loops(self) -> List[LoopSite]:
         sites: List[LoopSite] = []
         for index in self.indexes.values():

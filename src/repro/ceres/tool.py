@@ -1,44 +1,35 @@
-"""JSCeres facade: run a workload under one of the three instrumentation modes.
+"""Deprecated JSCeres facade: thin shims over :mod:`repro.api`.
 
-This is the top-level API most users interact with::
+The historical top-level API exposed four near-duplicate ``run_*`` methods
+that each hand-wired a hook bus, proxy and browser session.  That wiring now
+lives in :class:`repro.api.session.AnalysisSession`; ``JSCeres`` remains as
+a compatibility shim so existing callers keep working unchanged, but every
+``run_*`` method emits a :class:`DeprecationWarning` pointing at the
+replacement::
 
-    from repro.ceres import JSCeres
-    from repro.workloads import get_workload
+    from repro.api import AnalysisSession, RunSpec
 
-    tool = JSCeres()
-    light = tool.run_lightweight(get_workload("fluidSim"))
-    loops = tool.run_loop_profile(get_workload("fluidSim"))
-    deps  = tool.run_dependence(get_workload("fluidSim"), focus_line=loops.hottest[0].line)
+    with AnalysisSession() as session:
+        light = session.run(workload, RunSpec.lightweight())
+        loops = session.run(workload, RunSpec.loop_profile())
+        deps  = session.run(workload, RunSpec.dependence(focus_line=24))
 
-A *workload* is any object implementing the small protocol used by
-:mod:`repro.workloads.base`:
-
-* ``name`` — display name,
-* ``scripts`` — list of ``(path, javascript_source)`` pairs,
-* ``prepare(session)`` — host-side page setup (canvas elements, data...),
-* ``exercise(session)`` — drives the app the way a user would (step 4 of the
-  paper's process), advancing the virtual clock through both computation and
-  idle time.
-
-Every run uses a fresh :class:`BrowserSession` so the three modes never
-interfere — mirroring the staged design that the paper uses to keep
-instrumentation overhead from biasing results.
+The legacy result dataclasses (:class:`LightweightRun`,
+:class:`LoopProfileRun`, :class:`DependenceRun`) are rebuilt from the
+session's :class:`~repro.api.results.RunResult` artifacts, so their fields
+and values are byte-identical to the seed behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from dataclasses import dataclass
+from typing import List, Optional
 
-from ..browser.gecko_profiler import GeckoProfiler
-from ..browser.window import BrowserSession
-from ..jsvm.hooks import HookBus
-from .dependence import DependenceAnalyzer, DependenceReport
+from .dependence import DependenceReport
 from .ids import IndexRegistry, LoopSite
-from .lightweight import LightweightProfiler, LightweightResult
-from .loop_profiler import LoopProfile, LoopProfiler
-from .proxy import InstrumentationMode, InstrumentingProxy, OriginServer
-from .report import render_dependence, render_lightweight, render_loop_profiles
+from .lightweight import LightweightResult
+from .loop_profiler import LoopProfile
 from .repository import RemotePublisher, ResultsRepository
 
 
@@ -94,63 +85,72 @@ class DependenceRun:
     commit_id: str
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"JSCeres.{old} is deprecated; use {new} on repro.api.AnalysisSession instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class JSCeres:
-    """The profiling and runtime dependence-analysis tool."""
+    """Deprecated facade over :class:`~repro.api.session.AnalysisSession`.
+
+    The constructor keeps its historical signature; ``repository``,
+    ``publisher`` and ``script_cache`` now simply expose the underlying
+    session's resources.
+    """
 
     def __init__(
         self,
         repository: Optional[ResultsRepository] = None,
         script_cache=None,
     ) -> None:
-        self.repository = repository if repository is not None else ResultsRepository()
-        self.publisher = RemotePublisher()
-        #: Optional :class:`repro.engine.cache.ScriptCache`; lets repeated runs
-        #: of the same workload (the three staged modes) share parsed ASTs.
-        self.script_cache = script_cache
+        from ..api.session import AnalysisSession
+
+        self.session = AnalysisSession(repository=repository, script_cache=script_cache)
+
+    @property
+    def repository(self) -> ResultsRepository:
+        return self.session.repository
+
+    @property
+    def publisher(self) -> RemotePublisher:
+        return self.session.publisher
+
+    @property
+    def script_cache(self):
+        return self.session.script_cache
 
     # ------------------------------------------------------------------ runs
     def run_lightweight(self, workload, with_gecko: bool = True) -> LightweightRun:
         """Mode 1: total time + time in loops (+ Gecko-style active time)."""
-        hooks = HookBus()
-        profiler = hooks.attach(LightweightProfiler())
-        gecko = hooks.attach(GeckoProfiler()) if with_gecko else None
+        from ..api.spec import RunSpec
 
-        proxy, session = self._prepare(workload, hooks, InstrumentationMode.LIGHTWEIGHT)
-        profiler.start(session.clock)
-        self._load_scripts(proxy, session, workload)
-        workload.exercise(session)
-        profiler.stop(session.clock)
-
-        result = profiler.result(session.clock)
-        active_seconds = gecko.active_seconds() if gecko is not None else 0.0
-        text = render_lightweight(workload.name, result, active_seconds if with_gecko else None)
-        commit_id = proxy.collect_results(f"{workload.name}-lightweight", text, session.clock.now())
+        _deprecated("run_lightweight", "run(workload, RunSpec.lightweight())")
+        run = self.session.run(workload, RunSpec.lightweight(with_gecko=with_gecko))
         return LightweightRun(
-            workload=workload.name,
-            result=result,
-            active_seconds=active_seconds,
-            report_text=text,
-            commit_id=commit_id,
+            workload=run.workload,
+            result=run.artifacts.lightweight_result,
+            active_seconds=run.active_seconds,
+            report_text=run.report_text,
+            commit_id=run.commit_id,
         )
 
     def run_loop_profile(self, workload) -> LoopProfileRun:
         """Mode 2: per-syntactic-loop instance/time/trip-count statistics."""
-        hooks = HookBus()
-        proxy, session = self._prepare(workload, hooks, InstrumentationMode.LOOP_PROFILE)
-        profiler = hooks.attach(LoopProfiler(registry=proxy.registry))
-        self._load_scripts(proxy, session, workload)
-        workload.exercise(session)
+        from ..api.spec import RunSpec
 
-        profiles = list(profiler.profiles.values())
-        text = render_loop_profiles(workload.name, profiles)
-        commit_id = proxy.collect_results(f"{workload.name}-loops", text, session.clock.now())
+        _deprecated("run_loop_profile", "run(workload, RunSpec.loop_profile())")
+        run = self.session.run(workload, RunSpec.loop_profile())
+        profiler = run.artifacts.loop_profiler
         return LoopProfileRun(
-            workload=workload.name,
-            profiles=profiles,
-            registry=proxy.registry,
+            workload=run.workload,
+            profiles=list(profiler.profiles.values()),
+            registry=run.artifacts.registry,
             total_loop_time_ms=profiler.total_loop_time_ms(),
-            report_text=text,
-            commit_id=commit_id,
+            report_text=run.report_text,
+            commit_id=run.commit_id,
         )
 
     def run_dependence(
@@ -161,77 +161,35 @@ class JSCeres:
     ) -> DependenceRun:
         """Mode 3: dependence analysis, optionally focused on one loop.
 
-        ``focus_line`` identifies the loop by source line in the workload's
-        (first matching) script, which is how the paper's reports name loops.
+        ``focus_line`` identifies the loop by source line; a line that
+        matches no registered loop raises
+        :class:`~repro.api.spec.UnknownFocusLineError` (the seed silently
+        fell back to analyzing *all* loops).
         """
-        hooks = HookBus()
-        proxy, session = self._prepare(workload, hooks, InstrumentationMode.DEPENDENCE)
-        # The registry is only populated once scripts pass through the proxy,
-        # so intercept them first, then resolve the focus loop, then attach
-        # the analyzer and finally execute the scripts.
-        intercepted = [proxy.request(path) for path, _source in workload.scripts]
+        from ..api.spec import RunSpec
 
-        resolved_focus = focus_loop_id
-        if resolved_focus is None and focus_line is not None:
-            site = self._find_loop_by_line(proxy.registry, focus_line)
-            resolved_focus = site.node_id if site is not None else None
-
-        analyzer = hooks.attach(DependenceAnalyzer(registry=proxy.registry, focus_loop_id=resolved_focus))
-        for document in intercepted:
-            session.run_document(document)
-        workload.exercise(session)
-
-        report = analyzer.report()
-        text = render_dependence(workload.name, report, proxy.registry.loop_label)
-        commit_id = proxy.collect_results(f"{workload.name}-dependence", text, session.clock.now())
+        _deprecated("run_dependence", "run(workload, RunSpec.dependence(...))")
+        run = self.session.run(
+            workload,
+            RunSpec.dependence(focus_line=focus_line, focus_loop_id=focus_loop_id),
+        )
         return DependenceRun(
-            workload=workload.name,
-            report=report,
-            registry=proxy.registry,
-            report_text=text,
-            commit_id=commit_id,
+            workload=run.workload,
+            report=run.artifacts.dependence_report,
+            registry=run.artifacts.registry,
+            report_text=run.report_text,
+            commit_id=run.commit_id,
         )
 
     def run_uninstrumented(self, workload) -> float:
-        """Baseline run with no tracers; returns the total virtual seconds.
+        """Baseline run with no tracers; returns the total virtual seconds."""
+        from ..api.spec import RunSpec
 
-        Used by the overhead benchmark that backs the paper's "no discernible
-        impact" claims for modes 1 and 2.
-        """
-        hooks = HookBus()
-        proxy, session = self._prepare(workload, hooks, InstrumentationMode.NONE)
-        self._load_scripts(proxy, session, workload)
-        workload.exercise(session)
-        return session.clock.now() / 1000.0
+        _deprecated("run_uninstrumented", "run(workload, RunSpec.uninstrumented())")
+        return self.session.run(workload, RunSpec.uninstrumented()).clock_seconds
 
-    # ------------------------------------------------------------------ plumbing
-    def _prepare(self, workload, hooks: HookBus, mode: InstrumentationMode):
-        """Steps 1-2 of Figure 5: host the documents and set up page + proxy."""
-        origin = OriginServer()
-        origin.host_scripts(list(workload.scripts))
-        proxy = InstrumentingProxy(
-            origin,
-            mode=mode,
-            repository=self.repository,
-            publisher=self.publisher,
-            script_cache=self.script_cache,
-        )
-        session = BrowserSession(hooks=hooks, title=workload.name)
-        if hasattr(workload, "prepare"):
-            workload.prepare(session)
-        return proxy, session
-
-    @staticmethod
-    def _load_scripts(proxy: InstrumentingProxy, session: BrowserSession, workload) -> None:
-        """Steps 3-4 of Figure 5: serve the instrumented documents to the page."""
-        for path, _source in workload.scripts:
-            instrumented = proxy.request(path)
-            session.run_document(instrumented)
-
+    # ------------------------------------------------------------------ legacy
     @staticmethod
     def _find_loop_by_line(registry: IndexRegistry, line: int) -> Optional[LoopSite]:
-        for index in registry.indexes.values():
-            site = index.loop_for_line(line)
-            if site is not None:
-                return site
-        return None
+        """Legacy helper; prefer :meth:`IndexRegistry.loop_for_line`."""
+        return registry.loop_for_line(line)

@@ -18,7 +18,7 @@ analyses in request order.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.casestudy import ApplicationAnalysis, CaseStudyRunner

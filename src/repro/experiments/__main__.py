@@ -1,8 +1,10 @@
-"""Command-line entry point: ``python -m repro.experiments [experiment-id ...]``.
+"""Legacy command-line entry point: ``python -m repro.experiments [id ...]``.
 
-Without arguments every registered experiment runs (the full reproduction of
-the paper's tables and figures); with arguments only the named experiments
-run.  Use ``--list`` to see the available experiment ids.
+Superseded by the unified ``python -m repro`` CLI (subcommands ``run``,
+``experiments``, ``list``, ``report``); kept for compatibility.  Without
+arguments every registered experiment runs (the full reproduction of the
+paper's tables and figures); with arguments only the named experiments run.
+Use ``--list`` to see the available experiment ids.
 """
 
 from __future__ import annotations

@@ -1,26 +1,28 @@
 """Experiment registry: one entry per table/figure of the paper.
 
 Each experiment knows which paper artifact it regenerates, how to run it and
-how to render its result as text.  The heavyweight case-study pipeline (which
-backs Table 2, Table 3, the Amdahl bounds and the parallel validation) is
-owned by a process-wide :class:`~repro.engine.AnalysisPipeline`, which caches
-results per requested workload set, shares parsed ASTs across stages and
-fans out across workloads — so the individual experiments and benchmarks all
-reuse one batch run.
+how to render its result as text.  Experiments are bound to an
+:class:`~repro.api.session.AnalysisSession`, which owns the heavyweight
+case-study pipeline (caching, AST sharing, fan-out across workloads):
+:func:`build_registry` takes the session explicitly; when none is given, a
+process-wide default session is created lazily behind a lock.
+
+``run_case_study`` remains as a deprecated shim over the default session so
+seed-era callers keep working.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..analysis import CaseStudyRunner
 from ..ceres.report import render_summary_table
-from ..engine import AnalysisPipeline
 from ..engine.pipeline import PipelineResult as CaseStudyResults
 from ..parallel import model_application_speedup
 from ..survey import (
-    all_figures,
     figure1_data,
     figure2_data,
     figure3_data,
@@ -28,19 +30,32 @@ from ..survey import (
     generate_population,
     render_figure,
 )
-from ..workloads import all_workloads, table1
 
-#: Process-wide pipeline backing ``run_case_study`` (replaces the former
-#: ``_CASE_STUDY_CACHE`` module-global dict).
-_DEFAULT_PIPELINE: Optional[AnalysisPipeline] = None
+#: Process-wide fallback session for callers that do not manage their own
+#: (the deprecated ``run_case_study`` path and ``build_registry()`` with no
+#: argument).  Creation is guarded by a lock: the seed's lazy module global
+#: had a check-then-set race under threads.
+_DEFAULT_SESSION = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
 
 
-def get_default_pipeline() -> AnalysisPipeline:
-    """The shared pipeline used by the registered experiments."""
-    global _DEFAULT_PIPELINE
-    if _DEFAULT_PIPELINE is None:
-        _DEFAULT_PIPELINE = AnalysisPipeline()
-    return _DEFAULT_PIPELINE
+def default_session():
+    """The shared fallback :class:`~repro.api.session.AnalysisSession`."""
+    global _DEFAULT_SESSION
+    session = _DEFAULT_SESSION
+    if session is None:
+        with _DEFAULT_SESSION_LOCK:
+            session = _DEFAULT_SESSION
+            if session is None:
+                from ..api.session import AnalysisSession
+
+                session = _DEFAULT_SESSION = AnalysisSession()
+    return session
+
+
+def get_default_pipeline():
+    """The shared pipeline behind the fallback session (thread-safe)."""
+    return default_session().pipeline
 
 
 def run_case_study(
@@ -48,8 +63,14 @@ def run_case_study(
     force: bool = False,
     runner: Optional[CaseStudyRunner] = None,
 ) -> CaseStudyResults:
-    """Run (or reuse) the case-study pipeline over the given workloads."""
-    return get_default_pipeline().run(workload_names, force=force, runner=runner)
+    """Deprecated: use :meth:`AnalysisSession.case_study` instead."""
+    warnings.warn(
+        "repro.experiments.run_case_study is deprecated; use "
+        "repro.api.AnalysisSession.case_study instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return default_session().case_study(workload_names, force=force, runner=runner)
 
 
 @dataclass
@@ -75,19 +96,21 @@ def _figure_runner(builder) -> Callable[[], str]:
 
 
 def _table1_runner() -> str:
+    from ..workloads import table1
+
     return render_summary_table(table1(), ["Name/URL", "Category/Description"], title="Table 1. Case study - web applications")
 
 
-def _table2_runner() -> str:
-    return run_case_study().tables.render_table2()
+def _table2_runner(session) -> str:
+    return session.case_study().tables.render_table2()
 
 
-def _table3_runner() -> str:
-    return run_case_study().tables.render_table3()
+def _table3_runner(session) -> str:
+    return session.case_study().tables.render_table3()
 
 
-def _amdahl_runner() -> str:
-    results = run_case_study()
+def _amdahl_runner(session) -> str:
+    results = session.case_study()
     tables = results.tables
     summary = [
         tables.render_speedups(),
@@ -100,8 +123,8 @@ def _amdahl_runner() -> str:
     return "\n".join(summary)
 
 
-def _parallel_validation_runner() -> str:
-    results = run_case_study()
+def _parallel_validation_runner(session) -> str:
+    results = session.case_study()
     rows = [model_application_speedup(analysis).as_row() for analysis in results.analyses]
     return render_summary_table(
         rows,
@@ -110,32 +133,31 @@ def _parallel_validation_runner() -> str:
     )
 
 
-def _nbody_runner() -> str:
-    from ..ceres import JSCeres
+def _nbody_runner(session) -> str:
+    from ..api.spec import RunSpec
     from ..workloads.nbody import STEP_FOR_LINE, make_nbody_workload
 
-    tool = JSCeres()
-    run = tool.run_dependence(make_nbody_workload(), focus_line=STEP_FOR_LINE)
+    run = session.run(make_nbody_workload(), RunSpec.dependence(focus_line=STEP_FOR_LINE))
     return run.report_text
 
 
-def _overhead_runner() -> str:
-    from ..ceres import JSCeres
+def _overhead_runner(session) -> str:
+    from ..api.spec import RunSpec
     from ..workloads import get_workload
 
-    tool = JSCeres()
     rows = []
     for name in ("fluidSim", "Normal Mapping"):
-        workload_factory = lambda: get_workload(name)  # noqa: E731 - tiny local helper
-        baseline = tool.run_uninstrumented(workload_factory())
-        lightweight = tool.run_lightweight(workload_factory(), with_gecko=False)
-        loops = tool.run_loop_profile(workload_factory())
+        baseline = session.run(get_workload(name), RunSpec.uninstrumented())
+        lightweight = session.run(get_workload(name), RunSpec.lightweight(with_gecko=False))
+        loops = session.run(get_workload(name), RunSpec.loop_profile())
         rows.append(
             {
                 "workload": name,
-                "uninstrumented (s)": round(baseline, 2),
+                "uninstrumented (s)": round(baseline.clock_seconds, 2),
                 "mode 1 (s)": round(lightweight.total_seconds, 2),
-                "mode 2 loop time (s)": round(loops.total_loop_time_ms / 1000.0, 2),
+                "mode 2 loop time (s)": round(
+                    loops.payloads["loop_profile"]["total_loop_time_ms"] / 1000.0, 2
+                ),
             }
         )
     return render_summary_table(
@@ -145,8 +167,15 @@ def _overhead_runner() -> str:
     )
 
 
-def build_registry() -> Dict[str, Experiment]:
-    """All experiments, keyed by experiment id (see DESIGN.md)."""
+def build_registry(session=None) -> Dict[str, Experiment]:
+    """All experiments, keyed by experiment id (see DESIGN.md).
+
+    ``session`` is the :class:`~repro.api.session.AnalysisSession` the
+    case-study experiments run through; the shared fallback session is used
+    when omitted, so seed-era ``build_registry()`` callers keep working.
+    """
+    if session is None:
+        session = default_session()
     return {
         "fig1-categories": Experiment(
             "fig1-categories", "Figure 1", "Future web application categories (thematic coding)",
@@ -162,25 +191,25 @@ def build_registry() -> Dict[str, Experiment]:
             _figure_runner(figure4_data)),
         "fig6-nbody": Experiment(
             "fig6-nbody", "Figure 6 / Section 3.3", "N-body dependence-analysis walkthrough",
-            _nbody_runner),
+            lambda: _nbody_runner(session)),
         "table1-workloads": Experiment(
             "table1-workloads", "Table 1", "The twelve case-study applications",
             _table1_runner),
         "table2-runtime": Experiment(
             "table2-runtime", "Table 2", "Total / active / in-loop running time",
-            _table2_runner),
+            lambda: _table2_runner(session)),
         "table3-loopnests": Experiment(
             "table3-loopnests", "Table 3", "Detailed inspection of hot loop nests",
-            _table3_runner),
+            lambda: _table3_runner(session)),
         "amdahl-bounds": Experiment(
             "amdahl-bounds", "Section 4.2 / 5", "Amdahl speedup upper bounds and headline counts",
-            _amdahl_runner),
+            lambda: _amdahl_runner(session)),
         "parallel-validation": Experiment(
             "parallel-validation", "Section 1 / 4", "Modelled parallel execution of easy nests",
-            _parallel_validation_runner),
+            lambda: _parallel_validation_runner(session)),
         "ceres-overhead": Experiment(
             "ceres-overhead", "Sections 3.1-3.2", "Instrumentation overhead of modes 1 and 2",
-            _overhead_runner),
+            lambda: _overhead_runner(session)),
     }
 
 

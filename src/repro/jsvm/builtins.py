@@ -19,7 +19,6 @@ from .values import (
     NULL,
     UNDEFINED,
     JSArray,
-    JSFunction,
     JSObject,
     NativeFunction,
     is_callable,

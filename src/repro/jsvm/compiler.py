@@ -36,7 +36,6 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from . import ast_nodes as ast
 from .errors import (
-    InterpreterLimitError,
     JSReferenceError,
     JSRuntimeError,
     JSThrownValue,

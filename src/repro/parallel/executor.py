@@ -12,7 +12,7 @@ strategy, charging scheduling overhead and respecting the dependence verdict
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..analysis.casestudy import NestAnalysis
 from ..analysis.difficulty import Difficulty

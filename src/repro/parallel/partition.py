@@ -8,7 +8,7 @@ covered by property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..analysis.amdahl import SpeedupBound
 from ..analysis.casestudy import ApplicationAnalysis
 from ..analysis.difficulty import Difficulty
 from .executor import ParallelOutcome, simulate_parallel_execution

@@ -9,7 +9,7 @@ published one.  ``render_*`` functions produce ASCII bar charts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from .aggregate import component_rating_distribution, scale_distribution
 from .coding import FIGURE1_CATEGORIES, CodingResult, code_answers

@@ -24,7 +24,6 @@ from .coding import (
 )
 from .model import Response, ResponseSet
 from .questionnaire import (
-    BOTTLENECK_COMPONENTS,
     BOTTLENECK_LEVELS,
     Q_ARRAY_OPERATORS,
     Q_BOTTLENECKS,

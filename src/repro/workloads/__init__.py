@@ -1,28 +1,43 @@
-"""The case-study workloads (Table 1) plus the paper's Figure 6 example."""
+"""The case-study workloads (Table 1) plus the paper's Figure 6 example.
 
-from .base import (
-    REGISTRY,
-    Workload,
-    WorkloadRegistry,
-    all_workloads,
-    get_workload,
-    register_workload,
-    table1,
-    workload_names,
+This package is import-lazy (PEP 562): importing it — directly or through
+``repro.api`` — pulls in **no** workload module.  Built-in workloads are
+declared in :data:`repro.workloads.base.WORKLOAD_MANIFEST` and each module
+is imported only when its workload is first requested by name; the Figure 6
+N-body helpers load on first attribute access.
+"""
+
+_BASE_NAMES = frozenset(
+    {
+        "REGISTRY",
+        "WORKLOAD_MANIFEST",
+        "Workload",
+        "WorkloadRegistry",
+        "all_workloads",
+        "get_workload",
+        "register_workload",
+        "table1",
+        "workload_names",
+    }
 )
-from .nbody import DRIVER_WHILE_LINE, NBODY_SOURCE, STEP_FOR_LINE, make_nbody_workload
+_NBODY_NAMES = frozenset(
+    {"DRIVER_WHILE_LINE", "NBODY_SOURCE", "STEP_FOR_LINE", "make_nbody_workload"}
+)
 
-__all__ = [
-    "REGISTRY",
-    "Workload",
-    "WorkloadRegistry",
-    "all_workloads",
-    "get_workload",
-    "register_workload",
-    "table1",
-    "workload_names",
-    "DRIVER_WHILE_LINE",
-    "NBODY_SOURCE",
-    "STEP_FOR_LINE",
-    "make_nbody_workload",
-]
+__all__ = sorted(_BASE_NAMES | _NBODY_NAMES)
+
+
+def __getattr__(name):
+    if name in _BASE_NAMES:
+        from . import base
+
+        return getattr(base, name)
+    if name in _NBODY_NAMES:
+        from . import nbody
+
+        return getattr(nbody, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

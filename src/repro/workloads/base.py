@@ -15,7 +15,8 @@ substitution rationale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import importlib
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..browser.window import BrowserSession
@@ -56,33 +57,84 @@ class Workload:
         return {"Name/URL": f"{self.name} / {self.url}", "Category/Description": f"{self.category} / {self.description}"}
 
 
-class WorkloadRegistry:
-    """Registry of the case-study workloads (Table 1)."""
+#: Declarative manifest of the built-in case-study workloads, in Table 1
+#: order: workload name → module (relative to this package) whose import
+#: registers the factory.  Nothing here is imported until a workload is
+#: actually requested, so ``import repro.api`` (or this module) stays
+#: side-effect-free.
+WORKLOAD_MANIFEST: Dict[str, str] = {
+    "HAAR.js": "haar",
+    "Tear-able Cloth": "cloth",
+    "CamanJS": "caman",
+    "fluidSim": "fluidsim",
+    "Harmony": "harmony",
+    "Ace": "ace",
+    "MyScript": "myscript",
+    "Realtime Raytracing": "raytrace",
+    "Normal Mapping": "normalmap",
+    "sigma.js": "sigma",
+    "processing.js": "processing",
+    "D3.js": "d3map",
+}
 
-    def __init__(self) -> None:
+
+class WorkloadRegistry:
+    """Registry of the case-study workloads (Table 1).
+
+    Built-in workloads are declared in a *manifest* (name → module) and
+    loaded lazily, one module per requested name; out-of-tree scenarios plug
+    in through :func:`register_workload` and need no manifest entry.
+    """
+
+    def __init__(self, manifest: Optional[Dict[str, str]] = None) -> None:
+        self._manifest: Dict[str, str] = dict(manifest or {})
         self._factories: Dict[str, Callable[[], Workload]] = {}
 
     def register(self, name: str, factory: Callable[[], Workload]) -> None:
         self._factories[name] = factory
 
     def names(self) -> List[str]:
-        return list(self._factories.keys())
+        """Every known name: manifest entries (Table 1 order) + plugins."""
+        extras = [name for name in self._factories if name not in self._manifest]
+        return list(self._manifest) + extras
+
+    def loaded_names(self) -> List[str]:
+        """Names whose factory is already materialized (no imports triggered)."""
+        return list(self._factories)
+
+    def _load(self, name: str) -> None:
+        """Import the one module that registers ``name``."""
+        module_name = self._manifest[name]
+        importlib.import_module(f".{module_name}", __package__)
+        if name not in self._factories:
+            raise RuntimeError(
+                f"module {module_name!r} did not register workload {name!r}"
+            )
 
     def create(self, name: str) -> Workload:
         if name not in self._factories:
-            raise KeyError(f"unknown workload {name!r}; known: {sorted(self._factories)}")
+            if name in self._manifest:
+                self._load(name)
+            else:
+                raise KeyError(f"unknown workload {name!r}; known: {sorted(self.names())}")
         return self._factories[name]()
 
     def create_all(self) -> List[Workload]:
-        return [factory() for factory in self._factories.values()]
+        return [self.create(name) for name in self.names()]
 
 
-#: Global registry populated by the workload modules at import time.
-REGISTRY = WorkloadRegistry()
+#: Global registry: built-ins come from the manifest (loaded lazily); the
+#: workload modules register their factories on import via the decorator.
+REGISTRY = WorkloadRegistry(manifest=WORKLOAD_MANIFEST)
 
 
 def register_workload(name: str):
-    """Decorator registering a zero-argument workload factory."""
+    """Decorator registering a zero-argument workload factory.
+
+    This is the plugin hook for out-of-tree scenarios: any package can
+    register a workload under a new name and it becomes runnable through
+    :meth:`repro.api.AnalysisSession.run` and the ``python -m repro`` CLI.
+    """
 
     def decorator(factory: Callable[[], Workload]) -> Callable[[], Workload]:
         REGISTRY.register(name, factory)
@@ -92,40 +144,20 @@ def register_workload(name: str):
 
 
 def get_workload(name: str) -> Workload:
-    """Instantiate a registered workload by name."""
-    _ensure_loaded()
+    """Instantiate a workload by name (loading only its module, lazily)."""
     return REGISTRY.create(name)
 
 
 def all_workloads() -> List[Workload]:
     """Instantiate every registered case-study workload (Table 1 order)."""
-    _ensure_loaded()
     return REGISTRY.create_all()
 
 
 def workload_names() -> List[str]:
-    _ensure_loaded()
+    """Every known workload name — no workload module is imported."""
     return REGISTRY.names()
 
 
 def table1() -> List[dict]:
     """The Table 1 rows (name/URL and category/description)."""
     return [workload.table1_row() for workload in all_workloads()]
-
-
-def _ensure_loaded() -> None:
-    """Import the workload modules so they register themselves."""
-    from . import (  # noqa: F401  (import side effects populate REGISTRY)
-        haar,
-        cloth,
-        caman,
-        fluidsim,
-        harmony,
-        ace,
-        myscript,
-        raytrace,
-        normalmap,
-        sigma,
-        processing,
-        d3map,
-    )
