@@ -1,16 +1,28 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures + machine-readable artifacts for the benchmark harness.
 
 The case-study pipeline (12 applications × 3 instrumentation modes × hot
 nests) is the expensive part of the reproduction, so it runs once per
 benchmark session and the per-table benchmarks consume the cached result.
+
+Every benchmark run also emits one ``artifacts/BENCH_<name>.json`` file per
+benchmark (ops/sec, timing stats, and any ``extra_info`` such as executed
+speculation speedups) so CI can upload them and the performance trajectory
+accumulates across PRs instead of evaporating with the job log.
 """
 
 from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.registry import run_case_study
 from repro.survey.population import generate_population
+
+#: Where the per-benchmark JSON artifacts land (uploaded by CI).
+ARTIFACTS_DIR = Path(__file__).resolve().parent / "artifacts"
 
 
 @pytest.fixture(scope="session")
@@ -23,3 +35,44 @@ def case_study():
 def population():
     """The 174-respondent synthetic survey population."""
     return generate_population(seed=2015)
+
+
+def _artifact_name(benchmark_name: str) -> str:
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", benchmark_name).strip("_")
+    return f"BENCH_{slug}.json"
+
+
+def _benchmark_payload(bench) -> dict:
+    payload = {
+        "name": bench.name,
+        "fullname": bench.fullname,
+        "group": bench.group,
+        "extra_info": dict(bench.extra_info or {}),
+    }
+    try:
+        stats = bench.as_dict(include_data=False, flat=True, stats=True)
+    except Exception:  # pragma: no cover - plugin API drift
+        stats = {}
+    for key in ("min", "max", "mean", "stddev", "median", "rounds", "iterations", "ops"):
+        if key in stats:
+            payload[key] = stats[key]
+    if "ops" not in payload and payload.get("mean"):
+        payload["ops"] = 1.0 / payload["mean"]
+    return payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one BENCH_<name>.json per benchmark that actually ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    ARTIFACTS_DIR.mkdir(exist_ok=True)
+    for bench in bench_session.benchmarks:
+        payload = _benchmark_payload(bench)
+        path = ARTIFACTS_DIR / _artifact_name(bench.name)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line(
+            f"benchmark artifacts: {len(bench_session.benchmarks)} file(s) in {ARTIFACTS_DIR}"
+        )

@@ -1,0 +1,56 @@
+"""Benchmark: speculative re-execution of a DOALL nest, end to end.
+
+Tracks the wall-clock cost of the speculation machinery (state forking,
+isolated chunk replay, diff/merge, digest validation) and records the
+*executed* speedups in the benchmark artifact so the perf trajectory shows
+both how fast the validator runs and what it validates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.speculative import SpeculationOptions, SpeculativeExecutor
+from repro.workloads import get_workload
+
+#: (workload, loop line) — the two shapes that matter: a committing DOALL
+#: nest and a mis-speculating stencil (rollback path, same machinery).
+NESTS = [
+    ("Normal Mapping", "commit"),
+    ("fluidSim", "rollback"),
+]
+
+
+def _target_line(workload_name: str, shape: str) -> int:
+    source = get_workload(workload_name).scripts[0][1]
+    if workload_name == "Normal Mapping":
+        # The shade-frame scan-line loop (the build-normals loop pushes into
+        # a shared array, which genuinely conflicts).
+        needle = "for (var y = 0; y < nm.height; y++) {"
+    else:
+        # fluidSim: the Gauss-Seidel sweep inside fluidLinSolve mis-speculates.
+        needle = "for (var j = 1; j <= size; j++) {"
+    for index, text in enumerate(source.splitlines()):
+        if needle in text:
+            return index + 1
+    raise AssertionError(f"no target loop found in {workload_name}")
+
+
+@pytest.mark.parametrize("workload_name,shape", NESTS)
+def test_bench_speculative_nest(benchmark, workload_name, shape):
+    executor = SpeculativeExecutor(options=SpeculationOptions(workers=8))
+    line = _target_line(workload_name, shape)
+
+    def run_once():
+        return executor.speculate_loop(get_workload(workload_name), line=line)
+
+    speculation = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    outcome = speculation.outcomes[0]
+    expected = "committed" if shape == "commit" else "rolled-back"
+    assert outcome.status == expected, outcome.reason
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["nest"] = outcome.label
+    benchmark.extra_info["status"] = outcome.status
+    benchmark.extra_info["executed_speedup"] = round(outcome.executed_speedup, 3)
+    benchmark.extra_info["serial_virtual_ms"] = round(outcome.serial_ms, 3)
+    benchmark.extra_info["workers"] = outcome.workers

@@ -82,7 +82,42 @@ def _run_experiments(session, experiment_ids, as_json: bool) -> int:
 
 
 def _cmd_run(session, args) -> int:
+    if args.speculate:
+        return _cmd_run_speculate(session, args)
+    if not args.experiments:
+        print("run: experiment ids required (or use --speculate)", file=sys.stderr)
+        return 2
     return _run_experiments(session, args.experiments, args.json)
+
+
+def _cmd_run_speculate(session, args) -> int:
+    """``run --speculate [workload ...]``: executed vs modelled speedup per nest."""
+    from .api.spec import RunSpec
+    from .workloads import workload_names
+
+    known = workload_names()
+    names = args.experiments or known
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(known)}", file=sys.stderr)
+        return 2
+    spec = RunSpec.speculate(
+        workers=args.spec_workers,
+        strategy=args.spec_strategy,
+        processes=args.spec_processes,
+    )
+    envelope = []
+    for name in names:
+        result = session.run(name, spec)
+        if args.json:
+            envelope.append(result.to_dict())
+        else:
+            print(result.report_text)
+            print()
+    if args.json:
+        print(json.dumps(envelope, indent=2))
+    return 0
 
 
 def _cmd_experiments(session, args) -> int:
@@ -132,9 +167,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.add_argument("--json", action="store_true", help="machine-readable output")
     p_list.set_defaults(func=_cmd_list)
 
-    p_run = subparsers.add_parser("run", help="run experiments by id")
-    p_run.add_argument("experiments", nargs="+", help="experiment ids (see `list`)")
+    p_run = subparsers.add_parser(
+        "run", help="run experiments by id (or workloads with --speculate)"
+    )
+    p_run.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (see `list`); with --speculate: workload names (default all)",
+    )
     p_run.add_argument("--json", action="store_true", help="JSON envelope per experiment")
+    p_run.add_argument(
+        "--speculate",
+        action="store_true",
+        help="speculatively re-execute every DOALL nest and report executed vs modelled speedup",
+    )
+    p_run.add_argument(
+        "--spec-workers", type=int, default=None, help="speculation worker count (default 8)"
+    )
+    p_run.add_argument(
+        "--spec-strategy",
+        choices=["block", "cyclic"],
+        default=None,
+        help="iteration partitioning strategy (default block)",
+    )
+    p_run.add_argument(
+        "--spec-processes",
+        action="store_true",
+        help="also replay chunks in forked OS processes for wall-clock numbers",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_experiments = subparsers.add_parser(

@@ -21,22 +21,26 @@ layer; see README for the migration table.
 from .results import SCHEMA_VERSION, RunArtifacts, RunResult
 from .session import AnalysisSession
 from .spec import (
+    ALL_MODES,
     ALL_TRACERS,
     DEPENDENCE,
     GECKO,
     LIGHTWEIGHT,
     LOOP_PROFILE,
+    SPECULATE,
     RunSpec,
     UnknownFocusLineError,
 )
 
 __all__ = [
+    "ALL_MODES",
     "ALL_TRACERS",
     "AnalysisSession",
     "DEPENDENCE",
     "GECKO",
     "LIGHTWEIGHT",
     "LOOP_PROFILE",
+    "SPECULATE",
     "RunArtifacts",
     "RunResult",
     "RunSpec",

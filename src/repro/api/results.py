@@ -126,3 +126,23 @@ class RunResult:
     def active_seconds(self) -> float:
         payload = self.payloads.get("gecko")
         return payload["active_seconds"] if payload is not None else 0.0
+
+    @property
+    def speculation(self) -> Optional[Dict[str, Any]]:
+        """The ``speculate`` mode's payload (None when the mode did not run)."""
+        return self.payloads.get("speculate")
+
+    def executed_speedups(self) -> Dict[str, float]:
+        """Nest label → *executed* speedup for every speculated (non-skipped) nest.
+
+        Committed nests report their measured virtual-time speedup;
+        rolled-back nests report 1.0 (the serial result stands).
+        """
+        payload = self.speculation
+        if payload is None:
+            return {}
+        return {
+            nest["label"]: nest["executed_speedup"]
+            for nest in payload.get("nests", [])
+            if nest.get("status") != "skipped"
+        }

@@ -42,7 +42,15 @@ from ..engine.cache import ScriptCache, workload_fingerprint
 from ..engine.pipeline import AnalysisPipeline, PipelineResult
 from ..jsvm.hooks import HookBus
 from .results import RunArtifacts, RunResult
-from .spec import DEPENDENCE, GECKO, LIGHTWEIGHT, LOOP_PROFILE, RunSpec, UnknownFocusLineError
+from .spec import (
+    DEPENDENCE,
+    GECKO,
+    LIGHTWEIGHT,
+    LOOP_PROFILE,
+    SPECULATE,
+    RunSpec,
+    UnknownFocusLineError,
+)
 
 
 class AnalysisSession:
@@ -207,6 +215,17 @@ class AnalysisSession:
             payloads[DEPENDENCE] = self._dependence_payload(report, proxy.registry)
             sections.append(render_dependence(workload.name, report, proxy.registry.loop_label))
 
+        if SPECULATE in spec.tracers:
+            # Separate passes by construction: the four-stage analysis feeds
+            # the speculation gate, and each eligible nest re-runs the
+            # workload with a speculation controller — the composed main pass
+            # above is never perturbed.
+            speculation = self._run_speculation(workload, spec)
+            payloads[SPECULATE] = speculation.to_payload()
+            from ..parallel.speculative import render_speculation
+
+            sections.append(render_speculation(workload.name, speculation))
+
         report_text = "\n\n".join(sections)
         commit_id = None
         suffix = spec.commit_suffix()
@@ -226,6 +245,21 @@ class AnalysisSession:
             spec=spec.to_dict(),
             artifacts=artifacts,
         )
+
+    # ----------------------------------------------------------- speculation
+    def _run_speculation(self, workload, spec: RunSpec):
+        """Four-stage analysis + speculative re-execution of DOALL nests."""
+        from ..parallel.machine import PAPER_MACHINE
+        from ..parallel.speculative import SpeculationOptions, SpeculativeExecutor
+
+        options = SpeculationOptions(
+            workers=spec.speculate_workers or PAPER_MACHINE.hardware_threads,
+            strategy=spec.speculate_strategy or "block",
+            use_processes=spec.speculate_processes,
+        )
+        executor = SpeculativeExecutor(script_cache=self.script_cache, options=options)
+        _analysis, speculation = self.pipeline.analyze_with_speculation(workload, executor)
+        return speculation
 
     # ------------------------------------------------------------ case study
     def case_study(

@@ -27,9 +27,18 @@ LIGHTWEIGHT = "lightweight"
 GECKO = "gecko"
 LOOP_PROFILE = "loop_profile"
 DEPENDENCE = "dependence"
+#: Speculative parallel re-execution (see :mod:`repro.parallel.speculative`).
+#: Not a hook-bus tracer: the session runs the four-stage analysis to obtain
+#: dependence verdicts, then re-runs the workload once per DOALL nest with a
+#: speculation controller installed.
+SPECULATE = "speculate"
 
 #: Canonical tracer order (used for deterministic labels and payload listing).
+#: ``speculate`` is a *mode*, not a bus tracer, so it is listed separately.
 ALL_TRACERS = (LIGHTWEIGHT, GECKO, LOOP_PROFILE, DEPENDENCE)
+
+#: Every valid ``RunSpec.tracers`` entry, in canonical order.
+ALL_MODES = ALL_TRACERS + (SPECULATE,)
 
 #: Short names used in results-repository commit labels; the single-tracer
 #: labels match the historical ``JSCeres.run_*`` report names exactly.
@@ -38,6 +47,7 @@ _COMMIT_NAMES = {
     GECKO: "gecko",
     LOOP_PROFILE: "loops",
     DEPENDENCE: "dependence",
+    SPECULATE: "speculate",
 }
 
 
@@ -74,13 +84,20 @@ class RunSpec:
     focus_line: Optional[int] = None
     focus_loop_id: Optional[int] = None
     publish: bool = True
+    #: Speculation knobs (meaningful only with the ``speculate`` mode):
+    #: worker count (None = the paper machine's 8 hardware threads),
+    #: iteration partitioning strategy, and whether chunks additionally run
+    #: in forked OS processes for wall-clock numbers.
+    speculate_workers: Optional[int] = None
+    speculate_strategy: Optional[str] = None
+    speculate_processes: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tracers", frozenset(self.tracers))
-        unknown = self.tracers - set(ALL_TRACERS)
+        unknown = self.tracers - set(ALL_MODES)
         if unknown:
             raise ValueError(
-                f"unknown tracer kind(s) {sorted(unknown)}; known: {list(ALL_TRACERS)}"
+                f"unknown tracer kind(s) {sorted(unknown)}; known: {list(ALL_MODES)}"
             )
         if (self.focus_line is not None or self.focus_loop_id is not None) and (
             DEPENDENCE not in self.tracers
@@ -88,6 +105,20 @@ class RunSpec:
             raise ValueError(
                 "focus_line/focus_loop_id require the 'dependence' tracer "
                 f"(got tracers={sorted(self.tracers)})"
+            )
+        if SPECULATE not in self.tracers and (
+            self.speculate_workers is not None
+            or self.speculate_strategy is not None
+            or self.speculate_processes
+        ):
+            raise ValueError(
+                "speculate_workers/speculate_strategy/speculate_processes require "
+                f"the 'speculate' mode (got tracers={sorted(self.tracers)})"
+            )
+        if self.speculate_strategy not in (None, "block", "cyclic"):
+            raise ValueError(
+                f"unknown speculation strategy {self.speculate_strategy!r}; "
+                "known: 'block', 'cyclic'"
             )
 
     # ------------------------------------------------------------ constructors
@@ -118,6 +149,28 @@ class RunSpec:
             tracers=frozenset({DEPENDENCE}),
             focus_line=focus_line,
             focus_loop_id=focus_loop_id,
+        )
+
+    @classmethod
+    def speculate(
+        cls,
+        workers: Optional[int] = None,
+        strategy: Optional[str] = None,
+        processes: bool = False,
+    ) -> "RunSpec":
+        """Speculative parallel re-execution of every DOALL-verdict nest.
+
+        The session runs the four-stage analysis (the ``ceres`` dependence
+        verdicts gate which nests speculate), then re-executes each eligible
+        nest in ``workers`` isolated contexts and reports executed vs
+        modelled speedup; compose with other modes freely (``RunSpec.speculate()
+        | RunSpec.lightweight()``).
+        """
+        return cls(
+            tracers=frozenset({SPECULATE}),
+            speculate_workers=workers,
+            speculate_strategy=strategy,
+            speculate_processes=processes,
         )
 
     @classmethod
@@ -156,6 +209,13 @@ class RunSpec:
             focus_line=merge(self.focus_line, other.focus_line, "focus_line"),
             focus_loop_id=merge(self.focus_loop_id, other.focus_loop_id, "focus_loop_id"),
             publish=self.publish and other.publish,
+            speculate_workers=merge(
+                self.speculate_workers, other.speculate_workers, "speculate_workers"
+            ),
+            speculate_strategy=merge(
+                self.speculate_strategy, other.speculate_strategy, "speculate_strategy"
+            ),
+            speculate_processes=self.speculate_processes or other.speculate_processes,
         )
 
     # ------------------------------------------------------------------ masks
@@ -180,6 +240,11 @@ class RunSpec:
         }
         mask = 0
         for kind in self.tracers:
+            if kind == SPECULATE:
+                # Speculation is not a bus tracer: its analysis and replay
+                # runs are separate passes, so the composed main pass stays
+                # unaffected.
+                continue
             mask |= classes[kind].declared_events()
         return mask
 
@@ -202,7 +267,7 @@ class RunSpec:
     # ------------------------------------------------------------------ labels
     def modes(self) -> List[str]:
         """The composed tracer kinds in canonical order."""
-        return [kind for kind in ALL_TRACERS if kind in self.tracers]
+        return [kind for kind in ALL_MODES if kind in self.tracers]
 
     def commit_suffix(self) -> Optional[str]:
         """Report name suffix for the results repository (None = no commit).
@@ -226,6 +291,9 @@ class RunSpec:
             "focus_line": self.focus_line,
             "focus_loop_id": self.focus_loop_id,
             "publish": self.publish,
+            "speculate_workers": self.speculate_workers,
+            "speculate_strategy": self.speculate_strategy,
+            "speculate_processes": self.speculate_processes,
         }
 
     @classmethod
@@ -235,4 +303,7 @@ class RunSpec:
             focus_line=data.get("focus_line"),
             focus_loop_id=data.get("focus_loop_id"),
             publish=bool(data.get("publish", True)),
+            speculate_workers=data.get("speculate_workers"),
+            speculate_strategy=data.get("speculate_strategy"),
+            speculate_processes=bool(data.get("speculate_processes", False)),
         )

@@ -145,6 +145,13 @@ class DependenceAnalyzer(Tracer):
         self._env_stamps: Dict[int, Stamp] = {}
         #: names of variables that hold per-iteration aliases (informational)
         self._variable_names: Dict[int, str] = {}
+        #: Strong references to every object observed at creation.  The
+        #: analyzer keys patterns and write stamps by ``id()``; letting guest
+        #: objects die mid-run would allow CPython to reuse their ids and
+        #: silently merge unrelated targets — making reports depend on the
+        #: process's allocation history.  Retention keeps ids unambiguous
+        #: (and results deterministic) for the analyzer's lifetime.
+        self._retained: List[Any] = []
 
     # ------------------------------------------------------------------ labels
     def _label(self, loop_id: int) -> str:
@@ -182,9 +189,11 @@ class DependenceAnalyzer(Tracer):
     def on_object_created(self, interp, obj, node) -> None:
         if isinstance(obj, JSObject):
             obj.creation_stamp = self.stack.snapshot()
+            self._retained.append(obj)
 
     def on_env_created(self, interp, env, kind) -> None:
         self._env_stamps[id(env)] = self.stack.snapshot()
+        self._retained.append(env)
 
     # ------------------------------------------------------------ access hooks
     def on_var_write(self, interp, name, env, value, node) -> None:

@@ -140,6 +140,21 @@ class AnalysisPipeline:
         """Run the four-stage schedule for a single workload, in process."""
         return run_stages(self.make_runner(), workload)
 
+    def analyze_with_speculation(self, workload, executor):
+        """Four-stage analysis plus the speculative re-execution stage.
+
+        Returns ``(analysis, speculation)`` where ``speculation`` is the
+        :class:`~repro.parallel.speculative.WorkloadSpeculation` produced by
+        validating every DOALL-verdict nest against a real (worker-isolated)
+        parallel replay.
+        """
+        from .stages import default_stages, speculation_stage
+
+        state: Dict[str, object] = {}
+        stages = default_stages() + (speculation_stage(executor),)
+        analysis = run_stages(self.make_runner(), workload, stages=stages, state=state)
+        return analysis, state["speculation"]
+
     def analyze_many(
         self,
         workloads: Sequence,

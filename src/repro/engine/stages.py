@@ -106,6 +106,23 @@ def default_stages() -> Tuple[Stage, ...]:
     return _DEFAULT_STAGES
 
 
+def speculation_stage(executor) -> Stage:
+    """An optional fifth stage: speculative re-execution of DOALL nests.
+
+    ``executor`` is a :class:`~repro.parallel.speculative.SpeculativeExecutor`;
+    the stage consumes the dependence verdicts assembled by the default
+    schedule (``state["analysis"]``) and stores the per-nest executed-vs-
+    modelled validation in ``state["speculation"]``.
+    """
+
+    def _stage_speculate(runner, workload, state: StageState) -> None:
+        state["speculation"] = executor.validate_application(workload, state["analysis"])
+
+    return Stage(
+        "speculate", "speculative parallel re-execution of DOALL nests", _stage_speculate
+    )
+
+
 def run_stages(
     runner,
     workload,

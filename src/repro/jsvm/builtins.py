@@ -68,10 +68,21 @@ def _install_math(interp) -> None:
     math_obj.set("E", math.e)
     math_obj.set("LN2", math.log(2.0))
     math_obj.set("SQRT2", math.sqrt(2.0))
+    def rounding(fn):
+        # JS rounding functions pass non-finite inputs through unchanged
+        # (Math.floor(NaN) is NaN, Math.floor(Infinity) is Infinity) where
+        # Python's math.floor would raise.
+        def impl(value: float) -> float:
+            if not math.isfinite(value):
+                return value
+            return fn(value)
+
+        return impl
+
     math_obj.set("abs", NativeFunction("abs", unary(abs)))
-    math_obj.set("floor", NativeFunction("floor", unary(math.floor)))
-    math_obj.set("ceil", NativeFunction("ceil", unary(math.ceil)))
-    math_obj.set("round", NativeFunction("round", unary(lambda x: math.floor(x + 0.5))))
+    math_obj.set("floor", NativeFunction("floor", unary(rounding(math.floor))))
+    math_obj.set("ceil", NativeFunction("ceil", unary(rounding(math.ceil))))
+    math_obj.set("round", NativeFunction("round", unary(rounding(lambda x: math.floor(x + 0.5)))))
     math_obj.set("sqrt", NativeFunction("sqrt", unary(guarded(math.sqrt))))
     math_obj.set("sin", NativeFunction("sin", unary(math.sin)))
     math_obj.set("cos", NativeFunction("cos", unary(math.cos)))

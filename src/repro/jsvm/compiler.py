@@ -129,6 +129,9 @@ def _op_mod(left, right):
     numerator = to_number(left)
     if denominator == 0.0 or math.isnan(denominator) or math.isnan(numerator):
         return float("nan")
+    if math.isinf(numerator):
+        # JS: Infinity % x is NaN (math.fmod would raise a domain error).
+        return float("nan")
     return math.fmod(numerator, denominator)
 
 
@@ -989,8 +992,14 @@ def _body_for(node: ast.ForStatement) -> Code:
     test_code = compile_expr(node.test) if node.test is not None else None
     update_code = compile_expr(node.update) if node.update is not None else None
     body_code = compile_stmt(node.body)
+    node_id = node.node_id
 
     def run(rt, env):
+        controller = rt.speculation
+        if controller is not None and controller.should_intercept(node):
+            return controller.run_instance(rt, env, node, run)
+        filters = rt.iteration_filter
+        ifilter = filters.get(node_id) if filters is not None else None
         loop_env = Environment(parent=env, is_function_scope=False, label="for")
         mask = rt.trace_mask
         if mask & EV_ENV:
@@ -1010,17 +1019,19 @@ def _body_for(node: ast.ForStatement) -> Code:
                     break
                 if wants_loops:
                     hooks.loop_iteration(rt, node, trip)
+                run_body = ifilter is None or trip in ifilter
                 trip += 1
                 stats.loop_iterations += 1
-                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="for-iter")
-                if wants_envs:
-                    hooks.env_created(rt, iteration_env, "block")
-                try:
-                    body_code(rt, iteration_env)
-                except _CONTINUE:
-                    pass
-                except _BREAK:
-                    break
+                if run_body:
+                    iteration_env = Environment(parent=loop_env, is_function_scope=False, label="for-iter")
+                    if wants_envs:
+                        hooks.env_created(rt, iteration_env, "block")
+                    try:
+                        body_code(rt, iteration_env)
+                    except _CONTINUE:
+                        pass
+                    except _BREAK:
+                        break
                 if update_code is not None:
                     update_code(rt, loop_env)
         finally:
@@ -1040,8 +1051,14 @@ def _body_for_in(node: ast.ForInStatement) -> Code:
     target_name = node.target_name
     of_loop = node.of_loop
     line = node.line
+    node_id = node.node_id
 
     def run(rt, env):
+        controller = rt.speculation
+        if controller is not None and controller.should_intercept(node):
+            return controller.run_instance(rt, env, node, run)
+        filters = rt.iteration_filter
+        ifilter = filters.get(node_id) if filters is not None else None
         iterable = iterable_code(rt, env)
         if of_loop:
             if isinstance(iterable, JSArray):
@@ -1080,9 +1097,15 @@ def _body_for_in(node: ast.ForInStatement) -> Code:
             for key in keys:
                 if wants_loops:
                     hooks.loop_iteration(rt, node, trip)
+                run_body = ifilter is None or trip in ifilter
                 trip += 1
                 stats.loop_iterations += 1
+                # The induction binding is scaffolding: it is assigned even for
+                # iterations a chunk replay skips, so every worker ends the
+                # loop with the same (serial) final value.
                 rt._set_variable(target_name, key, loop_env, node)
+                if not run_body:
+                    continue
                 iteration_env = Environment(parent=loop_env, is_function_scope=False, label="forin-iter")
                 if wants_envs:
                     hooks.env_created(rt, iteration_env, "block")

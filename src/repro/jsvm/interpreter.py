@@ -102,6 +102,14 @@ class Interpreter:
         self.max_ops = max_ops
         self.max_call_depth = max_call_depth
         self.stats = ExecutionStats()
+        #: Optional speculation controller (see :mod:`repro.parallel.speculative`):
+        #: compiled ``for``/``for-in`` loops offer it each new loop instance.
+        self.speculation = None
+        #: Optional loop-node-id → iteration-index-set map.  When set, compiled
+        #: counted loops execute only the listed iterations' bodies (induction
+        #: scaffolding still runs) — the chunk-replay mode of the speculative
+        #: executor.  ``None`` (the default) is the zero-overhead fast path.
+        self.iteration_filter = None
 
         self.global_env = Environment(is_function_scope=True, label="global")
         self.call_stack: List[CallFrame] = [CallFrame("(global)")]

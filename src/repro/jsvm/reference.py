@@ -1,0 +1,673 @@
+"""A slow reference evaluator for differential testing of the compiled core.
+
+The production execution path lowers the AST to Python closures once
+(:mod:`repro.jsvm.compiler`) and runs those.  This module re-implements the
+same semantics as a plain recursive tree walk — no compilation, no caching,
+no cleverness — so that the two implementations can be compared
+*differentially*: identical programs must produce identical values, identical
+side effects (heap, console), identical virtual-clock totals and identical
+instrumentation events.
+
+The walker deliberately mirrors the compiled path operation by operation:
+
+* every expression evaluation charges exactly one virtual-clock operation at
+  entry, every statement charges one more (and bumps the statement counter),
+  so clock totals match to the last tick;
+* hook events fire in the same order with the same arguments;
+* evaluation order (operand before operator, value before target re-
+  evaluation in compound member assignment, ...) is byte-for-byte the same.
+
+:class:`ReferenceInterpreter` subclasses :class:`~repro.jsvm.interpreter.Interpreter`
+and overrides only ``run`` and the guest-function call path, so builtins that
+re-enter guest code (``Array.prototype.sort`` comparators, ``forEach``
+callbacks) also execute through the reference walk.
+
+Speculation is not supported here (``speculation``/``iteration_filter`` are
+production-path features); the differential suite runs both engines
+unspeculated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from . import ast_nodes as ast
+from .compiler import (
+    BreakSignal,
+    ContinueSignal,
+    ReturnSignal,
+    build_hoist_plan,
+    resolve_binary,
+    run_hoist_plan,
+)
+from .errors import JSReferenceError, JSRuntimeError, JSThrownValue, JSTypeError
+from .hooks import EV_BRANCH, EV_ENV, EV_FUNCTION, EV_LOOP, EV_STATEMENT, EV_VAR
+from .interpreter import CallFrame, Interpreter
+from .scope import Environment
+from .values import (
+    NULL,
+    UNDEFINED,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    is_callable,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_property_key,
+    to_string,
+    type_of,
+)
+
+
+class ReferenceInterpreter(Interpreter):
+    """Tree-walking twin of the compiled execution core."""
+
+    # ------------------------------------------------------------------ entry
+    def run(self, program: ast.Program, env: Optional[Environment] = None) -> Any:
+        env = env or self.global_env
+        run_hoist_plan(build_hoist_plan(program.body), self, env)
+        result: Any = UNDEFINED
+        for statement in program.body:
+            result = self._exec(statement, env)
+        return result
+
+    def call_function(
+        self,
+        func: Any,
+        this: Any = UNDEFINED,
+        args: Optional[List[Any]] = None,
+        call_node: Optional[ast.Node] = None,
+    ) -> Any:
+        args = args or []
+        if isinstance(func, NativeFunction):
+            return super().call_function(func, this, args, call_node)
+        if not isinstance(func, JSFunction):
+            return super().call_function(func, this, args, call_node)
+        from .errors import InterpreterLimitError
+
+        if len(self.call_stack) >= self.max_call_depth:
+            raise InterpreterLimitError("maximum guest call depth exceeded")
+
+        env = Environment(parent=func.closure, is_function_scope=True, label=func.name)
+        if self.trace_mask & EV_ENV:
+            self.hooks.env_created(self, env, "function")
+        env.declare_let("this", this)
+        env.declare_let("arguments", JSArray(list(args), prototype=self.array_prototype))
+        bindings = env.bindings
+        for index, param in enumerate(func.params):
+            bindings[param] = args[index] if index < len(args) else UNDEFINED
+
+        frame = CallFrame(func.name, call_line=getattr(call_node, "line", 0))
+        self.call_stack.append(frame)
+        self.stats.calls += 1
+        if self.trace_mask & EV_FUNCTION:
+            self.hooks.function_enter(self, func, call_node)
+        try:
+            body = func.body
+            run_hoist_plan(build_hoist_plan(body.body), self, env)
+            for statement in body.body:
+                self._exec(statement, env)
+            return UNDEFINED
+        except ReturnSignal as signal:
+            return signal.value
+        finally:
+            if self.trace_mask & EV_FUNCTION:
+                self.hooks.function_exit(self, func)
+            self.call_stack.pop()
+
+    # -------------------------------------------------------------- statements
+    def _exec(self, node: ast.Node, env: Environment) -> Any:
+        """Full statement semantics: charge, count, hook, then the body."""
+        self._charge()
+        self.stats.statements += 1
+        if self.trace_mask & EV_STATEMENT:
+            self.hooks.statement(self, node)
+        return self._exec_body(node, env)
+
+    def _exec_body(self, node: ast.Node, env: Environment) -> Any:
+        method = _STATEMENTS.get(type(node))
+        if method is None:
+            # Expression in a statement list: the statement step charged
+            # above, the expression evaluation charges again.
+            return self._eval(node, env)
+        return method(self, node, env)
+
+    def _stmt_variable_declaration(self, node: ast.VariableDeclaration, env: Environment) -> Any:
+        kind_keyword = node.kind_keyword
+        for declarator in node.declarations:
+            has_init = declarator.init is not None
+            value = self._eval(declarator.init, env) if has_init else UNDEFINED
+            if kind_keyword == "var":
+                env.declare_var(declarator.name, value if has_init else UNDEFINED)
+                target_env = env.nearest_function_scope()
+            else:
+                env.declare_let(declarator.name, value, constant=kind_keyword == "const")
+                target_env = env
+            if self.trace_mask & EV_VAR and has_init:
+                self.hooks.var_write(self, declarator.name, target_env, value, declarator)
+        return UNDEFINED
+
+    def _stmt_function_declaration(self, node: ast.FunctionDeclaration, env: Environment) -> Any:
+        if not env.has(node.name):
+            func = self.make_function(node.name, node.params, node.body, env, node)
+            env.declare_var(node.name, func)
+        return UNDEFINED
+
+    def _stmt_block(self, node: ast.BlockStatement, env: Environment) -> Any:
+        block_env = Environment(parent=env, is_function_scope=False, label="block")
+        if self.trace_mask & EV_ENV:
+            self.hooks.env_created(self, block_env, "block")
+        result: Any = UNDEFINED
+        for statement in node.body:
+            result = self._exec(statement, block_env)
+        return result
+
+    def _stmt_expression(self, node: ast.ExpressionStatement, env: Environment) -> Any:
+        return self._eval(node.expression, env)
+
+    def _stmt_if(self, node: ast.IfStatement, env: Environment) -> Any:
+        taken = to_boolean(self._eval(node.test, env))
+        if self.trace_mask & EV_BRANCH:
+            self.hooks.branch(self, node, taken)
+        if taken:
+            return self._exec(node.consequent, env)
+        if node.alternate is not None:
+            return self._exec(node.alternate, env)
+        return UNDEFINED
+
+    def _stmt_for(self, node: ast.ForStatement, env: Environment) -> Any:
+        loop_env = Environment(parent=env, is_function_scope=False, label="for")
+        mask = self.trace_mask
+        if mask & EV_ENV:
+            self.hooks.env_created(self, loop_env, "block")
+        if node.init is not None:
+            self._exec(node.init, loop_env)
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        if wants_loops:
+            self.hooks.loop_enter(self, node)
+        trip = 0
+        try:
+            while True:
+                if node.test is not None and not to_boolean(self._eval(node.test, loop_env)):
+                    break
+                if wants_loops:
+                    self.hooks.loop_iteration(self, node, trip)
+                trip += 1
+                self.stats.loop_iterations += 1
+                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="for-iter")
+                if wants_envs:
+                    self.hooks.env_created(self, iteration_env, "block")
+                try:
+                    self._exec(node.body, iteration_env)
+                except ContinueSignal:
+                    pass
+                except BreakSignal:
+                    break
+                if node.update is not None:
+                    self._eval(node.update, loop_env)
+        finally:
+            if wants_loops:
+                self.hooks.loop_exit(self, node, trip)
+        return UNDEFINED
+
+    def _stmt_for_in(self, node: ast.ForInStatement, env: Environment) -> Any:
+        iterable = self._eval(node.iterable, env)
+        if node.of_loop:
+            if isinstance(iterable, JSArray):
+                keys: List[Any] = list(iterable.elements)
+            elif isinstance(iterable, str):
+                keys = list(iterable)
+            else:
+                raise JSTypeError("for...of target is not iterable", node.line)
+        else:
+            if isinstance(iterable, JSArray):
+                keys = [str(i) for i in range(len(iterable.elements))]
+            elif isinstance(iterable, JSObject):
+                keys = iterable.own_keys()
+            elif isinstance(iterable, str):
+                keys = [str(i) for i in range(len(iterable))]
+            else:
+                keys = []
+
+        loop_env = Environment(parent=env, is_function_scope=False, label="for-in")
+        mask = self.trace_mask
+        if mask & EV_ENV:
+            self.hooks.env_created(self, loop_env, "block")
+        if node.declaration_kind == "var":
+            loop_env.declare_var(node.target_name, UNDEFINED)
+        elif node.declaration_kind in ("let", "const"):
+            loop_env.declare_let(node.target_name, UNDEFINED)
+
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        if wants_loops:
+            self.hooks.loop_enter(self, node)
+        trip = 0
+        try:
+            for key in keys:
+                if wants_loops:
+                    self.hooks.loop_iteration(self, node, trip)
+                trip += 1
+                self.stats.loop_iterations += 1
+                self._set_variable(node.target_name, key, loop_env, node)
+                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="forin-iter")
+                if wants_envs:
+                    self.hooks.env_created(self, iteration_env, "block")
+                try:
+                    self._exec(node.body, iteration_env)
+                except ContinueSignal:
+                    continue
+                except BreakSignal:
+                    break
+        finally:
+            if wants_loops:
+                self.hooks.loop_exit(self, node, trip)
+        return UNDEFINED
+
+    def _stmt_while(self, node: ast.WhileStatement, env: Environment) -> Any:
+        mask = self.trace_mask
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        if wants_loops:
+            self.hooks.loop_enter(self, node)
+        trip = 0
+        try:
+            while to_boolean(self._eval(node.test, env)):
+                if wants_loops:
+                    self.hooks.loop_iteration(self, node, trip)
+                trip += 1
+                self.stats.loop_iterations += 1
+                iteration_env = Environment(parent=env, is_function_scope=False, label="while-iter")
+                if wants_envs:
+                    self.hooks.env_created(self, iteration_env, "block")
+                try:
+                    self._exec(node.body, iteration_env)
+                except ContinueSignal:
+                    continue
+                except BreakSignal:
+                    break
+        finally:
+            if wants_loops:
+                self.hooks.loop_exit(self, node, trip)
+        return UNDEFINED
+
+    def _stmt_do_while(self, node: ast.DoWhileStatement, env: Environment) -> Any:
+        mask = self.trace_mask
+        wants_loops = mask & EV_LOOP
+        wants_envs = mask & EV_ENV
+        if wants_loops:
+            self.hooks.loop_enter(self, node)
+        trip = 0
+        try:
+            while True:
+                if wants_loops:
+                    self.hooks.loop_iteration(self, node, trip)
+                trip += 1
+                self.stats.loop_iterations += 1
+                iteration_env = Environment(parent=env, is_function_scope=False, label="do-iter")
+                if wants_envs:
+                    self.hooks.env_created(self, iteration_env, "block")
+                try:
+                    self._exec(node.body, iteration_env)
+                except ContinueSignal:
+                    pass
+                except BreakSignal:
+                    break
+                if not to_boolean(self._eval(node.test, env)):
+                    break
+        finally:
+            if wants_loops:
+                self.hooks.loop_exit(self, node, trip)
+        return UNDEFINED
+
+    def _stmt_return(self, node: ast.ReturnStatement, env: Environment) -> Any:
+        value = UNDEFINED if node.argument is None else self._eval(node.argument, env)
+        raise ReturnSignal(value)
+
+    def _stmt_break(self, node: ast.BreakStatement, env: Environment) -> Any:
+        raise BreakSignal()
+
+    def _stmt_continue(self, node: ast.ContinueStatement, env: Environment) -> Any:
+        raise ContinueSignal()
+
+    def _stmt_throw(self, node: ast.ThrowStatement, env: Environment) -> Any:
+        raise JSThrownValue(self._eval(node.argument, env), node.line)
+
+    def _stmt_try(self, node: ast.TryStatement, env: Environment) -> Any:
+        handler = node.handler
+        try:
+            self._exec(node.block, env)
+        except JSThrownValue as thrown:
+            if handler is not None:
+                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
+                if self.trace_mask & EV_ENV:
+                    self.hooks.env_created(self, handler_env, "block")
+                if handler.param:
+                    handler_env.declare_let(handler.param, thrown.value)
+                self._exec(handler.body, handler_env)
+            else:
+                raise
+        except JSRuntimeError as error:
+            if handler is not None:
+                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
+                if handler.param:
+                    error_obj = self.make_object()
+                    error_obj.set("message", error.raw_message)
+                    error_obj.set("name", type(error).__name__)
+                    handler_env.declare_let(handler.param, error_obj)
+                self._exec(handler.body, handler_env)
+            else:
+                raise
+        finally:
+            if node.finalizer is not None:
+                self._exec(node.finalizer, env)
+        return UNDEFINED
+
+    def _stmt_switch(self, node: ast.SwitchStatement, env: Environment) -> Any:
+        value = self._eval(node.discriminant, env)
+        matched = False
+        try:
+            for case in node.cases:
+                if not matched and case.test is not None:
+                    if strict_equals(value, self._eval(case.test, env)):
+                        matched = True
+                        if self.trace_mask & EV_BRANCH:
+                            self.hooks.branch(self, case, True)
+                if matched:
+                    for statement in case.body:
+                        self._exec(statement, env)
+            if not matched:
+                for case in node.cases:
+                    if case.test is None:
+                        matched = True
+                    if matched:
+                        for statement in case.body:
+                            self._exec(statement, env)
+        except BreakSignal:
+            pass
+        return UNDEFINED
+
+    def _stmt_empty(self, node: ast.EmptyStatement, env: Environment) -> Any:
+        return UNDEFINED
+
+    # ------------------------------------------------------------- expressions
+    def _eval(self, node: ast.Node, env: Environment) -> Any:
+        method = _EXPRESSIONS.get(type(node))
+        if method is not None:
+            return method(self, node, env)
+        # Statement node in expression position (e.g. a for-init declaration):
+        # one charge, then the statement body without counter or hook.
+        self._charge()
+        body = _STATEMENTS.get(type(node))
+        if body is None:
+            raise JSRuntimeError(f"cannot evaluate node {node.kind}", node.line)
+        return body(self, node, env)
+
+    def _member_key(self, node: ast.MemberExpression, env: Environment) -> str:
+        if node.computed:
+            return to_property_key(self._eval(node.property, env))
+        return node.property.value
+
+    def _read_identifier_unchecked(self, node: ast.Identifier, env: Environment) -> Any:
+        """Uncharged identifier read (update/compound-assignment targets)."""
+        holder = env.lookup_env(node.name)
+        if holder is None:
+            raise JSReferenceError(f"{node.name} is not defined", node.line)
+        if self.trace_mask & EV_VAR:
+            self.hooks.var_read(self, node.name, holder, node)
+        return holder.bindings[node.name]
+
+    def _expr_number(self, node: ast.NumberLiteral, env: Environment) -> Any:
+        self._charge()
+        return node.value
+
+    def _expr_string(self, node: ast.StringLiteral, env: Environment) -> Any:
+        self._charge()
+        return node.value
+
+    def _expr_boolean(self, node: ast.BooleanLiteral, env: Environment) -> Any:
+        self._charge()
+        return node.value
+
+    def _expr_null(self, node: ast.NullLiteral, env: Environment) -> Any:
+        self._charge()
+        return NULL
+
+    def _expr_undefined(self, node: ast.UndefinedLiteral, env: Environment) -> Any:
+        self._charge()
+        return UNDEFINED
+
+    def _expr_identifier(self, node: ast.Identifier, env: Environment) -> Any:
+        self._charge()
+        holder = env.lookup_env(node.name)
+        if holder is None:
+            raise JSReferenceError(f"{node.name} is not defined", node.line)
+        if self.trace_mask & EV_VAR:
+            self.hooks.var_read(self, node.name, holder, node)
+        return holder.bindings[node.name]
+
+    def _expr_this(self, node: ast.ThisExpression, env: Environment) -> Any:
+        self._charge()
+        holder = env.lookup_env("this")
+        return holder.bindings["this"] if holder is not None else UNDEFINED
+
+    def _expr_array(self, node: ast.ArrayLiteral, env: Environment) -> Any:
+        self._charge()
+        values = [self._eval(element, env) for element in node.elements]
+        return self.make_array(values, creation_site=node.node_id, node=node)
+
+    def _expr_object(self, node: ast.ObjectLiteral, env: Environment) -> Any:
+        self._charge()
+        obj = self.make_object(creation_site=node.node_id, node=node)
+        for prop in node.properties:
+            obj.set(prop.key, self._eval(prop.value, env))
+        return obj
+
+    def _expr_function(self, node: ast.FunctionExpression, env: Environment) -> Any:
+        self._charge()
+        func = self.make_function(node.name or "<anonymous>", node.params, node.body, env, node)
+        if node.name:
+            func.closure = Environment(parent=env, is_function_scope=False, label="fnexpr")
+            func.closure.declare_let(node.name, func)
+        return func
+
+    def _expr_unary(self, node: ast.UnaryExpression, env: Environment) -> Any:
+        operator = node.operator
+        if operator == "typeof":
+            self._charge()
+            operand = node.operand
+            if isinstance(operand, ast.Identifier) and not env.has(operand.name):
+                return "undefined"
+            return type_of(self._eval(operand, env))
+        if operator == "delete":
+            self._charge()
+            if isinstance(node.operand, ast.MemberExpression):
+                member = node.operand
+                obj = self._eval(member.object, env)
+                key = self._member_key(member, env)
+                if isinstance(obj, JSObject):
+                    return obj.delete(key)
+            return True
+        self._charge()
+        operand_value = self._eval(node.operand, env)
+        if operator == "!":
+            return not to_boolean(operand_value)
+        if operator == "-":
+            return -to_number(operand_value)
+        if operator == "+":
+            return to_number(operand_value)
+        if operator == "~":
+            from .compiler import _to_int32
+
+            return float(~_to_int32(to_number(operand_value)))
+        if operator == "void":
+            return UNDEFINED
+        raise JSRuntimeError(f"unsupported unary operator {operator!r}", node.line)
+
+    def _expr_update(self, node: ast.UpdateExpression, env: Environment) -> Any:
+        self._charge()
+        delta = 1.0 if node.operator == "++" else -1.0
+        target = node.target
+        if isinstance(target, ast.Identifier):
+            old = to_number(self._read_identifier_unchecked(target, env))
+            new = old + delta
+            self._set_variable(target.name, new, env, node)
+            return new if node.prefix else old
+        if isinstance(target, ast.MemberExpression):
+            obj = self._eval(target.object, env)
+            key = self._member_key(target, env)
+            old = to_number(self._get_property(obj, key, target))
+            new = old + delta
+            self._set_property(obj, key, new, target)
+            return new if node.prefix else old
+        raise JSRuntimeError("invalid update target", node.line)
+
+    def _expr_binary(self, node: ast.BinaryExpression, env: Environment) -> Any:
+        self._charge()
+        op = resolve_binary(node.operator, node)
+        return op(self._eval(node.left, env), self._eval(node.right, env))
+
+    def _expr_logical(self, node: ast.LogicalExpression, env: Environment) -> Any:
+        self._charge()
+        operator = node.operator
+        left = self._eval(node.left, env)
+        if operator == "&&":
+            if not to_boolean(left):
+                if self.trace_mask & EV_BRANCH:
+                    self.hooks.branch(self, node, False)
+                return left
+            if self.trace_mask & EV_BRANCH:
+                self.hooks.branch(self, node, True)
+            return self._eval(node.right, env)
+        if operator == "||":
+            if to_boolean(left):
+                if self.trace_mask & EV_BRANCH:
+                    self.hooks.branch(self, node, True)
+                return left
+            if self.trace_mask & EV_BRANCH:
+                self.hooks.branch(self, node, False)
+            return self._eval(node.right, env)
+        raise JSRuntimeError(f"unsupported logical operator {operator!r}", node.line)
+
+    def _expr_assignment(self, node: ast.AssignmentExpression, env: Environment) -> Any:
+        self._charge()
+        operator = node.operator
+        target = node.target
+        if operator == "=":
+            value = self._eval(node.value, env)
+            if isinstance(target, ast.Identifier):
+                self._set_variable(target.name, value, env, node)
+                return value
+            if isinstance(target, ast.MemberExpression):
+                obj = self._eval(target.object, env)
+                key = self._member_key(target, env)
+                self._set_property(obj, key, value, target)
+                return value
+            raise JSRuntimeError("invalid assignment target", node.line)
+        op = resolve_binary(operator[:-1], node)
+        if isinstance(target, ast.Identifier):
+            current = self._read_identifier_unchecked(target, env)
+            value = op(current, self._eval(node.value, env))
+            self._set_variable(target.name, value, env, node)
+            return value
+        if isinstance(target, ast.MemberExpression):
+            obj = self._eval(target.object, env)
+            key = self._member_key(target, env)
+            current = self._get_property(obj, key, target)
+            value = op(current, self._eval(node.value, env))
+            # The compiled path re-evaluates the target for the write-back
+            # (seed parity); mirror it.
+            obj = self._eval(target.object, env)
+            key = self._member_key(target, env)
+            self._set_property(obj, key, value, target)
+            return value
+        raise JSRuntimeError("invalid assignment target", node.line)
+
+    def _expr_conditional(self, node: ast.ConditionalExpression, env: Environment) -> Any:
+        self._charge()
+        taken = to_boolean(self._eval(node.test, env))
+        if self.trace_mask & EV_BRANCH:
+            self.hooks.branch(self, node, taken)
+        return self._eval(node.consequent if taken else node.alternate, env)
+
+    def _expr_sequence(self, node: ast.SequenceExpression, env: Environment) -> Any:
+        self._charge()
+        result: Any = UNDEFINED
+        for expression in node.expressions:
+            result = self._eval(expression, env)
+        return result
+
+    def _expr_call(self, node: ast.CallExpression, env: Environment) -> Any:
+        self._charge()
+        callee = node.callee
+        if isinstance(callee, ast.MemberExpression):
+            this = self._eval(callee.object, env)
+            key = self._member_key(callee, env)
+            func = self._get_property(this, key, callee)
+            args = [self._eval(argument, env) for argument in node.arguments]
+            if not is_callable(func):
+                raise JSTypeError(f"{to_string(func)} is not a function", node.line)
+            return self.call_function(func, this, args, call_node=node)
+        func = self._eval(callee, env)
+        args = [self._eval(argument, env) for argument in node.arguments]
+        if not is_callable(func):
+            name = callee.name if isinstance(callee, ast.Identifier) else to_string(func)
+            raise JSTypeError(f"{name} is not a function", node.line)
+        return self.call_function(func, UNDEFINED, args, call_node=node)
+
+    def _expr_new(self, node: ast.NewExpression, env: Environment) -> Any:
+        self._charge()
+        constructor = self._eval(node.callee, env)
+        args = [self._eval(argument, env) for argument in node.arguments]
+        return self._construct(constructor, args, node)
+
+    def _expr_member(self, node: ast.MemberExpression, env: Environment) -> Any:
+        self._charge()
+        obj = self._eval(node.object, env)
+        return self._get_property(obj, self._member_key(node, env), node)
+
+
+_STATEMENTS = {
+    ast.VariableDeclaration: ReferenceInterpreter._stmt_variable_declaration,
+    ast.FunctionDeclaration: ReferenceInterpreter._stmt_function_declaration,
+    ast.BlockStatement: ReferenceInterpreter._stmt_block,
+    ast.ExpressionStatement: ReferenceInterpreter._stmt_expression,
+    ast.IfStatement: ReferenceInterpreter._stmt_if,
+    ast.ForStatement: ReferenceInterpreter._stmt_for,
+    ast.ForInStatement: ReferenceInterpreter._stmt_for_in,
+    ast.WhileStatement: ReferenceInterpreter._stmt_while,
+    ast.DoWhileStatement: ReferenceInterpreter._stmt_do_while,
+    ast.ReturnStatement: ReferenceInterpreter._stmt_return,
+    ast.BreakStatement: ReferenceInterpreter._stmt_break,
+    ast.ContinueStatement: ReferenceInterpreter._stmt_continue,
+    ast.ThrowStatement: ReferenceInterpreter._stmt_throw,
+    ast.TryStatement: ReferenceInterpreter._stmt_try,
+    ast.SwitchStatement: ReferenceInterpreter._stmt_switch,
+    ast.EmptyStatement: ReferenceInterpreter._stmt_empty,
+}
+
+_EXPRESSIONS = {
+    ast.NumberLiteral: ReferenceInterpreter._expr_number,
+    ast.StringLiteral: ReferenceInterpreter._expr_string,
+    ast.BooleanLiteral: ReferenceInterpreter._expr_boolean,
+    ast.NullLiteral: ReferenceInterpreter._expr_null,
+    ast.UndefinedLiteral: ReferenceInterpreter._expr_undefined,
+    ast.Identifier: ReferenceInterpreter._expr_identifier,
+    ast.ThisExpression: ReferenceInterpreter._expr_this,
+    ast.ArrayLiteral: ReferenceInterpreter._expr_array,
+    ast.ObjectLiteral: ReferenceInterpreter._expr_object,
+    ast.FunctionExpression: ReferenceInterpreter._expr_function,
+    ast.UnaryExpression: ReferenceInterpreter._expr_unary,
+    ast.UpdateExpression: ReferenceInterpreter._expr_update,
+    ast.BinaryExpression: ReferenceInterpreter._expr_binary,
+    ast.LogicalExpression: ReferenceInterpreter._expr_logical,
+    ast.AssignmentExpression: ReferenceInterpreter._expr_assignment,
+    ast.ConditionalExpression: ReferenceInterpreter._expr_conditional,
+    ast.CallExpression: ReferenceInterpreter._expr_call,
+    ast.NewExpression: ReferenceInterpreter._expr_new,
+    ast.MemberExpression: ReferenceInterpreter._expr_member,
+    ast.SequenceExpression: ReferenceInterpreter._expr_sequence,
+}

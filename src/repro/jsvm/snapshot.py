@@ -1,0 +1,409 @@
+"""Scope/heap snapshot-and-fork primitives for speculative execution.
+
+The speculative executor (:mod:`repro.parallel.speculative`) re-executes a
+loop instance in *isolated* contexts: each worker gets a private, structurally
+identical copy of every environment frame and guest object reachable from the
+loop's scope chain.  This module provides the three primitives that make that
+possible:
+
+* :func:`fork_state` — an identity-preserving deep copy of the reachable
+  environment/heap graph.  Guest objects, arrays, functions and environment
+  frames are copied (cycles included); :class:`~repro.jsvm.values.NativeFunction`
+  instances and AST nodes are shared (host code and syntax are immutable from
+  the guest's point of view).
+* :func:`diff_forks` — given two forks of the *same* pre-state (an untouched
+  baseline and an executed worker), the per-location write-set the worker
+  produced, keyed by the identity of the original object.
+* :func:`merge_diff` / :func:`heap_digest` — apply a worker's write-set to the
+  baseline fork, and compute a canonical content digest of a reachable state
+  so that two isomorphic heaps (e.g. the merged speculative state and the
+  serially produced state) can be compared bit-for-bit.
+
+Everything here is deterministic and purely in-process; nothing touches the
+virtual clock or the hook bus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .scope import Environment
+from .values import NULL, UNDEFINED, JSArray, JSFunction, JSObject, NativeFunction
+
+#: Sentinel used in write-sets for deleted properties/bindings.
+DELETED = object()
+
+#: Location key: (id of *original* object or environment, property/binding name).
+Location = Tuple[int, str]
+
+
+def _is_guest_container(value: Any) -> bool:
+    """True for values that are copied by a fork (objects and scopes)."""
+    if isinstance(value, NativeFunction):
+        return False
+    return isinstance(value, (JSObject, Environment))
+
+
+class HeapFork:
+    """One identity-preserving copy of a reachable environment/heap graph.
+
+    ``memo`` maps ``id(original) -> copy`` and ``reverse`` maps
+    ``id(copy) -> original``; both sides are kept alive by the fork so the
+    ``id``-based keys stay unambiguous for the fork's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self.memo: Dict[int, Any] = {}
+        self.reverse: Dict[int, Any] = {}
+        #: Strong references keeping every original (and copy) alive.
+        self._originals: List[Any] = []
+        #: ids of every copy — the write barrier's membership set seed.
+        self.membership: Set[int] = set()
+        self.root: Optional[Environment] = None
+
+    # ------------------------------------------------------------- mapping
+    def copy_of(self, original: Any) -> Any:
+        """The fork-side copy of ``original`` (identity for non-containers)."""
+        if _is_guest_container(original):
+            return self.memo[id(original)]
+        return original
+
+    def original_of(self, copy: Any) -> Optional[Any]:
+        """The original behind a fork-side ``copy`` (None for new objects)."""
+        return self.reverse.get(id(copy))
+
+    def oid(self, copy: Any) -> Optional[int]:
+        """Identity key of the original behind ``copy`` (None for new objects)."""
+        original = self.reverse.get(id(copy))
+        return id(original) if original is not None else None
+
+
+def fork_state(root_env: Environment, extra_roots: Iterable[Any] = ()) -> HeapFork:
+    """Deep-copy everything reachable from ``root_env`` (and ``extra_roots``).
+
+    The copy preserves aliasing and cycles.  Shared immutables — native
+    functions, AST bodies, loop-characterization stamps — are referenced, not
+    copied; the ``extra`` host-companion dict of guest objects is shallow
+    copied (host companions are shared, which is safe because speculative
+    chunks abort on any host access).
+    """
+    fork = HeapFork()
+    memo = fork.memo
+    pending: List[Any] = []
+
+    def shell_for(original: Any) -> Any:
+        if not _is_guest_container(original):
+            return original
+        key = id(original)
+        copy = memo.get(key)
+        if copy is None:
+            if isinstance(original, Environment):
+                copy = Environment.__new__(Environment)
+            elif isinstance(original, JSFunction):
+                copy = JSFunction.__new__(JSFunction)
+            elif isinstance(original, JSArray):
+                copy = JSArray.__new__(JSArray)
+            else:
+                copy = JSObject.__new__(JSObject)
+            memo[key] = copy
+            fork.reverse[id(copy)] = original
+            fork.membership.add(id(copy))
+            fork._originals.append(original)
+            pending.append(original)
+        return copy
+
+    root_copy = shell_for(root_env)
+    for extra in extra_roots:
+        shell_for(extra)
+
+    while pending:
+        original = pending.pop()
+        copy = memo[id(original)]
+        if isinstance(original, Environment):
+            copy.bindings = {name: shell_for(v) for name, v in original.bindings.items()}
+            copy.parent = shell_for(original.parent) if original.parent is not None else None
+            copy.is_function_scope = original.is_function_scope
+            copy.consts = set(original.consts)
+            copy.label = original.label
+            continue
+        # JSObject family: shared slots first, subclass slots after.
+        copy.properties = {name: shell_for(v) for name, v in original.properties.items()}
+        copy.prototype = shell_for(original.prototype) if original.prototype is not None else None
+        copy.class_name = original.class_name
+        copy.creation_site = original.creation_site
+        copy.creation_stamp = original.creation_stamp
+        copy.extra = dict(original.extra)
+        if isinstance(original, JSArray):
+            copy.elements = [shell_for(v) for v in original.elements]
+        elif isinstance(original, JSFunction):
+            copy.name = original.name
+            copy.params = original.params
+            copy.body = original.body
+            copy.closure = shell_for(original.closure) if original.closure is not None else None
+            copy.is_arrow = original.is_arrow
+            copy.declaration_node = original.declaration_node
+
+    fork.root = root_copy
+    return fork
+
+
+# ---------------------------------------------------------------------------
+# canonical digests
+# ---------------------------------------------------------------------------
+def _primitive_token(value: Any) -> Optional[str]:
+    """Canonical token for a guest primitive; None when ``value`` is not one."""
+    if value is UNDEFINED:
+        return "undef"
+    if value is NULL:
+        return "null"
+    if isinstance(value, bool):
+        return "bool:true" if value else "bool:false"
+    if isinstance(value, (int, float)):
+        return f"num:{float(value)!r}"
+    if isinstance(value, str):
+        return f"str:{len(value)}:{value}"
+    return None
+
+
+def heap_digest(root_env: Environment, extra_roots: Iterable[Any] = ()) -> str:
+    """Content digest of the guest-visible state reachable from ``root_env``.
+
+    The digest canonicalizes object identity by first-visit numbering, so two
+    *isomorphic* states (e.g. a merged speculative fork and the serially
+    produced original) digest identically even though they are distinct
+    Python object graphs.  Property order is guest-visible (``for...in``
+    enumeration) and therefore hashed in insertion order; environment binding
+    names are sorted (scopes are not enumerable from guest code).  Host
+    companions (``extra``) and analysis stamps are excluded.
+    """
+    hasher = hashlib.sha256()
+    seen: Dict[int, int] = {}
+    stack: List[Any] = [root_env]
+    for extra in reversed(list(extra_roots)):
+        stack.append(extra)
+
+    def emit(token: str) -> None:
+        hasher.update(token.encode("utf-8", "surrogatepass"))
+        hasher.update(b"\x00")
+
+    # Structural markers are 1-tuples so they can never be confused with a
+    # guest string value.
+    def marker(text: str) -> Tuple[str]:
+        return (text,)
+
+    while stack:
+        item = stack.pop()
+        if type(item) is tuple:
+            emit(item[0])
+            continue
+        token = _primitive_token(item)
+        if token is not None:
+            emit(token)
+            continue
+        if isinstance(item, NativeFunction):
+            emit(f"native:{item.name}")
+            continue
+        key = id(item)
+        index = seen.get(key)
+        if index is not None:
+            emit(f"ref:{index}")
+            continue
+        seen[key] = len(seen)
+        if isinstance(item, Environment):
+            emit(f"env:{len(seen) - 1}:{int(item.is_function_scope)}")
+            children: List[Any] = []
+            for name in sorted(item.bindings):
+                children.append(marker("bind:" + name))
+                children.append(item.bindings[name])
+            children.append(marker("parent"))
+            children.append(item.parent if item.parent is not None else marker("none"))
+            stack.extend(reversed(children))
+            continue
+        if isinstance(item, JSFunction):
+            node_id = getattr(item.declaration_node, "node_id", -1)
+            emit(f"func:{item.name}:{','.join(item.params)}:{node_id}")
+        elif isinstance(item, JSArray):
+            emit(f"array:{len(item.elements)}")
+        elif isinstance(item, JSObject):
+            emit(f"object:{item.class_name}:{item.creation_site}")
+        else:  # pragma: no cover - host values never reach guest state
+            emit(f"host:{type(item).__name__}")
+            continue
+        children = []
+        if isinstance(item, JSArray):
+            children.extend(item.elements)
+        for name, value in item.properties.items():
+            children.append(marker("prop:" + name))
+            children.append(value)
+        if isinstance(item, JSFunction) and item.closure is not None:
+            children.append(marker("closure"))
+            children.append(item.closure)
+        children.append(marker("proto"))
+        children.append(item.prototype if item.prototype is not None else marker("none"))
+        stack.extend(reversed(children))
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# write-set extraction (diff of two forks of the same pre-state)
+# ---------------------------------------------------------------------------
+def _refs_equal(value_a: Any, value_b: Any, fork_a: HeapFork, fork_b: HeapFork) -> bool:
+    """True when two fork-side values denote the same guest value.
+
+    Container references are equal when both sides map back to the *same*
+    original; a reference to a chunk-created object is never equal to
+    anything on the other side.
+    """
+    token_a, token_b = _primitive_token(value_a), _primitive_token(value_b)
+    if token_a is not None or token_b is not None:
+        return token_a == token_b
+    if isinstance(value_a, NativeFunction) or isinstance(value_b, NativeFunction):
+        return value_a is value_b
+    if _is_guest_container(value_a) and _is_guest_container(value_b):
+        original_a = fork_a.original_of(value_a)
+        original_b = fork_b.original_of(value_b)
+        if original_a is None or original_b is None:
+            return False
+        return original_a is original_b
+    return value_a is value_b  # pragma: no cover - host values
+
+
+def diff_forks(baseline: HeapFork, executed: HeapFork) -> Dict[Location, Any]:
+    """Write-set of ``executed`` relative to the untouched ``baseline`` fork.
+
+    Both forks must come from :func:`fork_state` over the same pre-state, so
+    their memos share one key space (the ids of the originals).  Returned
+    values are *executed*-side values (possibly chunk-created objects); array
+    element locations use the stringified index and array length changes the
+    ``"length"`` key, matching the property keys the interpreter's hook layer
+    reports.  Locations are emitted in the executed fork's insertion order so
+    that merging preserves guest-visible enumeration order.
+    """
+    writes: Dict[Location, Any] = {}
+    for original_id, base_copy in baseline.memo.items():
+        exec_copy = executed.memo[original_id]
+        if isinstance(base_copy, Environment):
+            for name, value in exec_copy.bindings.items():
+                if name not in base_copy.bindings or not _refs_equal(
+                    base_copy.bindings[name], value, baseline, executed
+                ):
+                    writes[(original_id, name)] = value
+            for name in base_copy.bindings:
+                if name not in exec_copy.bindings:  # pragma: no cover - no guest path deletes bindings
+                    writes[(original_id, name)] = DELETED
+            continue
+        if isinstance(base_copy, JSArray):
+            base_elements, exec_elements = base_copy.elements, exec_copy.elements
+            common = min(len(base_elements), len(exec_elements))
+            for index in range(common):
+                if not _refs_equal(base_elements[index], exec_elements[index], baseline, executed):
+                    writes[(original_id, str(index))] = exec_elements[index]
+            for index in range(common, len(exec_elements)):
+                writes[(original_id, str(index))] = exec_elements[index]
+            if len(exec_elements) != len(base_elements):
+                writes[(original_id, "length")] = float(len(exec_elements))
+        for name, value in exec_copy.properties.items():
+            if name not in base_copy.properties or not _refs_equal(
+                base_copy.properties[name], value, baseline, executed
+            ):
+                writes[(original_id, name)] = value
+        for name in base_copy.properties:
+            if name not in exec_copy.properties:
+                writes[(original_id, name)] = DELETED
+        # Note: the internal ``.prototype`` slot is fixed at construction in
+        # this VM (no setPrototypeOf; ``__proto__`` is an ordinary property),
+        # so prototype pointers never need diffing.
+    return writes
+
+
+# ---------------------------------------------------------------------------
+# merging
+# ---------------------------------------------------------------------------
+class _Transplanter:
+    """Rewrites executed-fork values into baseline-fork values.
+
+    References to forked pre-state objects translate through the shared
+    original ids; objects *created* during the chunk are cloned into the
+    baseline world (recursively, cycles included).
+    """
+
+    def __init__(self, executed: HeapFork, baseline: HeapFork) -> None:
+        self.executed = executed
+        self.baseline = baseline
+        self._clones: Dict[int, Any] = {}
+
+    def translate(self, value: Any) -> Any:
+        if not _is_guest_container(value):
+            return value
+        original = self.executed.original_of(value)
+        if original is not None:
+            return self.baseline.memo[id(original)]
+        return self._clone_new(value)
+
+    def _clone_new(self, value: Any) -> Any:
+        existing = self._clones.get(id(value))
+        if existing is not None:
+            return existing
+        if isinstance(value, Environment):
+            clone = Environment.__new__(Environment)
+            self._clones[id(value)] = clone
+            clone.bindings = {}
+            clone.parent = self.translate(value.parent) if value.parent is not None else None
+            clone.is_function_scope = value.is_function_scope
+            clone.consts = set(value.consts)
+            clone.label = value.label
+            for name, bound in value.bindings.items():
+                clone.bindings[name] = self.translate(bound)
+            return clone
+        if isinstance(value, JSFunction):
+            clone = JSFunction.__new__(JSFunction)
+        elif isinstance(value, JSArray):
+            clone = JSArray.__new__(JSArray)
+        else:
+            clone = JSObject.__new__(JSObject)
+        self._clones[id(value)] = clone
+        clone.properties = {}
+        clone.prototype = self.translate(value.prototype) if value.prototype is not None else None
+        clone.class_name = value.class_name
+        clone.creation_site = value.creation_site
+        clone.creation_stamp = value.creation_stamp
+        clone.extra = dict(value.extra)
+        if isinstance(value, JSArray):
+            clone.elements = [self.translate(element) for element in value.elements]
+        elif isinstance(value, JSFunction):
+            clone.name = value.name
+            clone.params = value.params
+            clone.body = value.body
+            clone.closure = self.translate(value.closure) if value.closure is not None else None
+            clone.is_arrow = value.is_arrow
+            clone.declaration_node = value.declaration_node
+        for name, prop in value.properties.items():
+            clone.properties[name] = self.translate(prop)
+        return clone
+
+
+def merge_diff(baseline: HeapFork, executed: HeapFork, writes: Dict[Location, Any]) -> None:
+    """Apply one worker's write-set onto the baseline fork, in place.
+
+    ``writes`` must come from :func:`diff_forks` over the same fork pair.
+    Array ``"length"`` records are applied after the element records the dict
+    already orders before them, so growth and truncation both land correctly.
+    """
+    transplanter = _Transplanter(executed, baseline)
+    for (original_id, key), value in writes.items():
+        target = baseline.memo[original_id]
+        if isinstance(target, Environment):
+            if value is DELETED:  # pragma: no cover - no guest path deletes bindings
+                target.bindings.pop(key, None)
+            else:
+                target.bindings[key] = transplanter.translate(value)
+            continue
+        if value is DELETED:
+            target.delete(key)
+            continue
+        if isinstance(target, JSArray) and key == "length":
+            # JSArray.set already implements length truncate/extend.
+            target.set("length", float(value))
+            continue
+        target.set(key, transplanter.translate(value))

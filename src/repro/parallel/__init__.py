@@ -3,11 +3,25 @@
 from .executor import ParallelOutcome, simulate_parallel_execution
 from .machine import PAPER_MACHINE, SIMD_MACHINE, MachineModel
 from .partition import Chunk, assigned_iterations, block_partition, cyclic_partition
+from .speculative import (
+    SpeculationController,
+    SpeculationOptions,
+    SpeculationOutcome,
+    SpeculativeExecutor,
+    WorkloadSpeculation,
+    render_speculation,
+)
 from .speedup import ApplicationSpeedup, model_application_speedup, validate_against_amdahl
 
 __all__ = [
     "ParallelOutcome",
     "simulate_parallel_execution",
+    "SpeculationController",
+    "SpeculationOptions",
+    "SpeculationOutcome",
+    "SpeculativeExecutor",
+    "WorkloadSpeculation",
+    "render_speculation",
     "PAPER_MACHINE",
     "SIMD_MACHINE",
     "MachineModel",

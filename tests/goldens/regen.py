@@ -1,0 +1,136 @@
+"""Golden-master builders + regeneration entry point.
+
+Run from the repository root to (re)generate every golden file::
+
+    PYTHONPATH=src python tests/goldens/regen.py
+
+``tests/test_goldens.py`` imports this module and compares each builder's
+current output byte-for-byte against the checked-in file, failing with a
+readable diff on drift.  Everything here is driven by the virtual clock and
+seeded RNGs, so the bytes are identical across machines and supported Python
+versions (3.10-3.12); any drift means an intentional behaviour change (fix
+the regression, or regenerate and review the diff in the PR).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Workloads covered by the Table 2/3 report golden: the three compute-bound
+#: case studies the speculative backend validates (the full 12-app sweep
+#: lives in the benchmark harness, not tier-1).
+TABLE_WORKLOADS = ["fluidSim", "Realtime Raytracing", "Normal Mapping"]
+
+#: A tiny dedicated workload for the speculation golden: one DOALL scale
+#: loop (commits by privatization), one scalar accumulation loop (commits by
+#: sum reduction) and one while-loop initializer (skipped: unsupported kind).
+GOLDEN_KERNEL_SOURCE = """\
+var grid = [];
+var sums = 0;
+function kernelInit(n) {
+  var i = 0;
+  while (i < n) { grid.push(i % 5); i++; }
+  return n;
+}
+function kernelScale() {
+  for (var j = 0; j < grid.length; j++) {
+    grid[j] = grid[j] * 2 + 1;
+  }
+}
+function kernelSum() {
+  for (var k = 0; k < grid.length; k++) {
+    sums = sums + grid[k];
+  }
+}
+"""
+
+
+def make_golden_kernel_workload():
+    from repro.workloads.base import Workload
+
+    def exercise(session) -> None:
+        session.run_script("kernelInit(64); kernelScale(); kernelSum();", name="kernel-driver.js")
+
+    return Workload(
+        name="golden-kernel",
+        category="Golden",
+        description="deterministic speculation golden kernel",
+        url="tests/goldens",
+        scripts=[("golden-kernel.js", GOLDEN_KERNEL_SOURCE)],
+        exercise_fn=exercise,
+    )
+
+
+# ---------------------------------------------------------------------------
+# builders: name -> file content (str)
+# ---------------------------------------------------------------------------
+def build_case_study_tables() -> str:
+    """Tables 2/3 + Amdahl bounds over the compute-bound workload subset."""
+    from repro.api import AnalysisSession
+
+    with AnalysisSession() as session:
+        result = session.case_study(TABLE_WORKLOADS)
+    tables = result.tables
+    return (
+        tables.render_table2()
+        + "\n\n"
+        + tables.render_table3()
+        + "\n\n"
+        + tables.render_speedups()
+        + "\n"
+    )
+
+
+def _mode_combos():
+    from repro.api import ALL_TRACERS
+
+    for size in range(len(ALL_TRACERS) + 1):
+        yield from itertools.combinations(ALL_TRACERS, size)
+
+
+def _combo_name(combo) -> str:
+    return "-".join(combo) if combo else "baseline"
+
+
+def _dump(payload) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def build_goldens() -> dict:
+    """All golden files: relative filename -> exact expected content."""
+    from repro.api import AnalysisSession, RunSpec
+    from repro.workloads.nbody import make_nbody_workload
+
+    goldens = {"case_study_tables.txt": build_case_study_tables()}
+    with AnalysisSession() as session:
+        # One full RunResult envelope per tracer-mode combination (N-body is
+        # the paper's own Figure 6 example: small, fast, fully deterministic).
+        for combo in _mode_combos():
+            spec = RunSpec.composed(*combo) if combo else RunSpec.uninstrumented()
+            result = session.run(make_nbody_workload(), spec)
+            goldens[f"runresult_{_combo_name(combo)}.json"] = _dump(result.to_dict())
+        # The speculate mode on the dedicated kernel: one privatization
+        # commit, one reduction commit, one unsupported-kind skip.
+        speculate = session.run(
+            make_golden_kernel_workload(), RunSpec.speculate(workers=4)
+        )
+        goldens["runresult_speculate_kernel.json"] = _dump(speculate.to_dict())
+    return goldens
+
+
+def main() -> int:
+    goldens = build_goldens()
+    for name, content in goldens.items():
+        path = GOLDEN_DIR / name
+        path.write_text(content, encoding="utf-8")
+        print(f"wrote {path} ({len(content)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

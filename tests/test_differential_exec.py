@@ -1,0 +1,398 @@
+"""Differential tests: compiled execution core vs the slow reference walker.
+
+Randomized mini-JS programs (seeded generator, reproducible) run through both
+the production compiled-closure path (:mod:`repro.jsvm.compiler`) and the
+recursive reference evaluator (:mod:`repro.jsvm.reference`).  The two engines
+must agree on *everything*: final value, console output, final heap state
+(canonical digest), virtual-clock total, interpreter statistics and the full
+instrumentation event stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.jsvm.hooks import EV_ALL, Tracer
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.reference import ReferenceInterpreter
+from repro.jsvm.snapshot import heap_digest
+from repro.jsvm.values import to_string
+
+# ---------------------------------------------------------------------------
+# seeded mini-JS program generator
+# ---------------------------------------------------------------------------
+_BINARY_OPS = ["+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "===", "!=", "!==", "&", "|", "^"]
+_UNARY_OPS = ["-", "+", "!", "~", "typeof "]
+_COMPOUND_OPS = ["+=", "-=", "*="]
+
+
+class ProgramGenerator:
+    """Generates small, always-terminating mini-JS programs from a seed."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.counter = 0
+        self.numeric_vars: list = []
+        self.array_vars: list = []
+        self.object_vars: list = []
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    # ---------------------------------------------------------- expressions
+    def number(self) -> str:
+        return str(self.rng.choice([0, 1, 2, 3, 5, 7, 10, 0.5, 1.25, -3, 100]))
+
+    def numeric_expr(self, depth: int = 0) -> str:
+        rng = self.rng
+        if depth >= 3 or rng.random() < 0.3:
+            if self.numeric_vars and rng.random() < 0.6:
+                return rng.choice(self.numeric_vars)
+            return self.number()
+        choice = rng.random()
+        if choice < 0.5:
+            op = rng.choice(_BINARY_OPS[:7])
+            return f"({self.numeric_expr(depth + 1)} {op} {self.numeric_expr(depth + 1)})"
+        if choice < 0.6:
+            return f"{rng.choice(_UNARY_OPS[:4])}({self.numeric_expr(depth + 1)})"
+        if choice < 0.7:
+            fn = rng.choice(["Math.floor", "Math.abs", "Math.sqrt", "Math.max", "Math.min"])
+            return f"{fn}({self.numeric_expr(depth + 1)})"
+        if choice < 0.8 and self.array_vars:
+            arr = rng.choice(self.array_vars)
+            return f"({arr}[{rng.randint(0, 3)}] + 0)"
+        if choice < 0.9 and self.object_vars:
+            obj = rng.choice(self.object_vars)
+            return f"({obj}.a + {obj}.b)"
+        cond = f"({self.numeric_expr(depth + 1)} < {self.numeric_expr(depth + 1)})"
+        return f"({cond} ? {self.numeric_expr(depth + 1)} : {self.numeric_expr(depth + 1)})"
+
+    # ----------------------------------------------------------- statements
+    def statement(self, depth: int = 0) -> str:
+        rng = self.rng
+        makers = [self.make_var, self.make_assign, self.make_log]
+        if depth < 2:
+            makers += [
+                self.make_for,
+                self.make_while,
+                self.make_if,
+                self.make_array_loop,
+                self.make_object_stmt,
+                self.make_function,
+                self.make_for_in,
+                self.make_switch,
+                self.make_try,
+                self.make_do_while,
+            ]
+        return makers[rng.randrange(len(makers))](depth)
+
+    def make_var(self, depth: int) -> str:
+        name = self.fresh("n")
+        self.numeric_vars.append(name)
+        return f"var {name} = {self.numeric_expr()};"
+
+    def make_assign(self, depth: int) -> str:
+        rng = self.rng
+        if self.numeric_vars and rng.random() < 0.7:
+            name = rng.choice(self.numeric_vars)
+            if rng.random() < 0.3:
+                return f"{name}{rng.choice(['++', '--'])};"
+            if rng.random() < 0.5:
+                return f"{name} {rng.choice(_COMPOUND_OPS)} {self.numeric_expr()};"
+            return f"{name} = {self.numeric_expr()};"
+        if self.array_vars:
+            arr = rng.choice(self.array_vars)
+            return f"{arr}[{rng.randint(0, 4)}] = {self.numeric_expr()};"
+        return self.make_var(depth)
+
+    def make_log(self, depth: int) -> str:
+        return f"console.log({self.numeric_expr()});"
+
+    def make_for(self, depth: int) -> str:
+        index = self.fresh("i")
+        body = self.block_body(depth + 1, allow_break=True, loop_var=index)
+        return (
+            f"for (var {index} = 0; {index} < {self.rng.randint(2, 6)}; {index}++) {{ {body} }}"
+        )
+
+    def make_while(self, depth: int) -> str:
+        index = self.fresh("w")
+        body = self.block_body(depth + 1, loop_var=index)
+        return f"var {index} = 0; while ({index} < {self.rng.randint(2, 5)}) {{ {body} {index}++; }}"
+
+    def make_do_while(self, depth: int) -> str:
+        index = self.fresh("d")
+        body = self.block_body(depth + 1, loop_var=index)
+        return f"var {index} = 0; do {{ {body} {index}++; }} while ({index} < {self.rng.randint(1, 4)});"
+
+    def make_array_loop(self, depth: int) -> str:
+        arr = self.fresh("arr")
+        index = self.fresh("i")
+        self.array_vars.append(arr)
+        fill = ", ".join(self.number() for _ in range(self.rng.randint(3, 6)))
+        op = self.rng.choice(["push", "write"])
+        if op == "push":
+            body = f"{arr}.push({index} * 2);"
+        else:
+            body = f"{arr}[{index}] = {arr}[{index}] + {index};"
+        return f"var {arr} = [{fill}]; for (var {index} = 0; {index} < 3; {index}++) {{ {body} }}"
+
+    def make_object_stmt(self, depth: int) -> str:
+        obj = self.fresh("o")
+        self.object_vars.append(obj)
+        statements = [
+            f"var {obj} = {{a: {self.number()}, b: {self.number()}, name: 'x{self.counter}'}};",
+            f"{obj}.c = {obj}.a + {obj}.b;",
+        ]
+        if self.rng.random() < 0.5:
+            statements.append(f"{obj}['d' + 1] = {self.numeric_expr()};")
+        if self.rng.random() < 0.3:
+            statements.append(f"delete {obj}.b;")
+        return " ".join(statements)
+
+    def scoped(self):
+        """Snapshot of the name registries, for statements whose declarations
+        must not leak (function bodies, conditionally executed branches)."""
+        return (list(self.numeric_vars), list(self.array_vars), list(self.object_vars))
+
+    def restore(self, snapshot) -> None:
+        self.numeric_vars, self.array_vars, self.object_vars = (
+            list(snapshot[0]),
+            list(snapshot[1]),
+            list(snapshot[2]),
+        )
+
+    def make_function(self, depth: int) -> str:
+        name = self.fresh("f")
+        result = self.fresh("r")
+        snapshot = self.scoped()
+        body = self.block_body(depth + 1)
+        self.restore(snapshot)  # function-local names are not visible outside
+        self.numeric_vars.append(result)
+        return (
+            f"function {name}(x, y) {{ {body} var t = x * 2 + y; return t; }} "
+            f"var {result} = {name}({self.numeric_expr()}, {self.numeric_expr()});"
+        )
+
+    def make_for_in(self, depth: int) -> str:
+        obj = self.fresh("m")
+        acc = self.fresh("s")
+        self.numeric_vars.append(acc)
+        return (
+            f"var {obj} = {{p: 1, q: 2, r: 3}}; var {acc} = 0; "
+            f"for (var k{self.counter} in {obj}) {{ {acc} += {obj}[k{self.counter}]; }}"
+        )
+
+    def make_switch(self, depth: int) -> str:
+        value = self.numeric_expr()
+        acc = self.fresh("sw")
+        self.numeric_vars.append(acc)
+        return (
+            f"var {acc} = 0; switch (Math.floor({value}) % 3) {{ "
+            f"case 0: {acc} = 10; break; case 1: {acc} = 20; "
+            f"default: {acc} += 5; }}"
+        )
+
+    def make_try(self, depth: int) -> str:
+        acc = self.fresh("t")
+        self.numeric_vars.append(acc)
+        if self.rng.random() < 0.5:
+            return (
+                f"var {acc} = 0; try {{ throw {self.number()}; }} "
+                f"catch (e) {{ {acc} = e + 1; }} finally {{ {acc} += 2; }}"
+            )
+        return (
+            f"var {acc} = 0; try {{ var u = undefinedVar{self.counter}; }} "
+            f"catch (e) {{ {acc} = 7; }}"
+        )
+
+    def make_if(self, depth: int) -> str:
+        condition = f"{self.numeric_expr()} < {self.numeric_expr()}"
+        snapshot = self.scoped()
+        then_branch = self.statement(depth + 1)
+        self.restore(snapshot)
+        else_branch = self.statement(depth + 1)
+        # Only one branch executes, so names declared inside either branch
+        # may be hoisted-but-undefined afterwards and must not be referenced.
+        self.restore(snapshot)
+        return f"if ({condition}) {{ {then_branch} }} else {{ {else_branch} }}"
+
+    def block_body(self, depth: int, allow_break: bool = False, loop_var: str = "") -> str:
+        statements = [self.statement(depth) for _ in range(self.rng.randint(1, 2))]
+        if allow_break and loop_var and self.rng.random() < 0.2:
+            statements.append(f"if ({loop_var} === 4) {{ break; }}")
+        return " ".join(statements)
+
+    def program(self) -> str:
+        statements = [self.statement() for _ in range(self.rng.randint(4, 8))]
+        # A deterministic summary expression so the final value is meaningful.
+        if self.numeric_vars:
+            terms = " + ".join(self.numeric_vars[-4:])
+            statements.append(f"console.log('sum', {terms}); ({terms});")
+        return "\n".join(statements)
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+class EventRecorder(Tracer):
+    """Records the full instrumentation event stream for equality checks."""
+
+    EVENTS = EV_ALL
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def on_loop_enter(self, interp, node):
+        self.events.append(("loop_enter", node.node_id))
+
+    def on_loop_iteration(self, interp, node, iteration):
+        self.events.append(("loop_iter", node.node_id, iteration))
+
+    def on_loop_exit(self, interp, node, trip_count):
+        self.events.append(("loop_exit", node.node_id, trip_count))
+
+    def on_function_enter(self, interp, func, call_node):
+        self.events.append(("fn_enter", getattr(func, "name", "?")))
+
+    def on_function_exit(self, interp, func):
+        self.events.append(("fn_exit", getattr(func, "name", "?")))
+
+    def on_env_created(self, interp, env, kind):
+        self.events.append(("env", kind, env.label))
+
+    def on_var_write(self, interp, name, env, value, node):
+        self.events.append(("var_write", name, to_string(value)))
+
+    def on_var_read(self, interp, name, env, node):
+        self.events.append(("var_read", name))
+
+    def on_object_created(self, interp, obj, node):
+        self.events.append(("object", obj.class_name, obj.creation_site))
+
+    def on_prop_write(self, interp, obj, name, value, node):
+        self.events.append(("prop_write", name, to_string(value)))
+
+    def on_prop_read(self, interp, obj, name, node):
+        self.events.append(("prop_read", name))
+
+    def on_branch(self, interp, node, taken):
+        self.events.append(("branch", node.node_id, taken))
+
+    def on_statement(self, interp, node):
+        self.events.append(("stmt", node.node_id))
+
+
+def run_both(source: str, instrumented: bool = False):
+    """Run ``source`` on the compiled and reference engines; return snapshots."""
+    snapshots = []
+    for engine in (Interpreter, ReferenceInterpreter):
+        interp = engine()
+        recorder = None
+        if instrumented:
+            recorder = interp.hooks.attach(EventRecorder())
+        result = interp.run_source(source)
+        stats = interp.stats
+        snapshots.append(
+            {
+                "engine": engine.__name__,
+                "result": to_string(result),
+                "console": list(interp.console_output),
+                "clock_ms": interp.clock.now(),
+                "digest": heap_digest(interp.global_env),
+                "ops": stats.ops,
+                "statements": stats.statements,
+                "calls": stats.calls,
+                "loop_iterations": stats.loop_iterations,
+                "objects_created": stats.objects_created,
+                "property_reads": stats.property_reads,
+                "property_writes": stats.property_writes,
+                "events": recorder.events if recorder is not None else None,
+            }
+        )
+    return snapshots
+
+
+def assert_equivalent(source: str, instrumented: bool = False) -> None:
+    compiled, reference = run_both(source, instrumented=instrumented)
+    compiled.pop("engine")
+    reference.pop("engine")
+    assert compiled == reference, f"engines diverge on:\n{source}"
+
+
+# ---------------------------------------------------------------------------
+# tests
+# ---------------------------------------------------------------------------
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_program_equivalence(self, seed):
+        source = ProgramGenerator(seed).program()
+        assert_equivalent(source)
+
+    @pytest.mark.parametrize("seed", range(40, 50))
+    def test_random_program_equivalence_instrumented(self, seed):
+        """Engines must also agree on the full instrumentation event stream."""
+        source = ProgramGenerator(seed).program()
+        assert_equivalent(source, instrumented=True)
+
+    def test_generator_is_deterministic(self):
+        assert ProgramGenerator(7).program() == ProgramGenerator(7).program()
+
+
+class TestHandPickedCorners:
+    """Constructs with historically fiddly semantics, checked explicitly."""
+
+    CASES = [
+        # var hoisting shared across loop iterations (the Figure 6 shape).
+        "var out = []; for (var i = 0; i < 3; i++) { var p = i * 2; out.push(p); } out.join(',');",
+        # Compound member assignment re-evaluates the target.
+        "var calls = 0; var o = {v: 1}; function get() { calls++; return o; } get().v += 5; calls + o.v;",
+        # Named function expressions can self-reference.
+        "var f = function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); }; f(6);",
+        # Prototype chains via new.
+        "function P(x) { this.x = x; } P.prototype.double = function () { return this.x * 2; }; new P(21).double();",
+        # typeof undeclared identifiers does not throw.
+        "typeof nothingDeclared;",
+        # Loose vs strict equality corners.
+        "console.log(0 == '', 0 === '', null == undefined, null === undefined); 1;",
+        # String/number coercion in +.
+        "var a = '1' + 2 + 3; var b = 1 + 2 + '3'; a + '|' + b;",
+        # break/continue interplay.
+        "var s = 0; for (var i = 0; i < 10; i++) { if (i % 2) { continue; } if (i > 6) { break; } s += i; } s;",
+        # Switch fall-through.
+        "var r = 0; switch (2) { case 1: r += 1; case 2: r += 2; case 3: r += 4; break; case 4: r += 8; } r;",
+        # try/finally ordering with uncaught-then-caught throws.
+        "var log = []; function inner() { try { throw 'x'; } finally { log.push('f1'); } } "
+        "try { inner(); } catch (e) { log.push('c:' + e); } log.join(',');",
+        # for-in over an object observes insertion order.
+        "var o = {z: 1, a: 2, m: 3}; o.q = 4; var ks = []; for (var k in o) { ks.push(k); } ks.join('');",
+        # delete changes enumeration.
+        "var o = {a: 1, b: 2, c: 3}; delete o.b; var ks = []; for (var k in o) { ks.push(k); } ks.join('');",
+        # Array length assignment truncates and extends.
+        "var a = [1, 2, 3, 4]; a.length = 2; a.push(9); a.length = 5; a.length + ':' + a.join(',');",
+        # Update expressions on members, prefix and postfix.
+        "var o = {n: 5}; var x = o.n++; var y = ++o.n; x + ',' + y + ',' + o.n;",
+        # Math.random is seeded and must match across engines.
+        "var r = 0; for (var i = 0; i < 5; i++) { r += Math.random(); } r;",
+        # Closures capture the shared var binding.
+        "var fs = []; for (var i = 0; i < 3; i++) { fs.push(function () { return i; }) } fs[0]() + fs[1]() + fs[2]();",
+        # Sequence expressions and comma in for-update.
+        "var a = 0, b = 0; for (var i = 0; i < 3; i = i + 1, b += 2) { a += i; } a + ',' + b;",
+        # Guest sort with comparator re-enters guest code.
+        "var a = [5, 1, 4, 2, 3]; a.sort(function (x, y) { return x - y; }); a.join('-');",
+        # do-while executes at least once.
+        "var n = 0; do { n++; } while (false); n;",
+        # Bitwise ops on floats.
+        "(7.9 & 3) + ',' + (1 << 4) + ',' + (-8 >>> 28);",
+    ]
+
+    @pytest.mark.parametrize("index", range(len(CASES)))
+    def test_corner_case(self, index):
+        assert_equivalent(self.CASES[index])
+
+    @pytest.mark.parametrize("index", range(0, len(CASES), 4))
+    def test_corner_case_instrumented(self, index):
+        assert_equivalent(self.CASES[index], instrumented=True)

@@ -1,0 +1,85 @@
+"""Golden-master tests: any byte of drift in the canonical artifacts fails.
+
+The goldens cover the Table 2/3 report text (compute-bound workload subset)
+and one full ``RunResult.to_dict()`` JSON envelope per tracer-mode
+combination, plus the speculate mode.  On mismatch the failure message shows
+a unified diff and the regeneration command::
+
+    PYTHONPATH=src python tests/goldens/regen.py
+
+Regenerate only for *intentional* behaviour changes, and review the diff in
+the PR.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+REGEN_COMMAND = "PYTHONPATH=src python tests/goldens/regen.py"
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location("golden_regen", GOLDEN_DIR / "regen.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def current_goldens():
+    """Build every golden artifact once (the expensive part is the 3-workload
+    case study; everything after reuses the session's caches)."""
+    return _load_regen().build_goldens()
+
+
+def _golden_names():
+    regen = _load_regen()
+    names = ["case_study_tables.txt"]
+    names.extend(f"runresult_{regen._combo_name(combo)}.json" for combo in regen._mode_combos())
+    names.append("runresult_speculate_kernel.json")
+    return names
+
+
+@pytest.mark.parametrize("name", _golden_names())
+def test_golden(name, current_goldens):
+    path = GOLDEN_DIR / name
+    assert path.exists(), (
+        f"golden file {name} is missing — generate it with: {REGEN_COMMAND}"
+    )
+    expected = path.read_text(encoding="utf-8")
+    actual = current_goldens[name]
+    if actual == expected:
+        return
+    diff = "\n".join(
+        difflib.unified_diff(
+            expected.splitlines(),
+            actual.splitlines(),
+            fromfile=f"goldens/{name} (checked in)",
+            tofile=f"goldens/{name} (current behaviour)",
+            lineterm="",
+            n=3,
+        )
+    )
+    if len(diff) > 8000:
+        diff = diff[:8000] + "\n... (diff truncated)"
+    pytest.fail(
+        f"golden {name} drifted.\n{diff}\n\n"
+        f"If this change is intentional, regenerate with: {REGEN_COMMAND}\n"
+        "and review the golden diff as part of the PR.",
+        pytrace=False,
+    )
+
+
+def test_no_stale_golden_files(current_goldens):
+    """Every checked-in golden must still be produced by the builders."""
+    checked_in = {p.name for p in GOLDEN_DIR.glob("*.txt")} | {
+        p.name for p in GOLDEN_DIR.glob("*.json")
+    }
+    produced = set(current_goldens)
+    stale = checked_in - produced
+    assert not stale, f"stale golden files with no builder: {sorted(stale)}"

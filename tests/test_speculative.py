@@ -1,0 +1,378 @@
+"""Speculative parallel re-execution: correctness, rollback and wiring tests.
+
+The deterministic simulated-worker mode runs here (tier-1); the forked
+OS-process replay has its own gated suite in ``test_speculative_mp.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import AnalysisSession, RunSpec, SPECULATE
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.parser import parse
+from repro.jsvm.snapshot import diff_forks, fork_state, heap_digest, merge_diff
+from repro.parallel.speculative import (
+    SpeculationController,
+    SpeculationOptions,
+    SpeculativeExecutor,
+)
+from repro.workloads.nbody import STEP_FOR_LINE, make_nbody_workload
+
+
+def speculate_source(setup: str, loop_source: str, options: SpeculationOptions = None):
+    """Run ``loop_source`` under a speculation controller; return (interp, outcome)."""
+    interp = Interpreter()
+    if setup:
+        interp.run_source(setup)
+    program = parse(loop_source, name="kernel.js")
+    controller = SpeculationController(
+        program.body[0].node_id,
+        options or SpeculationOptions(workers=4),
+        label="for(kernel)",
+        line=1,
+        kind="for",
+    )
+    interp.speculation = controller
+    interp.run(program)
+    interp.speculation = None
+    assert controller.outcomes, "target loop was never intercepted"
+    return interp, controller.outcomes[0]
+
+
+# ---------------------------------------------------------------------------
+# snapshot primitives
+# ---------------------------------------------------------------------------
+class TestSnapshotPrimitives:
+    def test_fork_is_isolated(self):
+        interp = Interpreter()
+        interp.run_source("var a = [1, 2, 3]; var o = {x: 1}; o.self = o;")
+        fork = fork_state(interp.global_env)
+        forked_global = fork.copy_of(interp.global_env)
+        forked_global.get("a").elements[0] = 99.0
+        forked_global.get("o").set("x", 42.0)
+        assert interp.global_env.get("a").elements[0] == 1.0
+        assert interp.global_env.get("o").get("x") == 1.0
+        # Aliasing is preserved: the copied o.self is the copied o.
+        assert forked_global.get("o").get("self") is forked_global.get("o")
+
+    def test_digest_isomorphism_and_sensitivity(self):
+        source = "var a = [1, 2, {y: 3}]; var o = {x: 1}; o.self = o; var s = 'hi';"
+        first, second = Interpreter(), Interpreter()
+        first.run_source(source)
+        second.run_source(source)
+        assert heap_digest(first.global_env) == heap_digest(second.global_env)
+        second.run_source("o.x = 2;")
+        assert heap_digest(first.global_env) != heap_digest(second.global_env)
+
+    def test_digest_distinguishes_enumeration_order(self):
+        first, second = Interpreter(), Interpreter()
+        first.run_source("var o = {}; o.a = 1; o.b = 2;")
+        second.run_source("var o = {}; o.b = 2; o.a = 1;")
+        assert heap_digest(first.global_env) != heap_digest(second.global_env)
+
+    def test_diff_and_merge_round_trip(self):
+        interp = Interpreter()
+        interp.run_source("var arr = [0, 0, 0, 0]; var k = 0; var o = {};")
+        baseline = fork_state(interp.global_env)
+        worker = fork_state(interp.global_env)
+        worker_global = worker.copy_of(interp.global_env)
+        worker_global.get("arr").elements[1] = 7.0
+        worker_global.get("arr").elements.append(3.0)
+        worker_global.bindings["k"] = 5.0
+        worker_global.get("o").set("fresh", 1.0)
+        writes = diff_forks(baseline, worker)
+        keys = {key for _oid, key in writes}
+        assert {"1", "4", "length", "k", "fresh"} <= keys
+        merge_diff(baseline, worker, writes)
+        interp.run_source("arr[1] = 7; arr.push(3); k = 5; o.fresh = 1;")
+        assert heap_digest(baseline.copy_of(interp.global_env)) == heap_digest(interp.global_env)
+
+
+# ---------------------------------------------------------------------------
+# commit / rollback semantics
+# ---------------------------------------------------------------------------
+class TestSpeculationSemantics:
+    def test_disjoint_writes_commit(self):
+        interp, outcome = speculate_source(
+            "var out = [0, 0, 0, 0, 0, 0, 0, 0];",
+            "for (var j = 0; j < 8; j++) { out[j] = j * j + 1; }",
+        )
+        assert outcome.status == "committed"
+        assert outcome.state_identical is True
+        assert 1.0 < outcome.executed_speedup <= outcome.workers
+        assert interp.global_env.get("out").elements == [float(j * j + 1) for j in range(8)]
+
+    def test_private_var_temporaries_commit_by_privatization(self):
+        _interp, outcome = speculate_source(
+            "var out = [0, 0, 0, 0, 0, 0, 0, 0];",
+            "for (var j = 0; j < 8; j++) { var t = j * 2; var u = t + 1; out[j] = u; }",
+        )
+        assert outcome.status == "committed"
+        assert outcome.merge_policy == "privatize"
+        assert outcome.privatized >= 2  # t and u
+
+    def test_scalar_sum_accumulator_commits_by_reduction(self):
+        interp, outcome = speculate_source(
+            "var total = 0; var data = [1, 2, 3, 4, 5, 6, 7, 8];",
+            "for (var j = 0; j < 8; j++) { total = total + data[j]; }",
+        )
+        assert outcome.status == "committed"
+        assert outcome.merge_policy == "reduction"
+        assert outcome.reductions == 1
+        assert interp.global_env.get("total") == 36.0
+
+    def test_counter_with_equal_partials_commits_by_reduction(self):
+        # 8 iterations over 4 workers: every chunk's count delta is equal, so
+        # the silent-store shortcut must not hide the reduction.
+        interp, outcome = speculate_source(
+            "var count = 0; var out = [0, 0, 0, 0, 0, 0, 0, 0];",
+            "for (var j = 0; j < 8; j++) { out[j] = j; count++; }",
+        )
+        assert outcome.status == "committed"
+        assert interp.global_env.get("count") == 8.0
+
+    def test_nonlinear_accumulator_rolls_back_via_state_validation(self):
+        interp, outcome = speculate_source(
+            "var acc = 1; var data = [1, 2, 3, 4, 5, 6, 7, 8];",
+            "for (var j = 0; j < 8; j++) { acc = acc * 2 + data[j]; }",
+        )
+        assert outcome.status == "rolled-back"
+        assert outcome.state_identical is False
+        # Serial ground truth survives the rollback.
+        expected = 1.0
+        for value in range(1, 9):
+            expected = expected * 2 + value
+        assert interp.global_env.get("acc") == expected
+
+    def test_object_property_accumulator_conflicts(self):
+        _interp, outcome = speculate_source(
+            "var acc = {total: 0}; var data = [1, 2, 3, 4, 5, 6, 7, 8];",
+            "for (var j = 0; j < 8; j++) { acc.total = acc.total + data[j]; }",
+        )
+        assert outcome.status == "rolled-back"
+        assert any("write-write" in conflict for conflict in outcome.conflicts)
+
+    def test_stencil_sweep_conflicts_on_cross_chunk_read(self):
+        interp, outcome = speculate_source(
+            "var x = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];",
+            "for (var j = 1; j < 10; j++) { x[j] = x[j - 1] + x[j]; }",
+        )
+        assert outcome.status == "rolled-back"
+        assert any("read-write" in conflict for conflict in outcome.conflicts)
+        # The serial prefix-sum result stands.
+        assert interp.global_env.get("x").elements == [
+            0.0, 1.0, 3.0, 6.0, 10.0, 15.0, 21.0, 28.0, 36.0, 45.0
+        ]
+
+    def test_allocating_loop_transplants_new_objects(self):
+        interp, outcome = speculate_source(
+            "var objs = [0, 0, 0, 0, 0, 0, 0, 0];",
+            "for (var j = 0; j < 8; j++) { objs[j] = {v: j, w: [j, j + 1]}; }",
+        )
+        assert outcome.status == "committed"
+        assert interp.global_env.get("objs").elements[3].get("v") == 3.0
+
+    def test_cyclic_partitioning_commits(self):
+        _interp, outcome = speculate_source(
+            "var out = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];",
+            "for (var j = 0; j < 12; j++) { out[j] = j * 3; }",
+            SpeculationOptions(workers=3, strategy="cyclic"),
+        )
+        assert outcome.status == "committed"
+        assert outcome.strategy == "cyclic"
+
+    def test_injected_conflict_triggers_rollback_with_serial_state(self):
+        interp, outcome = speculate_source(
+            "var out = [0, 0, 0, 0, 0, 0, 0, 0];",
+            "for (var j = 0; j < 8; j++) { out[j] = j; }",
+            SpeculationOptions(workers=4, inject_conflict=True),
+        )
+        assert outcome.status == "rolled-back"
+        assert "chaos" in " ".join(outcome.conflicts) + outcome.reason
+        assert interp.global_env.get("out").elements == [float(j) for j in range(8)]
+
+    def test_console_output_in_chunk_aborts(self):
+        _interp, outcome = speculate_source(
+            "var out = [0, 0, 0, 0, 0, 0, 0, 0];",
+            "for (var j = 0; j < 8; j++) { out[j] = j; console.log(j); }",
+        )
+        assert outcome.status == "rolled-back"
+        assert "console output" in outcome.reason
+
+    def test_host_access_in_chunk_aborts(self):
+        from repro.browser.window import BrowserSession
+
+        browser = BrowserSession()
+        browser.run_script("var out = [0, 0, 0, 0, 0, 0, 0, 0];")
+        program = parse(
+            "for (var j = 0; j < 8; j++) { out[j] = performance.now(); }", name="host.js"
+        )
+        controller = SpeculationController(
+            program.body[0].node_id, SpeculationOptions(workers=4), kind="for"
+        )
+        browser.interp.speculation = controller
+        browser.interp.run(program)
+        browser.interp.speculation = None
+        outcome = controller.outcomes[0]
+        assert outcome.status == "rolled-back"
+        assert "host access" in outcome.reason
+
+    def test_guest_return_in_chunk_rolls_back_instead_of_escaping(self):
+        """A `return` taken only under a worker's stale forked state must not
+        escape the chunk sandbox into the live enclosing function."""
+        interp = Interpreter()
+        interp.run_source(
+            "var a = [9, 0, 0, 0, 0, 0, 0, 0];"
+            "function f() {"
+            "  for (var j = 1; j < 8; j++) {"
+            "    if (a[j - 1] == 0 && j == 7) { return 99; }"
+            "    a[j] = j;"
+            "  }"
+            "  return 1;"
+            "}"
+        )
+        program = parse("var r = f();", name="driver.js")
+        loop_node = interp.global_env.get("f").body.body[0]
+        controller = SpeculationController(
+            loop_node.node_id, SpeculationOptions(workers=8), kind="for"
+        )
+        interp.speculation = controller
+        interp.run(program)
+        interp.speculation = None
+        # Serial semantics win: f() returns 1; the worker that saw stale
+        # a[6] == 0 and returned 99 is a mis-speculation, rolled back.
+        assert interp.global_env.get("r") == 1.0
+        assert controller.outcomes, "speculation outcome must be recorded"
+        outcome = controller.outcomes[0]
+        assert outcome.status == "rolled-back"
+        assert "return" in outcome.reason or outcome.conflicts
+
+    def test_degenerate_trip_count_is_skipped(self):
+        _interp, outcome = speculate_source(
+            "var out = [0];",
+            "for (var j = 0; j < 1; j++) { out[j] = 1; }",
+        )
+        assert outcome.status == "skipped"
+        assert "degenerate" in outcome.reason
+
+    def test_speculation_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            _interp, outcome = speculate_source(
+                "var out = [0, 0, 0, 0, 0, 0, 0, 0]; var count = 0;",
+                "for (var j = 0; j < 8; j++) { out[j] = j * 5; count++; }",
+            )
+            results.append(outcome.to_dict())
+        assert results[0] == results[1]
+
+
+# ---------------------------------------------------------------------------
+# whole-workload speculation (executor level)
+# ---------------------------------------------------------------------------
+class TestWorkloadSpeculation:
+    def test_nbody_step_loop_misspeculates_and_matches_serial(self):
+        """The Figure 6 loop has a genuine centre-of-mass dependence: the
+        speculative backend must detect the conflict, roll back, and leave a
+        final state bit-identical to a plain serial run."""
+        executor = SpeculativeExecutor()
+        speculative = executor.speculate_loop(make_nbody_workload(), line=STEP_FOR_LINE)
+        assert speculative.outcomes, "no outcome recorded"
+        outcome = speculative.outcomes[0]
+        assert outcome.status == "rolled-back"
+        assert outcome.executed_speedup == 1.0
+
+        plain = executor.speculate_loop(make_nbody_workload(), line=10_000)
+        assert plain.outcomes[0].status == "skipped"
+        assert speculative.final_digest == plain.final_digest
+
+    def test_nbody_computeforces_loop_commits(self):
+        source_lines = make_nbody_workload().scripts[0][1].splitlines()
+        line = next(
+            index + 1 for index, text in enumerate(source_lines) if "for (var j = 0" in text
+        )
+        run = SpeculativeExecutor().speculate_loop(make_nbody_workload(), line=line)
+        outcome = run.outcomes[0]
+        assert outcome.status == "committed"
+        assert outcome.state_identical is True
+        assert outcome.executed_speedup > 1.0
+
+
+# ---------------------------------------------------------------------------
+# api/session/CLI wiring
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fluid_speculation():
+    """One composed speculate+lightweight run of fluidSim (shared: expensive)."""
+    with AnalysisSession() as session:
+        result = session.run("fluidSim", RunSpec.speculate() | RunSpec.lightweight(with_gecko=False))
+    return result
+
+
+class TestSessionSpeculation:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec(tracers=frozenset({"lightweight"}), speculate_workers=4)
+        with pytest.raises(ValueError):
+            RunSpec.speculate(strategy="diagonal")
+        spec = RunSpec.speculate(workers=4, strategy="cyclic") | RunSpec.loop_profile()
+        assert spec.speculate_workers == 4
+        assert SPECULATE in spec.tracers and "loop_profile" in spec.tracers
+
+    def test_fluid_payload_reports_every_doall_nest(self, fluid_speculation):
+        payload = fluid_speculation.speculation
+        assert payload is not None
+        nests = payload["nests"]
+        assert len(nests) >= 2
+        speculated = [nest for nest in nests if nest["status"] != "skipped"]
+        assert speculated, "no nest was speculated"
+        for nest in speculated:
+            assert nest["executed_speedup"] >= 1.0
+            assert nest["modelled_speedup"] is not None
+        committed = [nest for nest in nests if nest["status"] == "committed"]
+        assert committed, "expected at least one committed DOALL nest in fluidSim"
+        for nest in committed:
+            assert nest["state_identical"] is True
+            assert 1.0 < nest["executed_speedup"] <= payload["workers"]
+
+    def test_executed_within_tolerance_of_model(self, fluid_speculation):
+        """Committed executed speedups land within the stated tolerance of the
+        analytic model: [0.4x, 1.25x] of the modelled speedup.  (The executed
+        number replicates induction scaffolding per worker, which the model
+        folds into its scheduling-overhead term — see README.)"""
+        for nest in fluid_speculation.speculation["nests"]:
+            if nest["status"] != "committed":
+                continue
+            ratio = nest["executed_speedup"] / nest["modelled_speedup"]
+            assert 0.4 <= ratio <= 1.25, nest
+
+    def test_rolled_back_nests_report_unit_speedup(self, fluid_speculation):
+        for nest in fluid_speculation.speculation["nests"]:
+            if nest["status"] == "rolled-back":
+                assert nest["executed_speedup"] == 1.0
+                assert nest["reason"]
+
+    def test_speculation_does_not_perturb_composed_tracers(self, fluid_speculation):
+        """The speculate mode runs separate passes: the composed lightweight
+        numbers must be identical to a plain lightweight run."""
+        with AnalysisSession() as session:
+            plain = session.run("fluidSim", RunSpec.lightweight(with_gecko=False))
+        assert fluid_speculation.payloads["lightweight"] == plain.payloads["lightweight"]
+
+    def test_report_text_shows_executed_vs_modelled(self, fluid_speculation):
+        text = fluid_speculation.report_text
+        assert "Speculative re-execution: fluidSim" in text
+        assert "executed" in text and "modelled" in text
+
+    def test_round_trip_preserves_speculation_payload(self, fluid_speculation):
+        from repro.api import RunResult
+
+        clone = RunResult.from_dict(fluid_speculation.to_dict())
+        assert clone.speculation == fluid_speculation.speculation
+        assert clone.executed_speedups() == fluid_speculation.executed_speedups()
+        assert clone == RunResult.from_dict(clone.to_dict())
+
+    def test_executed_speedups_accessor(self, fluid_speculation):
+        speedups = fluid_speculation.executed_speedups()
+        assert speedups
+        assert all(value >= 1.0 for value in speedups.values())
