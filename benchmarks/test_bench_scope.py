@@ -1,0 +1,123 @@
+"""Benchmarks for the slot-addressed scope machinery and inline caches.
+
+Two micro-kernels isolate exactly what PR 4 changed — identifier access
+through environment frames and member access through compiled sites — and a
+workload-level measurement records the end-to-end fluidSim throughput in
+``extra_info`` so the artifact (``BENCH_test_bench_scope_*.json``) tracks
+the uninstrumented ops/sec trajectory across PRs.
+
+Each benchmark runs the same kernel in both scope modes and stores the
+dict-mode comparison in ``extra_info`` — CI uploads the JSON, so regressions
+of either tier are visible without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.scope import set_slot_scopes
+
+#: Locals, closure reads and multi-hop frees: pure scope-chain traffic.
+_SCOPE_KERNEL = """
+function make(base) {
+  var offset = base * 2;
+  return function (n) {
+    var total = 0;
+    for (var i = 0; i < n; i++) {
+      var term = i + offset;
+      total += term - base;
+    }
+    return total;
+  };
+}
+var f = make(3);
+var acc = 0;
+for (var round = 0; round < 150; round++) { acc += f(400); }
+acc;
+"""
+
+#: Property reads/writes through monomorphic sites + indexed array traffic.
+_MEMBER_KERNEL = """
+function Particle(x, y) { this.x = x; this.y = y; }
+Particle.prototype.advance = function (dt) {
+  this.x = this.x + dt;
+  this.y = this.y + this.x * 0.5;
+  return this.y;
+};
+var cells = [];
+for (var i = 0; i < 64; i++) { cells[i] = 0; }
+var p = new Particle(0, 0);
+var acc = 0;
+for (var step = 0; step < 150; step++) {
+  acc += p.advance(0.01);
+  for (var j = 0; j < 64; j++) { cells[j] = cells[j] + p.y; }
+}
+acc;
+"""
+
+
+def _run_once(source: str, slots: bool):
+    previous = set_slot_scopes(slots)
+    try:
+        interp = Interpreter()
+        started = time.perf_counter()
+        interp.run_source(source)
+        elapsed = time.perf_counter() - started
+    finally:
+        set_slot_scopes(previous)
+    return interp.stats.ops, elapsed
+
+
+def _bench_kernel(benchmark, source: str):
+    def run():
+        return _run_once(source, slots=True)
+
+    ops, _ = benchmark(run)
+    dict_ops, dict_elapsed = _run_once(source, slots=False)
+    assert ops == dict_ops  # virtual-op parity between the two tiers
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["guest_ops"] = ops
+    benchmark.extra_info["slot_ops_per_sec"] = ops / mean if mean else 0.0
+    benchmark.extra_info["dict_ops_per_sec"] = dict_ops / dict_elapsed if dict_elapsed else 0.0
+
+
+def test_bench_scope_slot_chain(benchmark):
+    """Identifier reads/writes across function, loop and block frames."""
+    _bench_kernel(benchmark, _SCOPE_KERNEL)
+
+
+def test_bench_scope_inline_caches(benchmark):
+    """Shape-cached member access plus indexed array fast paths."""
+    _bench_kernel(benchmark, _MEMBER_KERNEL)
+
+
+def test_bench_scope_fluidsim_throughput(benchmark):
+    """End-to-end uninstrumented fluidSim ops/sec (the PR acceptance metric)."""
+    from repro.browser.window import BrowserSession
+    from repro.ceres.proxy import InstrumentationMode, InstrumentingProxy, OriginServer
+    from repro.jsvm.hooks import HookBus
+    from repro.workloads import get_workload
+
+    def setup():
+        workload = get_workload("fluidSim")
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(origin, mode=InstrumentationMode.NONE)
+        browser = BrowserSession(hooks=HookBus(), title=workload.name)
+        if hasattr(workload, "prepare"):
+            workload.prepare(browser)
+        documents = [proxy.request(path) for path, _source in workload.scripts]
+        return (workload, browser, documents), {}
+
+    def run(workload, browser, documents):
+        for document in documents:
+            browser.run_document(document)
+        workload.exercise(browser)
+        return browser.interp.stats.ops
+
+    ops = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["guest_ops"] = ops
+    benchmark.extra_info["ops_per_sec"] = ops / mean if mean else 0.0
+    assert ops > 0

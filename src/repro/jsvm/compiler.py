@@ -32,7 +32,9 @@ on function bodies and programs).
 from __future__ import annotations
 
 import math
+from sys import intern
 from typing import Any, Callable, List, Optional, Tuple
+from weakref import ref as _weakref
 
 from . import ast_nodes as ast
 from .errors import (
@@ -41,11 +43,14 @@ from .errors import (
     JSThrownValue,
     JSTypeError,
 )
-from .hooks import EV_BRANCH, EV_ENV, EV_LOOP, EV_STATEMENT, EV_VAR
-from .scope import Environment
+from .hooks import EV_BRANCH, EV_ENV, EV_LOOP, EV_PROP, EV_STATEMENT, EV_VAR
+from .resolver import build_hoist_plan, resolve_program
+from .scope import HOLE, Environment
 from .values import (
+    _PROTO_EPOCH,
     NULL,
     UNDEFINED,
+    JSArray,
     JSObject,
     is_callable,
     loose_equals,
@@ -99,6 +104,10 @@ def _to_uint32(number: float) -> int:
 # binary operators, resolved once at compile time
 # ---------------------------------------------------------------------------
 def _op_add(left, right):
+    # Numbers are floats end to end in this VM; the typed fast path skips
+    # four isinstance checks on the dominant numeric case.
+    if type(left) is float and type(right) is float:
+        return left + right
     if isinstance(left, str) or isinstance(right, str):
         return to_string(left) + to_string(right)
     if isinstance(left, JSObject) or isinstance(right, JSObject):
@@ -107,10 +116,14 @@ def _op_add(left, right):
 
 
 def _op_sub(left, right):
+    if type(left) is float and type(right) is float:
+        return left - right
     return to_number(left) - to_number(right)
 
 
 def _op_mul(left, right):
+    if type(left) is float and type(right) is float:
+        return left * right
     return to_number(left) * to_number(right)
 
 
@@ -137,6 +150,15 @@ def _op_mod(left, right):
 
 def _compare(operator: str):
     def compare(left, right):
+        if type(left) is float and type(right) is float:
+            # float comparisons are NaN-correct natively (NaN -> False).
+            if operator == "<":
+                return left < right
+            if operator == ">":
+                return left > right
+            if operator == "<=":
+                return left <= right
+            return left >= right
         if isinstance(left, str) and isinstance(right, str):
             if operator == "<":
                 return left < right
@@ -257,60 +279,13 @@ def resolve_binary(operator: str, node: ast.Node) -> Callable[[Any, Any], Any]:
 
 
 # ---------------------------------------------------------------------------
-# hoisting (precomputed once per statement list)
+# hoisting (the plan builder lives in the resolver; re-exported above)
 # ---------------------------------------------------------------------------
-def build_hoist_plan(statements: List[ast.Node]) -> List[Tuple[str, Any]]:
-    """Precompute the seed's ``_hoist`` walk as a flat list of actions.
-
-    Actions are ``("var", name)`` or ``("func", FunctionDeclaration node)``,
-    in the exact order the recursive walk visited them.
-    """
-    plan: List[Tuple[str, Any]] = []
-    for statement in statements:
-        _hoist_statement(statement, plan)
-    return plan
-
-
-def _hoist_statement(node: Optional[ast.Node], plan: List[Tuple[str, Any]]) -> None:
-    if node is None:
-        return
-    if isinstance(node, ast.VariableDeclaration):
-        if node.kind_keyword == "var":
-            for declarator in node.declarations:
-                plan.append(("var", declarator.name))
-    elif isinstance(node, ast.FunctionDeclaration):
-        plan.append(("func", node))
-    elif isinstance(node, ast.BlockStatement):
-        for statement in node.body:
-            _hoist_statement(statement, plan)
-    elif isinstance(node, ast.IfStatement):
-        _hoist_statement(node.consequent, plan)
-        _hoist_statement(node.alternate, plan)
-    elif isinstance(node, ast.ForStatement):
-        _hoist_statement(node.init, plan)
-        _hoist_statement(node.body, plan)
-    elif isinstance(node, ast.ForInStatement):
-        if node.declaration_kind == "var":
-            plan.append(("var", node.target_name))
-        _hoist_statement(node.body, plan)
-    elif isinstance(node, (ast.WhileStatement, ast.DoWhileStatement)):
-        _hoist_statement(node.body, plan)
-    elif isinstance(node, ast.TryStatement):
-        _hoist_statement(node.block, plan)
-        if node.handler is not None:
-            _hoist_statement(node.handler.body, plan)
-        _hoist_statement(node.finalizer, plan)
-    elif isinstance(node, ast.SwitchStatement):
-        for case in node.cases:
-            for statement in case.body:
-                _hoist_statement(statement, plan)
-
-
 def run_hoist_plan(plan: List[Tuple[str, Any]], rt, env: Environment) -> None:
     """Apply a precomputed hoist plan to ``env`` (fresh closures per call)."""
     for kind, payload in plan:
         if kind == "var":
-            env.declare_var(payload, UNDEFINED)
+            env.declare_var(payload)
         else:
             func = rt.make_function(payload.name, payload.params, payload.body, env, payload)
             env.declare_var(payload.name, func)
@@ -384,8 +359,157 @@ def _compile_undefined(node: ast.UndefinedLiteral) -> Code:
     return _compile_constant(node, UNDEFINED)
 
 
+def _dict_read(rt, env, name, line, node):
+    """The dict-chain identifier read: the dynamic/global/HOLE-fallback path."""
+    holder = env
+    while holder is not None:
+        bindings = holder.bindings
+        if name in bindings:
+            if rt.trace_mask & EV_VAR:
+                rt.hooks.var_read(rt, name, holder, node)
+            return bindings[name]
+        holder = holder.parent
+    raise JSReferenceError(f"{name} is not defined", line)
+
+
+def _slot_read(node: ast.Identifier, charged: bool):
+    """Slot-addressed identifier read closure, or None if not resolvable.
+
+    ``charged`` selects expression-position semantics (one clock charge on
+    entry) versus the uncharged read used by update/compound-assignment
+    targets.  Specialized per hop count: the scope chain is not walked and no
+    dict is touched on the fast path.
+    """
+    res = getattr(node, "_res", None)
+    if res is None:
+        return None
+    hops, idx, _maybe_hole, _is_const = res
+    name = node.name
+    line = node.line
+
+    if charged:
+        if hops == 0:
+
+            def run(rt, env):
+                rt._charge()
+                value = env.slots[idx]
+                if value is not HOLE:
+                    if rt.trace_mask & EV_VAR:
+                        rt.hooks.var_read(rt, name, env, node)
+                    return value
+                return _dict_read(rt, env, name, line, node)
+
+        elif hops == 1:
+
+            def run(rt, env):
+                rt._charge()
+                frame = env.parent
+                value = frame.slots[idx]
+                if value is not HOLE:
+                    if rt.trace_mask & EV_VAR:
+                        rt.hooks.var_read(rt, name, frame, node)
+                    return value
+                return _dict_read(rt, env, name, line, node)
+
+        elif hops == 2:
+
+            def run(rt, env):
+                rt._charge()
+                frame = env.parent.parent
+                value = frame.slots[idx]
+                if value is not HOLE:
+                    if rt.trace_mask & EV_VAR:
+                        rt.hooks.var_read(rt, name, frame, node)
+                    return value
+                return _dict_read(rt, env, name, line, node)
+
+        elif hops == 3:
+            # Loop bodies are blocks: block frame -> iteration frame -> loop
+            # frame -> function frame makes 3 hops the hottest depth of all.
+            def run(rt, env):
+                rt._charge()
+                frame = env.parent.parent.parent
+                value = frame.slots[idx]
+                if value is not HOLE:
+                    if rt.trace_mask & EV_VAR:
+                        rt.hooks.var_read(rt, name, frame, node)
+                    return value
+                return _dict_read(rt, env, name, line, node)
+
+        else:
+            remaining = hops - 4
+
+            def run(rt, env):
+                rt._charge()
+                frame = env.parent.parent.parent.parent
+                hop = remaining
+                while hop:
+                    frame = frame.parent
+                    hop -= 1
+                value = frame.slots[idx]
+                if value is not HOLE:
+                    if rt.trace_mask & EV_VAR:
+                        rt.hooks.var_read(rt, name, frame, node)
+                    return value
+                return _dict_read(rt, env, name, line, node)
+
+    else:
+
+        def run(rt, env):
+            frame = env
+            hop = hops
+            while hop:
+                frame = frame.parent
+                hop -= 1
+            value = frame.slots[idx]
+            if value is not HOLE:
+                if rt.trace_mask & EV_VAR:
+                    rt.hooks.var_read(rt, name, frame, node)
+                return value
+            return _dict_read(rt, env, name, line, node)
+
+    return run
+
+
+def _slot_write(node: ast.Identifier):
+    """Slot-addressed identifier assignment closure, or None.
+
+    Falls back to the generic :meth:`Interpreter._set_variable` walk for
+    const bindings (exact error parity) and for HOLE slots (the binding does
+    not exist yet in its frame: the write must land in an outer scope or
+    create a sloppy global, exactly as the dict walk decides).
+    """
+    res = getattr(node, "_res", None)
+    if res is None:
+        return None
+    hops, idx, _maybe_hole, is_const = res
+    if is_const:
+        return None
+    name = node.name
+
+    def write(rt, env, value):
+        frame = env
+        hop = hops
+        while hop:
+            frame = frame.parent
+            hop -= 1
+        slots = frame.slots
+        if slots[idx] is not HOLE:
+            slots[idx] = value
+            frame.bindings[name] = value
+            if rt.trace_mask & EV_VAR:
+                rt.hooks.var_write(rt, name, frame, value, node)
+        else:
+            rt._set_variable(name, value, env, node)
+
+    return write
+
+
 def _read_identifier(node: ast.Identifier):
     """Uncharged identifier read used by update/compound assignment targets."""
+    slot = _slot_read(node, charged=False)
+    if slot is not None:
+        return slot
     name = node.name
     line = node.line
 
@@ -401,6 +525,9 @@ def _read_identifier(node: ast.Identifier):
 
 
 def _compile_identifier(node: ast.Identifier) -> Code:
+    slot = _slot_read(node, charged=True)
+    if slot is not None:
+        return slot
     name = node.name
     line = node.line
 
@@ -422,6 +549,21 @@ def _compile_identifier(node: ast.Identifier) -> Code:
 
 
 def _compile_this(node: ast.ThisExpression) -> Code:
+    res = getattr(node, "_res", None)
+    if res is not None:
+        hops, idx, _maybe_hole, _is_const = res
+
+        def run_slot(rt, env):
+            rt._charge()
+            frame = env
+            hop = hops
+            while hop:
+                frame = frame.parent
+                hop -= 1
+            return frame.slots[idx]
+
+        return run_slot
+
     def run(rt, env):
         rt._charge()
         holder = env.lookup_env("this")
@@ -461,13 +603,16 @@ def _compile_function_expression(node: ast.FunctionExpression) -> Code:
     display_name = name or "<anonymous>"
     params = node.params
     body = node.body
+    fnexpr_layout = getattr(node, "_fnexpr_layout", None)
 
     def run(rt, env):
         rt._charge()
         func = rt.make_function(display_name, params, body, env, node)
         if name:
             # Named function expressions can refer to themselves.
-            func.closure = Environment(parent=env, is_function_scope=False, label="fnexpr")
+            func.closure = Environment(
+                parent=env, is_function_scope=False, label="fnexpr", layout=fnexpr_layout
+            )
             func.closure.declare_let(name, func)
         return func
 
@@ -487,12 +632,54 @@ def _member_key_code(node: ast.MemberExpression):
             return to_property_key(property_code(rt, env))
 
         return computed_key
-    constant = node.property.value
+    constant = intern(node.property.value)
 
     def constant_key(rt, env):
         return constant
 
     return constant_key
+
+
+# ---------------------------------------------------------------------------
+# per-site inline caches for member access
+# ---------------------------------------------------------------------------
+# A cache is a 4-element list mutated in place by its compiled site:
+#   [shape, kind, holder-weakref, guard]
+# kind 0: own-property hit     — valid while obj.shape is cache[0]; the shape
+#         pins the exact own-key set, so the key is provably present.
+# kind 1: prototype hit (depth 1) — additionally pins the holder (identity)
+#         and the holder's shape; identity pinning keeps caches from leaking
+#         across speculation forks (a forked object's prototype is a
+#         different object, so the cache misses and refills).  The holder is
+#         referenced *weakly*: compiled code (and its caches) is itself
+#         cached on session-shared ASTs, and a strong holder reference would
+#         retain a finished interpreter run's entire heap between runs.
+# kind 2: whole-chain absence  — valid while obj.shape matches and no
+#         prototype anywhere changed shape (the _PROTO_EPOCH guard).
+# Deeper prototype hits stay generic (rare; monomorphic caches only).
+def _ic_lookup(cache, obj, key):
+    """Slow path of a read site: full lookup + (monomorphic) cache refill."""
+    properties = obj.properties
+    if key in properties:
+        cache[0] = obj.shape
+        cache[1] = 0
+        return properties[key]
+    holder = obj.prototype
+    while holder is not None:
+        if key in holder.properties:
+            if holder is obj.prototype and type(holder) is JSObject:
+                cache[0] = obj.shape
+                cache[1] = 1
+                cache[2] = _weakref(holder)
+                cache[3] = holder.shape
+            else:
+                cache[0] = None
+            return holder.properties[key]
+        holder = holder.prototype
+    cache[0] = obj.shape
+    cache[1] = 2
+    cache[3] = _PROTO_EPOCH[0]
+    return UNDEFINED
 
 
 def _compile_unary(node: ast.UnaryExpression) -> Code:
@@ -596,6 +783,17 @@ def _compile_update(node: ast.UpdateExpression) -> Code:
     if isinstance(target, ast.Identifier):
         read = _read_identifier(target)
         name = target.name
+        slot_write = _slot_write(target)
+        if slot_write is not None:
+
+            def run_slot_identifier(rt, env):
+                rt._charge()
+                old = to_number(read(rt, env))
+                new = old + delta
+                slot_write(rt, env, new)
+                return new if prefix else old
+
+            return run_slot_identifier
 
         def run_identifier(rt, env):
             rt._charge()
@@ -691,6 +889,16 @@ def _compile_assignment(node: ast.AssignmentExpression) -> Code:
     if operator == "=":
         if isinstance(target, ast.Identifier):
             name = target.name
+            slot_write = _slot_write(target)
+            if slot_write is not None:
+
+                def run_slot_identifier(rt, env):
+                    rt._charge()
+                    value = value_code(rt, env)
+                    slot_write(rt, env, value)
+                    return value
+
+                return run_slot_identifier
 
             def run_simple_identifier(rt, env):
                 rt._charge()
@@ -701,14 +909,47 @@ def _compile_assignment(node: ast.AssignmentExpression) -> Code:
             return run_simple_identifier
         if isinstance(target, ast.MemberExpression):
             object_code = compile_expr(target.object)
-            key_code = _member_key_code(target)
+            if not target.computed:
+                constant_key = intern(target.property.value)
+
+                def run_member_const_key(rt, env):
+                    rt._charge()
+                    value = value_code(rt, env)
+                    obj = object_code(rt, env)
+                    if type(obj) is JSObject:
+                        rt.stats.property_writes += 1
+                        if rt.trace_mask & EV_PROP:
+                            rt.hooks.prop_write(rt, obj, constant_key, value, target)
+                        properties = obj.properties
+                        if constant_key in properties:
+                            properties[constant_key] = value
+                        else:
+                            obj.set(constant_key, value)
+                    else:
+                        rt._set_property(obj, constant_key, value, target)
+                    return value
+
+                return run_member_const_key
+
+            property_code = compile_expr(target.property)
 
             def run_simple_member(rt, env):
                 rt._charge()
                 value = value_code(rt, env)
                 obj = object_code(rt, env)
-                key = key_code(rt, env)
-                rt._set_property(obj, key, value, target)
+                raw = property_code(rt, env)
+                if type(obj) is JSArray and not rt.trace_mask & EV_PROP:
+                    # In-bounds indexed stores bypass key stringification.
+                    rt.stats.property_writes += 1
+                    elements = obj.elements
+                    if type(raw) is float and 0.0 <= raw < len(elements):
+                        index = int(raw)
+                        if index == raw:
+                            elements[index] = value
+                            return value
+                    obj.set(to_property_key(raw), value)
+                    return value
+                rt._set_property(obj, to_property_key(raw), value, target)
                 return value
 
             return run_simple_member
@@ -725,6 +966,17 @@ def _compile_assignment(node: ast.AssignmentExpression) -> Code:
     if isinstance(target, ast.Identifier):
         read = _read_identifier(target)
         name = target.name
+        slot_write = _slot_write(target)
+        if slot_write is not None:
+
+            def run_compound_slot(rt, env):
+                rt._charge()
+                current = read(rt, env)
+                value = op(current, value_code(rt, env))
+                slot_write(rt, env, value)
+                return value
+
+            return run_compound_slot
 
         def run_compound_identifier(rt, env):
             rt._charge()
@@ -795,6 +1047,42 @@ def _compile_call(node: ast.CallExpression) -> Code:
 
     if isinstance(callee, ast.MemberExpression):
         object_code = compile_expr(callee.object)
+        if not callee.computed:
+            method_key = intern(callee.property.value)
+            cache = [None, 0, None, None]
+
+            def run_method_const(rt, env):
+                rt._charge()
+                this = object_code(rt, env)
+                if type(this) is JSObject:
+                    rt.stats.property_reads += 1
+                    if rt.trace_mask & EV_PROP:
+                        rt.hooks.prop_read(rt, this, method_key, callee)
+                    if this.shape is cache[0]:
+                        kind = cache[1]
+                        if kind == 0:
+                            func = this.properties[method_key]
+                        else:
+                            holder = cache[2]() if kind == 1 else None
+                            if (
+                                holder is not None
+                                and this.prototype is holder
+                                and holder.shape is cache[3]
+                            ):
+                                func = holder.properties[method_key]
+                            else:
+                                func = _ic_lookup(cache, this, method_key)
+                    else:
+                        func = _ic_lookup(cache, this, method_key)
+                else:
+                    func = rt._get_property(this, method_key, callee)
+                args = [argument(rt, env) for argument in argument_codes]
+                if not is_callable(func):
+                    raise JSTypeError(f"{to_string(func)} is not a function", line)
+                return rt.call_function(func, this, args, call_node=node)
+
+            return run_method_const
+
         key_code = _member_key_code(callee)
 
         def run_method(rt, env):
@@ -840,20 +1128,62 @@ def _compile_new(node: ast.NewExpression) -> Code:
 def _compile_member(node: ast.MemberExpression) -> Code:
     object_code = compile_expr(node.object)
     if not node.computed:
-        key = node.property.value
+        key = intern(node.property.value)
+
+        if key == "length":
+            # Array length is by far the most common fixed-name read.
+            def run_length(rt, env):
+                rt._charge()
+                obj = object_code(rt, env)
+                if type(obj) is JSArray:
+                    rt.stats.property_reads += 1
+                    if rt.trace_mask & EV_PROP:
+                        rt.hooks.prop_read(rt, obj, key, node)
+                    return float(len(obj.elements))
+                return rt._get_property(obj, key, node)
+
+            return run_length
+
+        cache = [None, 0, None, None]
 
         def run_static(rt, env):
             rt._charge()
-            return rt._get_property(object_code(rt, env), key, node)
+            obj = object_code(rt, env)
+            if type(obj) is JSObject:
+                rt.stats.property_reads += 1
+                if rt.trace_mask & EV_PROP:
+                    rt.hooks.prop_read(rt, obj, key, node)
+                if obj.shape is cache[0]:
+                    kind = cache[1]
+                    if kind == 0:
+                        return obj.properties[key]
+                    if kind == 1:
+                        holder = cache[2]()
+                        if holder is not None and obj.prototype is holder and holder.shape is cache[3]:
+                            return holder.properties[key]
+                    elif cache[3] == _PROTO_EPOCH[0]:
+                        return UNDEFINED
+                return _ic_lookup(cache, obj, key)
+            return rt._get_property(obj, key, node)
 
         return run_static
 
-    key_code = _member_key_code(node)
+    property_code = compile_expr(node.property)
 
     def run_computed(rt, env):
         rt._charge()
         obj = object_code(rt, env)
-        return rt._get_property(obj, key_code(rt, env), node)
+        raw = property_code(rt, env)
+        if type(obj) is JSArray and not rt.trace_mask & EV_PROP:
+            # Indexed array reads skip the float -> string -> int round trip
+            # when nothing observes property events (stats still count).
+            rt.stats.property_reads += 1
+            if type(raw) is float and 0.0 <= raw < len(obj.elements):
+                index = int(raw)
+                if index == raw:
+                    return obj.elements[index]
+            return obj.get(to_property_key(raw))
+        return rt._get_property(obj, to_property_key(raw), node)
 
     return run_computed
 
@@ -922,7 +1252,10 @@ def _body_variable_declaration(node: ast.VariableDeclaration) -> Code:
         for name, init_code, declarator in declarators:
             value = UNDEFINED if init_code is None else init_code(rt, env)
             if is_var:
-                env.declare_var(name, value if init_code is not None else UNDEFINED)
+                if init_code is not None:
+                    env.declare_var(name, value)
+                else:
+                    env.declare_var(name)
                 target_env = env.nearest_function_scope()
             else:
                 env.declare_let(name, value, constant=is_const)
@@ -952,9 +1285,10 @@ def _body_function_declaration(node: ast.FunctionDeclaration) -> Code:
 
 def _body_block(node: ast.BlockStatement) -> Code:
     statements = [compile_stmt(statement) for statement in node.body]
+    layout = getattr(node, "_layout", None)
 
     def run(rt, env):
-        block_env = Environment(parent=env, is_function_scope=False, label="block")
+        block_env = Environment(parent=env, is_function_scope=False, label="block", layout=layout)
         if rt.trace_mask & EV_ENV:
             rt.hooks.env_created(rt, block_env, "block")
         result: Any = UNDEFINED
@@ -993,6 +1327,8 @@ def _body_for(node: ast.ForStatement) -> Code:
     update_code = compile_expr(node.update) if node.update is not None else None
     body_code = compile_stmt(node.body)
     node_id = node.node_id
+    loop_layout = getattr(node, "_loop_layout", None)
+    iter_layout = getattr(node, "_iter_layout", None)
 
     def run(rt, env):
         controller = rt.speculation
@@ -1000,7 +1336,7 @@ def _body_for(node: ast.ForStatement) -> Code:
             return controller.run_instance(rt, env, node, run)
         filters = rt.iteration_filter
         ifilter = filters.get(node_id) if filters is not None else None
-        loop_env = Environment(parent=env, is_function_scope=False, label="for")
+        loop_env = Environment(parent=env, is_function_scope=False, label="for", layout=loop_layout)
         mask = rt.trace_mask
         if mask & EV_ENV:
             rt.hooks.env_created(rt, loop_env, "block")
@@ -1023,7 +1359,9 @@ def _body_for(node: ast.ForStatement) -> Code:
                 trip += 1
                 stats.loop_iterations += 1
                 if run_body:
-                    iteration_env = Environment(parent=loop_env, is_function_scope=False, label="for-iter")
+                    iteration_env = Environment(
+                        parent=loop_env, is_function_scope=False, label="for-iter", layout=iter_layout
+                    )
                     if wants_envs:
                         hooks.env_created(rt, iteration_env, "block")
                     try:
@@ -1043,8 +1381,6 @@ def _body_for(node: ast.ForStatement) -> Code:
 
 
 def _body_for_in(node: ast.ForInStatement) -> Code:
-    from .values import JSArray  # local import to avoid cycle noise at module load
-
     iterable_code = compile_expr(node.iterable)
     body_code = compile_stmt(node.body)
     declaration_kind = node.declaration_kind
@@ -1052,6 +1388,10 @@ def _body_for_in(node: ast.ForInStatement) -> Code:
     of_loop = node.of_loop
     line = node.line
     node_id = node.node_id
+    loop_layout = getattr(node, "_loop_layout", None)
+    iter_layout = getattr(node, "_iter_layout", None)
+    target_res = getattr(node, "_target_res", None)
+    target_hops, target_idx = (target_res[0], target_res[1]) if target_res is not None and not target_res[3] else (None, None)
 
     def run(rt, env):
         controller = rt.speculation
@@ -1077,12 +1417,12 @@ def _body_for_in(node: ast.ForInStatement) -> Code:
             else:
                 keys = []
 
-        loop_env = Environment(parent=env, is_function_scope=False, label="for-in")
+        loop_env = Environment(parent=env, is_function_scope=False, label="for-in", layout=loop_layout)
         mask = rt.trace_mask
         if mask & EV_ENV:
             rt.hooks.env_created(rt, loop_env, "block")
         if declaration_kind == "var":
-            loop_env.declare_var(target_name, UNDEFINED)
+            loop_env.declare_var(target_name)
         elif declaration_kind in ("let", "const"):
             loop_env.declare_let(target_name, UNDEFINED)
 
@@ -1103,10 +1443,26 @@ def _body_for_in(node: ast.ForInStatement) -> Code:
                 # The induction binding is scaffolding: it is assigned even for
                 # iterations a chunk replay skips, so every worker ends the
                 # loop with the same (serial) final value.
-                rt._set_variable(target_name, key, loop_env, node)
+                if target_hops is not None:
+                    frame = loop_env
+                    hop = target_hops
+                    while hop:
+                        frame = frame.parent
+                        hop -= 1
+                    if frame.slots[target_idx] is not HOLE:
+                        frame.slots[target_idx] = key
+                        frame.bindings[target_name] = key
+                        if rt.trace_mask & EV_VAR:
+                            hooks.var_write(rt, target_name, frame, key, node)
+                    else:
+                        rt._set_variable(target_name, key, loop_env, node)
+                else:
+                    rt._set_variable(target_name, key, loop_env, node)
                 if not run_body:
                     continue
-                iteration_env = Environment(parent=loop_env, is_function_scope=False, label="forin-iter")
+                iteration_env = Environment(
+                    parent=loop_env, is_function_scope=False, label="forin-iter", layout=iter_layout
+                )
                 if wants_envs:
                     hooks.env_created(rt, iteration_env, "block")
                 try:
@@ -1126,6 +1482,7 @@ def _body_for_in(node: ast.ForInStatement) -> Code:
 def _body_while(node: ast.WhileStatement) -> Code:
     test_code = compile_expr(node.test)
     body_code = compile_stmt(node.body)
+    iter_layout = getattr(node, "_iter_layout", None)
 
     def run(rt, env):
         mask = rt.trace_mask
@@ -1142,7 +1499,9 @@ def _body_while(node: ast.WhileStatement) -> Code:
                     hooks.loop_iteration(rt, node, trip)
                 trip += 1
                 stats.loop_iterations += 1
-                iteration_env = Environment(parent=env, is_function_scope=False, label="while-iter")
+                iteration_env = Environment(
+                    parent=env, is_function_scope=False, label="while-iter", layout=iter_layout
+                )
                 if wants_envs:
                     hooks.env_created(rt, iteration_env, "block")
                 try:
@@ -1162,6 +1521,7 @@ def _body_while(node: ast.WhileStatement) -> Code:
 def _body_do_while(node: ast.DoWhileStatement) -> Code:
     test_code = compile_expr(node.test)
     body_code = compile_stmt(node.body)
+    iter_layout = getattr(node, "_iter_layout", None)
 
     def run(rt, env):
         mask = rt.trace_mask
@@ -1178,7 +1538,9 @@ def _body_do_while(node: ast.DoWhileStatement) -> Code:
                     hooks.loop_iteration(rt, node, trip)
                 trip += 1
                 stats.loop_iterations += 1
-                iteration_env = Environment(parent=env, is_function_scope=False, label="do-iter")
+                iteration_env = Environment(
+                    parent=env, is_function_scope=False, label="do-iter", layout=iter_layout
+                )
                 if wants_envs:
                     hooks.env_created(rt, iteration_env, "block")
                 try:
@@ -1237,6 +1599,7 @@ def _body_try(node: ast.TryStatement) -> Code:
     handler = node.handler
     handler_code = compile_stmt(handler.body) if handler is not None else None
     handler_param = handler.param if handler is not None else None
+    handler_layout = getattr(handler, "_layout", None) if handler is not None else None
     finalizer_code = compile_stmt(node.finalizer) if node.finalizer is not None else None
 
     def run(rt, env):
@@ -1244,7 +1607,9 @@ def _body_try(node: ast.TryStatement) -> Code:
             block_code(rt, env)
         except JSThrownValue as thrown:
             if handler_code is not None:
-                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
+                handler_env = Environment(
+                    parent=env, is_function_scope=False, label="catch", layout=handler_layout
+                )
                 if rt.trace_mask & EV_ENV:
                     rt.hooks.env_created(rt, handler_env, "block")
                 if handler_param:
@@ -1257,7 +1622,9 @@ def _body_try(node: ast.TryStatement) -> Code:
                 raise
         except JSRuntimeError as error:
             if handler_code is not None:
-                handler_env = Environment(parent=env, is_function_scope=False, label="catch")
+                handler_env = Environment(
+                    parent=env, is_function_scope=False, label="catch", layout=handler_layout
+                )
                 if handler_param:
                     error_obj = rt.make_object()
                     error_obj.set("message", error.raw_message)
@@ -1358,5 +1725,11 @@ def ensure_statement_list(owner: ast.Node, statements: List[ast.Node]):
 
 
 def ensure_program(program: ast.Program):
-    """Compile a whole :class:`Program` (idempotent, cached on the node)."""
+    """Compile a whole :class:`Program` (idempotent, cached on the node).
+
+    Static scope resolution runs first (once per AST): it annotates every
+    identifier and frame-creating construct before any closure is compiled,
+    so the compiled code can use slot addressing.
+    """
+    resolve_program(program)
     return ensure_statement_list(program, program.body)

@@ -31,7 +31,7 @@ from .compiler import ReturnSignal, ensure_program, ensure_statement_list, run_h
 from .errors import InterpreterLimitError, JSTypeError
 from .hooks import EV_ENV, EV_FUNCTION, EV_HOST, EV_OBJECT, EV_PROP, EV_VAR, HookBus
 from .parser import parse
-from .scope import Environment
+from .scope import _NO_CONSTS, HOLE, Environment
 from .values import (
     NULL,
     UNDEFINED,
@@ -163,28 +163,77 @@ class Interpreter:
                 f"{to_string(func)} is not a function",
                 getattr(call_node, "line", 0),
             )
-        if len(self.call_stack) >= self.max_call_depth:
+        call_stack = self.call_stack
+        if len(call_stack) >= self.max_call_depth:
             raise InterpreterLimitError("maximum guest call depth exceeded")
 
-        env = Environment(parent=func.closure, is_function_scope=True, label=func.name)
-        if self.trace_mask & EV_ENV:
-            self.hooks.env_created(self, env, "function")
-        env.declare_let("this", this)
-        arguments_array = JSArray(list(args), prototype=self.array_prototype)
-        env.declare_let("arguments", arguments_array)
-        bindings = env.bindings
-        for index, param in enumerate(func.params):
-            bindings[param] = args[index] if index < len(args) else UNDEFINED
+        body = func.body
+        plan, statements = ensure_statement_list(body, body.body)
+        info = getattr(body, "_fn_scope", None)
+        if info is not None:
+            # Slot-addressed prologue: the frame's shape is static, so the
+            # slots and the mirror dict are filled directly — this/arguments
+            # bindings are elided entirely for frames that provably cannot be
+            # captured (no inner functions) and never mention them.
+            env = Environment.__new__(Environment)
+            env.parent = func.closure
+            env.is_function_scope = True
+            env.label = func.name
+            env.consts = _NO_CONSTS
+            env.layout = info.layout
+            slots = env.slots = [HOLE] * info.layout.size
+            bindings = env.bindings = {}
+            if self.trace_mask & EV_ENV:
+                self.hooks.env_created(self, env, "function")
+            this_idx = info.this_idx
+            if this_idx is not None:
+                slots[this_idx] = this
+                bindings["this"] = this
+            args_idx = info.args_idx
+            if args_idx is not None:
+                arguments_array = JSArray(list(args), prototype=self.array_prototype)
+                slots[args_idx] = arguments_array
+                bindings["arguments"] = arguments_array
+            params = func.params
+            param_idx = info.param_idx
+            arg_count = len(args)
+            for index in range(len(param_idx)):
+                value = args[index] if index < arg_count else UNDEFINED
+                slots[param_idx[index]] = value
+                bindings[params[index]] = value
+        else:
+            env = Environment(parent=func.closure, is_function_scope=True, label=func.name)
+            if self.trace_mask & EV_ENV:
+                self.hooks.env_created(self, env, "function")
+            env.declare_let("this", this)
+            arguments_array = JSArray(list(args), prototype=self.array_prototype)
+            env.declare_let("arguments", arguments_array)
+            bindings = env.bindings
+            for index, param in enumerate(func.params):
+                bindings[param] = args[index] if index < len(args) else UNDEFINED
 
         frame = CallFrame(func.name, call_line=getattr(call_node, "line", 0))
-        self.call_stack.append(frame)
+        call_stack.append(frame)
         self.stats.calls += 1
         if self.trace_mask & EV_FUNCTION:
             self.hooks.function_enter(self, func, call_node)
         try:
-            body = func.body
-            plan, statements = ensure_statement_list(body, body.body)
-            run_hoist_plan(plan, self, env)
+            if info is not None:
+                for entry in info.plan:
+                    if entry[0] == "var":
+                        name = entry[2]
+                        if name not in bindings:
+                            slots[entry[1]] = UNDEFINED
+                            bindings[name] = UNDEFINED
+                    else:
+                        declaration = entry[3]
+                        declared = self.make_function(
+                            declaration.name, declaration.params, declaration.body, env, declaration
+                        )
+                        slots[entry[1]] = declared
+                        bindings[entry[2]] = declared
+            else:
+                run_hoist_plan(plan, self, env)
             for statement in statements:
                 statement(self, env)
             return UNDEFINED
@@ -193,7 +242,7 @@ class Interpreter:
         finally:
             if self.trace_mask & EV_FUNCTION:
                 self.hooks.function_exit(self, func)
-            self.call_stack.pop()
+            call_stack.pop()
 
     # ----------------------------------------------------------- utilities
     def make_object(self, creation_site: int = -1, node: Optional[ast.Node] = None) -> JSObject:

@@ -140,7 +140,10 @@ class ReferenceInterpreter(Interpreter):
             has_init = declarator.init is not None
             value = self._eval(declarator.init, env) if has_init else UNDEFINED
             if kind_keyword == "var":
-                env.declare_var(declarator.name, value if has_init else UNDEFINED)
+                if has_init:
+                    env.declare_var(declarator.name, value)
+                else:
+                    env.declare_var(declarator.name)
                 target_env = env.nearest_function_scope()
             else:
                 env.declare_let(declarator.name, value, constant=kind_keyword == "const")
@@ -237,7 +240,7 @@ class ReferenceInterpreter(Interpreter):
         if mask & EV_ENV:
             self.hooks.env_created(self, loop_env, "block")
         if node.declaration_kind == "var":
-            loop_env.declare_var(node.target_name, UNDEFINED)
+            loop_env.declare_var(node.target_name)
         elif node.declaration_kind in ("let", "const"):
             loop_env.declare_let(node.target_name, UNDEFINED)
 

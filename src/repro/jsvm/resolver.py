@@ -1,0 +1,568 @@
+"""Static scope resolution for the compiled execution core.
+
+The compiled closures (:mod:`repro.jsvm.compiler`) originally resolved every
+identifier at runtime by walking the dict-based environment chain.  This
+module performs that resolution *once, at compile time*: it walks a parsed
+program mirroring exactly the environment frames the compiled code will
+create at runtime (function frames, block frames, loop/iteration frames,
+catch frames, named-function-expression frames) and classifies every
+identifier occurrence as either
+
+* **slot-addressed** — the binding lives a statically known number of frames
+  up the chain (``hops``) at a statically known index (``slot``) into that
+  frame's flat slot list; or
+* **dynamic** — the name resolves to the global frame, to no frame at all
+  (sloppy-mode global creation, builtins) or the construct is otherwise not
+  statically analysable; the compiled code keeps the dict-chain walk.
+
+Frames whose shape is statically known carry a shared :class:`ScopeLayout`
+(name -> slot index) and a flat ``slots`` list next to the authoritative
+``bindings`` dict (see :class:`repro.jsvm.scope.Environment`): reads and
+writes of resolved identifiers go straight to the slot, while every
+reflective consumer (heap digests, speculation forks/diffs, tracers, the
+reference interpreter) keeps seeing the plain dict.
+
+``let``/``const`` bindings come into existence only when their declaration
+statement executes (this VM has no temporal dead zone: earlier reads see the
+outer binding).  Their slots therefore start as the :data:`~repro.jsvm.scope.HOLE`
+sentinel and resolved accesses carry a ``maybe_hole`` flag — on a HOLE the
+compiled code falls back to the dict walk, reproducing the dict-mode
+semantics bit for bit.
+
+Resolution is skipped entirely (programs stay dict-mode) when
+``REPRO_FORCE_DICT_SCOPES=1`` is set — the CI fallback configuration.
+"""
+
+from __future__ import annotations
+
+from sys import intern
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .scope import slot_scopes_enabled
+
+__all__ = [
+    "ScopeLayout",
+    "FunctionScopeInfo",
+    "build_hoist_plan",
+    "resolve_program",
+]
+
+
+# ---------------------------------------------------------------------------
+# hoisting (precomputed once per statement list; also used by the reference
+# interpreter via the compiler's re-export)
+# ---------------------------------------------------------------------------
+def build_hoist_plan(statements: List[ast.Node]) -> List[Tuple[str, Any]]:
+    """Precompute the seed's ``_hoist`` walk as a flat list of actions.
+
+    Actions are ``("var", name)`` or ``("func", FunctionDeclaration node)``,
+    in the exact order the recursive walk visited them.
+    """
+    plan: List[Tuple[str, Any]] = []
+    for statement in statements:
+        _hoist_statement(statement, plan)
+    return plan
+
+
+def _hoist_statement(node: Optional[ast.Node], plan: List[Tuple[str, Any]]) -> None:
+    if node is None:
+        return
+    if isinstance(node, ast.VariableDeclaration):
+        if node.kind_keyword == "var":
+            for declarator in node.declarations:
+                plan.append(("var", declarator.name))
+    elif isinstance(node, ast.FunctionDeclaration):
+        plan.append(("func", node))
+    elif isinstance(node, ast.BlockStatement):
+        for statement in node.body:
+            _hoist_statement(statement, plan)
+    elif isinstance(node, ast.IfStatement):
+        _hoist_statement(node.consequent, plan)
+        _hoist_statement(node.alternate, plan)
+    elif isinstance(node, ast.ForStatement):
+        _hoist_statement(node.init, plan)
+        _hoist_statement(node.body, plan)
+    elif isinstance(node, ast.ForInStatement):
+        if node.declaration_kind == "var":
+            plan.append(("var", node.target_name))
+        _hoist_statement(node.body, plan)
+    elif isinstance(node, (ast.WhileStatement, ast.DoWhileStatement)):
+        _hoist_statement(node.body, plan)
+    elif isinstance(node, ast.TryStatement):
+        _hoist_statement(node.block, plan)
+        if node.handler is not None:
+            _hoist_statement(node.handler.body, plan)
+        _hoist_statement(node.finalizer, plan)
+    elif isinstance(node, ast.SwitchStatement):
+        for case in node.cases:
+            for statement in case.body:
+                _hoist_statement(statement, plan)
+
+
+# ---------------------------------------------------------------------------
+# layouts
+# ---------------------------------------------------------------------------
+class ScopeLayout:
+    """The static shape of one environment frame: name -> slot index."""
+
+    __slots__ = ("names", "index", "size")
+
+    def __init__(self, names: Tuple[str, ...]) -> None:
+        self.names = names
+        self.index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self.size = len(names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ScopeLayout {self.names}>"
+
+
+class FunctionScopeInfo:
+    """Everything the call prologue needs to build a slot-addressed frame.
+
+    ``plan`` mirrors the hoist plan with slot indices attached:
+    ``("var", idx, name)`` / ``("func", idx, name, FunctionDeclaration)``.
+    """
+
+    __slots__ = ("layout", "this_idx", "args_idx", "param_idx", "plan")
+
+    def __init__(
+        self,
+        layout: ScopeLayout,
+        this_idx: Optional[int],
+        args_idx: Optional[int],
+        param_idx: Tuple[int, ...],
+        plan: Tuple[Tuple[Any, ...], ...],
+    ) -> None:
+        self.layout = layout
+        self.this_idx = this_idx
+        self.args_idx = args_idx
+        self.param_idx = param_idx
+        self.plan = plan
+
+
+#: Resolution of one identifier use: (hops, slot, maybe_hole, is_const).
+Resolution = Tuple[int, int, bool, bool]
+
+
+class _Binding:
+    __slots__ = ("idx", "maybe_hole", "is_const")
+
+    def __init__(self, idx: int, maybe_hole: bool, is_const: bool) -> None:
+        self.idx = idx
+        self.maybe_hole = maybe_hole
+        self.is_const = is_const
+
+
+class _Scope:
+    """One frame of the static scope chain (mirrors a runtime Environment)."""
+
+    __slots__ = ("parent", "is_function", "dynamic", "bindings", "order")
+
+    def __init__(self, parent: Optional["_Scope"], is_function: bool, dynamic: bool = False) -> None:
+        self.parent = parent
+        self.is_function = is_function
+        self.dynamic = dynamic
+        self.bindings: Dict[str, _Binding] = {}
+        self.order: List[str] = []
+
+    def declare(self, name: str, maybe_hole: bool, is_const: bool = False) -> _Binding:
+        name = intern(name)
+        binding = self.bindings.get(name)
+        if binding is None:
+            binding = _Binding(len(self.order), maybe_hole, is_const)
+            self.bindings[name] = binding
+            self.order.append(name)
+        else:
+            # Re-declaration (e.g. a param re-declared as var): the earlier
+            # slot wins; the binding can only become *more* initialized.
+            # Constness merges upward: if ANY declaration of the name in this
+            # frame is const (e.g. `var x; const x = 5;`), writes must take
+            # the generic path so the runtime const check can throw.
+            binding.maybe_hole = binding.maybe_hole and maybe_hole
+            binding.is_const = binding.is_const or is_const
+        return binding
+
+    def layout(self) -> Optional[ScopeLayout]:
+        if not self.order:
+            return None
+        return ScopeLayout(tuple(self.order))
+
+    def resolve(self, name: str) -> Optional[Resolution]:
+        """Classify ``name``: slot coordinates, or None for dynamic/global."""
+        hops = 0
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if scope.dynamic:
+                return None
+            binding = scope.bindings.get(name)
+            if binding is not None:
+                return (hops, binding.idx, binding.maybe_hole, binding.is_const)
+            scope = scope.parent
+            hops += 1
+        return None
+
+
+# ---------------------------------------------------------------------------
+# declaration collectors
+# ---------------------------------------------------------------------------
+def _collect_same_env_lets(node: Optional[ast.Node], out: List[Tuple[str, bool]]) -> None:
+    """``let``/``const`` names a statement list declares into the *current*
+    environment frame.
+
+    Mirrors the compiled statement bodies: ``if`` arms, ``switch`` cases and
+    bare (non-block) statements execute in the current frame, while blocks,
+    loop bodies, ``try`` blocks and nested functions get frames of their own.
+    """
+    if node is None:
+        return
+    if isinstance(node, ast.VariableDeclaration):
+        if node.kind_keyword in ("let", "const"):
+            for declarator in node.declarations:
+                out.append((declarator.name, node.kind_keyword == "const"))
+    elif isinstance(node, ast.IfStatement):
+        for arm in (node.consequent, node.alternate):
+            if arm is not None and not isinstance(arm, ast.BlockStatement):
+                _collect_same_env_lets(arm, out)
+    elif isinstance(node, ast.SwitchStatement):
+        for case in node.cases:
+            for statement in case.body:
+                if not isinstance(statement, ast.BlockStatement):
+                    _collect_same_env_lets(statement, out)
+
+
+def _statement_list_lets(statements: List[ast.Node]) -> List[Tuple[str, bool]]:
+    out: List[Tuple[str, bool]] = []
+    for statement in statements:
+        _collect_same_env_lets(statement, out)
+    return out
+
+
+def _walk_own_level(node: Any, found: Dict[str, bool]) -> None:
+    """Scan a function body without descending into nested functions,
+    recording whether it uses ``this``, ``arguments`` or contains any inner
+    function (which could capture — and thus expose — the frame)."""
+    if isinstance(node, (ast.FunctionExpression, ast.FunctionDeclaration)):
+        found["inner"] = True
+        return
+    if isinstance(node, ast.ThisExpression):
+        found["this"] = True
+    elif isinstance(node, ast.Identifier):
+        if node.name == "arguments":
+            found["arguments"] = True
+    if not isinstance(node, ast.Node):
+        return
+    for field_name in node.__dataclass_fields__:
+        if field_name in ("line", "column", "node_id"):
+            continue
+        value = getattr(node, field_name)
+        if isinstance(value, ast.Node):
+            _walk_own_level(value, found)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.Node):
+                    _walk_own_level(item, found)
+
+
+# ---------------------------------------------------------------------------
+# the resolver
+# ---------------------------------------------------------------------------
+class _Resolver:
+    def resolve_program(self, program: ast.Program) -> None:
+        global_scope = _Scope(parent=None, is_function=True, dynamic=True)
+        for statement in program.body:
+            self._stmt(statement, global_scope)
+
+    # -------------------------------------------------------------- scopes
+    def _function_scope(
+        self,
+        params: List[str],
+        body: ast.BlockStatement,
+        parent: _Scope,
+    ) -> _Scope:
+        """Build the static scope of one function frame and annotate its body
+        with the :class:`FunctionScopeInfo` the call prologue consumes."""
+        scope = _Scope(parent=parent, is_function=True)
+        usage: Dict[str, bool] = {}
+        for statement in body.body:
+            _walk_own_level(statement, usage)
+        escapes = usage.get("inner", False)
+        this_idx: Optional[int] = None
+        args_idx: Optional[int] = None
+        # Declaration (and dict-insertion) order mirrors the legacy prologue:
+        # this, arguments, params, hoisted vars/functions, top-level lets.
+        if escapes or usage.get("this", False):
+            this_idx = scope.declare("this", maybe_hole=False).idx
+        if escapes or usage.get("arguments", False):
+            args_idx = scope.declare("arguments", maybe_hole=False).idx
+        param_idx = tuple(scope.declare(param, maybe_hole=False).idx for param in params)
+        hoist = build_hoist_plan(body.body)
+        plan: List[Tuple[Any, ...]] = []
+        for kind, payload in hoist:
+            if kind == "var":
+                name = intern(payload)
+                plan.append(("var", scope.declare(name, maybe_hole=False).idx, name))
+            else:
+                name = intern(payload.name)
+                plan.append(("func", scope.declare(name, maybe_hole=False).idx, name, payload))
+        for name, is_const in _statement_list_lets(body.body):
+            scope.declare(name, maybe_hole=True, is_const=is_const)
+        layout = scope.layout()
+        if layout is not None:
+            body._fn_scope = FunctionScopeInfo(
+                layout, this_idx, args_idx, param_idx, tuple(plan)
+            )
+        return scope
+
+    def _block_scope(self, statements: List[ast.Node], parent: _Scope) -> _Scope:
+        scope = _Scope(parent=parent, is_function=False)
+        for name, is_const in _statement_list_lets(statements):
+            scope.declare(name, maybe_hole=True, is_const=is_const)
+        return scope
+
+    # ----------------------------------------------------------- statements
+    def _stmt(self, node: Optional[ast.Node], scope: _Scope) -> None:
+        if node is None:
+            return
+        method = getattr(self, "_stmt_" + type(node).__name__, None)
+        if method is not None:
+            method(node, scope)
+        else:
+            self._expr(node, scope)
+
+    def _stmt_VariableDeclaration(self, node: ast.VariableDeclaration, scope: _Scope) -> None:
+        for declarator in node.declarations:
+            declarator.name = intern(declarator.name)
+            if declarator.init is not None:
+                self._expr(declarator.init, scope)
+
+    def _stmt_FunctionDeclaration(self, node: ast.FunctionDeclaration, scope: _Scope) -> None:
+        # Hoisting creates the closure over the *function* frame, never over
+        # intervening block frames (see run_hoist_plan).
+        parent = scope
+        while not parent.is_function:
+            parent = parent.parent
+        body_scope = self._function_scope(node.params, node.body, parent)
+        for statement in node.body.body:
+            self._stmt(statement, body_scope)
+
+    def _stmt_BlockStatement(self, node: ast.BlockStatement, scope: _Scope) -> None:
+        block = self._block_scope(node.body, scope)
+        node._layout = block.layout()
+        for statement in node.body:
+            self._stmt(statement, block)
+
+    def _stmt_ExpressionStatement(self, node: ast.ExpressionStatement, scope: _Scope) -> None:
+        self._expr(node.expression, scope)
+
+    def _stmt_IfStatement(self, node: ast.IfStatement, scope: _Scope) -> None:
+        self._expr(node.test, scope)
+        self._stmt(node.consequent, scope)
+        self._stmt(node.alternate, scope)
+
+    def _stmt_ForStatement(self, node: ast.ForStatement, scope: _Scope) -> None:
+        loop_lets: List[Tuple[str, bool]] = []
+        _collect_same_env_lets(node.init, loop_lets)
+        loop = _Scope(parent=scope, is_function=False)
+        for name, is_const in loop_lets:
+            loop.declare(name, maybe_hole=True, is_const=is_const)
+        node._loop_layout = loop.layout()
+        self._stmt(node.init, loop)
+        if node.test is not None:
+            self._expr(node.test, loop)
+        if node.update is not None:
+            self._expr(node.update, loop)
+        iter_scope = self._iteration_scope(node.body, loop)
+        node._iter_layout = iter_scope.layout()
+        self._stmt(node.body, iter_scope)
+
+    def _stmt_ForInStatement(self, node: ast.ForInStatement, scope: _Scope) -> None:
+        self._expr(node.iterable, scope)
+        node.target_name = intern(node.target_name)
+        loop = _Scope(parent=scope, is_function=False)
+        if node.declaration_kind in ("let", "const"):
+            # Declared (as plain let: the induction assignment must succeed)
+            # at loop entry, before any iteration runs.
+            loop.declare(node.target_name, maybe_hole=False)
+        node._loop_layout = loop.layout()
+        node._target_res = loop.resolve(node.target_name)
+        iter_scope = self._iteration_scope(node.body, loop)
+        node._iter_layout = iter_scope.layout()
+        self._stmt(node.body, iter_scope)
+
+    def _stmt_WhileStatement(self, node: ast.WhileStatement, scope: _Scope) -> None:
+        self._expr(node.test, scope)
+        iter_scope = self._iteration_scope(node.body, scope)
+        node._iter_layout = iter_scope.layout()
+        self._stmt(node.body, iter_scope)
+
+    def _stmt_DoWhileStatement(self, node: ast.DoWhileStatement, scope: _Scope) -> None:
+        iter_scope = self._iteration_scope(node.body, scope)
+        node._iter_layout = iter_scope.layout()
+        self._stmt(node.body, iter_scope)
+        self._expr(node.test, scope)
+
+    def _iteration_scope(self, body: Optional[ast.Node], parent: _Scope) -> _Scope:
+        """The per-iteration frame: bare (non-block) declaration statements in
+        loop-body position declare directly into it."""
+        scope = _Scope(parent=parent, is_function=False)
+        if body is not None and not isinstance(body, ast.BlockStatement):
+            lets: List[Tuple[str, bool]] = []
+            _collect_same_env_lets(body, lets)
+            for name, is_const in lets:
+                scope.declare(name, maybe_hole=True, is_const=is_const)
+        return scope
+
+    def _stmt_ReturnStatement(self, node: ast.ReturnStatement, scope: _Scope) -> None:
+        if node.argument is not None:
+            self._expr(node.argument, scope)
+
+    def _stmt_BreakStatement(self, node: ast.BreakStatement, scope: _Scope) -> None:
+        pass
+
+    def _stmt_ContinueStatement(self, node: ast.ContinueStatement, scope: _Scope) -> None:
+        pass
+
+    def _stmt_EmptyStatement(self, node: ast.EmptyStatement, scope: _Scope) -> None:
+        pass
+
+    def _stmt_ThrowStatement(self, node: ast.ThrowStatement, scope: _Scope) -> None:
+        self._expr(node.argument, scope)
+
+    def _stmt_TryStatement(self, node: ast.TryStatement, scope: _Scope) -> None:
+        self._stmt(node.block, scope)
+        handler = node.handler
+        if handler is not None:
+            catch = _Scope(parent=scope, is_function=False)
+            if handler.param:
+                handler.param = intern(handler.param)
+                catch.declare(handler.param, maybe_hole=False)
+            handler._layout = catch.layout()
+            self._stmt(handler.body, catch)
+        self._stmt(node.finalizer, scope)
+
+    def _stmt_SwitchStatement(self, node: ast.SwitchStatement, scope: _Scope) -> None:
+        self._expr(node.discriminant, scope)
+        for case in node.cases:
+            if case.test is not None:
+                self._expr(case.test, scope)
+            for statement in case.body:
+                self._stmt(statement, scope)
+
+    # ----------------------------------------------------------- expressions
+    def _expr(self, node: Optional[ast.Node], scope: _Scope) -> None:
+        if node is None:
+            return
+        method = getattr(self, "_expr_" + type(node).__name__, None)
+        if method is not None:
+            method(node, scope)
+        elif isinstance(node, ast.Node):
+            # Statement in expression position (for-init declarations...).
+            stmt = getattr(self, "_stmt_" + type(node).__name__, None)
+            if stmt is not None:
+                stmt(node, scope)
+
+    def _expr_Identifier(self, node: ast.Identifier, scope: _Scope) -> None:
+        node.name = intern(node.name)
+        node._res = scope.resolve(node.name)
+
+    def _expr_ThisExpression(self, node: ast.ThisExpression, scope: _Scope) -> None:
+        node._res = scope.resolve("this")
+
+    def _expr_FunctionExpression(self, node: ast.FunctionExpression, scope: _Scope) -> None:
+        parent = scope
+        if node.name:
+            # Named function expressions close over an extra one-binding frame
+            # holding the self-reference.
+            fnexpr = _Scope(parent=scope, is_function=False)
+            fnexpr.declare(node.name, maybe_hole=False)
+            node._fnexpr_layout = fnexpr.layout()
+            parent = fnexpr
+        body_scope = self._function_scope(node.params, node.body, parent)
+        for statement in node.body.body:
+            self._stmt(statement, body_scope)
+
+    def _expr_MemberExpression(self, node: ast.MemberExpression, scope: _Scope) -> None:
+        self._expr(node.object, scope)
+        if node.computed:
+            self._expr(node.property, scope)
+        else:
+            node.property.value = intern(node.property.value)
+
+    def _expr_AssignmentExpression(self, node: ast.AssignmentExpression, scope: _Scope) -> None:
+        self._expr(node.target, scope)
+        self._expr(node.value, scope)
+
+    def _expr_UpdateExpression(self, node: ast.UpdateExpression, scope: _Scope) -> None:
+        self._expr(node.target, scope)
+
+    def _expr_UnaryExpression(self, node: ast.UnaryExpression, scope: _Scope) -> None:
+        self._expr(node.operand, scope)
+
+    def _expr_BinaryExpression(self, node: ast.BinaryExpression, scope: _Scope) -> None:
+        self._expr(node.left, scope)
+        self._expr(node.right, scope)
+
+    def _expr_LogicalExpression(self, node: ast.LogicalExpression, scope: _Scope) -> None:
+        self._expr(node.left, scope)
+        self._expr(node.right, scope)
+
+    def _expr_ConditionalExpression(self, node: ast.ConditionalExpression, scope: _Scope) -> None:
+        self._expr(node.test, scope)
+        self._expr(node.consequent, scope)
+        self._expr(node.alternate, scope)
+
+    def _expr_CallExpression(self, node: ast.CallExpression, scope: _Scope) -> None:
+        self._expr(node.callee, scope)
+        for argument in node.arguments:
+            self._expr(argument, scope)
+
+    def _expr_NewExpression(self, node: ast.NewExpression, scope: _Scope) -> None:
+        self._expr(node.callee, scope)
+        for argument in node.arguments:
+            self._expr(argument, scope)
+
+    def _expr_SequenceExpression(self, node: ast.SequenceExpression, scope: _Scope) -> None:
+        for expression in node.expressions:
+            self._expr(expression, scope)
+
+    def _expr_ArrayLiteral(self, node: ast.ArrayLiteral, scope: _Scope) -> None:
+        for element in node.elements:
+            self._expr(element, scope)
+
+    def _expr_ObjectLiteral(self, node: ast.ObjectLiteral, scope: _Scope) -> None:
+        for prop in node.properties:
+            prop.key = intern(prop.key)
+            self._expr(prop.value, scope)
+
+    def _expr_NumberLiteral(self, node: ast.NumberLiteral, scope: _Scope) -> None:
+        pass
+
+    def _expr_StringLiteral(self, node: ast.StringLiteral, scope: _Scope) -> None:
+        pass
+
+    def _expr_BooleanLiteral(self, node: ast.BooleanLiteral, scope: _Scope) -> None:
+        pass
+
+    def _expr_NullLiteral(self, node: ast.NullLiteral, scope: _Scope) -> None:
+        pass
+
+    def _expr_UndefinedLiteral(self, node: ast.UndefinedLiteral, scope: _Scope) -> None:
+        pass
+
+
+def resolve_program(program: ast.Program) -> None:
+    """Annotate ``program`` (idempotent) with static scope information.
+
+    When slot scopes are disabled (``REPRO_FORCE_DICT_SCOPES=1`` or
+    :func:`repro.jsvm.scope.set_slot_scopes`), the program is marked resolved
+    without annotations, so every construct compiles to the dict path.  The
+    decision is baked per-AST: an AST resolved in one mode keeps that mode
+    for its lifetime (re-parse to switch).
+    """
+    if getattr(program, "_resolved", False):
+        return
+    program._resolved = True
+    if not slot_scopes_enabled():
+        return
+    _Resolver().resolve_program(program)

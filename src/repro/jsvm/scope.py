@@ -9,46 +9,118 @@ block-scoped bindings.
 
 The environment model therefore distinguishes *function* environments (the
 hoisting target for ``var``) from *block* environments.
+
+Two-tier storage
+----------------
+
+Every frame owns an authoritative ``bindings`` dict — the representation all
+reflective consumers (heap digests, speculation forks/diffs, tracers, the
+reference interpreter) read.  Frames whose shape was classified statically
+(:mod:`repro.jsvm.resolver`) additionally carry a shared
+:class:`~repro.jsvm.resolver.ScopeLayout` and a flat ``slots`` list the
+compiled execution core addresses by index; the two views are kept in sync
+by every declaring/assigning method here.  ``slots`` entries start as the
+:data:`HOLE` sentinel, meaning "binding does not exist yet in this frame"
+(``let``/``const`` before their declaration statement runs) — slot-addressed
+readers fall back to the dict walk on a HOLE, which reproduces dict-mode
+semantics exactly.
+
+``REPRO_FORCE_DICT_SCOPES=1`` disables slot addressing process-wide (every
+frame stays dict-only); the CI fallback job runs the whole tier-1 suite in
+that configuration.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterator, Optional
 
 from .errors import JSReferenceError, JSTypeError
 from .values import UNDEFINED
 
+#: Slot sentinel: "this binding does not exist in this frame (yet)".
+HOLE = object()
+
+#: declare_var() default: "declaration without an initializer" — distinct
+#: from an explicit ``var x = undefined`` initializer (which must re-assign).
+_UNSET = object()
+
+#: Shared empty const-name container; upgraded to a real set on first const.
+_NO_CONSTS: frozenset = frozenset()
+
+_SLOT_SCOPES = [os.environ.get("REPRO_FORCE_DICT_SCOPES", "") in ("", "0")]
+
+
+def slot_scopes_enabled() -> bool:
+    """True when static resolution may emit slot-addressed frames/accesses."""
+    return _SLOT_SCOPES[0]
+
+
+def set_slot_scopes(enabled: bool) -> bool:
+    """Toggle slot addressing (tests); returns the previous setting.
+
+    The mode is baked into an AST when it is resolved/compiled, so switching
+    only affects programs parsed *after* the call.
+    """
+    previous = _SLOT_SCOPES[0]
+    _SLOT_SCOPES[0] = bool(enabled)
+    return previous
+
 
 class Environment:
     """A single lexical environment frame."""
 
-    __slots__ = ("bindings", "parent", "is_function_scope", "consts", "label")
+    __slots__ = ("bindings", "parent", "is_function_scope", "consts", "label", "layout", "slots")
 
     def __init__(
         self,
         parent: Optional["Environment"] = None,
         is_function_scope: bool = False,
         label: str = "",
+        layout: Any = None,
     ) -> None:
         self.bindings: Dict[str, Any] = {}
         self.parent = parent
         self.is_function_scope = is_function_scope
-        self.consts: set = set()
+        self.consts = _NO_CONSTS
         self.label = label
+        self.layout = layout
+        self.slots = None if layout is None else [HOLE] * layout.size
 
     # ------------------------------------------------------------ declaring
-    def declare_var(self, name: str, value: Any = UNDEFINED) -> None:
-        """Declare a ``var`` binding: hoisted to the nearest function scope."""
+    def declare_var(self, name: str, value: Any = _UNSET) -> None:
+        """Declare a ``var`` binding: hoisted to the nearest function scope.
+
+        Without an explicit ``value`` this is a bare re-declaration: it
+        creates the binding as ``undefined`` if absent and otherwise leaves
+        the current value alone.  With a ``value`` — *including an explicit
+        ``undefined``*, as in ``var x = undefined;`` — the binding is
+        (re-)assigned.  The seed conflated the two, silently ignoring
+        explicit ``undefined`` initializers on re-declarations.
+        """
         target = self.nearest_function_scope()
-        if name not in target.bindings:
-            target.bindings[name] = value
-        elif value is not UNDEFINED:
-            target.bindings[name] = value
+        if value is _UNSET:
+            if name in target.bindings:
+                return
+            value = UNDEFINED
+        target.bindings[name] = value
+        layout = target.layout
+        if layout is not None:
+            idx = layout.index.get(name)
+            if idx is not None:
+                target.slots[idx] = value
 
     def declare_let(self, name: str, value: Any = UNDEFINED, constant: bool = False) -> None:
         """Declare a block-scoped binding in this environment."""
         self.bindings[name] = value
+        layout = self.layout
+        if layout is not None:
+            idx = layout.index.get(name)
+            if idx is not None:
+                self.slots[idx] = value
         if constant:
+            if type(self.consts) is frozenset:
+                self.consts = set()
             self.consts.add(name)
 
     def nearest_function_scope(self) -> "Environment":
@@ -85,12 +157,35 @@ class Environment:
         env = self.lookup_env(name)
         if env is None:
             global_env = self.global_env()
-            global_env.bindings[name] = value
+            global_env.store_binding(name, value)
             return global_env
         if name in env.consts:
             raise JSTypeError(f"assignment to constant variable {name!r}")
-        env.bindings[name] = value
+        env.store_binding(name, value)
         return env
+
+    def store_binding(self, name: str, value: Any) -> None:
+        """Write ``name`` in *this* frame, keeping dict and slot in sync.
+
+        This is the single low-level mutation primitive: the snapshot
+        fork/merge machinery and the speculative reduction merge use it so
+        slot-addressed frames never go stale.
+        """
+        self.bindings[name] = value
+        layout = self.layout
+        if layout is not None:
+            idx = layout.index.get(name)
+            if idx is not None:
+                self.slots[idx] = value
+
+    def drop_binding(self, name: str) -> None:
+        """Remove ``name`` from this frame (slot becomes a HOLE again)."""
+        self.bindings.pop(name, None)
+        layout = self.layout
+        if layout is not None:
+            idx = layout.index.get(name)
+            if idx is not None:
+                self.slots[idx] = HOLE
 
     def global_env(self) -> "Environment":
         env: Environment = self

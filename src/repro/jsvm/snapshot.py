@@ -126,6 +126,12 @@ def fork_state(root_env: Environment, extra_roots: Iterable[Any] = ()) -> HeapFo
             copy.is_function_scope = original.is_function_scope
             copy.consts = set(original.consts)
             copy.label = original.label
+            # Slot-addressed frames: the layout is immutable compile-time
+            # metadata (shared); the flat slot list mirrors the dict and must
+            # alias the same copies (HOLE passes through shell_for untouched).
+            copy.layout = original.layout
+            slots = original.slots
+            copy.slots = None if slots is None else [shell_for(v) for v in slots]
             continue
         # JSObject family: shared slots first, subclass slots after.
         copy.properties = {name: shell_for(v) for name, v in original.properties.items()}
@@ -134,6 +140,12 @@ def fork_state(root_env: Environment, extra_roots: Iterable[Any] = ()) -> HeapFo
         copy.creation_site = original.creation_site
         copy.creation_stamp = original.creation_stamp
         copy.extra = dict(original.extra)
+        # Shapes are immutable metadata shared across forks; inline caches pin
+        # prototype *identity*, so sharing shapes cannot leak cached holders
+        # between forked heaps.
+        copy.shape = original.shape
+        copy.is_proto = original.is_proto
+        copy.child_root_shape = original.child_root_shape
         if isinstance(original, JSArray):
             copy.elements = [shell_for(v) for v in original.elements]
         elif isinstance(original, JSFunction):
@@ -353,6 +365,8 @@ class _Transplanter:
             clone.is_function_scope = value.is_function_scope
             clone.consts = set(value.consts)
             clone.label = value.label
+            clone.layout = value.layout
+            clone.slots = None if value.slots is None else [self.translate(v) for v in value.slots]
             for name, bound in value.bindings.items():
                 clone.bindings[name] = self.translate(bound)
             return clone
@@ -369,6 +383,9 @@ class _Transplanter:
         clone.creation_site = value.creation_site
         clone.creation_stamp = value.creation_stamp
         clone.extra = dict(value.extra)
+        clone.shape = value.shape
+        clone.is_proto = value.is_proto
+        clone.child_root_shape = value.child_root_shape
         if isinstance(value, JSArray):
             clone.elements = [self.translate(element) for element in value.elements]
         elif isinstance(value, JSFunction):
@@ -395,9 +412,11 @@ def merge_diff(baseline: HeapFork, executed: HeapFork, writes: Dict[Location, An
         target = baseline.memo[original_id]
         if isinstance(target, Environment):
             if value is DELETED:  # pragma: no cover - no guest path deletes bindings
-                target.bindings.pop(key, None)
+                target.drop_binding(key)
             else:
-                target.bindings[key] = transplanter.translate(value)
+                # store_binding keeps the slot mirror of slot-addressed
+                # frames in sync with the authoritative dict.
+                target.store_binding(key, transplanter.translate(value))
             continue
         if value is DELETED:
             target.delete(key)

@@ -67,10 +67,62 @@ UNDEFINED = _Undefined()
 NULL = _Null()
 
 
+class Shape:
+    """A hidden class: identifies the *own-property key set* of an object.
+
+    Objects constructed with the same prototype that add the same property
+    names in the same order share one Shape (transitions form a tree rooted
+    at a per-prototype root shape).  The compiled core's per-site inline
+    caches validate against shape identity: a matching shape proves the
+    cached own-property hit (or own-property absence) is still valid without
+    touching the property dict.  ``delete`` leaves the transition tree and
+    moves the object to a fresh unique shape, so stale caches can never match.
+    """
+
+    __slots__ = ("transitions",)
+
+    def __init__(self) -> None:
+        self.transitions: Dict[str, "Shape"] = {}
+
+    def transition(self, name: str) -> "Shape":
+        transitions = self.transitions
+        nxt = transitions.get(name)
+        if nxt is None:
+            nxt = Shape()
+            transitions[name] = nxt
+        return nxt
+
+
+#: Root shape for objects with no prototype (Object.prototype itself...).
+_NULL_PROTO_ROOT = Shape()
+
+#: Global invalidation epoch for prototype-sensitive inline caches.  Bumped
+#: whenever an object that serves as somebody's prototype changes shape
+#: (property added or deleted): caches that encode "this name is absent from
+#: the whole prototype chain" validate against it.  Conservative — any
+#: prototype mutation anywhere invalidates all absence caches — but prototype
+#: shapes are effectively frozen after startup in real workloads.
+_PROTO_EPOCH = [0]
+
+
 class JSObject:
     """A guest object: a property map plus a prototype link."""
 
-    __slots__ = ("properties", "prototype", "class_name", "creation_site", "creation_stamp", "extra")
+    __slots__ = (
+        "properties",
+        "prototype",
+        "class_name",
+        "creation_site",
+        "creation_stamp",
+        "extra",
+        "shape",
+        "is_proto",
+        "child_root_shape",
+        # Inline caches reference prototype holders weakly so a per-site
+        # cache living on a (session-cached) AST cannot retain a finished
+        # interpreter run's heap.
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -87,6 +139,20 @@ class JSObject:
         self.creation_stamp: Any = None
         #: Free-form slot for host-side companions (DOM elements, canvases...).
         self.extra: Dict[str, Any] = {}
+        #: True once this object serves as another object's prototype.
+        self.is_proto = False
+        #: Lazily created root shape for objects using *this* object as
+        #: their prototype (prototype links are fixed at construction).
+        self.child_root_shape: Optional[Shape] = None
+        if prototype is None:
+            self.shape = _NULL_PROTO_ROOT
+        else:
+            root = prototype.child_root_shape
+            if root is None:
+                root = Shape()
+                prototype.child_root_shape = root
+                prototype.is_proto = True
+            self.shape = root
 
     # -- property protocol -------------------------------------------------
     def get(self, name: str) -> Any:
@@ -109,10 +175,21 @@ class JSObject:
         return name in self.properties
 
     def set(self, name: str, value: Any) -> None:
-        self.properties[name] = value
+        properties = self.properties
+        if name not in properties:
+            self.shape = self.shape.transition(name)
+            if self.is_proto:
+                _PROTO_EPOCH[0] += 1
+        properties[name] = value
 
     def delete(self, name: str) -> bool:
-        return self.properties.pop(name, None) is not None
+        if self.properties.pop(name, None) is None:
+            return False
+        # Off the transition tree: a fresh shape no cache has ever seen.
+        self.shape = Shape()
+        if self.is_proto:
+            _PROTO_EPOCH[0] += 1
+        return True
 
     def own_keys(self) -> List[str]:
         return list(self.properties.keys())

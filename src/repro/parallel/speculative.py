@@ -648,7 +648,8 @@ class SpeculationController:
             merged = base + sum(
                 float(diff[location]) - base for diff in diffs if location in diff
             )
-            binding_env.bindings[name] = merged
+            # store_binding: slot-addressed frames keep slots in sync.
+            binding_env.store_binding(name, merged)
 
     # ------------------------------------------------------------- conflicts
     def _detect_conflicts(

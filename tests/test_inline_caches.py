@@ -1,0 +1,247 @@
+"""Inline-cache invalidation regression tests.
+
+The compiled core attaches a monomorphic, shape-keyed cache to every
+non-computed member-access site (reads and method loads).  These tests drive
+*one* compiled site through shape changes that must invalidate it:
+
+* adding / deleting own properties between calls (shape transitions),
+* own properties shadowing prototype hits and deletes re-exposing them,
+* prototypes gaining properties after an absence was cached (epoch guard),
+* speculation forks whose workers diverge object shapes — caches pin holder
+  *identity*, so a cached prototype from one heap can never satisfy a hit
+  from a forked clone.
+"""
+
+from __future__ import annotations
+
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.parser import parse
+from repro.jsvm.snapshot import fork_state, heap_digest
+from repro.jsvm.values import UNDEFINED, Shape
+from repro.parallel.speculative import SpeculationController, SpeculationOptions
+
+
+def run(source: str):
+    interp = Interpreter()
+    result = interp.run_source(source)
+    return interp, result
+
+
+# ---------------------------------------------------------------------------
+# shape bookkeeping
+# ---------------------------------------------------------------------------
+class TestShapes:
+    def test_same_insertion_order_shares_shape(self):
+        interp, _ = run("var a = {x: 1, y: 2}; var b = {x: 9, y: 8}; var c = {y: 8, x: 9};")
+        env = interp.global_env
+        a, b, c = env.get("a"), env.get("b"), env.get("c")
+        assert a.shape is b.shape
+        assert a.shape is not c.shape  # different insertion order
+
+    def test_delete_moves_to_unique_shape(self):
+        interp, _ = run("var a = {x: 1, y: 2}; var b = {x: 1, y: 2}; delete a.y;")
+        env = interp.global_env
+        a, b = env.get("a"), env.get("b")
+        assert a.shape is not b.shape
+        # Re-adding does not rejoin the shared transition tree.
+        a.set("y", 2.0)
+        assert a.shape is not b.shape
+
+    def test_prototype_identity_roots_shapes(self):
+        interp, _ = run(
+            "function P() {} function Q() {} "
+            "var p = new P(); p.v = 1; var q = new Q(); q.v = 1;"
+        )
+        env = interp.global_env
+        assert env.get("p").shape is not env.get("q").shape
+
+    def test_array_element_writes_do_not_transition(self):
+        interp, _ = run("var a = [1, 2]; var s0 = 0; a[0] = 9; a.push(3); a.length = 1;")
+        arr = interp.global_env.get("a")
+        assert isinstance(arr.shape, Shape)
+        before = arr.shape
+        arr.set("0", 5.0)
+        arr.set("length", 4.0)
+        assert arr.shape is before
+        arr.set("named", 1.0)
+        assert arr.shape is not before
+
+
+# ---------------------------------------------------------------------------
+# single-site invalidation through guest code
+# ---------------------------------------------------------------------------
+class TestSiteInvalidation:
+    def test_own_hit_survives_delete_and_readd(self):
+        _interp, result = run(
+            "var o = {v: 1}; var log = []; "
+            "function read() { return o.v; } "  # one compiled site
+            "log.push(read()); log.push(read()); "  # cache + hit
+            "delete o.v; log.push(read() === undefined); "  # shape change -> miss
+            "o.v = 7; log.push(read()); "  # re-added -> new shape -> correct value
+            "log.join(',');"
+        )
+        assert result == "1,1,true,7"
+
+    def test_own_write_site_tracks_shape_changes(self):
+        _interp, result = run(
+            "var o = {}; function put(v) { o.n = v; } "
+            "put(1); put(2); delete o.n; put(3); o.n;"
+        )
+        assert result == 3.0
+
+    def test_proto_hit_invalidated_by_own_shadow(self):
+        _interp, result = run(
+            "function C() {} C.prototype.m = 10; var c = new C(); var log = []; "
+            "function read() { return c.m; } "
+            "log.push(read()); log.push(read()); "  # proto hit cached
+            "c.m = 20; log.push(read()); "  # own property shadows
+            "delete c.m; log.push(read()); "  # shadow removed -> proto again
+            "log.join(',');"
+        )
+        assert result == "10,10,20,10"
+
+    def test_proto_hit_invalidated_by_holder_mutation(self):
+        _interp, result = run(
+            "function C() {} C.prototype.m = 1; var c = new C(); var log = []; "
+            "function read() { return c.m; } "
+            "log.push(read()); "
+            "C.prototype.m = 2; log.push(read()); "  # same shape, same holder, new value
+            "delete C.prototype.m; log.push(read() === undefined); "  # holder shape changed
+            "log.join(',');"
+        )
+        assert result == "1,2,true"
+
+    def test_absence_cache_invalidated_when_proto_gains_property(self):
+        _interp, result = run(
+            "function C() {} var c = new C(); var log = []; "
+            "function read() { return c.late; } "
+            "log.push(read() === undefined); log.push(read() === undefined); "
+            "C.prototype.late = 42; log.push(read()); "
+            "log.join(',');"
+        )
+        assert result == "true,true,42"
+
+    def test_method_call_site_invalidation(self):
+        _interp, result = run(
+            "function C() {} C.prototype.f = function () { return 1; }; "
+            "var c = new C(); var log = []; "
+            "function call() { return c.f(); } "
+            "log.push(call()); log.push(call()); "
+            "c.f = function () { return 2; }; log.push(call()); "
+            "delete c.f; C.prototype.f = function () { return 3; }; log.push(call()); "
+            "log.join(',');"
+        )
+        assert result == "1,1,2,3"
+
+    def test_polymorphic_site_stays_correct(self):
+        _interp, result = run(
+            "function mk(k) { var o = {}; o[k] = k.length; o.tag = k; return o; } "
+            "function read(o) { return o.tag; } "
+            "var log = []; var a = mk('aa'); var b = mk('bbb'); "
+            "for (var i = 0; i < 6; i++) { log.push(read(i % 2 ? a : b)); } "
+            "log.join(',');"
+        )
+        assert result == "bbb,aa,bbb,aa,bbb,aa"
+
+
+# ---------------------------------------------------------------------------
+# caches never leak across speculation forks
+# ---------------------------------------------------------------------------
+class TestForkIsolation:
+    def test_cached_prototype_holder_does_not_leak_into_fork(self):
+        """A site that cached a prototype hit on the live heap must re-resolve
+        for forked clones: the forked prototype is a different object."""
+        interp = Interpreter()
+        interp.run_source(
+            "function P() {} P.prototype.m = 1; var c = new P(); "
+            "function readm(x) { return x.m; } "
+            "var warm = readm(c) + readm(c);"  # site now caches (shape, live proto)
+        )
+        env = interp.global_env
+        live = env.get("c")
+        fork = fork_state(env)
+        forked = fork.copy_of(live)
+        assert forked is not live and forked.prototype is not live.prototype
+        # Diverge the two heaps through the same compiled site.
+        forked.prototype.set("m", 99.0)
+        live.prototype.set("m", 55.0)
+        readm = env.get("readm")
+        assert interp.call_function(readm, UNDEFINED, [forked]) == 99.0
+        assert interp.call_function(readm, UNDEFINED, [live]) == 55.0
+        assert interp.call_function(readm, UNDEFINED, [forked]) == 99.0
+
+    def test_speculation_commits_with_divergent_worker_shapes(self):
+        """Workers that grow per-iteration objects (divergent shape
+        transitions per worker) must still commit bit-identically."""
+        interp = Interpreter()
+        interp.run_source(
+            "var out = [0, 0, 0, 0, 0, 0, 0, 0]; "
+            "var mold = {base: 3}; "
+            "function work(i) { var t = {}; t['k' + i] = i; t.base = mold.base; "
+            "return t['k' + i] * 10 + t.base; }"
+        )
+        program = parse(
+            "for (var i = 0; i < 8; i++) { out[i] = work(i); }", name="kernel.js"
+        )
+        controller = SpeculationController(
+            program.body[0].node_id,
+            SpeculationOptions(workers=4),
+            label="for(kernel)",
+            line=1,
+            kind="for",
+        )
+        interp.speculation = controller
+        interp.run(program)
+        interp.speculation = None
+        outcome = controller.outcomes[0]
+        assert outcome.status == "committed"
+        assert outcome.state_identical is True
+        elements = interp.global_env.get("out").elements
+        assert elements == [i * 10.0 + 3.0 for i in range(8)]
+
+    def test_speculation_after_rollback_keeps_caches_correct(self):
+        """A rolled-back nest (workers aborted on exposed-read conflicts)
+        must leave the live heap's cached sites fully consistent."""
+        interp = Interpreter()
+        interp.run_source(
+            "var acc = {total: 0}; "
+            "function bump(i) { acc.total = acc.total + i; return acc.total; }"
+        )
+        program = parse(
+            "for (var i = 0; i < 8; i++) { bump(i); }", name="kernel.js"
+        )
+        controller = SpeculationController(
+            program.body[0].node_id,
+            SpeculationOptions(workers=4),
+            label="for(kernel)",
+            line=1,
+            kind="for",
+        )
+        interp.speculation = controller
+        interp.run(program)
+        interp.speculation = None
+        outcome = controller.outcomes[0]
+        assert outcome.status == "rolled-back"
+        # The serial ground truth stands and the cached read site still works.
+        assert interp.global_env.get("acc").get("total") == float(sum(range(8)))
+        assert interp.run_source("bump(0);") == float(sum(range(8)))
+
+    def test_fork_digest_includes_slot_frames(self):
+        """Slot-addressed frames fork with their slots: mutating a forked
+        binding must change the fork's digest, not the original's."""
+        interp = Interpreter()
+        interp.run_source(
+            "function mk() { var local = 1; return function () { return local; }; } "
+            "var f = mk();"
+        )
+        env = interp.global_env
+        before = heap_digest(env)
+        fork = fork_state(env)
+        closure_env = env.get("f").closure
+        forked_env = fork.copy_of(closure_env)
+        forked_env.store_binding("local", 77.0)
+        assert heap_digest(env) == before
+        assert heap_digest(fork.copy_of(env)) != before
+        # The forked closure still reads through its (synced) slot frame.
+        forked_f = fork.copy_of(env.get("f"))
+        assert interp.call_function(forked_f, UNDEFINED, []) == 77.0

@@ -1,0 +1,378 @@
+"""Tests for the static scope resolver and the slot-addressed environments.
+
+Two layers of defence:
+
+* **Classification unit tests** — parse small programs, run the resolver and
+  assert the exact classification (slot coordinates / dynamic) of individual
+  identifier occurrences, including the hoisting and shadowing interactions
+  the resolver can get wrong.
+* **Slot-vs-dict parity** — the same program/workload executed with slot
+  addressing enabled and with ``REPRO_FORCE_DICT_SCOPES``-style dict frames
+  must be indistinguishable: identical results, console output, virtual
+  clock, interpreter statistics, heap digests and (where checked) identical
+  full instrumentation event streams.  Both engine configurations run the
+  *compiled* core — the reference walker has its own differential suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from test_differential_exec import EventRecorder, ProgramGenerator
+
+from repro.jsvm import ast_nodes as ast
+from repro.jsvm.hooks import EV_ALL, HookBus, Tracer
+from repro.jsvm.interpreter import Interpreter
+from repro.jsvm.parser import parse
+from repro.jsvm.resolver import resolve_program
+from repro.jsvm.scope import set_slot_scopes, slot_scopes_enabled
+from repro.jsvm.snapshot import heap_digest
+from repro.jsvm.values import to_string
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a tier-1 dependency
+    HAVE_HYPOTHESIS = False
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def resolved(source: str) -> ast.Program:
+    program = parse(source)
+    resolve_program(program)
+    return program
+
+
+def identifiers(program: ast.Program, name: str):
+    """Every Identifier node with ``name``, in source order."""
+    return [
+        node
+        for node in ast.walk(program)
+        if isinstance(node, ast.Identifier) and node.name == name
+    ]
+
+
+def res_of(program: ast.Program, name: str, occurrence: int = 0):
+    return getattr(identifiers(program, name)[occurrence], "_res", None)
+
+
+# ---------------------------------------------------------------------------
+# classification table
+# ---------------------------------------------------------------------------
+class TestClassification:
+    @pytest.fixture(autouse=True)
+    def _slot_mode(self):
+        """Classification is a slot-mode feature: force it on so this table
+        still verifies the resolver under REPRO_FORCE_DICT_SCOPES=1 CI runs."""
+        previous = set_slot_scopes(True)
+        try:
+            yield
+        finally:
+            set_slot_scopes(previous)
+
+    def test_param_is_local_slot(self):
+        program = resolved("function f(a, b) { return b; } f(1, 2);")
+        hops, idx, maybe_hole, is_const = res_of(program, "b")
+        assert (hops, maybe_hole, is_const) == (0, False, False)
+        info = program.body[0].body._fn_scope
+        assert info.layout.names[idx] == "b"
+
+    def test_globals_and_builtins_are_dynamic(self):
+        program = resolved("var g = 1; function f() { return g + Math.sqrt(4); } f();")
+        # Top-level bindings live in the (dynamic) global frame.
+        assert res_of(program, "g", 0) is None
+        assert res_of(program, "Math") is None
+
+    def test_var_hoists_to_function_frame(self):
+        program = resolved(
+            "function f() { for (var i = 0; i < 2; i++) { var t = i; } return t; } f();"
+        )
+        info = program.body[0].body._fn_scope
+        assert "i" in info.layout.index and "t" in info.layout.index
+        # `t` read from function-body level: one hop per intervening frame is
+        # *not* needed — the return statement runs in the function frame.
+        hops, idx, maybe_hole, _ = res_of(program, "t", 0)
+        assert hops == 0 and info.layout.names[idx] == "t" and maybe_hole is False
+
+    def test_loop_body_reads_cross_iteration_frames(self):
+        program = resolved(
+            "function f() { for (var i = 0; i < 2; i++) { var t = i; } } f();"
+        )
+        # Inside the loop *body block*: block frame -> iteration frame ->
+        # loop frame -> function frame = 3 hops for the hoisted var.
+        hops, _idx, _hole, _const = res_of(program, "i", 2)  # the `i` in `var t = i`
+        assert hops == 3
+
+    def test_let_in_block_is_maybe_hole(self):
+        program = resolved("function f() { { let x = 1; return x; } } f();")
+        hops, _idx, maybe_hole, _ = res_of(program, "x", 0)
+        assert hops == 0 and maybe_hole is True
+
+    def test_const_is_marked(self):
+        program = resolved("function f() { const c = 1; return c; } f();")
+        *_rest, is_const = res_of(program, "c", 0)
+        assert is_const is True
+
+    def test_shadowing_resolves_to_innermost(self):
+        program = resolved(
+            "function f() { var x = 1; { let x = 2; return x; } } f();"
+        )
+        block = program.body[0].body.body[1]
+        assert isinstance(block, ast.BlockStatement)
+        assert block._layout is not None and "x" in block._layout.index
+        hops, idx, _hole, _ = res_of(program, "x", 0)  # the returned x
+        assert hops == 0 and block._layout.names[idx] == "x"
+
+    def test_closure_sees_enclosing_function_slots(self):
+        program = resolved(
+            "function outer(a) { return function inner() { return a; }; } outer(1)();"
+        )
+        # inner frame (0) -> outer frame (1): `a` is one hop away (inner is
+        # anonymous-style named function: name adds a fnexpr frame only for
+        # function *expressions* — `inner` here is a named expression, so the
+        # chain is inner frame -> fnexpr frame -> outer frame = 2 hops.
+        hops, _idx, _hole, _ = res_of(program, "a", 0)
+        assert hops == 2
+
+    def test_function_declaration_skips_block_frames(self):
+        # A function *declaration* hoists: its closure is the function frame,
+        # so block-scoped `let` of an enclosing block must NOT be visible.
+        program = resolved(
+            "function f() { var v = 1; { let b = 2; function g() { return v; } } } f();"
+        )
+        hops, _idx, _hole, _ = res_of(program, "v", 0)
+        assert hops == 1  # g frame -> f frame, no block frame in between
+
+    def test_catch_param_is_slot(self):
+        program = resolved("function f() { try { throw 1; } catch (e) { return e; } } f();")
+        hops, _idx, maybe_hole, _ = res_of(program, "e", 0)
+        # e read inside the catch *block* (child of the catch frame): 1 hop.
+        assert hops == 1 and maybe_hole is False
+
+    def test_this_and_arguments_elided_when_provably_uncaptured(self):
+        program = resolved("function f(a) { return a + 1; } f(1);")
+        info = program.body[0].body._fn_scope
+        assert info.this_idx is None and info.args_idx is None
+        assert "this" not in info.layout.index and "arguments" not in info.layout.index
+
+    def test_this_and_arguments_kept_when_inner_function_exists(self):
+        program = resolved("function f() { return function () { return 1; }; } f();")
+        info = program.body[0].body._fn_scope
+        assert info.this_idx is not None and info.args_idx is not None
+
+    def test_arguments_use_forces_binding(self):
+        program = resolved("function f() { return arguments.length; } f();")
+        info = program.body[0].body._fn_scope
+        assert info.args_idx is not None
+
+    def test_forced_dict_mode_resolves_nothing(self):
+        previous = set_slot_scopes(False)
+        try:
+            program = resolved("function f(a) { return a; } f(1);")
+            assert getattr(program.body[0].body, "_fn_scope", None) is None
+            assert res_of(program, "a", 0) is None
+        finally:
+            set_slot_scopes(previous)
+
+
+# ---------------------------------------------------------------------------
+# slot-vs-dict parity
+# ---------------------------------------------------------------------------
+class EventHashTracer(Tracer):
+    """Hashes the full event stream (constant memory, order-sensitive)."""
+
+    EVENTS = EV_ALL
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+
+    def _emit(self, *parts) -> None:
+        for part in parts:
+            self._hash.update(str(part).encode("utf-8", "surrogatepass"))
+            self._hash.update(b"\x1f")
+        self._hash.update(b"\x1e")
+
+    def digest(self) -> str:
+        return self._hash.hexdigest()
+
+    def on_loop_enter(self, interp, node):
+        self._emit("le", node.node_id)
+
+    def on_loop_iteration(self, interp, node, iteration):
+        self._emit("li", node.node_id, iteration)
+
+    def on_loop_exit(self, interp, node, trip_count):
+        self._emit("lx", node.node_id, trip_count)
+
+    def on_function_enter(self, interp, func, call_node):
+        self._emit("fe", getattr(func, "name", "?"))
+
+    def on_function_exit(self, interp, func):
+        self._emit("fx", getattr(func, "name", "?"))
+
+    def on_env_created(self, interp, env, kind):
+        self._emit("env", kind, env.label)
+
+    def on_var_write(self, interp, name, env, value, node):
+        self._emit("vw", name, to_string(value))
+
+    def on_var_read(self, interp, name, env, node):
+        self._emit("vr", name)
+
+    def on_object_created(self, interp, obj, node):
+        self._emit("oc", obj.class_name, obj.creation_site)
+
+    def on_prop_write(self, interp, obj, name, value, node):
+        self._emit("pw", name, to_string(value))
+
+    def on_prop_read(self, interp, obj, name, node):
+        self._emit("pr", name)
+
+    def on_branch(self, interp, node, taken):
+        self._emit("br", node.node_id, taken)
+
+    def on_statement(self, interp, node):
+        self._emit("st", node.node_id)
+
+    def on_host_access(self, interp, category, detail, node):
+        self._emit("ha", category, detail)
+
+
+def _stats_tuple(interp: Interpreter):
+    stats = interp.stats
+    return (
+        stats.ops,
+        stats.statements,
+        stats.calls,
+        stats.loop_iterations,
+        stats.objects_created,
+        stats.property_reads,
+        stats.property_writes,
+    )
+
+
+def run_source_snapshot(source: str, slots: bool, instrumented: bool):
+    previous = set_slot_scopes(slots)
+    try:
+        interp = Interpreter()
+        recorder = interp.hooks.attach(EventRecorder()) if instrumented else None
+        result = interp.run_source(source)
+    finally:
+        set_slot_scopes(previous)
+    return {
+        "result": to_string(result),
+        "console": list(interp.console_output),
+        "clock_ms": interp.clock.now(),
+        "digest": heap_digest(interp.global_env),
+        "stats": _stats_tuple(interp),
+        "events": recorder.events if recorder is not None else None,
+    }
+
+
+def run_workload_snapshot(workload, slots: bool, hash_events: bool):
+    from repro.browser.window import BrowserSession
+    from repro.ceres.proxy import InstrumentationMode, InstrumentingProxy, OriginServer
+
+    previous = set_slot_scopes(slots)
+    try:
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(origin, mode=InstrumentationMode.NONE)
+        browser = BrowserSession(hooks=HookBus(), title=workload.name)
+        tracer = browser.interp.hooks.attach(EventHashTracer()) if hash_events else None
+        if hasattr(workload, "prepare"):
+            workload.prepare(browser)
+        for path, _source in workload.scripts:
+            browser.run_document(proxy.request(path))
+        workload.exercise(browser)
+    finally:
+        set_slot_scopes(previous)
+    interp = browser.interp
+    return {
+        "console": list(interp.console_output),
+        "clock_ms": interp.clock.now(),
+        "digest": heap_digest(
+            interp.global_env,
+            (interp.object_prototype, interp.array_prototype, interp.function_prototype),
+        ),
+        "stats": _stats_tuple(interp),
+        "events": tracer.digest() if tracer is not None else None,
+    }
+
+
+def _workload_names():
+    from repro.workloads import WORKLOAD_MANIFEST
+
+    return sorted(WORKLOAD_MANIFEST)
+
+
+#: Workloads cheap enough to re-run with the full EV_ALL event stream hashed.
+_EVENT_STREAM_WORKLOADS = ["Ace", "HAAR.js", "Harmony", "MyScript", "sigma.js"]
+
+
+class TestSlotVsDictParity:
+    SOURCES = [
+        "var total = 0; for (var i = 0; i < 10; i++) { var sq = i * i; total += sq; } total;",
+        "function f(n) { var acc = 0; for (var i = 0; i < n; i++) { acc += i; } return acc; } f(50);",
+        "var fs = []; for (let i = 0; i < 3; i++) { fs.push(function () { return i; }); } fs[0]();",
+        "var o = {x: 1}; function bump() { o.x += 1; return o.x; } bump() + bump();",
+        "var a = 1; { let a = 2; { let a = 3; console.log(a); } console.log(a); } a;",
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SOURCES)))
+    def test_source_parity_instrumented(self, index):
+        source = self.SOURCES[index]
+        slot = run_source_snapshot(source, slots=True, instrumented=True)
+        dictm = run_source_snapshot(source, slots=False, instrumented=True)
+        assert slot == dictm
+
+    @pytest.mark.parametrize("name", _workload_names())
+    def test_workload_state_parity(self, name):
+        """Final heap digest, virtual clock, stats and console must be
+        bit-identical between slot and dict frames on every workload."""
+        from repro.workloads import get_workload
+
+        slot = run_workload_snapshot(get_workload(name), slots=True, hash_events=False)
+        dictm = run_workload_snapshot(get_workload(name), slots=False, hash_events=False)
+        assert slot == dictm
+
+    @pytest.mark.parametrize("name", _EVENT_STREAM_WORKLOADS)
+    def test_workload_event_stream_parity(self, name):
+        """The full instrumentation event stream (hashed) must match."""
+        from repro.workloads import get_workload
+
+        slot = run_workload_snapshot(get_workload(name), slots=True, hash_events=True)
+        dictm = run_workload_snapshot(get_workload(name), slots=False, hash_events=True)
+        assert slot == dictm
+
+    def test_nbody_event_stream_parity(self):
+        from repro.workloads.nbody import make_nbody_workload
+
+        slot = run_workload_snapshot(make_nbody_workload(bodies=8, steps=4), slots=True, hash_events=True)
+        dictm = run_workload_snapshot(make_nbody_workload(bodies=8, steps=4), slots=False, hash_events=True)
+        assert slot == dictm
+
+    def test_default_mode_matches_environment(self):
+        import os
+
+        forced_dict = os.environ.get("REPRO_FORCE_DICT_SCOPES", "") not in ("", "0")
+        assert slot_scopes_enabled() is (not forced_dict)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=1000, max_value=100_000))
+    def test_property_slot_and_dict_streams_identical(seed):
+        """Property test: any generated program produces an identical full
+        event stream (plus state/clock/stats) in slot and dict modes."""
+        source = ProgramGenerator(seed).program()
+        slot = run_source_snapshot(source, slots=True, instrumented=True)
+        dictm = run_source_snapshot(source, slots=False, instrumented=True)
+        assert slot == dictm
