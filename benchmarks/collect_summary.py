@@ -1,0 +1,84 @@
+"""Merge the per-benchmark ``BENCH_*.json`` artifacts into one trajectory file.
+
+Each benchmark run (``pytest benchmarks/``) writes one
+``artifacts/BENCH_<name>.json`` per benchmark (see ``conftest.py``).  The
+``artifacts/`` directory is gitignored and its files evaporate with the CI
+job logs, so the perf trajectory was untrackable — this collector folds them
+into a single committed ``benchmarks/BENCH_summary.json`` with one row per
+benchmark (ops/sec, mean seconds, extra info, and the artifact's recorded-at
+timestamp)::
+
+    PYTHONPATH=src python benchmarks/collect_summary.py
+
+CI regenerates the summary after every benchmark run and uploads it with the
+raw artifacts; PRs that touch performance refresh the committed snapshot
+(re-run this script and commit the result), so the trajectory accumulates
+in-tree PR-over-PR.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+ARTIFACTS_DIR = Path(__file__).resolve().parent / "artifacts"
+SUMMARY_NAME = "BENCH_summary.json"
+#: The summary lives *outside* the gitignored artifacts directory so the
+#: trajectory can be committed.
+SUMMARY_PATH = Path(__file__).resolve().parent / SUMMARY_NAME
+
+
+def _row(path: Path) -> dict:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"top-level JSON is not an object: {type(data).__name__}")
+    recorded_at = datetime.fromtimestamp(path.stat().st_mtime, tz=timezone.utc)
+    row = {
+        "artifact": path.name,
+        "name": data.get("name", path.stem),
+        "group": data.get("group"),
+        "ops_per_sec": data.get("ops"),
+        "mean_seconds": data.get("mean"),
+        "rounds": data.get("rounds"),
+        "recorded_at": recorded_at.isoformat(timespec="seconds"),
+    }
+    extra = data.get("extra_info") or {}
+    if extra:
+        row["extra_info"] = extra
+    return row
+
+
+def collect(artifacts_dir: Path = ARTIFACTS_DIR) -> dict:
+    """Fold every ``BENCH_*.json`` (except the summary itself) into one dict."""
+    rows = []
+    for path in sorted(artifacts_dir.glob("BENCH_*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        try:
+            rows.append(_row(path))
+        except (json.JSONDecodeError, OSError, ValueError) as exc:
+            print(f"collect_summary: skipping {path.name}: {exc}", file=sys.stderr)
+    return {
+        "schema": 1,
+        "generated_at": datetime.now(tz=timezone.utc).isoformat(timespec="seconds"),
+        "benchmark_count": len(rows),
+        "benchmarks": rows,
+    }
+
+
+def main() -> int:
+    if not ARTIFACTS_DIR.is_dir():
+        print(f"collect_summary: no artifacts directory at {ARTIFACTS_DIR}", file=sys.stderr)
+        return 1
+    summary = collect()
+    SUMMARY_PATH.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {SUMMARY_PATH} ({summary['benchmark_count']} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

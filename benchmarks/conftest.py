@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.registry import run_case_study
+from repro.experiments.registry import default_session
 from repro.survey.population import generate_population
 
 #: Where the per-benchmark JSON artifacts land (uploaded by CI).
@@ -28,7 +28,7 @@ ARTIFACTS_DIR = Path(__file__).resolve().parent / "artifacts"
 @pytest.fixture(scope="session")
 def case_study():
     """Full case-study results over all twelve workloads (cached per session)."""
-    return run_case_study()
+    return default_session().case_study()
 
 
 @pytest.fixture(scope="session")

@@ -5,7 +5,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ceres import JSCeres, WarningKind
+from repro.api import AnalysisSession, RunSpec
+from repro.ceres import WarningKind
 from repro.jsvm.interpreter import Interpreter
 from repro.workloads import get_workload
 from repro.workloads.nbody import STEP_FOR_LINE, make_nbody_workload
@@ -15,14 +16,17 @@ def test_bench_figure6_nbody_dependence(benchmark):
     """Figure 6 / Section 3.3: dependence analysis of the N-body step loop."""
 
     def analyse():
-        tool = JSCeres()
-        return tool.run_dependence(make_nbody_workload(bodies=16, steps=8), focus_line=STEP_FOR_LINE)
+        with AnalysisSession() as session:
+            return session.run(
+                make_nbody_workload(bodies=16, steps=8),
+                RunSpec.dependence(focus_line=STEP_FOR_LINE),
+            )
 
     run = benchmark.pedantic(analyse, rounds=1, iterations=1)
     print()
     print(run.report_text)
 
-    report = run.report
+    report = run.artifacts.dependence_report
     names = {w.name for w in report.warnings}
     assert "p" in names  # the function-scoped `var p`
     assert any(w.kind is WarningKind.FLOW_READ and w.name.endswith(".m") for w in report.warnings)
@@ -45,19 +49,24 @@ def test_bench_instrumentation_overhead(benchmark):
     workload_name = "Normal Mapping"
 
     def run_all_modes():
-        tool = JSCeres()
-        baseline = tool.run_uninstrumented(get_workload(workload_name))
-        lightweight = tool.run_lightweight(get_workload(workload_name), with_gecko=False)
-        loops = tool.run_loop_profile(get_workload(workload_name))
+        with AnalysisSession() as session:
+            baseline = session.run(
+                get_workload(workload_name), RunSpec.uninstrumented()
+            ).clock_seconds
+            lightweight = session.run(
+                get_workload(workload_name), RunSpec.lightweight(with_gecko=False)
+            )
+            loops = session.run(get_workload(workload_name), RunSpec.loop_profile())
         return baseline, lightweight, loops
 
     baseline, lightweight, loops = benchmark.pedantic(run_all_modes, rounds=1, iterations=1)
+    loop_time_s = loops.artifacts.loop_profiler.total_loop_time_ms() / 1000.0
     print()
     print(f"uninstrumented total : {baseline:8.2f} virtual s")
     print(f"mode 1 total         : {lightweight.total_seconds:8.2f} virtual s")
-    print(f"mode 2 loop time     : {loops.total_loop_time_ms / 1000.0:8.2f} virtual s")
+    print(f"mode 2 loop time     : {loop_time_s:8.2f} virtual s")
     assert lightweight.total_seconds == pytest.approx(baseline, rel=0.01)
-    assert loops.total_loop_time_ms / 1000.0 <= baseline
+    assert loop_time_s <= baseline
 
 
 def test_bench_interpreter_throughput(benchmark):

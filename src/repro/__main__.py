@@ -7,7 +7,10 @@ Subcommands (all running through one :class:`~repro.api.session.AnalysisSession`
 * ``experiments`` — run every registered experiment (the full reproduction);
 * ``report`` — the case-study report (Tables 2-3 + Amdahl bounds), with
   ``--json`` for machine-readable rows and ``--workloads`` to restrict the
-  batch.
+  batch;
+* ``trace record|replay|info`` — the record-once / replay-many trace layer:
+  capture a workload's full event trace to a file, replay any tracer subset
+  from it (byte-identical reports, no guest execution), or inspect one.
 
 ``python -m repro.experiments`` remains as the legacy entry point.
 """
@@ -155,6 +158,93 @@ def _cmd_report(session, args) -> int:
     return 0
 
 
+def _trace_slug(name: str) -> str:
+    import re
+
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_") or "workload"
+
+
+def _cmd_trace(session, args) -> int:
+    from .jsvm.hooks import Trace, TraceError, describe_mask
+
+    if args.trace_command == "record":
+        from .workloads import workload_names
+
+        known = workload_names()
+        if args.workload not in known:
+            print(f"unknown workload: {args.workload}", file=sys.stderr)
+            print(f"known: {', '.join(known)}", file=sys.stderr)
+            return 2
+        trace = session.record_trace(args.workload)
+        path = args.output or f"{_trace_slug(args.workload)}.trace.json.gz"
+        trace.save(path)
+        print(
+            f"recorded {len(trace.events)} events "
+            f"[{describe_mask(trace.mask)}] for {trace.workload!r} -> {path}"
+        )
+        return 0
+
+    try:
+        trace = Trace.load(args.file)
+    except TraceError as exc:
+        print(f"trace {args.trace_command}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "info":
+        info = {
+            "workload": trace.workload,
+            "fingerprint": trace.fingerprint,
+            "version": trace.version,
+            "mask": trace.mask,
+            "mask_names": describe_mask(trace.mask),
+            "ms_per_op": trace.ms_per_op,
+            "start_ms": trace.start_ms,
+            "end_ms": trace.end_ms,
+            "duration_seconds": (trace.end_ms - trace.start_ms) / 1000.0,
+            "events": len(trace.events),
+            "event_counts": trace.event_counts(),
+            "strings": len(trace.strings),
+            "nodes": len(trace.nodes),
+            "objects": len(trace.objects),
+            "environments": trace.env_count,
+            "digest": trace.digest(),
+        }
+        if args.json:
+            print(json.dumps(info, indent=2))
+        else:
+            for key, value in info.items():
+                if key == "event_counts":
+                    print("event_counts:")
+                    for name, count in sorted(value.items()):
+                        print(f"  {name:<18} {count}")
+                else:
+                    print(f"{key:<18} {value}")
+        return 0
+
+    # replay
+    from .api.spec import ALL_TRACERS, RunSpec
+
+    modes = args.modes.split(",") if args.modes else list(ALL_TRACERS)
+    unknown = [mode for mode in modes if mode not in ALL_TRACERS]
+    if unknown:
+        print(f"unknown modes: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(ALL_TRACERS)}", file=sys.stderr)
+        return 2
+    try:
+        spec = RunSpec.composed(*modes, focus_line=args.focus_line)
+        result = session.replay_trace(trace, spec)
+    except (TraceError, KeyError, ValueError) as exc:
+        print(f"trace replay: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.report_text)
+        print()
+        print(f"[{result.provenance}] no guest code was executed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -210,6 +300,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", nargs="*", default=None, help="restrict the batch to these workloads"
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_trace = subparsers.add_parser(
+        "trace", help="record-once / replay-many event traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_trace_record = trace_sub.add_parser(
+        "record", help="execute a workload once and save its full event trace"
+    )
+    p_trace_record.add_argument("workload", help="workload name (see `list --workloads`)")
+    p_trace_record.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output file (default <workload>.trace.json.gz; .gz = compressed)",
+    )
+    p_trace_record.set_defaults(func=_cmd_trace)
+
+    p_trace_replay = trace_sub.add_parser(
+        "replay", help="replay analyses from a trace file (no guest execution)"
+    )
+    p_trace_replay.add_argument("file", help="trace file written by `trace record`")
+    p_trace_replay.add_argument(
+        "--modes",
+        default=None,
+        help="comma-separated tracer modes (default: all four)",
+    )
+    p_trace_replay.add_argument(
+        "--focus-line", type=int, default=None, help="dependence focus line"
+    )
+    p_trace_replay.add_argument("--json", action="store_true", help="JSON envelope")
+    p_trace_replay.set_defaults(func=_cmd_trace)
+
+    p_trace_info = trace_sub.add_parser("info", help="inspect a trace file")
+    p_trace_info.add_argument("file", help="trace file written by `trace record`")
+    p_trace_info.add_argument("--json", action="store_true", help="machine-readable output")
+    p_trace_info.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -19,9 +19,11 @@ from typing import List, Optional
 from ..browser.gecko_profiler import GeckoProfiler
 from ..browser.window import BrowserSession
 from ..ceres.dependence import DependenceAnalyzer, DependenceReport
+from ..ceres.ids import IndexRegistry
 from ..ceres.lightweight import LightweightProfiler
 from ..ceres.loop_profiler import LoopProfile, LoopProfiler
 from ..ceres.proxy import InstrumentationMode, InstrumentingProxy, OriginServer
+from ..jsvm.hooks import Trace, TraceRecorder, TraceReplayer
 from .amdahl import SpeedupBound
 from .difficulty import (
     Difficulty,
@@ -31,6 +33,41 @@ from .difficulty import (
 from .divergence import DivergenceLevel, assess_divergence
 from .domaccess import DomAccessResult, assess_dom_access
 from .observer import NestObservation, NestObserver
+
+
+#: Every tracer class the staged pipeline (and the session API) can attach.
+PIPELINE_TRACER_CLASSES = (
+    LightweightProfiler,
+    GeckoProfiler,
+    LoopProfiler,
+    NestObserver,
+    DependenceAnalyzer,
+)
+
+
+def pipeline_trace_mask() -> int:
+    """The union event mask of every tracer the staged pipeline attaches.
+
+    A trace recorded with this mask replays all four analysis stages (and any
+    per-nest dependence focus) without re-executing the workload.
+    """
+    mask = 0
+    for tracer_class in PIPELINE_TRACER_CLASSES:
+        mask |= tracer_class.declared_events()
+    return mask
+
+
+def pipeline_dropped_methods() -> tuple:
+    """Hook methods no pipeline tracer handles (droppable from recordings).
+
+    Variable *reads* are the big one: they are roughly a third of a union
+    trace by volume, but every shipped tracer subscribes to ``EV_VAR`` for
+    the writes only.  The drop is declared in the trace, so replaying a
+    future read-consuming tracer fails loudly instead of under-counting.
+    """
+    from ..jsvm.hooks import unhandled_hook_methods
+
+    return unhandled_hook_methods(PIPELINE_TRACER_CLASSES)
 
 
 @dataclass
@@ -143,6 +180,7 @@ class CaseStudyRunner:
         coverage_target: float = 0.80,
         max_nests_per_app: int = 5,
         script_cache=None,
+        trace_store=None,
     ) -> None:
         self.cores = cores
         #: Keep inspecting nests until this fraction of loop time is covered
@@ -152,6 +190,10 @@ class CaseStudyRunner:
         #: Optional :class:`repro.engine.cache.ScriptCache` shared across the
         #: runner's (many) instrumented runs of the same sources.
         self.script_cache = script_cache
+        #: Optional :class:`repro.engine.cache.TraceStore`; when present, the
+        #: replay-backed stages record each workload once per mask superset
+        #: and replay every analysis from the stored trace.
+        self.trace_store = trace_store
 
     # ------------------------------------------------------------- plumbing
     def _instrumented_run(self, workload, mode: InstrumentationMode, make_tracers) -> tuple:
@@ -177,6 +219,86 @@ class CaseStudyRunner:
             session.run_document(document)
         workload.exercise(session)
         return proxy, session, tracers
+
+    # ---------------------------------------------------------------- tracing
+    def record_trace(
+        self,
+        workload,
+        mask: Optional[int] = None,
+        drop_methods: Optional[tuple] = None,
+    ) -> Trace:
+        """Execute ``workload`` once and capture the requested event mask.
+
+        This is the *only* step of the replay-backed schedule that runs guest
+        code; everything downstream replays the returned trace.  By default
+        the hook methods no pipeline tracer handles are dropped from the
+        recording (declared in the trace, enforced at replay).
+        """
+        from ..engine.cache import workload_fingerprint
+
+        mask = mask if mask is not None else pipeline_trace_mask()
+        if drop_methods is None:
+            drop_methods = pipeline_dropped_methods()
+        recorder = TraceRecorder(
+            mask=mask,
+            workload=workload.name,
+            fingerprint=workload_fingerprint(workload),
+            drop_methods=drop_methods,
+        )
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(
+            origin, mode=InstrumentationMode.DEPENDENCE, script_cache=self.script_cache
+        )
+        from ..jsvm.hooks import HookBus
+
+        hooks = HookBus()
+        session = BrowserSession(hooks=hooks, title=workload.name)
+        recorder.ms_per_op = session.clock.ms_per_op
+        if hasattr(workload, "prepare"):
+            workload.prepare(session)
+        intercepted = [proxy.request(path) for path, _ in workload.scripts]
+        hooks.attach(recorder)
+        recorder.mark_start(session.clock)
+        for document in intercepted:
+            session.run_document(document)
+        workload.exercise(session)
+        recorder.mark_end(session.clock)
+        return recorder.trace()
+
+    def obtain_trace(self, workload, mask: Optional[int] = None) -> Trace:
+        """A trace covering ``mask`` for ``workload``: stored, or recorded now."""
+        from ..engine.cache import workload_fingerprint
+
+        mask = mask if mask is not None else pipeline_trace_mask()
+        if self.trace_store is not None:
+            trace = self.trace_store.find(workload_fingerprint(workload), mask)
+            if trace is not None:
+                return trace
+        trace = self.record_trace(workload, mask)
+        if self.trace_store is not None:
+            self.trace_store.put(trace)
+        return trace
+
+    def registry_for(self, workload) -> IndexRegistry:
+        """The loop/creation-site registry for ``workload``, without execution.
+
+        Parsing is deterministic (identical source ⇒ identical node ids), so
+        the registry built here matches the one the recording run saw — also
+        across process boundaries, which is what lets fan-out workers replay
+        shipped traces.
+        """
+        registry = IndexRegistry()
+        if self.script_cache is not None:
+            for path, source in workload.scripts:
+                _program, index = self.script_cache.get(path, source)
+                registry.add_index(index)
+        else:
+            from ..jsvm.parser import parse
+
+            for path, source in workload.scripts:
+                registry.add(parse(source, name=path))
+        return registry
 
     # ------------------------------------------------------------------ steps
     def measure_runtime(self, workload) -> Table2Row:
@@ -245,8 +367,18 @@ class CaseStudyRunner:
             ],
         )
         (analyzer,) = tracers
+        return self._interpret_nest(
+            analyzer.report(), profile, observation, fraction_of_loop_time
+        )
 
-        report = analyzer.report()
+    def _interpret_nest(
+        self,
+        report: DependenceReport,
+        profile: LoopProfile,
+        observation: NestObservation,
+        fraction_of_loop_time: float,
+    ) -> NestAnalysis:
+        """Step 4 for one nest: the shared interpretation of a dependence report."""
         divergence = assess_divergence(observation, profile.mean_trip_count)
         dom = assess_dom_access(observation)
         breaking = assess_breaking_difficulty(report)
@@ -264,6 +396,76 @@ class CaseStudyRunner:
             fraction_of_loop_time=fraction_of_loop_time,
         )
 
+    # ------------------------------------------------------- replayed steps
+    def measure_runtime_from_trace(self, workload, trace: Trace) -> Table2Row:
+        """Step 1 from a recorded trace (no guest execution)."""
+        lightweight = LightweightProfiler()
+        gecko = GeckoProfiler()
+        replayer = TraceReplayer(trace)
+        replayer.replay([lightweight, gecko])
+        lightweight.stop(replayer.clock)
+        result = lightweight.result(replayer.clock)
+        return Table2Row(
+            name=workload.name,
+            total_seconds=trace.end_ms / 1000.0,
+            active_seconds=gecko.active_seconds(),
+            loops_seconds=result.loops_seconds,
+        )
+
+    def profile_loops_from_trace(
+        self, workload, trace: Trace, registry: Optional[IndexRegistry] = None
+    ) -> tuple:
+        """Step 2 from a recorded trace; returns ``(registry, profiler, observer)``."""
+        registry = registry if registry is not None else self.registry_for(workload)
+        profiler = LoopProfiler(registry=registry)
+        observer = NestObserver(registry=registry)
+        replayer = TraceReplayer(trace)
+        replayer.replay([profiler, observer])
+        return registry, profiler, observer
+
+    def analyze_nest_from_trace(
+        self,
+        workload,
+        trace: Trace,
+        registry: IndexRegistry,
+        profile: LoopProfile,
+        observation: NestObservation,
+        fraction_of_loop_time: float,
+    ) -> NestAnalysis:
+        """Steps 3-4 for one nest, replayed from the trace (no re-execution)."""
+        (nest,) = self.analyze_nests_from_trace(
+            workload, trace, registry, [(profile, observation, fraction_of_loop_time)]
+        )
+        return nest
+
+    def analyze_nests_from_trace(
+        self,
+        workload,
+        trace: Trace,
+        registry: IndexRegistry,
+        items,
+    ) -> List[NestAnalysis]:
+        """Steps 3-4 for several nests from **one** pass over the trace.
+
+        ``items`` is a list of ``(profile, observation, fraction)`` triples.
+        One focused :class:`DependenceAnalyzer` per nest attaches to a single
+        :class:`~repro.jsvm.hooks.TraceReplayer` — the analyzers are
+        independent observers, and the creation stamps they write to the
+        shared stand-in heap are structurally identical (every analyzer's
+        loop stack is driven by the same loop events), so sharing the pass
+        produces byte-identical reports at a fraction of the replay cost.
+        """
+        analyzers = [
+            DependenceAnalyzer(registry=registry, focus_loop_id=profile.loop_id)
+            for profile, _observation, _fraction in items
+        ]
+        if analyzers:
+            TraceReplayer(trace).replay(analyzers)
+        return [
+            self._interpret_nest(analyzer.report(), profile, observation, fraction)
+            for analyzer, (profile, observation, fraction) in zip(analyzers, items)
+        ]
+
     # ------------------------------------------------------------------ driver
     def analyze_application(self, workload) -> ApplicationAnalysis:
         """Run the full four-stage schedule for one workload."""
@@ -279,6 +481,7 @@ class CaseStudyRunner:
         profiler: LoopProfiler,
         observation: NestObservation,
         fraction: float,
+        analyze=None,
     ) -> NestAnalysis:
         """Re-focus on an inner loop when the outer loop is not the parallelizable one.
 
@@ -305,7 +508,9 @@ class CaseStudyRunner:
         if not candidates:
             return nest
         inner_profile = max(candidates, key=lambda p: p.total_time_ms)
-        return self.analyze_nest(workload, inner_profile, observation, fraction)
+        if analyze is None:
+            analyze = self.analyze_nest
+        return analyze(workload, inner_profile, observation, fraction)
 
     def analyze_all(self, workloads) -> List[ApplicationAnalysis]:
         """Analyze a batch of workloads via the engine (fan-out capable).

@@ -14,8 +14,8 @@ until a workload is actually requested by name (the registry in
 :mod:`repro.workloads.base` resolves its manifest lazily).
 
 The legacy surfaces — ``repro.ceres.JSCeres`` and
-``repro.experiments.run_case_study`` — are thin deprecated shims over this
-layer; see README for the migration table.
+``repro.experiments.run_case_study`` — completed their promised two-PR
+deprecation window and were removed; see README for the migration table.
 """
 
 from .results import SCHEMA_VERSION, RunArtifacts, RunResult

@@ -9,10 +9,10 @@ a lossless JSON round trip (``RunResult.from_dict(r.to_dict()) == r``), so
 results can be cached, diffed and shipped between processes.
 
 Live analysis objects (parsed-program registries, ``LoopProfile`` /
-``DependenceReport`` instances) are process-local and cannot cross a JSON
-boundary; they ride along in :attr:`RunResult.artifacts`, which is excluded
-from equality and serialization.  The deprecated ``JSCeres`` shims use them
-to rebuild the legacy return types.
+``DependenceReport`` instances, recorded traces) are process-local and
+cannot cross a JSON boundary; they ride along in
+:attr:`RunResult.artifacts`, which is excluded from equality and
+serialization, for in-process consumers (tests, benchmarks, the CLI).
 """
 
 from __future__ import annotations
@@ -40,6 +40,9 @@ class RunArtifacts:
     gecko_profiler: Any = None  #: :class:`~repro.browser.gecko_profiler.GeckoProfiler`
     loop_profiler: Any = None  #: :class:`~repro.ceres.loop_profiler.LoopProfiler`
     dependence_report: Any = None  #: :class:`~repro.ceres.dependence.DependenceReport`
+    #: The :class:`~repro.jsvm.hooks.Trace` recorded or replayed by this run
+    #: (``RunSpec.record()`` / ``RunSpec.replay()`` policies only).
+    trace: Any = None
 
 
 @dataclass
@@ -64,13 +67,19 @@ class RunResult:
     #: this result.
     spec: Dict[str, Any]
     schema_version: int = SCHEMA_VERSION
+    #: How the payloads were obtained: ``"live"`` (default, a real guest
+    #: execution), ``"recorded:<digest12>"`` (live execution that also
+    #: captured a trace) or ``"replay:<digest12>"`` (no guest execution —
+    #: every tracer was driven from the named trace).  Serialized only when
+    #: not ``"live"`` so pre-trace envelopes keep their exact bytes.
+    provenance: str = "live"
     #: Live handles for in-process consumers; never serialized, never compared.
     artifacts: Optional[RunArtifacts] = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, Any]:
         """A deep, JSON-native copy of the envelope (artifacts excluded)."""
-        return {
+        data = {
             "schema_version": self.schema_version,
             "workload": self.workload,
             "fingerprint": self.fingerprint,
@@ -81,6 +90,9 @@ class RunResult:
             "clock_seconds": self.clock_seconds,
             "spec": copy.deepcopy(self.spec),
         }
+        if self.provenance != "live":
+            data["provenance"] = self.provenance
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
@@ -99,6 +111,7 @@ class RunResult:
             clock_seconds=data["clock_seconds"],
             spec=copy.deepcopy(data.get("spec", {})),
             schema_version=version,
+            provenance=data.get("provenance", "live"),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:

@@ -36,11 +36,19 @@ from ..ceres.dependence import DependenceAnalyzer, DependenceReport
 from ..ceres.lightweight import LightweightProfiler
 from ..ceres.loop_profiler import LoopProfiler
 from ..ceres.proxy import InstrumentingProxy, OriginServer
+from ..analysis.casestudy import pipeline_dropped_methods, pipeline_trace_mask
 from ..ceres.report import render_dependence, render_lightweight, render_loop_profiles
 from ..ceres.repository import RemotePublisher, ResultsRepository
-from ..engine.cache import ScriptCache, workload_fingerprint
+from ..engine.cache import ScriptCache, TraceStore, workload_fingerprint
 from ..engine.pipeline import AnalysisPipeline, PipelineResult
-from ..jsvm.hooks import HookBus
+from ..jsvm.hooks import (
+    HookBus,
+    ReplayClock,
+    Trace,
+    TraceMismatchError,
+    TraceRecorder,
+    TraceReplayer,
+)
 from .results import RunArtifacts, RunResult
 from .spec import (
     DEPENDENCE,
@@ -77,21 +85,26 @@ class AnalysisSession:
         cores: int = 8,
         coverage_target: float = 0.80,
         max_nests_per_app: int = 5,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.repository = repository if repository is not None else ResultsRepository()
         self.publisher = publisher if publisher is not None else RemotePublisher()
         self.script_cache = script_cache if script_cache is not None else ScriptCache()
-        self.pipeline = (
-            pipeline
-            if pipeline is not None
-            else AnalysisPipeline(
+        if pipeline is not None:
+            self.pipeline = pipeline
+            #: The session's trace store is always the pipeline's, so batch
+            #: recordings and ``RunSpec.record()/replay()`` share one cache.
+            self.trace_store = pipeline.trace_store
+        else:
+            self.trace_store = trace_store if trace_store is not None else TraceStore()
+            self.pipeline = AnalysisPipeline(
                 workers=workers,
                 script_cache=self.script_cache,
                 cores=cores,
                 coverage_target=coverage_target,
                 max_nests_per_app=max_nests_per_app,
+                trace_store=self.trace_store,
             )
-        )
         self.closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -121,14 +134,22 @@ class AnalysisSession:
         """Run ``workload`` once with the tracers named by ``spec``.
 
         All requested tracers attach to one hook bus and observe the same
-        single pass; an empty spec is the uninstrumented baseline.  Returns
-        the uniform :class:`~repro.api.results.RunResult` envelope.
+        single pass; an empty spec is the uninstrumented baseline.  With
+        ``spec.replay()`` the tracers are driven from a recorded trace
+        instead (no guest execution); with ``spec.record()`` the live run
+        also captures a trace into the session's store.  Returns the uniform
+        :class:`~repro.api.results.RunResult` envelope.
         """
         if self.closed:
             raise RuntimeError("AnalysisSession is closed")
         spec = spec if spec is not None else RunSpec.lightweight()
         workload = self.resolve_workload(workload)
+        if spec.trace_policy == "replay":
+            return self._run_replayed(workload, spec)
+        return self._run_live(workload, spec)
 
+    def _run_live(self, workload: Any, spec: RunSpec) -> RunResult:
+        """One live instrumented pass (optionally also recording a trace)."""
         # Steps 1-2 of Figure 5: host the documents, set up page + proxy.
         origin = OriginServer()
         origin.host_scripts(list(workload.scripts))
@@ -162,8 +183,22 @@ class AnalysisSession:
             analyzer = hooks.attach(
                 DependenceAnalyzer(registry=proxy.registry, focus_loop_id=focus_loop_id)
             )
+        recorder = None
+        if spec.trace_policy == "record":
+            # Record the pipeline's union mask (a superset of any composed
+            # spec), so the stored trace replays every future mode.
+            recorder = TraceRecorder(
+                mask=pipeline_trace_mask() | spec.combined_mask(),
+                workload=workload.name,
+                fingerprint=workload_fingerprint(workload),
+                ms_per_op=browser.clock.ms_per_op,
+                drop_methods=pipeline_dropped_methods(),
+            )
+            hooks.attach(recorder)
 
         # Step 4: execute the documents and exercise the application.
+        if recorder is not None:
+            recorder.mark_start(browser.clock)
         if lightweight is not None:
             lightweight.start(browser.clock)
         for document in intercepted:
@@ -172,13 +207,119 @@ class AnalysisSession:
         if lightweight is not None:
             lightweight.stop(browser.clock)
 
-        # Steps 5-6: gather payloads, render the report, commit and publish.
+        provenance = "live"
+        trace = None
+        if recorder is not None:
+            recorder.mark_end(browser.clock)
+            trace = self.trace_store.put(recorder.trace())
+            provenance = f"recorded:{trace.digest()[:12]}"
+
+        return self._finalize(
+            workload,
+            spec,
+            proxy,
+            end_ms=browser.clock.now(),
+            lightweight=lightweight,
+            gecko=gecko,
+            loop_profiler=loop_profiler,
+            analyzer=analyzer,
+            provenance=provenance,
+            trace=trace,
+        )
+
+    def _run_replayed(
+        self, workload: Any, spec: RunSpec, trace: Optional[Trace] = None
+    ) -> RunResult:
+        """Satisfy ``spec`` by replaying a recorded trace — no guest execution.
+
+        The proxy still intercepts (parses) the documents so the loop
+        registry, report rendering and results-repository commit are built
+        exactly as in a live run; only the *execution* is replaced by the
+        trace replay.
+        """
+        origin = OriginServer()
+        origin.host_scripts(list(workload.scripts))
+        proxy = InstrumentingProxy(
+            origin,
+            mode=spec.instrumentation_mode(),
+            repository=self.repository,
+            publisher=self.publisher,
+            script_cache=self.script_cache,
+        )
+        intercepted = [proxy.request(path) for path, _source in workload.scripts]
+        del intercepted  # parsed for the registry; never executed
+        focus_loop_id = self._resolve_focus(spec, proxy.registry, workload.name)
+
+        fingerprint = workload_fingerprint(workload)
+        if trace is not None:
+            if trace.fingerprint and trace.fingerprint != fingerprint:
+                raise TraceMismatchError(
+                    f"trace was recorded for workload {trace.workload!r} "
+                    f"(fingerprint {trace.fingerprint[:12]}...) but replay was "
+                    f"requested for {workload.name!r} (fingerprint {fingerprint[:12]}...)"
+                )
+        else:
+            trace = self.trace_store.find(fingerprint, spec.combined_mask())
+            if trace is None:
+                trace = self.record_trace(workload)
+
+        lightweight = gecko = loop_profiler = analyzer = None
+        tracers = []
+        if LIGHTWEIGHT in spec.tracers:
+            lightweight = LightweightProfiler()
+            tracers.append(lightweight)
+        if GECKO in spec.tracers:
+            gecko = GeckoProfiler()
+            tracers.append(gecko)
+        if LOOP_PROFILE in spec.tracers:
+            loop_profiler = LoopProfiler(registry=proxy.registry)
+            tracers.append(loop_profiler)
+        if DEPENDENCE in spec.tracers:
+            analyzer = DependenceAnalyzer(
+                registry=proxy.registry, focus_loop_id=focus_loop_id
+            )
+            tracers.append(analyzer)
+
+        replayer = TraceReplayer(trace)
+        if lightweight is not None:
+            lightweight.start(replayer.clock)  # clock sits at trace.start_ms
+        replayer.replay(tracers)
+        if lightweight is not None:
+            lightweight.stop(replayer.clock)  # clock sits at trace.end_ms
+
+        return self._finalize(
+            workload,
+            spec,
+            proxy,
+            end_ms=trace.end_ms,
+            lightweight=lightweight,
+            gecko=gecko,
+            loop_profiler=loop_profiler,
+            analyzer=analyzer,
+            provenance=f"replay:{trace.digest()[:12]}",
+            trace=trace,
+        )
+
+    def _finalize(
+        self,
+        workload: Any,
+        spec: RunSpec,
+        proxy: InstrumentingProxy,
+        end_ms: float,
+        lightweight,
+        gecko,
+        loop_profiler,
+        analyzer,
+        provenance: str,
+        trace: Optional[Trace],
+    ) -> RunResult:
+        """Steps 5-6: gather payloads, render the report, commit and publish."""
         payloads: Dict[str, Dict[str, Any]] = {}
         sections: List[str] = []
-        artifacts = RunArtifacts(registry=proxy.registry)
+        artifacts = RunArtifacts(registry=proxy.registry, trace=trace)
 
         if lightweight is not None:
-            result = lightweight.result(browser.clock)
+            result = lightweight.result(ReplayClock(end_ms))
             artifacts.lightweight_result = result
             payloads[LIGHTWEIGHT] = {
                 "total_ms": result.total_ms,
@@ -231,7 +372,7 @@ class AnalysisSession:
         suffix = spec.commit_suffix()
         if suffix is not None:
             commit_id = proxy.collect_results(
-                f"{workload.name}-{suffix}", report_text, browser.clock.now()
+                f"{workload.name}-{suffix}", report_text, end_ms
             )
 
         return RunResult(
@@ -241,10 +382,40 @@ class AnalysisSession:
             payloads=payloads,
             report_text=report_text,
             commit_id=commit_id,
-            clock_seconds=browser.clock.now() / 1000.0,
+            clock_seconds=end_ms / 1000.0,
             spec=spec.to_dict(),
+            provenance=provenance,
             artifacts=artifacts,
         )
+
+    # ----------------------------------------------------------------- traces
+    def record_trace(self, workload: Any, mask: Optional[int] = None) -> Trace:
+        """Execute ``workload`` once and store a trace covering ``mask``.
+
+        ``mask`` defaults to the pipeline's union event mask, so the stored
+        trace replays every shipped tracer (and every per-nest dependence
+        focus).  The trace lands in the session's
+        :class:`~repro.engine.cache.TraceStore` and is returned.
+        """
+        if self.closed:
+            raise RuntimeError("AnalysisSession is closed")
+        workload = self.resolve_workload(workload)
+        runner = self.pipeline.make_runner()
+        return runner.obtain_trace(workload, mask)
+
+    def replay_trace(self, trace: Trace, spec: Optional[RunSpec] = None) -> RunResult:
+        """Replay an explicit trace (e.g. loaded from disk) as a full run.
+
+        The trace's fingerprint must match the named workload's current
+        sources (:class:`~repro.jsvm.hooks.TraceMismatchError` otherwise), so
+        a stale trace can never silently masquerade as an analysis of newer
+        code.
+        """
+        if self.closed:
+            raise RuntimeError("AnalysisSession is closed")
+        spec = spec if spec is not None else RunSpec.lightweight()
+        workload = self.resolve_workload(trace.workload)
+        return self._run_replayed(workload, spec, trace=trace)
 
     # ----------------------------------------------------------- speculation
     def _run_speculation(self, workload, spec: RunSpec):

@@ -18,8 +18,12 @@ Specs compose with ``|``::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional
+
+#: Valid ``RunSpec.trace_policy`` values (``None`` = plain live run).
+TRACE_POLICIES = ("record", "replay")
 
 #: Tracer kind names (the strings used in ``RunSpec.tracers`` and in
 #: :attr:`~repro.api.results.RunResult.payloads` keys).
@@ -91,6 +95,11 @@ class RunSpec:
     speculate_workers: Optional[int] = None
     speculate_strategy: Optional[str] = None
     speculate_processes: bool = False
+    #: Trace policy: ``None`` runs live; ``"record"`` runs live *and*
+    #: captures a :class:`~repro.jsvm.hooks.Trace` into the session's store;
+    #: ``"replay"`` drives the tracers from a stored (or freshly recorded)
+    #: trace with **no** guest execution.  See :meth:`record` / :meth:`replay`.
+    trace_policy: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tracers", frozenset(self.tracers))
@@ -120,6 +129,17 @@ class RunSpec:
                 f"unknown speculation strategy {self.speculate_strategy!r}; "
                 "known: 'block', 'cyclic'"
             )
+        if self.trace_policy is not None:
+            if self.trace_policy not in TRACE_POLICIES:
+                raise ValueError(
+                    f"unknown trace policy {self.trace_policy!r}; "
+                    f"known: {list(TRACE_POLICIES)} (or None for a live run)"
+                )
+            if not (self.tracers - {SPECULATE}):
+                raise ValueError(
+                    f"trace_policy={self.trace_policy!r} requires at least one "
+                    f"bus tracer (got tracers={sorted(self.tracers)})"
+                )
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -189,6 +209,33 @@ class RunSpec:
             publish=publish,
         )
 
+    # ------------------------------------------------------------ trace policy
+    def record(self) -> "RunSpec":
+        """A copy of this spec that also captures a trace during the live run.
+
+        The session stores the recorded trace in its
+        :class:`~repro.engine.cache.TraceStore` (keyed by workload
+        fingerprint) and attaches it to ``result.artifacts.trace``; later
+        ``replay()`` runs of any tracer subset are then free of guest
+        execution.
+        """
+        return dataclasses.replace(self, trace_policy="record")
+
+    def replay(self) -> "RunSpec":
+        """A copy of this spec whose tracers replay a recorded trace.
+
+        The session looks up a stored trace covering this spec's event mask
+        for the workload's fingerprint, recording one first if none exists,
+        and drives the tracers from it — payloads and report text are
+        byte-identical to a live run.  The ``speculate`` mode is not a bus
+        tracer and still executes (its whole point is re-execution).
+        """
+        return dataclasses.replace(self, trace_policy="replay")
+
+    def live(self) -> "RunSpec":
+        """A copy of this spec with the default live-execution policy."""
+        return dataclasses.replace(self, trace_policy=None)
+
     # ------------------------------------------------------------- composition
     def __or__(self, other: "RunSpec") -> "RunSpec":
         """Merge two specs into one single-pass run.
@@ -216,6 +263,7 @@ class RunSpec:
                 self.speculate_strategy, other.speculate_strategy, "speculate_strategy"
             ),
             speculate_processes=self.speculate_processes or other.speculate_processes,
+            trace_policy=merge(self.trace_policy, other.trace_policy, "trace_policy"),
         )
 
     # ------------------------------------------------------------------ masks
@@ -286,7 +334,7 @@ class RunSpec:
 
     # ------------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data = {
             "tracers": sorted(self.tracers),
             "focus_line": self.focus_line,
             "focus_loop_id": self.focus_loop_id,
@@ -295,6 +343,10 @@ class RunSpec:
             "speculate_strategy": self.speculate_strategy,
             "speculate_processes": self.speculate_processes,
         }
+        # Serialized only when set, so pre-trace envelopes keep their bytes.
+        if self.trace_policy is not None:
+            data["trace_policy"] = self.trace_policy
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunSpec":
@@ -306,4 +358,5 @@ class RunSpec:
             speculate_workers=data.get("speculate_workers"),
             speculate_strategy=data.get("speculate_strategy"),
             speculate_processes=bool(data.get("speculate_processes", False)),
+            trace_policy=data.get("trace_policy"),
         )

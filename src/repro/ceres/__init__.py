@@ -4,6 +4,12 @@ This package is the reproduction of the paper's primary contribution
 (Section 3): a proxy-based tool with three instrumentation modes —
 lightweight profiling, loop profiling, and dependence analysis — plus the
 report/publication pipeline.
+
+The deprecated ``JSCeres`` facade (and its ``LightweightRun`` /
+``LoopProfileRun`` / ``DependenceRun`` result dataclasses) was removed after
+its promised two-PR compatibility window: use
+:class:`repro.api.AnalysisSession` with :class:`repro.api.RunSpec` instead
+(see the migration table in the README).
 """
 
 from .dependence import AccessPattern, DependenceAnalyzer, DependenceReport
@@ -20,7 +26,6 @@ from .proxy import (
 )
 from .report import render_dependence, render_lightweight, render_loop_profiles, render_summary_table
 from .repository import Commit, RemotePublisher, ResultsRepository
-from .tool import DependenceRun, JSCeres, LightweightRun, LoopProfileRun
 from .warnings_ import DependenceWarning, RecursionWarning, WarningKind
 from .welford import OnlineStats
 
@@ -54,10 +59,6 @@ __all__ = [
     "Commit",
     "RemotePublisher",
     "ResultsRepository",
-    "DependenceRun",
-    "JSCeres",
-    "LightweightRun",
-    "LoopProfileRun",
     "DependenceWarning",
     "RecursionWarning",
     "WarningKind",

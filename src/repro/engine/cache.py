@@ -14,10 +14,12 @@ pipeline stages and modes.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Tuple
+import threading
+from typing import Dict, List, Optional, Tuple
 
 from ..ceres.ids import ProgramIndex
 from ..jsvm import ast_nodes as ast
+from ..jsvm.hooks import Trace
 from ..jsvm.parser import parse
 
 
@@ -66,3 +68,64 @@ class ScriptCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class TraceStore:
+    """Content-hash-keyed store of recorded event traces.
+
+    Traces are keyed by the workload *fingerprint* (the content hash of its
+    name and exact sources, :func:`workload_fingerprint`) and looked up by
+    required event mask: a stored trace serves any request whose mask is a
+    **subset** of its recorded mask, because per-event-class streams are
+    mask-independent (see :mod:`repro.jsvm.hooks`).  This is what turns the
+    staged pipeline's ~4N instrumented executions into "record once per
+    (fingerprint, mask superset), replay per stage".
+    """
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, List[Trace]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def find(self, fingerprint: str, required_mask: int) -> Optional[Trace]:
+        """A stored trace covering ``required_mask``, or ``None``.
+
+        Among covering traces the one with the fewest extra event classes is
+        preferred (replay cost scales with record count).
+        """
+        with self._lock:
+            candidates = [
+                trace
+                for trace in self._traces.get(fingerprint, ())
+                if trace.covers(required_mask)
+            ]
+            if not candidates:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return min(candidates, key=lambda trace: bin(trace.mask).count("1"))
+
+    def put(self, trace: Trace) -> Trace:
+        """Store ``trace``, dropping stored traces it strictly covers."""
+        with self._lock:
+            kept = [
+                existing
+                for existing in self._traces.get(trace.fingerprint, [])
+                if not trace.covers(existing.mask)
+            ]
+            kept.append(trace)
+            self._traces[trace.fingerprint] = kept
+        return trace
+
+    def traces_for(self, fingerprint: str) -> List[Trace]:
+        with self._lock:
+            return list(self._traces.get(fingerprint, ()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(traces) for traces in self._traces.values())

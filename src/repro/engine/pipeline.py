@@ -12,7 +12,9 @@
 Workloads are independent by construction (each analysis run uses a fresh
 browser session and virtual clock), so fan-out cannot change results — the
 pipeline ships workload *names* to forked workers and reassembles the
-analyses in request order.
+analyses in request order.  When the pipeline's :class:`TraceStore` already
+holds a trace for a workload, that (plain-data, picklable) trace ships with
+the payload and the worker replays it instead of re-executing the guest.
 """
 
 from __future__ import annotations
@@ -21,10 +23,10 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.casestudy import ApplicationAnalysis, CaseStudyRunner
+from ..analysis.casestudy import ApplicationAnalysis, CaseStudyRunner, pipeline_trace_mask
 from ..analysis.tables import CaseStudyTables, build_tables
-from .cache import ScriptCache
-from .stages import run_stages
+from .cache import ScriptCache, TraceStore, workload_fingerprint
+from .stages import run_stages, trace_replay_enabled
 
 #: Environment knob for the fan-out width (``1`` forces serial execution).
 WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
@@ -58,11 +60,22 @@ def resolve_worker_count(workers: Optional[int], task_count: int) -> int:
 
 
 def _analyze_in_worker(payload) -> ApplicationAnalysis:
-    """Fan-out entry point: analyze one workload by name in a fresh process."""
-    name, runner_kwargs = payload
+    """Fan-out entry point: analyze one workload by name in a fresh process.
+
+    ``trace`` is an optional pre-recorded :class:`~repro.jsvm.hooks.Trace`
+    shipped from the parent's store; when present the worker seeds its own
+    store with it and the replay-backed stages run without any guest
+    execution in the worker.
+    """
+    name, runner_kwargs, trace = payload
     from ..workloads import get_workload
 
-    runner = CaseStudyRunner(script_cache=ScriptCache(), **runner_kwargs)
+    trace_store = TraceStore()
+    if trace is not None:
+        trace_store.put(trace)
+    runner = CaseStudyRunner(
+        script_cache=ScriptCache(), trace_store=trace_store, **runner_kwargs
+    )
     return run_stages(runner, get_workload(name))
 
 
@@ -77,6 +90,9 @@ class AnalysisPipeline:
         runs serially in-process.
     script_cache:
         Shared source→AST cache; a fresh one is created if omitted.
+    trace_store:
+        Shared store of recorded event traces (record-once / replay-many);
+        a fresh one is created if omitted.
     cores / coverage_target / max_nests_per_app:
         Passed through to the :class:`CaseStudyRunner` the pipeline creates.
     """
@@ -88,9 +104,11 @@ class AnalysisPipeline:
         cores: int = 8,
         coverage_target: float = 0.80,
         max_nests_per_app: int = 5,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.workers = workers
         self.script_cache = script_cache if script_cache is not None else ScriptCache()
+        self.trace_store = trace_store if trace_store is not None else TraceStore()
         self._runner_kwargs = {
             "cores": cores,
             "coverage_target": coverage_target,
@@ -133,8 +151,12 @@ class AnalysisPipeline:
 
     # ------------------------------------------------------------------ units
     def make_runner(self) -> CaseStudyRunner:
-        """A runner wired to this pipeline's shared script cache."""
-        return CaseStudyRunner(script_cache=self.script_cache, **self._runner_kwargs)
+        """A runner wired to this pipeline's shared script and trace caches."""
+        return CaseStudyRunner(
+            script_cache=self.script_cache,
+            trace_store=self.trace_store,
+            **self._runner_kwargs,
+        )
 
     def analyze(self, workload) -> ApplicationAnalysis:
         """Run the four-stage schedule for a single workload, in process."""
@@ -205,7 +227,16 @@ class AnalysisPipeline:
         import multiprocessing
         import pickle
 
-        payloads = [(workload.name, self._runner_kwargs) for workload in workloads]
+        replay = trace_replay_enabled()
+        mask = pipeline_trace_mask()
+        payloads = []
+        for workload in workloads:
+            trace = (
+                self.trace_store.find(workload_fingerprint(workload), mask)
+                if replay
+                else None
+            )
+            payloads.append((workload.name, self._runner_kwargs, trace))
         try:
             context = multiprocessing.get_context("fork")
             pool = context.Pool(processes=workers)

@@ -11,17 +11,63 @@ dictionary, executed by :func:`run_stages` (and therefore by the
 The stages call back into :class:`~repro.analysis.casestudy.CaseStudyRunner`
 for the actual measurement steps, so the methodology itself lives in one
 place and this module only owns the scheduling.
+
+Record-once / replay-many
+-------------------------
+
+By default the schedule opens with a ``record`` stage that executes the
+workload **once** under the union event mask of every downstream analysis
+(see :func:`~repro.analysis.casestudy.pipeline_trace_mask`) and stores the
+resulting :class:`~repro.jsvm.hooks.Trace`.  Every later stage — lightweight
+profiling, loop profiling, and each per-nest dependence analysis — then
+*replays* the trace instead of re-executing guest code, which turns the
+staged 4×N-execution pipeline into N recordings plus cheap replays while
+producing byte-identical tables (tracers are clock-neutral and event streams
+are mask-independent).  Set ``REPRO_TRACE_REPLAY=0`` to restore the legacy
+one-execution-per-stage schedule; ``REPRO_FORCE_TRACE_REPLAY=1`` makes any
+silent fallback to live execution an error (the CI tier job uses this).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..analysis.amdahl import bound_for_application
-from ..analysis.casestudy import ApplicationAnalysis
+from ..analysis.casestudy import ApplicationAnalysis, pipeline_trace_mask
 
 StageState = Dict[str, Any]
+
+#: Forces replay-backed stages on and turns live-execution fallbacks in the
+#: replayed stages into hard errors.
+FORCE_TRACE_REPLAY_ENV_VAR = "REPRO_FORCE_TRACE_REPLAY"
+
+#: ``0`` disables the replay-backed schedule (legacy staged re-execution).
+TRACE_REPLAY_ENV_VAR = "REPRO_TRACE_REPLAY"
+
+
+def trace_replay_forced() -> bool:
+    """True when the environment demands replay-backed stages (no fallback)."""
+    return os.environ.get(FORCE_TRACE_REPLAY_ENV_VAR) == "1"
+
+
+def trace_replay_enabled() -> bool:
+    """Whether the schedule records once and replays per stage (the default)."""
+    if trace_replay_forced():
+        return True
+    return os.environ.get(TRACE_REPLAY_ENV_VAR, "1") != "0"
+
+
+def _state_trace(state: StageState, stage_name: str):
+    """The recorded trace for this workload, honouring the force flag."""
+    trace = state.get("trace")
+    if trace is None and trace_replay_forced():
+        raise RuntimeError(
+            f"{FORCE_TRACE_REPLAY_ENV_VAR}=1 but stage {stage_name!r} has no "
+            "recorded trace (the 'record' stage did not run)"
+        )
+    return trace
 
 
 @dataclass(frozen=True)
@@ -36,14 +82,30 @@ class Stage:
         return self.name
 
 
+def _stage_record(runner, workload, state: StageState) -> None:
+    """Step 0: the single instrumented execution — record the union trace."""
+    state["trace"] = runner.obtain_trace(workload, pipeline_trace_mask())
+    state["registry"] = runner.registry_for(workload)
+
+
 def _stage_profile(runner, workload, state: StageState) -> None:
     """Step 1: lightweight profiling + sampling profiler (Table 2 row)."""
-    state["table2"] = runner.measure_runtime(workload)
+    trace = _state_trace(state, "profile")
+    if trace is None:
+        state["table2"] = runner.measure_runtime(workload)
+    else:
+        state["table2"] = runner.measure_runtime_from_trace(workload, trace)
 
 
 def _stage_loop_profile(runner, workload, state: StageState) -> None:
     """Step 2: loop profiling + nest observation; select the hot nests."""
-    _proxy, profiler, observer = runner.profile_loops(workload)
+    trace = _state_trace(state, "loop-profile")
+    if trace is None:
+        _proxy, profiler, observer = runner.profile_loops(workload)
+    else:
+        _registry, profiler, observer = runner.profile_loops_from_trace(
+            workload, trace, registry=state.get("registry")
+        )
     state["profiler"] = profiler
     state["observer"] = observer
     state["hot"] = runner.select_hot_nests(profiler, observer)
@@ -59,17 +121,43 @@ def _stage_dependence(runner, workload, state: StageState) -> None:
     profiler = state["profiler"]
     observer = state["observer"]
     total_nest_time = state["total_nest_time"]
-    nests = []
+    trace = _state_trace(state, "dependence")
+    items = []
     for profile in state["hot"]:
         observation = observer.observations.get(profile.loop_id)
         if observation is None:
             continue
         fraction = profile.total_time_ms / total_nest_time if total_nest_time > 0 else 0.0
-        nest = runner.analyze_nest(workload, profile, observation, fraction)
+        items.append((profile, observation, fraction))
+
+    if trace is None:
+        analyze = runner.analyze_nest
+        primary = [
+            analyze(workload, profile, observation, fraction)
+            for profile, observation, fraction in items
+        ]
+    else:
+        registry = state.get("registry")
+        if registry is None:
+            registry = runner.registry_for(workload)
+
+        def analyze(workload, profile, observation, fraction):
+            return runner.analyze_nest_from_trace(
+                workload, trace, registry, profile, observation, fraction
+            )
+
+        # All hot nests share one pass over the trace (one focused analyzer
+        # each); only inner-loop refinements below replay again.
+        primary = runner.analyze_nests_from_trace(workload, trace, registry, items)
+
+    nests = []
+    for nest, (profile, observation, fraction) in zip(primary, items):
         # "In a few cases the parallelizable loop is not the outer loop of
         # a nest" — when the outer loop barely iterates, re-focus on the
         # heaviest inner loop and report that instead (fluidSim, Cloth).
-        nest = runner._maybe_use_inner_loop(workload, nest, profiler, observation, fraction)
+        nest = runner._maybe_use_inner_loop(
+            workload, nest, profiler, observation, fraction, analyze=analyze
+        )
         nests.append(nest)
     state["nests"] = nests
 
@@ -93,17 +181,31 @@ def _stage_parallel_model(runner, workload, state: StageState) -> None:
     state["analysis"] = analysis
 
 
-_DEFAULT_STAGES: Tuple[Stage, ...] = (
+_RECORD_STAGE = Stage(
+    "record", "single instrumented execution -> union event trace", _stage_record
+)
+
+_ANALYSIS_STAGES: Tuple[Stage, ...] = (
     Stage("profile", "lightweight profiling + sampling (Table 2 row)", _stage_profile),
     Stage("loop-profile", "per-loop statistics + hot-nest selection", _stage_loop_profile),
     Stage("dependence", "focused dependence analysis per hot nest", _stage_dependence),
     Stage("parallel-model", "difficulty rubric + Amdahl speedup bound", _stage_parallel_model),
 )
 
+_DEFAULT_STAGES: Tuple[Stage, ...] = (_RECORD_STAGE,) + _ANALYSIS_STAGES
+
+#: The legacy schedule: every stage re-executes the workload live.
+_LIVE_STAGES: Tuple[Stage, ...] = _ANALYSIS_STAGES
+
 
 def default_stages() -> Tuple[Stage, ...]:
-    """The canonical four-stage schedule (profile → loops → deps → model)."""
-    return _DEFAULT_STAGES
+    """The canonical schedule (record → profile → loops → deps → model).
+
+    Honours :func:`trace_replay_enabled`: with replay disabled the record
+    stage is dropped and every analysis stage falls back to its live
+    one-execution-per-stage behaviour.
+    """
+    return _DEFAULT_STAGES if trace_replay_enabled() else _LIVE_STAGES
 
 
 def speculation_stage(executor) -> Stage:
@@ -131,6 +233,6 @@ def run_stages(
 ) -> ApplicationAnalysis:
     """Run the stage schedule for one workload and return its analysis."""
     state = state if state is not None else {}
-    for stage in stages if stages is not None else _DEFAULT_STAGES:
+    for stage in stages if stages is not None else default_stages():
         stage.run(runner, workload, state)
     return state["analysis"]

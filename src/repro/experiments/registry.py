@@ -7,18 +7,16 @@ case-study pipeline (caching, AST sharing, fan-out across workloads):
 :func:`build_registry` takes the session explicitly; when none is given, a
 process-wide default session is created lazily behind a lock.
 
-``run_case_study`` remains as a deprecated shim over the default session so
-seed-era callers keep working.
+The seed-era ``run_case_study`` shim was removed after its two-PR
+compatibility window (use :meth:`repro.api.AnalysisSession.case_study`).
 """
 
 from __future__ import annotations
 
 import threading
-import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict
 
-from ..analysis import CaseStudyRunner
 from ..ceres.report import render_summary_table
 from ..engine.pipeline import PipelineResult as CaseStudyResults
 from ..parallel import model_application_speedup
@@ -32,9 +30,8 @@ from ..survey import (
 )
 
 #: Process-wide fallback session for callers that do not manage their own
-#: (the deprecated ``run_case_study`` path and ``build_registry()`` with no
-#: argument).  Creation is guarded by a lock: the seed's lazy module global
-#: had a check-then-set race under threads.
+#: (``build_registry()`` with no argument).  Creation is guarded by a lock:
+#: the seed's lazy module global had a check-then-set race under threads.
 _DEFAULT_SESSION = None
 _DEFAULT_SESSION_LOCK = threading.Lock()
 
@@ -56,21 +53,6 @@ def default_session():
 def get_default_pipeline():
     """The shared pipeline behind the fallback session (thread-safe)."""
     return default_session().pipeline
-
-
-def run_case_study(
-    workload_names: Optional[List[str]] = None,
-    force: bool = False,
-    runner: Optional[CaseStudyRunner] = None,
-) -> CaseStudyResults:
-    """Deprecated: use :meth:`AnalysisSession.case_study` instead."""
-    warnings.warn(
-        "repro.experiments.run_case_study is deprecated; use "
-        "repro.api.AnalysisSession.case_study instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return default_session().case_study(workload_names, force=force, runner=runner)
 
 
 @dataclass

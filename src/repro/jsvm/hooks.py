@@ -22,11 +22,44 @@ the result into every bound interpreter (``interp.trace_mask``).  The
 interpreter's compiled code consults that single integer once per construct,
 so a run with zero tracers never builds event arguments or enters the bus at
 all — the "minimal discernible impact" baseline of Sections 3.1/3.2.
+
+Trace records (record-once / replay-many)
+-----------------------------------------
+
+The second half of this module decouples event *emission* from event
+*analysis*: a :class:`TraceRecorder` is a tracer that captures every event of
+a requested mask as one flat, typed tuple (interned node / name / object /
+environment ids plus the virtual-clock stamp) into a versioned
+:class:`Trace`, and a :class:`TraceReplayer` drives any ordinary
+:class:`Tracer` from such a stream — producing payloads byte-identical to a
+live run without re-executing the guest program.  Two invariants make this
+sound, both established (and tested) in earlier PRs:
+
+* tracers are **clock-neutral** — the virtual clock advances per interpreted
+  operation regardless of the subscriber mask, so the stamps recorded under
+  the union mask are exactly what any tracer subset would have observed live;
+* per-event-class streams are **mask-independent** — enabling one event class
+  never changes the content of another class's events, so a trace recorded
+  with mask ``M`` replays any tracer whose mask is a subset of ``M``.
+
+Schema version 1 deliberately elides guest *values* (the ``value`` argument
+of write events): no shipped tracer consumes them, and eliding them keeps
+records flat and serializable.  A recording may additionally *drop* whole
+hook methods nobody will replay (e.g. ``on_var_read`` — every shipped tracer
+subscribes to ``EV_VAR`` for the writes); the dropped method names are part
+of the trace, and replay refuses a tracer that overrides one of them instead
+of silently starving it.  Bump :data:`TRACE_SCHEMA_VERSION` if a future
+revision changes record shapes or starts carrying values.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+import gzip
+import hashlib
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 # -- event mask bits ----------------------------------------------------------
 EV_LOOP = 1 << 0  #: loop enter / iteration / exit
@@ -103,6 +136,15 @@ class Tracer:
             if getattr(cls, method_name) is not getattr(Tracer, method_name):
                 mask |= bit
         return mask
+
+    def subscribed_events(self) -> int:
+        """The mask *this instance* subscribes to.
+
+        Defaults to the class-level :meth:`declared_events`;
+        :class:`TraceRecorder` overrides it because its mask is a per-instance
+        recording request, not a property of the class.
+        """
+        return type(self).declared_events()
 
     # -- loops ---------------------------------------------------------------
     def on_loop_enter(self, interp: Any, node: Any) -> None:
@@ -202,7 +244,7 @@ class HookBus:
     def _refresh_flags(self) -> None:
         mask = 0
         for tracer in self.tracers:
-            mask |= type(tracer).declared_events()
+            mask |= tracer.subscribed_events()
         self.mask = mask
         self.wants_loops = bool(mask & EV_LOOP)
         self.wants_functions = bool(mask & EV_FUNCTION)
@@ -282,3 +324,1168 @@ class HookBus:
     def recursion_warning(self, interp, node) -> None:
         for tracer in self.tracers:
             tracer.on_recursion_warning(interp, node)
+
+
+# ===========================================================================
+# Trace-record schema (version 1)
+# ===========================================================================
+
+#: Version stamp of the trace-record schema; bump on any change to record
+#: shapes, intern-table layouts or serialization.
+TRACE_SCHEMA_VERSION = 1
+
+#: Magic ``format`` marker of serialized traces.
+TRACE_FORMAT = "repro-trace"
+
+# -- record opcodes (first element of every flat event tuple) ---------------
+TR_LOOP_ENTER = 0  #: (op, clock_ms, node)
+TR_LOOP_ITER = 1  #: (op, clock_ms, node, iteration)
+TR_LOOP_EXIT = 2  #: (op, clock_ms, node, trip_count)
+TR_FUNC_ENTER = 3  #: (op, clock_ms, obj, call_node)
+TR_FUNC_EXIT = 4  #: (op, clock_ms, obj)
+TR_ENV_CREATED = 5  #: (op, clock_ms, env, kind_str)
+TR_VAR_WRITE = 6  #: (op, clock_ms, name_str, env, node)
+TR_VAR_READ = 7  #: (op, clock_ms, name_str, env, node)
+TR_OBJ_CREATED = 8  #: (op, clock_ms, obj, node)
+TR_PROP_WRITE = 9  #: (op, clock_ms, obj, name_str, node)
+TR_PROP_READ = 10  #: (op, clock_ms, obj, name_str, node)
+TR_BRANCH = 11  #: (op, clock_ms, node, taken)
+TR_HOST = 12  #: (op, clock_ms, category_str, detail_str, node)
+TR_STATEMENT = 13  #: (op, clock_ms, node)
+TR_RECURSION = 14  #: (op, clock_ms, node)
+
+#: opcode -> the ``EV_*`` class it belongs to.
+TRACE_OP_EVENTS = {
+    TR_LOOP_ENTER: EV_LOOP,
+    TR_LOOP_ITER: EV_LOOP,
+    TR_LOOP_EXIT: EV_LOOP,
+    TR_FUNC_ENTER: EV_FUNCTION,
+    TR_FUNC_EXIT: EV_FUNCTION,
+    TR_ENV_CREATED: EV_ENV,
+    TR_VAR_WRITE: EV_VAR,
+    TR_VAR_READ: EV_VAR,
+    TR_OBJ_CREATED: EV_OBJECT,
+    TR_PROP_WRITE: EV_PROP,
+    TR_PROP_READ: EV_PROP,
+    TR_BRANCH: EV_BRANCH,
+    TR_HOST: EV_HOST,
+    TR_STATEMENT: EV_STATEMENT,
+    TR_RECURSION: EV_RECURSION,
+}
+
+#: opcode -> short human name (``trace info`` and diagnostics).
+TRACE_OP_NAMES = {
+    TR_LOOP_ENTER: "loop_enter",
+    TR_LOOP_ITER: "loop_iteration",
+    TR_LOOP_EXIT: "loop_exit",
+    TR_FUNC_ENTER: "function_enter",
+    TR_FUNC_EXIT: "function_exit",
+    TR_ENV_CREATED: "env_created",
+    TR_VAR_WRITE: "var_write",
+    TR_VAR_READ: "var_read",
+    TR_OBJ_CREATED: "object_created",
+    TR_PROP_WRITE: "prop_write",
+    TR_PROP_READ: "prop_read",
+    TR_BRANCH: "branch",
+    TR_HOST: "host_access",
+    TR_STATEMENT: "statement",
+    TR_RECURSION: "recursion_warning",
+}
+
+#: ``EV_*`` bit -> name, for rendering masks.
+EVENT_BIT_NAMES = {
+    EV_LOOP: "loop",
+    EV_FUNCTION: "function",
+    EV_VAR: "var",
+    EV_PROP: "prop",
+    EV_OBJECT: "object",
+    EV_ENV: "env",
+    EV_BRANCH: "branch",
+    EV_HOST: "host",
+    EV_STATEMENT: "statement",
+    EV_RECURSION: "recursion",
+}
+
+
+def describe_mask(mask: int) -> str:
+    """Render an event mask as ``loop|var|prop`` (``-`` for the empty mask)."""
+    names = [name for bit, name in EVENT_BIT_NAMES.items() if mask & bit]
+    return "|".join(names) if names else "-"
+
+
+#: opcode -> the hook-method name whose records it carries.
+TRACE_OP_METHODS = {
+    TR_LOOP_ENTER: "on_loop_enter",
+    TR_LOOP_ITER: "on_loop_iteration",
+    TR_LOOP_EXIT: "on_loop_exit",
+    TR_FUNC_ENTER: "on_function_enter",
+    TR_FUNC_EXIT: "on_function_exit",
+    TR_ENV_CREATED: "on_env_created",
+    TR_VAR_WRITE: "on_var_write",
+    TR_VAR_READ: "on_var_read",
+    TR_OBJ_CREATED: "on_object_created",
+    TR_PROP_WRITE: "on_prop_write",
+    TR_PROP_READ: "on_prop_read",
+    TR_BRANCH: "on_branch",
+    TR_HOST: "on_host_access",
+    TR_STATEMENT: "on_statement",
+    TR_RECURSION: "on_recursion_warning",
+}
+
+
+def unhandled_hook_methods(tracer_classes) -> tuple:
+    """Hook-method names that none of ``tracer_classes`` overrides.
+
+    A recording destined only for these classes can drop those methods'
+    records (``TraceRecorder(drop_methods=...)``): the replayer would have
+    dispatched them to base-class no-ops anyway, and the drop is declared in
+    the trace so replaying any *other* tracer stays safe.
+    """
+    dropped = []
+    for method_name in _METHOD_EVENTS:
+        if not any(
+            getattr(cls, method_name) is not getattr(Tracer, method_name)
+            for cls in tracer_classes
+        ):
+            dropped.append(method_name)
+    return tuple(sorted(dropped))
+
+
+# -- object-intern kinds -----------------------------------------------------
+_OBJ_PLAIN = 0  #: a guest ``JSObject`` (including subclass instances)
+_OBJ_ARRAY = 1  #: a guest ``JSArray``
+_OBJ_CALLABLE = 2  #: a guest function (``JSFunction`` / ``NativeFunction``)
+_OBJ_OPAQUE = 3  #: defensive: a non-JSObject event payload
+
+
+class TraceError(Exception):
+    """Base class for trace-layer failures."""
+
+
+class TraceFormatError(TraceError):
+    """The serialized trace is truncated, corrupt, or not a trace at all."""
+
+
+class TraceVersionError(TraceError):
+    """The trace was recorded with an unsupported schema version."""
+
+
+class TraceMaskError(TraceError):
+    """The trace's recorded mask does not cover the requested tracers."""
+
+
+class TraceMismatchError(TraceError):
+    """The trace belongs to a different workload (fingerprint mismatch)."""
+
+
+@dataclass
+class Trace:
+    """One recorded event stream plus its intern tables and provenance.
+
+    Everything in here is JSON-native (ints, floats, strings, flat lists), so
+    a trace can be pickled to a fan-out worker, written to disk, or shipped to
+    another machine, and replayed there without the guest program.
+    """
+
+    mask: int
+    workload: str = ""
+    fingerprint: str = ""
+    ms_per_op: float = 0.02
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+    version: int = TRACE_SCHEMA_VERSION
+    #: Interned strings (names, property keys, env kinds, host categories).
+    strings: List[str] = field(default_factory=list)
+    #: Interned AST nodes: ``[node_id, line, kind_string_index]`` per entry.
+    nodes: List[List[int]] = field(default_factory=list)
+    #: Interned guest objects: ``[kind, class_name_index, creation_site,
+    #: name_index]`` per entry (``name_index`` is -1 for non-callables).
+    objects: List[List[int]] = field(default_factory=list)
+    #: Number of distinct environment frames observed (environments carry no
+    #: replay-relevant state beyond identity).
+    env_count: int = 0
+    #: Hook-method names whose records were deliberately not captured (the
+    #: recording was destined for tracers that never override them).  Replay
+    #: refuses a tracer overriding any of these.
+    dropped: tuple = ()
+    #: The flat event records, in emission order.
+    events: List[tuple] = field(default_factory=list)
+
+    # ------------------------------------------------------------- identity
+    def digest(self) -> str:
+        """Stable content hash of the full trace (schema + tables + events).
+
+        Traces are immutable once recorded, so the hash (an O(events) pass)
+        is computed once and cached.
+        """
+        cached = getattr(self, "_digest_cache", None)
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+        hasher.update(
+            f"{self.version}\x00{self.mask}\x00{self.workload}\x00{self.fingerprint}"
+            f"\x00{self.ms_per_op!r}\x00{self.start_ms!r}\x00{self.end_ms!r}"
+            f"\x00{self.env_count}\x00{','.join(self.dropped)}".encode("utf-8")
+        )
+        for string in self.strings:
+            hasher.update(b"\x00s")
+            hasher.update(string.encode("utf-8"))
+        for table in (self.nodes, self.objects):
+            for entry in table:
+                hasher.update(("\x00t" + ",".join(map(repr, entry))).encode("utf-8"))
+        for record in self.events:
+            hasher.update(("\x00e" + ",".join(map(repr, record))).encode("utf-8"))
+        self._digest_cache = hasher.hexdigest()
+        return self._digest_cache
+
+    def event_counts(self) -> Dict[str, int]:
+        """Record count per event name (``trace info``)."""
+        counts: Dict[str, int] = {}
+        for record in self.events:
+            name = TRACE_OP_NAMES.get(record[0], f"op{record[0]}")
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def covers(self, required_mask: int) -> bool:
+        """True when this trace can replay tracers needing ``required_mask``."""
+        return not (required_mask & ~self.mask)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT,
+            "version": self.version,
+            "mask": self.mask,
+            "workload": self.workload,
+            "fingerprint": self.fingerprint,
+            "ms_per_op": self.ms_per_op,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "env_count": self.env_count,
+            "dropped": list(self.dropped),
+            "strings": list(self.strings),
+            "nodes": [list(entry) for entry in self.nodes],
+            "objects": [list(entry) for entry in self.objects],
+            "events": [list(record) for record in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "Trace":
+        if not isinstance(data, dict) or data.get("format") != TRACE_FORMAT:
+            raise TraceFormatError(
+                "not a repro trace (missing the 'format': 'repro-trace' marker)"
+            )
+        version = data.get("version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise TraceVersionError(
+                f"unsupported trace schema version {version!r} "
+                f"(this build reads version {TRACE_SCHEMA_VERSION})"
+            )
+        try:
+            trace = cls(
+                mask=int(data["mask"]),
+                workload=str(data["workload"]),
+                fingerprint=str(data["fingerprint"]),
+                ms_per_op=float(data["ms_per_op"]),
+                start_ms=float(data["start_ms"]),
+                end_ms=float(data["end_ms"]),
+                env_count=int(data["env_count"]),
+                dropped=tuple(data.get("dropped", ())),
+                strings=list(data["strings"]),
+                nodes=[list(entry) for entry in data["nodes"]],
+                objects=[list(entry) for entry in data["objects"]],
+                events=[tuple(record) for record in data["events"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed trace payload: {exc}") from exc
+        trace.validate_events()
+        return trace
+
+    #: opcode -> (arity, positions of node indexes (may be -1), positions of
+    #: object indexes, positions of env indexes, positions of string indexes).
+    _RECORD_LAYOUT = {
+        TR_LOOP_ENTER: (3, (2,), (), (), ()),
+        TR_LOOP_ITER: (4, (2,), (), (), ()),
+        TR_LOOP_EXIT: (4, (2,), (), (), ()),
+        TR_FUNC_ENTER: (4, (3,), (2,), (), ()),
+        TR_FUNC_EXIT: (3, (), (2,), (), ()),
+        TR_ENV_CREATED: (4, (), (), (2,), (3,)),
+        TR_VAR_WRITE: (5, (4,), (), (3,), (2,)),
+        TR_VAR_READ: (5, (4,), (), (3,), (2,)),
+        TR_OBJ_CREATED: (4, (3,), (2,), (), ()),
+        TR_PROP_WRITE: (5, (4,), (2,), (), (3,)),
+        TR_PROP_READ: (5, (4,), (2,), (), (3,)),
+        TR_BRANCH: (4, (2,), (), (), ()),
+        TR_HOST: (5, (4,), (), (), (2, 3)),
+        TR_STATEMENT: (3, (2,), (), (), ()),
+        TR_RECURSION: (3, (2,), (), (), ()),
+    }
+
+    def validate_events(self) -> None:
+        """Check every record's shape and intern-table indexes.
+
+        A corrupt or hand-edited trace must fail loudly here — out-of-range
+        indexes would otherwise surface as bare ``IndexError`` mid-replay,
+        and *negative* indexes would silently alias the wrong interned entry
+        through Python's negative indexing.
+        """
+        string_count = len(self.strings)
+        node_count = len(self.nodes)
+        object_count = len(self.objects)
+        env_count = self.env_count
+        layouts = self._RECORD_LAYOUT
+        for record in self.events:
+            layout = layouts.get(record[0]) if record else None
+            if layout is None or len(record) != layout[0]:
+                raise TraceFormatError(f"malformed trace record: {record!r}")
+            _arity, node_at, obj_at, env_at, string_at = layout
+            try:
+                for position in node_at:
+                    index = record[position]
+                    if not -1 <= index < node_count:
+                        raise TraceFormatError(
+                            f"node index {index} out of range in record {record!r}"
+                        )
+                for position in obj_at:
+                    index = record[position]
+                    if not 0 <= index < object_count:
+                        raise TraceFormatError(
+                            f"object index {index} out of range in record {record!r}"
+                        )
+                for position in env_at:
+                    index = record[position]
+                    if not 0 <= index < env_count:
+                        raise TraceFormatError(
+                            f"environment index {index} out of range in record {record!r}"
+                        )
+                for position in string_at:
+                    index = record[position]
+                    if not 0 <= index < string_count:
+                        raise TraceFormatError(
+                            f"string index {index} out of range in record {record!r}"
+                        )
+            except TypeError as exc:
+                raise TraceFormatError(f"malformed trace record: {record!r}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        try:
+            data = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(f"trace file is truncated or corrupt: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        """Write the trace to ``path`` (gzip-compressed when it ends in .gz)."""
+        text = self.to_json() + "\n"
+        if str(path).endswith(".gz"):
+            with gzip.open(path, "wt", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            with io.open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        try:
+            if str(path).endswith(".gz"):
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    text = handle.read()
+            else:
+                with io.open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+        except OSError as exc:
+            raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+
+def _ignore_event(*_args, **_kwargs) -> None:
+    """Instance-level shadow for a recorder hook named in ``drop_methods``."""
+
+
+class TraceRecorder(Tracer):
+    """Captures the requested event mask as a :class:`Trace`, in one run.
+
+    The recorder is an ordinary bus tracer: attach it (alone, or alongside
+    live tracers) and execute the workload once.  Its per-instance ``mask``
+    is the *recording request* — typically the union of every analysis mode
+    that will ever replay the trace — and is what :meth:`subscribed_events`
+    reports to the bus, so the interpreter emits exactly that superset.
+
+    Identity bookkeeping: nodes, environments and guest objects are interned
+    by Python identity, and strong references are retained for the recorder's
+    lifetime so CPython cannot recycle an ``id()`` mid-run and silently merge
+    two distinct guests (the same discipline
+    :class:`~repro.ceres.dependence.DependenceAnalyzer` uses).
+    """
+
+    def __init__(
+        self,
+        mask: int = EV_ALL,
+        workload: str = "",
+        fingerprint: str = "",
+        ms_per_op: float = 0.02,
+        drop_methods: tuple = (),
+    ) -> None:
+        self.mask = mask
+        self.workload = workload
+        self.fingerprint = fingerprint
+        self.ms_per_op = ms_per_op
+        self.dropped = tuple(sorted(drop_methods))
+        unknown = [name for name in self.dropped if name not in _METHOD_EVENTS]
+        if unknown:
+            raise ValueError(f"unknown hook method(s) in drop_methods: {unknown}")
+        # Dropped hooks are shadowed by an instance-level no-op, so they cost
+        # nothing per event and the kept hooks pay no membership check.
+        for method_name in self.dropped:
+            setattr(self, method_name, _ignore_event)
+        self.start_ms = 0.0
+        self.end_ms = 0.0
+        self.events: List[tuple] = []
+        self._strings: List[str] = []
+        self._string_index: Dict[str, int] = {}
+        self._nodes: List[List[int]] = []
+        self._node_index: Dict[int, int] = {}
+        self._objects: List[List[int]] = []
+        self._object_index: Dict[int, int] = {}
+        self._env_index: Dict[int, int] = {}
+        self._retained: List[Any] = []
+
+    def subscribed_events(self) -> int:
+        return self.mask
+
+    # ------------------------------------------------------------ lifecycle
+    def mark_start(self, clock) -> None:
+        """Stamp the moment live tracers would observe ``start`` (pre-load)."""
+        self.start_ms = clock.now()
+
+    def mark_end(self, clock) -> None:
+        """Stamp the final clock reading (post-exercise)."""
+        self.end_ms = clock.now()
+
+    def trace(self) -> Trace:
+        """The recorded :class:`Trace` (tables are shared, not copied)."""
+        return Trace(
+            mask=self.mask,
+            workload=self.workload,
+            fingerprint=self.fingerprint,
+            ms_per_op=self.ms_per_op,
+            start_ms=self.start_ms,
+            end_ms=self.end_ms,
+            dropped=self.dropped,
+            strings=self._strings,
+            nodes=self._nodes,
+            objects=self._objects,
+            env_count=len(self._env_index),
+            events=self.events,
+        )
+
+    # ------------------------------------------------------------ interning
+    def _string(self, value: Optional[str]) -> int:
+        if value is None:
+            value = ""
+        index = self._string_index.get(value)
+        if index is None:
+            index = len(self._strings)
+            self._strings.append(value)
+            self._string_index[value] = index
+        return index
+
+    def _node(self, node: Any) -> int:
+        if node is None:
+            return -1
+        key = id(node)
+        index = self._node_index.get(key)
+        if index is None:
+            index = len(self._nodes)
+            self._nodes.append(
+                [
+                    getattr(node, "node_id", -1),
+                    getattr(node, "line", 0),
+                    self._string(type(node).__name__),
+                ]
+            )
+            self._node_index[key] = index
+            self._retained.append(node)
+        return index
+
+    def _env(self, env: Any) -> int:
+        key = id(env)
+        index = self._env_index.get(key)
+        if index is None:
+            index = len(self._env_index)
+            self._env_index[key] = index
+            self._retained.append(env)
+        return index
+
+    def _object(self, obj: Any) -> int:
+        key = id(obj)
+        index = self._object_index.get(key)
+        if index is None:
+            # Imported lazily: values.py is independent of this module, but
+            # keeping the top-level import surface minimal avoids ordering
+            # surprises for embedders that import hooks first.
+            from .values import JSArray, JSObject
+
+            name_index = -1
+            if isinstance(obj, JSArray):
+                kind = _OBJ_ARRAY
+            elif isinstance(obj, JSObject):
+                name = getattr(obj, "name", None)
+                if isinstance(name, str):
+                    kind = _OBJ_CALLABLE
+                    name_index = self._string(name)
+                else:
+                    kind = _OBJ_PLAIN
+            else:
+                kind = _OBJ_OPAQUE
+            index = len(self._objects)
+            self._objects.append(
+                [
+                    kind,
+                    self._string(getattr(obj, "class_name", "")),
+                    getattr(obj, "creation_site", -1),
+                    name_index,
+                ]
+            )
+            self._object_index[key] = index
+            self._retained.append(obj)
+        return index
+
+    # ---------------------------------------------------------- hook events
+    #
+    # The high-volume hooks (statements, variable and property accesses, loop
+    # iterations) inline the intern-table hit path — one dict ``get`` instead
+    # of a method call — because recording runs once per event of the union
+    # mask and is the only remaining guest execution of the whole pipeline.
+
+    def on_loop_enter(self, interp, node) -> None:
+        if self.mask & EV_LOOP:
+            index = self._node_index.get(id(node))
+            if index is None:
+                index = self._node(node)
+            self.events.append((TR_LOOP_ENTER, interp.clock._now_ms, index))
+
+    def on_loop_iteration(self, interp, node, iteration) -> None:
+        if self.mask & EV_LOOP:
+            index = self._node_index.get(id(node))
+            if index is None:
+                index = self._node(node)
+            self.events.append((TR_LOOP_ITER, interp.clock._now_ms, index, iteration))
+
+    def on_loop_exit(self, interp, node, trip_count) -> None:
+        if self.mask & EV_LOOP:
+            index = self._node_index.get(id(node))
+            if index is None:
+                index = self._node(node)
+            self.events.append((TR_LOOP_EXIT, interp.clock._now_ms, index, trip_count))
+
+    def on_function_enter(self, interp, func, call_node) -> None:
+        if self.mask & EV_FUNCTION:
+            self.events.append(
+                (TR_FUNC_ENTER, interp.clock._now_ms, self._object(func), self._node(call_node))
+            )
+
+    def on_function_exit(self, interp, func) -> None:
+        if self.mask & EV_FUNCTION:
+            self.events.append((TR_FUNC_EXIT, interp.clock._now_ms, self._object(func)))
+
+    def on_env_created(self, interp, env, kind) -> None:
+        if self.mask & EV_ENV:
+            self.events.append(
+                (TR_ENV_CREATED, interp.clock._now_ms, self._env(env), self._string(kind))
+            )
+
+    def on_var_write(self, interp, name, env, value, node) -> None:
+        if self.mask & EV_VAR:
+            name_index = self._string_index.get(name)
+            if name_index is None:
+                name_index = self._string(name)
+            env_index = self._env_index.get(id(env))
+            if env_index is None:
+                env_index = self._env(env)
+            node_index = self._node_index.get(id(node), -2) if node is not None else -1
+            if node_index == -2:
+                node_index = self._node(node)
+            self.events.append(
+                (TR_VAR_WRITE, interp.clock._now_ms, name_index, env_index, node_index)
+            )
+
+    def on_var_read(self, interp, name, env, node) -> None:
+        if self.mask & EV_VAR:
+            name_index = self._string_index.get(name)
+            if name_index is None:
+                name_index = self._string(name)
+            env_index = self._env_index.get(id(env))
+            if env_index is None:
+                env_index = self._env(env)
+            node_index = self._node_index.get(id(node), -2) if node is not None else -1
+            if node_index == -2:
+                node_index = self._node(node)
+            self.events.append(
+                (TR_VAR_READ, interp.clock._now_ms, name_index, env_index, node_index)
+            )
+
+    def on_object_created(self, interp, obj, node) -> None:
+        if self.mask & EV_OBJECT:
+            self.events.append(
+                (TR_OBJ_CREATED, interp.clock._now_ms, self._object(obj), self._node(node))
+            )
+
+    def on_prop_write(self, interp, obj, name, value, node) -> None:
+        if self.mask & EV_PROP:
+            obj_index = self._object_index.get(id(obj))
+            if obj_index is None:
+                obj_index = self._object(obj)
+            name_index = self._string_index.get(name)
+            if name_index is None:
+                name_index = self._string(name)
+            node_index = self._node_index.get(id(node), -2) if node is not None else -1
+            if node_index == -2:
+                node_index = self._node(node)
+            self.events.append(
+                (TR_PROP_WRITE, interp.clock._now_ms, obj_index, name_index, node_index)
+            )
+
+    def on_prop_read(self, interp, obj, name, node) -> None:
+        if self.mask & EV_PROP:
+            obj_index = self._object_index.get(id(obj))
+            if obj_index is None:
+                obj_index = self._object(obj)
+            name_index = self._string_index.get(name)
+            if name_index is None:
+                name_index = self._string(name)
+            node_index = self._node_index.get(id(node), -2) if node is not None else -1
+            if node_index == -2:
+                node_index = self._node(node)
+            self.events.append(
+                (TR_PROP_READ, interp.clock._now_ms, obj_index, name_index, node_index)
+            )
+
+    def on_branch(self, interp, node, taken) -> None:
+        if self.mask & EV_BRANCH:
+            index = self._node_index.get(id(node))
+            if index is None:
+                index = self._node(node)
+            self.events.append(
+                (TR_BRANCH, interp.clock._now_ms, index, 1 if taken else 0)
+            )
+
+    def on_host_access(self, interp, category, detail, node) -> None:
+        if self.mask & EV_HOST:
+            self.events.append(
+                (TR_HOST, interp.clock._now_ms, self._string(category), self._string(detail), self._node(node))
+            )
+
+    def on_statement(self, interp, node) -> None:
+        if self.mask & EV_STATEMENT:
+            index = self._node_index.get(id(node))
+            if index is None:
+                index = self._node(node)
+            self.events.append((TR_STATEMENT, interp.clock._now_ms, index))
+
+    def on_recursion_warning(self, interp, node) -> None:
+        if self.mask & EV_RECURSION:
+            self.events.append((TR_RECURSION, interp.clock._now_ms, self._node(node)))
+
+
+# ===========================================================================
+# Replay
+# ===========================================================================
+
+
+class ReplayClock:
+    """Clock stand-in positioned at the current record's stamp.
+
+    Only the reading surface of :class:`~repro.jsvm.clock.VirtualClock` is
+    provided — replayed tracers read time, they never advance it.
+    """
+
+    __slots__ = ("_now_ms",)
+
+    def __init__(self, now_ms: float = 0.0) -> None:
+        self._now_ms = now_ms
+
+    def now(self) -> float:
+        return self._now_ms
+
+
+class _ReplayFrame:
+    """Shadow call-stack entry (mirror of the interpreter's ``CallFrame``)."""
+
+    __slots__ = ("function_name",)
+
+    def __init__(self, function_name: str) -> None:
+        self.function_name = function_name
+
+
+class _ReplayNode:
+    """Stand-in AST node carrying exactly what tracers read."""
+
+    __slots__ = ("node_id", "line")
+
+    def __init__(self, node_id: int, line: int) -> None:
+        self.node_id = node_id
+        self.line = line
+
+
+#: kind-name -> dynamically created ``_ReplayNode`` subclass, so that
+#: ``type(node).__name__`` matches the live AST class (the loop profiler's
+#: registry-less fallback derives loop kinds from it).
+_REPLAY_NODE_CLASSES: Dict[str, type] = {}
+
+
+def _replay_node_class(kind: str) -> type:
+    cls = _REPLAY_NODE_CLASSES.get(kind)
+    if cls is None:
+        cls = type(kind, (_ReplayNode,), {"__slots__": ()})
+        _REPLAY_NODE_CLASSES[kind] = cls
+    return cls
+
+
+class _ReplayEnv:
+    """Stand-in environment frame: identity is its only replay-relevant state."""
+
+    __slots__ = ()
+
+
+class _ReplayInterpreter:
+    """The minimal interpreter surface replayed tracers touch.
+
+    Shipped tracers read ``interp.clock``, ``interp.call_stack`` and
+    ``interp.current_function_name()``; the replayer maintains the call stack
+    from the trace's function events, so those reads return exactly what the
+    live interpreter would have returned at the same stamp.
+    """
+
+    __slots__ = ("clock", "call_stack", "hooks", "trace_mask")
+
+    def __init__(self, clock: ReplayClock) -> None:
+        self.clock = clock
+        self.call_stack: List[_ReplayFrame] = [_ReplayFrame("(global)")]
+        self.hooks = None
+        self.trace_mask = 0
+
+    def current_function_name(self) -> str:
+        return self.call_stack[-1].function_name if self.call_stack else "(global)"
+
+    def stack_snapshot(self) -> List[str]:
+        return [frame.function_name for frame in self.call_stack]
+
+
+class TraceReplayer:
+    """Drives ordinary tracers from a recorded :class:`Trace`.
+
+    One replayer materializes one consistent set of stand-in nodes, guest
+    objects and environment frames; every :meth:`replay` call over the same
+    replayer shares them, exactly as live tracers composed on one bus share
+    the live guest heap.  Use a fresh replayer for an independent pass (e.g.
+    a second dependence analysis that must not see earlier creation stamps).
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.clock = ReplayClock(trace.start_ms)
+        self._interp = _ReplayInterpreter(self.clock)
+        strings = trace.strings
+        try:
+            self._nodes = [
+                _replay_node_class(strings[kind_index])(node_id, line)
+                for node_id, line, kind_index in trace.nodes
+            ]
+            self._objects = [self._materialize_object(entry) for entry in trace.objects]
+        except (IndexError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed trace intern table: {exc}") from exc
+        self._envs = [_ReplayEnv() for _ in range(trace.env_count)]
+
+    # ------------------------------------------------------------ stand-ins
+    def _materialize_object(self, entry: List[int]) -> Any:
+        from .values import JSArray, JSObject
+
+        kind, class_index, creation_site, name_index = entry
+        class_name = self.trace.strings[class_index]
+        if kind == _OBJ_ARRAY:
+            return JSArray([], creation_site=creation_site)
+        if kind == _OBJ_CALLABLE:
+            stand_in = _ReplayFunctionObject(class_name=class_name, creation_site=creation_site)
+            stand_in.name = self.trace.strings[name_index] if name_index >= 0 else ""
+            return stand_in
+        if kind == _OBJ_PLAIN:
+            return JSObject(class_name=class_name, creation_site=creation_site)
+        return _ReplayOpaque()
+
+    def _node(self, index: int) -> Any:
+        return self._nodes[index] if index >= 0 else None
+
+    # --------------------------------------------------------------- replay
+    def required_mask(self, tracers: List[Tracer]) -> int:
+        mask = 0
+        for tracer in tracers:
+            mask |= tracer.subscribed_events()
+        return mask
+
+    def replay(self, tracers: List[Tracer]) -> None:
+        """Feed every recorded event to the subscribed tracers, in order.
+
+        Raises :class:`TraceMaskError` when the trace does not cover the
+        union of the tracers' declared events — a replay from an insufficient
+        recording would silently produce wrong payloads otherwise.
+
+        Dispatch is specialized per opcode: a handler table maps each opcode
+        to a closure pre-bound over the subscribed tracer methods, and
+        opcodes nobody subscribes to cost one list-index + ``None`` check per
+        record (a dependence replay skips hundreds of thousands of statement
+        samples this way).
+        """
+        required = self.required_mask(tracers)
+        if not self.trace.covers(required):
+            raise TraceMaskError(
+                f"trace mask [{describe_mask(self.trace.mask)}] does not cover "
+                f"the requested tracers' mask [{describe_mask(required)}]; "
+                f"missing [{describe_mask(required & ~self.trace.mask)}]"
+            )
+
+        def overrides(tracer: Tracer, name: str) -> bool:
+            if name in getattr(tracer, "__dict__", {}):
+                return True
+            return getattr(type(tracer), name) is not getattr(Tracer, name)
+
+        for dropped_name in self.trace.dropped:
+            for tracer in tracers:
+                if overrides(tracer, dropped_name):
+                    raise TraceMaskError(
+                        f"trace was recorded without {dropped_name!r} records "
+                        f"but {type(tracer).__name__} handles that event; "
+                        "re-record without dropping it"
+                    )
+
+        interp = self._interp
+        clock = self.clock
+        nodes = self._nodes
+        objects = self._objects
+        envs = self._envs
+        strings = self.trace.strings
+        call_stack = interp.call_stack
+        elided = TRACE_VALUE_ELIDED
+
+        def methods(bit: int, name: str) -> list:
+            # Base-class no-ops are skipped outright: dispatching a record to
+            # a method that cannot observe it is pure replay overhead.
+            return [
+                getattr(t, name)
+                for t in tracers
+                if t.subscribed_events() & bit and overrides(t, name)
+            ]
+
+        def node_of(index: int):
+            return nodes[index] if index >= 0 else None
+
+        handlers: List[Optional[Any]] = [None] * (TR_RECURSION + 1)
+
+        # The hot event classes (statements, property and variable accesses)
+        # get a single-subscriber fast path: almost every replay drives one
+        # tracer per class, so the dispatch loop is replaced by a direct call.
+        # Every opcode's handler is installed independently — a tracer may
+        # override one direction of a class (dependence analysis handles
+        # variable writes but not reads).
+        on_statement = methods(EV_STATEMENT, "on_statement")
+        if len(on_statement) == 1:
+            statement_method = on_statement[0]
+
+            def h_statement(rec):
+                clock._now_ms = rec[1]
+                index = rec[2]
+                statement_method(interp, nodes[index] if index >= 0 else None)
+
+            handlers[TR_STATEMENT] = h_statement
+        elif on_statement:
+
+            def h_statement(rec):
+                clock._now_ms = rec[1]
+                node = node_of(rec[2])
+                for method in on_statement:
+                    method(interp, node)
+
+            handlers[TR_STATEMENT] = h_statement
+
+        on_prop_read = methods(EV_PROP, "on_prop_read")
+        if len(on_prop_read) == 1:
+            prop_read_method = on_prop_read[0]
+
+            def h_prop_read(rec):
+                clock._now_ms = rec[1]
+                index = rec[4]
+                prop_read_method(
+                    interp, objects[rec[2]], strings[rec[3]], nodes[index] if index >= 0 else None
+                )
+
+            handlers[TR_PROP_READ] = h_prop_read
+        elif on_prop_read:
+
+            def h_prop_read(rec):
+                clock._now_ms = rec[1]
+                obj = objects[rec[2]]
+                name = strings[rec[3]]
+                node = node_of(rec[4])
+                for method in on_prop_read:
+                    method(interp, obj, name, node)
+
+            handlers[TR_PROP_READ] = h_prop_read
+
+        on_prop_write = methods(EV_PROP, "on_prop_write")
+        if len(on_prop_write) == 1:
+            prop_write_method = on_prop_write[0]
+
+            def h_prop_write(rec):
+                clock._now_ms = rec[1]
+                index = rec[4]
+                prop_write_method(
+                    interp,
+                    objects[rec[2]],
+                    strings[rec[3]],
+                    elided,
+                    nodes[index] if index >= 0 else None,
+                )
+
+            handlers[TR_PROP_WRITE] = h_prop_write
+        elif on_prop_write:
+
+            def h_prop_write(rec):
+                clock._now_ms = rec[1]
+                obj = objects[rec[2]]
+                name = strings[rec[3]]
+                node = node_of(rec[4])
+                for method in on_prop_write:
+                    method(interp, obj, name, elided, node)
+
+            handlers[TR_PROP_WRITE] = h_prop_write
+
+        on_var_read = methods(EV_VAR, "on_var_read")
+        if len(on_var_read) == 1:
+            var_read_method = on_var_read[0]
+
+            def h_var_read(rec):
+                clock._now_ms = rec[1]
+                index = rec[4]
+                var_read_method(
+                    interp, strings[rec[2]], envs[rec[3]], nodes[index] if index >= 0 else None
+                )
+
+            handlers[TR_VAR_READ] = h_var_read
+        elif on_var_read:
+
+            def h_var_read(rec):
+                clock._now_ms = rec[1]
+                name = strings[rec[2]]
+                env = envs[rec[3]]
+                node = node_of(rec[4])
+                for method in on_var_read:
+                    method(interp, name, env, node)
+
+            handlers[TR_VAR_READ] = h_var_read
+
+        on_var_write = methods(EV_VAR, "on_var_write")
+        if len(on_var_write) == 1:
+            var_write_method = on_var_write[0]
+
+            def h_var_write(rec):
+                clock._now_ms = rec[1]
+                index = rec[4]
+                var_write_method(
+                    interp,
+                    strings[rec[2]],
+                    envs[rec[3]],
+                    elided,
+                    nodes[index] if index >= 0 else None,
+                )
+
+            handlers[TR_VAR_WRITE] = h_var_write
+        elif on_var_write:
+
+            def h_var_write(rec):
+                clock._now_ms = rec[1]
+                name = strings[rec[2]]
+                env = envs[rec[3]]
+                node = node_of(rec[4])
+                for method in on_var_write:
+                    method(interp, name, env, elided, node)
+
+            handlers[TR_VAR_WRITE] = h_var_write
+
+        on_loop_enter = methods(EV_LOOP, "on_loop_enter")
+        if on_loop_enter:
+
+            def h_loop_enter(rec):
+                clock._now_ms = rec[1]
+                index = rec[2]
+                node = nodes[index] if index >= 0 else None
+                for method in on_loop_enter:
+                    method(interp, node)
+
+            handlers[TR_LOOP_ENTER] = h_loop_enter
+
+        on_loop_iteration = methods(EV_LOOP, "on_loop_iteration")
+        if on_loop_iteration:
+
+            def h_loop_iteration(rec):
+                clock._now_ms = rec[1]
+                index = rec[2]
+                node = nodes[index] if index >= 0 else None
+                iteration = rec[3]
+                for method in on_loop_iteration:
+                    method(interp, node, iteration)
+
+            handlers[TR_LOOP_ITER] = h_loop_iteration
+
+        on_loop_exit = methods(EV_LOOP, "on_loop_exit")
+        if on_loop_exit:
+
+            def h_loop_exit(rec):
+                clock._now_ms = rec[1]
+                index = rec[2]
+                node = nodes[index] if index >= 0 else None
+                trip_count = rec[3]
+                for method in on_loop_exit:
+                    method(interp, node, trip_count)
+
+            handlers[TR_LOOP_EXIT] = h_loop_exit
+
+        on_function_enter = methods(EV_FUNCTION, "on_function_enter")
+        on_function_exit = methods(EV_FUNCTION, "on_function_exit")
+        # The shadow call stack feeds statement-sample consumers (stack depth,
+        # current function), so it must be maintained whenever either a
+        # function or a statement subscriber is present.
+        if on_function_enter or on_function_exit or on_statement:
+
+            def h_func_enter(rec):
+                clock._now_ms = rec[1]
+                func = objects[rec[2]]
+                node = node_of(rec[3])
+                call_stack.append(_ReplayFrame(getattr(func, "name", "(anonymous)")))
+                for method in on_function_enter:
+                    method(interp, func, node)
+
+            def h_func_exit(rec):
+                clock._now_ms = rec[1]
+                func = objects[rec[2]]
+                for method in on_function_exit:
+                    method(interp, func)
+                if len(call_stack) > 1:
+                    call_stack.pop()
+
+            handlers[TR_FUNC_ENTER] = h_func_enter
+            handlers[TR_FUNC_EXIT] = h_func_exit
+
+        on_branch = methods(EV_BRANCH, "on_branch")
+        if on_branch:
+
+            def h_branch(rec):
+                clock._now_ms = rec[1]
+                index = rec[2]
+                node = nodes[index] if index >= 0 else None
+                taken = bool(rec[3])
+                for method in on_branch:
+                    method(interp, node, taken)
+
+            handlers[TR_BRANCH] = h_branch
+
+        on_object_created = methods(EV_OBJECT, "on_object_created")
+        if on_object_created:
+
+            def h_object(rec):
+                clock._now_ms = rec[1]
+                obj = objects[rec[2]]
+                node = node_of(rec[3])
+                for method in on_object_created:
+                    method(interp, obj, node)
+
+            handlers[TR_OBJ_CREATED] = h_object
+
+        on_env_created = methods(EV_ENV, "on_env_created")
+        if on_env_created:
+
+            def h_env(rec):
+                clock._now_ms = rec[1]
+                env = envs[rec[2]]
+                kind = strings[rec[3]]
+                for method in on_env_created:
+                    method(interp, env, kind)
+
+            handlers[TR_ENV_CREATED] = h_env
+
+        on_host_access = methods(EV_HOST, "on_host_access")
+        if on_host_access:
+
+            def h_host(rec):
+                clock._now_ms = rec[1]
+                category = strings[rec[2]]
+                detail = strings[rec[3]]
+                node = node_of(rec[4])
+                for method in on_host_access:
+                    method(interp, category, detail, node)
+
+            handlers[TR_HOST] = h_host
+
+        on_recursion = methods(EV_RECURSION, "on_recursion_warning")
+        if on_recursion:
+
+            def h_recursion(rec):
+                clock._now_ms = rec[1]
+                index = rec[2]
+                node = nodes[index] if index >= 0 else None
+                for method in on_recursion:
+                    method(interp, node)
+
+            handlers[TR_RECURSION] = h_recursion
+
+        for record in self.trace.events:
+            handler = handlers[record[0]]
+            if handler is not None:
+                handler(record)
+        clock._now_ms = self.trace.end_ms
+
+
+class _ReplayValueElided:
+    """Sentinel for guest values the v1 schema does not carry."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<trace value elided>"
+
+
+#: Passed as the ``value`` argument of replayed write events; no shipped
+#: tracer reads it (schema v1 elides guest values).
+TRACE_VALUE_ELIDED = _ReplayValueElided()
+
+
+class _ReplayOpaque:
+    """Stand-in for a recorded non-JSObject payload (defensive only)."""
+
+    __slots__ = ()
+
+
+def _make_replay_function_class():
+    """``_ReplayFunctionObject`` is a JSObject subclass with a ``name`` slot,
+    so it satisfies both ``isinstance(obj, JSObject)`` checks (dependence
+    analysis) and ``func.name`` reads (nest observer, samplers).  Built
+    lazily to keep module import order free of the values dependency."""
+    from .values import JSObject
+
+    class _ReplayFunction(JSObject):
+        __slots__ = ("name",)
+
+    return _ReplayFunction
+
+
+_REPLAY_FUNCTION_CLASS: Optional[type] = None
+
+
+def _ReplayFunctionObject(class_name: str, creation_site: int):
+    global _REPLAY_FUNCTION_CLASS
+    if _REPLAY_FUNCTION_CLASS is None:
+        _REPLAY_FUNCTION_CLASS = _make_replay_function_class()
+    return _REPLAY_FUNCTION_CLASS(class_name=class_name, creation_site=creation_site)

@@ -181,15 +181,6 @@ class TestUnknownFocusLine:
         assert STEP_FOR_LINE in excinfo.value.known_lines
         assert str(STEP_FOR_LINE) in str(excinfo.value)
 
-    def test_jsceres_shim_raises_too(self):
-        from repro.ceres import JSCeres
-
-        tool = JSCeres()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(UnknownFocusLineError):
-                tool.run_dependence(small_nbody(), focus_line=99999)
-
-
 # ------------------------------------------------------------------ laziness
 class TestRegistryLaziness:
     def test_import_repro_api_pulls_no_workload_modules(self):
@@ -244,73 +235,42 @@ class TestRegistryLaziness:
 
 
 # --------------------------------------------------------------------- shims
-class TestDeprecationShims:
-    def test_jsceres_methods_warn_and_delegate(self):
-        from repro.ceres import DependenceRun, JSCeres, LightweightRun, LoopProfileRun
+class TestShimsRemoved:
+    """The PR-2 deprecation shims completed their two-PR window and are gone.
 
-        tool = JSCeres()
-        with pytest.warns(DeprecationWarning):
-            light = tool.run_lightweight(small_nbody())
-        with pytest.warns(DeprecationWarning):
-            loops = tool.run_loop_profile(small_nbody())
-        with pytest.warns(DeprecationWarning):
-            deps = tool.run_dependence(small_nbody(), focus_line=STEP_FOR_LINE)
-        with pytest.warns(DeprecationWarning):
-            baseline = tool.run_uninstrumented(small_nbody())
+    ``repro.api`` is the only entry layer; these tests pin the removal so a
+    stray re-export cannot silently resurrect the legacy surface.
+    """
 
-        assert isinstance(light, LightweightRun)
-        assert 0 < light.loops_seconds <= light.total_seconds + 1e-9
-        assert isinstance(loops, LoopProfileRun)
-        assert loops.profiles and loops.hottest[0].total_time_ms > 0
-        assert isinstance(deps, DependenceRun)
-        assert deps.report.warnings and "ok dependence" in deps.report_text
-        assert baseline > 0
-        # The shared repository accumulated one commit per instrumented run.
-        assert len(tool.repository.commits) == 3
+    def test_jsceres_facade_is_gone(self):
+        import repro.ceres as ceres
 
-    def test_jsceres_matches_session_numbers(self):
-        from repro.ceres import JSCeres
+        for name in ("JSCeres", "LightweightRun", "LoopProfileRun", "DependenceRun"):
+            assert not hasattr(ceres, name), f"repro.ceres.{name} should be removed"
+            assert name not in ceres.__all__
+        with pytest.raises(ImportError):
+            from repro.ceres import JSCeres  # noqa: F401
 
-        tool = JSCeres()
-        with pytest.warns(DeprecationWarning):
-            legacy = tool.run_lightweight(small_nbody())
+    def test_run_case_study_shim_is_gone(self):
+        import repro.experiments as experiments
+
+        assert not hasattr(experiments, "run_case_study")
+        with pytest.raises(ImportError):
+            from repro.experiments import run_case_study  # noqa: F401
+
+    def test_session_covers_the_legacy_surface(self):
+        # The replacement in the migration table really does the old job.
         with AnalysisSession() as session:
-            modern = session.run(small_nbody(), RunSpec.lightweight())
-        assert legacy.report_text == modern.report_text
-        assert legacy.total_seconds == modern.total_seconds
-        assert legacy.active_seconds == modern.active_seconds
-
-    def test_run_case_study_shim_warns_and_uses_default_pipeline(self):
-        from repro.experiments.registry import get_default_pipeline, run_case_study
-        from repro.workloads.base import REGISTRY, Workload
-
-        def make_tiny():
-            return Workload(
-                name="api-shim-test",
-                category="Visualization",
-                description="tiny kernel for the shim test",
-                url="test://shim",
-                scripts=[
-                    (
-                        "tiny.js",
-                        "var out = [0,0,0,0,0,0,0,0];\n"
-                        "for (var p = 0; p < 3; p++) {\n"
-                        "  for (var i = 0; i < out.length; i++) { out[i] += i * p; }\n"
-                        "}\n",
-                    )
-                ],
+            light = session.run(small_nbody(), RunSpec.lightweight())
+            deps = session.run(
+                small_nbody(), RunSpec.dependence(focus_line=STEP_FOR_LINE)
             )
-
-        REGISTRY.register("api-shim-test", make_tiny)
-        try:
-            with pytest.warns(DeprecationWarning):
-                first = run_case_study(["api-shim-test"], force=True)
-            assert [analysis.name for analysis in first.analyses] == ["api-shim-test"]
-            with pytest.warns(DeprecationWarning):
-                assert run_case_study(["api-shim-test"]) is first
-        finally:
-            REGISTRY._factories.pop("api-shim-test", None)
-            get_default_pipeline().invalidate()
+            baseline = session.run(small_nbody(), RunSpec.uninstrumented())
+        assert 0 < light.loops_seconds <= light.total_seconds + 1e-9
+        assert deps.artifacts.dependence_report.warnings
+        assert "ok dependence" in deps.report_text
+        assert baseline.clock_seconds > 0
+        assert len(session.repository.commits) == 2
 
 
 # ------------------------------------------------------------- thread safety

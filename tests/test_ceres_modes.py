@@ -1,4 +1,4 @@
-"""Tests for the three JS-CERES instrumentation modes and the tool facade."""
+"""Tests for the three JS-CERES instrumentation modes and the session API."""
 
 import pytest
 
@@ -6,7 +6,6 @@ from repro.ceres import (
     DependenceAnalyzer,
     InstrumentationMode,
     InstrumentingProxy,
-    JSCeres,
     LightweightProfiler,
     LoopProfiler,
     OriginServer,
@@ -269,26 +268,47 @@ class TestProxyPipeline:
         assert proxy.publisher.pushes and proxy.publisher.pushes[0].commit_id == commit_id
 
 
-class TestJSCeresFacade:
+class TestSessionModes:
+    """The three staged modes through the one public entry layer."""
+
     def test_three_modes_on_nbody(self):
-        tool = JSCeres()
-        workload = make_nbody_workload(bodies=10, steps=5)
-        light = tool.run_lightweight(workload)
-        assert light.total_seconds > 0 and light.loops_seconds > 0
-        assert light.loops_seconds <= light.total_seconds + 1e-9
+        from repro.api import AnalysisSession, RunSpec
 
-        loops = tool.run_loop_profile(make_nbody_workload(bodies=10, steps=5))
-        assert loops.profiles and loops.hottest[0].total_time_ms > 0
+        with AnalysisSession() as session:
+            workload = make_nbody_workload(bodies=10, steps=5)
+            light = session.run(workload, RunSpec.lightweight())
+            assert light.total_seconds > 0 and light.loops_seconds > 0
+            assert light.loops_seconds <= light.total_seconds + 1e-9
 
-        deps = tool.run_dependence(make_nbody_workload(bodies=10, steps=5), focus_line=STEP_FOR_LINE)
-        assert deps.report.warnings and "ok dependence" in deps.report_text
+            loops = session.run(
+                make_nbody_workload(bodies=10, steps=5), RunSpec.loop_profile()
+            )
+            profiler = loops.artifacts.loop_profiler
+            assert profiler.profiles and profiler.hottest()[0].total_time_ms > 0
+
+            deps = session.run(
+                make_nbody_workload(bodies=10, steps=5),
+                RunSpec.dependence(focus_line=STEP_FOR_LINE),
+            )
+            assert deps.artifacts.dependence_report.warnings
+            assert "ok dependence" in deps.report_text
 
     def test_repository_accumulates_reports_across_runs(self):
-        tool = JSCeres()
-        tool.run_lightweight(make_nbody_workload(bodies=6, steps=3), with_gecko=False)
-        tool.run_loop_profile(make_nbody_workload(bodies=6, steps=3))
-        assert len(tool.repository.commits) == 2
+        from repro.api import AnalysisSession, RunSpec
+
+        with AnalysisSession() as session:
+            session.run(
+                make_nbody_workload(bodies=6, steps=3),
+                RunSpec.lightweight(with_gecko=False),
+            )
+            session.run(make_nbody_workload(bodies=6, steps=3), RunSpec.loop_profile())
+            assert len(session.repository.commits) == 2
 
     def test_uninstrumented_run_returns_positive_time(self):
-        tool = JSCeres()
-        assert tool.run_uninstrumented(make_nbody_workload(bodies=6, steps=3)) > 0.0
+        from repro.api import AnalysisSession, RunSpec
+
+        with AnalysisSession() as session:
+            result = session.run(
+                make_nbody_workload(bodies=6, steps=3), RunSpec.uninstrumented()
+            )
+        assert result.clock_seconds > 0.0

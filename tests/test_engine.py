@@ -98,7 +98,20 @@ class TestScriptCache:
 
 
 class TestStageSchedule:
-    def test_default_stage_names_and_order(self):
+    def test_default_stage_names_and_order(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_REPLAY", raising=False)
+        monkeypatch.delenv("REPRO_FORCE_TRACE_REPLAY", raising=False)
+        assert [stage.name for stage in default_stages()] == [
+            "record",
+            "profile",
+            "loop-profile",
+            "dependence",
+            "parallel-model",
+        ]
+
+    def test_replay_disabled_restores_live_schedule(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_REPLAY", "0")
+        monkeypatch.delenv("REPRO_FORCE_TRACE_REPLAY", raising=False)
         assert [stage.name for stage in default_stages()] == [
             "profile",
             "loop-profile",
@@ -163,11 +176,12 @@ class TestAnalysisPipeline:
         # The impostor's single tiny loop, not the registered kernel's nests.
         assert all(a.table2.total_seconds < 0.1 for a in analyses)
 
-    def test_registry_run_case_study_uses_pipeline(self, tiny_workloads):
-        from repro.experiments.registry import get_default_pipeline, run_case_study
+    def test_default_session_case_study_uses_pipeline(self, tiny_workloads):
+        from repro.experiments.registry import default_session, get_default_pipeline
 
-        result = run_case_study(["engine-test-a"], force=True)
+        session = default_session()
+        result = session.case_study(["engine-test-a"], force=True)
         assert [a.name for a in result.analyses] == ["engine-test-a"]
-        assert run_case_study(["engine-test-a"]) is result
+        assert session.case_study(["engine-test-a"]) is result
         # Clean up the shared pipeline's cache entry for the synthetic name.
         get_default_pipeline().invalidate()

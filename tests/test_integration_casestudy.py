@@ -9,7 +9,7 @@ fast while still exercising every stage end to end.
 import pytest
 
 from repro.analysis import CaseStudyRunner, Difficulty, build_tables
-from repro.experiments import build_registry, run_case_study, run_experiment
+from repro.experiments import build_registry, default_session, run_experiment
 from repro.parallel import model_application_speedup, validate_against_amdahl
 from repro.workloads import get_workload
 
@@ -103,8 +103,9 @@ class TestExperimentRegistry:
             run_experiment("does-not-exist")
 
     def test_case_study_cache_reuses_results(self):
-        first = run_case_study(workload_names=["Normal Mapping"])
-        second = run_case_study(workload_names=["Normal Mapping"])
+        session = default_session()
+        first = session.case_study(["Normal Mapping"])
+        second = session.case_study(["Normal Mapping"])
         assert first is second
-        forced = run_case_study(workload_names=["Normal Mapping"], force=True)
+        forced = session.case_study(["Normal Mapping"], force=True)
         assert forced is not first

@@ -1,0 +1,328 @@
+"""Tests for the record-once / replay-many trace layer.
+
+The load-bearing claim: payloads produced by *replaying* a recorded trace are
+byte-identical to payloads produced by *live* tracers observing the same
+execution — for every tracer, on every bundled workload.  Plus: schema round
+trips, the trace store's mask-superset keying, the replay-backed stage
+schedule (including that it executes each workload exactly once), and
+graceful failures on truncated / corrupt / mismatched trace files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.analysis.casestudy import CaseStudyRunner, pipeline_trace_mask
+from repro.api import AnalysisSession, RunSpec
+from repro.api.spec import DEPENDENCE, GECKO, LIGHTWEIGHT, LOOP_PROFILE
+from repro.engine.cache import TraceStore, workload_fingerprint
+from repro.engine.pipeline import AnalysisPipeline, _analyze_in_worker
+from repro.engine.stages import default_stages, trace_replay_enabled
+from repro.jsvm.hooks import (
+    EV_FUNCTION,
+    EV_LOOP,
+    EV_STATEMENT,
+    Trace,
+    TraceFormatError,
+    TraceMaskError,
+    TraceMismatchError,
+    TraceVersionError,
+)
+from repro.workloads import get_workload, workload_names
+
+COMPOSED = RunSpec.composed(LIGHTWEIGHT, GECKO, LOOP_PROFILE, DEPENDENCE)
+
+
+def payload_digest(payload) -> str:
+    """Canonical digest of a JSON-native payload (order-insensitive on keys)."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def recorded_session():
+    """One session whose store holds a full-mask trace per workload.
+
+    Each workload executes exactly once (``spec.record()``); the live
+    composed payloads from that same run are the byte-equality reference for
+    every replay test below.
+    """
+    session = AnalysisSession()
+    live_results = {
+        name: session.run(name, COMPOSED.record()) for name in workload_names()
+    }
+    return session, live_results
+
+
+class TestLiveVsReplayAllWorkloads:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_tracer_payload_matches_live(self, recorded_session, name):
+        session, live_results = recorded_session
+        live = live_results[name]
+        replayed = session.run(name, COMPOSED.replay())
+        for mode in (LIGHTWEIGHT, GECKO, LOOP_PROFILE, DEPENDENCE):
+            assert payload_digest(replayed.payloads[mode]) == payload_digest(
+                live.payloads[mode]
+            ), f"{name}/{mode} replay diverged from live"
+        assert replayed.report_text == live.report_text
+        assert replayed.clock_seconds == live.clock_seconds
+        assert replayed.provenance.startswith("replay:")
+
+    @pytest.mark.parametrize("mode", [LIGHTWEIGHT, GECKO, LOOP_PROFILE, DEPENDENCE])
+    def test_single_tracer_replay_matches_composed_live(self, recorded_session, mode):
+        # Composed live == staged live (PR 2); single-tracer replay from the
+        # union-mask trace must therefore match the composed payload too.
+        session, live_results = recorded_session
+        live = live_results["Normal Mapping"]
+        spec = RunSpec.composed(mode) if mode != GECKO else RunSpec.composed(GECKO)
+        replayed = session.run("Normal Mapping", spec.replay())
+        assert replayed.payloads[mode] == live.payloads[mode]
+
+
+class TestSchemaRoundTrip:
+    @pytest.fixture(scope="class")
+    def trace(self, recorded_session):
+        session, _ = recorded_session
+        fingerprint = workload_fingerprint(get_workload("Normal Mapping"))
+        trace = session.trace_store.find(fingerprint, pipeline_trace_mask())
+        assert trace is not None
+        return trace
+
+    def test_json_round_trip_is_byte_identical(self, trace):
+        text = trace.to_json()
+        again = Trace.from_json(text)
+        assert again.to_json() == text
+        assert again.digest() == trace.digest()
+
+    def test_file_round_trip_plain_and_gzip(self, trace, tmp_path):
+        for filename in ("t.trace.json", "t.trace.json.gz"):
+            path = tmp_path / filename
+            trace.save(str(path))
+            loaded = Trace.load(str(path))
+            assert loaded.digest() == trace.digest()
+
+    def test_replay_from_round_tripped_trace_matches(self, recorded_session, trace):
+        session, live_results = recorded_session
+        reloaded = Trace.from_json(trace.to_json())
+        replayed = session.replay_trace(reloaded, COMPOSED)
+        assert replayed.payloads == live_results["Normal Mapping"].payloads
+
+    def test_event_counts_and_mask_cover_the_pipeline(self, trace):
+        counts = trace.event_counts()
+        for name in ("loop_enter", "loop_exit", "statement", "prop_read", "var_write"):
+            assert counts.get(name, 0) > 0
+        assert trace.covers(pipeline_trace_mask())
+
+
+class TestGracefulErrors:
+    def test_truncated_file_raises_format_error(self, recorded_session, tmp_path):
+        session, _ = recorded_session
+        trace = session.trace_store.traces_for(
+            workload_fingerprint(get_workload("Normal Mapping"))
+        )[0]
+        path = tmp_path / "truncated.trace.json"
+        path.write_text(trace.to_json()[: len(trace.to_json()) // 2], encoding="utf-8")
+        with pytest.raises(TraceFormatError):
+            Trace.load(str(path))
+
+    def test_corrupt_json_raises_format_error(self, tmp_path):
+        path = tmp_path / "corrupt.trace.json"
+        path.write_text("this is not json", encoding="utf-8")
+        with pytest.raises(TraceFormatError):
+            Trace.load(str(path))
+
+    def test_wrong_format_marker_raises_format_error(self):
+        with pytest.raises(TraceFormatError):
+            Trace.from_dict({"format": "something-else", "version": 1})
+        with pytest.raises(TraceFormatError):
+            Trace.from_dict(["not", "a", "dict"])
+
+    def test_version_mismatch_raises_version_error(self, recorded_session):
+        session, _ = recorded_session
+        trace = session.trace_store.traces_for(
+            workload_fingerprint(get_workload("Normal Mapping"))
+        )[0]
+        data = trace.to_dict()
+        data["version"] = 999
+        with pytest.raises(TraceVersionError):
+            Trace.from_dict(data)
+
+    def test_malformed_records_raise_format_error(self, recorded_session):
+        session, _ = recorded_session
+        trace = session.trace_store.traces_for(
+            workload_fingerprint(get_workload("Normal Mapping"))
+        )[0]
+        data = trace.to_dict()
+        data["events"] = [[999, 0.0]]
+        with pytest.raises(TraceFormatError):
+            Trace.from_dict(data)
+
+    def test_out_of_range_intern_indexes_raise_format_error(self, recorded_session):
+        # Out-of-range (and especially *negative*) intern indexes must fail
+        # at load, not alias to the wrong entry mid-replay.
+        session, _ = recorded_session
+        trace = session.trace_store.traces_for(
+            workload_fingerprint(get_workload("Normal Mapping"))
+        )[0]
+        from repro.jsvm.hooks import TR_PROP_READ, TR_VAR_WRITE
+
+        for bad_record in (
+            [TR_PROP_READ, 0.0, 99_999_999, 0, -1],  # object index too large
+            [TR_PROP_READ, 0.0, -3, 0, -1],  # negative object index aliases
+            [TR_VAR_WRITE, 0.0, 0, 99_999_999, -1],  # env index too large
+            [TR_VAR_WRITE, 0.0, -2, 0, -1],  # negative string index aliases
+            [TR_PROP_READ, 0.0, 0, 0],  # wrong arity
+        ):
+            data = trace.to_dict()
+            data["events"] = [bad_record]
+            with pytest.raises(TraceFormatError):
+                Trace.from_dict(data)
+
+    def test_insufficient_mask_raises_mask_error(self):
+        runner = CaseStudyRunner()
+        workload = get_workload("Normal Mapping")
+        narrow = runner.record_trace(workload, mask=EV_LOOP)
+        from repro.browser.gecko_profiler import GeckoProfiler
+        from repro.jsvm.hooks import TraceReplayer
+
+        with pytest.raises(TraceMaskError, match="does not cover"):
+            TraceReplayer(narrow).replay([GeckoProfiler()])
+
+    def test_fingerprint_mismatch_raises(self, recorded_session):
+        session, _ = recorded_session
+        trace = session.trace_store.traces_for(
+            workload_fingerprint(get_workload("Normal Mapping"))
+        )[0]
+        data = trace.to_dict()
+        data["fingerprint"] = "0" * 64
+        stale = Trace.from_dict(data)
+        with pytest.raises(TraceMismatchError, match="fingerprint"):
+            session.replay_trace(stale, RunSpec.lightweight())
+
+
+class TestTraceStore:
+    def test_mask_superset_lookup(self):
+        store = TraceStore()
+        loop_only = Trace(mask=EV_LOOP, fingerprint="fp")
+        store.put(loop_only)
+        assert store.find("fp", EV_LOOP) is loop_only
+        assert store.find("fp", EV_LOOP | EV_FUNCTION) is None
+        assert store.find("other", EV_LOOP) is None
+
+    def test_put_drops_strictly_covered_traces(self):
+        store = TraceStore()
+        store.put(Trace(mask=EV_LOOP, fingerprint="fp"))
+        union = Trace(mask=EV_LOOP | EV_FUNCTION | EV_STATEMENT, fingerprint="fp")
+        store.put(union)
+        assert len(store) == 1
+        assert store.find("fp", EV_LOOP) is union
+
+    def test_prefers_smallest_covering_mask(self):
+        store = TraceStore()
+        union = Trace(mask=EV_LOOP | EV_FUNCTION | EV_STATEMENT, fingerprint="fp")
+        store.put(union)
+        narrow = Trace(mask=EV_LOOP | EV_FUNCTION, fingerprint="fp")
+        store.put(narrow)
+        assert store.find("fp", EV_LOOP) is narrow
+        assert store.find("fp", EV_LOOP | EV_STATEMENT) is union
+
+
+class TestReplayBackedSchedule:
+    def test_default_schedule_records_then_replays(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_REPLAY", raising=False)
+        assert trace_replay_enabled()
+        assert [stage.name for stage in default_stages()][0] == "record"
+
+    def test_pipeline_executes_each_workload_exactly_once(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_REPLAY", raising=False)
+        calls = {"record": 0}
+        original = CaseStudyRunner.record_trace
+
+        def counting_record(self, workload, mask=None):
+            calls["record"] += 1
+            return original(self, workload, mask)
+
+        def forbidden_live(self, *args, **kwargs):
+            raise AssertionError("live instrumented run in replay-backed schedule")
+
+        monkeypatch.setattr(CaseStudyRunner, "record_trace", counting_record)
+        monkeypatch.setattr(CaseStudyRunner, "_instrumented_run", forbidden_live)
+        pipeline = AnalysisPipeline(workers=1)
+        result = pipeline.run(["Normal Mapping"], force=True)
+        analysis = result.analyses[0]
+        assert calls["record"] == 1
+        assert analysis.nests, "replayed schedule must still find hot nests"
+        assert analysis.table2.total_seconds > 0
+
+    def test_replay_disabled_matches_replay_enabled_tables(self, monkeypatch):
+        replayed = AnalysisPipeline(workers=1).run(["Normal Mapping"], force=True)
+        monkeypatch.setenv("REPRO_TRACE_REPLAY", "0")
+        monkeypatch.delenv("REPRO_FORCE_TRACE_REPLAY", raising=False)
+        live = AnalysisPipeline(workers=1).run(["Normal Mapping"], force=True)
+        assert live.tables.render_table2() == replayed.tables.render_table2()
+        assert live.tables.render_table3() == replayed.tables.render_table3()
+
+    def test_force_flag_errors_instead_of_silent_live_fallback(self, monkeypatch):
+        from repro.engine.stages import _stage_profile
+
+        monkeypatch.setenv("REPRO_FORCE_TRACE_REPLAY", "1")
+        runner = CaseStudyRunner()
+        with pytest.raises(RuntimeError, match="no recorded trace"):
+            _stage_profile(runner, get_workload("Normal Mapping"), {})
+
+    def test_fan_out_worker_replays_a_shipped_trace(self, monkeypatch):
+        # Ship a pre-recorded trace in the worker payload and forbid every
+        # execution path: the worker must complete on replay alone.
+        monkeypatch.delenv("REPRO_TRACE_REPLAY", raising=False)
+        workload = get_workload("Normal Mapping")
+        trace = CaseStudyRunner(trace_store=TraceStore()).record_trace(workload)
+
+        def forbidden_record(self, *args, **kwargs):
+            raise AssertionError("worker re-recorded a shipped trace")
+
+        def forbidden_live(self, *args, **kwargs):
+            raise AssertionError("worker executed guest code despite shipped trace")
+
+        monkeypatch.setattr(CaseStudyRunner, "record_trace", forbidden_record)
+        monkeypatch.setattr(CaseStudyRunner, "_instrumented_run", forbidden_live)
+        analysis = _analyze_in_worker(
+            (
+                "Normal Mapping",
+                {"cores": 8, "coverage_target": 0.80, "max_nests_per_app": 5},
+                trace,
+            )
+        )
+        assert analysis.name == "Normal Mapping"
+        assert analysis.nests
+
+
+class TestSpecTracePolicy:
+    def test_record_replay_round_trip_spec_dict(self):
+        spec = RunSpec.lightweight().replay()
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["trace_policy"] == "replay"
+        # Live specs keep their historical serialized shape, byte for byte.
+        assert "trace_policy" not in RunSpec.lightweight().to_dict()
+
+    def test_policy_requires_a_bus_tracer(self):
+        with pytest.raises(ValueError, match="bus tracer"):
+            RunSpec.uninstrumented().replay()
+        with pytest.raises(ValueError, match="unknown trace policy"):
+            RunSpec(tracers=frozenset({LIGHTWEIGHT}), trace_policy="bogus")
+
+    def test_policy_composes_with_or(self):
+        merged = RunSpec.lightweight().replay() | RunSpec.loop_profile()
+        assert merged.trace_policy == "replay"
+        with pytest.raises(ValueError, match="trace_policy"):
+            _ = RunSpec.lightweight().replay() | RunSpec.loop_profile().record()
+
+    def test_recorded_run_attaches_trace_artifact(self):
+        with AnalysisSession() as session:
+            result = session.run("Normal Mapping", RunSpec.lightweight().record())
+        assert result.provenance.startswith("recorded:")
+        assert result.artifacts.trace is not None
+        assert result.artifacts.trace.covers(pipeline_trace_mask())
