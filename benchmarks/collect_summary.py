@@ -18,6 +18,7 @@ in-tree PR-over-PR.
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from datetime import datetime, timezone
@@ -68,11 +69,103 @@ def collect(artifacts_dir: Path = ARTIFACTS_DIR) -> dict:
     }
 
 
-def main() -> int:
+def stale_entries(
+    summary_path: Path = SUMMARY_PATH, artifacts_dir: Path = ARTIFACTS_DIR
+) -> list:
+    """Summary rows older than their source ``BENCH_*.json`` artifacts.
+
+    Returns ``(artifact_name, reason, blocking)`` triples for every artifact
+    on disk whose committed summary entry is missing or whose
+    ``recorded_at`` is older than the artifact's mtime — i.e. the benchmark
+    re-ran but the committed trajectory snapshot was not refreshed.
+
+    ``blocking`` is True for coverage gaps (no summary entry at all, or an
+    unparseable one): those fail ``--check``.  Pure timestamp drift is
+    non-blocking there — artifacts are gitignored, so a CI job that just
+    regenerated them will always hold fresher mtimes than the committed
+    snapshot; only the *local* refresh path can act on drift, and the
+    default (rewrite) mode warns about it.
+    """
+    try:
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        summary = {}
+    by_artifact = {
+        row.get("artifact"): row
+        for row in summary.get("benchmarks", [])
+        if isinstance(row, dict)
+    }
+    stale = []
+    for path in sorted(artifacts_dir.glob("BENCH_*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        row = by_artifact.get(path.name)
+        if row is None:
+            stale.append((path.name, "missing from the committed summary", True))
+            continue
+        recorded_at = row.get("recorded_at")
+        try:
+            recorded_ts = datetime.fromisoformat(recorded_at).timestamp()
+        except (TypeError, ValueError):
+            stale.append((path.name, f"unparseable recorded_at {recorded_at!r}", True))
+            continue
+        mtime = path.stat().st_mtime
+        # One second of slack: recorded_at is serialized at second precision.
+        if mtime > recorded_ts + 1.0:
+            artifact_at = datetime.fromtimestamp(mtime, tz=timezone.utc).isoformat(
+                timespec="seconds"
+            )
+            stale.append(
+                (
+                    path.name,
+                    f"artifact written {artifact_at} but summary entry "
+                    f"recorded {recorded_at}",
+                    False,
+                )
+            )
+    return stale
+
+
+def _report_stale(stale: list) -> None:
+    for name, reason, _blocking in stale:
+        print(f"collect_summary: STALE {name}: {reason}", file=sys.stderr)
+    print(
+        "collect_summary: the committed BENCH_summary.json is out of date — "
+        "re-run `PYTHONPATH=src python benchmarks/collect_summary.py` and "
+        "commit the result",
+        file=sys.stderr,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed summary covers every artifact (exit 1 on "
+        "any uncovered one) instead of rewriting it — the CI gate",
+    )
+    args = parser.parse_args(argv)
     if not ARTIFACTS_DIR.is_dir():
+        if args.check:
+            print("collect_summary: no artifacts directory; nothing to check")
+            return 0
         print(f"collect_summary: no artifacts directory at {ARTIFACTS_DIR}", file=sys.stderr)
         return 1
-    summary = collect()
+    if args.check:
+        stale = stale_entries(SUMMARY_PATH, ARTIFACTS_DIR)
+        if stale:
+            _report_stale(stale)
+        blocking = [entry for entry in stale if entry[2]]
+        if blocking:
+            return 1
+        print(f"collect_summary: {SUMMARY_PATH.name} covers every artifact")
+        return 0
+    stale = stale_entries(SUMMARY_PATH, ARTIFACTS_DIR)
+    if stale:
+        # Warn (so local runs notice), then refresh the snapshot below.
+        _report_stale(stale)
+    summary = collect(ARTIFACTS_DIR)
     SUMMARY_PATH.write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

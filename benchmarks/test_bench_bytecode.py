@@ -1,0 +1,96 @@
+"""Per-tier execution throughput across four numeric workloads.
+
+One benchmark per workload (fluidSim, the Figure 6 N-body kernel, Realtime
+Raytracing, Normal Mapping): the measured run executes uninstrumented under
+the ``bytecode`` tier policy (register bytecode + guarded numeric fast
+nests), and ``extra_info`` records a one-shot ops/sec comparison of all
+three tier policies so the committed ``BENCH_summary.json`` tracks the
+per-tier trajectory PR-over-PR.
+
+Tiers are byte-identical by contract, so every measurement asserts exact
+virtual-op parity across policies before recording throughput.  fluidSim —
+the hottest purely numeric workload — additionally gates the fast path:
+the ``bytecode`` policy must be at least 2× the closure-only tier.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.browser.window import BrowserSession
+from repro.ceres.proxy import InstrumentationMode, InstrumentingProxy, OriginServer
+from repro.jsvm.hooks import HookBus
+from repro.jsvm.tiers import ALL_TIERS, closure_tier_forced
+from repro.workloads import get_workload
+from repro.workloads.nbody import make_nbody_workload
+
+
+def _load(name: str):
+    if name == "nbody":
+        return make_nbody_workload(bodies=16, steps=8)
+    return get_workload(name)
+
+
+def _prepare(workload):
+    """Host + intercept the workload's scripts (untimed setup work)."""
+    origin = OriginServer()
+    origin.host_scripts(list(workload.scripts))
+    proxy = InstrumentingProxy(origin, mode=InstrumentationMode.NONE)
+    documents = [proxy.request(path) for path, _source in workload.scripts]
+    return documents
+
+
+def _execute(workload, documents, tier: str):
+    """One uninstrumented run under ``tier``; returns (guest_ops, seconds)."""
+    browser = BrowserSession(hooks=HookBus(), title=workload.name, tier=tier)
+    if hasattr(workload, "prepare"):
+        workload.prepare(browser)
+    started = time.perf_counter()
+    for document in documents:
+        browser.run_document(document)
+    workload.exercise(browser)
+    elapsed = time.perf_counter() - started
+    return browser.interp.stats.ops, elapsed
+
+
+_WORKLOADS = ["fluidSim", "nbody", "Realtime Raytracing", "Normal Mapping"]
+
+
+@pytest.mark.skipif(
+    closure_tier_forced(),
+    reason="REPRO_FORCE_CLOSURE_TIER overrides every tier request, so the "
+    "per-tier comparison would measure the closure tier three times",
+)
+@pytest.mark.parametrize("name", _WORKLOADS)
+def test_bench_bytecode_tiers(benchmark, name):
+    """Uninstrumented guest throughput of the bytecode tier, per workload."""
+    workload = _load(name)
+    documents = _prepare(workload)
+
+    def run():
+        return _execute(workload, documents, "bytecode")
+
+    ops, _elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    mean = benchmark.stats.stats.mean
+
+    per_tier = {}
+    for tier in ALL_TIERS:
+        tier_ops, tier_elapsed = _execute(workload, documents, tier)
+        # Byte-identity contract: every tier performs the same virtual ops.
+        assert tier_ops == ops, f"{name}: tier {tier} diverged on virtual ops"
+        per_tier[f"{tier}_ops_per_sec"] = tier_ops / tier_elapsed if tier_elapsed else 0.0
+
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["guest_ops"] = ops
+    benchmark.extra_info["ops_per_sec"] = ops / mean if mean else 0.0
+    benchmark.extra_info.update(per_tier)
+
+    assert ops > 0
+    if name == "fluidSim":
+        # The acceptance gate: guarded numeric nests must carry fluidSim to
+        # at least twice the closure-only tier's throughput.
+        assert per_tier["bytecode_ops_per_sec"] >= 2.0 * per_tier["closure_ops_per_sec"], (
+            f"fluidSim fast path regressed: {per_tier}"
+        )

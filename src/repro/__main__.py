@@ -100,6 +100,10 @@ def _cmd_run_speculate(session, args) -> int:
 
     known = workload_names()
     names = args.experiments or known
+    if not names:
+        print("run --speculate: no workloads given and none are registered", file=sys.stderr)
+        print("usage: python -m repro run --speculate [workload ...]", file=sys.stderr)
+        return 2
     unknown = [name for name in names if name not in known]
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
@@ -110,6 +114,8 @@ def _cmd_run_speculate(session, args) -> int:
         strategy=args.spec_strategy,
         processes=args.spec_processes,
     )
+    if args.tier is not None:
+        spec = spec.with_tier(args.tier)
     envelope = []
     for name in names:
         result = session.run(name, spec)
@@ -184,6 +190,13 @@ def _cmd_trace(session, args) -> int:
         )
         return 0
 
+    if not getattr(args, "file", None):
+        print(
+            f"trace {args.trace_command}: a trace file is required "
+            "(record one with `python -m repro trace record <workload>`)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         trace = Trace.load(args.file)
     except TraceError as exc:
@@ -267,6 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--json", action="store_true", help="JSON envelope per experiment")
     p_run.add_argument(
+        "--tier",
+        choices=["auto", "bytecode", "closure"],
+        default=None,
+        help="execution-tier policy (byte-identical results; speed only)",
+    )
+    p_run.add_argument(
         "--speculate",
         action="store_true",
         help="speculatively re-execute every DOALL nest and report executed vs modelled speedup",
@@ -334,7 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace_replay.set_defaults(func=_cmd_trace)
 
     p_trace_info = trace_sub.add_parser("info", help="inspect a trace file")
-    p_trace_info.add_argument("file", help="trace file written by `trace record`")
+    p_trace_info.add_argument(
+        "file", nargs="?", default=None, help="trace file written by `trace record`"
+    )
     p_trace_info.add_argument("--json", action="store_true", help="machine-readable output")
     p_trace_info.set_defaults(func=_cmd_trace)
 
@@ -350,7 +371,7 @@ def main(argv=None) -> int:
     from .api.session import AnalysisSession
 
     try:
-        with AnalysisSession() as session:
+        with AnalysisSession(default_tier=getattr(args, "tier", None)) as session:
             return args.func(session, args)
     except BrokenPipeError:
         # Output was piped into a consumer that stopped reading (e.g. head).

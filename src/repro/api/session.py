@@ -41,6 +41,7 @@ from ..ceres.report import render_dependence, render_lightweight, render_loop_pr
 from ..ceres.repository import RemotePublisher, ResultsRepository
 from ..engine.cache import ScriptCache, TraceStore, workload_fingerprint
 from ..engine.pipeline import AnalysisPipeline, PipelineResult
+from ..jsvm.tiers import validate_tier
 from ..jsvm.hooks import (
     HookBus,
     ReplayClock,
@@ -86,7 +87,11 @@ class AnalysisSession:
         coverage_target: float = 0.80,
         max_nests_per_app: int = 5,
         trace_store: Optional[TraceStore] = None,
+        default_tier: Optional[str] = None,
     ) -> None:
+        #: Execution-tier policy for runs whose spec leaves ``tier`` unset
+        #: (``None`` = the VM default, honouring ``REPRO_FORCE_CLOSURE_TIER``).
+        self.default_tier = validate_tier(default_tier)
         self.repository = repository if repository is not None else ResultsRepository()
         self.publisher = publisher if publisher is not None else RemotePublisher()
         self.script_cache = script_cache if script_cache is not None else ScriptCache()
@@ -161,7 +166,8 @@ class AnalysisSession:
             script_cache=self.script_cache,
         )
         hooks = HookBus()
-        browser = BrowserSession(hooks=hooks, title=workload.name)
+        tier = spec.tier if spec.tier is not None else self.default_tier
+        browser = BrowserSession(hooks=hooks, title=workload.name, tier=tier)
         if hasattr(workload, "prepare"):
             workload.prepare(browser)
 

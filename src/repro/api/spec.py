@@ -22,6 +22,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional
 
+from ..jsvm.tiers import validate_tier
+
 #: Valid ``RunSpec.trace_policy`` values (``None`` = plain live run).
 TRACE_POLICIES = ("record", "replay")
 
@@ -100,6 +102,11 @@ class RunSpec:
     #: ``"replay"`` drives the tracers from a stored (or freshly recorded)
     #: trace with **no** guest execution.  See :meth:`record` / :meth:`replay`.
     trace_policy: Optional[str] = None
+    #: Execution-tier policy (see :mod:`repro.jsvm.tiers`): ``None`` uses
+    #: the session default (``"auto"``), or name ``"auto"``/``"bytecode"``/
+    #: ``"closure"`` explicitly.  Tiers are byte-identical by contract, so
+    #: this knob affects speed only, never results.
+    tier: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tracers", frozenset(self.tracers))
@@ -140,6 +147,7 @@ class RunSpec:
                     f"trace_policy={self.trace_policy!r} requires at least one "
                     f"bus tracer (got tracers={sorted(self.tracers)})"
                 )
+        validate_tier(self.tier)
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -236,6 +244,11 @@ class RunSpec:
         """A copy of this spec with the default live-execution policy."""
         return dataclasses.replace(self, trace_policy=None)
 
+    # -------------------------------------------------------------------- tier
+    def with_tier(self, tier: Optional[str]) -> "RunSpec":
+        """A copy of this spec pinned to an execution-tier policy."""
+        return dataclasses.replace(self, tier=validate_tier(tier))
+
     # ------------------------------------------------------------- composition
     def __or__(self, other: "RunSpec") -> "RunSpec":
         """Merge two specs into one single-pass run.
@@ -264,6 +277,7 @@ class RunSpec:
             ),
             speculate_processes=self.speculate_processes or other.speculate_processes,
             trace_policy=merge(self.trace_policy, other.trace_policy, "trace_policy"),
+            tier=merge(self.tier, other.tier, "tier"),
         )
 
     # ------------------------------------------------------------------ masks
@@ -346,6 +360,8 @@ class RunSpec:
         # Serialized only when set, so pre-trace envelopes keep their bytes.
         if self.trace_policy is not None:
             data["trace_policy"] = self.trace_policy
+        if self.tier is not None:
+            data["tier"] = self.tier
         return data
 
     @classmethod
@@ -359,4 +375,5 @@ class RunSpec:
             speculate_strategy=data.get("speculate_strategy"),
             speculate_processes=bool(data.get("speculate_processes", False)),
             trace_policy=data.get("trace_policy"),
+            tier=data.get("tier"),
         )

@@ -28,9 +28,10 @@ class BrowserSession:
         clock: Optional[VirtualClock] = None,
         rng_seed: int = 20150207,
         title: str = "page",
+        tier: Optional[str] = None,
     ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
-        self.interp = Interpreter(hooks=hooks, clock=self.clock, rng_seed=rng_seed)
+        self.interp = Interpreter(hooks=hooks, clock=self.clock, rng_seed=rng_seed, tier=tier)
         self.document = Document(clock=self.clock, title=title)
         attach_canvas_support(self.interp, self.document)
         self.event_loop = EventLoop(self.interp)

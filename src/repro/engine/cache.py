@@ -46,10 +46,17 @@ def workload_fingerprint(workload) -> str:
 
 
 class ScriptCache:
-    """Parse-once cache of ``(path, content)`` → ``(Program, ProgramIndex)``."""
+    """Parse-once cache of ``(path, content)`` → ``(Program, ProgramIndex)``.
 
-    def __init__(self) -> None:
+    When wired to a :class:`BytecodeCache`, every freshly parsed program is
+    seeded with the cached register bytecode for its fingerprint (if any), so
+    bytecode-tier runs skip lowering even on a parse miss — e.g. in a fan-out
+    worker that received compiled scripts from the parent process.
+    """
+
+    def __init__(self, bytecode_cache: Optional["BytecodeCache"] = None) -> None:
         self._entries: Dict[Tuple[str, bytes], Tuple[ast.Program, ProgramIndex]] = {}
+        self.bytecode_cache = bytecode_cache
         self.hits = 0
         self.misses = 0
 
@@ -60,6 +67,8 @@ class ScriptCache:
         if entry is None:
             self.misses += 1
             program = parse(source, name=path)
+            if self.bytecode_cache is not None:
+                self.bytecode_cache.seed(path, source, program)
             entry = (program, ProgramIndex(program))
             self._entries[key] = entry
         else:
@@ -68,6 +77,90 @@ class ScriptCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class BytecodeCache:
+    """Script-fingerprint-keyed store of serialized register bytecode.
+
+    Entries are the :meth:`~repro.jsvm.bytecode.CodeObject.to_bytes` payloads
+    of lowered programs, keyed by the same ``(path, source)`` identity the
+    :class:`ScriptCache` uses.  Payloads are plain bytes, so they cross
+    process boundaries: the pipeline ships each workload's compiled scripts
+    to its fan-out workers, which :meth:`absorb` them and rebind against
+    their own parsed ASTs (parsing is deterministic, so ``node_id`` references
+    resolve identically).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], bytes] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def script_key(path: str, source: str) -> Tuple[str, str]:
+        return (path, source_digest(source))
+
+    def get(self, path: str, source: str) -> Optional[bytes]:
+        with self._lock:
+            data = self._entries.get(self.script_key(path, source))
+        if data is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return data
+
+    def put(self, path: str, source: str, data: bytes) -> None:
+        with self._lock:
+            self._entries[self.script_key(path, source)] = data
+
+    def prepare(self, path: str, source: str, program: ast.Program) -> bytes:
+        """Serialized bytecode for ``program``, lowering once per fingerprint."""
+        key = self.script_key(path, source)
+        with self._lock:
+            data = self._entries.get(key)
+        if data is not None:
+            self.hits += 1
+            return data
+        self.misses += 1
+        from ..jsvm.bytecode import serialize_program_bytecode
+
+        data = serialize_program_bytecode(program)
+        with self._lock:
+            self._entries[key] = data
+        return data
+
+    def seed(self, path: str, source: str, program: ast.Program) -> bool:
+        """Install this cache's bytecode (if any) into a fresh ``program``."""
+        data = self.get(path, source)
+        if data is None:
+            return False
+        from ..jsvm.bytecode import seed_program_bytecode
+
+        return seed_program_bytecode(program, data)
+
+    def payload_for(self, scripts) -> Dict[str, bytes]:
+        """``{path: payload}`` for the cached entries among ``scripts``."""
+        payload: Dict[str, bytes] = {}
+        for path, source in scripts:
+            with self._lock:
+                data = self._entries.get(self.script_key(path, source))
+            if data is not None:
+                payload[path] = data
+        return payload
+
+    def absorb(self, scripts, payload: Optional[Dict[str, bytes]]) -> None:
+        """Store a shipped ``{path: payload}`` mapping (worker side)."""
+        if not payload:
+            return
+        for path, source in scripts:
+            data = payload.get(path)
+            if data is not None:
+                self.put(path, source, data)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class TraceStore:

@@ -25,8 +25,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..analysis.casestudy import ApplicationAnalysis, CaseStudyRunner, pipeline_trace_mask
 from ..analysis.tables import CaseStudyTables, build_tables
-from .cache import ScriptCache, TraceStore, workload_fingerprint
-from .stages import run_stages, trace_replay_enabled
+from .cache import BytecodeCache, ScriptCache, TraceStore, workload_fingerprint
+from .stages import prepare_workload_bytecode, run_stages, trace_replay_enabled
 
 #: Environment knob for the fan-out width (``1`` forces serial execution).
 WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
@@ -65,18 +65,25 @@ def _analyze_in_worker(payload) -> ApplicationAnalysis:
     ``trace`` is an optional pre-recorded :class:`~repro.jsvm.hooks.Trace`
     shipped from the parent's store; when present the worker seeds its own
     store with it and the replay-backed stages run without any guest
-    execution in the worker.
+    execution in the worker.  ``bytecode`` is the parent's compiled-script
+    payload (``{path: bytes}``): the worker absorbs it into its own
+    :class:`BytecodeCache` so freshly parsed scripts come pre-lowered.
     """
-    name, runner_kwargs, trace = payload
+    name, runner_kwargs, trace, bytecode = payload
     from ..workloads import get_workload
 
+    workload = get_workload(name)
     trace_store = TraceStore()
     if trace is not None:
         trace_store.put(trace)
+    bytecode_cache = BytecodeCache()
+    bytecode_cache.absorb(workload.scripts, bytecode)
     runner = CaseStudyRunner(
-        script_cache=ScriptCache(), trace_store=trace_store, **runner_kwargs
+        script_cache=ScriptCache(bytecode_cache=bytecode_cache),
+        trace_store=trace_store,
+        **runner_kwargs,
     )
-    return run_stages(runner, get_workload(name))
+    return run_stages(runner, workload)
 
 
 class AnalysisPipeline:
@@ -105,9 +112,14 @@ class AnalysisPipeline:
         coverage_target: float = 0.80,
         max_nests_per_app: int = 5,
         trace_store: Optional[TraceStore] = None,
+        bytecode_cache: Optional[BytecodeCache] = None,
     ) -> None:
         self.workers = workers
-        self.script_cache = script_cache if script_cache is not None else ScriptCache()
+        self.bytecode_cache = bytecode_cache if bytecode_cache is not None else BytecodeCache()
+        if script_cache is not None:
+            self.script_cache = script_cache
+        else:
+            self.script_cache = ScriptCache(bytecode_cache=self.bytecode_cache)
         self.trace_store = trace_store if trace_store is not None else TraceStore()
         self._runner_kwargs = {
             "cores": cores,
@@ -236,7 +248,10 @@ class AnalysisPipeline:
                 if replay
                 else None
             )
-            payloads.append((workload.name, self._runner_kwargs, trace))
+            bytecode = prepare_workload_bytecode(
+                self.script_cache, self.bytecode_cache, workload
+            )
+            payloads.append((workload.name, self._runner_kwargs, trace, bytecode))
         try:
             context = multiprocessing.get_context("fork")
             pool = context.Pool(processes=workers)

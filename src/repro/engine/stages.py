@@ -225,6 +225,21 @@ def speculation_stage(executor) -> Stage:
     )
 
 
+def prepare_workload_bytecode(script_cache, bytecode_cache, workload) -> Dict[str, bytes]:
+    """Lower every script of ``workload`` into ``bytecode_cache`` (idempotent).
+
+    Returns the ``{path: payload}`` mapping the pipeline ships to fan-out
+    workers: serialized :class:`~repro.jsvm.bytecode.CodeObject` trees the
+    worker's own :class:`~repro.engine.cache.BytecodeCache` absorbs, so
+    bytecode-tier runs in the worker skip lowering entirely.
+    """
+    payload: Dict[str, bytes] = {}
+    for path, source in workload.scripts:
+        program, _index = script_cache.get(path, source)
+        payload[path] = bytecode_cache.prepare(path, source, program)
+    return payload
+
+
 def run_stages(
     runner,
     workload,

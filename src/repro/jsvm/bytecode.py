@@ -1,0 +1,525 @@
+"""Register-bytecode execution tier.
+
+The closure tier (:mod:`repro.jsvm.compiler`) lowers the resolved AST once
+into a tree of Python closures; this module lowers the same resolved AST a
+step further into a compact **register bytecode**: flat tuples dispatched by
+a single threaded loop, with expression temporaries in a per-invocation
+register file and identifier reads slot-addressed from the resolver's
+(``hops``, ``index``) classification.
+
+Two properties drive the design:
+
+* **Byte-identity with the closure tier.**  Every native instruction
+  replicates the closure tier's exact semantics — charge order (pre-order:
+  one clock charge *before* the operands run), counter increments, and
+  :class:`~repro.jsvm.hooks.HookBus` dispatch gated on the same cached
+  ``rt.trace_mask`` — so instrumented runs produce the same event streams.
+  Constructs outside the native subset (loops, calls, ``try``, ``switch``,
+  ``for``-``in``, member accesses, …) lower to *escape* instructions that
+  invoke the closure-compiled code for that exact subtree, making identity
+  structural rather than aspirational.  Counted ``for`` loops reached
+  through an escape still enter the numeric fast tier
+  (:mod:`repro.jsvm.fasttier`) — the ``bytecode`` tier policy enables it.
+
+* **Serializability.**  A :class:`CodeObject` is a pure tree of tuples,
+  scalars and operator *names*: no closures, no AST references, no heap
+  values.  :meth:`CodeObject.to_bytes` pickles that tree so the engine can
+  cache compiled scripts by fingerprint and ship them to fan-out workers;
+  :meth:`CodeObject.from_bytes` + :meth:`CodeObject.rehydrate` re-bind the
+  escape instructions against the worker's own parsed AST via the parser's
+  deterministic ``node_id`` numbering.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import ast_nodes as ast
+from .compiler import (
+    _PURE_BINARY_OPS,
+    ReturnSignal,
+    _dict_read,
+    build_hoist_plan,
+    compile_expr,
+    compile_stmt,
+    resolve_program,
+    run_hoist_plan,
+)
+from .hooks import EV_BRANCH, EV_ENV, EV_STATEMENT, EV_VAR
+from .scope import HOLE, Environment
+from .values import NULL, UNDEFINED, to_boolean, to_number
+
+__all__ = [
+    "CodeObject",
+    "build_node_map",
+    "ensure_bytecode_body",
+    "ensure_bytecode_program",
+    "execute",
+    "lower_statements",
+]
+
+#: Serialization format version (bump on any incompatible layout change).
+BYTECODE_VERSION = 1
+
+# --- opcodes ---------------------------------------------------------------
+OP_CHARGE = 1  # ()                 rt._charge()
+OP_CONST = 2  # (dst, k)            regs[dst] = consts[k]
+OP_LOAD = 3  # (dst, hops, idx, ni) slot-addressed identifier read
+OP_LOADN = 4  # (dst, ni)           dict-chain identifier read (no slot res)
+OP_BIN = 5  # (dst, oi, a, b)       regs[dst] = ops[oi](regs[a], regs[b])
+OP_NOT = 6  # (dst, a)              regs[dst] = not to_boolean(regs[a])
+OP_NEG = 7  # (dst, a)              regs[dst] = -to_number(regs[a])
+OP_POS = 8  # (dst, a)              regs[dst] = to_number(regs[a])
+OP_EVAL = 9  # (dst, ni)            escape: closure-compiled expression
+OP_STMT = 10  # (ni,)               escape: closure-compiled statement
+OP_PRE = 11  # (ni,)                statement wrapper: charge + count + hook
+OP_IF = 12  # (t, ci, ai, ni)       branch into child code objects
+OP_RET = 13  # (a,)                 raise ReturnSignal(regs[a])
+OP_RETU = 14  # ()                  raise ReturnSignal(UNDEFINED)
+OP_RESULT = 15  # (a,)              statement result = regs[a]
+OP_BLOCK = 16  # (ci, ni)           block statement body in a fresh env
+
+def _encode_const(value: Any) -> Tuple[str, Any]:
+    """Pickle-safe const encoding: UNDEFINED/NULL are process singletons
+    compared by identity, so they travel as tags, not pickled instances."""
+    if value is UNDEFINED:
+        return ("u", None)
+    if value is NULL:
+        return ("n", None)
+    return ("v", value)
+
+
+def _decode_const(entry: Tuple[str, Any]) -> Any:
+    tag, value = entry
+    if tag == "u":
+        return UNDEFINED
+    if tag == "n":
+        return NULL
+    return value
+
+
+_OP_NAMES = {
+    OP_CHARGE: "CHARGE",
+    OP_CONST: "CONST",
+    OP_LOAD: "LOAD",
+    OP_LOADN: "LOADN",
+    OP_BIN: "BIN",
+    OP_NOT: "NOT",
+    OP_NEG: "NEG",
+    OP_POS: "POS",
+    OP_EVAL: "EVAL",
+    OP_STMT: "STMT",
+    OP_PRE: "PRE",
+    OP_IF: "IF",
+    OP_RET: "RET",
+    OP_RETU: "RETU",
+    OP_RESULT: "RESULT",
+    OP_BLOCK: "BLOCK",
+}
+
+
+class CodeObject:
+    """One lowered statement list: instructions + operand tables.
+
+    The serializable state is ``(n_regs, instrs, consts, op_names,
+    node_ids, children)``; the runtime state (``nodes`` — AST nodes the
+    escape/hook instructions reference, ``ops`` — resolved binary operator
+    functions, ``codes``/``stmts`` — lazily compiled closure escapes) is
+    rebuilt by :meth:`rehydrate`.
+    """
+
+    __slots__ = (
+        "n_regs",
+        "instrs",
+        "consts",
+        "op_names",
+        "node_ids",
+        "children",
+        "nodes",
+        "ops",
+        "hydrated",
+    )
+
+    def __init__(self) -> None:
+        self.n_regs = 0
+        self.instrs: List[Tuple[int, ...]] = []
+        self.consts: List[Any] = []
+        self.op_names: List[str] = []
+        self.node_ids: List[int] = []
+        self.children: List["CodeObject"] = []
+        self.nodes: List[Any] = []
+        self.ops: List[Any] = []
+        self.hydrated = False
+
+    # ------------------------------------------------------- serialization
+    def to_tree(self) -> Tuple:
+        return (
+            self.n_regs,
+            tuple(self.instrs),
+            tuple(_encode_const(c) for c in self.consts),
+            tuple(self.op_names),
+            tuple(self.node_ids),
+            tuple(child.to_tree() for child in self.children),
+        )
+
+    @classmethod
+    def from_tree(cls, tree: Tuple) -> "CodeObject":
+        code = cls()
+        code.n_regs, instrs, consts, op_names, node_ids, children = tree
+        code.instrs = list(instrs)
+        code.consts = [_decode_const(c) for c in consts]
+        code.op_names = list(op_names)
+        code.node_ids = list(node_ids)
+        code.children = [cls.from_tree(child) for child in children]
+        return code
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps((BYTECODE_VERSION, self.to_tree()), protocol=4)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CodeObject":
+        version, tree = pickle.loads(data)
+        if version != BYTECODE_VERSION:
+            raise ValueError(f"bytecode version mismatch: {version} != {BYTECODE_VERSION}")
+        return cls.from_tree(tree)
+
+    def rehydrate(self, node_map: Dict[int, ast.Node]) -> "CodeObject":
+        """Bind escape/hook instructions to this process's AST nodes."""
+        self.nodes = [node_map[node_id] for node_id in self.node_ids]
+        self.ops = [_PURE_BINARY_OPS[name] for name in self.op_names]
+        for child in self.children:
+            child.rehydrate(node_map)
+        self.hydrated = True
+        return self
+
+    def dis(self, indent: str = "") -> str:
+        """Human-readable disassembly (debugging aid)."""
+        out = []
+        for i, ins in enumerate(self.instrs):
+            out.append(f"{indent}{i:3d} {_OP_NAMES.get(ins[0], '?'):7s} {ins[1:]}")
+        for ci, child in enumerate(self.children):
+            out.append(f"{indent}child {ci}:")
+            out.append(child.dis(indent + "  "))
+        return "\n".join(out)
+
+
+def build_node_map(program: ast.Program) -> Dict[int, ast.Node]:
+    """``node_id`` -> node for every node reachable from ``program``."""
+    node_map: Dict[int, ast.Node] = {}
+    stack: List[Any] = [program]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Node):
+            node_map[current.node_id] = current
+            stack.extend(vars(current).values())
+        elif isinstance(current, (list, tuple)):
+            stack.extend(current)
+    return node_map
+
+
+# ---------------------------------------------------------------------------
+# lowering
+# ---------------------------------------------------------------------------
+class _Lowerer:
+    def __init__(self) -> None:
+        self.code = CodeObject()
+        self.reg = 0
+        self.max_reg = 0
+
+    # -- operand tables
+    def const(self, value: Any) -> int:
+        self.code.consts.append(value)
+        return len(self.code.consts) - 1
+
+    def node_ref(self, node: ast.Node) -> int:
+        self.code.node_ids.append(node.node_id)
+        self.code.nodes.append(node)
+        return len(self.code.node_ids) - 1
+
+    def op_ref(self, name: str) -> int:
+        self.code.op_names.append(name)
+        self.code.ops.append(_PURE_BINARY_OPS[name])
+        return len(self.code.op_names) - 1
+
+    def child(self, code: CodeObject) -> int:
+        self.code.children.append(code)
+        return len(self.code.children) - 1
+
+    def emit(self, *ins: int) -> None:
+        self.code.instrs.append(ins)
+
+    def alloc(self) -> int:
+        r = self.reg
+        self.reg += 1
+        if self.reg > self.max_reg:
+            self.max_reg = self.reg
+        return r
+
+    # -- statements
+    def lower_stmt(self, stmt: ast.Node) -> None:
+        """Lower one statement; leaves the statement result installed."""
+        self.reg = 0
+        if isinstance(stmt, ast.ExpressionStatement) and self.can_lower_expr(stmt.expression):
+            self.emit(OP_PRE, self.node_ref(stmt))
+            value = self.lower_expr(stmt.expression)
+            self.emit(OP_RESULT, value)
+            return
+        if isinstance(stmt, ast.ReturnStatement):
+            self.emit(OP_PRE, self.node_ref(stmt))
+            if stmt.argument is None:
+                self.emit(OP_RETU)
+            elif self.can_lower_expr(stmt.argument):
+                self.emit(OP_RET, self.lower_expr(stmt.argument))
+            else:
+                value = self.alloc()
+                self.emit(OP_EVAL, value, self.node_ref(stmt.argument))
+                self.emit(OP_RET, value)
+            return
+        if isinstance(stmt, ast.IfStatement) and self.can_lower_expr(stmt.test):
+            self.emit(OP_PRE, self.node_ref(stmt))
+            test = self.lower_expr(stmt.test)
+            consequent = lower_statement(stmt.consequent)
+            alternate = lower_statement(stmt.alternate) if stmt.alternate is not None else None
+            ci = self.child(consequent)
+            ai = self.child(alternate) if alternate is not None else -1
+            self.emit(OP_IF, test, ci, ai, self.node_ref(stmt))
+            return
+        if isinstance(stmt, ast.BlockStatement):
+            self.emit(OP_PRE, self.node_ref(stmt))
+            block = lower_statements(stmt.body)
+            self.emit(OP_BLOCK, self.child(block), self.node_ref(stmt))
+            return
+        if isinstance(stmt, ast.EmptyStatement):
+            self.emit(OP_PRE, self.node_ref(stmt))
+            return
+        # Everything else escapes to the closure tier whole (the compiled
+        # statement carries its own wrapper charge + hook).
+        self.emit(OP_STMT, self.node_ref(stmt))
+
+    # -- expressions
+    def can_lower_expr(self, node: ast.Node) -> bool:
+        if isinstance(
+            node,
+            (
+                ast.NumberLiteral,
+                ast.StringLiteral,
+                ast.BooleanLiteral,
+                ast.NullLiteral,
+                ast.UndefinedLiteral,
+                ast.Identifier,
+            ),
+        ):
+            return True
+        if isinstance(node, ast.BinaryExpression):
+            return node.operator in _PURE_BINARY_OPS and (
+                self.can_lower_expr(node.left) and self.can_lower_expr(node.right)
+            )
+        if isinstance(node, ast.UnaryExpression):
+            return node.operator in ("!", "-", "+") and self.can_lower_expr(node.operand)
+        return False
+
+    def lower_expr(self, node: ast.Node) -> int:
+        """Lower an expression; returns the register holding its value.
+
+        Mirrors the closure tier's pre-order charging: one ``OP_CHARGE``
+        per node *before* its operands execute.
+        """
+        if isinstance(node, (ast.NumberLiteral, ast.StringLiteral, ast.BooleanLiteral)):
+            self.emit(OP_CHARGE)
+            dst = self.alloc()
+            self.emit(OP_CONST, dst, self.const(node.value))
+            return dst
+        if isinstance(node, (ast.NullLiteral, ast.UndefinedLiteral)):
+            self.emit(OP_CHARGE)
+            dst = self.alloc()
+            value = NULL if isinstance(node, ast.NullLiteral) else UNDEFINED
+            self.emit(OP_CONST, dst, self.const(value))
+            return dst
+        if isinstance(node, ast.Identifier):
+            dst = self.alloc()
+            res = getattr(node, "_res", None)
+            if res is not None:
+                hops, idx, _maybe_hole, _is_const = res
+                self.emit(OP_LOAD, dst, hops, idx, self.node_ref(node))
+            else:
+                self.emit(OP_LOADN, dst, self.node_ref(node))
+            return dst
+        if isinstance(node, ast.BinaryExpression):
+            self.emit(OP_CHARGE)
+            left = self.lower_expr(node.left)
+            right = self.lower_expr(node.right)
+            dst = self.alloc()
+            self.emit(OP_BIN, dst, self.op_ref(node.operator), left, right)
+            return dst
+        if isinstance(node, ast.UnaryExpression):
+            self.emit(OP_CHARGE)
+            operand = self.lower_expr(node.operand)
+            dst = self.alloc()
+            opcode = {"!": OP_NOT, "-": OP_NEG, "+": OP_POS}[node.operator]
+            self.emit(opcode, dst, operand)
+            return dst
+        # Escape: closure-compiled expression (charges itself).
+        dst = self.alloc()
+        self.emit(OP_EVAL, dst, self.node_ref(node))
+        return dst
+
+    def finish(self) -> CodeObject:
+        self.code.n_regs = max(self.max_reg, 1)
+        self.code.hydrated = True
+        return self.code
+
+
+def lower_statement(stmt: ast.Node) -> CodeObject:
+    lowerer = _Lowerer()
+    lowerer.lower_stmt(stmt)
+    return lowerer.finish()
+
+
+def lower_statements(statements: List[ast.Node]) -> CodeObject:
+    lowerer = _Lowerer()
+    for stmt in statements:
+        lowerer.lower_stmt(stmt)
+    return lowerer.finish()
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+def execute(code: CodeObject, rt, env: Environment) -> Any:
+    """Threaded-dispatch loop over ``code``; returns the last statement value."""
+    instrs = code.instrs
+    consts = code.consts
+    nodes = code.nodes
+    ops = code.ops
+    children = code.children
+    regs = [UNDEFINED] * code.n_regs
+    result: Any = UNDEFINED
+    i = 0
+    n = len(instrs)
+    while i < n:
+        ins = instrs[i]
+        op = ins[0]
+        if op == OP_CHARGE:
+            rt._charge()
+        elif op == OP_CONST:
+            regs[ins[1]] = consts[ins[2]]
+        elif op == OP_LOAD:
+            rt._charge()
+            frame = env
+            hops = ins[2]
+            while hops:
+                frame = frame.parent
+                hops -= 1
+            value = frame.slots[ins[3]]
+            node = nodes[ins[4]]
+            if value is not HOLE:
+                if rt.trace_mask & EV_VAR:
+                    rt.hooks.var_read(rt, node.name, frame, node)
+                regs[ins[1]] = value
+            else:
+                regs[ins[1]] = _dict_read(rt, env, node.name, node.line, node)
+        elif op == OP_LOADN:
+            rt._charge()
+            node = nodes[ins[2]]
+            regs[ins[1]] = _dict_read(rt, env, node.name, node.line, node)
+        elif op == OP_BIN:
+            regs[ins[1]] = ops[ins[2]](regs[ins[3]], regs[ins[4]])
+        elif op == OP_NOT:
+            regs[ins[1]] = not to_boolean(regs[ins[2]])
+        elif op == OP_NEG:
+            regs[ins[1]] = -to_number(regs[ins[2]])
+        elif op == OP_POS:
+            regs[ins[1]] = to_number(regs[ins[2]])
+        elif op == OP_EVAL:
+            node = nodes[ins[2]]
+            expr_code = getattr(node, "_code", None)
+            if expr_code is None:
+                expr_code = compile_expr(node)
+            regs[ins[1]] = expr_code(rt, env)
+        elif op == OP_STMT:
+            node = nodes[ins[1]]
+            stmt_code = getattr(node, "_stmt", None)
+            if stmt_code is None:
+                stmt_code = compile_stmt(node)
+            result = stmt_code(rt, env)
+        elif op == OP_PRE:
+            rt._charge()
+            rt.stats.statements += 1
+            if rt.trace_mask & EV_STATEMENT:
+                rt.hooks.statement(rt, nodes[ins[1]])
+            result = UNDEFINED
+        elif op == OP_IF:
+            taken = to_boolean(regs[ins[1]])
+            if rt.trace_mask & EV_BRANCH:
+                rt.hooks.branch(rt, nodes[ins[4]], taken)
+            if taken:
+                result = execute(children[ins[2]], rt, env)
+            elif ins[3] >= 0:
+                result = execute(children[ins[3]], rt, env)
+            else:
+                result = UNDEFINED
+        elif op == OP_BLOCK:
+            layout = getattr(nodes[ins[2]], "_layout", None)
+            block_env = Environment(parent=env, is_function_scope=False, label="block", layout=layout)
+            if rt.trace_mask & EV_ENV:
+                rt.hooks.env_created(rt, block_env, "block")
+            result = execute(children[ins[1]], rt, block_env)
+        elif op == OP_RET:
+            raise ReturnSignal(regs[ins[1]])
+        elif op == OP_RETU:
+            raise ReturnSignal(UNDEFINED)
+        elif op == OP_RESULT:
+            result = regs[ins[1]]
+        else:  # pragma: no cover - lowering only emits known opcodes
+            raise RuntimeError(f"unknown opcode {op}")
+        i += 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# cached entry points
+# ---------------------------------------------------------------------------
+def ensure_bytecode_program(program: ast.Program):
+    """Hoist plan + lowered bytecode for a program (cached on the node)."""
+    cached = getattr(program, "_bc_body", None)
+    if cached is None:
+        resolve_program(program)
+        plan = build_hoist_plan(program.body)
+        cached = (plan, lower_statements(program.body))
+        program._bc_body = cached
+    return cached
+
+
+def ensure_bytecode_body(body: ast.BlockStatement):
+    """Hoist plan + lowered bytecode for a function body (cached)."""
+    cached = getattr(body, "_bc_body", None)
+    if cached is None:
+        plan = build_hoist_plan(body.body)
+        cached = (plan, lower_statements(body.body))
+        body._bc_body = cached
+    return cached
+
+
+def seed_program_bytecode(program: ast.Program, data: bytes) -> bool:
+    """Install serialized program bytecode (engine cache path).
+
+    Returns True when the payload bound cleanly against ``program``'s AST;
+    a failed bind (stale cache entry) leaves the program unseeded so the
+    normal lowering path runs instead.
+    """
+    try:
+        code = CodeObject.from_bytes(data)
+        resolve_program(program)
+        code.rehydrate(build_node_map(program))
+    except Exception:
+        return False
+    plan = build_hoist_plan(program.body)
+    program._bc_body = (plan, code)
+    return True
+
+
+def serialize_program_bytecode(program: ast.Program) -> bytes:
+    """Serialized bytecode for ``program`` (lowering it if needed)."""
+    _plan, code = ensure_bytecode_program(program)
+    return code.to_bytes()

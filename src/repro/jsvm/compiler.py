@@ -1321,6 +1321,15 @@ def _body_if(node: ast.IfStatement) -> Code:
     return run
 
 
+def _fast_nest(rt, env, node):
+    """Bridge to the numeric fast tier (imported lazily: cycle with fasttier)."""
+    global _fast_nest
+    from .fasttier import try_fast_nest
+
+    _fast_nest = try_fast_nest
+    return try_fast_nest(rt, env, node)
+
+
 def _body_for(node: ast.ForStatement) -> Code:
     init_code = compile_stmt(node.init) if node.init is not None else None
     test_code = compile_expr(node.test) if node.test is not None else None
@@ -1336,6 +1345,17 @@ def _body_for(node: ast.ForStatement) -> Code:
             return controller.run_instance(rt, env, node, run)
         filters = rt.iteration_filter
         ifilter = filters.get(node_id) if filters is not None else None
+        # Numeric fast tier: only when nothing can observe intermediate
+        # states (no hooks, no clock listeners, no speculation, no filter).
+        if (
+            ifilter is None
+            and rt.fast_nests
+            and rt.trace_mask == 0
+            and rt.speculation is None
+            and not rt.clock._listeners
+            and _fast_nest(rt, env, node)
+        ):
+            return UNDEFINED
         loop_env = Environment(parent=env, is_function_scope=False, label="for", layout=loop_layout)
         mask = rt.trace_mask
         if mask & EV_ENV:

@@ -1,0 +1,1391 @@
+"""Guarded numeric fast tier for hot ``for`` nests.
+
+The closure tier (:mod:`repro.jsvm.compiler`) executes one Python closure
+per AST node; even with slot-addressed scopes and inline caches that costs
+~1.5M guest ops/sec on the Table 3 kernels.  This module recognizes the
+shape those kernels actually have — counted ``for`` nests whose bodies are
+float arithmetic over local scalars, dense ``JSArray`` elements and
+monomorphic property chains — and compiles each eligible nest **once** into
+a single specialized Python function that runs the whole nest as fused
+unboxed-float operations.
+
+Byte-identity contract
+----------------------
+
+A fast-nest execution must be indistinguishable from the closure tier:
+
+* ``ExecutionStats`` counters (ops, statements, calls, loop_iterations,
+  property_reads, property_writes) advance by exactly the amounts the
+  closure tier would charge, in aggregate;
+* the virtual clock advances by the same *sequence* of per-op additions
+  (IEEE float accumulation order is preserved by replaying ``ops`` equal
+  additions of ``ms_per_op``);
+* the heap and scope chain end in exactly the state the closure tier would
+  produce (scalar results are written back through
+  :meth:`Environment.store_binding`, array stores hit ``elements`` in
+  program order);
+* ``max_ops`` still raises at the exact op (the nest deoptimizes *before*
+  the budget line and lets the closure tier charge the final ops).
+
+The fast tier therefore only engages when nothing can observe intermediate
+states: hook mask 0, no clock listeners, no speculation controller and no
+iteration filter (the compiler's ``_body_for`` checks these before calling
+:func:`try_fast_nest`).
+
+Guards and deoptimization
+-------------------------
+
+Entry guards re-resolve every name the nest touches (scalars, arrays,
+object property chains, callees) and validate types; any mismatch means
+the nest simply runs on the closure tier.  In-nest guards (array bounds,
+non-float element reads, non-finite indices, op budget) *deoptimize*: each
+statement is transactional — counters are snapshotted at statement entry
+and the single observable write happens last — so on a guard failure the
+generated code restores the snapshot, flushes counters/clock, writes the
+unboxed scalars back, and raises :class:`_Deopt` carrying a static *site*
+id.  The site's continuation spec rebuilds the loop/iteration/block
+environment chain and resumes execution **mid-nest** with the ordinary
+compiled closures, starting at the failing statement.
+
+Plans are cached on the ``ForStatement`` node (``node._fast_plan``), which
+is shared session-wide via the script cache; generated code embeds no heap
+references, so one plan serves every interpreter instance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from . import ast_nodes as ast
+from .compiler import (
+    BreakSignal,
+    ContinueSignal,
+    _op_add,
+    _op_div,
+    _op_mod,
+    compile_expr,
+    compile_stmt,
+)
+from .scope import Environment
+from .values import (
+    UNDEFINED,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    to_boolean,
+)
+
+__all__ = ["try_fast_nest"]
+
+_NAN = float("nan")
+_INF = math.inf
+_MISS = object()  # properties.get() default: "no own property" sentinel
+
+
+class _Reject(Exception):
+    """Internal: the nest is not eligible for the fast tier."""
+
+
+class _DeoptJump(Exception):
+    """Internal control transfer inside generated code (guard failed)."""
+
+
+class _Deopt(Exception):
+    """Raised by generated code after state repair; carries the site id."""
+
+    def __init__(self, site: int) -> None:
+        self.site = site
+
+
+# Comparison / equality operators usable on guaranteed-float operands with
+# native Python semantics (NaN-correct for both tiers).
+_CMP_OPS = {"<": "<", ">": ">", "<=": "<=", ">=": ">=", "==": "==", "===": "==", "!=": "!=", "!==": "!="}
+_ARITH_OPS = {"+", "-", "*", "/", "%"}
+
+# Math natives safe to inline.  Each template receives already-materialized
+# float temp names.  ``deopt_inf`` marks natives whose builtin would raise a
+# Python ValueError on +/-Infinity (sin/cos/tan) — those deopt instead so
+# the closure tier reproduces the exact error state.
+_MATH_TEMPLATES = {
+    "abs": ("abs({0})", 1, False),
+    "floor": ("_js_floor({0})", 1, False),
+    "ceil": ("_js_ceil({0})", 1, False),
+    "round": ("_js_round({0})", 1, False),
+    "sqrt": ("_js_sqrt({0})", 1, False),
+    "sin": ("float(_msin({0}))", 1, True),
+    "cos": ("float(_mcos({0}))", 1, True),
+    "tan": ("float(_mtan({0}))", 1, True),
+    "asin": ("_js_asin({0})", 1, False),
+    "acos": ("_js_acos({0})", 1, False),
+    "atan": ("float(_matan({0}))", 1, False),
+    "exp": ("_js_exp({0})", 1, False),
+    "log": ("_js_log({0})", 1, False),
+    "atan2": ("_matan2({0}, {1})", 2, False),
+    "pow": ("_js_pow({0}, {1})", 2, False),
+    "min": ("_js_min2({0}, {1})", 2, False),
+    "max": ("_js_max2({0}, {1})", 2, False),
+    "random": ("rt.rng.random()", 0, False),
+}
+
+
+def _js_floor(v: float) -> float:
+    return v if not math.isfinite(v) else float(math.floor(v))
+
+
+def _js_ceil(v: float) -> float:
+    return v if not math.isfinite(v) else float(math.ceil(v))
+
+
+def _js_round(v: float) -> float:
+    return v if not math.isfinite(v) else float(math.floor(v + 0.5))
+
+
+def _js_sqrt(v: float) -> float:
+    try:
+        return float(math.sqrt(v))
+    except (ValueError, OverflowError):
+        return _NAN
+
+
+def _js_asin(v: float) -> float:
+    try:
+        return float(math.asin(v))
+    except (ValueError, OverflowError):
+        return _NAN
+
+
+def _js_acos(v: float) -> float:
+    try:
+        return float(math.acos(v))
+    except (ValueError, OverflowError):
+        return _NAN
+
+
+def _js_exp(v: float) -> float:
+    try:
+        return float(math.exp(v))
+    except (ValueError, OverflowError):
+        return _NAN
+
+
+def _js_log(v: float) -> float:
+    try:
+        return float(math.log(v))
+    except (ValueError, OverflowError):
+        return _NAN
+
+
+def _js_pow(a: float, b: float) -> float:
+    try:
+        return float(math.pow(a, b))
+    except (ValueError, OverflowError):
+        return _NAN
+
+
+def _js_min2(a: float, b: float) -> float:
+    if a != a or b != b:
+        return _NAN
+    return min(a, b)
+
+
+def _js_max2(a: float, b: float) -> float:
+    if a != a or b != b:
+        return _NAN
+    return max(a, b)
+
+
+# Namespace shared by every generated nest function.
+_GEN_GLOBALS = {
+    "JSArray": JSArray,
+    "JSObject": JSObject,
+    "JSFunction": JSFunction,
+    "NativeFunction": NativeFunction,
+    "UNDEFINED": UNDEFINED,
+    "_op_add": _op_add,
+    "_op_div": _op_div,
+    "_op_mod": _op_mod,
+    "_DJ": _DeoptJump,
+    "_Deopt": _Deopt,
+    "_MISS": _MISS,
+    "_NAN": _NAN,
+    "_INF": _INF,
+    "_NINF": -_INF,
+    "_msin": math.sin,
+    "_mcos": math.cos,
+    "_mtan": math.tan,
+    "_matan": math.atan,
+    "_matan2": math.atan2,
+    "_js_floor": _js_floor,
+    "_js_ceil": _js_ceil,
+    "_js_round": _js_round,
+    "_js_sqrt": _js_sqrt,
+    "_js_asin": _js_asin,
+    "_js_acos": _js_acos,
+    "_js_exp": _js_exp,
+    "_js_log": _js_log,
+    "_js_pow": _js_pow,
+    "_js_min2": _js_min2,
+    "_js_max2": _js_max2,
+}
+
+
+# ---------------------------------------------------------------------------
+# deopt continuation machinery
+# ---------------------------------------------------------------------------
+class _Level:
+    """Static description of one ``for`` level, for mid-nest resumption."""
+
+    __slots__ = (
+        "node",
+        "init_code",
+        "test_code",
+        "update_code",
+        "body_code",
+        "body_stmt_codes",
+        "body_is_block",
+        "loop_layout",
+        "iter_layout",
+        "body_layout",
+    )
+
+    def __init__(self, node: ast.ForStatement) -> None:
+        self.node = node
+        self.init_code = compile_stmt(node.init) if node.init is not None else None
+        self.test_code = compile_expr(node.test) if node.test is not None else None
+        self.update_code = compile_expr(node.update) if node.update is not None else None
+        self.body_code = compile_stmt(node.body)
+        self.loop_layout = getattr(node, "_loop_layout", None)
+        self.iter_layout = getattr(node, "_iter_layout", None)
+        body = node.body
+        self.body_is_block = isinstance(body, ast.BlockStatement)
+        if self.body_is_block:
+            self.body_layout = getattr(body, "_layout", None)
+            self.body_stmt_codes = [compile_stmt(stmt) for stmt in body.body]
+        else:
+            self.body_layout = None
+            self.body_stmt_codes = [self.body_code]
+
+
+class _Site:
+    """One static deopt site: where in the nest a guard can fail.
+
+    ``chain`` holds ``(level, inner_stmt_idx)`` for every enclosing level
+    that is mid-iteration (its inner loop lives at ``inner_stmt_idx`` in the
+    body); ``level``/``mode`` describe the innermost active level.  For
+    ``mode == "stmt"``, ``containers`` is the outer-to-inner stack of
+    ``(stmt_codes, start_idx, layout)`` — the first entry is the loop body
+    container (whose env the resumer builds from the level layouts), later
+    entries are nested block/if-branch containers.
+    """
+
+    __slots__ = ("chain", "level", "mode", "containers")
+
+    def __init__(
+        self,
+        chain: List[Tuple[_Level, int]],
+        level: _Level,
+        mode: str,
+        containers: Optional[List[Tuple[List[Any], int, Any]]] = None,
+    ) -> None:
+        self.chain = chain
+        self.level = level
+        self.mode = mode
+        self.containers = containers
+
+
+def _loop_from_test(rt, level: _Level, loop_env: Environment) -> None:
+    """Continue a ``for`` level from its test, exactly like ``_body_for``.
+
+    Only ever runs with hook mask 0 (fast-tier entry precondition), so the
+    loop-event bookkeeping of the closure-tier loop is statically absent.
+    """
+    test_code = level.test_code
+    update_code = level.update_code
+    body_code = level.body_code
+    iter_layout = level.iter_layout
+    stats = rt.stats
+    while True:
+        if test_code is not None and not to_boolean(test_code(rt, loop_env)):
+            break
+        stats.loop_iterations += 1
+        iteration_env = Environment(
+            parent=loop_env, is_function_scope=False, label="for-iter", layout=iter_layout
+        )
+        try:
+            body_code(rt, iteration_env)
+        except ContinueSignal:
+            pass
+        except BreakSignal:
+            break
+        if update_code is not None:
+            update_code(rt, loop_env)
+
+
+def _resume_site(rt, env: Environment, site: _Site) -> None:
+    """Resume closure-tier execution mid-nest after a deopt.
+
+    ``env`` is the environment ``_body_for`` received for the *outermost*
+    loop; every loop/iteration/block frame in between is rebuilt with its
+    static layout (they are all empty: eligible nests declare only ``var``
+    bindings, which hoist out of the nest).
+    """
+    parent_env = env
+    for level, inner_idx in site.chain:
+        loop_env = Environment(parent=parent_env, is_function_scope=False, label="for", layout=level.loop_layout)
+        iteration_env = Environment(
+            parent=loop_env, is_function_scope=False, label="for-iter", layout=level.iter_layout
+        )
+        if level.body_is_block:
+            body_env = Environment(
+                parent=iteration_env, is_function_scope=False, label="block", layout=level.body_layout
+            )
+        else:
+            body_env = iteration_env
+        _finish_iteration_after(rt, level, loop_env, body_env, inner_idx, site, parent_env)
+        return
+    _resume_leaf(rt, parent_env, site)
+
+
+def _finish_iteration_after(rt, level, loop_env, body_env, inner_idx, site, parent_env) -> None:
+    """Finish the current iteration of ``level`` whose inner loop deopted."""
+    # Recurse into the rest of the chain / leaf for the inner loop first.
+    inner_site = _Site(site.chain[1:], site.level, site.mode, site.containers)
+    _resume_site(rt, body_env, inner_site)
+    for code in level.body_stmt_codes[inner_idx + 1 :]:
+        code(rt, body_env)
+    if level.update_code is not None:
+        level.update_code(rt, loop_env)
+    _loop_from_test(rt, level, loop_env)
+
+
+def _resume_leaf(rt, parent_env: Environment, site: _Site) -> None:
+    level = site.level
+    mode = site.mode
+    loop_env = Environment(parent=parent_env, is_function_scope=False, label="for", layout=level.loop_layout)
+    if mode == "init":
+        if level.init_code is not None:
+            level.init_code(rt, loop_env)
+        _loop_from_test(rt, level, loop_env)
+        return
+    if mode == "test":
+        _loop_from_test(rt, level, loop_env)
+        return
+    if mode == "update":
+        if level.update_code is not None:
+            level.update_code(rt, loop_env)
+        _loop_from_test(rt, level, loop_env)
+        return
+    # mode == "stmt": re-run the failing statement and everything after it.
+    iteration_env = Environment(
+        parent=loop_env, is_function_scope=False, label="for-iter", layout=level.iter_layout
+    )
+    if level.body_is_block:
+        body_env = Environment(
+            parent=iteration_env, is_function_scope=False, label="block", layout=level.body_layout
+        )
+    else:
+        body_env = iteration_env
+    containers = site.containers
+    envs = [body_env]
+    for _codes, _start, layout in containers[1:]:
+        if layout is not None:
+            envs.append(
+                Environment(parent=envs[-1], is_function_scope=False, label="block", layout=layout)
+            )
+        else:
+            envs.append(envs[-1])
+    try:
+        for j in range(len(containers) - 1, -1, -1):
+            codes, start, _layout = containers[j]
+            for code in codes[start:]:
+                code(rt, envs[j])
+    except ContinueSignal:
+        pass
+    except BreakSignal:
+        return
+    if level.update_code is not None:
+        level.update_code(rt, loop_env)
+    _loop_from_test(rt, level, loop_env)
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+class _NestPlan:
+    __slots__ = ("fn", "sites", "source")
+
+    def __init__(self, fn, sites: List[_Site], source: str) -> None:
+        self.fn = fn
+        self.sites = sites
+        self.source = source
+
+    def execute(self, rt, env: Environment) -> bool:
+        """Run the nest; True when handled (fast path or deopt-resumed)."""
+        try:
+            return self.fn(rt, env)
+        except _Deopt as deopt:
+            _resume_site(rt, env, self.sites[deopt.site])
+            return True
+
+
+def try_fast_nest(rt, env: Environment, node: ast.ForStatement) -> bool:
+    """Fast-tier entry called by the compiled ``for`` statement.
+
+    Returns True when the nest was executed (the closure loop must not run).
+    The caller guarantees mask 0, no clock listeners, no speculation and no
+    iteration filter.
+    """
+    plan = getattr(node, "_fast_plan", None)
+    if plan is None:
+        plan = _build_plan(node, rt, env) or False
+        node._fast_plan = plan
+    if plan is False:
+        return False
+    return plan.execute(rt, env)
+
+
+# ---------------------------------------------------------------------------
+# analysis + code generation
+# ---------------------------------------------------------------------------
+class _Cnt:
+    """Static counter deltas accumulated while emitting one statement."""
+
+    __slots__ = ("ops", "stmts", "pr", "pw", "calls")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.stmts = 0
+        self.pr = 0
+        self.pw = 0
+        self.calls = 0
+
+
+class _Inline:
+    """An inlinable guest callee: single ``return <numeric expr>`` body."""
+
+    __slots__ = ("name", "func_local", "body_node", "params", "ret_expr", "cnt_ops", "cnt_pr")
+
+    def __init__(self, name: str, func_local: str, body_node: ast.BlockStatement, params: List[str]) -> None:
+        self.name = name
+        self.func_local = func_local
+        self.body_node = body_node
+        self.params = params
+        self.ret_expr: Optional[ast.Node] = None
+        self.cnt_ops = 0
+        self.cnt_pr = 0
+
+
+class _PlanBuilder:
+    def __init__(self, node: ast.ForStatement, rt, env: Environment) -> None:
+        self.node = node
+        self.rt = rt
+        self.env = env
+        self.lines: List[str] = []
+        self.ind = "        "  # inside `def _nest` + `try:`
+        self.entry: List[str] = []  # resolution + guard lines (one indent)
+        self.sites: List[_Site] = []
+        self.consts: List[Any] = []  # captured AST nodes for identity guards
+        self.tmp = 0
+        self.cnt = _Cnt()
+        self.total_static_ops = 0
+        # name classifications
+        self.scalars: Dict[str, str] = {}  # name -> value local
+        self.scalar_holders: Dict[str, str] = {}  # name -> env local
+        self.scalar_guarded: Set[str] = set()  # needs float entry guard
+        self.scalar_assigned: Set[str] = set()
+        self.scalar_var_declared: Set[str] = set()
+        self.definite: Set[str] = set()
+        self.root_names: Set[str] = set()  # array/object/callee roots
+        # hoists keyed by resolution path
+        self.array_locals: Dict[Tuple, str] = {}  # path -> elements local
+        self.value_locals: Dict[Tuple, str] = {}  # path -> float local
+        self.native_locals: Dict[Tuple, str] = {}  # path -> native name
+        self.object_locals: Dict[Tuple, str] = {}  # path -> object local
+        self.inlines: Dict[str, _Inline] = {}
+        self.has_guest_calls = False
+        # Inside a compound member store the object/key counts are doubled
+        # statically (the closure tier evaluates them twice); expressions
+        # with branch-local counts or side effects can't be doubled that way.
+        self.no_dynamic = False
+        # continuation context
+        self.level_stack: List[_Level] = []
+        self.level_child_idx: List[int] = []
+        self.containers: List[Tuple[List[Any], int, Any]] = []
+
+    # ----------------------------------------------------------- utilities
+    def w(self, line: str) -> None:
+        self.lines.append(self.ind + line)
+
+    def new_tmp(self) -> str:
+        self.tmp += 1
+        return f"_t{self.tmp}"
+
+    def add_ops(self, n: int) -> None:
+        self.cnt.ops += n
+        self.total_static_ops += n
+
+    def const(self, value: Any) -> str:
+        self.consts.append(value)
+        return f"_C[{len(self.consts) - 1}]"
+
+    def new_site(self, mode: str) -> int:
+        """Register a deopt site at the current static location."""
+        chain = [
+            (self.level_stack[i], self.level_child_idx[i]) for i in range(len(self.level_stack) - 1)
+        ]
+        level = self.level_stack[-1]
+        containers = None
+        if mode == "stmt":
+            containers = []
+            for i, (codes, idx, layout) in enumerate(self.containers):
+                start = idx if i == len(self.containers) - 1 else idx + 1
+                containers.append((codes, start, layout))
+        self.sites.append(_Site(chain, level, mode, containers))
+        return len(self.sites) - 1
+
+    def deopt(self, cond: str, mode: str) -> None:
+        site = self.new_site(mode)
+        self.w(f"if {cond}:")
+        self.w(f"    _site = {site}; raise _DJ")
+
+    # ------------------------------------------------------- name handling
+    def scalar(self, name: str) -> str:
+        """The unboxed local for scalar ``name`` (registering it)."""
+        if name in self.root_names:
+            raise _Reject
+        local = self.scalars.get(name)
+        if local is None:
+            local = f"v_{len(self.scalars)}_{_ident(name)}"
+            self.scalars[name] = local
+        return local
+
+    def scalar_read(self, name: str) -> str:
+        local = self.scalar(name)
+        if name not in self.definite:
+            self.scalar_guarded.add(name)
+        return local
+
+    def scalar_write(self, name: str, via_var_decl: bool = False) -> str:
+        local = self.scalar(name)
+        self.scalar_assigned.add(name)
+        if via_var_decl:
+            self.scalar_var_declared.add(name)
+        self.definite.add(name)
+        return local
+
+    def root(self, name: str) -> None:
+        if name in self.scalars:
+            raise _Reject
+        self.root_names.add(name)
+
+    # --------------------------------------------------- hoist resolution
+    def resolve_path(self, node: ast.Node) -> Tuple:
+        """Static member chain -> ("env", root, prop, ...) resolution path."""
+        props: List[str] = []
+        current = node
+        while isinstance(current, ast.MemberExpression):
+            if current.computed:
+                raise _Reject
+            props.append(current.property.value)
+            current = current.object
+        if not isinstance(current, ast.Identifier):
+            raise _Reject
+        self.root(current.name)
+        return ("env", current.name) + tuple(reversed(props))
+
+    def path_counts(self, path: Tuple) -> Tuple[int, int]:
+        """(ops, preads) the closure tier charges to evaluate the chain."""
+        nprops = len(path) - 2
+        return (1 + nprops, nprops)
+
+    def hoist_object(self, path: Tuple) -> str:
+        """Hoist the JSObject at ``path`` (guarded exact-type at entry)."""
+        local = self.object_locals.get(path)
+        if local is not None:
+            return local
+        if len(path) == 2:
+            base, name = "env", path[1]
+            holder = f"_h{len(self.object_locals)}o"
+            self.entry.append(f"{holder} = {base}.lookup_env({name!r})")
+            self.entry.append(f"if {holder} is None: return False")
+            local = f"o_{len(self.object_locals)}"
+            self.entry.append(f"{local} = {holder}.bindings[{name!r}]")
+        else:
+            parent = self.hoist_object(path[:-1])
+            local = f"o_{len(self.object_locals)}"
+            self.entry.append(f"{local} = {parent}.properties.get({path[-1]!r}, _MISS)")
+        self.entry.append(f"if type({local}) is not JSObject: return False")
+        self.object_locals[path] = local
+        return local
+
+    def hoist_terminal(self, path: Tuple, kind: str) -> str:
+        """Hoist the value at ``path``: kind in {"array", "float", "native"}."""
+        table = {"array": self.array_locals, "float": self.value_locals, "native": self.native_locals}[kind]
+        local = table.get(path)
+        if local is not None:
+            return local
+        n = len(self.array_locals) + len(self.value_locals) + len(self.native_locals)
+        raw = f"_r{n}"
+        if len(path) == 2:
+            holder = f"_h{n}t"
+            self.entry.append(f"{holder} = env.lookup_env({path[1]!r})")
+            self.entry.append(f"if {holder} is None: return False")
+            self.entry.append(f"{raw} = {holder}.bindings[{path[1]!r}]")
+        else:
+            parent = self.hoist_object(path[:-1])
+            self.entry.append(f"{raw} = {parent}.properties.get({path[-1]!r}, _MISS)")
+        if kind == "array":
+            local = f"e_{n}"
+            self.entry.append(f"if type({raw}) is not JSArray: return False")
+            self.entry.append(f"{local} = {raw}.elements")
+        elif kind == "float":
+            local = f"m_{n}"
+            self.entry.append(f"if type({raw}) is not float: return False")
+            self.entry.append(f"{local} = {raw}")
+        else:
+            local = raw
+        table[path] = local
+        return local
+
+    def hoist_native(self, path: Tuple, expect_name: str) -> None:
+        local = self.hoist_terminal(path, "native")
+        key = (path, "guarded")
+        if key not in self.native_locals:
+            self.entry.append(
+                f"if type({local}) is not NativeFunction or {local}.name != {expect_name!r}: return False"
+            )
+            self.native_locals[key] = local
+
+    # ------------------------------------------------------ guest inlining
+    def resolve_inline(self, name: str) -> _Inline:
+        inline = self.inlines.get(name)
+        if inline is not None:
+            return inline
+        self.root(name)
+        holder = self.env.lookup_env(name)
+        if holder is None:
+            raise _Reject
+        func = holder.bindings.get(name)
+        if type(func) is not JSFunction:
+            raise _Reject
+        body = func.body
+        if body is None or len(body.body) != 1:
+            raise _Reject
+        ret = body.body[0]
+        if not isinstance(ret, ast.ReturnStatement) or ret.argument is None:
+            raise _Reject
+        n = len(self.inlines)
+        func_local = f"f_{n}"
+        inline = _Inline(name, func_local, body, list(func.params))
+        # Entry: resolve + identity-guard the callee, then its free names
+        # through *its own* closure chain.
+        body_const = self.const(body)
+        self.entry.append(f"_hf{n} = env.lookup_env({name!r})")
+        self.entry.append(f"if _hf{n} is None: return False")
+        self.entry.append(f"{func_local} = _hf{n}.bindings[{name!r}]")
+        self.entry.append(
+            f"if type({func_local}) is not JSFunction or {func_local}.body is not {body_const}"
+            f" or len({func_local}.params) != {len(inline.params)}: return False"
+        )
+        self.inlines[name] = inline
+        self.has_guest_calls = True
+        # Compile the return expression with params as placeholders and
+        # frees hoisted via the callee closure.
+        saved = self.cnt
+        self.cnt = _Cnt()
+        expr = self.inline_expr(ret.argument, inline)
+        inline.ret_expr = expr
+        inline.cnt_ops = self.cnt.ops
+        inline.cnt_pr = self.cnt.pr
+        if self.cnt.pw or self.cnt.calls or self.cnt.stmts:
+            raise _Reject
+        self.cnt = saved
+        return inline
+
+    def inline_expr(self, node: ast.Node, inline: _Inline) -> str:
+        """Pure numeric expression inside an inlined body -> py expr template.
+
+        Parameters appear as ``{0}``/``{1}``... placeholders; free scalars
+        resolve through the callee's closure env (hoisted at entry).
+        """
+        self.add_ops(1)
+        if isinstance(node, ast.NumberLiteral):
+            return _num(node.value)
+        if isinstance(node, ast.Identifier):
+            if node.name in inline.params:
+                return "{%d}" % inline.params.index(node.name)
+            return self.hoist_inline_free(inline, (node.name,), "float")
+        if isinstance(node, ast.MemberExpression) and not node.computed:
+            props: List[str] = []
+            current = node
+            while isinstance(current, ast.MemberExpression):
+                if current.computed:
+                    raise _Reject
+                props.append(current.property.value)
+                current = current.object
+                self.add_ops(1)
+            self.add_ops(-1)  # the innermost object is an identifier, charged below
+            if not isinstance(current, ast.Identifier) or current.name in inline.params:
+                raise _Reject
+            self.add_ops(1)
+            self.cnt.pr += len(props)
+            return self.hoist_inline_free(inline, (current.name,) + tuple(reversed(props)), "float")
+        if isinstance(node, ast.BinaryExpression) and node.operator in _ARITH_OPS:
+            left = self.inline_expr(node.left, inline)
+            right = self.inline_expr(node.right, inline)
+            return _arith(node.operator, left, right)
+        if isinstance(node, ast.UnaryExpression) and node.operator in ("-", "+"):
+            operand = self.inline_expr(node.operand, inline)
+            return f"(-{operand})" if node.operator == "-" else operand
+        raise _Reject
+
+    def hoist_inline_free(self, inline: _Inline, rel_path: Tuple, kind: str) -> str:
+        """Hoist a free name of an inlined callee via ``func.closure``."""
+        path = ("closure", inline.name) + rel_path
+        local = self.value_locals.get(path)
+        if local is not None:
+            return local
+        n = len(self.array_locals) + len(self.value_locals) + len(self.native_locals)
+        raw = f"_fr{n}"
+        root = rel_path[0]
+        holder = f"_hc{n}"
+        self.entry.append(f"{holder} = {inline.func_local}.closure.lookup_env({root!r})")
+        self.entry.append(f"if {holder} is None: return False")
+        # Aliasing hazard: the nest must not assign the binding this inline
+        # reads (hoisted value would go stale); recorded for the final pass.
+        self.entry.append(f"_ALIAS.append(({holder}, {root!r}))")
+        if len(rel_path) == 1:
+            self.entry.append(f"{raw} = {holder}.bindings[{root!r}]")
+        else:
+            obj = raw + "o"
+            self.entry.append(f"{obj} = {holder}.bindings[{root!r}]")
+            for prop in rel_path[1:-1]:
+                self.entry.append(f"{obj} = {obj}.properties.get({prop!r}, _MISS) if type({obj}) is JSObject else _MISS")
+            self.entry.append(f"if type({obj}) is not JSObject: return False")
+            self.entry.append(f"{raw} = {obj}.properties.get({rel_path[-1]!r}, _MISS)")
+        local = f"m_{n}"
+        self.entry.append(f"if type({raw}) is not float: return False")
+        self.entry.append(f"{local} = {raw}")
+        self.value_locals[path] = local
+        return local
+
+    # ----------------------------------------------------------- main build
+    def build(self) -> _NestPlan:
+        node = self.node
+        self.emit_for(node, outermost=True)
+        return self.assemble()
+
+    def emit_for(self, node: ast.ForStatement, outermost: bool = False) -> None:
+        if node.test is None:
+            raise _Reject
+        level = _Level(node)
+        self.level_stack.append(level)
+        self.level_child_idx.append(-1)
+        saved_containers = self.containers
+
+        # --- init ---------------------------------------------------------
+        if node.init is not None:
+            self.containers = []
+            self.emit_init(node.init)
+        definite_after_init = set(self.definite)
+
+        # --- loop ---------------------------------------------------------
+        self.w("while True:")
+        self.ind += "    "
+        self.w("_s_ops = _ops; _s_stmts = _stmts; _s_li = _li; _s_pr = _pr; _s_pw = _pw; _s_calls = _calls")
+        budget_site = self.new_site("test")
+        self.w(f"if _ops >= _lim: _site = {budget_site}; raise _DJ")
+        self.containers = []
+        saved_cnt = self.cnt
+        self.cnt = _Cnt()
+        test = self.emit_test(node.test, mode="test")
+        if self.cnt.stmts or self.cnt.pw or self.cnt.calls:
+            raise _Reject
+        self.w(_count_line(self.cnt))
+        self.cnt = saved_cnt
+        self.w(f"if not ({test}): break")
+        self.w("_li += 1")
+
+        # --- body ---------------------------------------------------------
+        body = node.body
+        if isinstance(body, ast.BlockStatement):
+            self.w("_ops += 1; _stmts += 1")
+            self.total_static_ops += 1
+            self.containers = [(level.body_stmt_codes, 0, level.body_layout)]
+            for idx, stmt in enumerate(body.body):
+                self.containers[0] = (level.body_stmt_codes, idx, level.body_layout)
+                self.emit_stmt(stmt, body_idx=idx)
+        else:
+            self.containers = [(level.body_stmt_codes, 0, None)]
+            self.emit_stmt(body, body_idx=0)
+
+        # --- update -------------------------------------------------------
+        if node.update is not None:
+            self.containers = []
+            mark = len(self.lines)
+            sites_before = len(self.sites)
+            saved_cnt = self.cnt
+            self.cnt = _Cnt()
+            self.emit_update_expr(node.update)
+            if self.cnt.stmts:
+                raise _Reject
+            count = _count_line(self.cnt)
+            self.cnt = saved_cnt
+            prefix: List[str] = []
+            if len(self.sites) > sites_before:
+                prefix.append(
+                    self.ind
+                    + "_s_ops = _ops; _s_stmts = _stmts; _s_li = _li; _s_pr = _pr; _s_pw = _pw; _s_calls = _calls"
+                )
+            prefix.append(self.ind + count)
+            self.lines[mark:mark] = prefix
+        self.ind = self.ind[:-4]
+
+        self.level_stack.pop()
+        self.level_child_idx.pop()
+        self.containers = saved_containers
+        # The body may have run zero times: only init assignments are definite.
+        self.definite = definite_after_init
+
+    def emit_init(self, init: ast.Node) -> None:
+        """Emit the loop init (full statement semantics, mode "init")."""
+        mark = len(self.lines)
+        sites_before = len(self.sites)
+        saved_cnt = self.cnt
+        self.cnt = _Cnt()
+        self.cnt.ops += 1
+        self.total_static_ops += 1
+        self.cnt.stmts += 1
+        if isinstance(init, ast.VariableDeclaration):
+            self.emit_var_decl_body(init, mode="init")
+        elif isinstance(init, (ast.AssignmentExpression, ast.UpdateExpression, ast.SequenceExpression)):
+            self.emit_expr_stmt_body(init, mode="init")
+        else:
+            raise _Reject
+        count = _count_line(self.cnt)
+        self.cnt = saved_cnt
+        prefix = []
+        if len(self.sites) > sites_before:
+            prefix.append(
+                self.ind
+                + "_s_ops = _ops; _s_stmts = _stmts; _s_li = _li; _s_pr = _pr; _s_pw = _pw; _s_calls = _calls"
+            )
+        prefix.append(self.ind + count)
+        self.lines[mark:mark] = prefix
+
+    # ------------------------------------------------------------ statements
+    def emit_stmt(self, stmt: ast.Node, body_idx: int) -> None:
+        """Emit one statement of a loop body or nested container."""
+        if isinstance(stmt, ast.ForStatement):
+            if len(self.containers) != 1:
+                raise _Reject  # loops only at body top level (continuation shape)
+            self.level_child_idx[-1] = body_idx
+            self.w("_ops += 1; _stmts += 1")
+            self.total_static_ops += 1
+            self.emit_for(stmt)
+            return
+        mark = len(self.lines)
+        sites_before = len(self.sites)
+        saved_cnt = self.cnt
+        self.cnt = _Cnt()
+        self.cnt.ops += 1
+        self.total_static_ops += 1
+        self.cnt.stmts += 1
+        if isinstance(stmt, ast.ExpressionStatement):
+            self.emit_expr_stmt_body(stmt.expression, mode="stmt")
+        elif isinstance(stmt, ast.VariableDeclaration):
+            self.emit_var_decl_body(stmt, mode="stmt")
+        elif isinstance(stmt, ast.IfStatement):
+            self.emit_if_body(stmt)
+        elif isinstance(stmt, ast.EmptyStatement):
+            pass
+        elif isinstance(stmt, ast.BlockStatement):
+            self.emit_block_body(stmt)
+        else:
+            raise _Reject
+        count = _count_line(self.cnt)
+        self.cnt = saved_cnt
+        prefix = []
+        if len(self.sites) > sites_before:
+            prefix.append(
+                self.ind
+                + "_s_ops = _ops; _s_stmts = _stmts; _s_li = _li; _s_pr = _pr; _s_pw = _pw; _s_calls = _calls"
+            )
+        prefix.append(self.ind + count)
+        self.lines[mark:mark] = prefix
+
+    def emit_var_decl_body(self, decl: ast.VariableDeclaration, mode: str) -> None:
+        if decl.kind_keyword != "var":
+            raise _Reject
+        for declarator in decl.declarations:
+            if declarator.init is None:
+                # Bare re-declaration: hoisting already created the binding;
+                # the closure tier's declare_var() is a no-op then.
+                self.scalar(declarator.name)
+                self.scalar_var_declared.add(declarator.name)
+                continue
+            value = self.emit_expr(declarator.init, mode)
+            local = self.scalar_write(declarator.name, via_var_decl=True)
+            self.w(f"{local} = {value}")
+
+    def emit_expr_stmt_body(self, expr: ast.Node, mode: str) -> None:
+        if isinstance(expr, ast.AssignmentExpression):
+            self.emit_assignment(expr, mode)
+        elif isinstance(expr, ast.UpdateExpression):
+            self.emit_update_core(expr, mode)
+        elif isinstance(expr, ast.CallExpression):
+            # The value is discarded, but the call must still run (rng state).
+            value = self.emit_expr(expr, mode)
+            self.w(f"_ = {value}")
+        else:
+            raise _Reject
+
+    def emit_update_expr(self, update: ast.Node) -> None:
+        if isinstance(update, ast.UpdateExpression):
+            self.emit_update_core(update, "update")
+        elif isinstance(update, ast.AssignmentExpression):
+            self.emit_assignment(update, "update")
+        else:
+            raise _Reject
+
+    def emit_update_core(self, node: ast.UpdateExpression, mode: str) -> None:
+        if not isinstance(node.target, ast.Identifier):
+            raise _Reject
+        self.add_ops(1)
+        local = self.scalar_read(node.target.name)
+        self.scalar_write(node.target.name)
+        delta = "1.0" if node.operator == "++" else "-1.0"
+        self.w(f"{local} = {local} + {delta}")
+
+    def emit_assignment(self, node: ast.AssignmentExpression, mode: str) -> None:
+        operator = node.operator
+        target = node.target
+        self.add_ops(1)
+        if isinstance(target, ast.Identifier):
+            if operator == "=":
+                value = self.emit_expr(node.value, mode)
+                local = self.scalar_write(target.name)
+                self.w(f"{local} = {value}")
+                return
+            current = self.scalar_read(target.name)
+            value = self.emit_expr(node.value, mode)
+            local = self.scalar_write(target.name)
+            self.w(f"{local} = {_arith(operator[:-1], current, value)}")
+            return
+        if isinstance(target, ast.MemberExpression) and target.computed:
+            if operator == "=":
+                value = self.emit_expr(node.value, mode)
+                elements = self.emit_array_base(target.object)
+                key = self.materialize(self.emit_expr(target.property, mode))
+                index = self.guarded_index(elements, key, mode)
+                self.cnt.pw += 1
+                self.w(f"{elements}[{index}] = {value}")
+                return
+            # Compound member store: closure evaluates object+key twice.
+            obj_cnt = _Cnt()
+            saved = self.cnt
+            saved_dyn = self.no_dynamic
+            self.cnt = obj_cnt
+            self.no_dynamic = True
+            elements = self.emit_array_base(target.object)
+            key = self.materialize(self.emit_expr(target.property, mode))
+            self.no_dynamic = saved_dyn
+            self.cnt = saved
+            self.cnt.ops += 2 * obj_cnt.ops
+            self.total_static_ops += obj_cnt.ops
+            self.cnt.pr += 2 * obj_cnt.pr
+            self.cnt.pw += obj_cnt.pw
+            self.cnt.calls += 2 * obj_cnt.calls
+            self.cnt.stmts += 2 * obj_cnt.stmts
+            index = self.guarded_index(elements, key, mode)
+            current = self.new_tmp()
+            self.w(f"{current} = {elements}[{index}]")
+            self.deopt(f"type({current}) is not float", mode)
+            self.cnt.pr += 1
+            self.cnt.pw += 1
+            value = self.emit_expr(node.value, mode)
+            self.w(f"{elements}[{index}] = {_arith(operator[:-1], current, value)}")
+            return
+        raise _Reject
+
+    def emit_if_body(self, node: ast.IfStatement) -> None:
+        test = self.emit_test(node.test, mode="stmt")
+        self.w(f"if {test}:")
+        self.emit_branch(node.consequent)
+        if node.alternate is not None:
+            self.w("else:")
+            self.emit_branch(node.alternate)
+
+    def emit_branch(self, branch: ast.Node) -> None:
+        self.ind += "    "
+        saved_definite = set(self.definite)
+        if isinstance(branch, ast.BlockStatement):
+            # The block statement's own wrapper charge (pure counter bumps,
+            # needs no snapshot), then its statements — each a full
+            # transactional statement inside a nested container.
+            self.w("_ops += 1; _stmts += 1")
+            self.total_static_ops += 1
+            self.emit_block_body(branch)
+        else:
+            # Single unbraced statement (incl. else-if): runs in the
+            # enclosing env; register a one-statement container so a deopt
+            # inside it resumes at exactly this statement.
+            codes = [compile_stmt(branch)]
+            self.containers.append((codes, 0, None))
+            self.emit_stmt(branch, body_idx=0)
+            self.containers.pop()
+        self.ind = self.ind[:-4]
+        # Branch assignments are not definite after the if (other branch).
+        self.definite = saved_definite
+
+    def emit_block_body(self, block: ast.BlockStatement) -> None:
+        """A nested block statement (its own env + per-statement wrappers)."""
+        layout = getattr(block, "_layout", None)
+        codes = [compile_stmt(stmt) for stmt in block.body]
+        self.containers.append((codes, 0, layout))
+        for idx, stmt in enumerate(block.body):
+            self.containers[-1] = (codes, idx, layout)
+            if isinstance(stmt, ast.ForStatement):
+                raise _Reject  # loops only at loop-body top level
+            self.emit_stmt(stmt, body_idx=idx)
+        self.containers.pop()
+
+    # ---------------------------------------------------------- expressions
+    def emit_expr(self, node: ast.Node, mode: str) -> str:
+        """Emit a numeric expression; returns a float-valued py expression."""
+        self.add_ops(1)
+        if isinstance(node, ast.NumberLiteral):
+            return _num(node.value)
+        if isinstance(node, ast.Identifier):
+            return self.scalar_read(node.name)
+        if isinstance(node, ast.BinaryExpression):
+            operator = node.operator
+            if operator in _ARITH_OPS:
+                left = self.emit_expr(node.left, mode)
+                right = self.emit_expr(node.right, mode)
+                return _arith(operator, left, right)
+            if operator in _CMP_OPS:
+                # Comparison in value position: JS yields a boolean; in this
+                # numeric subset that would immediately poison arithmetic, so
+                # only allow it under a test (emit_test) — reject here.
+                raise _Reject
+            raise _Reject
+        if isinstance(node, ast.UnaryExpression) and node.operator in ("-", "+"):
+            operand = self.emit_expr(node.operand, mode)
+            return f"(-{operand})" if node.operator == "-" else operand
+        if isinstance(node, ast.MemberExpression):
+            if node.computed:
+                elements = self.emit_array_base(node.object)
+                key = self.materialize(self.emit_expr(node.property, mode))
+                index = self.guarded_index(elements, key, mode)
+                self.cnt.pr += 1
+                value = self.new_tmp()
+                self.w(f"{value} = {elements}[{index}]")
+                self.deopt(f"type({value}) is not float", mode)
+                return value
+            prop = node.property.value
+            if prop == "length":
+                elements = self.emit_array_base(node.object)
+                self.cnt.pr += 1
+                return f"float(len({elements}))"
+            path = self.resolve_path(node)
+            ops, preads = self.path_counts(path)
+            self.add_ops(ops - 1)  # the node itself was charged above
+            self.cnt.pr += preads
+            return self.hoist_terminal(path, "float")
+        if isinstance(node, ast.CallExpression):
+            return self.emit_call(node, mode)
+        if isinstance(node, ast.ConditionalExpression):
+            if self.no_dynamic:
+                raise _Reject
+            test = self.emit_test(node.test, mode)
+            result = self.new_tmp()
+            self.w(f"if {test}:")
+            self.emit_cond_branch(node.consequent, result, mode)
+            self.w("else:")
+            self.emit_cond_branch(node.alternate, result, mode)
+            return result
+        raise _Reject
+
+    def emit_cond_branch(self, node: ast.Node, result: str, mode: str) -> None:
+        self.ind += "    "
+        saved_cnt = self.cnt
+        self.cnt = _Cnt()
+        mark = len(self.lines)
+        value = self.emit_expr(node, mode)
+        count = _count_line(self.cnt)
+        if self.cnt.stmts or self.cnt.pw:
+            raise _Reject
+        self.cnt = saved_cnt
+        self.lines.insert(mark, self.ind + count)
+        self.w(f"{result} = {value}")
+        self.ind = self.ind[:-4]
+
+    def emit_array_base(self, node: ast.Node) -> str:
+        """Array bases: a plain identifier or a static member chain."""
+        if isinstance(node, ast.Identifier):
+            self.root(node.name)
+            self.add_ops(1)
+            return self.hoist_terminal(("env", node.name), "array")
+        if isinstance(node, ast.MemberExpression) and not node.computed:
+            path = self.resolve_path(node)
+            ops, preads = self.path_counts(path)
+            self.add_ops(ops)
+            self.cnt.pr += preads
+            return self.hoist_terminal(path, "array")
+        raise _Reject
+
+    def guarded_index(self, elements: str, key: str, mode: str) -> str:
+        """Bounds+integrality guard; returns an int index expression."""
+        self.deopt(f"not (0.0 <= {key} < len({elements}))", mode)
+        index = self.new_tmp()
+        self.w(f"{index} = int({key})")
+        self.deopt(f"{index} != {key}", mode)
+        return index
+
+    def materialize(self, expr: str) -> str:
+        if expr.replace("_", "").isalnum():
+            return expr
+        tmp = self.new_tmp()
+        self.w(f"{tmp} = {expr}")
+        return tmp
+
+    def emit_call(self, node: ast.CallExpression, mode: str) -> str:
+        callee = node.callee
+        # Method call: obj.method(args) — natives only (no `this` handling).
+        if isinstance(callee, ast.MemberExpression):
+            if callee.computed:
+                raise _Reject
+            method = callee.property.value
+            template = _MATH_TEMPLATES.get(method)
+            if template is None or (method == "random" and self.no_dynamic):
+                raise _Reject
+            expr_tpl, arity, deopt_inf = template
+            if len(node.arguments) != arity:
+                raise _Reject
+            base_path = self.resolve_path(callee.object)
+            # Charge the object expression (an identifier or chain).
+            ops, preads = self.path_counts(base_path)
+            self.add_ops(ops)
+            self.cnt.pr += preads
+            receiver = self.hoist_object(base_path)
+            # Native *names* are not unique (console.log vs Math.log); the
+            # receiver must be the actual Math intrinsic, whose internal
+            # class_name guest code cannot forge.
+            math_key = (base_path, "is-math")
+            if math_key not in self.object_locals:
+                self.entry.append(f"if {receiver}.class_name != 'Math': return False")
+                self.object_locals[math_key] = receiver
+            self.hoist_native(base_path + (method,), method)
+            self.cnt.pr += 1  # the method lookup on the receiver
+            args = [self.materialize(self.emit_expr(arg, mode)) for arg in node.arguments]
+            if deopt_inf:
+                self.deopt(f"{args[0]} == _INF or {args[0]} == _NINF", mode)
+            return expr_tpl.format(*args)
+        if not isinstance(callee, ast.Identifier):
+            raise _Reject
+        name = callee.name
+        # Plain call: resolve the build-time value to decide native vs guest.
+        holder = self.env.lookup_env(name)
+        if holder is None:
+            raise _Reject
+        value = holder.bindings.get(name)
+        if type(value) is NativeFunction:
+            # A bare binding to a native can't be verified by name alone
+            # (names collide across intrinsics) and pinning the instance
+            # would tie the plan to one interpreter — always fall back.
+            raise _Reject
+        inline = self.resolve_inline(name)
+        if len(node.arguments) != len(inline.params):
+            raise _Reject
+        self.add_ops(1)  # callee identifier read
+        args = [self.materialize(self.emit_expr(arg, mode)) for arg in node.arguments]
+        # Per-call accounting: calls += 1, the return statement's wrapper
+        # (1 op + 1 statement) plus the return expression's ops.
+        self.add_ops(1 + inline.cnt_ops)
+        self.cnt.stmts += 1
+        self.cnt.calls += 1
+        self.cnt.pr += inline.cnt_pr
+        return "(" + inline.ret_expr.format(*args) + ")"
+
+    # ----------------------------------------------------------------- tests
+    def emit_test(self, node: ast.Node, mode: str) -> str:
+        """Emit a boolean test expression (``to_boolean`` semantics)."""
+        if isinstance(node, ast.BinaryExpression) and node.operator in _CMP_OPS:
+            self.add_ops(1)
+            left = self.emit_expr(node.left, mode)
+            right = self.emit_expr(node.right, mode)
+            return f"({left} {_CMP_OPS[node.operator]} {right})"
+        if isinstance(node, ast.UnaryExpression) and node.operator == "!":
+            self.add_ops(1)
+            inner = self.emit_test(node.operand, mode)
+            return f"(not {inner})"
+        if isinstance(node, ast.LogicalExpression):
+            if self.no_dynamic:
+                raise _Reject
+            self.add_ops(1)
+            result = self.new_tmp()
+            left = self.emit_test(node.left, mode)
+            if node.operator == "&&":
+                self.w(f"{result} = False")
+                self.w(f"if {left}:")
+            elif node.operator == "||":
+                self.w(f"{result} = True")
+                self.w(f"if not {left}:")
+            else:
+                raise _Reject
+            self.ind += "    "
+            saved_cnt = self.cnt
+            self.cnt = _Cnt()
+            mark = len(self.lines)
+            right = self.emit_test(node.right, mode)
+            if self.cnt.stmts or self.cnt.pw:
+                raise _Reject
+            count = _count_line(self.cnt)
+            self.cnt = saved_cnt
+            self.lines.insert(mark, self.ind + count)
+            self.w(f"{result} = {right}")
+            self.ind = self.ind[:-4]
+            return result
+        # Numeric truthiness: true iff non-zero and not NaN.
+        value = self.materialize(self.emit_expr(node, mode))
+        return f"({value} == {value} and {value} != 0.0)"
+
+    # ------------------------------------------------------------- assembly
+    def assemble(self) -> _NestPlan:
+        if self.scalar_assigned & self.root_names:
+            raise _Reject
+        margin = self.total_static_ops + 64
+        src: List[str] = ["def _nest(rt, env, _C):"]
+        e = "    "
+        src.append(e + "stats = rt.stats")
+        src.append(e + f"if stats.ops + {margin} >= rt.max_ops: return False")
+        if self.has_guest_calls:
+            src.append(e + "if len(rt.call_stack) >= rt.max_call_depth: return False")
+        src.append(e + "_ALIAS = []")
+        for line in self.entry:
+            src.append(e + line)
+        # Scalar entry: resolve holders, guard consts/types, unbox.
+        fs_needed = bool(self.scalar_var_declared)
+        if fs_needed:
+            src.append(e + "_fs = env.nearest_function_scope()")
+        for name, local in self.scalars.items():
+            holder = f"_h_{local}"
+            self.scalar_holders[name] = holder
+            src.append(e + f"{holder} = env.lookup_env({name!r})")
+            src.append(e + f"if {holder} is None: return False")
+            if name in self.scalar_assigned:
+                src.append(e + f"if {name!r} in {holder}.consts: return False")
+            if name in self.scalar_var_declared:
+                src.append(e + f"if {holder} is not _fs: return False")
+            src.append(e + f"{local} = {holder}.bindings[{name!r}]")
+            if name in self.scalar_guarded:
+                src.append(e + f"if type({local}) is not float: return False")
+        # Inline-free aliasing: a free binding an inline reads must not be a
+        # binding the nest assigns.
+        if self.entry and self.scalar_assigned:
+            src.append(e + "for _af, _an in _ALIAS:")
+            checks = " or ".join(
+                f"(_an == {name!r} and _af is {self.scalar_holders[name]})"
+                for name in sorted(self.scalar_assigned)
+            )
+            src.append(e + f"    if {checks}: return False" if checks else e + "    pass")
+        src.append(e + "_ops = 0; _stmts = 0; _li = 0; _pr = 0; _pw = 0; _calls = 0")
+        src.append(e + "_s_ops = 0; _s_stmts = 0; _s_li = 0; _s_pr = 0; _s_pw = 0; _s_calls = 0")
+        src.append(e + "_site = 0")
+        src.append(e + f"_lim = rt.max_ops - stats.ops - {margin}")
+        src.append(e + "try:")
+        src.extend(self.lines)
+        src.append(e + "except _DJ:")
+        src.append(e + "    _ops = _s_ops; _stmts = _s_stmts; _li = _s_li; _pr = _s_pr; _pw = _s_pw; _calls = _s_calls")
+        self.emit_flush(src, e + "    ")
+        src.append(e + "    raise _Deopt(_site)")
+        self.emit_flush(src, e)
+        src.append(e + "return True")
+        source = "\n".join(src)
+        namespace = dict(_GEN_GLOBALS)
+        code = compile(source, "<fastnest>", "exec")
+        exec(code, namespace)
+        fn_raw = namespace["_nest"]
+        consts = tuple(self.consts)
+
+        def fn(rt, env, _fn=fn_raw, _consts=consts):
+            return _fn(rt, env, _consts)
+
+        return _NestPlan(fn, self.sites, source)
+
+    def emit_flush(self, src: List[str], e: str) -> None:
+        src.append(e + "stats.ops += _ops")
+        src.append(e + "stats.statements += _stmts")
+        src.append(e + "stats.loop_iterations += _li")
+        src.append(e + "stats.property_reads += _pr")
+        src.append(e + "stats.property_writes += _pw")
+        src.append(e + "stats.calls += _calls")
+        src.append(e + "_ck = rt.clock")
+        src.append(e + "_n = _ck._now_ms; _m = _ck.ms_per_op")
+        src.append(e + "for _i in range(_ops): _n = _n + _m")
+        src.append(e + "_ck._now_ms = _n")
+        for name in sorted(self.scalar_assigned):
+            holder = self.scalar_holders[name]
+            local = self.scalars[name]
+            src.append(e + f"{holder}.store_binding({name!r}, {local})")
+
+
+def _ident(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in name)
+
+
+def _num(value: float) -> str:
+    if value != value:
+        return "_NAN"
+    if value == _INF:
+        return "_INF"
+    if value == -_INF:
+        return "_NINF"
+    return repr(float(value))
+
+
+_DIV_SEQ = [0]
+
+
+def _arith(operator: str, left: str, right: str) -> str:
+    if operator == "+":
+        return f"({left} + {right})"
+    if operator == "-":
+        return f"({left} - {right})"
+    if operator == "*":
+        return f"({left} * {right})"
+    if operator == "/":
+        # Unique walrus name per site: nested divisions must not clobber each
+        # other's denominator.  Truthiness of +/-0.0 is False, so both zeros
+        # route to _op_div (matching the closure tier); NaN/inf divide inline.
+        _DIV_SEQ[0] += 1
+        d = f"_dv{_DIV_SEQ[0]}"
+        return f"(({left}) / {d} if ({d} := ({right})) else _op_div({left}, {d}))"
+    if operator == "%":
+        return f"_op_mod({left}, {right})"
+    raise _Reject
+
+
+def _count_line(cnt: _Cnt) -> str:
+    parts = []
+    if cnt.ops:
+        parts.append(f"_ops += {cnt.ops}")
+    if cnt.stmts:
+        parts.append(f"_stmts += {cnt.stmts}")
+    if cnt.pr:
+        parts.append(f"_pr += {cnt.pr}")
+    if cnt.pw:
+        parts.append(f"_pw += {cnt.pw}")
+    if cnt.calls:
+        parts.append(f"_calls += {cnt.calls}")
+    return "; ".join(parts) if parts else "pass"
+
+
+def _build_plan(node: ast.ForStatement, rt, env: Environment) -> Optional[_NestPlan]:
+    try:
+        return _PlanBuilder(node, rt, env).build()
+    except _Reject:
+        return None

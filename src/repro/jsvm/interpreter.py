@@ -26,12 +26,18 @@ from typing import Any, List, Optional
 
 from . import ast_nodes as ast
 from .builtins import get_number_property, get_string_property, install_builtins
+from .bytecode import (
+    ensure_bytecode_body,
+    ensure_bytecode_program,
+    execute as execute_bytecode,
+)
 from .clock import VirtualClock
 from .compiler import ReturnSignal, ensure_program, ensure_statement_list, run_hoist_plan
 from .errors import InterpreterLimitError, JSTypeError
 from .hooks import EV_ENV, EV_FUNCTION, EV_HOST, EV_OBJECT, EV_PROP, EV_VAR, HookBus
 from .parser import parse
 from .scope import _NO_CONSTS, HOLE, Environment
+from .tiers import TIER_BYTECODE, TIER_CLOSURE, resolve_tier
 from .values import (
     NULL,
     UNDEFINED,
@@ -80,6 +86,10 @@ class Interpreter:
         Safety limit on the number of interpreted operations.
     max_call_depth:
         Safety limit on guest recursion depth.
+    tier:
+        Execution-tier policy (see :mod:`repro.jsvm.tiers`): ``"auto"``
+        (default), ``"bytecode"`` or ``"closure"``.  ``None`` resolves to
+        the session default, honouring ``REPRO_FORCE_CLOSURE_TIER``.
     """
 
     def __init__(
@@ -89,10 +99,15 @@ class Interpreter:
         rng_seed: int = 20150207,
         max_ops: int = 200_000_000,
         max_call_depth: int = 400,
+        tier: Optional[str] = None,
     ) -> None:
         import random
 
         self.hooks = hooks if hooks is not None else HookBus()
+        #: Resolved execution-tier policy for this interpreter.
+        self.tier = resolve_tier(tier)
+        #: Whether compiled ``for`` loops may enter the numeric fast tier.
+        self.fast_nests = self.tier != TIER_CLOSURE
         #: Cached copy of ``hooks.mask`` — the per-event subscriber mask the
         #: compiled code consults; kept in sync by :meth:`HookBus.bind`.
         self.trace_mask = 0
@@ -127,6 +142,10 @@ class Interpreter:
     def run(self, program: ast.Program, env: Optional[Environment] = None) -> Any:
         """Execute a parsed :class:`Program`; returns the last statement value."""
         env = env or self.global_env
+        if self.tier == TIER_BYTECODE:
+            plan, code = ensure_bytecode_program(program)
+            run_hoist_plan(plan, self, env)
+            return execute_bytecode(code, self, env)
         plan, statements = ensure_program(program)
         run_hoist_plan(plan, self, env)
         result: Any = UNDEFINED
@@ -168,7 +187,12 @@ class Interpreter:
             raise InterpreterLimitError("maximum guest call depth exceeded")
 
         body = func.body
-        plan, statements = ensure_statement_list(body, body.body)
+        if self.tier == TIER_BYTECODE:
+            plan, bytecode_body = ensure_bytecode_body(body)
+            statements = None
+        else:
+            plan, statements = ensure_statement_list(body, body.body)
+            bytecode_body = None
         info = getattr(body, "_fn_scope", None)
         if info is not None:
             # Slot-addressed prologue: the frame's shape is static, so the
@@ -234,8 +258,11 @@ class Interpreter:
                         bindings[entry[2]] = declared
             else:
                 run_hoist_plan(plan, self, env)
-            for statement in statements:
-                statement(self, env)
+            if bytecode_body is not None:
+                execute_bytecode(bytecode_body, self, env)
+            else:
+                for statement in statements:
+                    statement(self, env)
             return UNDEFINED
         except ReturnSignal as signal:
             return signal.value

@@ -1,0 +1,62 @@
+"""Execution-tier policy for the mini-JavaScript VM.
+
+The VM has three ways to execute a resolved AST:
+
+* the **closure tier** (:mod:`repro.jsvm.compiler`) — every node compiled
+  once into a Python closure; the reference semantics all other tiers are
+  measured against;
+* the **bytecode tier** (:mod:`repro.jsvm.bytecode`) — a compact register
+  bytecode with a threaded-dispatch loop, lowered from the same resolved
+  AST (and serializable, so the engine can ship compiled code to fan-out
+  workers);
+* the **numeric fast tier** (:mod:`repro.jsvm.fasttier`) — guarded fused
+  execution of hot numeric ``for`` nests, entered from either general tier
+  and deoptimizing back to the closure tier on any guard failure.
+
+A *tier policy* names the general tier and whether the fast tier may
+engage:
+
+* ``"auto"`` (the default): closure general tier + numeric fast nests;
+* ``"bytecode"``: bytecode general tier + numeric fast nests;
+* ``"closure"``: closure tier only — exactly the pre-tier behaviour, with
+  the fast tier disabled.
+
+``REPRO_FORCE_CLOSURE_TIER=1`` forces the ``closure`` policy process-wide
+(mirroring ``REPRO_FORCE_DICT_SCOPES``); the CI fallback job runs the whole
+tier-1 suite in that configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+TIER_AUTO = "auto"
+TIER_BYTECODE = "bytecode"
+TIER_CLOSURE = "closure"
+
+#: Every valid tier policy name, in documentation order.
+ALL_TIERS = (TIER_AUTO, TIER_BYTECODE, TIER_CLOSURE)
+
+#: Environment escape hatch: force the closure tier everywhere.
+FORCE_CLOSURE_ENV_VAR = "REPRO_FORCE_CLOSURE_TIER"
+
+
+def closure_tier_forced() -> bool:
+    """True when ``REPRO_FORCE_CLOSURE_TIER`` disables the new tiers."""
+    return os.environ.get(FORCE_CLOSURE_ENV_VAR, "") not in ("", "0")
+
+
+def validate_tier(tier: Optional[str]) -> Optional[str]:
+    """Validate a tier policy name (``None`` means "session default")."""
+    if tier is not None and tier not in ALL_TIERS:
+        raise ValueError(f"unknown execution tier {tier!r}; known: {list(ALL_TIERS)}")
+    return tier
+
+
+def resolve_tier(tier: Optional[str]) -> str:
+    """Resolve a requested tier against the environment escape hatch."""
+    validate_tier(tier)
+    if closure_tier_forced():
+        return TIER_CLOSURE
+    return tier if tier is not None else TIER_AUTO

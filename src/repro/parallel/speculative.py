@@ -292,6 +292,8 @@ def _fork_context(rt: Interpreter, fork: HeapFork, bus: HookBus) -> Interpreter:
     clone = Interpreter.__new__(Interpreter)
     clone.hooks = bus
     clone.trace_mask = 0
+    clone.tier = rt.tier
+    clone.fast_nests = rt.fast_nests
     bus.bind(clone)
     clone.clock = VirtualClock(ms_per_op=rt.clock.ms_per_op)
     clone.rng = random.Random()

@@ -1,0 +1,122 @@
+"""The benchmark-summary staleness gate (``benchmarks/collect_summary.py``).
+
+The collector is a script, not a package module, so it is loaded by path.
+These tests pin the contract the CI gate relies on: an artifact with no
+committed summary entry is a *blocking* coverage gap (``--check`` exits 1),
+while pure timestamp drift only warns — CI regenerates the gitignored
+artifacts on every run, so their mtimes are always fresher than the
+committed snapshot and must not fail the build.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "collect_summary.py"
+
+
+@pytest.fixture(scope="module")
+def collector():
+    spec = importlib.util.spec_from_file_location("collect_summary", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_artifact(artifacts_dir: Path, name: str, mtime: float) -> Path:
+    path = artifacts_dir / name
+    path.write_text(
+        json.dumps({"name": name, "ops": 1.0, "mean": 1.0, "rounds": 1}),
+        encoding="utf-8",
+    )
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+def _write_summary(summary_path: Path, rows: list) -> None:
+    summary_path.write_text(
+        json.dumps({"schema": 1, "benchmarks": rows}), encoding="utf-8"
+    )
+
+
+def test_missing_entry_is_blocking(collector, tmp_path):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    _write_artifact(artifacts, "BENCH_new_tier.json", mtime=1_700_000_000.0)
+    summary = tmp_path / "BENCH_summary.json"
+    _write_summary(summary, [])
+
+    stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
+    assert [(name, blocking) for name, _reason, blocking in stale] == [
+        ("BENCH_new_tier.json", True)
+    ]
+
+
+def test_timestamp_drift_is_nonblocking(collector, tmp_path):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    # Artifact regenerated well after the summary entry was recorded.
+    _write_artifact(artifacts, "BENCH_existing.json", mtime=1_700_009_999.0)
+    summary = tmp_path / "BENCH_summary.json"
+    _write_summary(
+        summary,
+        [{"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"}],
+    )
+
+    stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
+    assert len(stale) == 1
+    name, reason, blocking = stale[0]
+    assert name == "BENCH_existing.json"
+    assert "recorded" in reason
+    assert blocking is False
+
+
+def test_covered_and_fresh_is_clean(collector, tmp_path):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    mtime = 1_700_000_000.0
+    _write_artifact(artifacts, "BENCH_existing.json", mtime=mtime)
+    summary = tmp_path / "BENCH_summary.json"
+    # recorded_at matches the artifact's mtime (what collect() records).
+    _write_summary(
+        summary,
+        [{"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"}],
+    )
+
+    assert collector.stale_entries(summary_path=summary, artifacts_dir=artifacts) == []
+
+
+def test_unparseable_recorded_at_is_blocking(collector, tmp_path):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    _write_artifact(artifacts, "BENCH_existing.json", mtime=1_700_000_000.0)
+    summary = tmp_path / "BENCH_summary.json"
+    _write_summary(
+        summary, [{"artifact": "BENCH_existing.json", "recorded_at": "not-a-date"}]
+    )
+
+    stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
+    assert len(stale) == 1
+    assert stale[0][2] is True
+
+
+def test_check_mode_exit_codes(collector, tmp_path, monkeypatch, capsys):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    _write_artifact(artifacts, "BENCH_new_tier.json", mtime=1_700_000_000.0)
+    summary = tmp_path / "BENCH_summary.json"
+    monkeypatch.setattr(collector, "ARTIFACTS_DIR", artifacts)
+    monkeypatch.setattr(collector, "SUMMARY_PATH", summary)
+
+    _write_summary(summary, [])
+    assert collector.main(["--check"]) == 1
+    assert "missing from the committed summary" in capsys.readouterr().err
+
+    # The default (rewrite) mode repairs the snapshot; --check then passes.
+    assert collector.main([]) == 0
+    assert collector.main(["--check"]) == 0

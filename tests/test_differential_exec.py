@@ -90,6 +90,7 @@ class ProgramGenerator:
                 self.make_shadowing,
                 self.make_var_let_capture,
                 self.make_deep_functions,
+                self.make_poisoned_nest,
             ]
         return makers[rng.randrange(len(makers))](depth)
 
@@ -270,6 +271,45 @@ class ProgramGenerator:
             f"var {result} = {outer}({self.number()})({self.number()})({self.number()})({self.number()});"
         )
 
+    def make_poisoned_nest(self, depth: int) -> str:
+        """A hot numeric ``for`` nest that turns non-numeric mid-loop.
+
+        The shape that must deoptimize the numeric fast tier with no
+        observable effect: string-concat poisoning of the accumulator,
+        NaN/Infinity injection, or a prototype mutation inside the nest.
+        """
+        rng = self.rng
+        acc = self.fresh("pn")
+        outer = self.fresh("pi")
+        inner = self.fresh("pj")
+        flip = rng.randint(1, 3)
+        kind = rng.randrange(3)
+        if kind == 0:
+            poison = f"if ({outer} === {flip}) {{ {acc} = {acc} + 'x'; }}"
+        elif kind == 1:
+            inject = rng.choice(["(0 / 0)", "(1 / 0)", "Math.sqrt(-1)"])
+            poison = f"if ({outer} === {flip}) {{ {acc} = {acc} + {inject}; }}"
+        else:
+            ctor = self.fresh("PC")
+            obj = self.fresh("po")
+            poison = f"if ({outer} === {flip}) {{ {ctor}.prototype.w = 10; }}"
+            body = (
+                f"{acc} = {acc} + {inner} + ({obj}.w === undefined ? 0 : {obj}.w);"
+            )
+            return (
+                f"function {ctor}() {{ this.v = 1; }} var {obj} = new {ctor}(); "
+                f"var {acc} = 0; "
+                f"for (var {outer} = 0; {outer} < {rng.randint(4, 6)}; {outer}++) {{ "
+                f"for (var {inner} = 0; {inner} < {rng.randint(3, 5)}; {inner}++) "
+                f"{{ {body} }} {poison} }}"
+            )
+        return (
+            f"var {acc} = 0; "
+            f"for (var {outer} = 0; {outer} < {rng.randint(4, 6)}; {outer}++) {{ "
+            f"for (var {inner} = 0; {inner} < {rng.randint(3, 5)}; {inner}++) "
+            f"{{ {acc} = {acc} + {inner} * {self.number()}; }} {poison} }}"
+        )
+
     def make_if(self, depth: int) -> str:
         condition = f"{self.numeric_expr()} < {self.numeric_expr()}"
         snapshot = self.scoped()
@@ -347,11 +387,23 @@ class EventRecorder(Tracer):
         self.events.append(("stmt", node.node_id))
 
 
+#: Every execution configuration the differential suite compares: the three
+#: tier policies of the production interpreter (``auto`` = closure general
+#: tier + numeric fast nests, ``bytecode`` = register bytecode + fast nests,
+#: ``closure`` = the pre-tier reference semantics) and the slow walker.
+ENGINES = (
+    ("auto", lambda: Interpreter()),
+    ("bytecode", lambda: Interpreter(tier="bytecode")),
+    ("closure", lambda: Interpreter(tier="closure")),
+    ("reference", lambda: ReferenceInterpreter()),
+)
+
+
 def run_both(source: str, instrumented: bool = False):
-    """Run ``source`` on the compiled and reference engines; return snapshots."""
+    """Run ``source`` on every engine configuration; return snapshots."""
     snapshots = []
-    for engine in (Interpreter, ReferenceInterpreter):
-        interp = engine()
+    for name, make in ENGINES:
+        interp = make()
         recorder = None
         if instrumented:
             recorder = interp.hooks.attach(EventRecorder())
@@ -359,7 +411,7 @@ def run_both(source: str, instrumented: bool = False):
         stats = interp.stats
         snapshots.append(
             {
-                "engine": engine.__name__,
+                "engine": name,
                 "result": to_string(result),
                 "console": list(interp.console_output),
                 "clock_ms": interp.clock.now(),
@@ -378,10 +430,14 @@ def run_both(source: str, instrumented: bool = False):
 
 
 def assert_equivalent(source: str, instrumented: bool = False) -> None:
-    compiled, reference = run_both(source, instrumented=instrumented)
-    compiled.pop("engine")
-    reference.pop("engine")
-    assert compiled == reference, f"engines diverge on:\n{source}"
+    snapshots = run_both(source, instrumented=instrumented)
+    baseline = snapshots[0]
+    baseline_name = baseline.pop("engine")
+    for other in snapshots[1:]:
+        other_name = other.pop("engine")
+        assert other == baseline, (
+            f"engines diverge ({baseline_name} vs {other_name}) on:\n{source}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -495,4 +551,56 @@ class TestHandPickedCorners:
 
     @pytest.mark.parametrize("index", range(0, len(CASES), 4))
     def test_corner_case_instrumented(self, index):
+        assert_equivalent(self.CASES[index], instrumented=True)
+
+
+class TestNumericNestPoisoning:
+    """Hot numeric nests that flip non-numeric mid-loop.
+
+    These are the shapes the numeric fast tier speculates on: each case
+    starts as a clean counted nest (so the fast tier engages under the
+    ``auto`` and ``bytecode`` policies) and then poisons it mid-execution —
+    string concatenation into the accumulator, NaN/Infinity injection, a
+    prototype mutation inside the nest, or a mutated loop bound.  All four
+    engine configurations must agree on everything, including the full
+    instrumented event stream, which pins the deopt/resume machinery to the
+    closure tier's exact semantics.
+    """
+
+    CASES = [
+        # String-concat poisoning: the accumulator becomes a string mid-run.
+        "var s = 0; for (var i = 0; i < 20; i++) { for (var j = 0; j < 10; j++) "
+        "{ s = s + j * 0.5; } if (i === 7) { s = s + 'p'; } } s;",
+        # Poisoning through an array element that turns into a string.
+        "var a = [0, 1, 2, 3, 4, 5, 6, 7]; var s = 0; "
+        "for (var i = 0; i < 12; i++) { for (var j = 0; j < 8; j++) { s = s + a[j]; } "
+        "if (i === 5) { a[3] = 'x'; } } s;",
+        # NaN injection: a divisor hits zero mid-nest, 0/0 poisons the sum.
+        "var s = 0; var d = 1; for (var i = 0; i < 16; i++) { for (var j = 0; j < 6; j++) "
+        "{ s = s + (j * d) / d; } if (i === 6) { d = 0; } } (s === s) + ',' + s;",
+        # Infinity injection, then the divisor recovers.
+        "var s = 0; var d = 1; for (var i = 0; i < 16; i++) { for (var j = 1; j < 6; j++) "
+        "{ s = s + 1 / (j * d); } if (i === 4) { d = 0; } if (i === 8) { d = 2; } } s;",
+        # Math.sqrt of a negative argument goes NaN inside the inner body.
+        "var s = 0; for (var i = 0; i < 10; i++) { for (var j = 0; j < 6; j++) "
+        "{ s = s + Math.sqrt(4 - i); } } (s === s) + ',' + s;",
+        # A prototype mutation inside the nest changes property lookups.
+        "function C() { this.v = 1; } var o = new C(); var s = 0; "
+        "for (var i = 0; i < 12; i++) { for (var j = 0; j < 5; j++) "
+        "{ s = s + (o.w === undefined ? 1 : o.w); } if (i === 6) { C.prototype.w = 100; } } s;",
+        # The array grows mid-nest; later iterations see the longer length.
+        "var a = [1, 2, 3]; var s = 0; for (var i = 0; i < 10; i++) "
+        "{ for (var j = 0; j < a.length; j++) { s = s + a[j]; } "
+        "if (i === 4) { a.push(4); } } s + ',' + a.length;",
+        # The inner bound mutates: fractional, then a numeric string.
+        "var n = 8; var s = 0; for (var i = 0; i < 10; i++) { for (var j = 0; j < n; j++) "
+        "{ s = s + 1; } if (i === 3) { n = 4.5; } if (i === 6) { n = '3'; } } s;",
+    ]
+
+    @pytest.mark.parametrize("index", range(len(CASES)))
+    def test_poisoned_nest(self, index):
+        assert_equivalent(self.CASES[index])
+
+    @pytest.mark.parametrize("index", range(len(CASES)))
+    def test_poisoned_nest_instrumented(self, index):
         assert_equivalent(self.CASES[index], instrumented=True)

@@ -294,6 +294,7 @@ class TestReplayBackedSchedule:
                 "Normal Mapping",
                 {"cores": 8, "coverage_target": 0.80, "max_nests_per_app": 5},
                 trace,
+                {},
             )
         )
         assert analysis.name == "Normal Mapping"
