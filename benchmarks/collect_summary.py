@@ -69,6 +69,32 @@ def collect(artifacts_dir: Path = ARTIFACTS_DIR) -> dict:
     }
 
 
+#: extra_info keys every serving-latency artifact must carry (numerically) —
+#: these are the numbers the serve acceptance criteria are stated in.
+SERVE_REQUIRED_KEYS = ("p50_ms", "p99_ms")
+
+
+def _serve_artifact_problems(path: Path) -> list:
+    """Blocking problems with one ``BENCH_serve_*.json`` artifact (else [])."""
+    if not path.name.startswith("BENCH_serve_"):
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [(path.name, f"unreadable serve artifact: {exc}", True)]
+    extra = data.get("extra_info") if isinstance(data, dict) else None
+    if not isinstance(extra, dict):
+        return [(path.name, "serve artifact has no extra_info object", True)]
+    problems = []
+    for key in SERVE_REQUIRED_KEYS:
+        value = extra.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(
+                (path.name, f"serve artifact missing numeric extra_info[{key!r}]", True)
+            )
+    return problems
+
+
 def stale_entries(
     summary_path: Path = SUMMARY_PATH, artifacts_dir: Path = ARTIFACTS_DIR
 ) -> list:
@@ -99,6 +125,7 @@ def stale_entries(
     for path in sorted(artifacts_dir.glob("BENCH_*.json")):
         if path.name == SUMMARY_NAME:
             continue
+        stale.extend(_serve_artifact_problems(path))
         row = by_artifact.get(path.name)
         if row is None:
             stale.append((path.name, "missing from the committed summary", True))

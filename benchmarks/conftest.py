@@ -69,7 +69,12 @@ def pytest_sessionfinish(session, exitstatus):
     ARTIFACTS_DIR.mkdir(exist_ok=True)
     for bench in bench_session.benchmarks:
         payload = _benchmark_payload(bench)
-        path = ARTIFACTS_DIR / _artifact_name(bench.name)
+        # A benchmark can pick its artifact file name explicitly (the serve
+        # benchmarks emit BENCH_serve_*.json, the name CI and the summary
+        # checker key on); default is derived from the benchmark name.
+        override = payload["extra_info"].get("artifact_name")
+        filename = override if override else _artifact_name(bench.name)
+        path = ARTIFACTS_DIR / filename
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     terminal = session.config.pluginmanager.get_plugin("terminalreporter")
     if terminal is not None:

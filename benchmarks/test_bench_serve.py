@@ -1,0 +1,113 @@
+"""Benchmark: the serving daemon under cold (record) vs warm (replay) load.
+
+The serving layer's acceptance number: a warm request — replayed from the
+shared disk-backed trace store — must have a p50 latency at least 5× lower
+than the cold request that recorded the trace.  The load-generator side
+measures sustained req/s with N concurrent clients against a live daemon.
+Both land in ``BENCH_serve_*.json`` artifacts (p50/p99 latency, req/s,
+cold vs warm) and fold into the committed ``BENCH_summary.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, percentile, run_load
+from repro.serve.server import ServeDaemon
+
+#: Small → medium workloads: enough spread to make p50/p99 meaningful
+#: without recording the whole 12-application sweep per benchmark run.
+WORKLOADS = ["MyScript", "Ace", "Harmony"]
+MODES = ["lightweight", "dependence"]
+
+
+@pytest.fixture()
+def live_daemon(tmp_path):
+    daemon = ServeDaemon(store_dir=str(tmp_path / "store"), port=0, workers=4)
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield daemon
+    finally:
+        daemon.shutdown()
+        thread.join(timeout=10)
+        daemon.close()
+
+
+def _timed_request(client: ServeClient, name: str) -> float:
+    started = time.perf_counter()
+    client.analyze_raw(workload=name, modes=MODES)
+    return (time.perf_counter() - started) * 1000.0
+
+
+def test_bench_serve_cold_vs_warm(benchmark, live_daemon):
+    """Per-request latency, cold (first touch records) vs warm (replays)."""
+    client = ServeClient(f"http://{live_daemon.host}:{live_daemon.port}")
+
+    # Cold: the first request per workload records its union-mask trace.
+    cold_ms = [_timed_request(client, name) for name in WORKLOADS]
+    assert live_daemon.store.puts == len(WORKLOADS)
+
+    # Warm: every further request replays from the shared disk-backed store.
+    warm_ms = []
+    for round_index in range(8):
+        for name in WORKLOADS:
+            warm_ms.append(_timed_request(client, name))
+    assert live_daemon.store.puts == len(WORKLOADS)  # zero extra executions
+
+    # The benchmarked operation is one warm round-robin request.
+    cursor = {"i": 0}
+
+    def one_warm_request():
+        name = WORKLOADS[cursor["i"] % len(WORKLOADS)]
+        cursor["i"] += 1
+        client.analyze_raw(workload=name, modes=MODES)
+
+    benchmark.pedantic(one_warm_request, rounds=6, iterations=1)
+
+    cold_p50, warm_p50 = percentile(cold_ms, 0.5), percentile(warm_ms, 0.5)
+    benchmark.extra_info["artifact_name"] = "BENCH_serve_cold_vs_warm.json"
+    benchmark.extra_info["workloads"] = ",".join(WORKLOADS)
+    benchmark.extra_info["modes"] = ",".join(MODES)
+    benchmark.extra_info["cold_p50_ms"] = round(cold_p50, 3)
+    benchmark.extra_info["cold_p99_ms"] = round(percentile(cold_ms, 0.99), 3)
+    benchmark.extra_info["p50_ms"] = round(warm_p50, 3)
+    benchmark.extra_info["p99_ms"] = round(percentile(warm_ms, 0.99), 3)
+    benchmark.extra_info["cold_over_warm_p50"] = round(cold_p50 / warm_p50, 2)
+    print()
+    print(f"cold p50 : {cold_p50:9.2f} ms   (p99 {percentile(cold_ms, 0.99):9.2f} ms)")
+    print(f"warm p50 : {warm_p50:9.2f} ms   (p99 {percentile(warm_ms, 0.99):9.2f} ms)")
+    print(f"ratio    : {cold_p50 / warm_p50:9.2f}x")
+    # Acceptance: warm p50 at least 5x lower than cold p50.
+    assert warm_p50 * 5 <= cold_p50
+
+
+def test_bench_serve_throughput(benchmark, live_daemon):
+    """Sustained req/s with concurrent clients against a warm daemon."""
+    client = ServeClient(f"http://{live_daemon.host}:{live_daemon.port}")
+    for name in WORKLOADS:  # warm the store once
+        client.analyze_raw(workload=name, modes=MODES)
+
+    report = benchmark.pedantic(
+        run_load,
+        args=(client.base_url, WORKLOADS),
+        kwargs={"modes": MODES, "clients": 4, "requests_per_client": 10},
+        rounds=1,
+        iterations=1,
+    )
+    assert report["errors"] == []
+    assert report["completed"] == 40
+    benchmark.extra_info["artifact_name"] = "BENCH_serve_throughput.json"
+    benchmark.extra_info["workloads"] = ",".join(WORKLOADS)
+    benchmark.extra_info["modes"] = ",".join(MODES)
+    benchmark.extra_info["clients"] = report["clients"]
+    benchmark.extra_info["completed"] = report["completed"]
+    benchmark.extra_info["req_per_sec"] = round(report["req_per_sec"], 2)
+    benchmark.extra_info["p50_ms"] = round(report["p50_ms"], 3)
+    benchmark.extra_info["p99_ms"] = round(report["p99_ms"], 3)
+    print()
+    print(f"throughput: {report['req_per_sec']:8.1f} req/s over {report['completed']} requests")
+    print(f"latency   : p50 {report['p50_ms']:7.2f} ms · p99 {report['p99_ms']:7.2f} ms")

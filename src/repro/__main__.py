@@ -10,16 +10,25 @@ Subcommands (all running through one :class:`~repro.api.session.AnalysisSession`
   batch;
 * ``trace record|replay|info`` — the record-once / replay-many trace layer:
   capture a workload's full event trace to a file, replay any tracer subset
-  from it (byte-identical reports, no guest execution), or inspect one.
+  from it (byte-identical reports, no guest execution), or inspect one;
+* ``serve`` — the analysis-as-a-service daemon (HTTP+JSON, disk-backed
+  trace store, single-flight dedup; see :mod:`repro.serve`);
+* ``submit`` — client for a running ``serve`` daemon.
 
 ``python -m repro.experiments`` remains as the legacy entry point.
+
+SIGINT/SIGTERM exit cleanly with code 130 (no traceback): cleanup handlers
+run — the serve daemon flushes its disk store index — and the interruption
+is reported in one line on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 
 
 def _cmd_list(session, args) -> int:
@@ -30,7 +39,17 @@ def _cmd_list(session, args) -> int:
 
         names = workload_names()
         if args.json:
-            print(json.dumps(names, indent=2))
+            # One row per workload with its content fingerprint, so clients
+            # can key serve submissions and cache lookups without running
+            # anything (the daemon's /v1/workloads reports the same rows).
+            from .engine.cache import workload_fingerprint
+            from .workloads import get_workload
+
+            rows = [
+                {"name": name, "fingerprint": workload_fingerprint(get_workload(name))}
+                for name in names
+            ]
+            print(json.dumps(rows, indent=2))
         else:
             for name in names:
                 print(name)
@@ -258,6 +277,101 @@ def _cmd_trace(session, args) -> int:
     return 0
 
 
+def _cmd_serve(session, args) -> int:
+    """``serve``: the analysis-as-a-service daemon (blocks until interrupted)."""
+    del session  # the daemon owns its own session, wired to the disk store
+    from .serve.server import run_daemon
+
+    return run_daemon(
+        store_dir=args.store_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_tier=args.tier,
+        request_log=args.request_log,
+        port_file=args.port_file,
+    )
+
+
+def _cmd_submit(session, args) -> int:
+    """``submit``: send workloads (or a script file) to a running daemon."""
+    del session  # pure client; nothing runs in this process
+    from .serve.client import ServeClient, ServeError
+
+    modes = args.modes.split(",") if args.modes else ["lightweight"]
+    script = None
+    if args.script is not None:
+        try:
+            with open(args.script, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"submit: cannot read script {args.script!r}: {exc}", file=sys.stderr)
+            return 2
+        script = {
+            "name": args.script_name or args.script,
+            "sources": [{"path": args.script, "source": source}],
+        }
+        if args.workloads:
+            print("submit: give either workload names or --script, not both", file=sys.stderr)
+            return 2
+    elif not args.workloads:
+        print("submit: workload names (or --script FILE) required", file=sys.stderr)
+        print("usage: python -m repro submit <workload ...> [--url URL]", file=sys.stderr)
+        return 2
+
+    client = ServeClient(args.url)
+    envelopes = []
+    try:
+        if script is not None:
+            envelopes.append(
+                client.analyze(
+                    script=script,
+                    modes=modes,
+                    tier=args.tier,
+                    focus_line=args.focus_line,
+                    retries=args.retries,
+                )
+            )
+        elif len(args.workloads) == 1:
+            envelopes.append(
+                client.analyze(
+                    workload=args.workloads[0],
+                    modes=modes,
+                    tier=args.tier,
+                    focus_line=args.focus_line,
+                    retries=args.retries,
+                )
+            )
+        else:
+            # Batch submissions stream back as each analysis completes.
+            envelopes.extend(client.analyze_many(args.workloads, modes=modes, tier=args.tier))
+    except ServeError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        if error.retry_after is not None:
+            print(f"submit: server busy; retry in {error.retry_after}s", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(envelopes if len(envelopes) > 1 else envelopes[0], indent=2))
+        return 0
+    failures = 0
+    for envelope in envelopes:
+        if "error" in envelope:
+            failures += 1
+            print(f"submit: {envelope['error'].get('message')}", file=sys.stderr)
+            continue
+        server = envelope.get("server", {})
+        result = envelope.get("result", {})
+        print(result.get("report_text", ""))
+        print(
+            f"[{result.get('provenance', 'live')}] cache={server.get('cache')} "
+            f"run={server.get('run_ms')}ms queued={server.get('queued_ms')}ms"
+        )
+        print()
+    return 2 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -359,7 +473,98 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace_info.add_argument("--json", action="store_true", help="machine-readable output")
     p_trace_info.set_defaults(func=_cmd_trace)
 
+    p_serve = subparsers.add_parser(
+        "serve", help="analysis-as-a-service daemon (HTTP+JSON, shared trace store)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument(
+        "--port", type=int, default=8737, help="TCP port (0 = pick a free one; default 8737)"
+    )
+    p_serve.add_argument(
+        "--store-dir",
+        default=None,
+        help="directory for the disk-backed trace store (default: in-memory only)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="analysis worker threads (default 4)"
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission queue depth; overflow answers 429 (default 64)",
+    )
+    p_serve.add_argument(
+        "--tier",
+        choices=["auto", "bytecode", "closure"],
+        default=None,
+        help="default execution-tier policy for served runs",
+    )
+    p_serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening (for scripts/CI)",
+    )
+    p_serve.add_argument(
+        "--request-log", action="store_true", help="log every HTTP request to stderr"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = subparsers.add_parser(
+        "submit", help="submit workloads (or a script) to a running serve daemon"
+    )
+    p_submit.add_argument(
+        "workloads", nargs="*", help="workload names (see `list --workloads`)"
+    )
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8737", help="daemon base URL"
+    )
+    p_submit.add_argument(
+        "--modes",
+        default=None,
+        help="comma-separated tracer modes (default: lightweight)",
+    )
+    p_submit.add_argument(
+        "--tier", choices=["auto", "bytecode", "closure"], default=None,
+        help="execution-tier policy for this submission",
+    )
+    p_submit.add_argument(
+        "--focus-line", type=int, default=None, help="dependence focus line"
+    )
+    p_submit.add_argument(
+        "--script", default=None, help="submit this JavaScript file as an ad-hoc workload"
+    )
+    p_submit.add_argument(
+        "--script-name", default=None, help="workload name for --script (default: the path)"
+    )
+    p_submit.add_argument(
+        "--retries", type=int, default=0,
+        help="retry 429 responses this many times, honouring Retry-After",
+    )
+    p_submit.add_argument("--json", action="store_true", help="print response envelopes as JSON")
+    p_submit.set_defaults(func=_cmd_submit)
+
     return parser
+
+
+def _install_sigterm_handler():
+    """Route SIGTERM through KeyboardInterrupt so cleanup code runs.
+
+    Context managers and ``finally`` blocks (the serve daemon's disk-store
+    index flush among them) unwind exactly as on Ctrl-C; :func:`main` then
+    converts the interrupt into a clean exit code 130.  Returns an undo
+    callable (signal handlers can only be installed from the main thread —
+    elsewhere, e.g. tests driving ``main()`` from a worker thread, this is a
+    no-op).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    return lambda: signal.signal(signal.SIGTERM, previous)
 
 
 def main(argv=None) -> int:
@@ -370,12 +575,20 @@ def main(argv=None) -> int:
         return 2
     from .api.session import AnalysisSession
 
+    restore_sigterm = _install_sigterm_handler()
     try:
         with AnalysisSession(default_tier=getattr(args, "tier", None)) as session:
             return args.func(session, args)
+    except KeyboardInterrupt:
+        # SIGINT or SIGTERM mid-run: cleanup already ran while unwinding;
+        # report the interruption without a traceback, exit 130 (128+SIGINT).
+        print(f"{args.command}: interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output was piped into a consumer that stopped reading (e.g. head).
         return 0
+    finally:
+        restore_sigterm()
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI glue

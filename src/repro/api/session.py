@@ -120,8 +120,17 @@ class AnalysisSession:
         self.close()
 
     def close(self) -> None:
-        """Drop cached batch results and mark the session closed."""
+        """Drop cached batch results, close the trace store, mark closed.
+
+        Closing the trace store flushes any disk-backed index (see
+        :class:`~repro.serve.store.DiskTraceStore`); for the in-memory store
+        it is a no-op.  The store's traces are *not* dropped — a disk store
+        handed to a later session still serves its recordings.
+        """
         self.pipeline.invalidate()
+        close_store = getattr(self.trace_store, "close", None)
+        if callable(close_store):
+            close_store()
         self.closed = True
 
     # ------------------------------------------------------------- workloads

@@ -173,6 +173,14 @@ class TraceStore:
     mask-independent (see :mod:`repro.jsvm.hooks`).  This is what turns the
     staged pipeline's ~4N instrumented executions into "record once per
     (fingerprint, mask superset), replay per stage".
+
+    The base class keeps everything in memory.  Backends with a second tier
+    (e.g. :class:`repro.serve.store.DiskTraceStore`) override
+    :meth:`_find_fallback` to resolve memory misses from elsewhere — the
+    resolved trace is memorized and counted as a hit — and :meth:`put` to
+    persist new recordings.  ``puts`` counts recordings entering the store
+    through :meth:`put` (memorized fallback loads are excluded), which is the
+    serving daemon's "exactly one guest execution" evidence.
     """
 
     def __init__(self) -> None:
@@ -180,6 +188,7 @@ class TraceStore:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.puts = 0
 
     def find(self, fingerprint: str, required_mask: int) -> Optional[Trace]:
         """A stored trace covering ``required_mask``, or ``None``.
@@ -193,14 +202,39 @@ class TraceStore:
                 for trace in self._traces.get(fingerprint, ())
                 if trace.covers(required_mask)
             ]
-            if not candidates:
-                self.misses += 1
-                return None
+            if candidates:
+                self.hits += 1
+                return min(candidates, key=lambda trace: bin(trace.mask).count("1"))
+        fallback = self._find_fallback(fingerprint, required_mask)
+        if fallback is not None:
+            self._remember(fallback)
             self.hits += 1
-            return min(candidates, key=lambda trace: bin(trace.mask).count("1"))
+            return fallback
+        self.misses += 1
+        return None
+
+    def has(self, fingerprint: str, required_mask: int) -> bool:
+        """Whether a covering trace exists, without loading or counting it."""
+        with self._lock:
+            return any(
+                trace.covers(required_mask)
+                for trace in self._traces.get(fingerprint, ())
+            )
 
     def put(self, trace: Trace) -> Trace:
         """Store ``trace``, dropping stored traces it strictly covers."""
+        self._remember(trace)
+        self.puts += 1
+        return trace
+
+    def _remember(self, trace: Trace) -> Trace:
+        """Install ``trace`` in the in-memory tier (no persistence, no count).
+
+        Installing a newcomer evicts every sibling it covers; a *narrower*
+        newcomer still installs alongside a broader sibling on purpose —
+        replay cost scales with event count, so :meth:`find` prefers it for
+        subset requests.  The whole install is atomic under the store lock.
+        """
         with self._lock:
             kept = [
                 existing
@@ -211,13 +245,28 @@ class TraceStore:
             self._traces[trace.fingerprint] = kept
         return trace
 
+    def _find_fallback(self, fingerprint: str, required_mask: int) -> Optional[Trace]:
+        """Second-tier lookup hook for memory misses (None in the base store)."""
+        return None
+
     def traces_for(self, fingerprint: str) -> List[Trace]:
         with self._lock:
             return list(self._traces.get(fingerprint, ()))
 
+    def fingerprints(self) -> List[str]:
+        with self._lock:
+            return [key for key, traces in self._traces.items() if traces]
+
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()
+
+    def flush(self) -> None:
+        """Persist any buffered state (no-op for the in-memory store)."""
+
+    def close(self) -> None:
+        """Flush and release the store (no-op beyond :meth:`flush` here)."""
+        self.flush()
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,200 @@
+"""Single-flight deduplication + bounded admission for the serving daemon.
+
+``ThreadingHTTPServer`` gives every connection its own handler thread, so
+with no layer in between a burst of N requests would run N concurrent
+analyses — N identical bursts being the worst (and, for a cache-shaped
+service, the most common) case.  The :class:`SingleFlightExecutor` puts two
+controls between the handler threads and the shared
+:class:`~repro.api.session.AnalysisSession`:
+
+* **single-flight**: submissions carry a key (workload fingerprint × mode
+  set × tier × focus); a submission whose key is already in flight — queued
+  or executing — attaches to the existing job instead of enqueueing a new
+  one, and every attached waiter receives the *same* response bytes;
+* **admission**: fresh jobs enter a FIFO queue of bounded depth drained by a
+  fixed worker pool; when the queue is full the submission is rejected with
+  :class:`QueueFullError` (HTTP 429 + ``Retry-After``) instead of piling
+  unbounded work onto the daemon.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Dict, Hashable, List, Optional
+
+
+class QueueFullError(RuntimeError):
+    """The admission queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"admission queue is full ({depth} queued); retry in ~{retry_after}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class Job:
+    """One keyed unit of work; completed exactly once, awaited by many."""
+
+    __slots__ = (
+        "key",
+        "fn",
+        "done",
+        "result",
+        "error",
+        "waiters",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(self, key: Hashable, fn: Callable[["Job"], object]) -> None:
+        self.key = key
+        self.fn = fn
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 1
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def queued_seconds(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    def wait(self, timeout: Optional[float] = None) -> object:
+        """Block until the job completes; re-raise its error in the waiter."""
+        if not self.done.wait(timeout):
+            raise TimeoutError(f"job {self.key!r} did not complete in {timeout}s")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class SingleFlightExecutor:
+    """A bounded FIFO worker pool with in-flight keyed deduplication."""
+
+    def __init__(self, workers: int = 4, queue_depth: int = 64) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.worker_count = workers
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=queue_depth)
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, Job] = {}
+        self._closed = False
+        # Stats (read without the lock for /v1/stats; plain counters).
+        self.accepted = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.executed = 0
+        self.failed = 0
+        self._run_seconds_total = 0.0
+        self._threads: List[threading.Thread] = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------ submission
+    def submit(self, key: Hashable, fn: Callable[[Job], object]) -> Job:
+        """Enqueue ``fn`` under ``key``, or attach to the in-flight job for it.
+
+        ``fn`` receives the job itself (so the computation can embed queueing
+        metadata in the shared response).  Raises :class:`QueueFullError`
+        when the key is fresh and the admission queue is at capacity.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            job = self._inflight.get(key)
+            if job is not None:
+                job.waiters += 1
+                self.coalesced += 1
+                return job
+            job = Job(key, fn)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self.rejected += 1
+                raise QueueFullError(
+                    depth=self._queue.qsize(), retry_after=self.retry_after_estimate()
+                ) from None
+            self._inflight[key] = job
+            self.accepted += 1
+            return job
+
+    def retry_after_estimate(self) -> int:
+        """Seconds until a full queue plausibly has room (for ``Retry-After``)."""
+        if self.executed:
+            mean = self._run_seconds_total / self.executed
+        else:
+            mean = 1.0
+        backlog = self._queue.qsize() + len(self._inflight)
+        estimate = mean * max(1, backlog) / self.worker_count
+        return max(1, min(60, int(estimate + 0.999)))
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (excluding executing ones)."""
+        return self._queue.qsize()
+
+    @property
+    def inflight(self) -> int:
+        """Jobs queued or executing."""
+        with self._lock:
+            return len(self._inflight)
+
+    # -------------------------------------------------------------- workers
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.started_at = time.monotonic()
+            try:
+                job.result = job.fn(job)
+            except BaseException as exc:  # delivered to every waiter
+                job.error = exc
+                self.failed += 1
+            finally:
+                job.finished_at = time.monotonic()
+                with self._lock:
+                    self._inflight.pop(job.key, None)
+                    self.executed += 1
+                    self._run_seconds_total += job.finished_at - job.started_at
+                job.done.set()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, then stop the workers (draining the queue)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "workers": self.worker_count,
+            "queue_capacity": self.queue_depth,
+            "queue_depth": self.depth,
+            "inflight": self.inflight,
+            "accepted": self.accepted,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "executed": self.executed,
+            "failed": self.failed,
+        }

@@ -1,0 +1,258 @@
+"""Wire protocol of the serving daemon: requests, envelopes, error codes.
+
+Everything on the wire is JSON.  A *submission* names either a registered
+workload or carries ad-hoc script sources, plus the tracer modes to run; the
+daemon answers with a *response envelope* wrapping the uniform
+:meth:`~repro.api.results.RunResult.to_dict` payload::
+
+    {
+      "protocol": 1,
+      "server": {"cache": "warm", "coalesced": false,
+                 "queued_ms": 0.1, "run_ms": 12.5},
+      "result": { ... RunResult.to_dict() ... }
+    }
+
+Errors use one shape everywhere (``{"error": {"code", "message", ...}}``)
+with the HTTP status carrying the class: 400 ``bad_request``, 404
+``unknown_workload``/``not_found``, 405 ``method_not_allowed``, 413
+``payload_too_large``, 429 ``queue_full`` (plus a ``Retry-After`` header),
+500 ``internal``.
+
+**Byte-identity guarantee.**  Served runs are ``RunSpec`` replay runs with
+``publish=False`` (a shared daemon never mutates a results repository, so
+``commit_id`` is always ``null``).  Recording and replay are deterministic —
+virtual clock, content-addressed traces — so the ``result`` object is
+byte-identical to ``AnalysisSession.run(workload, spec)`` for the same spec
+in any process, and identical requests served cold (record) and warm
+(replay-from-store) return the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.spec import ALL_TRACERS, DEPENDENCE, LIGHTWEIGHT, RunSpec
+from ..jsvm.tiers import ALL_TIERS
+
+#: Version of the request/response shapes; bump on breaking changes.
+PROTOCOL_VERSION = 1
+
+#: Largest accepted request body, in bytes (scripts included).
+MAX_BODY_BYTES = 1 << 20
+
+#: error code → HTTP status.
+ERROR_STATUS = {
+    "bad_request": 400,
+    "unknown_workload": 404,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "payload_too_large": 413,
+    "queue_full": 429,
+    "internal": 500,
+}
+
+
+class ProtocolError(Exception):
+    """A request the daemon refuses, with its wire error code."""
+
+    def __init__(self, code: str, message: str, retry_after: Optional[int] = None):
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    @property
+    def status(self) -> int:
+        return ERROR_STATUS[self.code]
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "error": {"code": self.code, "message": self.message}
+        }
+        if self.retry_after is not None:
+            payload["error"]["retry_after_seconds"] = self.retry_after
+        return payload
+
+
+def encode_json(payload: Any) -> bytes:
+    """Canonical response encoding (sorted keys, compact separators).
+
+    Canonical bytes are what makes "byte-identical" testable at the HTTP
+    layer, not just after parsing.
+    """
+    return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+@dataclass
+class SubmitRequest:
+    """One parsed analysis submission.
+
+    Exactly one of ``workload`` (registry name) and ``script`` (ad-hoc
+    sources) is set.  ``modes`` is a non-empty subset of the bus tracers —
+    served runs replay traces, and replay needs at least one subscriber.
+    """
+
+    workload: Optional[str] = None
+    #: Ad-hoc submission: ``(name, ((path, source), ...))``.
+    script: Optional[Tuple[str, Tuple[Tuple[str, str], ...]]] = None
+    modes: Tuple[str, ...] = (LIGHTWEIGHT,)
+    tier: Optional[str] = None
+    focus_line: Optional[int] = None
+
+    def spec(self) -> RunSpec:
+        """The replaying, non-publishing RunSpec this submission maps to."""
+        spec = RunSpec.composed(*self.modes, focus_line=self.focus_line, publish=False)
+        if self.tier is not None:
+            spec = spec.with_tier(self.tier)
+        return spec.replay()
+
+    def resolve_workload(self):
+        """The workload object to run (imports the registry module lazily)."""
+        if self.script is not None:
+            from ..workloads.base import Workload
+
+            name, sources = self.script
+            return Workload(
+                name=name,
+                category="Submitted",
+                description="ad-hoc script submission",
+                url="serve://submitted",
+                scripts=[list(pair) for pair in sources],
+            )
+        from ..workloads.base import get_workload
+
+        try:
+            return get_workload(self.workload)
+        except KeyError:
+            from ..workloads.base import workload_names
+
+            raise ProtocolError(
+                "unknown_workload",
+                f"unknown workload {self.workload!r}; known: {workload_names()}",
+            ) from None
+
+    def key(self, fingerprint: str) -> Tuple:
+        """Single-flight identity: content fingerprint × spec knobs."""
+        return (
+            fingerprint,
+            self.modes,
+            self.tier or "",
+            -1 if self.focus_line is None else self.focus_line,
+        )
+
+
+def _parse_modes(raw: Any) -> Tuple[str, ...]:
+    if raw is None:
+        return (LIGHTWEIGHT,)
+    if isinstance(raw, str):
+        raw = [part for part in raw.split(",") if part]
+    if not isinstance(raw, list) or not all(isinstance(mode, str) for mode in raw):
+        raise ProtocolError("bad_request", "'modes' must be a list of tracer names")
+    unknown = [mode for mode in raw if mode not in ALL_TRACERS]
+    if unknown:
+        raise ProtocolError(
+            "bad_request",
+            f"unknown modes {unknown}; served modes: {list(ALL_TRACERS)}",
+        )
+    if not raw:
+        raise ProtocolError(
+            "bad_request",
+            "'modes' must name at least one tracer (served runs replay traces, "
+            "and replay needs a subscriber)",
+        )
+    # Canonical order, duplicates dropped: identical mode *sets* must share a
+    # single-flight key regardless of how the client spelled them.
+    return tuple(mode for mode in ALL_TRACERS if mode in raw)
+
+
+def _parse_script(raw: Any) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    if not isinstance(raw, dict):
+        raise ProtocolError("bad_request", "'script' must be an object")
+    sources = raw.get("sources")
+    if not isinstance(sources, list) or not sources:
+        raise ProtocolError(
+            "bad_request",
+            "'script.sources' must be a non-empty list of {path, source} objects",
+        )
+    pairs: List[Tuple[str, str]] = []
+    for entry in sources:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("path"), str)
+            or not isinstance(entry.get("source"), str)
+        ):
+            raise ProtocolError(
+                "bad_request",
+                "each 'script.sources' entry must be a {path, source} object",
+            )
+        pairs.append((entry["path"], entry["source"]))
+    name = raw.get("name")
+    if name is None:
+        digest = hashlib.sha256()
+        for path, source in pairs:
+            digest.update(path.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(source.encode("utf-8"))
+            digest.update(b"\x00")
+        name = f"submitted-{digest.hexdigest()[:12]}"
+    elif not isinstance(name, str) or not name:
+        raise ProtocolError("bad_request", "'script.name' must be a non-empty string")
+    return name, tuple(pairs)
+
+
+def parse_submit(data: Any) -> SubmitRequest:
+    """Validate one analyze-request object into a :class:`SubmitRequest`."""
+    if not isinstance(data, dict):
+        raise ProtocolError("bad_request", "request body must be a JSON object")
+    workload = data.get("workload")
+    script_raw = data.get("script")
+    if (workload is None) == (script_raw is None):
+        raise ProtocolError(
+            "bad_request",
+            "exactly one of 'workload' (registry name) or 'script' "
+            "({name, sources}) is required",
+        )
+    if workload is not None and not isinstance(workload, str):
+        raise ProtocolError("bad_request", "'workload' must be a string")
+    modes = _parse_modes(data.get("modes"))
+    tier = data.get("tier")
+    if tier is not None and tier not in ALL_TIERS:
+        raise ProtocolError(
+            "bad_request", f"unknown tier {tier!r}; known: {list(ALL_TIERS)}"
+        )
+    focus_line = data.get("focus_line")
+    if focus_line is not None:
+        if not isinstance(focus_line, int) or isinstance(focus_line, bool):
+            raise ProtocolError("bad_request", "'focus_line' must be an integer")
+        if DEPENDENCE not in modes:
+            raise ProtocolError(
+                "bad_request", "'focus_line' requires the 'dependence' mode"
+            )
+    script = _parse_script(script_raw) if script_raw is not None else None
+    return SubmitRequest(
+        workload=workload,
+        script=script,
+        modes=modes,
+        tier=tier,
+        focus_line=focus_line,
+    )
+
+
+def parse_body(body: bytes) -> Any:
+    """Decode a request body, mapping JSON errors onto the wire error shape."""
+    if len(body) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            "payload_too_large",
+            f"request body exceeds {MAX_BODY_BYTES} bytes",
+        )
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_request", f"request body is not valid JSON: {exc}")

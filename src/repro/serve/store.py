@@ -1,0 +1,222 @@
+"""Disk-backed trace store: the daemon's cache that survives restarts.
+
+A :class:`DiskTraceStore` is a :class:`~repro.engine.cache.TraceStore` (same
+fingerprint × mask-superset lookup, same covered-trace eviction) whose
+recordings additionally persist under a root directory::
+
+    <root>/
+      index.json                          # {version, entries: [...]}
+      <fp16>-<digest16>.trace.json.gz     # one gzip segment per trace
+
+Segments reuse the exact :meth:`~repro.jsvm.hooks.Trace.save` file format of
+``python -m repro trace record``, so any on-disk segment can also be
+inspected/replayed with the trace CLI.  The JSON index carries one row per
+segment (fingerprint, mask, digest, event count, file name); on startup only
+the index is read — segments load lazily on the first covering ``find`` and
+are then served from memory.
+
+Durability and corruption policy:
+
+* segments and the index are written atomically (temp file + ``os.replace``),
+  and the index is additionally re-written by :meth:`flush` /
+  :meth:`close` — the serve daemon calls ``close()`` on shutdown;
+* a corrupt, truncated or fingerprint-mismatched segment is a clean *miss*:
+  the entry is dropped from the index (and the file best-effort unlinked),
+  never an exception out of ``find`` — the caller simply re-records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..engine.cache import TraceStore
+from ..jsvm.hooks import Trace, TraceError
+
+#: On-disk index schema version.
+INDEX_VERSION = 1
+INDEX_NAME = "index.json"
+
+
+class DiskTraceStore(TraceStore):
+    """A trace store whose contents persist under ``root`` across restarts."""
+
+    def __init__(self, root) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._io_lock = threading.RLock()
+        #: fingerprint → index rows ({digest, mask, workload, events, file}).
+        self._index: Dict[str, List[dict]] = {}
+        self._dirty = False
+        self.disk_hits = 0
+        self.segments_written = 0
+        self.corrupt_segments = 0
+        self._load_index()
+
+    # ---------------------------------------------------------------- index
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    def _load_index(self) -> None:
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # An unreadable index means an empty store, not a dead daemon;
+            # surviving segments are re-indexed as they are re-recorded.
+            self.corrupt_segments += 1
+            return
+        if not isinstance(data, dict) or data.get("version") != INDEX_VERSION:
+            self.corrupt_segments += 1
+            return
+        for row in data.get("entries", ()):
+            if not isinstance(row, dict):
+                continue
+            try:
+                entry = {
+                    "fingerprint": str(row["fingerprint"]),
+                    "digest": str(row["digest"]),
+                    "mask": int(row["mask"]),
+                    "workload": str(row.get("workload", "")),
+                    "events": int(row.get("events", 0)),
+                    "file": str(row["file"]),
+                }
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._index.setdefault(entry["fingerprint"], []).append(entry)
+
+    def _write_index_locked(self) -> None:
+        entries = [entry for rows in self._index.values() for entry in rows]
+        entries.sort(key=lambda entry: (entry["fingerprint"], entry["digest"]))
+        payload = {"version": INDEX_VERSION, "entries": entries}
+        tmp = self.index_path.with_name(INDEX_NAME + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.index_path)
+        self._dirty = False
+
+    def flush(self) -> None:
+        """Write the index if any entry changed since the last write."""
+        with self._io_lock:
+            if self._dirty:
+                self._write_index_locked()
+
+    def close(self) -> None:
+        self.flush()
+
+    # ------------------------------------------------------------- segments
+    @staticmethod
+    def _segment_name(fingerprint: str, digest: str) -> str:
+        return f"{fingerprint[:16]}-{digest[:16]}.trace.json.gz"
+
+    def _segment_path(self, entry: dict) -> Path:
+        return self.root / entry["file"]
+
+    def _drop_entry_locked(self, entry: dict) -> None:
+        rows = self._index.get(entry["fingerprint"], [])
+        if entry in rows:
+            rows.remove(entry)
+            if not rows:
+                del self._index[entry["fingerprint"]]
+            self._dirty = True
+        try:
+            self._segment_path(entry).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- contract
+    def put(self, trace: Trace) -> Trace:
+        """Store and persist ``trace``, evicting covered segments on disk too."""
+        super().put(trace)
+        digest = trace.digest()
+        entry = {
+            "fingerprint": trace.fingerprint,
+            "digest": digest,
+            "mask": trace.mask,
+            "workload": trace.workload,
+            "events": len(trace.events),
+            "file": self._segment_name(trace.fingerprint, digest),
+        }
+        with self._io_lock:
+            rows = self._index.get(trace.fingerprint, [])
+            for existing in [row for row in rows if trace.covers(row["mask"])]:
+                if existing["digest"] != digest:
+                    self._drop_entry_locked(existing)
+            rows = self._index.setdefault(trace.fingerprint, [])
+            if not any(row["digest"] == digest for row in rows):
+                target = self._segment_path(entry)
+                # The temp name must keep the ``.gz`` suffix so Trace.save
+                # actually compresses; os.replace keeps the publish atomic.
+                tmp = target.with_name(target.name + ".tmp.gz")
+                trace.save(str(tmp))
+                os.replace(tmp, target)
+                rows.append(entry)
+                self.segments_written += 1
+                self._dirty = True
+            self._write_index_locked()
+        return trace
+
+    def has(self, fingerprint: str, required_mask: int) -> bool:
+        if super().has(fingerprint, required_mask):
+            return True
+        with self._io_lock:
+            return any(
+                not (required_mask & ~entry["mask"])
+                for entry in self._index.get(fingerprint, ())
+            )
+
+    def _find_fallback(self, fingerprint: str, required_mask: int) -> Optional[Trace]:
+        """Load the cheapest covering segment from disk; corruption = miss."""
+        with self._io_lock:
+            candidates = [
+                entry
+                for entry in self._index.get(fingerprint, ())
+                if not (required_mask & ~entry["mask"])
+            ]
+            candidates.sort(key=lambda entry: bin(entry["mask"]).count("1"))
+            for entry in candidates:
+                try:
+                    trace = Trace.load(str(self._segment_path(entry)))
+                except (TraceError, OSError, EOFError, zlib.error, ValueError):
+                    # gzip surfaces truncation as EOFError and stream damage
+                    # as zlib.error — neither is an OSError.
+                    self.corrupt_segments += 1
+                    self._drop_entry_locked(entry)
+                    continue
+                if trace.fingerprint != fingerprint or not trace.covers(required_mask):
+                    # The file does not hold what the index promised.
+                    self.corrupt_segments += 1
+                    self._drop_entry_locked(entry)
+                    continue
+                self.disk_hits += 1
+                return trace
+            if self._dirty:
+                self._write_index_locked()
+        return None
+
+    def fingerprints(self) -> List[str]:
+        known = set(super().fingerprints())
+        with self._io_lock:
+            known.update(key for key, rows in self._index.items() if rows)
+        return sorted(known)
+
+    def segment_count(self) -> int:
+        with self._io_lock:
+            return sum(len(rows) for rows in self._index.values())
+
+    def clear(self) -> None:
+        super().clear()
+        with self._io_lock:
+            for rows in list(self._index.values()):
+                for entry in list(rows):
+                    self._drop_entry_locked(entry)
+            self._index.clear()
+            self._write_index_locked()

@@ -1,0 +1,291 @@
+"""TraceStore / DiskTraceStore contract tests: concurrency, corruption, restart.
+
+The serving daemon stakes its correctness on the store contract: fingerprint
+× mask-superset lookup, covered-trace eviction, and — for the disk tier —
+clean misses on corrupt segments plus an index that round-trips across
+restarts.  These tests exercise exactly that, with synthetic traces (the
+contract is mask/fingerprint arithmetic; no guest execution involved) plus
+one real recorded trace for file-format fidelity.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import threading
+
+import pytest
+
+from repro.engine.cache import TraceStore
+from repro.jsvm.hooks import Trace
+from repro.serve.store import DiskTraceStore
+
+
+def make_trace(mask: int, fingerprint: str = "fp-a", workload: str = "w") -> Trace:
+    """A minimal, valid trace (empty event stream) for contract tests."""
+    return Trace(mask=mask, workload=workload, fingerprint=fingerprint)
+
+
+# ---------------------------------------------------------------- base store
+class TestTraceStoreContract:
+    def test_mask_superset_lookup_and_puts_counter(self):
+        store = TraceStore()
+        store.put(make_trace(0b0110))
+        assert store.puts == 1
+        assert store.find("fp-a", 0b0010).mask == 0b0110
+        assert store.find("fp-a", 0b1000) is None
+        assert store.find("fp-b", 0b0010) is None
+        assert store.hits == 1 and store.misses == 2
+
+    def test_covered_trace_eviction(self):
+        store = TraceStore()
+        store.put(make_trace(0b0001))
+        store.put(make_trace(0b0011))
+        assert len(store.traces_for("fp-a")) == 1
+        assert store.traces_for("fp-a")[0].mask == 0b0011
+
+    def test_has_does_not_touch_counters(self):
+        store = TraceStore()
+        store.put(make_trace(0b0011))
+        assert store.has("fp-a", 0b0001)
+        assert not store.has("fp-a", 0b0100)
+        assert store.hits == 0 and store.misses == 0
+
+    def test_flush_and_close_are_noops(self):
+        store = TraceStore()
+        store.put(make_trace(1))
+        store.flush()
+        store.close()
+        assert store.find("fp-a", 1) is not None
+
+    def test_fallback_hook_memorizes_and_counts_a_hit(self):
+        loaded = make_trace(0b0011)
+
+        class Backed(TraceStore):
+            def _find_fallback(self, fingerprint, required_mask):
+                return loaded if fingerprint == "fp-a" else None
+
+        store = Backed()
+        assert store.find("fp-a", 0b0001) is loaded
+        assert store.hits == 1 and store.misses == 0
+        # Memorized: the second lookup never consults the fallback.
+        assert store.find("fp-a", 0b0010) is loaded
+        assert store.puts == 0  # memorization is not a recording
+
+
+# ---------------------------------------------------------------- disk store
+class TestDiskTraceStore:
+    def test_put_persists_segment_and_index(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        trace = store.put(make_trace(0b0101))
+        assert store.segments_written == 1
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["version"] == 1
+        (entry,) = index["entries"]
+        assert entry["fingerprint"] == "fp-a"
+        assert entry["mask"] == 0b0101
+        assert entry["digest"] == trace.digest()
+        assert (tmp_path / entry["file"]).is_file()
+        # Segments reuse the CLI trace file format.
+        assert Trace.load(str(tmp_path / entry["file"])).digest() == trace.digest()
+
+    def test_index_round_trip_across_restart(self, tmp_path):
+        first = DiskTraceStore(tmp_path)
+        trace = first.put(make_trace(0b0111))
+        first.close()
+
+        reopened = DiskTraceStore(tmp_path)
+        assert len(reopened) == 0  # memory empty; only the index was read
+        assert reopened.has("fp-a", 0b0001)
+        found = reopened.find("fp-a", 0b0001)
+        assert found is not None and found.digest() == trace.digest()
+        assert reopened.disk_hits == 1 and reopened.hits == 1
+        # Now memorized: a second find is a pure memory hit.
+        assert reopened.find("fp-a", 0b0010) is found
+        assert reopened.disk_hits == 1
+        assert reopened.puts == 0  # loading is not a recording
+
+    def test_covered_eviction_removes_on_disk_segments(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        small = store.put(make_trace(0b0001))
+        big = store.put(make_trace(0b0011))
+        assert store.segment_count() == 1
+        remaining = list(tmp_path.glob("*.trace.json.gz"))
+        assert len(remaining) == 1
+        assert store._segment_name("fp-a", big.digest()) == remaining[0].name
+        assert small.digest() not in remaining[0].name
+
+    def test_disjoint_masks_coexist(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0001))
+        store.put(make_trace(0b0110))
+        assert store.segment_count() == 2
+        # Cheapest covering trace preferred on disk too.
+        reopened = DiskTraceStore(tmp_path)
+        assert reopened.find("fp-a", 0b0010).mask == 0b0110
+
+    def test_corrupt_segment_is_a_clean_miss(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011))
+        (segment,) = tmp_path.glob("*.trace.json.gz")
+        segment.write_bytes(b"\x1f\x8b garbage that is not gzip json")
+
+        reopened = DiskTraceStore(tmp_path)
+        assert reopened.find("fp-a", 0b0001) is None  # no exception
+        assert reopened.corrupt_segments == 1
+        assert reopened.misses == 1
+        # The poisoned entry is dropped: index rewritten, file gone.
+        assert not list(tmp_path.glob("*.trace.json.gz"))
+        assert json.loads((tmp_path / "index.json").read_text())["entries"] == []
+        # A fresh recording re-populates cleanly.
+        reopened.put(make_trace(0b0011))
+        assert reopened.find("fp-a", 0b0001) is not None
+
+    def test_truncated_segment_is_a_clean_miss(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011))
+        (segment,) = tmp_path.glob("*.trace.json.gz")
+        whole = segment.read_bytes()
+        segment.write_bytes(whole[: len(whole) // 2])
+
+        reopened = DiskTraceStore(tmp_path)
+        assert reopened.find("fp-a", 0b0001) is None
+        assert reopened.corrupt_segments == 1
+
+    def test_missing_segment_file_is_a_clean_miss(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011))
+        for segment in tmp_path.glob("*.trace.json.gz"):
+            segment.unlink()
+        reopened = DiskTraceStore(tmp_path)
+        assert reopened.find("fp-a", 0b0001) is None
+        assert reopened.corrupt_segments == 1
+
+    def test_fingerprint_mismatched_segment_is_dropped(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011, fingerprint="fp-real"))
+        (segment,) = tmp_path.glob("*.trace.json.gz")
+        # Rewrite the segment to claim a different fingerprint than the index.
+        with gzip.open(segment, "rt", encoding="utf-8") as handle:
+            payload = json.loads(handle.read())
+        payload["fingerprint"] = "fp-imposter"
+        with gzip.open(segment, "wt", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload))
+        reopened = DiskTraceStore(tmp_path)
+        assert reopened.find("fp-real", 0b0001) is None
+        assert reopened.corrupt_segments == 1
+
+    def test_corrupt_index_means_empty_store_not_crash(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011))
+        (tmp_path / "index.json").write_text("{ not json")
+        reopened = DiskTraceStore(tmp_path)
+        assert reopened.find("fp-a", 0b0001) is None
+        assert reopened.segment_count() == 0
+
+    def test_flush_on_close_writes_dirty_index(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011))
+        # Dirty the in-memory index without an immediate write.
+        with store._io_lock:
+            store._index["fp-a"][0]["workload"] = "renamed"
+            store._dirty = True
+        store.close()
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["entries"][0]["workload"] == "renamed"
+
+    def test_clear_removes_segments_and_index_entries(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011))
+        store.put(make_trace(0b0100, fingerprint="fp-b"))
+        store.clear()
+        assert store.segment_count() == 0
+        assert not list(tmp_path.glob("*.trace.json.gz"))
+        assert json.loads((tmp_path / "index.json").read_text())["entries"] == []
+
+
+# --------------------------------------------------------------- concurrency
+class TestStoreConcurrency:
+    @pytest.mark.parametrize("store_kind", ["memory", "disk"])
+    def test_parallel_put_find_with_eviction(self, tmp_path, store_kind):
+        store = TraceStore() if store_kind == "memory" else DiskTraceStore(tmp_path)
+        fingerprints = ["fp-0", "fp-1", "fp-2"]
+        masks = [0b0001, 0b0010, 0b0011, 0b0111, 0b1111]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            try:
+                for step in range(30):
+                    fingerprint = fingerprints[(seed + step) % len(fingerprints)]
+                    mask = masks[(seed * 7 + step) % len(masks)]
+                    if step % 3 == 0:
+                        store.put(make_trace(mask, fingerprint=fingerprint))
+                    else:
+                        found = store.find(fingerprint, mask)
+                        if found is not None:
+                            assert found.covers(mask)
+                            assert found.fingerprint == fingerprint
+            except BaseException as exc:  # noqa: BLE001 - surface to the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Invariants after the storm (note: a narrower trace *may* coexist
+        # with a broader sibling by design — find prefers the cheaper one):
+        # every stored trace answers its own mask, lookups stay consistent,
+        # and the final put for each fingerprint is served (its mask was
+        # never evicted — eviction only removes covered traces).
+        for fingerprint in fingerprints:
+            traces = store.traces_for(fingerprint)
+            assert traces, f"all traces vanished for {fingerprint}"
+            for trace in traces:
+                assert trace.fingerprint == fingerprint
+                found = store.find(fingerprint, trace.mask)
+                assert found is not None and found.covers(trace.mask)
+                # Preference: no stored covering sibling is cheaper.
+                cheaper = [
+                    other
+                    for other in traces
+                    if other.covers(trace.mask)
+                    and bin(other.mask).count("1") < bin(found.mask).count("1")
+                ]
+                assert not cheaper
+        if store_kind == "disk":
+            store.close()
+            # Every indexed segment must load cleanly after the storm, and
+            # the index must mirror the in-memory tier's answers.
+            reopened = DiskTraceStore(tmp_path)
+            for fingerprint in fingerprints:
+                for trace in store.traces_for(fingerprint):
+                    assert reopened.find(fingerprint, trace.mask) is not None
+            assert reopened.corrupt_segments == 0
+
+
+# ------------------------------------------------------------- real recording
+class TestRealTraceRoundTrip:
+    def test_recorded_workload_trace_survives_restart(self, tmp_path):
+        from repro.api import AnalysisSession, RunSpec
+        from repro.engine.cache import workload_fingerprint
+        from repro.workloads import get_workload
+
+        spec = RunSpec.composed("lightweight", publish=False).replay()
+        with AnalysisSession(trace_store=DiskTraceStore(tmp_path / "store")) as session:
+            first = session.run("MyScript", spec)
+        assert first.provenance.startswith("replay:")
+
+        # A brand-new session over the same directory replays from disk:
+        # zero guest executions, byte-identical envelope.
+        store = DiskTraceStore(tmp_path / "store")
+        with AnalysisSession(trace_store=store) as session:
+            second = session.run("MyScript", spec)
+        assert store.puts == 0
+        assert store.disk_hits == 1
+        assert second.to_dict() == first.to_dict()
+        fingerprint = workload_fingerprint(get_workload("MyScript"))
+        assert fingerprint in store.fingerprints()
