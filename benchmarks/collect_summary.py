@@ -95,6 +95,36 @@ def _serve_artifact_problems(path: Path) -> list:
     return problems
 
 
+#: extra_info keys every streaming-memory artifact must carry (numerically) —
+#: the bounded-memory acceptance criterion is stated in these numbers.
+STREAM_REQUIRED_KEYS = (
+    "peak_rss_stream_1x_kb",
+    "peak_rss_stream_10x_kb",
+    "rss_ratio_stream",
+)
+
+
+def _stream_artifact_problems(path: Path) -> list:
+    """Blocking problems with one ``BENCH_stream_*.json`` artifact (else [])."""
+    if not path.name.startswith("BENCH_stream_"):
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [(path.name, f"unreadable stream artifact: {exc}", True)]
+    extra = data.get("extra_info") if isinstance(data, dict) else None
+    if not isinstance(extra, dict):
+        return [(path.name, "stream artifact has no extra_info object", True)]
+    problems = []
+    for key in STREAM_REQUIRED_KEYS:
+        value = extra.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(
+                (path.name, f"stream artifact missing numeric extra_info[{key!r}]", True)
+            )
+    return problems
+
+
 def stale_entries(
     summary_path: Path = SUMMARY_PATH, artifacts_dir: Path = ARTIFACTS_DIR
 ) -> list:
@@ -126,6 +156,7 @@ def stale_entries(
         if path.name == SUMMARY_NAME:
             continue
         stale.extend(_serve_artifact_problems(path))
+        stale.extend(_stream_artifact_problems(path))
         row = by_artifact.get(path.name)
         if row is None:
             stale.append((path.name, "missing from the committed summary", True))

@@ -190,7 +190,13 @@ def _trace_slug(name: str) -> str:
 
 
 def _cmd_trace(session, args) -> int:
-    from .jsvm.hooks import Trace, TraceError, describe_mask
+    from .jsvm.hooks import (
+        Trace,
+        TraceError,
+        TraceWriter,
+        describe_mask,
+        open_trace_source,
+    )
 
     if args.trace_command == "record":
         from .workloads import workload_names
@@ -202,10 +208,11 @@ def _cmd_trace(session, args) -> int:
             return 2
         trace = session.record_trace(args.workload)
         path = args.output or f"{_trace_slug(args.workload)}.trace.json.gz"
-        trace.save(path)
+        chunks = TraceWriter.write_trace(trace, path, chunk_events=args.chunk_events)
+        layout = "1 chunk" if chunks <= 1 else f"{chunks} chunks"
         print(
             f"recorded {len(trace.events)} events "
-            f"[{describe_mask(trace.mask)}] for {trace.workload!r} -> {path}"
+            f"[{describe_mask(trace.mask)}] for {trace.workload!r} -> {path} ({layout})"
         )
         return 0
 
@@ -217,12 +224,30 @@ def _cmd_trace(session, args) -> int:
         )
         return 2
     try:
-        trace = Trace.load(args.file)
+        # A chunked file opens as a streaming source: info and replay then
+        # walk it chunk-at-a-time and never hold the full event list.
+        trace = open_trace_source(args.file)
     except TraceError as exc:
         print(f"trace {args.trace_command}: {exc}", file=sys.stderr)
         return 2
+    streamed = not isinstance(trace, Trace)
 
     if args.trace_command == "info":
+        try:
+            if streamed:
+                tables = trace.table_counts()
+                events_total = trace.event_count
+            else:
+                tables = {
+                    "strings": len(trace.strings),
+                    "nodes": len(trace.nodes),
+                    "objects": len(trace.objects),
+                }
+                events_total = len(trace.events)
+            event_counts = trace.event_counts()
+        except TraceError as exc:
+            print(f"trace info: {exc}", file=sys.stderr)
+            return 2
         info = {
             "workload": trace.workload,
             "fingerprint": trace.fingerprint,
@@ -233,14 +258,17 @@ def _cmd_trace(session, args) -> int:
             "start_ms": trace.start_ms,
             "end_ms": trace.end_ms,
             "duration_seconds": (trace.end_ms - trace.start_ms) / 1000.0,
-            "events": len(trace.events),
-            "event_counts": trace.event_counts(),
-            "strings": len(trace.strings),
-            "nodes": len(trace.nodes),
-            "objects": len(trace.objects),
+            "events": events_total,
+            "event_counts": event_counts,
+            "strings": tables["strings"],
+            "nodes": tables["nodes"],
+            "objects": tables["objects"],
             "environments": trace.env_count,
             "digest": trace.digest(),
+            "streamed": streamed,
         }
+        if streamed:
+            info["chunk_events"] = trace.chunk_events
         if args.json:
             print(json.dumps(info, indent=2))
         else:
@@ -448,6 +476,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="output file (default <workload>.trace.json.gz; .gz = compressed)",
+    )
+    p_trace_record.add_argument(
+        "--chunk-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "events per chunk for the streaming file layout (default: "
+            "REPRO_TRACE_CHUNK_EVENTS or 65536; traces that fit in one "
+            "chunk use the legacy single-document format)"
+        ),
     )
     p_trace_record.set_defaults(func=_cmd_trace)
 

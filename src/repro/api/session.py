@@ -243,7 +243,7 @@ class AnalysisSession:
         )
 
     def _run_replayed(
-        self, workload: Any, spec: RunSpec, trace: Optional[Trace] = None
+        self, workload: Any, spec: RunSpec, trace: Optional[Any] = None
     ) -> RunResult:
         """Satisfy ``spec`` by replaying a recorded trace — no guest execution.
 
@@ -251,6 +251,11 @@ class AnalysisSession:
         registry, report rendering and results-repository commit are built
         exactly as in a live run; only the *execution* is replaced by the
         trace replay.
+
+        ``trace`` may be an in-memory :class:`Trace` or a streamed source
+        (e.g. :class:`~repro.jsvm.hooks.TraceFileSource`).  When the replay
+        streams, the tracers run in their incremental modes, so resident
+        memory stays bounded by the chunk size rather than the run length.
         """
         origin = OriginServer()
         origin.host_scripts(list(workload.scripts))
@@ -274,28 +279,39 @@ class AnalysisSession:
                     f"requested for {workload.name!r} (fingerprint {fingerprint[:12]}...)"
                 )
         else:
-            trace = self.trace_store.find(fingerprint, spec.combined_mask())
+            from ..jsvm.hooks import stream_replay_enabled
+
+            if stream_replay_enabled():
+                trace = self.trace_store.find_source(fingerprint, spec.combined_mask())
+            else:
+                trace = self.trace_store.find(fingerprint, spec.combined_mask())
             if trace is None:
                 trace = self.record_trace(workload)
 
+        # The replayer decides up front whether this pass streams; the
+        # tracers' incremental/counter modes key off that decision.
+        replayer = TraceReplayer(trace)
         lightweight = gecko = loop_profiler = analyzer = None
         tracers = []
         if LIGHTWEIGHT in spec.tracers:
             lightweight = LightweightProfiler()
             tracers.append(lightweight)
         if GECKO in spec.tracers:
-            gecko = GeckoProfiler()
+            gecko = GeckoProfiler(retain_samples=not replayer.streaming)
             tracers.append(gecko)
         if LOOP_PROFILE in spec.tracers:
-            loop_profiler = LoopProfiler(registry=proxy.registry)
+            loop_profiler = LoopProfiler(
+                registry=proxy.registry, incremental=replayer.streaming
+            )
             tracers.append(loop_profiler)
         if DEPENDENCE in spec.tracers:
             analyzer = DependenceAnalyzer(
-                registry=proxy.registry, focus_loop_id=focus_loop_id
+                registry=proxy.registry,
+                focus_loop_id=focus_loop_id,
+                incremental=replayer.streaming,
             )
             tracers.append(analyzer)
 
-        replayer = TraceReplayer(trace)
         if lightweight is not None:
             lightweight.start(replayer.clock)  # clock sits at trace.start_ms
         replayer.replay(tracers)
@@ -354,7 +370,7 @@ class AnalysisSession:
                 "active_seconds": gecko.active_seconds(),
                 "active_ms": gecko.profile.active_ms,
                 "total_sampled_ms": gecko.profile.total_sampled_ms,
-                "samples": len(gecko.profile.samples),
+                "samples": gecko.profile.counts()[0],
                 "sample_interval_ms": gecko.sample_interval_ms,
             }
             if lightweight is None:
@@ -418,8 +434,12 @@ class AnalysisSession:
         runner = self.pipeline.make_runner()
         return runner.obtain_trace(workload, mask)
 
-    def replay_trace(self, trace: Trace, spec: Optional[RunSpec] = None) -> RunResult:
+    def replay_trace(self, trace: Any, spec: Optional[RunSpec] = None) -> RunResult:
         """Replay an explicit trace (e.g. loaded from disk) as a full run.
+
+        ``trace`` may be a :class:`Trace` or a streamed source returned by
+        :func:`~repro.jsvm.hooks.open_trace_source` — sources replay
+        chunk-at-a-time without materializing the event list.
 
         The trace's fingerprint must match the named workload's current
         sources (:class:`~repro.jsvm.hooks.TraceMismatchError` otherwise), so

@@ -131,9 +131,19 @@ class DependenceAnalyzer(Tracer):
         self,
         registry: Optional[IndexRegistry] = None,
         focus_loop_id: Optional[int] = None,
+        incremental: bool = False,
     ) -> None:
         self.registry = registry
         self.focus_loop_id = focus_loop_id
+        #: Incremental (streaming) mode: per-nest state is evicted once the
+        #: nest closes, keeping resident memory bounded by the *open* nests
+        #: instead of the whole run.  Results are identical to the default
+        #: mode — see :meth:`on_loop_exit` for why eviction is sound — but
+        #: the mode requires the event source to keep every stand-in object
+        #: and environment alive for the analyzer's lifetime (the trace
+        #: replayer's intern tables do), because it skips the id-pinning
+        #: retention list.
+        self.incremental = incremental
         self.stack = LoopStack()
         self.warnings: Dict[Tuple, DependenceWarning] = {}
         self.recursion_loop_ids: Set[int] = set()
@@ -141,8 +151,11 @@ class DependenceAnalyzer(Tracer):
         self.iterations_observed = 0
         #: (id(object), property) -> stack snapshot of the last write
         self._last_write_stamp: Dict[Tuple[int, str], Stamp] = {}
-        #: id(environment) -> creation stamp (environments are not JSObjects)
-        self._env_stamps: Dict[int, Stamp] = {}
+        #: environment -> creation stamp (environments are not JSObjects).
+        #: Keyed by the environment *itself*: live scopes hash by identity,
+        #: while trace replay hands dense integer indexes — value-hashed, so
+        #: no stand-in object per recorded scope needs to stay resident.
+        self._env_stamps: Dict[Any, Stamp] = {}
         #: names of variables that hold per-iteration aliases (informational)
         self._variable_names: Dict[int, str] = {}
         #: Strong references to every object observed at creation.  The
@@ -184,22 +197,49 @@ class DependenceAnalyzer(Tracer):
 
     def on_loop_exit(self, interp, node, trip_count) -> None:
         self.stack.pop_loop(node.node_id)
+        if not self.incremental:
+            return
+        if not self.stack.entries:
+            # Every held stamp now references dead loop instances: instance
+            # counters are globally monotonic, so a stamp whose instances are
+            # all closed diffs identically to the empty stamp, and the flow
+            # check (same instance required) can never match it again.
+            # Dropping the maps is therefore behavior-identical.
+            self._last_write_stamp.clear()
+            self._env_stamps.clear()
+        elif (
+            self.focus_loop_id is not None
+            and node.node_id == self.focus_loop_id
+            and not self.stack.contains(self.focus_loop_id)
+        ):
+            # Focused analysis: flow detection only ever matches the current
+            # focus-loop *instance*, which just closed — stamps from it are
+            # dead.  (Env stamps stay: warning triples for still-open outer
+            # loops depend on them.)
+            self._last_write_stamp.clear()
 
     # --------------------------------------------------------- creation stamps
     def on_object_created(self, interp, obj, node) -> None:
         if isinstance(obj, JSObject):
             obj.creation_stamp = self.stack.snapshot()
-            self._retained.append(obj)
+            if not self.incremental:
+                self._retained.append(obj)
 
     def on_env_created(self, interp, env, kind) -> None:
-        self._env_stamps[id(env)] = self.stack.snapshot()
-        self._retained.append(env)
+        stamp = self.stack.snapshot()
+        if self.incremental and not stamp:
+            # An empty stamp is what lookups default to — don't store it.
+            return
+        # The dict key itself pins a live environment object for the
+        # analyzer's lifetime (identity-keyed, so a recycled id can never
+        # alias it); no extra retention needed.
+        self._env_stamps[env] = stamp
 
     # ------------------------------------------------------------ access hooks
     def on_var_write(self, interp, name, env, value, node) -> None:
         if not self._analysis_active():
             return
-        stamp = self._env_stamps.get(id(env), ())
+        stamp = self._env_stamps.get(env, ())
         triples = diff_stamp(self.stack.entries, stamp)
         self._record_pattern("variable", name, "", write=True, prop=name)
         if is_problematic(triples, self._focus_for_check()):

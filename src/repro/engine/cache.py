@@ -208,10 +208,22 @@ class TraceStore:
         fallback = self._find_fallback(fingerprint, required_mask)
         if fallback is not None:
             self._remember(fallback)
-            self.hits += 1
+            with self._lock:
+                self.hits += 1
             return fallback
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
+
+    def find_source(self, fingerprint: str, required_mask: int):
+        """A *replayable source* covering ``required_mask``, or ``None``.
+
+        The base store holds whole traces in memory, so the source is the
+        trace itself.  Tiered backends override this to hand out streaming
+        handles (e.g. :class:`~repro.jsvm.hooks.TraceFileSource`) that replay
+        chunk-at-a-time without materializing the event list.
+        """
+        return self.find(fingerprint, required_mask)
 
     def has(self, fingerprint: str, required_mask: int) -> bool:
         """Whether a covering trace exists, without loading or counting it."""
@@ -224,7 +236,8 @@ class TraceStore:
     def put(self, trace: Trace) -> Trace:
         """Store ``trace``, dropping stored traces it strictly covers."""
         self._remember(trace)
-        self.puts += 1
+        with self._lock:
+            self.puts += 1
         return trace
 
     def _remember(self, trace: Trace) -> Trace:

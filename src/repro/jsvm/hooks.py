@@ -58,8 +58,10 @@ import gzip
 import hashlib
 import io
 import json
+import os
+import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 # -- event mask bits ----------------------------------------------------------
 EV_LOOP = 1 << 0  #: loop enter / iteration / exit
@@ -336,6 +338,40 @@ TRACE_SCHEMA_VERSION = 1
 
 #: Magic ``format`` marker of serialized traces.
 TRACE_FORMAT = "repro-trace"
+
+#: Magic ``format`` marker of chunked (streaming) trace files: an NDJSON
+#: header line, one line per bounded chunk of events (with intern-table
+#: *deltas*), and a trailing footer line.  A chunked file replays in O(chunk)
+#: resident memory; :meth:`Trace.load` still assembles it whole on request.
+TRACE_CHUNK_FORMAT = "repro-trace-chunks"
+
+#: Policy knob: ``REPRO_STREAM_REPLAY=1`` makes every replay pull-based —
+#: in-memory traces are walked chunk-at-a-time and analyzers run in their
+#: incremental (per-nest eviction) modes.  Payloads are byte-identical to
+#: batch replay; only the resident-memory profile changes.
+STREAM_REPLAY_ENV_VAR = "REPRO_STREAM_REPLAY"
+
+#: Override for the default events-per-chunk bound of chunked trace files.
+TRACE_CHUNK_EVENTS_ENV_VAR = "REPRO_TRACE_CHUNK_EVENTS"
+
+#: Default events-per-chunk bound: large enough that chunk framing is noise
+#: (<1% of records), small enough that a chunk is a few MB resident.
+DEFAULT_CHUNK_EVENTS = 65536
+
+
+def stream_replay_enabled() -> bool:
+    """Whether the ``REPRO_STREAM_REPLAY`` policy knob forces streaming."""
+    return os.environ.get(STREAM_REPLAY_ENV_VAR, "") == "1"
+
+
+def stream_chunk_events() -> int:
+    """The configured events-per-chunk bound for chunked trace files."""
+    raw = os.environ.get(TRACE_CHUNK_EVENTS_ENV_VAR, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_CHUNK_EVENTS
+    return value if value > 0 else DEFAULT_CHUNK_EVENTS
 
 # -- record opcodes (first element of every flat event tuple) ---------------
 TR_LOOP_ENTER = 0  #: (op, clock_ms, node)
@@ -629,43 +665,13 @@ class Trace:
         and *negative* indexes would silently alias the wrong interned entry
         through Python's negative indexing.
         """
-        string_count = len(self.strings)
-        node_count = len(self.nodes)
-        object_count = len(self.objects)
-        env_count = self.env_count
-        layouts = self._RECORD_LAYOUT
-        for record in self.events:
-            layout = layouts.get(record[0]) if record else None
-            if layout is None or len(record) != layout[0]:
-                raise TraceFormatError(f"malformed trace record: {record!r}")
-            _arity, node_at, obj_at, env_at, string_at = layout
-            try:
-                for position in node_at:
-                    index = record[position]
-                    if not -1 <= index < node_count:
-                        raise TraceFormatError(
-                            f"node index {index} out of range in record {record!r}"
-                        )
-                for position in obj_at:
-                    index = record[position]
-                    if not 0 <= index < object_count:
-                        raise TraceFormatError(
-                            f"object index {index} out of range in record {record!r}"
-                        )
-                for position in env_at:
-                    index = record[position]
-                    if not 0 <= index < env_count:
-                        raise TraceFormatError(
-                            f"environment index {index} out of range in record {record!r}"
-                        )
-                for position in string_at:
-                    index = record[position]
-                    if not 0 <= index < string_count:
-                        raise TraceFormatError(
-                            f"string index {index} out of range in record {record!r}"
-                        )
-            except TypeError as exc:
-                raise TraceFormatError(f"malformed trace record: {record!r}") from exc
+        _validate_records(
+            self.events,
+            len(self.strings),
+            len(self.nodes),
+            len(self.objects),
+            self.env_count,
+        )
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), separators=(",", ":"))
@@ -690,16 +696,474 @@ class Trace:
 
     @classmethod
     def load(cls, path: str) -> "Trace":
-        try:
-            if str(path).endswith(".gz"):
-                with gzip.open(path, "rt", encoding="utf-8") as handle:
-                    text = handle.read()
+        """Materialize a trace from ``path`` — legacy single-JSON or chunked."""
+        source = open_trace_source(path)
+        if isinstance(source, cls):
+            return source
+        return source.load()
+
+    # ------------------------------------------------------------- streaming
+    def chunks(self, chunk_events: Optional[int] = None) -> Iterator["TraceChunk"]:
+        """The chunk-iteration protocol over an in-memory trace.
+
+        The first chunk carries the full intern tables (they are resident on
+        this object anyway); later chunks carry events only.  This is what a
+        forced-streaming replay (:data:`STREAM_REPLAY_ENV_VAR`) walks, so the
+        streamed dispatch path is exercised even for memory-resident traces.
+        """
+        if chunk_events is None:
+            chunk_events = stream_chunk_events()
+        total = len(self.events)
+        if total == 0:
+            yield TraceChunk(
+                0, self.strings, self.nodes, self.objects, self.env_count, []
+            )
+            return
+        for index, start in enumerate(range(0, total, chunk_events)):
+            if index == 0:
+                yield TraceChunk(
+                    0,
+                    self.strings,
+                    self.nodes,
+                    self.objects,
+                    self.env_count,
+                    self.events[start : start + chunk_events],
+                )
             else:
-                with io.open(path, "r", encoding="utf-8") as handle:
-                    text = handle.read()
+                yield TraceChunk(
+                    index, (), (), (), 0, self.events[start : start + chunk_events]
+                )
+
+
+def _validate_records(
+    events,
+    string_count: int,
+    node_count: int,
+    object_count: int,
+    env_count: int,
+) -> None:
+    """Validate record shapes and intern indexes against table sizes.
+
+    Shared by :meth:`Trace.validate_events` (whole trace at once) and the
+    chunked readers (per chunk, against *cumulative* table sizes — an event
+    may only reference interned entries already streamed).
+    """
+    layouts = Trace._RECORD_LAYOUT
+    for record in events:
+        layout = layouts.get(record[0]) if record else None
+        if layout is None or len(record) != layout[0]:
+            raise TraceFormatError(f"malformed trace record: {record!r}")
+        _arity, node_at, obj_at, env_at, string_at = layout
+        try:
+            for position in node_at:
+                index = record[position]
+                if not -1 <= index < node_count:
+                    raise TraceFormatError(
+                        f"node index {index} out of range in record {record!r}"
+                    )
+            for position in obj_at:
+                index = record[position]
+                if not 0 <= index < object_count:
+                    raise TraceFormatError(
+                        f"object index {index} out of range in record {record!r}"
+                    )
+            for position in env_at:
+                index = record[position]
+                if not 0 <= index < env_count:
+                    raise TraceFormatError(
+                        f"environment index {index} out of range in record {record!r}"
+                    )
+            for position in string_at:
+                index = record[position]
+                if not 0 <= index < string_count:
+                    raise TraceFormatError(
+                        f"string index {index} out of range in record {record!r}"
+                    )
+        except TypeError as exc:
+            raise TraceFormatError(f"malformed trace record: {record!r}") from exc
+
+
+class TraceChunk:
+    """One bounded slice of a trace: intern-table deltas plus event records.
+
+    A chunk's events may only reference interned entries carried by this or
+    an *earlier* chunk — that is the invariant that makes chunk-at-a-time
+    replay possible without the full tables resident.
+    """
+
+    __slots__ = ("index", "strings", "nodes", "objects", "env_delta", "events")
+
+    def __init__(self, index, strings, nodes, objects, env_delta, events) -> None:
+        self.index = index
+        self.strings = strings
+        self.nodes = nodes
+        self.objects = objects
+        self.env_delta = env_delta
+        self.events = events
+
+
+def _open_trace_text(path: str, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return io.open(path, mode, encoding="utf-8")
+
+
+class TraceWriter:
+    """Writes traces to disk, splitting long event streams into chunks.
+
+    Short traces (at most one chunk of events) are written in the legacy
+    single-JSON :meth:`Trace.save` format byte-for-byte, so every existing
+    consumer of one-chunk files keeps working.  Longer traces become an
+    NDJSON stream: a header line carrying the trace provenance (including the
+    full-content digest), one line per bounded chunk whose intern-table
+    *deltas* cover exactly the entries its events first reference, and a
+    footer line asserting the chunk and event totals.
+    """
+
+    @classmethod
+    def write_trace(
+        cls, trace: Trace, path: str, chunk_events: Optional[int] = None
+    ) -> int:
+        """Write ``trace`` to ``path``; returns the number of chunks written.
+
+        A return value of 1 means the legacy single-JSON format was used.
+        """
+        if chunk_events is None:
+            chunk_events = stream_chunk_events()
+        events = trace.events
+        if chunk_events <= 0 or len(events) <= chunk_events:
+            trace.save(path)
+            return 1
+        total_strings = len(trace.strings)
+        total_nodes = len(trace.nodes)
+        total_objects = len(trace.objects)
+        total_envs = trace.env_count
+        layouts = Trace._RECORD_LAYOUT
+        header = {
+            "format": TRACE_CHUNK_FORMAT,
+            "version": trace.version,
+            "mask": trace.mask,
+            "workload": trace.workload,
+            "fingerprint": trace.fingerprint,
+            "ms_per_op": trace.ms_per_op,
+            "start_ms": trace.start_ms,
+            "end_ms": trace.end_ms,
+            "env_count": total_envs,
+            "dropped": list(trace.dropped),
+            "digest": trace.digest(),
+            "events": len(events),
+            "chunk_events": chunk_events,
+        }
+        starts = list(range(0, len(events), chunk_events))
+        chunk_count = len(starts)
+        sent_strings = sent_nodes = sent_objects = sent_envs = 0
+        with _open_trace_text(path, "w") as handle:
+            handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+            for chunk_index, start in enumerate(starts):
+                batch = events[start : start + chunk_events]
+                if chunk_index == chunk_count - 1:
+                    # The last chunk tops up every table so reassembly
+                    # reproduces the original trace (and its digest) exactly,
+                    # even for entries no event happens to reference.
+                    need_strings, need_nodes = total_strings, total_nodes
+                    need_objects, need_envs = total_objects, total_envs
+                else:
+                    need_strings, need_nodes = sent_strings, sent_nodes
+                    need_objects, need_envs = sent_objects, sent_envs
+                    for record in batch:
+                        _arity, node_at, obj_at, env_at, string_at = layouts[record[0]]
+                        for position in node_at:
+                            if record[position] >= need_nodes:
+                                need_nodes = record[position] + 1
+                        for position in obj_at:
+                            if record[position] >= need_objects:
+                                need_objects = record[position] + 1
+                        for position in env_at:
+                            if record[position] >= need_envs:
+                                need_envs = record[position] + 1
+                        for position in string_at:
+                            if record[position] >= need_strings:
+                                need_strings = record[position] + 1
+                    # Newly shipped table entries reference strings of their
+                    # own (node kinds, object class/function names).
+                    for entry in trace.nodes[sent_nodes:need_nodes]:
+                        if entry[2] >= need_strings:
+                            need_strings = entry[2] + 1
+                    for entry in trace.objects[sent_objects:need_objects]:
+                        if entry[1] >= need_strings:
+                            need_strings = entry[1] + 1
+                        if entry[3] >= need_strings:
+                            need_strings = entry[3] + 1
+                payload = {
+                    "chunk": chunk_index,
+                    "strings": trace.strings[sent_strings:need_strings],
+                    "nodes": [list(e) for e in trace.nodes[sent_nodes:need_nodes]],
+                    "objects": [
+                        list(e) for e in trace.objects[sent_objects:need_objects]
+                    ],
+                    "envs": need_envs - sent_envs,
+                    "events": [list(r) for r in batch],
+                }
+                handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+                sent_strings, sent_nodes = need_strings, need_nodes
+                sent_objects, sent_envs = need_objects, need_envs
+            footer = {"end": True, "chunks": chunk_count, "events": len(events)}
+            handle.write(json.dumps(footer, separators=(",", ":")) + "\n")
+        return chunk_count
+
+
+class TraceFileSource:
+    """A pull-based handle on a chunked trace file: header resident, events
+    streamed.
+
+    Exposes the same provenance surface as :class:`Trace` (``mask``,
+    ``workload``, ``fingerprint``, clock bounds, ``dropped``, ``covers``,
+    ``digest``) from the header alone, so replay admission checks and result
+    provenance never need the event stream.  :meth:`chunks` is re-iterable —
+    every call reopens the file — and validates sequence numbers, intern
+    deltas and per-record indexes as it goes; any truncation or corruption
+    raises :class:`TraceFormatError`, never a partial stream.
+    """
+
+    def __init__(self, path: str, header: Any) -> None:
+        self.path = str(path)
+        if not isinstance(header, dict) or header.get("format") != TRACE_CHUNK_FORMAT:
+            raise TraceFormatError(
+                "not a chunked repro trace (missing the "
+                f"'format': {TRACE_CHUNK_FORMAT!r} marker)"
+            )
+        version = header.get("version")
+        if version != TRACE_SCHEMA_VERSION:
+            raise TraceVersionError(
+                f"unsupported trace schema version {version!r} "
+                f"(this build reads version {TRACE_SCHEMA_VERSION})"
+            )
+        try:
+            self.version = int(version)
+            self.mask = int(header["mask"])
+            self.workload = str(header["workload"])
+            self.fingerprint = str(header["fingerprint"])
+            self.ms_per_op = float(header["ms_per_op"])
+            self.start_ms = float(header["start_ms"])
+            self.end_ms = float(header["end_ms"])
+            self.env_count = int(header["env_count"])
+            self.dropped = tuple(header.get("dropped", ()))
+            self.event_count = int(header["events"])
+            self.chunk_events = int(header["chunk_events"])
+            self._digest = str(header["digest"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed chunked trace header: {exc}") from exc
+
+    # ------------------------------------------------------------- identity
+    def covers(self, required_mask: int) -> bool:
+        return not (required_mask & ~self.mask)
+
+    def digest(self) -> str:
+        """The full-content digest recorded in the header."""
+        return self._digest
+
+    # ------------------------------------------------------------- streaming
+    def chunks(self) -> Iterator[TraceChunk]:
+        """Stream validated chunks from the file; O(chunk) resident."""
+        try:
+            with _open_trace_text(self.path, "r") as handle:
+                if not handle.readline():
+                    raise TraceFormatError(f"chunked trace {self.path!r} is empty")
+                seen_strings = seen_nodes = seen_objects = seen_envs = 0
+                next_index = 0
+                total_events = 0
+                while True:
+                    line = handle.readline()
+                    if not line:
+                        raise TraceFormatError(
+                            f"chunked trace {self.path!r} is truncated "
+                            "(missing footer)"
+                        )
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise TraceFormatError(
+                            f"chunked trace {self.path!r} is truncated or "
+                            f"corrupt: {exc}"
+                        ) from exc
+                    if not isinstance(data, dict):
+                        raise TraceFormatError(
+                            f"malformed trace chunk line: {line[:80]!r}"
+                        )
+                    if data.get("end"):
+                        if (
+                            data.get("chunks") != next_index
+                            or data.get("events") != total_events
+                        ):
+                            raise TraceFormatError(
+                                f"chunked trace {self.path!r} footer does not "
+                                "match the streamed content"
+                            )
+                        if total_events != self.event_count:
+                            raise TraceFormatError(
+                                f"chunked trace {self.path!r} header promises "
+                                f"{self.event_count} events but the stream "
+                                f"holds {total_events}"
+                            )
+                        if seen_envs != self.env_count:
+                            raise TraceFormatError(
+                                f"chunked trace {self.path!r} environment "
+                                "deltas do not sum to the header count"
+                            )
+                        return
+                    chunk = self._decode_chunk(
+                        data,
+                        next_index,
+                        seen_strings,
+                        seen_nodes,
+                        seen_objects,
+                        seen_envs,
+                    )
+                    seen_strings += len(chunk.strings)
+                    seen_nodes += len(chunk.nodes)
+                    seen_objects += len(chunk.objects)
+                    seen_envs += chunk.env_delta
+                    total_events += len(chunk.events)
+                    yield chunk
+                    next_index += 1
         except OSError as exc:
-            raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
-        return cls.from_json(text)
+            raise TraceFormatError(
+                f"cannot read trace file {self.path!r}: {exc}"
+            ) from exc
+        except (EOFError, zlib.error, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                f"chunked trace {self.path!r} is truncated or corrupt: {exc}"
+            ) from exc
+
+    def _decode_chunk(
+        self,
+        data: dict,
+        expect_index: int,
+        seen_strings: int,
+        seen_nodes: int,
+        seen_objects: int,
+        seen_envs: int,
+    ) -> TraceChunk:
+        try:
+            index = int(data["chunk"])
+            strings = [str(s) for s in data.get("strings", ())]
+            nodes = [list(e) for e in data.get("nodes", ())]
+            objects = [list(e) for e in data.get("objects", ())]
+            env_delta = int(data.get("envs", 0))
+            events = [tuple(r) for r in data.get("events", ())]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed trace chunk: {exc}") from exc
+        if index != expect_index:
+            raise TraceFormatError(
+                f"chunk sequence broken in {self.path!r}: expected chunk "
+                f"{expect_index}, got {index!r}"
+            )
+        if env_delta < 0:
+            raise TraceFormatError("negative environment delta in trace chunk")
+        string_count = seen_strings + len(strings)
+        node_count = seen_nodes + len(nodes)
+        object_count = seen_objects + len(objects)
+        env_count = seen_envs + env_delta
+        try:
+            for entry in nodes:
+                if len(entry) != 3 or not 0 <= entry[2] < string_count:
+                    raise TraceFormatError(f"malformed node entry: {entry!r}")
+            for entry in objects:
+                if (
+                    len(entry) != 4
+                    or not 0 <= entry[1] < string_count
+                    or not -1 <= entry[3] < string_count
+                ):
+                    raise TraceFormatError(f"malformed object entry: {entry!r}")
+        except TypeError as exc:
+            raise TraceFormatError(f"malformed trace intern table: {exc}") from exc
+        _validate_records(events, string_count, node_count, object_count, env_count)
+        return TraceChunk(index, strings, nodes, objects, env_delta, events)
+
+    # ------------------------------------------------------------ whole-file
+    def verify(self) -> "TraceFileSource":
+        """Scan every chunk (bounded memory), raising on any corruption."""
+        for _ in self.chunks():
+            pass
+        return self
+
+    def load(self) -> Trace:
+        """Materialize the full :class:`Trace`, checking the header digest."""
+        trace = Trace(
+            mask=self.mask,
+            workload=self.workload,
+            fingerprint=self.fingerprint,
+            ms_per_op=self.ms_per_op,
+            start_ms=self.start_ms,
+            end_ms=self.end_ms,
+            version=self.version,
+            env_count=self.env_count,
+            dropped=self.dropped,
+        )
+        for chunk in self.chunks():
+            trace.strings.extend(chunk.strings)
+            trace.nodes.extend(chunk.nodes)
+            trace.objects.extend(chunk.objects)
+            trace.events.extend(chunk.events)
+        if trace.digest() != self._digest:
+            raise TraceFormatError(
+                f"chunked trace {self.path!r} content does not match its "
+                "header digest"
+            )
+        return trace
+
+    def event_counts(self) -> Dict[str, int]:
+        """Record count per event name, streamed (``trace info``)."""
+        counts: Dict[str, int] = {}
+        for chunk in self.chunks():
+            for record in chunk.events:
+                name = TRACE_OP_NAMES.get(record[0], f"op{record[0]}")
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def table_counts(self) -> Dict[str, int]:
+        """Intern-table sizes, accumulated in one streaming pass."""
+        strings = nodes = objects = 0
+        for chunk in self.chunks():
+            strings += len(chunk.strings)
+            nodes += len(chunk.nodes)
+            objects += len(chunk.objects)
+        return {"strings": strings, "nodes": nodes, "objects": objects}
+
+
+def open_trace_source(path: str):
+    """Open a trace file as the cheapest faithful handle.
+
+    Legacy single-JSON files materialize a full :class:`Trace`; chunked files
+    return a :class:`TraceFileSource` whose events stream on demand.  Both
+    satisfy the replay-source protocol (:class:`TraceReplayer` accepts
+    either).
+    """
+    path = str(path)
+    try:
+        with _open_trace_text(path, "r") as handle:
+            first = handle.readline()
+            try:
+                data = json.loads(first)
+            except json.JSONDecodeError:
+                data = None
+            if isinstance(data, dict) and data.get("format") == TRACE_CHUNK_FORMAT:
+                return TraceFileSource(path, data)
+            if isinstance(data, dict):
+                return Trace.from_dict(data)
+            # Not a single-line document (e.g. pretty-printed JSON): fall
+            # back to reading it whole.
+            rest = handle.read()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
+    except (EOFError, zlib.error, UnicodeDecodeError) as exc:
+        raise TraceFormatError(
+            f"trace file {path!r} is truncated or corrupt: {exc}"
+        ) from exc
+    return Trace.from_json(first + rest)
 
 
 def _ignore_event(*_args, **_kwargs) -> None:
@@ -1046,12 +1510,6 @@ def _replay_node_class(kind: str) -> type:
     return cls
 
 
-class _ReplayEnv:
-    """Stand-in environment frame: identity is its only replay-relevant state."""
-
-    __slots__ = ()
-
-
 class _ReplayInterpreter:
     """The minimal interpreter surface replayed tracers touch.
 
@@ -1079,43 +1537,106 @@ class _ReplayInterpreter:
 class TraceReplayer:
     """Drives ordinary tracers from a recorded :class:`Trace`.
 
-    One replayer materializes one consistent set of stand-in nodes, guest
-    objects and environment frames; every :meth:`replay` call over the same
-    replayer shares them, exactly as live tracers composed on one bus share
-    the live guest heap.  Use a fresh replayer for an independent pass (e.g.
-    a second dependence analysis that must not see earlier creation stamps).
+    One replayer materializes one consistent set of stand-in nodes and guest
+    objects; every :meth:`replay` call over the same replayer shares them,
+    exactly as live tracers composed on one bus share the live guest heap.
+    Use a fresh replayer for an independent pass (e.g. a second dependence
+    analysis that must not see earlier creation stamps).  Environment frames
+    are never materialized at all: replay hands tracers the environment's
+    dense trace index (a plain int, unique per recorded scope), which every
+    shipped tracer treats as the opaque identity it is — so replay memory
+    does not grow with the number of scopes the workload created.
     """
 
-    def __init__(self, trace: Trace) -> None:
+    def __init__(self, trace: Any, streaming: Optional[bool] = None) -> None:
+        """``trace`` is a :class:`Trace` or any chunk source (an object with
+        the header attributes plus a re-iterable ``chunks()``; see
+        :class:`TraceFileSource`).
+
+        ``streaming=None`` picks the policy default: non-:class:`Trace`
+        sources always stream; in-memory traces stream only when the
+        :data:`STREAM_REPLAY_ENV_VAR` knob forces it.
+        """
         self.trace = trace
+        in_memory = isinstance(trace, Trace)
+        if streaming is None:
+            streaming = not in_memory or stream_replay_enabled()
+        else:
+            streaming = bool(streaming) or not in_memory
+        self.streaming = streaming
         self.clock = ReplayClock(trace.start_ms)
         self._interp = _ReplayInterpreter(self.clock)
+        if streaming:
+            # Tables grow as chunks arrive (and are shared across replay
+            # passes: a later pass extends nothing, its chunks re-describe
+            # entries already materialized).
+            self._strings: List[str] = []
+            self._nodes: List[Any] = []
+            self._objects: List[Any] = []
+            return
         strings = trace.strings
+        self._strings = strings
         try:
             self._nodes = [
                 _replay_node_class(strings[kind_index])(node_id, line)
                 for node_id, line, kind_index in trace.nodes
             ]
-            self._objects = [self._materialize_object(entry) for entry in trace.objects]
+            self._objects = [
+                self._materialize_object(entry, strings) for entry in trace.objects
+            ]
         except (IndexError, TypeError, ValueError) as exc:
             raise TraceFormatError(f"malformed trace intern table: {exc}") from exc
-        self._envs = [_ReplayEnv() for _ in range(trace.env_count)]
 
     # ------------------------------------------------------------ stand-ins
-    def _materialize_object(self, entry: List[int]) -> Any:
+    def _materialize_object(self, entry: List[int], strings: List[str]) -> Any:
         from .values import JSArray, JSObject
 
         kind, class_index, creation_site, name_index = entry
-        class_name = self.trace.strings[class_index]
+        class_name = strings[class_index]
         if kind == _OBJ_ARRAY:
             return JSArray([], creation_site=creation_site)
         if kind == _OBJ_CALLABLE:
             stand_in = _ReplayFunctionObject(class_name=class_name, creation_site=creation_site)
-            stand_in.name = self.trace.strings[name_index] if name_index >= 0 else ""
+            stand_in.name = strings[name_index] if name_index >= 0 else ""
             return stand_in
         if kind == _OBJ_PLAIN:
             return JSObject(class_name=class_name, creation_site=creation_site)
         return _ReplayOpaque()
+
+    def _absorb_chunk(self, chunk: "TraceChunk", seen: List[int]) -> None:
+        """Extend the stand-in tables with a chunk's intern deltas.
+
+        ``seen`` holds the cumulative (strings, nodes, objects) counts
+        streamed so far *in this pass*.  Entries already materialized by an
+        earlier :meth:`replay` pass are skipped, so repeated passes over one
+        replayer share stand-ins exactly like the batch path does.
+        Environments have no table to extend — events carry their index, and
+        that index *is* the identity handed to tracers.
+        """
+        strings = self._strings
+        start = seen[0]
+        if start + len(chunk.strings) > len(strings):
+            strings.extend(chunk.strings[len(strings) - start :])
+        seen[0] = start + len(chunk.strings)
+        try:
+            start = seen[1]
+            if start + len(chunk.nodes) > len(self._nodes):
+                self._nodes.extend(
+                    _replay_node_class(strings[kind_index])(node_id, line)
+                    for node_id, line, kind_index in chunk.nodes[
+                        len(self._nodes) - start :
+                    ]
+                )
+            seen[1] = start + len(chunk.nodes)
+            start = seen[2]
+            if start + len(chunk.objects) > len(self._objects):
+                self._objects.extend(
+                    self._materialize_object(entry, strings)
+                    for entry in chunk.objects[len(self._objects) - start :]
+                )
+            seen[2] = start + len(chunk.objects)
+        except (IndexError, TypeError, ValueError) as exc:
+            raise TraceFormatError(f"malformed trace intern table: {exc}") from exc
 
     def _node(self, index: int) -> Any:
         return self._nodes[index] if index >= 0 else None
@@ -1166,8 +1687,9 @@ class TraceReplayer:
         clock = self.clock
         nodes = self._nodes
         objects = self._objects
-        envs = self._envs
-        strings = self.trace.strings
+        # In streaming mode the tables are list objects extended in place as
+        # chunks arrive; handlers index them through these same bindings.
+        strings = self._strings
         call_stack = interp.call_stack
         elided = TRACE_VALUE_ELIDED
 
@@ -1271,7 +1793,7 @@ class TraceReplayer:
                 clock._now_ms = rec[1]
                 index = rec[4]
                 var_read_method(
-                    interp, strings[rec[2]], envs[rec[3]], nodes[index] if index >= 0 else None
+                    interp, strings[rec[2]], rec[3], nodes[index] if index >= 0 else None
                 )
 
             handlers[TR_VAR_READ] = h_var_read
@@ -1280,7 +1802,7 @@ class TraceReplayer:
             def h_var_read(rec):
                 clock._now_ms = rec[1]
                 name = strings[rec[2]]
-                env = envs[rec[3]]
+                env = rec[3]
                 node = node_of(rec[4])
                 for method in on_var_read:
                     method(interp, name, env, node)
@@ -1297,7 +1819,7 @@ class TraceReplayer:
                 var_write_method(
                     interp,
                     strings[rec[2]],
-                    envs[rec[3]],
+                    rec[3],
                     elided,
                     nodes[index] if index >= 0 else None,
                 )
@@ -1308,7 +1830,7 @@ class TraceReplayer:
             def h_var_write(rec):
                 clock._now_ms = rec[1]
                 name = strings[rec[2]]
-                env = envs[rec[3]]
+                env = rec[3]
                 node = node_of(rec[4])
                 for method in on_var_write:
                     method(interp, name, env, elided, node)
@@ -1409,7 +1931,7 @@ class TraceReplayer:
 
             def h_env(rec):
                 clock._now_ms = rec[1]
-                env = envs[rec[2]]
+                env = rec[2]
                 kind = strings[rec[3]]
                 for method in on_env_created:
                     method(interp, env, kind)
@@ -1441,10 +1963,19 @@ class TraceReplayer:
 
             handlers[TR_RECURSION] = h_recursion
 
-        for record in self.trace.events:
-            handler = handlers[record[0]]
-            if handler is not None:
-                handler(record)
+        if self.streaming:
+            seen = [0, 0, 0]
+            for chunk in self.trace.chunks():
+                self._absorb_chunk(chunk, seen)
+                for record in chunk.events:
+                    handler = handlers[record[0]]
+                    if handler is not None:
+                        handler(record)
+        else:
+            for record in self.trace.events:
+                handler = handlers[record[0]]
+                if handler is not None:
+                    handler(record)
         clock._now_ms = self.trace.end_ms
 
 

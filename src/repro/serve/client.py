@@ -38,6 +38,33 @@ class ServeError(Exception):
         self.retry_after = retry_after
 
 
+def _parse_retry_after(raw: str) -> Optional[int]:
+    """Seconds to wait per a ``Retry-After`` header, clamped to ``>= 0``.
+
+    RFC 9110 §10.2.3 allows either delta-seconds or an HTTP-date; a negative
+    delta or a date in the past means "retry now", never a negative sleep.
+    Unparseable values are ignored (the caller falls back to its default).
+    """
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        pass
+    import datetime
+    import email.utils
+
+    try:
+        when = email.utils.parsedate_to_datetime(raw)
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=datetime.timezone.utc)
+    now = datetime.datetime.now(datetime.timezone.utc)
+    delta = (when - now).total_seconds()
+    return max(0, int(delta + 0.999))  # round partial seconds up
+
+
 def _decode_error(status: int, body: bytes, headers) -> ServeError:
     code = message = None
     try:
@@ -50,10 +77,7 @@ def _decode_error(status: int, body: bytes, headers) -> ServeError:
     retry_after: Optional[int] = None
     raw_retry = headers.get("Retry-After") if headers is not None else None
     if raw_retry is not None:
-        try:
-            retry_after = int(raw_retry)
-        except ValueError:
-            retry_after = None
+        retry_after = _parse_retry_after(raw_retry)
     return ServeError(
         message or f"server returned HTTP {status}",
         status=status,

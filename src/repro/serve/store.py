@@ -35,7 +35,12 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..engine.cache import TraceStore
-from ..jsvm.hooks import Trace, TraceError
+from ..jsvm.hooks import (
+    Trace,
+    TraceError,
+    TraceWriter,
+    open_trace_source,
+)
 
 #: On-disk index schema version.
 INDEX_VERSION = 1
@@ -45,10 +50,15 @@ INDEX_NAME = "index.json"
 class DiskTraceStore(TraceStore):
     """A trace store whose contents persist under ``root`` across restarts."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, chunk_events: Optional[int] = None) -> None:
         super().__init__()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Events per segment chunk (None → the REPRO_TRACE_CHUNK_EVENTS /
+        #: built-in default at write time).  Traces that fit in one chunk are
+        #: written in the legacy single-document format, so small stores stay
+        #: byte-compatible with ``Trace.save``.
+        self.chunk_events = chunk_events
         self._io_lock = threading.RLock()
         #: fingerprint → index rows ({digest, mask, workload, events, file}).
         self._index: Dict[str, List[dict]] = {}
@@ -56,6 +66,7 @@ class DiskTraceStore(TraceStore):
         self.disk_hits = 0
         self.segments_written = 0
         self.corrupt_segments = 0
+        self.index_writes = 0
         self._load_index()
 
     # ---------------------------------------------------------------- index
@@ -101,6 +112,7 @@ class DiskTraceStore(TraceStore):
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         os.replace(tmp, self.index_path)
+        self.index_writes += 1
         self._dirty = False
 
     def flush(self) -> None:
@@ -153,15 +165,18 @@ class DiskTraceStore(TraceStore):
             rows = self._index.setdefault(trace.fingerprint, [])
             if not any(row["digest"] == digest for row in rows):
                 target = self._segment_path(entry)
-                # The temp name must keep the ``.gz`` suffix so Trace.save
+                # The temp name must keep the ``.gz`` suffix so the writer
                 # actually compresses; os.replace keeps the publish atomic.
                 tmp = target.with_name(target.name + ".tmp.gz")
-                trace.save(str(tmp))
+                TraceWriter.write_trace(trace, str(tmp), chunk_events=self.chunk_events)
                 os.replace(tmp, target)
                 rows.append(entry)
                 self.segments_written += 1
                 self._dirty = True
-            self._write_index_locked()
+            if self._dirty:
+                # A re-put of a known digest changes nothing: skip the
+                # full index rewrite (it is O(store size) JSON on disk).
+                self._write_index_locked()
         return trace
 
     def has(self, fingerprint: str, required_mask: int) -> bool:
@@ -200,6 +215,64 @@ class DiskTraceStore(TraceStore):
                 return trace
             if self._dirty:
                 self._write_index_locked()
+        return None
+
+    def find_source(self, fingerprint: str, required_mask: int):
+        """Like :meth:`find`, but disk segments are served as *streaming*
+        sources: a chunked segment yields a
+        :class:`~repro.jsvm.hooks.TraceFileSource` handle replayed
+        chunk-at-a-time, never materializing the event list in this process.
+
+        Memory-tier traces are served directly (they are already resident).
+        Streamed handles are deliberately **not** memorized — memorizing one
+        would defeat the bound the caller asked for.  Corruption policy
+        matches :meth:`_find_fallback`: a bad segment is dropped and counted,
+        never raised.
+        """
+        with self._lock:
+            resident = [
+                trace
+                for trace in self._traces.get(fingerprint, ())
+                if trace.covers(required_mask)
+            ]
+            if resident:
+                self.hits += 1
+                return min(resident, key=lambda trace: bin(trace.mask).count("1"))
+        with self._io_lock:
+            candidates = [
+                entry
+                for entry in self._index.get(fingerprint, ())
+                if not (required_mask & ~entry["mask"])
+            ]
+            candidates.sort(key=lambda entry: bin(entry["mask"]).count("1"))
+            for entry in candidates:
+                try:
+                    source = open_trace_source(str(self._segment_path(entry)))
+                    if not isinstance(source, Trace):
+                        # One bounded-memory scan up front, so a truncated
+                        # segment is a miss *here* rather than a mid-replay
+                        # TraceFormatError in the analysis stage.
+                        source.verify()
+                except (TraceError, OSError, EOFError, zlib.error, ValueError):
+                    self.corrupt_segments += 1
+                    self._drop_entry_locked(entry)
+                    continue
+                if source.fingerprint != fingerprint or not source.covers(required_mask):
+                    self.corrupt_segments += 1
+                    self._drop_entry_locked(entry)
+                    continue
+                self.disk_hits += 1
+                if isinstance(source, Trace):
+                    # Legacy single-document segments decode whole anyway;
+                    # keep them resident exactly as ``find`` would.
+                    self._remember(source)
+                with self._lock:
+                    self.hits += 1
+                return source
+            if self._dirty:
+                self._write_index_locked()
+        with self._lock:
+            self.misses += 1
         return None
 
     def fingerprints(self) -> List[str]:

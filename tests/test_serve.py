@@ -149,6 +149,46 @@ class TestProtocolParsing:
         assert encode_json({"b": 1, "a": [2]}) == b'{"a":[2],"b":1}\n'
 
 
+# --------------------------------------------------------------- retry-after
+class TestRetryAfterParsing:
+    """RFC 9110 allows both delta-seconds and HTTP-date; never negative."""
+
+    @staticmethod
+    def _retry(value: str):
+        from repro.serve.client import _decode_error
+
+        return _decode_error(429, b"{}", {"Retry-After": value}).retry_after
+
+    def test_integer_seconds(self):
+        assert self._retry("3") == 3
+        assert self._retry("0") == 0
+
+    def test_negative_integer_clamps_to_zero(self):
+        assert self._retry("-7") == 0
+
+    def test_http_date_form(self):
+        import email.utils
+
+        when = email.utils.formatdate(time.time() + 8, usegmt=True)
+        delay = self._retry(when)
+        assert delay is not None and 0 <= delay <= 10
+
+    def test_past_http_date_clamps_to_zero(self):
+        import email.utils
+
+        when = email.utils.formatdate(time.time() - 120, usegmt=True)
+        assert self._retry(when) == 0
+
+    def test_garbage_header_is_ignored(self):
+        assert self._retry("soon") is None
+        assert self._retry("") is None
+
+    def test_missing_headers_object(self):
+        from repro.serve.client import _decode_error
+
+        assert _decode_error(429, b"{}", None).retry_after is None
+
+
 # ---------------------------------------------------------------- single-flight
 class TestSingleFlightExecutor:
     def test_identical_keys_coalesce_onto_one_execution(self):

@@ -73,6 +73,116 @@ class TestTraceStoreContract:
         assert store.puts == 0  # memorization is not a recording
 
 
+# ------------------------------------------------------- counter lock scope
+class TestCounterLockDiscipline:
+    """``hits``/``misses``/``puts`` must move under ``self._lock``.
+
+    The serve daemon reports these counters via ``/v1/stats`` while its
+    thread pool hammers ``find``; unlocked read-modify-write updates lose
+    increments under contention.  Each thread below uses distinct
+    fingerprints so every ``find`` exercises the fallback-hit or miss path
+    (memory hits are already counted under the lock) and totals are exact.
+    """
+
+    THREADS = 8
+    OPS = 3000
+
+    def _hammer(self, worker) -> None:
+        import sys
+
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def run(seed: int) -> None:
+            barrier.wait()
+            try:
+                worker(seed)
+            except BaseException as exc:  # noqa: BLE001 - surface to the test
+                errors.append(exc)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            threads = [
+                threading.Thread(target=run, args=(i,)) for i in range(self.THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert not errors
+
+    def test_counters_only_move_under_the_store_lock(self):
+        """Deterministic lock-discipline audit for every counter path.
+
+        The GIL makes a bare ``+= 1`` effectively atomic on current CPython
+        (no eval-breaker check inside straight-line bytecode), so a hammer
+        alone cannot expose an unlocked update — but the stats contract is
+        the lock, not the GIL.  Intercept attribute writes and require the
+        store lock to be held whenever a counter moves.
+        """
+        loaded = make_trace(0b0011, fingerprint="fp-backed")
+
+        class Audited(TraceStore):
+            def _find_fallback(self, fingerprint, required_mask):
+                return loaded if fingerprint == "fp-backed" else None
+
+            def __setattr__(self, name, value):
+                if name in ("hits", "misses", "puts") and getattr(
+                    self, "_audit", False
+                ):
+                    assert self._lock.locked(), (
+                        f"counter {name!r} mutated without holding the store lock"
+                    )
+                object.__setattr__(self, name, value)
+
+        store = Audited()
+        store._audit = True
+        store.put(make_trace(0b0001))  # puts
+        assert store.find("fp-a", 0b0001) is not None  # memory-hit path
+        assert store.find("fp-backed", 0b0001) is loaded  # fallback-hit path
+        assert store.find("fp-none", 0b0001) is None  # miss path
+        assert (store.puts, store.hits, store.misses) == (1, 2, 1)
+
+    def test_miss_counter_is_exact_under_contention(self):
+        store = TraceStore()
+
+        def worker(seed: int) -> None:
+            for step in range(self.OPS):
+                assert store.find(f"miss-{seed}-{step}", 0b1) is None
+
+        self._hammer(worker)
+        assert store.misses == self.THREADS * self.OPS
+        assert store.hits == 0
+
+    def test_fallback_hit_counter_is_exact_under_contention(self):
+        class Backed(TraceStore):
+            def _find_fallback(self, fingerprint, required_mask):
+                return make_trace(0b1, fingerprint=fingerprint)
+
+        store = Backed()
+
+        def worker(seed: int) -> None:
+            for step in range(self.OPS):
+                assert store.find(f"hit-{seed}-{step}", 0b1) is not None
+
+        self._hammer(worker)
+        assert store.hits == self.THREADS * self.OPS
+        assert store.misses == 0
+
+    def test_puts_counter_is_exact_under_contention(self):
+        store = TraceStore()
+
+        def worker(seed: int) -> None:
+            for step in range(self.OPS):
+                store.put(make_trace(0b1, fingerprint=f"fp-{seed}-{step}"))
+
+        self._hammer(worker)
+        assert store.puts == self.THREADS * self.OPS
+
+
 # ---------------------------------------------------------------- disk store
 class TestDiskTraceStore:
     def test_put_persists_segment_and_index(self, tmp_path):
@@ -88,6 +198,30 @@ class TestDiskTraceStore:
         assert (tmp_path / entry["file"]).is_file()
         # Segments reuse the CLI trace file format.
         assert Trace.load(str(tmp_path / entry["file"])).digest() == trace.digest()
+
+    def test_duplicate_put_does_not_rewrite_index(self, tmp_path):
+        store = DiskTraceStore(tmp_path)
+        store.put(make_trace(0b0011))
+        assert store.index_writes == 1
+
+        writes = []
+        original = store._write_index_locked
+
+        def counting() -> None:
+            writes.append(1)
+            original()
+
+        store._write_index_locked = counting
+        # Same digest: the segment and index already hold this trace, so a
+        # second put must leave the index file untouched.
+        store.put(make_trace(0b0011))
+        assert not writes
+        assert store.index_writes == 1
+        assert store.segments_written == 1
+        # A genuinely new (covering) trace dirties the index and writes once.
+        store.put(make_trace(0b0111))
+        assert len(writes) == 1
+        assert store.index_writes == 2
 
     def test_index_round_trip_across_restart(self, tmp_path):
         first = DiskTraceStore(tmp_path)
