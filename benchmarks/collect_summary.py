@@ -125,6 +125,47 @@ def _stream_artifact_problems(path: Path) -> list:
     return problems
 
 
+#: extra_info keys the worker-pool artifact must carry (numerically) — the
+#: pool-reuse acceptance criterion is stated in these numbers.
+WORKERPOOL_REQUIRED_KEYS = (
+    "fork_batch_seconds",
+    "pool_batch_seconds",
+    "pool_vs_fork_speedup",
+)
+
+
+def _workerpool_artifact_problems(path: Path) -> list:
+    """Blocking problems with the ``BENCH_workerpool.json`` artifact (else [])."""
+    if not path.name.startswith("BENCH_workerpool"):
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [(path.name, f"unreadable workerpool artifact: {exc}", True)]
+    extra = data.get("extra_info") if isinstance(data, dict) else None
+    if not isinstance(extra, dict):
+        return [(path.name, "workerpool artifact has no extra_info object", True)]
+    problems = []
+    for key in WORKERPOOL_REQUIRED_KEYS:
+        value = extra.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(
+                (
+                    path.name,
+                    f"workerpool artifact missing numeric extra_info[{key!r}]",
+                    True,
+                )
+            )
+    return problems
+
+
+#: Artifacts whose row must exist in the committed summary even when the
+#: current ``--check`` run did not (re)generate them on disk — jobs that run
+#: only a slice of the benchmark suite (e.g. serve-smoke) still prove the
+#: committed trajectory covers the acceptance-gated benchmarks.
+REQUIRED_SUMMARY_ARTIFACTS = ("BENCH_workerpool.json",)
+
+
 def stale_entries(
     summary_path: Path = SUMMARY_PATH, artifacts_dir: Path = ARTIFACTS_DIR
 ) -> list:
@@ -152,11 +193,17 @@ def stale_entries(
         if isinstance(row, dict)
     }
     stale = []
+    for name in REQUIRED_SUMMARY_ARTIFACTS:
+        if name not in by_artifact:
+            stale.append(
+                (name, "required benchmark missing from the committed summary", True)
+            )
     for path in sorted(artifacts_dir.glob("BENCH_*.json")):
         if path.name == SUMMARY_NAME:
             continue
         stale.extend(_serve_artifact_problems(path))
         stale.extend(_stream_artifact_problems(path))
+        stale.extend(_workerpool_artifact_problems(path))
         row = by_artifact.get(path.name)
         if row is None:
             stale.append((path.name, "missing from the committed summary", True))

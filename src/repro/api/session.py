@@ -88,6 +88,7 @@ class AnalysisSession:
         max_nests_per_app: int = 5,
         trace_store: Optional[TraceStore] = None,
         default_tier: Optional[str] = None,
+        use_pool: Optional[bool] = None,
     ) -> None:
         #: Execution-tier policy for runs whose spec leaves ``tier`` unset
         #: (``None`` = the VM default, honouring ``REPRO_FORCE_CLOSURE_TIER``).
@@ -109,6 +110,7 @@ class AnalysisSession:
                 coverage_target=coverage_target,
                 max_nests_per_app=max_nests_per_app,
                 trace_store=self.trace_store,
+                use_pool=use_pool,
             )
         self.closed = False
 
@@ -120,14 +122,19 @@ class AnalysisSession:
         self.close()
 
     def close(self) -> None:
-        """Drop cached batch results, close the trace store, mark closed.
+        """Drop cached batch results, release the worker pool, close the store.
 
         Closing the trace store flushes any disk-backed index (see
         :class:`~repro.serve.store.DiskTraceStore`); for the in-memory store
         it is a no-op.  The store's traces are *not* dropped — a disk store
-        handed to a later session still serves its recordings.
+        handed to a later session still serves its recordings.  The
+        pipeline's persistent worker pool (if one was spawned) shuts down
+        here; ``close()`` is idempotent end to end.
         """
         self.pipeline.invalidate()
+        close_pipeline = getattr(self.pipeline, "close", None)
+        if callable(close_pipeline):
+            close_pipeline()
         close_store = getattr(self.trace_store, "close", None)
         if callable(close_store):
             close_store()
@@ -431,6 +438,9 @@ class AnalysisSession:
         if self.closed:
             raise RuntimeError("AnalysisSession is closed")
         workload = self.resolve_workload(workload)
+        trace = self.pipeline.record_trace_pooled(workload, mask)
+        if trace is not None:
+            return trace
         runner = self.pipeline.make_runner()
         return runner.obtain_trace(workload, mask)
 
@@ -463,7 +473,10 @@ class AnalysisSession:
             strategy=spec.speculate_strategy or "block",
             use_processes=spec.speculate_processes,
         )
-        executor = SpeculativeExecutor(script_cache=self.script_cache, options=options)
+        pool = self.pipeline.shared_pool() if options.use_processes else None
+        executor = SpeculativeExecutor(
+            script_cache=self.script_cache, options=options, pool=pool
+        )
         _analysis, speculation = self.pipeline.analyze_with_speculation(workload, executor)
         return speculation
 

@@ -17,13 +17,29 @@ scale, leaving the *what* (the four-step methodology itself) to
 from .cache import ScriptCache, source_digest, workload_fingerprint
 from .pipeline import AnalysisPipeline, PipelineResult, resolve_worker_count
 from .stages import Stage, default_stages, run_stages
+from .workerpool import (
+    POOL_ENV_VAR,
+    PoolTask,
+    PoolUnavailableError,
+    UnknownWorkloadError,
+    WorkerCrashError,
+    WorkerPool,
+    pool_env_enabled,
+)
 
 __all__ = [
     "AnalysisPipeline",
     "PipelineResult",
+    "POOL_ENV_VAR",
+    "PoolTask",
+    "PoolUnavailableError",
     "ScriptCache",
     "Stage",
+    "UnknownWorkloadError",
+    "WorkerCrashError",
+    "WorkerPool",
     "default_stages",
+    "pool_env_enabled",
     "resolve_worker_count",
     "run_stages",
     "source_digest",

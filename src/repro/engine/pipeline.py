@@ -15,18 +15,40 @@ pipeline ships workload *names* to forked workers and reassembles the
 analyses in request order.  When the pipeline's :class:`TraceStore` already
 holds a trace for a workload, that (plain-data, picklable) trace ships with
 the payload and the worker replays it instead of re-executing the guest.
+Traces the workers record flow *back*: each worker returns any trace it had
+to record alongside its analysis and the pipeline puts it into the parent
+store, so no workload is ever recorded twice across batches.
+
+Two fan-out backends exist.  The default forks a throwaway
+``multiprocessing.Pool`` per batch; with ``use_pool=True`` (or
+``REPRO_ENGINE_POOL=1``) batches run on the pipeline's persistent
+:class:`~repro.engine.workerpool.WorkerPool`, whose long-lived workers keep
+bytecode and traces cached across batches (see :mod:`repro.engine.workerpool`).
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.casestudy import ApplicationAnalysis, CaseStudyRunner, pipeline_trace_mask
 from ..analysis.tables import CaseStudyTables, build_tables
+from ..jsvm.hooks import Trace
 from .cache import BytecodeCache, ScriptCache, TraceStore, workload_fingerprint
 from .stages import prepare_workload_bytecode, run_stages, trace_replay_enabled
+from .workerpool import (
+    PoolTask,
+    PoolUnavailableError,
+    UnknownWorkloadError,
+    WorkerPool,
+    analyze_task,
+    pool_env_enabled,
+    record_task,
+)
+
+logger = logging.getLogger(__name__)
 
 #: Environment knob for the fan-out width (``1`` forces serial execution).
 WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
@@ -59,7 +81,7 @@ def resolve_worker_count(workers: Optional[int], task_count: int) -> int:
     return max(1, min(workers, task_count))
 
 
-def _analyze_in_worker(payload) -> ApplicationAnalysis:
+def _analyze_in_worker(payload) -> Tuple[ApplicationAnalysis, Optional[Trace]]:
     """Fan-out entry point: analyze one workload by name in a fresh process.
 
     ``trace`` is an optional pre-recorded :class:`~repro.jsvm.hooks.Trace`
@@ -68,6 +90,11 @@ def _analyze_in_worker(payload) -> ApplicationAnalysis:
     execution in the worker.  ``bytecode`` is the parent's compiled-script
     payload (``{path: bytes}``): the worker absorbs it into its own
     :class:`BytecodeCache` so freshly parsed scripts come pre-lowered.
+
+    Returns ``(analysis, recorded_trace)`` where ``recorded_trace`` is the
+    union-mask trace this worker had to record because the parent shipped
+    none — the parent puts it into its own store so later batches (and the
+    serial path) replay instead of re-executing the guest.
     """
     name, runner_kwargs, trace, bytecode = payload
     from ..workloads import get_workload
@@ -83,7 +110,11 @@ def _analyze_in_worker(payload) -> ApplicationAnalysis:
         trace_store=trace_store,
         **runner_kwargs,
     )
-    return run_stages(runner, workload)
+    analysis = run_stages(runner, workload)
+    recorded = None
+    if trace is None:
+        recorded = trace_store.find(workload_fingerprint(workload), pipeline_trace_mask())
+    return analysis, recorded
 
 
 class AnalysisPipeline:
@@ -102,6 +133,11 @@ class AnalysisPipeline:
         a fresh one is created if omitted.
     cores / coverage_target / max_nests_per_app:
         Passed through to the :class:`CaseStudyRunner` the pipeline creates.
+    use_pool:
+        ``True`` routes fan-out (and trace recording) through a persistent
+        :class:`~repro.engine.workerpool.WorkerPool` owned by this pipeline;
+        ``False`` forces the legacy fork-per-batch pool; ``None`` (default)
+        defers to the ``REPRO_ENGINE_POOL`` environment variable.
     """
 
     def __init__(
@@ -113,6 +149,7 @@ class AnalysisPipeline:
         max_nests_per_app: int = 5,
         trace_store: Optional[TraceStore] = None,
         bytecode_cache: Optional[BytecodeCache] = None,
+        use_pool: Optional[bool] = None,
     ) -> None:
         self.workers = workers
         self.bytecode_cache = bytecode_cache if bytecode_cache is not None else BytecodeCache()
@@ -126,7 +163,46 @@ class AnalysisPipeline:
             "coverage_target": coverage_target,
             "max_nests_per_app": max_nests_per_app,
         }
-        self._results: Dict[str, PipelineResult] = {}
+        self._results: Dict[Tuple[str, ...], PipelineResult] = {}
+        self.use_pool = use_pool
+        self._pool: Optional[WorkerPool] = None
+        self._pool_failed = False
+
+    # ------------------------------------------------------------------ pool
+    def pool_active(self) -> bool:
+        """Whether batches should run on the persistent worker pool."""
+        if self.use_pool is not None:
+            return self.use_pool
+        return pool_env_enabled()
+
+    def _ensure_pool(self) -> Optional[WorkerPool]:
+        """The pipeline's persistent pool, created lazily (None if impossible)."""
+        if self._pool is not None and not self._pool.closed:
+            return self._pool
+        if self._pool_failed:
+            return None
+        try:
+            self._pool = WorkerPool(width=self.workers)
+        except PoolUnavailableError:
+            self._pool_failed = True
+            logger.warning(
+                "persistent worker pool unavailable on this platform; "
+                "falling back to fork-per-batch fan-out"
+            )
+            return None
+        return self._pool
+
+    def shared_pool(self) -> Optional[WorkerPool]:
+        """The live pool for co-tenants (speculation chunks), if pool mode is on."""
+        if not self.pool_active():
+            return None
+        return self._ensure_pool()
+
+    def close(self) -> None:
+        """Release the persistent pool (idempotent); cached results survive."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # ------------------------------------------------------------------ batch
     def run(
@@ -137,15 +213,19 @@ class AnalysisPipeline:
     ) -> PipelineResult:
         """Run (or reuse) the full pipeline over the given workloads.
 
-        Results are cached per requested workload set; ``force`` recomputes.
-        A custom ``runner`` is honoured for the computation but disables
-        fan-out (runner instances do not cross process boundaries) and
-        bypasses the result cache — its configuration is not part of the
+        Results are cached per requested workload *set* — the key is the
+        sorted name tuple, so ``["a", "b"]`` and ``["b", "a"]`` share one
+        entry and names containing commas cannot collide.  ``force``
+        recomputes.  A custom ``runner`` is honoured for the computation but
+        disables fan-out (runner instances do not cross process boundaries)
+        and bypasses the result cache — its configuration is not part of the
         cache key, so its results must not be served to default callers.
         """
         from ..workloads import all_workloads
 
-        key = ",".join(workload_names) if workload_names else "<all>"
+        key: Tuple[str, ...] = (
+            tuple(sorted(workload_names)) if workload_names else ("<all>",)
+        )
         if runner is None and not force and key in self._results:
             return self._results[key]
         workloads = all_workloads()
@@ -204,12 +284,56 @@ class AnalysisPipeline:
         if not workloads:
             return []
         workers = resolve_worker_count(self.workers, len(workloads))
-        if runner is None and workers > 1 and self._registry_reconstructible(workloads):
+        fan_out_ok = (
+            runner is None and workers > 1 and self._registry_reconstructible(workloads)
+        )
+        if fan_out_ok and self.pool_active():
+            analyses = self._fan_out_pooled(workloads)
+            if analyses is not None:
+                return analyses
+        if fan_out_ok:
             analyses = self._fan_out(workloads, workers)
             if analyses is not None:
                 return analyses
         runner = runner if runner is not None else self.make_runner()
         return [run_stages(runner, workload) for workload in workloads]
+
+    def record_trace_pooled(self, workload, mask=None) -> Optional[Trace]:
+        """Record (or replay from a worker cache) one trace on the pool.
+
+        Returns ``None`` when the pool path does not apply — pool mode off,
+        pool unavailable, or the workload not reconstructible by name — and
+        the caller should record in-process instead.  The returned trace is
+        already ``put`` into the parent store.
+        """
+        if not self.pool_active():
+            return None
+        if not self._registry_reconstructible([workload]):
+            return None
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        if mask is None:
+            mask = pipeline_trace_mask()
+        existing = self.trace_store.find(workload_fingerprint(workload), mask)
+        if existing is not None:
+            return existing
+        task = self._pool_task(workload, record_task, extra_args=(mask,))
+        try:
+            try:
+                trace = pool.run_tasks([task])[0]
+            except UnknownWorkloadError:
+                pool.refresh()
+                task.attempts = 0
+                trace = pool.run_tasks([task])[0]
+        except (PoolUnavailableError, UnknownWorkloadError, RuntimeError) as exc:
+            if pool.closed or isinstance(exc, (PoolUnavailableError, UnknownWorkloadError)):
+                logger.warning("pool trace recording unavailable (%s); recording in-process", exc)
+                return None
+            raise
+        if trace is not None:
+            self.trace_store.put(trace)
+        return trace
 
     # ------------------------------------------------------------------ fanout
     @staticmethod
@@ -230,6 +354,68 @@ class AnalysisPipeline:
             if workload_fingerprint(get_workload(workload.name)) != workload_fingerprint(workload):
                 return False
         return True
+
+    def _pool_task(self, workload, fn, extra_args: tuple = ()) -> PoolTask:
+        """Build one persistent-pool task for ``workload``.
+
+        The heavy payload (trace + bytecode) is assembled lazily at dispatch
+        and only shipped to workers that do not already cache this
+        workload's fingerprint.
+        """
+        fingerprint = workload_fingerprint(workload)
+        replay = trace_replay_enabled()
+        mask = pipeline_trace_mask()
+
+        def heavy() -> dict:
+            trace = self.trace_store.find(fingerprint, mask) if replay else None
+            bytecode = prepare_workload_bytecode(
+                self.script_cache, self.bytecode_cache, workload
+            )
+            return {"trace": trace, "bytecode": bytecode}
+
+        return PoolTask(
+            fn=fn,
+            args=(workload.name, self._runner_kwargs) + extra_args,
+            cache_key=fingerprint,
+            heavy=heavy,
+            label=workload.name,
+        )
+
+    def _fan_out_pooled(self, workloads: Sequence) -> Optional[List[ApplicationAnalysis]]:
+        """Analyze ``workloads`` on the persistent pool; ``None`` on fallback.
+
+        A worker that cannot resolve a workload name (registered after the
+        pool forked) triggers one pool refresh — respawned workers inherit
+        the current registry — before falling back to the legacy
+        fork-per-batch path, which forks fresh and always sees the registry.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        tasks = [self._pool_task(workload, analyze_task) for workload in workloads]
+        try:
+            try:
+                outcomes = pool.run_tasks(tasks)
+            except UnknownWorkloadError:
+                pool.refresh()
+                for task in tasks:
+                    task.attempts = 0
+                outcomes = pool.run_tasks(tasks)
+        except (PoolUnavailableError, UnknownWorkloadError):
+            return None
+        except RuntimeError:
+            if pool.closed:
+                return None
+            raise
+        analyses = []
+        for workload, outcome in zip(workloads, outcomes):
+            analysis, recorded = outcome
+            if recorded is not None and not self.trace_store.has(
+                workload_fingerprint(workload), recorded.mask
+            ):
+                self.trace_store.put(recorded)
+            analyses.append(analysis)
+        return analyses
 
     def _fan_out(self, workloads: Sequence, workers: int) -> Optional[List[ApplicationAnalysis]]:
         """Analyze ``workloads`` in a fork pool; ``None`` if the environment
@@ -259,7 +445,25 @@ class AnalysisPipeline:
             return None
         with pool:
             try:
-                return pool.map(_analyze_in_worker, payloads)
+                outcomes = pool.map(_analyze_in_worker, payloads)
             except pickle.PicklingError:
                 # Results or payloads did not survive the process boundary.
+                # The workers may already have recorded traces — those died
+                # with the pool, but any traces the *parent* store gained
+                # before the batch still replay on the serial retry.
+                logger.warning(
+                    "fan-out results did not pickle; re-running %d workload(s) "
+                    "serially (parent-store traces will replay, worker-recorded "
+                    "ones are lost)",
+                    len(workloads),
+                )
                 return None
+        analyses = []
+        for workload, outcome in zip(workloads, outcomes):
+            analysis, recorded = outcome
+            if recorded is not None and not self.trace_store.has(
+                workload_fingerprint(workload), recorded.mask
+            ):
+                self.trace_store.put(recorded)
+            analyses.append(analysis)
+        return analyses

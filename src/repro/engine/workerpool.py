@@ -1,0 +1,618 @@
+"""Persistent worker-pool runtime for analysis fan-out and speculation chunks.
+
+The fork-per-batch model the pipeline started with (one throwaway
+``multiprocessing.Pool`` per batch) pays the full process-boundary tax every
+time: every batch re-forks, re-ships ~tens of MB of recorded traces, and the
+workers rebuild their script/bytecode/trace caches from nothing.  This module
+replaces it with a **persistent** pool:
+
+* Workers are long-lived processes spawned once per :class:`WorkerPool`
+  (lazily, on the first batch) and reused across batches.  Each worker owns a
+  persistent :class:`~repro.engine.cache.ScriptCache`,
+  :class:`~repro.engine.cache.BytecodeCache` and
+  :class:`~repro.engine.cache.TraceStore`, so absorbed bytecode and replayed
+  traces are shipped **once per worker** and replayed from worker-local memory
+  on every later batch.
+* Tasks flow through per-worker deques with fingerprint affinity (a task for
+  workload *F* prefers a worker that already caches *F*) and idle workers
+  steal from the longest sibling queue, so a batch of mixed-cost workloads
+  keeps every worker busy.
+* The parent and each worker speak a simple duplex pipe protocol.  The
+  dispatch loop doubles as the heartbeat: it waits on worker pipes with a
+  short timeout and polls ``Process.is_alive``; a dead worker's in-flight
+  task is reassigned (its queue redistributed), a task that kills its worker
+  twice ("poisoned") surfaces as a structured :class:`WorkerCrashError`, and
+  :meth:`WorkerPool.close` is idempotent.
+* Speculation chunks (:mod:`repro.parallel.speculative`) hold unpicklable
+  interpreter clones and rely on fork-time memory inheritance, so they cannot
+  run on the persistent workers — :meth:`WorkerPool.run_inherited` runs them
+  in transient forked children clamped to the CPU count, under the same
+  crash accounting.
+
+Enable per pipeline/session with ``use_pool=True`` (CLI ``--pool``) or
+globally with ``REPRO_ENGINE_POOL=1``; ``--no-pool`` / ``use_pool=False``
+wins over the environment.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import signal
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set
+
+from ..analysis.casestudy import CaseStudyRunner, pipeline_trace_mask
+from .cache import BytecodeCache, ScriptCache, TraceStore, workload_fingerprint
+from .stages import run_stages
+
+logger = logging.getLogger(__name__)
+
+#: ``1`` routes pipeline fan-out, serve recordings and process speculation
+#: through the persistent pool (explicit ``use_pool`` arguments win).
+POOL_ENV_VAR = "REPRO_ENGINE_POOL"
+
+#: How long the dispatch loop waits on worker pipes before re-polling
+#: liveness — the heartbeat interval of the crash detector.
+_HEARTBEAT_SECONDS = 0.2
+
+#: A task whose worker dies is retried this many times before it is declared
+#: poisoned and surfaced as a :class:`WorkerCrashError`.
+_TASK_RETRIES = 1
+
+
+def pool_env_enabled() -> bool:
+    """Whether the environment opts analysis into the persistent pool."""
+    return os.environ.get(POOL_ENV_VAR) == "1"
+
+
+class PoolUnavailableError(RuntimeError):
+    """The platform cannot host a persistent pool (no ``fork`` support)."""
+
+
+class UnknownWorkloadError(RuntimeError):
+    """A worker's inherited registry cannot resolve a workload name.
+
+    Workers fork once and inherit the registry as of that moment; a workload
+    registered later is unknown to them.  The pipeline reacts by
+    :meth:`WorkerPool.refresh`-ing (respawning workers against the current
+    registry) and retrying once before falling back to fork-per-batch.
+    """
+
+
+class WorkerCrashError(RuntimeError):
+    """A task killed its worker on every attempt (the structured poison error)."""
+
+    def __init__(self, label: str, attempts: int) -> None:
+        super().__init__(
+            f"pool task {label!r} crashed its worker on all {attempts} attempts"
+        )
+        self.label = label
+        self.attempts = attempts
+
+
+@dataclass
+class PoolTask:
+    """One unit of pool work.
+
+    ``fn`` must be a module-level callable (pickled by reference) invoked in
+    the worker as ``fn(context, heavy, *args)``.  ``heavy`` is a parent-side
+    zero-argument callable building the expensive payload (recorded trace,
+    serialized bytecode); it is invoked — and its result shipped — only when
+    the receiving worker does not already cache ``cache_key``.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    cache_key: Optional[str] = None
+    heavy: Optional[Callable[[], Optional[dict]]] = None
+    label: str = ""
+    attempts: int = 0
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+class PoolWorkerContext:
+    """Per-worker persistent caches, rebuilt only when the worker respawns."""
+
+    def __init__(self) -> None:
+        self.bytecode_cache = BytecodeCache()
+        self.script_cache = ScriptCache(bytecode_cache=self.bytecode_cache)
+        self.trace_store = TraceStore()
+
+    def install(self, workload, heavy: Optional[dict]) -> None:
+        """Absorb a shipped heavy payload into the worker-local caches."""
+        if not heavy:
+            return
+        trace = heavy.get("trace")
+        if trace is not None:
+            self.trace_store.put(trace)
+        bytecode = heavy.get("bytecode")
+        if bytecode:
+            self.bytecode_cache.absorb(workload.scripts, bytecode)
+
+    def runner(self, runner_kwargs: Dict[str, Any]) -> CaseStudyRunner:
+        return CaseStudyRunner(
+            script_cache=self.script_cache,
+            trace_store=self.trace_store,
+            **runner_kwargs,
+        )
+
+
+def _resolve_workload(name: str):
+    from ..workloads import get_workload
+
+    try:
+        return get_workload(name)
+    except KeyError as exc:
+        raise UnknownWorkloadError(
+            f"workload {name!r} is not registered in this worker "
+            "(registered after the pool forked?)"
+        ) from exc
+
+
+def analyze_task(context: PoolWorkerContext, heavy, name: str, runner_kwargs):
+    """Pool task: full stage schedule for one workload on worker-local caches.
+
+    Returns ``(analysis, trace_back)`` where ``trace_back`` is the recorded
+    union-mask trace whenever the parent asked this worker to source it
+    (``heavy`` shipped without a trace) — the parent puts it into its own
+    store so no later batch re-records the guest (anywhere).
+    """
+    workload = _resolve_workload(name)
+    context.install(workload, heavy)
+    analysis = run_stages(context.runner(runner_kwargs), workload)
+    trace_back = None
+    if heavy is not None and heavy.get("trace") is None:
+        trace_back = context.trace_store.find(
+            workload_fingerprint(workload), pipeline_trace_mask()
+        )
+    return analysis, trace_back
+
+
+def record_task(context: PoolWorkerContext, heavy, name: str, runner_kwargs, mask):
+    """Pool task: obtain (record or replay from worker cache) one trace."""
+    workload = _resolve_workload(name)
+    context.install(workload, heavy)
+    return context.runner(runner_kwargs).obtain_trace(workload, mask)
+
+
+def _portable_error(exc: BaseException) -> BaseException:
+    """``exc`` if it survives pickling, else a string-preserving stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickle failure degrades to a string
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _safe_send(conn, message) -> None:
+    """Send best-effort: unpicklable results degrade to an error message."""
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):  # parent is gone; nothing to report to
+        pass
+    except Exception as exc:  # noqa: BLE001 - e.g. PicklingError on the value
+        if message and message[0] == "result":
+            _safe_send(
+                conn,
+                (
+                    "error",
+                    message[1],
+                    RuntimeError(f"pool result did not pickle: {exc}"),
+                ),
+            )
+
+
+def _apply_env(env: Dict[str, str]) -> None:
+    """Mirror the parent's ``REPRO_*`` knobs (workers outlive env changes)."""
+    for key in [k for k in os.environ if k.startswith("REPRO_") and k not in env]:
+        del os.environ[key]
+    os.environ.update(env)
+
+
+def _worker_main(conn, parent_end, stale_conns) -> None:
+    """Persistent worker loop: recv task → run → send result, until shutdown."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    parent_end.close()
+    for stale in stale_conns:
+        try:
+            stale.close()
+        except OSError:  # pragma: no cover - defensive fd hygiene
+            pass
+    context = PoolWorkerContext()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        except Exception as exc:  # noqa: BLE001 - e.g. the task fn fails to
+            # unpickle (defined after this worker forked).  The parent maps an
+            # error for task id -1 onto this worker's in-flight task.
+            _safe_send(conn, ("error", -1, _portable_error(exc)))
+            continue
+        kind = message[0]
+        if kind == "shutdown":
+            break
+        if kind == "ping":
+            _safe_send(conn, ("pong", message[1]))
+            continue
+        _kind, task_id, fn, heavy, args, env = message
+        _apply_env(env)
+        before = set(context.trace_store.fingerprints())
+        try:
+            value = fn(context, heavy, *args)
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent intact
+            _safe_send(conn, ("error", task_id, _portable_error(exc)))
+            continue
+        gained = [f for f in context.trace_store.fingerprints() if f not in before]
+        _safe_send(conn, ("result", task_id, value, gained))
+    conn.close()
+
+
+def _inherited_main(thunk, conn) -> None:
+    """Transient child for :meth:`WorkerPool.run_inherited` (fork-inherited)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        value = thunk()
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent intact
+        _safe_send(conn, ("error", 0, _portable_error(exc)))
+    else:
+        _safe_send(conn, ("result", 0, value, []))
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+@dataclass
+class _WorkerHandle:
+    process: Any
+    conn: Any
+    #: Fingerprints (and other cache keys) this worker is known to hold.
+    cache_keys: Set[str] = field(default_factory=set)
+    queue: Deque[PoolTask] = field(default_factory=deque)
+    inflight: Optional[PoolTask] = None
+    inflight_id: int = -1
+    tasks_done: int = 0
+
+    @property
+    def load(self) -> int:
+        return len(self.queue) + (1 if self.inflight is not None else 0)
+
+
+class WorkerPool:
+    """Long-lived fork-based worker pool with work stealing and crash recovery.
+
+    One pool per :class:`~repro.engine.pipeline.AnalysisPipeline` (and hence
+    per serve daemon).  Batches are driven synchronously by the submitting
+    thread under an internal lock, so concurrent submitters (serve handler
+    threads) serialize at batch granularity — the workers themselves stay
+    busy across batches.
+    """
+
+    def __init__(self, width: Optional[int] = None) -> None:
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise PoolUnavailableError("fork start method unavailable")
+        self._context = multiprocessing.get_context("fork")
+        from .pipeline import resolve_worker_count
+
+        #: Maximum number of persistent workers (spawned lazily per batch).
+        self.width = resolve_worker_count(width, 1 << 30)
+        self._handles: List[_WorkerHandle] = []
+        self._closed = False
+        self._ping_token = 0
+        import threading
+
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (spawned so far; may be fewer than width)."""
+        with self._lock:
+            return [h.process.pid for h in self._handles if h.process.is_alive()]
+
+    def ping(self) -> bool:
+        """Heartbeat round-trip through every live worker."""
+        with self._lock:
+            if self._closed or not self._handles:
+                return False
+            self._ping_token += 1
+            token = self._ping_token
+            for handle in self._handles:
+                try:
+                    handle.conn.send(("ping", token))
+                    if not handle.conn.poll(5.0):
+                        return False
+                    if handle.conn.recv() != ("pong", token):
+                        return False
+                except (OSError, EOFError):
+                    return False
+            return True
+
+    def refresh(self) -> None:
+        """Respawn workers on next use (re-inheriting registry and modules)."""
+        with self._lock:
+            self._stop_workers()
+
+    def close(self) -> None:
+        """Shut down every worker; safe to call repeatedly."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._stop_workers()
+
+    def _stop_workers(self) -> None:
+        for handle in self._handles:
+            try:
+                handle.conn.send(("shutdown",))
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+        for handle in self._handles:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+        self._handles = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - never raise from a finalizer
+            pass
+
+    # --------------------------------------------------------------- spawning
+    def _spawn_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        # Forked children inherit every open fd; hand the new worker the
+        # parent ends of its siblings' pipes so it can close them — otherwise
+        # a sibling's EOF detection could be delayed by this worker's copy.
+        stale = [h.conn for h in self._handles]
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, parent_conn, stale),
+            daemon=True,
+            name="repro-pool-worker",
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(process=process, conn=parent_conn)
+        self._handles.append(handle)
+        return handle
+
+    def _ensure_workers(self, wanted: int) -> None:
+        self._handles = [h for h in self._handles if h.process.is_alive()]
+        while len(self._handles) < min(wanted, self.width):
+            self._spawn_worker()
+
+    # --------------------------------------------------------------- batches
+    def run_tasks(self, tasks: Sequence[PoolTask]) -> List[Any]:
+        """Run a batch on the persistent workers; results in task order.
+
+        Worker exceptions propagate unchanged (first task order wins when
+        several fail); a task that crashes its worker is retried once on a
+        respawned worker, then surfaced as :class:`WorkerCrashError`.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            self._ensure_workers(len(tasks))
+            if not self._handles:
+                raise PoolUnavailableError("no pool workers could be spawned")
+            return self._drive(tasks)
+
+    def _drive(self, tasks: List[PoolTask]) -> List[Any]:
+        from multiprocessing.connection import wait as connection_wait
+
+        env = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+        unset = object()
+        results: List[Any] = [unset] * len(tasks)
+        errors: Dict[int, BaseException] = {}
+        task_ids = {id(task): index for index, task in enumerate(tasks)}
+        done = 0
+
+        # Initial placement: fingerprint affinity first, then least loaded.
+        for task in tasks:
+            owner = None
+            if task.cache_key is not None:
+                owners = [h for h in self._handles if task.cache_key in h.cache_keys]
+                if owners:
+                    owner = min(owners, key=lambda h: h.load)
+            if owner is None:
+                owner = min(self._handles, key=lambda h: h.load)
+            owner.queue.append(task)
+
+        def requeue(task: PoolTask) -> None:
+            live = [h for h in self._handles if h.process.is_alive()]
+            target = min(live, key=lambda h: h.load) if live else None
+            if target is None:
+                target = self._spawn_worker()
+            target.queue.appendleft(task)
+
+        def fail(task: PoolTask, error: BaseException) -> None:
+            nonlocal done
+            errors[task_ids[id(task)]] = error
+            results[task_ids[id(task)]] = None
+            done += 1
+
+        def on_crash(handle: _WorkerHandle) -> None:
+            """Reassign a dead worker's in-flight task and drain its queue."""
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            handle.process.join(timeout=1.0)
+            if handle in self._handles:
+                self._handles.remove(handle)
+            task = handle.inflight
+            handle.inflight = None
+            pending = list(handle.queue)
+            handle.queue.clear()
+            if not self._handles and (task or pending or done < len(tasks)):
+                self._spawn_worker()
+            for queued in pending:
+                requeue(queued)
+            if task is None:
+                return
+            task.attempts += 1
+            if task.attempts > _TASK_RETRIES:
+                fail(task, WorkerCrashError(task.label or str(task.fn), task.attempts))
+            else:
+                logger.warning(
+                    "pool worker died running %r; retrying on another worker",
+                    task.label or task.fn,
+                )
+                requeue(task)
+
+        def dispatch(handle: _WorkerHandle, task: PoolTask) -> bool:
+            heavy = None
+            if task.heavy is not None and (
+                task.cache_key is None or task.cache_key not in handle.cache_keys
+            ):
+                heavy = task.heavy()
+            task_id = task_ids[id(task)]
+            try:
+                handle.conn.send(("task", task_id, task.fn, heavy, task.args, env))
+            except pickle.PicklingError as exc:
+                fail(task, exc)
+                return True
+            except (OSError, BrokenPipeError):
+                handle.queue.appendleft(task)
+                on_crash(handle)
+                return False
+            handle.inflight = task
+            handle.inflight_id = task_id
+            return True
+
+        while done < len(tasks):
+            # Fill idle workers from their own queues, stealing when empty.
+            for handle in list(self._handles):
+                while handle.inflight is None:
+                    if handle.queue:
+                        task = handle.queue.popleft()
+                    else:
+                        victims = [h for h in self._handles if h.queue]
+                        if not victims:
+                            break
+                        task = max(victims, key=lambda h: len(h.queue)).queue.pop()
+                    if not dispatch(handle, task):
+                        break
+            if done >= len(tasks):
+                break
+            busy = [h for h in self._handles if h.inflight is not None]
+            if not busy:
+                # Queues drained into failures only; nothing left in flight.
+                if any(h.queue for h in self._handles):
+                    continue
+                break
+            ready = connection_wait(
+                [h.conn for h in busy], timeout=_HEARTBEAT_SECONDS
+            )
+            for handle in list(busy):
+                if handle.conn in ready:
+                    try:
+                        message = handle.conn.recv()
+                    except (EOFError, OSError):
+                        on_crash(handle)
+                        continue
+                    kind = message[0]
+                    if kind == "pong":  # stale heartbeat reply
+                        continue
+                    task = handle.inflight
+                    handle.inflight = None
+                    handle.tasks_done += 1
+                    if kind == "result":
+                        _k, _tid, value, gained = message
+                        results[task_ids[id(task)]] = value
+                        handle.cache_keys.update(gained)
+                        done += 1
+                    else:
+                        fail(task, message[2])
+                elif not handle.process.is_alive():
+                    on_crash(handle)
+
+        if errors:
+            raise errors[min(errors)]
+        return results
+
+    # ------------------------------------------------- fork-inherited chunks
+    def run_inherited(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Run thunks in transient forked children (state passes by fork).
+
+        For work that cannot cross a pickle boundary — speculation chunk
+        contexts hold live interpreter clones — children fork *at call time*
+        so the thunks inherit the caller's memory.  Concurrency is clamped to
+        the CPU count.  Each entry of the returned list is the thunk's value,
+        the exception it raised, or :class:`WorkerCrashError` if its child
+        died without reporting.
+        """
+        from multiprocessing.connection import wait as connection_wait
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            limit = max(1, min(len(thunks), os.cpu_count() or 1))
+            results: List[Any] = [None] * len(thunks)
+            index = 0
+            active: List[tuple] = []
+            while index < len(thunks) or active:
+                while index < len(thunks) and len(active) < limit:
+                    parent_conn, child_conn = self._context.Pipe(duplex=False)
+                    process = self._context.Process(
+                        target=_inherited_main,
+                        args=(thunks[index], child_conn),
+                        daemon=True,
+                        name="repro-pool-chunk",
+                    )
+                    process.start()
+                    child_conn.close()
+                    active.append((index, process, parent_conn))
+                    index += 1
+                ready = connection_wait(
+                    [conn for _i, _p, conn in active], timeout=_HEARTBEAT_SECONDS
+                )
+                still_active = []
+                for slot, process, conn in active:
+                    finished = conn in ready or not process.is_alive()
+                    if not finished:
+                        still_active.append((slot, process, conn))
+                        continue
+                    try:
+                        if conn in ready or conn.poll(0):
+                            message = conn.recv()
+                            results[slot] = (
+                                message[2] if message[0] == "result" else message[2]
+                            )
+                        else:
+                            results[slot] = WorkerCrashError(
+                                f"inherited chunk #{slot}", 1
+                            )
+                    except (EOFError, OSError):
+                        results[slot] = WorkerCrashError(f"inherited chunk #{slot}", 1)
+                    conn.close()
+                    process.join(timeout=2.0)
+                active = still_active
+            return results

@@ -28,14 +28,31 @@ def collector():
     return module
 
 
-def _write_artifact(artifacts_dir: Path, name: str, mtime: float) -> Path:
+def _write_artifact(
+    artifacts_dir: Path, name: str, mtime: float, extra_info: dict = None
+) -> Path:
     path = artifacts_dir / name
-    path.write_text(
-        json.dumps({"name": name, "ops": 1.0, "mean": 1.0, "rounds": 1}),
-        encoding="utf-8",
-    )
+    data = {"name": name, "ops": 1.0, "mean": 1.0, "rounds": 1}
+    if extra_info is not None:
+        data["extra_info"] = extra_info
+    path.write_text(json.dumps(data), encoding="utf-8")
     os.utime(path, (mtime, mtime))
     return path
+
+
+#: A valid worker-pool artifact body — the acceptance-gated keys present.
+_WORKERPOOL_EXTRA = {
+    "fork_batch_seconds": 22.8,
+    "pool_batch_seconds": 15.7,
+    "pool_vs_fork_speedup": 1.45,
+}
+
+#: Summary row satisfying the required-artifact coverage check, so tests
+#: about *other* artifacts see only their own problems.
+_WORKERPOOL_ROW = {
+    "artifact": "BENCH_workerpool.json",
+    "recorded_at": "2023-11-14T22:13:20+00:00",
+}
 
 
 def _write_summary(summary_path: Path, rows: list) -> None:
@@ -49,7 +66,7 @@ def test_missing_entry_is_blocking(collector, tmp_path):
     artifacts.mkdir()
     _write_artifact(artifacts, "BENCH_new_tier.json", mtime=1_700_000_000.0)
     summary = tmp_path / "BENCH_summary.json"
-    _write_summary(summary, [])
+    _write_summary(summary, [_WORKERPOOL_ROW])
 
     stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
     assert [(name, blocking) for name, _reason, blocking in stale] == [
@@ -65,7 +82,10 @@ def test_timestamp_drift_is_nonblocking(collector, tmp_path):
     summary = tmp_path / "BENCH_summary.json"
     _write_summary(
         summary,
-        [{"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"}],
+        [
+            {"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"},
+            _WORKERPOOL_ROW,
+        ],
     )
 
     stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
@@ -85,7 +105,10 @@ def test_covered_and_fresh_is_clean(collector, tmp_path):
     # recorded_at matches the artifact's mtime (what collect() records).
     _write_summary(
         summary,
-        [{"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"}],
+        [
+            {"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"},
+            _WORKERPOOL_ROW,
+        ],
     )
 
     assert collector.stale_entries(summary_path=summary, artifacts_dir=artifacts) == []
@@ -97,7 +120,11 @@ def test_unparseable_recorded_at_is_blocking(collector, tmp_path):
     _write_artifact(artifacts, "BENCH_existing.json", mtime=1_700_000_000.0)
     summary = tmp_path / "BENCH_summary.json"
     _write_summary(
-        summary, [{"artifact": "BENCH_existing.json", "recorded_at": "not-a-date"}]
+        summary,
+        [
+            {"artifact": "BENCH_existing.json", "recorded_at": "not-a-date"},
+            _WORKERPOOL_ROW,
+        ],
     )
 
     stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
@@ -105,10 +132,61 @@ def test_unparseable_recorded_at_is_blocking(collector, tmp_path):
     assert stale[0][2] is True
 
 
+def test_workerpool_row_required_even_without_artifact(collector, tmp_path):
+    # serve-smoke runs --check with only serve artifacts on disk: the
+    # committed summary must still prove the acceptance-gated worker-pool
+    # benchmark is covered, so a missing row blocks regardless of disk state.
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    summary = tmp_path / "BENCH_summary.json"
+    _write_summary(summary, [])
+
+    stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
+    assert [(name, blocking) for name, _reason, blocking in stale] == [
+        ("BENCH_workerpool.json", True)
+    ]
+    _write_summary(summary, [_WORKERPOOL_ROW])
+    assert collector.stale_entries(summary_path=summary, artifacts_dir=artifacts) == []
+
+
+def test_workerpool_artifact_requires_speedup_keys(collector, tmp_path):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    # Missing pool_vs_fork_speedup (and the batch walls) → blocking problems.
+    _write_artifact(
+        artifacts,
+        "BENCH_workerpool.json",
+        mtime=1_700_000_000.0,
+        extra_info={"workers": 2},
+    )
+    summary = tmp_path / "BENCH_summary.json"
+    _write_summary(summary, [_WORKERPOOL_ROW])
+
+    stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
+    assert stale and all(blocking for _name, _reason, blocking in stale)
+    reasons = " ".join(reason for _name, reason, _blocking in stale)
+    assert "pool_vs_fork_speedup" in reasons
+
+    # A well-formed artifact (all required keys numeric) is clean.
+    _write_artifact(
+        artifacts,
+        "BENCH_workerpool.json",
+        mtime=1_700_000_000.0,
+        extra_info=_WORKERPOOL_EXTRA,
+    )
+    assert collector.stale_entries(summary_path=summary, artifacts_dir=artifacts) == []
+
+
 def test_check_mode_exit_codes(collector, tmp_path, monkeypatch, capsys):
     artifacts = tmp_path / "artifacts"
     artifacts.mkdir()
     _write_artifact(artifacts, "BENCH_new_tier.json", mtime=1_700_000_000.0)
+    _write_artifact(
+        artifacts,
+        "BENCH_workerpool.json",
+        mtime=1_700_000_000.0,
+        extra_info=_WORKERPOOL_EXTRA,
+    )
     summary = tmp_path / "BENCH_summary.json"
     monkeypatch.setattr(collector, "ARTIFACTS_DIR", artifacts)
     monkeypatch.setattr(collector, "SUMMARY_PATH", summary)

@@ -149,6 +149,43 @@ class TestAnalysisPipeline:
         pipeline.invalidate()
         assert pipeline.run(["engine-test-a"]) is not forced
 
+    def test_run_cache_key_is_order_insensitive(self, tiny_workloads):
+        # Regression: the key used to be ",".join(names) — order-sensitive
+        # and ambiguous for names containing commas, so ["a","b"] and
+        # ["b","a"] computed (and cached) twice.
+        pipeline = AnalysisPipeline(workers=1)
+        first = pipeline.run(["engine-test-a", "engine-test-b"])
+        assert pipeline.run(["engine-test-b", "engine-test-a"]) is first
+
+    def test_fan_out_returns_worker_recorded_traces(self, tiny_workloads, monkeypatch):
+        from repro.analysis.casestudy import CaseStudyRunner, pipeline_trace_mask
+
+        # Regression: _analyze_in_worker built a throwaway TraceStore, so a
+        # cold parent store re-recorded every guest in every batch.  Workers
+        # now return the traces they record and the parent keeps them.
+        pipeline = AnalysisPipeline(workers=2)
+        first = pipeline._fan_out(tiny_workloads, 2)
+        assert first is not None
+        for workload in tiny_workloads:
+            assert pipeline.trace_store.has(
+                workload_fingerprint(workload), pipeline_trace_mask()
+            ), f"worker-recorded trace for {workload.name} was discarded"
+        puts_after_first = pipeline.trace_store.puts
+
+        def _no_recording(self, workload, mask=None):
+            raise AssertionError(
+                f"guest execution attempted for {workload.name} in a warm batch"
+            )
+
+        # The patched class is inherited by the second batch's forked
+        # workers, so *any* recording attempt — parent or worker — raises:
+        # the second batch must run purely from shipped traces.
+        monkeypatch.setattr(CaseStudyRunner, "record_trace", _no_recording)
+        second = pipeline._fan_out(tiny_workloads, 2)
+        assert second is not None
+        assert pipeline.trace_store.puts == puts_after_first
+        assert build_tables(second).render_table2() == build_tables(first).render_table2()
+
     def test_fan_out_matches_serial_results(self, tiny_workloads):
         serial = AnalysisPipeline(workers=1).analyze_many(tiny_workloads)
         fanned = AnalysisPipeline(workers=2)._fan_out(tiny_workloads, 2)

@@ -289,7 +289,7 @@ class TestReplayBackedSchedule:
 
         monkeypatch.setattr(CaseStudyRunner, "record_trace", forbidden_record)
         monkeypatch.setattr(CaseStudyRunner, "_instrumented_run", forbidden_live)
-        analysis = _analyze_in_worker(
+        analysis, recorded = _analyze_in_worker(
             (
                 "Normal Mapping",
                 {"cores": 8, "coverage_target": 0.80, "max_nests_per_app": 5},
@@ -299,6 +299,8 @@ class TestReplayBackedSchedule:
         )
         assert analysis.name == "Normal Mapping"
         assert analysis.nests
+        # The trace was shipped in, not recorded here — nothing to send back.
+        assert recorded is None
 
 
 class TestSpecTracePolicy:

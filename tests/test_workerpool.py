@@ -1,0 +1,287 @@
+"""Tests for the persistent worker-pool runtime (engine/workerpool.py).
+
+Lifecycle coverage the ISSUE requires: worker crash mid-task → reassignment,
+poisoned task → structured error, double ``close()`` idempotence, pool
+survives an analysis error without leaking processes — plus the pipeline
+integration (pooled fan-out byte-identical to serial, traces cached across
+batches so the second batch performs zero guest executions).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.casestudy import CaseStudyRunner
+from repro.analysis.tables import build_tables
+from repro.engine import AnalysisPipeline
+from repro.engine.workerpool import (
+    POOL_ENV_VAR,
+    PoolTask,
+    PoolUnavailableError,
+    UnknownWorkloadError,
+    WorkerCrashError,
+    WorkerPool,
+    pool_env_enabled,
+)
+from repro.workloads import get_workload
+from repro.workloads.base import REGISTRY, Workload
+
+from test_engine import TINY_SOURCE, _make_tiny_workload, tiny_workloads  # noqa: F401
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="persistent pool requires the fork start method",
+)
+
+
+# ---------------------------------------------------------------------------
+# module-level task functions (pickled by reference; workers inherit them)
+# ---------------------------------------------------------------------------
+def _task_echo(context, heavy, value):
+    return (value, os.getpid())
+
+def _task_env(context, heavy, key):
+    return os.environ.get(key)
+
+def _task_raise(context, heavy):
+    raise ValueError("deliberate analysis error")
+
+def _task_crash_once(context, heavy, sentinel_path):
+    if os.path.exists(sentinel_path):
+        return ("recovered", os.getpid())
+    with open(sentinel_path, "w", encoding="utf-8") as handle:
+        handle.write("crashed once\n")
+    os._exit(13)
+
+def _task_always_crash(context, heavy):
+    os._exit(13)
+
+
+def _wait_dead(pids, timeout=5.0):
+    """True once every pid in ``pids`` is gone (reaped or kill-0 fails)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                continue
+            alive.append(pid)
+        if not alive:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestWorkerPoolLifecycle:
+    def test_round_trip_and_worker_reuse_across_batches(self):
+        with WorkerPool(width=2) as pool:
+            first = pool.run_tasks([PoolTask(fn=_task_echo, args=(i,)) for i in range(6)])
+            assert [value for value, _pid in first] == list(range(6))
+            pids_first = {pid for _value, pid in first}
+            assert pids_first <= set(pool.worker_pids())
+            second = pool.run_tasks([PoolTask(fn=_task_echo, args=(i,)) for i in range(6)])
+            pids_second = {pid for _value, pid in second}
+            # Persistent runtime: the same processes served both batches.
+            assert pids_second <= pids_first
+            assert pool.ping()
+
+    def test_env_snapshot_ships_with_every_batch(self, monkeypatch):
+        with WorkerPool(width=1) as pool:
+            monkeypatch.setenv("REPRO_POOL_TEST_KNOB", "one")
+            assert pool.run_tasks(
+                [PoolTask(fn=_task_env, args=("REPRO_POOL_TEST_KNOB",))]
+            ) == ["one"]
+            # Live workers see parent-side knob changes on the *next* batch.
+            monkeypatch.setenv("REPRO_POOL_TEST_KNOB", "two")
+            assert pool.run_tasks(
+                [PoolTask(fn=_task_env, args=("REPRO_POOL_TEST_KNOB",))]
+            ) == ["two"]
+            monkeypatch.delenv("REPRO_POOL_TEST_KNOB")
+            assert pool.run_tasks(
+                [PoolTask(fn=_task_env, args=("REPRO_POOL_TEST_KNOB",))]
+            ) == [None]
+
+    def test_crash_mid_task_reassigns_and_batch_completes(self, tmp_path):
+        sentinel = str(tmp_path / "crash-once.sentinel")
+        with WorkerPool(width=2) as pool:
+            tasks = [PoolTask(fn=_task_echo, args=(0,))]
+            tasks.append(PoolTask(fn=_task_crash_once, args=(sentinel,), label="crasher"))
+            tasks.extend(PoolTask(fn=_task_echo, args=(i,)) for i in (1, 2))
+            results = pool.run_tasks(tasks)
+            assert results[1][0] == "recovered"
+            assert [r[0] for r in (results[0], results[2], results[3])] == [0, 1, 2]
+            # The pool replaced the dead worker and stays serviceable.
+            assert pool.ping()
+
+    def test_poisoned_task_surfaces_structured_error(self):
+        with WorkerPool(width=2) as pool:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                pool.run_tasks([PoolTask(fn=_task_always_crash, label="poison")])
+            assert excinfo.value.label == "poison"
+            assert excinfo.value.attempts == 2
+            # Poison kills workers, not the pool: the next batch still runs.
+            assert pool.run_tasks([PoolTask(fn=_task_echo, args=(7,))])[0][0] == 7
+
+    def test_analysis_error_propagates_without_killing_workers(self):
+        with WorkerPool(width=2) as pool:
+            pool.run_tasks([PoolTask(fn=_task_echo, args=(i,)) for i in range(2)])
+            pids_before = set(pool.worker_pids())
+            with pytest.raises(ValueError, match="deliberate analysis error"):
+                pool.run_tasks(
+                    [PoolTask(fn=_task_raise), PoolTask(fn=_task_echo, args=(1,))]
+                )
+            # A guest-level error is a result, not a crash: same processes.
+            assert set(pool.worker_pids()) == pids_before
+            assert pool.ping()
+
+    def test_close_is_idempotent_and_reaps_workers(self):
+        pool = WorkerPool(width=2)
+        pool.run_tasks([PoolTask(fn=_task_echo, args=(i,)) for i in range(2)])
+        pids = pool.worker_pids()
+        assert pids
+        pool.close()
+        pool.close()  # idempotent by contract
+        assert pool.closed
+        assert _wait_dead(pids), f"workers leaked after close: {pids}"
+        with pytest.raises(RuntimeError):
+            pool.run_tasks([PoolTask(fn=_task_echo, args=(0,))])
+
+    def test_refresh_respawns_workers(self):
+        with WorkerPool(width=1) as pool:
+            old = pool.run_tasks([PoolTask(fn=_task_echo, args=(0,))])[0][1]
+            pool.refresh()
+            assert _wait_dead([old])
+            new = pool.run_tasks([PoolTask(fn=_task_echo, args=(0,))])[0][1]
+            assert new != old
+
+    def test_run_inherited_values_errors_and_crashes(self):
+        state = {"base": 40}
+        with WorkerPool(width=2) as pool:
+            results = pool.run_inherited(
+                [
+                    lambda: state["base"] + 2,  # closures cross via fork, not pickle
+                    lambda: (_ for _ in ()).throw(RuntimeError("chunk failed")),
+                    lambda: os._exit(3),
+                ]
+            )
+        assert results[0] == 42
+        assert isinstance(results[1], RuntimeError)
+        assert isinstance(results[2], WorkerCrashError)
+
+    def test_pool_env_knob(self, monkeypatch):
+        monkeypatch.delenv(POOL_ENV_VAR, raising=False)
+        assert not pool_env_enabled()
+        assert not AnalysisPipeline(workers=1).pool_active()
+        monkeypatch.setenv(POOL_ENV_VAR, "1")
+        assert pool_env_enabled()
+        assert AnalysisPipeline(workers=1).pool_active()
+        assert not AnalysisPipeline(workers=1, use_pool=False).pool_active()
+
+
+class TestPipelineOnPool:
+    def test_pooled_fan_out_matches_serial_results(self, tiny_workloads):
+        serial = AnalysisPipeline(workers=1).analyze_many(tiny_workloads)
+        pipeline = AnalysisPipeline(workers=2, use_pool=True)
+        try:
+            pooled = pipeline._fan_out_pooled(tiny_workloads)
+        finally:
+            pipeline.close()
+        assert pooled is not None
+        serial_tables = build_tables(serial)
+        pooled_tables = build_tables(pooled)
+        assert pooled_tables.render_table2() == serial_tables.render_table2()
+        assert pooled_tables.render_table3() == serial_tables.render_table3()
+
+    def test_pooled_fan_out_returns_recorded_traces_to_parent(self, tiny_workloads):
+        pipeline = AnalysisPipeline(workers=2, use_pool=True)
+        try:
+            assert pipeline._fan_out_pooled(tiny_workloads) is not None
+            from repro.engine.cache import workload_fingerprint
+            from repro.analysis.casestudy import pipeline_trace_mask
+
+            for workload in tiny_workloads:
+                assert pipeline.trace_store.has(
+                    workload_fingerprint(workload), pipeline_trace_mask()
+                ), f"worker-recorded trace for {workload.name} not returned"
+        finally:
+            pipeline.close()
+
+    def test_second_pool_batch_performs_zero_guest_executions(
+        self, tiny_workloads, monkeypatch
+    ):
+        pipeline = AnalysisPipeline(workers=2, use_pool=True)
+        try:
+            first = pipeline._fan_out_pooled(tiny_workloads)
+            assert first is not None
+            puts_after_first = pipeline.trace_store.puts
+
+            def _no_recording(self, workload, mask=None):
+                raise AssertionError(
+                    f"guest execution attempted for {workload.name} in a warm batch"
+                )
+
+            monkeypatch.setattr(CaseStudyRunner, "record_trace", _no_recording)
+            # Respawned workers fork *after* the patch, so any recording
+            # attempt — parent or worker side — now raises.  The parent's
+            # warm store ships traces instead.
+            pipeline.shared_pool().refresh()
+            second = pipeline._fan_out_pooled(tiny_workloads)
+            assert second is not None
+            assert pipeline.trace_store.puts == puts_after_first
+            assert build_tables(second).render_table2() == build_tables(
+                first
+            ).render_table2()
+        finally:
+            pipeline.close()
+
+    def test_workload_registered_after_spawn_triggers_refresh(self, tiny_workloads):
+        pipeline = AnalysisPipeline(workers=2, use_pool=True)
+        try:
+            assert pipeline._fan_out_pooled([tiny_workloads[0]]) is not None
+            name = "engine-test-late"
+            REGISTRY.register(name, lambda: _make_tiny_workload(name))
+            try:
+                late = get_workload(name)
+                # Live workers predate the registration; the pipeline must
+                # refresh and retry rather than fail the batch.
+                analyses = pipeline._fan_out_pooled([tiny_workloads[0], late])
+                assert analyses is not None
+                assert [a.name for a in analyses] == ["engine-test-a", name]
+            finally:
+                REGISTRY._factories.pop(name, None)
+        finally:
+            pipeline.close()
+
+    def test_analyze_many_uses_pool_and_close_reaps(self, tiny_workloads):
+        pipeline = AnalysisPipeline(workers=2, use_pool=True)
+        analyses = pipeline.analyze_many(tiny_workloads)
+        assert [a.name for a in analyses] == [w.name for w in tiny_workloads]
+        pool = pipeline.shared_pool()
+        assert pool is not None
+        pids = pool.worker_pids()
+        assert pids, "analyze_many should have spawned pool workers"
+        pipeline.close()
+        assert _wait_dead(pids), f"pipeline.close() leaked pool workers: {pids}"
+        pipeline.close()  # idempotent
+
+    def test_record_trace_pooled_roundtrip(self, tiny_workloads):
+        pipeline = AnalysisPipeline(workers=2, use_pool=True)
+        try:
+            workload = tiny_workloads[0]
+            trace = pipeline.record_trace_pooled(workload)
+            assert trace is not None
+            assert pipeline.trace_store.puts == 1
+            # Second call serves the parent store; no new put, same trace.
+            again = pipeline.record_trace_pooled(workload)
+            assert again is trace or again.digest() == trace.digest()
+            assert pipeline.trace_store.puts == 1
+        finally:
+            pipeline.close()
+
+    def test_pool_off_returns_none_from_pooled_paths(self, tiny_workloads):
+        pipeline = AnalysisPipeline(workers=2, use_pool=False)
+        assert pipeline.shared_pool() is None
+        assert pipeline.record_trace_pooled(tiny_workloads[0]) is None
