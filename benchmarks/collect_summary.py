@@ -159,11 +159,46 @@ def _workerpool_artifact_problems(path: Path) -> list:
     return problems
 
 
+#: extra_info keys the trace-codec artifact must carry (numerically) — the
+#: binary-encoding acceptance criteria are stated in these numbers.
+TRACE_CODEC_REQUIRED_KEYS = (
+    "decode_events_per_sec_binary",
+    "decode_events_per_sec_json",
+    "size_ratio",
+    "pool_attach_trace_bytes_shipped",
+)
+
+
+def _trace_codec_artifact_problems(path: Path) -> list:
+    """Blocking problems with the ``BENCH_trace_codec.json`` artifact (else [])."""
+    if not path.name.startswith("BENCH_trace_codec"):
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [(path.name, f"unreadable trace-codec artifact: {exc}", True)]
+    extra = data.get("extra_info") if isinstance(data, dict) else None
+    if not isinstance(extra, dict):
+        return [(path.name, "trace-codec artifact has no extra_info object", True)]
+    problems = []
+    for key in TRACE_CODEC_REQUIRED_KEYS:
+        value = extra.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(
+                (
+                    path.name,
+                    f"trace-codec artifact missing numeric extra_info[{key!r}]",
+                    True,
+                )
+            )
+    return problems
+
+
 #: Artifacts whose row must exist in the committed summary even when the
 #: current ``--check`` run did not (re)generate them on disk — jobs that run
 #: only a slice of the benchmark suite (e.g. serve-smoke) still prove the
 #: committed trajectory covers the acceptance-gated benchmarks.
-REQUIRED_SUMMARY_ARTIFACTS = ("BENCH_workerpool.json",)
+REQUIRED_SUMMARY_ARTIFACTS = ("BENCH_workerpool.json", "BENCH_trace_codec.json")
 
 
 def stale_entries(
@@ -204,6 +239,7 @@ def stale_entries(
         stale.extend(_serve_artifact_problems(path))
         stale.extend(_stream_artifact_problems(path))
         stale.extend(_workerpool_artifact_problems(path))
+        stale.extend(_trace_codec_artifact_problems(path))
         row = by_artifact.get(path.name)
         if row is None:
             stale.append((path.name, "missing from the committed summary", True))

@@ -81,8 +81,11 @@ def test_bench_serve_cold_vs_warm(benchmark, live_daemon):
     print(f"cold p50 : {cold_p50:9.2f} ms   (p99 {percentile(cold_ms, 0.99):9.2f} ms)")
     print(f"warm p50 : {warm_p50:9.2f} ms   (p99 {percentile(warm_ms, 0.99):9.2f} ms)")
     print(f"ratio    : {cold_p50 / warm_p50:9.2f}x")
-    # Acceptance: warm p50 at least 5x lower than cold p50.
-    assert warm_p50 * 5 <= cold_p50
+    # Acceptance: warm p50 well below cold p50.  Gate recalibrated from 5x
+    # when binary columnar segments made the cold path cheaper (the first
+    # request's store.put no longer gzips an NDJSON blob), which compresses
+    # the ratio from the measured ~8x down to ~4-5x with warm unchanged.
+    assert warm_p50 * 3 <= cold_p50
 
 
 def test_bench_serve_throughput(benchmark, live_daemon):

@@ -137,10 +137,16 @@ def test_bench_stream_memory_flat_at_10x(benchmark, tmp_path):
     trace_1x = runner.record_trace(_fluid_workload(4), mask)
     trace_10x = runner.record_trace(_fluid_workload(40), mask)
 
-    path_1x = str(tmp_path / "fluid-1x.trace.json")
-    path_10x = str(tmp_path / "fluid-10x.trace.json")
-    chunks_1x = TraceWriter.write_trace(trace_1x, path_1x, chunk_events=CHUNK_EVENTS)
-    chunks_10x = TraceWriter.write_trace(trace_10x, path_10x, chunk_events=CHUNK_EVENTS)
+    # Binary columnar files: the flat-RSS property must hold on the default
+    # (v2) encoding; the json streaming path is pinned by test_trace_stream.
+    path_1x = str(tmp_path / "fluid-1x.trace.bin")
+    path_10x = str(tmp_path / "fluid-10x.trace.bin")
+    chunks_1x = TraceWriter.write_trace(
+        trace_1x, path_1x, chunk_events=CHUNK_EVENTS, encoding="binary"
+    )
+    chunks_10x = TraceWriter.write_trace(
+        trace_10x, path_10x, chunk_events=CHUNK_EVENTS, encoding="binary"
+    )
     assert chunks_10x > chunks_1x > 1
 
     stream_1x = _replay_in_child(path_1x, "stream")

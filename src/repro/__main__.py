@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
@@ -199,6 +200,7 @@ def _cmd_trace(session, args) -> int:
     )
 
     if args.trace_command == "record":
+        from .jsvm.hooks import trace_encoding
         from .workloads import workload_names
 
         known = workload_names()
@@ -206,13 +208,18 @@ def _cmd_trace(session, args) -> int:
             print(f"unknown workload: {args.workload}", file=sys.stderr)
             print(f"known: {', '.join(known)}", file=sys.stderr)
             return 2
+        encoding = args.encoding or trace_encoding()
         trace = session.record_trace(args.workload)
-        path = args.output or f"{_trace_slug(args.workload)}.trace.json.gz"
-        chunks = TraceWriter.write_trace(trace, path, chunk_events=args.chunk_events)
+        default_ext = ".trace.bin" if encoding == "binary" else ".trace.json.gz"
+        path = args.output or f"{_trace_slug(args.workload)}{default_ext}"
+        chunks = TraceWriter.write_trace(
+            trace, path, chunk_events=args.chunk_events, encoding=encoding
+        )
         layout = "1 chunk" if chunks <= 1 else f"{chunks} chunks"
         print(
             f"recorded {len(trace.events)} events "
-            f"[{describe_mask(trace.mask)}] for {trace.workload!r} -> {path} ({layout})"
+            f"[{describe_mask(trace.mask)}] for {trace.workload!r} "
+            f"-> {path} ({encoding}, {layout})"
         )
         return 0
 
@@ -252,6 +259,7 @@ def _cmd_trace(session, args) -> int:
             "workload": trace.workload,
             "fingerprint": trace.fingerprint,
             "version": trace.version,
+            "encoding": getattr(trace, "encoding", "json"),
             "mask": trace.mask,
             "mask_names": describe_mask(trace.mask),
             "ms_per_op": trace.ms_per_op,
@@ -266,6 +274,8 @@ def _cmd_trace(session, args) -> int:
             "environments": trace.env_count,
             "digest": trace.digest(),
             "streamed": streamed,
+            "chunks": trace.chunk_count() if streamed else 1,
+            "file_bytes": os.path.getsize(args.file),
         }
         if streamed:
             info["chunk_events"] = trace.chunk_events
@@ -501,7 +511,19 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         "--output",
         default=None,
-        help="output file (default <workload>.trace.json.gz; .gz = compressed)",
+        help=(
+            "output file (default <workload>.trace.bin for the binary "
+            "encoding, <workload>.trace.json.gz for json; .gz = compressed)"
+        ),
+    )
+    p_trace_record.add_argument(
+        "--encoding",
+        choices=("binary", "json"),
+        default=None,
+        help=(
+            "on-disk trace encoding (default: REPRO_TRACE_ENCODING or "
+            "binary; json writes the v1 format, which stays readable forever)"
+        ),
     )
     p_trace_record.add_argument(
         "--chunk-events",

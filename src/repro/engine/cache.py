@@ -185,6 +185,8 @@ class TraceStore:
 
     def __init__(self) -> None:
         self._traces: Dict[str, List[Trace]] = {}
+        #: fingerprint → replayable source handles (see :meth:`put_source`).
+        self._sources: Dict[str, list] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -205,6 +207,12 @@ class TraceStore:
             if candidates:
                 self.hits += 1
                 return min(candidates, key=lambda trace: bin(trace.mask).count("1"))
+        loaded = self._load_from_source(fingerprint, required_mask)
+        if loaded is not None:
+            self._remember(loaded)
+            with self._lock:
+                self.hits += 1
+            return loaded
         fallback = self._find_fallback(fingerprint, required_mask)
         if fallback is not None:
             self._remember(fallback)
@@ -218,19 +226,80 @@ class TraceStore:
     def find_source(self, fingerprint: str, required_mask: int):
         """A *replayable source* covering ``required_mask``, or ``None``.
 
-        The base store holds whole traces in memory, so the source is the
-        trace itself.  Tiered backends override this to hand out streaming
-        handles (e.g. :class:`~repro.jsvm.hooks.TraceFileSource`) that replay
-        chunk-at-a-time without materializing the event list.
+        Resident traces win (already decoded); otherwise an installed source
+        handle (see :meth:`put_source`) is served directly — e.g. an
+        mmap-backed segment a fan-out worker attached by reference — and
+        replays chunk-at-a-time without materializing the event list.  Tiered
+        backends override this to also hand out handles onto their own disk
+        segments.
         """
+        with self._lock:
+            resident = [
+                trace
+                for trace in self._traces.get(fingerprint, ())
+                if trace.covers(required_mask)
+            ]
+            if resident:
+                self.hits += 1
+                return min(resident, key=lambda trace: bin(trace.mask).count("1"))
+            sources = [
+                source
+                for source in self._sources.get(fingerprint, ())
+                if source.covers(required_mask)
+            ]
+            if sources:
+                self.hits += 1
+                return min(sources, key=lambda source: bin(source.mask).count("1"))
         return self.find(fingerprint, required_mask)
+
+    def put_source(self, source) -> None:
+        """Install a replayable source handle (no materialization, no count).
+
+        ``source`` must expose the replay-source contract
+        (``fingerprint`` / ``mask`` / ``covers`` / ``chunks`` / ``load``), as
+        :class:`~repro.jsvm.hooks.TraceFileSource` and
+        :class:`~repro.jsvm.tracecodec.BinaryTraceSource` do.  A newcomer
+        evicts installed sources it covers, mirroring :meth:`_remember`.
+        """
+        with self._lock:
+            kept = [
+                existing
+                for existing in self._sources.get(source.fingerprint, [])
+                if not source.covers(existing.mask)
+            ]
+            kept.append(source)
+            self._sources[source.fingerprint] = kept
+
+    def _load_from_source(self, fingerprint: str, required_mask: int):
+        """Materialize a covering installed source; corruption drops it."""
+        with self._lock:
+            candidates = [
+                source
+                for source in self._sources.get(fingerprint, ())
+                if source.covers(required_mask)
+            ]
+        candidates.sort(key=lambda source: bin(source.mask).count("1"))
+        for source in candidates:
+            try:
+                return source.load()
+            except Exception:  # noqa: BLE001 - a bad handle is a miss, not a crash
+                with self._lock:
+                    rows = self._sources.get(fingerprint, [])
+                    if source in rows:
+                        rows.remove(source)
+        return None
 
     def has(self, fingerprint: str, required_mask: int) -> bool:
         """Whether a covering trace exists, without loading or counting it."""
         with self._lock:
-            return any(
+            if any(
                 trace.covers(required_mask)
                 for trace in self._traces.get(fingerprint, ())
+            ):
+                return True
+            return any(
+                source.covers(required_mask)
+                for source in self._sources.get(fingerprint, ())
             )
 
     def put(self, trace: Trace) -> Trace:
@@ -268,11 +337,22 @@ class TraceStore:
 
     def fingerprints(self) -> List[str]:
         with self._lock:
-            return [key for key, traces in self._traces.items() if traces]
+            known = {key for key, traces in self._traces.items() if traces}
+            known.update(key for key, sources in self._sources.items() if sources)
+            return sorted(known)
 
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()
+            for sources in self._sources.values():
+                for source in sources:
+                    close = getattr(source, "close", None)
+                    if close is not None:
+                        try:
+                            close()
+                        except OSError:  # pragma: no cover - defensive
+                            pass
+            self._sources.clear()
 
     def flush(self) -> None:
         """Persist any buffered state (no-op for the in-memory store)."""

@@ -367,11 +367,21 @@ class AnalysisPipeline:
         mask = pipeline_trace_mask()
 
         def heavy() -> dict:
-            trace = self.trace_store.find(fingerprint, mask) if replay else None
+            trace = None
+            trace_ref = None
+            if replay:
+                # A disk-backed store hands out (path, digest) segment
+                # references: the worker opens (mmaps) the shared segment
+                # itself, so the pipe carries zero trace bytes.
+                segment_ref = getattr(self.trace_store, "segment_ref", None)
+                if segment_ref is not None:
+                    trace_ref = segment_ref(fingerprint, mask)
+                if trace_ref is None:
+                    trace = self.trace_store.find(fingerprint, mask)
             bytecode = prepare_workload_bytecode(
                 self.script_cache, self.bytecode_cache, workload
             )
-            return {"trace": trace, "bytecode": bytecode}
+            return {"trace": trace, "trace_ref": trace_ref, "bytecode": bytecode}
 
         return PoolTask(
             fn=fn,

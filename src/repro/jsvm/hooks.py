@@ -58,10 +58,13 @@ import gzip
 import hashlib
 import io
 import json
+import logging
 import os
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
+
+logger = logging.getLogger(__name__)
 
 # -- event mask bits ----------------------------------------------------------
 EV_LOOP = 1 << 0  #: loop enter / iteration / exit
@@ -358,6 +361,31 @@ TRACE_CHUNK_EVENTS_ENV_VAR = "REPRO_TRACE_CHUNK_EVENTS"
 #: (<1% of records), small enough that a chunk is a few MB resident.
 DEFAULT_CHUNK_EVENTS = 65536
 
+#: On-disk encoding knob: ``binary`` (the schema-v2 columnar container,
+#: default) or ``json`` (the v1 JSON/NDJSON formats).  Readers sniff the
+#: actual bytes — this knob only selects what new files are *written* as,
+#: and every v1 file stays readable forever.
+TRACE_ENCODING_ENV_VAR = "REPRO_TRACE_ENCODING"
+
+#: The encoding written when neither the call site nor the env var says.
+DEFAULT_TRACE_ENCODING = "binary"
+
+_TRACE_ENCODINGS = ("binary", "json")
+
+#: Env values already warned about (one warning per bad value per process —
+#: these getters run on every write/stream and must not spam).
+_warned_env_values = set()
+
+
+def _warn_rejected_env(env_var: str, raw: str, fallback) -> None:
+    key = (env_var, raw)
+    if key in _warned_env_values:
+        return
+    _warned_env_values.add(key)
+    logger.warning(
+        "ignoring invalid %s=%r; using the default %r", env_var, raw, fallback
+    )
+
 
 def stream_replay_enabled() -> bool:
     """Whether the ``REPRO_STREAM_REPLAY`` policy knob forces streaming."""
@@ -365,13 +393,39 @@ def stream_replay_enabled() -> bool:
 
 
 def stream_chunk_events() -> int:
-    """The configured events-per-chunk bound for chunked trace files."""
+    """The configured events-per-chunk bound for chunked trace files.
+
+    An unset/empty env var silently picks the default; a *present but
+    invalid* value (unparseable, or not a positive integer) is rejected with
+    a one-time warning naming the value, then falls back to the default.
+    """
     raw = os.environ.get(TRACE_CHUNK_EVENTS_ENV_VAR, "")
+    if not raw:
+        return DEFAULT_CHUNK_EVENTS
     try:
         value = int(raw)
     except ValueError:
+        value = 0
+    if value <= 0:
+        _warn_rejected_env(TRACE_CHUNK_EVENTS_ENV_VAR, raw, DEFAULT_CHUNK_EVENTS)
         return DEFAULT_CHUNK_EVENTS
-    return value if value > 0 else DEFAULT_CHUNK_EVENTS
+    return value
+
+
+def trace_encoding() -> str:
+    """The configured on-disk trace encoding (``binary`` or ``json``).
+
+    Same contract as :func:`stream_chunk_events`: unset/empty is the silent
+    default, an unrecognized value warns once and falls back.
+    """
+    raw = os.environ.get(TRACE_ENCODING_ENV_VAR, "")
+    if not raw:
+        return DEFAULT_TRACE_ENCODING
+    value = raw.strip().lower()
+    if value not in _TRACE_ENCODINGS:
+        _warn_rejected_env(TRACE_ENCODING_ENV_VAR, raw, DEFAULT_TRACE_ENCODING)
+        return DEFAULT_TRACE_ENCODING
+    return value
 
 # -- record opcodes (first element of every flat event tuple) ---------------
 TR_LOOP_ENTER = 0  #: (op, clock_ms, node)
@@ -522,6 +576,10 @@ class Trace:
     a trace can be pickled to a fan-out worker, written to disk, or shipped to
     another machine, and replayed there without the guest program.
     """
+
+    #: Reported by ``trace info`` for legacy single-JSON files (unannotated:
+    #: a class attribute, not a dataclass field).
+    encoding = "json"
 
     mask: int
     workload: str = ""
@@ -808,6 +866,68 @@ def _open_trace_text(path: str, mode: str):
     return io.open(path, mode, encoding="utf-8")
 
 
+def _chunk_deltas(trace: Trace, chunk_events: int):
+    """Split ``trace`` into chunk-sized event batches with intern deltas.
+
+    Yields ``(batch, strings, nodes, objects, env_delta)`` per chunk, where
+    the table slices cover exactly the entries the batch first references
+    (the streaming invariant), and the *last* chunk tops up every table so
+    reassembly reproduces the original trace — and its digest — exactly,
+    even for entries no event happens to reference.  Shared by the NDJSON
+    and binary writers so both emit identical chunk boundaries and deltas.
+    """
+    events = trace.events
+    total_strings = len(trace.strings)
+    total_nodes = len(trace.nodes)
+    total_objects = len(trace.objects)
+    total_envs = trace.env_count
+    layouts = Trace._RECORD_LAYOUT
+    starts = list(range(0, len(events), chunk_events)) or [0]
+    chunk_count = len(starts)
+    sent_strings = sent_nodes = sent_objects = sent_envs = 0
+    for chunk_index, start in enumerate(starts):
+        batch = events[start : start + chunk_events]
+        if chunk_index == chunk_count - 1:
+            need_strings, need_nodes = total_strings, total_nodes
+            need_objects, need_envs = total_objects, total_envs
+        else:
+            need_strings, need_nodes = sent_strings, sent_nodes
+            need_objects, need_envs = sent_objects, sent_envs
+            for record in batch:
+                _arity, node_at, obj_at, env_at, string_at = layouts[record[0]]
+                for position in node_at:
+                    if record[position] >= need_nodes:
+                        need_nodes = record[position] + 1
+                for position in obj_at:
+                    if record[position] >= need_objects:
+                        need_objects = record[position] + 1
+                for position in env_at:
+                    if record[position] >= need_envs:
+                        need_envs = record[position] + 1
+                for position in string_at:
+                    if record[position] >= need_strings:
+                        need_strings = record[position] + 1
+            # Newly shipped table entries reference strings of their own
+            # (node kinds, object class/function names).
+            for entry in trace.nodes[sent_nodes:need_nodes]:
+                if entry[2] >= need_strings:
+                    need_strings = entry[2] + 1
+            for entry in trace.objects[sent_objects:need_objects]:
+                if entry[1] >= need_strings:
+                    need_strings = entry[1] + 1
+                if entry[3] >= need_strings:
+                    need_strings = entry[3] + 1
+        yield (
+            batch,
+            trace.strings[sent_strings:need_strings],
+            trace.nodes[sent_nodes:need_nodes],
+            trace.objects[sent_objects:need_objects],
+            need_envs - sent_envs,
+        )
+        sent_strings, sent_nodes = need_strings, need_nodes
+        sent_objects, sent_envs = need_objects, need_envs
+
+
 class TraceWriter:
     """Writes traces to disk, splitting long event streams into chunks.
 
@@ -822,23 +942,37 @@ class TraceWriter:
 
     @classmethod
     def write_trace(
-        cls, trace: Trace, path: str, chunk_events: Optional[int] = None
+        cls,
+        trace: Trace,
+        path: str,
+        chunk_events: Optional[int] = None,
+        encoding: Optional[str] = None,
     ) -> int:
         """Write ``trace`` to ``path``; returns the number of chunks written.
 
-        A return value of 1 means the legacy single-JSON format was used.
+        ``encoding`` is ``"binary"`` (the schema-v2 columnar container) or
+        ``"json"`` (the v1 formats); ``None`` defers to the
+        :data:`TRACE_ENCODING_ENV_VAR` knob, whose default is binary.  In the
+        json encoding a return value of 1 means the legacy single-JSON format
+        was used (byte-compatible with :meth:`Trace.save`).
         """
+        if encoding is None:
+            encoding = trace_encoding()
+        if encoding not in _TRACE_ENCODINGS:
+            raise ValueError(
+                f"unknown trace encoding {encoding!r}; expected one of "
+                f"{_TRACE_ENCODINGS}"
+            )
         if chunk_events is None:
             chunk_events = stream_chunk_events()
+        if encoding == "binary":
+            from .tracecodec import write_binary_trace
+
+            return write_binary_trace(trace, path, chunk_events=chunk_events)
         events = trace.events
         if chunk_events <= 0 or len(events) <= chunk_events:
             trace.save(path)
             return 1
-        total_strings = len(trace.strings)
-        total_nodes = len(trace.nodes)
-        total_objects = len(trace.objects)
-        total_envs = trace.env_count
-        layouts = Trace._RECORD_LAYOUT
         header = {
             "format": TRACE_CHUNK_FORMAT,
             "version": trace.version,
@@ -848,65 +982,27 @@ class TraceWriter:
             "ms_per_op": trace.ms_per_op,
             "start_ms": trace.start_ms,
             "end_ms": trace.end_ms,
-            "env_count": total_envs,
+            "env_count": trace.env_count,
             "dropped": list(trace.dropped),
             "digest": trace.digest(),
             "events": len(events),
             "chunk_events": chunk_events,
         }
-        starts = list(range(0, len(events), chunk_events))
-        chunk_count = len(starts)
-        sent_strings = sent_nodes = sent_objects = sent_envs = 0
+        chunk_count = len(range(0, len(events), chunk_events))
         with _open_trace_text(path, "w") as handle:
             handle.write(json.dumps(header, separators=(",", ":")) + "\n")
-            for chunk_index, start in enumerate(starts):
-                batch = events[start : start + chunk_events]
-                if chunk_index == chunk_count - 1:
-                    # The last chunk tops up every table so reassembly
-                    # reproduces the original trace (and its digest) exactly,
-                    # even for entries no event happens to reference.
-                    need_strings, need_nodes = total_strings, total_nodes
-                    need_objects, need_envs = total_objects, total_envs
-                else:
-                    need_strings, need_nodes = sent_strings, sent_nodes
-                    need_objects, need_envs = sent_objects, sent_envs
-                    for record in batch:
-                        _arity, node_at, obj_at, env_at, string_at = layouts[record[0]]
-                        for position in node_at:
-                            if record[position] >= need_nodes:
-                                need_nodes = record[position] + 1
-                        for position in obj_at:
-                            if record[position] >= need_objects:
-                                need_objects = record[position] + 1
-                        for position in env_at:
-                            if record[position] >= need_envs:
-                                need_envs = record[position] + 1
-                        for position in string_at:
-                            if record[position] >= need_strings:
-                                need_strings = record[position] + 1
-                    # Newly shipped table entries reference strings of their
-                    # own (node kinds, object class/function names).
-                    for entry in trace.nodes[sent_nodes:need_nodes]:
-                        if entry[2] >= need_strings:
-                            need_strings = entry[2] + 1
-                    for entry in trace.objects[sent_objects:need_objects]:
-                        if entry[1] >= need_strings:
-                            need_strings = entry[1] + 1
-                        if entry[3] >= need_strings:
-                            need_strings = entry[3] + 1
+            for chunk_index, (batch, strings, nodes, objects, env_delta) in enumerate(
+                _chunk_deltas(trace, chunk_events)
+            ):
                 payload = {
                     "chunk": chunk_index,
-                    "strings": trace.strings[sent_strings:need_strings],
-                    "nodes": [list(e) for e in trace.nodes[sent_nodes:need_nodes]],
-                    "objects": [
-                        list(e) for e in trace.objects[sent_objects:need_objects]
-                    ],
-                    "envs": need_envs - sent_envs,
+                    "strings": strings,
+                    "nodes": [list(e) for e in nodes],
+                    "objects": [list(e) for e in objects],
+                    "envs": env_delta,
                     "events": [list(r) for r in batch],
                 }
                 handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
-                sent_strings, sent_nodes = need_strings, need_nodes
-                sent_objects, sent_envs = need_objects, need_envs
             footer = {"end": True, "chunks": chunk_count, "events": len(events)}
             handle.write(json.dumps(footer, separators=(",", ":")) + "\n")
         return chunk_count
@@ -924,6 +1020,9 @@ class TraceFileSource:
     deltas and per-record indexes as it goes; any truncation or corruption
     raises :class:`TraceFormatError`, never a partial stream.
     """
+
+    #: Reported by ``trace info``: the v1 chunked-NDJSON text encoding.
+    encoding = "json-chunks"
 
     def __init__(self, path: str, header: Any) -> None:
         self.path = str(path)
@@ -961,6 +1060,11 @@ class TraceFileSource:
     def digest(self) -> str:
         """The full-content digest recorded in the header."""
         return self._digest
+
+    def chunk_count(self) -> int:
+        """Number of chunks in the file (one validating streaming pass —
+        the NDJSON header does not carry the count)."""
+        return sum(1 for _ in self.chunks())
 
     # ------------------------------------------------------------- streaming
     def chunks(self) -> Iterator[TraceChunk]:
@@ -1137,12 +1241,41 @@ class TraceFileSource:
 def open_trace_source(path: str):
     """Open a trace file as the cheapest faithful handle.
 
-    Legacy single-JSON files materialize a full :class:`Trace`; chunked files
-    return a :class:`TraceFileSource` whose events stream on demand.  Both
-    satisfy the replay-source protocol (:class:`TraceReplayer` accepts
-    either).
+    The format is sniffed from the leading bytes, never from the file name:
+    schema-v2 binary files (optionally gzip-wrapped) return an mmap-backed
+    :class:`~repro.jsvm.tracecodec.BinaryTraceSource`, legacy single-JSON
+    files materialize a full :class:`Trace`, and chunked NDJSON files return
+    a :class:`TraceFileSource` whose events stream on demand.  All satisfy
+    the replay-source protocol (:class:`TraceReplayer` accepts any of them).
     """
     path = str(path)
+    try:
+        with io.open(path, "rb") as raw_handle:
+            head = raw_handle.read(8)
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
+    from .tracecodec import BINARY_MAGIC, BinaryTraceSource
+
+    if head == BINARY_MAGIC:
+        return BinaryTraceSource(path)
+    if head[:2] == b"\x1f\x8b":
+        # Gzip container: peek at the decompressed head — a gzip-wrapped
+        # binary trace must inflate whole (offsets address the logical
+        # stream), text formats fall through to the line reader below.
+        try:
+            with gzip.open(path, "rb") as gz_handle:
+                inner_head = gz_handle.read(8)
+                if inner_head == BINARY_MAGIC:
+                    payload = inner_head + gz_handle.read()
+                    return BinaryTraceSource.from_bytes(payload, path=path)
+        except OSError as exc:
+            raise TraceFormatError(
+                f"cannot read trace file {path!r}: {exc}"
+            ) from exc
+        except (EOFError, zlib.error) as exc:
+            raise TraceFormatError(
+                f"trace file {path!r} is truncated or corrupt: {exc}"
+            ) from exc
     try:
         with _open_trace_text(path, "r") as handle:
             first = handle.readline()
@@ -1965,12 +2098,31 @@ class TraceReplayer:
 
         if self.streaming:
             seen = [0, 0, 0]
+            wanted = frozenset(
+                opcode
+                for opcode, handler in enumerate(handlers)
+                if handler is not None
+            )
             for chunk in self.trace.chunks():
                 self._absorb_chunk(chunk, seen)
-                for record in chunk.events:
-                    handler = handlers[record[0]]
-                    if handler is not None:
-                        handler(record)
+                sparse = getattr(chunk, "events_sparse", None)
+                if sparse is not None:
+                    # Columnar chunks materialize tuples only for subscribed
+                    # opcode groups; unsubscribed floods (statement samples
+                    # under a dependence replay) stay as undecoded columns.
+                    # The holes are None — and a fully-materialized chunk may
+                    # be returned whole, so both checks stay.
+                    for record in sparse(wanted):
+                        if record is None:
+                            continue
+                        handler = handlers[record[0]]
+                        if handler is not None:
+                            handler(record)
+                else:
+                    for record in chunk.events:
+                        handler = handlers[record[0]]
+                        if handler is not None:
+                            handler(record)
         else:
             for record in self.trace.events:
                 handler = handlers[record[0]]

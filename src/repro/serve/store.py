@@ -6,14 +6,18 @@ recordings additionally persist under a root directory::
 
     <root>/
       index.json                          # {version, entries: [...]}
-      <fp16>-<digest16>.trace.json.gz     # one gzip segment per trace
+      <fp16>-<digest16>.trace.bin         # binary columnar segment (default)
+      <fp16>-<digest16>.trace.json.gz     # legacy gzip segment (reads forever)
 
-Segments reuse the exact :meth:`~repro.jsvm.hooks.Trace.save` file format of
-``python -m repro trace record``, so any on-disk segment can also be
-inspected/replayed with the trace CLI.  The JSON index carries one row per
-segment (fingerprint, mask, digest, event count, file name); on startup only
-the index is read — segments load lazily on the first covering ``find`` and
-are then served from memory.
+Segments reuse the exact ``python -m repro trace record`` file formats —
+binary columnar (schema v2, mmap-able and random-access by chunk) by
+default, the v1 JSON/NDJSON gzip format when ``REPRO_TRACE_ENCODING=json``
+— so any on-disk segment can also be inspected/replayed with the trace CLI,
+and stores written by either encoding keep serving.  The JSON index carries
+one row per segment (fingerprint, mask, digest, event count, file name); on
+startup only the index is read — segments load lazily on the first covering
+``find`` and are then served from memory, and :meth:`segment_ref` hands
+pooled fan-out a ``(path, digest)`` reference workers open themselves.
 
 Durability and corruption policy:
 
@@ -40,6 +44,7 @@ from ..jsvm.hooks import (
     TraceError,
     TraceWriter,
     open_trace_source,
+    trace_encoding,
 )
 
 #: On-disk index schema version.
@@ -50,7 +55,12 @@ INDEX_NAME = "index.json"
 class DiskTraceStore(TraceStore):
     """A trace store whose contents persist under ``root`` across restarts."""
 
-    def __init__(self, root, chunk_events: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        root,
+        chunk_events: Optional[int] = None,
+        encoding: Optional[str] = None,
+    ) -> None:
         super().__init__()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -59,6 +69,10 @@ class DiskTraceStore(TraceStore):
         #: written in the legacy single-document format, so small stores stay
         #: byte-compatible with ``Trace.save``.
         self.chunk_events = chunk_events
+        #: Segment encoding for *new* writes (None → the REPRO_TRACE_ENCODING /
+        #: binary default at write time).  Existing segments of either format
+        #: keep serving — the index ``file`` column names them.
+        self.encoding = encoding
         self._io_lock = threading.RLock()
         #: fingerprint → index rows ({digest, mask, workload, events, file}).
         self._index: Dict[str, List[dict]] = {}
@@ -126,7 +140,11 @@ class DiskTraceStore(TraceStore):
 
     # ------------------------------------------------------------- segments
     @staticmethod
-    def _segment_name(fingerprint: str, digest: str) -> str:
+    def _segment_name(fingerprint: str, digest: str, encoding: str = "binary") -> str:
+        """Segment file name; binary segments stay uncompressed-on-disk so
+        readers (this process and forked pool workers alike) can mmap them."""
+        if encoding == "binary":
+            return f"{fingerprint[:16]}-{digest[:16]}.trace.bin"
         return f"{fingerprint[:16]}-{digest[:16]}.trace.json.gz"
 
     def _segment_path(self, entry: dict) -> Path:
@@ -145,18 +163,54 @@ class DiskTraceStore(TraceStore):
             pass
 
     # ------------------------------------------------------------- contract
+    def _write_segment_tmp(self, trace: Trace, target: Path, encoding: str) -> Path:
+        """Write ``trace`` to a unique temp sibling of ``target`` and return it.
+
+        Called **outside** ``_io_lock``: segment serialization is the
+        expensive part of a put (gzip / columnar encode of the whole event
+        list), and holding the lock across it would serialize every
+        concurrent tenant.  The pid+tid-unique name keeps racing writers of
+        the same digest from clobbering each other's temp file; the ``.gz``
+        suffix is preserved where present so the JSON writer compresses.
+        """
+        suffix = f".{os.getpid()}-{threading.get_ident()}.tmp"
+        if target.name.endswith(".gz"):
+            suffix += ".gz"
+        tmp = target.with_name(target.name + suffix)
+        TraceWriter.write_trace(
+            trace, str(tmp), chunk_events=self.chunk_events, encoding=encoding
+        )
+        return tmp
+
     def put(self, trace: Trace) -> Trace:
-        """Store and persist ``trace``, evicting covered segments on disk too."""
+        """Store and persist ``trace``, evicting covered segments on disk too.
+
+        The segment write happens *outside* ``_io_lock`` (temp file, unique
+        name); the lock guards only the index mutation and the atomic
+        ``os.replace`` publish, so concurrent puts from different tenants
+        overlap their serialization work.
+        """
         super().put(trace)
         digest = trace.digest()
+        encoding = self.encoding if self.encoding is not None else trace_encoding()
         entry = {
             "fingerprint": trace.fingerprint,
             "digest": digest,
             "mask": trace.mask,
             "workload": trace.workload,
             "events": len(trace.events),
-            "file": self._segment_name(trace.fingerprint, digest),
+            "file": self._segment_name(trace.fingerprint, digest, encoding),
         }
+        target = self._segment_path(entry)
+        with self._io_lock:
+            known = any(
+                row["digest"] == digest
+                for row in self._index.get(trace.fingerprint, ())
+            )
+        tmp = None
+        if not known:
+            tmp = self._write_segment_tmp(trace, target, encoding)
+        published = False
         with self._io_lock:
             rows = self._index.get(trace.fingerprint, [])
             for existing in [row for row in rows if trace.covers(row["mask"])]:
@@ -164,12 +218,12 @@ class DiskTraceStore(TraceStore):
                     self._drop_entry_locked(existing)
             rows = self._index.setdefault(trace.fingerprint, [])
             if not any(row["digest"] == digest for row in rows):
-                target = self._segment_path(entry)
-                # The temp name must keep the ``.gz`` suffix so the writer
-                # actually compresses; os.replace keeps the publish atomic.
-                tmp = target.with_name(target.name + ".tmp.gz")
-                TraceWriter.write_trace(trace, str(tmp), chunk_events=self.chunk_events)
+                if tmp is None:
+                    # Rare race: the pre-check saw our digest, but a covering
+                    # concurrent put evicted it before we re-took the lock.
+                    tmp = self._write_segment_tmp(trace, target, encoding)
                 os.replace(tmp, target)
+                published = True
                 rows.append(entry)
                 self.segments_written += 1
                 self._dirty = True
@@ -177,7 +231,40 @@ class DiskTraceStore(TraceStore):
                 # A re-put of a known digest changes nothing: skip the
                 # full index rewrite (it is O(store size) JSON on disk).
                 self._write_index_locked()
+        if tmp is not None and not published:
+            # Lost the publish race to an identical concurrent put.
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - defensive
+                pass
         return trace
+
+    def segment_ref(self, fingerprint: str, required_mask: int) -> Optional[dict]:
+        """A ``(path, digest)`` reference to a covering on-disk segment.
+
+        Pooled fan-out hands this to workers instead of a pickled trace:
+        the worker opens the path itself (binary segments via mmap), checks
+        the digest, and replays from the shared page cache — zero trace
+        bytes cross the pipe.  Returns ``None`` when no covering segment
+        file exists; the caller falls back to shipping the trace by value.
+        """
+        with self._io_lock:
+            candidates = [
+                entry
+                for entry in self._index.get(fingerprint, ())
+                if not (required_mask & ~entry["mask"])
+            ]
+            candidates.sort(key=lambda entry: bin(entry["mask"]).count("1"))
+            for entry in candidates:
+                path = self._segment_path(entry)
+                if path.is_file():
+                    return {
+                        "path": str(path),
+                        "digest": entry["digest"],
+                        "fingerprint": fingerprint,
+                        "mask": entry["mask"],
+                    }
+        return None
 
     def has(self, fingerprint: str, required_mask: int) -> bool:
         if super().has(fingerprint, required_mask):

@@ -47,12 +47,25 @@ _WORKERPOOL_EXTRA = {
     "pool_vs_fork_speedup": 1.45,
 }
 
-#: Summary row satisfying the required-artifact coverage check, so tests
+#: A valid trace-codec artifact body — the acceptance-gated keys present.
+_TRACE_CODEC_EXTRA = {
+    "decode_events_per_sec_binary": 1_600_000,
+    "decode_events_per_sec_json": 253_000,
+    "size_ratio": 0.37,
+    "pool_attach_trace_bytes_shipped": 0,
+}
+
+#: Summary rows satisfying the required-artifact coverage check, so tests
 #: about *other* artifacts see only their own problems.
 _WORKERPOOL_ROW = {
     "artifact": "BENCH_workerpool.json",
     "recorded_at": "2023-11-14T22:13:20+00:00",
 }
+_TRACE_CODEC_ROW = {
+    "artifact": "BENCH_trace_codec.json",
+    "recorded_at": "2023-11-14T22:13:20+00:00",
+}
+_REQUIRED_ROWS = [_WORKERPOOL_ROW, _TRACE_CODEC_ROW]
 
 
 def _write_summary(summary_path: Path, rows: list) -> None:
@@ -66,7 +79,7 @@ def test_missing_entry_is_blocking(collector, tmp_path):
     artifacts.mkdir()
     _write_artifact(artifacts, "BENCH_new_tier.json", mtime=1_700_000_000.0)
     summary = tmp_path / "BENCH_summary.json"
-    _write_summary(summary, [_WORKERPOOL_ROW])
+    _write_summary(summary, list(_REQUIRED_ROWS))
 
     stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
     assert [(name, blocking) for name, _reason, blocking in stale] == [
@@ -84,7 +97,7 @@ def test_timestamp_drift_is_nonblocking(collector, tmp_path):
         summary,
         [
             {"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"},
-            _WORKERPOOL_ROW,
+            *_REQUIRED_ROWS,
         ],
     )
 
@@ -107,7 +120,7 @@ def test_covered_and_fresh_is_clean(collector, tmp_path):
         summary,
         [
             {"artifact": "BENCH_existing.json", "recorded_at": "2023-11-14T22:13:20+00:00"},
-            _WORKERPOOL_ROW,
+            *_REQUIRED_ROWS,
         ],
     )
 
@@ -123,7 +136,7 @@ def test_unparseable_recorded_at_is_blocking(collector, tmp_path):
         summary,
         [
             {"artifact": "BENCH_existing.json", "recorded_at": "not-a-date"},
-            _WORKERPOOL_ROW,
+            *_REQUIRED_ROWS,
         ],
     )
 
@@ -132,20 +145,22 @@ def test_unparseable_recorded_at_is_blocking(collector, tmp_path):
     assert stale[0][2] is True
 
 
-def test_workerpool_row_required_even_without_artifact(collector, tmp_path):
+def test_required_rows_block_even_without_artifacts(collector, tmp_path):
     # serve-smoke runs --check with only serve artifacts on disk: the
     # committed summary must still prove the acceptance-gated worker-pool
-    # benchmark is covered, so a missing row blocks regardless of disk state.
+    # and trace-codec benchmarks are covered, so a missing row blocks
+    # regardless of disk state.
     artifacts = tmp_path / "artifacts"
     artifacts.mkdir()
     summary = tmp_path / "BENCH_summary.json"
     _write_summary(summary, [])
 
     stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
-    assert [(name, blocking) for name, _reason, blocking in stale] == [
-        ("BENCH_workerpool.json", True)
+    assert sorted((name, blocking) for name, _reason, blocking in stale) == [
+        ("BENCH_trace_codec.json", True),
+        ("BENCH_workerpool.json", True),
     ]
-    _write_summary(summary, [_WORKERPOOL_ROW])
+    _write_summary(summary, list(_REQUIRED_ROWS))
     assert collector.stale_entries(summary_path=summary, artifacts_dir=artifacts) == []
 
 
@@ -160,7 +175,7 @@ def test_workerpool_artifact_requires_speedup_keys(collector, tmp_path):
         extra_info={"workers": 2},
     )
     summary = tmp_path / "BENCH_summary.json"
-    _write_summary(summary, [_WORKERPOOL_ROW])
+    _write_summary(summary, list(_REQUIRED_ROWS))
 
     stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
     assert stale and all(blocking for _name, _reason, blocking in stale)
@@ -177,6 +192,36 @@ def test_workerpool_artifact_requires_speedup_keys(collector, tmp_path):
     assert collector.stale_entries(summary_path=summary, artifacts_dir=artifacts) == []
 
 
+def test_trace_codec_artifact_requires_gate_keys(collector, tmp_path):
+    artifacts = tmp_path / "artifacts"
+    artifacts.mkdir()
+    # Missing the decode-rate/size-ratio/attach-bytes keys → blocking.
+    _write_artifact(
+        artifacts,
+        "BENCH_trace_codec.json",
+        mtime=1_700_000_000.0,
+        extra_info={"events": 3_149_105},
+    )
+    summary = tmp_path / "BENCH_summary.json"
+    _write_summary(summary, list(_REQUIRED_ROWS))
+
+    stale = collector.stale_entries(summary_path=summary, artifacts_dir=artifacts)
+    assert stale and all(blocking for _name, _reason, blocking in stale)
+    reasons = " ".join(reason for _name, reason, _blocking in stale)
+    assert "decode_events_per_sec_binary" in reasons
+    assert "size_ratio" in reasons
+    assert "pool_attach_trace_bytes_shipped" in reasons
+
+    # A well-formed artifact (all required keys numeric) is clean.
+    _write_artifact(
+        artifacts,
+        "BENCH_trace_codec.json",
+        mtime=1_700_000_000.0,
+        extra_info=_TRACE_CODEC_EXTRA,
+    )
+    assert collector.stale_entries(summary_path=summary, artifacts_dir=artifacts) == []
+
+
 def test_check_mode_exit_codes(collector, tmp_path, monkeypatch, capsys):
     artifacts = tmp_path / "artifacts"
     artifacts.mkdir()
@@ -186,6 +231,12 @@ def test_check_mode_exit_codes(collector, tmp_path, monkeypatch, capsys):
         "BENCH_workerpool.json",
         mtime=1_700_000_000.0,
         extra_info=_WORKERPOOL_EXTRA,
+    )
+    _write_artifact(
+        artifacts,
+        "BENCH_trace_codec.json",
+        mtime=1_700_000_000.0,
+        extra_info=_TRACE_CODEC_EXTRA,
     )
     summary = tmp_path / "BENCH_summary.json"
     monkeypatch.setattr(collector, "ARTIFACTS_DIR", artifacts)

@@ -240,11 +240,13 @@ class TestDiskTraceStore:
         assert reopened.puts == 0  # loading is not a recording
 
     def test_covered_eviction_removes_on_disk_segments(self, tmp_path):
-        store = DiskTraceStore(tmp_path)
+        # encoding pinned: the segment-file assertions glob *.trace.bin and
+        # must not follow a REPRO_TRACE_ENCODING=json override from the env.
+        store = DiskTraceStore(tmp_path, encoding="binary")
         small = store.put(make_trace(0b0001))
         big = store.put(make_trace(0b0011))
         assert store.segment_count() == 1
-        remaining = list(tmp_path.glob("*.trace.json.gz"))
+        remaining = list(tmp_path.glob("*.trace.bin"))
         assert len(remaining) == 1
         assert store._segment_name("fp-a", big.digest()) == remaining[0].name
         assert small.digest() not in remaining[0].name
@@ -259,9 +261,9 @@ class TestDiskTraceStore:
         assert reopened.find("fp-a", 0b0010).mask == 0b0110
 
     def test_corrupt_segment_is_a_clean_miss(self, tmp_path):
-        store = DiskTraceStore(tmp_path)
+        store = DiskTraceStore(tmp_path, encoding="binary")
         store.put(make_trace(0b0011))
-        (segment,) = tmp_path.glob("*.trace.json.gz")
+        (segment,) = tmp_path.glob("*.trace.bin")
         segment.write_bytes(b"\x1f\x8b garbage that is not gzip json")
 
         reopened = DiskTraceStore(tmp_path)
@@ -269,16 +271,16 @@ class TestDiskTraceStore:
         assert reopened.corrupt_segments == 1
         assert reopened.misses == 1
         # The poisoned entry is dropped: index rewritten, file gone.
-        assert not list(tmp_path.glob("*.trace.json.gz"))
+        assert not list(tmp_path.glob("*.trace.bin"))
         assert json.loads((tmp_path / "index.json").read_text())["entries"] == []
         # A fresh recording re-populates cleanly.
         reopened.put(make_trace(0b0011))
         assert reopened.find("fp-a", 0b0001) is not None
 
     def test_truncated_segment_is_a_clean_miss(self, tmp_path):
-        store = DiskTraceStore(tmp_path)
+        store = DiskTraceStore(tmp_path, encoding="binary")
         store.put(make_trace(0b0011))
-        (segment,) = tmp_path.glob("*.trace.json.gz")
+        (segment,) = tmp_path.glob("*.trace.bin")
         whole = segment.read_bytes()
         segment.write_bytes(whole[: len(whole) // 2])
 
@@ -287,16 +289,19 @@ class TestDiskTraceStore:
         assert reopened.corrupt_segments == 1
 
     def test_missing_segment_file_is_a_clean_miss(self, tmp_path):
-        store = DiskTraceStore(tmp_path)
+        store = DiskTraceStore(tmp_path, encoding="binary")
         store.put(make_trace(0b0011))
-        for segment in tmp_path.glob("*.trace.json.gz"):
+        for segment in tmp_path.glob("*.trace.bin"):
             segment.unlink()
         reopened = DiskTraceStore(tmp_path)
         assert reopened.find("fp-a", 0b0001) is None
         assert reopened.corrupt_segments == 1
 
     def test_fingerprint_mismatched_segment_is_dropped(self, tmp_path):
-        store = DiskTraceStore(tmp_path)
+        # Pinned to the JSON encoding: the mutation below edits the gzip
+        # payload in place (the equivalent binary-header tampering paths are
+        # covered in tests/test_trace_codec.py).
+        store = DiskTraceStore(tmp_path, encoding="json")
         store.put(make_trace(0b0011, fingerprint="fp-real"))
         (segment,) = tmp_path.glob("*.trace.json.gz")
         # Rewrite the segment to claim a different fingerprint than the index.
@@ -334,7 +339,7 @@ class TestDiskTraceStore:
         store.put(make_trace(0b0100, fingerprint="fp-b"))
         store.clear()
         assert store.segment_count() == 0
-        assert not list(tmp_path.glob("*.trace.json.gz"))
+        assert not list(tmp_path.glob("*.trace.*"))
         assert json.loads((tmp_path / "index.json").read_text())["entries"] == []
 
 
@@ -399,6 +404,53 @@ class TestStoreConcurrency:
                 for trace in store.traces_for(fingerprint):
                     assert reopened.find(fingerprint, trace.mask) is not None
             assert reopened.corrupt_segments == 0
+
+    def test_concurrent_puts_interleave_segment_writes(self, tmp_path, monkeypatch):
+        """Two tenants must be able to serialize segments *simultaneously*.
+
+        ``put`` used to hold ``_io_lock`` across the whole segment write; a
+        two-party barrier inside ``TraceWriter.write_trace`` would then
+        deadlock (the second putter blocks on the lock before ever reaching
+        its write).  With the write outside the lock, both threads reach the
+        barrier together and both segments publish intact.
+        """
+        from repro.jsvm.hooks import TraceWriter
+
+        store = DiskTraceStore(tmp_path)
+        barrier = threading.Barrier(2, timeout=10.0)
+        original = TraceWriter.write_trace.__func__
+
+        def rendezvous(cls, trace, path, chunk_events=None, encoding=None):
+            barrier.wait()
+            return original(
+                cls, trace, path, chunk_events=chunk_events, encoding=encoding
+            )
+
+        monkeypatch.setattr(TraceWriter, "write_trace", classmethod(rendezvous))
+        errors = []
+
+        def put(fingerprint: str) -> None:
+            try:
+                store.put(make_trace(0b0011, fingerprint=fingerprint))
+            except BaseException as exc:  # noqa: BLE001 - surface to the test
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=put, args=(f"fp-{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # A BrokenBarrierError here means one writer held the io lock
+        # across its segment write while the other waited.
+        assert not errors
+        store.close()
+        reopened = DiskTraceStore(tmp_path)
+        assert reopened.segment_count() == 2
+        for index in range(2):
+            assert reopened.find(f"fp-{index}", 0b0001) is not None
+        assert reopened.corrupt_segments == 0
 
 
 # ------------------------------------------------------------- real recording

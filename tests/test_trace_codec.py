@@ -1,0 +1,370 @@
+"""Binary columnar trace codec (schema v2): failure matrix and cross-format identity.
+
+The load-bearing claims of the v2 encoding:
+
+* every corruption mode — bad magic, truncated column block, varint overrun,
+  footer/offset-index mismatch, content not matching the header digest —
+  raises :class:`TraceFormatError` with **no partial payload escaping**,
+  mirroring the NDJSON corruption matrix in ``test_trace_stream.py``;
+* a v1 JSON/NDJSON file re-encoded as v2 round-trips to the exact same
+  ``Trace.digest()`` and byte-identical analysis payloads (the v1 format
+  stays readable forever; the knob only selects what gets *written*);
+* binary sources are mmap-backed and random-access by chunk.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import logging
+import struct
+
+import pytest
+
+from repro.analysis.casestudy import CaseStudyRunner, pipeline_trace_mask
+from repro.api import AnalysisSession, RunSpec
+from repro.api.spec import DEPENDENCE, GECKO, LIGHTWEIGHT, LOOP_PROFILE
+from repro.jsvm.hooks import (
+    Trace,
+    TraceFormatError,
+    TraceVersionError,
+    TraceWriter,
+    open_trace_source,
+    trace_encoding,
+)
+from repro.jsvm.tracecodec import (
+    BINARY_END_MAGIC,
+    BINARY_MAGIC,
+    BinaryTraceSource,
+    _decode_block,
+    _decode_varint,
+    _encode_varint,
+    _pack_block,
+)
+from repro.workloads import get_workload
+
+WORKLOAD = "MyScript"
+CHUNK_EVENTS = 512
+COMPOSED = RunSpec.composed(LIGHTWEIGHT, GECKO, LOOP_PROFILE, DEPENDENCE)
+
+
+def payload_digest(payload) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    runner = CaseStudyRunner()
+    workload = get_workload(WORKLOAD)
+    return workload, runner.record_trace(workload, pipeline_trace_mask())
+
+
+@pytest.fixture(scope="module")
+def binary_path(recorded, tmp_path_factory):
+    """The recorded trace written as a multi-chunk v2 binary file."""
+    _workload, trace = recorded
+    path = tmp_path_factory.mktemp("codec") / "myscript.trace.bin"
+    chunks = TraceWriter.write_trace(
+        trace, str(path), chunk_events=CHUNK_EVENTS, encoding="binary"
+    )
+    assert chunks == -(-len(trace.events) // CHUNK_EVENTS)
+    assert chunks > 1, "fixture must exercise the multi-chunk layout"
+    return str(path)
+
+
+def _header_span(data: bytes):
+    """(header_json_start, header_json_end) byte offsets of a v2 file."""
+    (header_len,) = struct.unpack_from("<I", data, len(BINARY_MAGIC))
+    start = len(BINARY_MAGIC) + 4
+    return start, start + header_len
+
+
+# ------------------------------------------------------------ format surface
+class TestBinaryFormat:
+    def test_open_sniffs_binary_magic_and_exposes_header_identity(
+        self, recorded, binary_path
+    ):
+        _workload, trace = recorded
+        source = open_trace_source(binary_path)
+        assert isinstance(source, BinaryTraceSource)
+        assert source.encoding == "binary"
+        assert source.workload == trace.workload
+        assert source.fingerprint == trace.fingerprint
+        assert source.mask == trace.mask
+        assert source.event_count == len(trace.events)
+        assert source.digest() == trace.digest()
+        assert source.covers(pipeline_trace_mask())
+        assert source.chunk_count() == -(-len(trace.events) // CHUNK_EVENTS)
+
+    def test_binary_source_is_mmap_backed(self, binary_path):
+        source = open_trace_source(binary_path)
+        assert source._mmap is not None, "file-backed v2 sources must mmap"
+        source.close()
+
+    def test_materialized_round_trip_matches_digest(self, recorded, binary_path):
+        _workload, trace = recorded
+        loaded = open_trace_source(binary_path).load()
+        assert loaded.digest() == trace.digest()
+        assert loaded.to_dict() == trace.to_dict()
+
+    def test_info_helpers_match_the_trace(self, recorded, binary_path):
+        _workload, trace = recorded
+        source = open_trace_source(binary_path)
+        assert source.event_counts() == trace.event_counts()
+        assert source.table_counts() == {
+            "strings": len(trace.strings),
+            "nodes": len(trace.nodes),
+            "objects": len(trace.objects),
+        }
+
+    def test_gzip_wrapped_binary_payload_still_opens(self, recorded, tmp_path):
+        _workload, trace = recorded
+        path = tmp_path / "wrapped.trace.bin.gz"
+        TraceWriter.write_trace(
+            trace, str(path), chunk_events=CHUNK_EVENTS, encoding="binary"
+        )
+        with gzip.open(path, "rb") as handle:
+            assert handle.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+        source = open_trace_source(str(path))
+        assert isinstance(source, BinaryTraceSource)
+        assert source.load().digest() == trace.digest()
+
+    def test_writer_defaults_to_binary(self, recorded, tmp_path, monkeypatch):
+        _workload, trace = recorded
+        monkeypatch.delenv("REPRO_TRACE_ENCODING", raising=False)
+        assert trace_encoding() == "binary"
+        path = tmp_path / "default.trace"
+        TraceWriter.write_trace(trace, str(path), chunk_events=CHUNK_EVENTS)
+        assert path.read_bytes()[: len(BINARY_MAGIC)] == BINARY_MAGIC
+
+    def test_encoding_env_knob_selects_json_and_warns_on_garbage(
+        self, recorded, tmp_path, monkeypatch, caplog
+    ):
+        import repro.jsvm.hooks as hooks
+
+        _workload, trace = recorded
+        monkeypatch.setenv("REPRO_TRACE_ENCODING", "json")
+        assert trace_encoding() == "json"
+        path = tmp_path / "legacy.trace.json"
+        TraceWriter.write_trace(trace, str(path), chunk_events=CHUNK_EVENTS)
+        assert path.read_bytes()[:1] == b"{"  # v1 NDJSON header line
+
+        monkeypatch.setattr(hooks, "_warned_env_values", set())
+        monkeypatch.setenv("REPRO_TRACE_ENCODING", "carrier-pigeon")
+        with caplog.at_level(logging.WARNING, logger="repro.jsvm.hooks"):
+            assert trace_encoding() == "binary"
+            assert trace_encoding() == "binary"
+        warned = [
+            record
+            for record in caplog.records
+            if "REPRO_TRACE_ENCODING" in record.getMessage()
+        ]
+        assert len(warned) == 1
+        assert "'carrier-pigeon'" in warned[0].getMessage()
+
+    def test_unknown_explicit_encoding_is_a_value_error(self, recorded, tmp_path):
+        _workload, trace = recorded
+        with pytest.raises(ValueError, match="encoding"):
+            TraceWriter.write_trace(
+                trace, str(tmp_path / "x.trace"), encoding="morse"
+            )
+
+
+# ----------------------------------------------------------- failure matrix
+class TestBinaryFailureMatrix:
+    def test_bad_magic_raises_format_error(self, binary_path, tmp_path):
+        data = bytearray(open(binary_path, "rb").read())
+        data[0] ^= 0xFF
+        bad = tmp_path / "bad-magic.trace.bin"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="magic"):
+            open_trace_source(str(bad))
+
+    def test_truncated_file_raises_format_error(self, binary_path, tmp_path):
+        data = open(binary_path, "rb").read()
+        bad = tmp_path / "truncated.trace.bin"
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            open_trace_source(str(bad))
+
+    def test_truncated_column_block_raises_before_partial_payload(
+        self, binary_path, tmp_path
+    ):
+        # Shrink the first chunk's declared body length without moving any
+        # bytes: the footer offsets stay valid, but decoding the (now
+        # shorter) body runs out mid-column.
+        data = bytearray(open(binary_path, "rb").read())
+        _start, header_end = _header_span(bytes(data))
+        (body_len,) = struct.unpack_from("<I", data, header_end)
+        struct.pack_into("<I", data, header_end, body_len - 7)
+        bad = tmp_path / "short-column.trace.bin"
+        bad.write_bytes(bytes(data))
+        source = open_trace_source(str(bad))  # header + footer are intact
+        with pytest.raises(TraceFormatError):
+            source.verify()
+
+    def test_varint_overrun_raises_format_error(self):
+        # A continuation byte with no terminator: the decoder must reject it
+        # rather than run off the buffer.
+        with pytest.raises(TraceFormatError):
+            _decode_varint(b"\x80\x80\x80", 0)
+        # A varint wider than 63 bits is equally malformed.
+        with pytest.raises(TraceFormatError):
+            _decode_varint(b"\xff" * 10 + b"\x01", 0)
+
+    def test_truncated_block_payload_raises_format_error(self):
+        block = _pack_block(1, 0, 4, bytes([2, 4, 6, 8]))
+        with pytest.raises(TraceFormatError):
+            _decode_block(block[:-2], 0)
+        values, _end, plain = _decode_block(block, 0)
+        assert values == [1, 2, 3, 4] and plain
+
+    def test_footer_offset_mismatch_raises_format_error(self, binary_path, tmp_path):
+        # Corrupt the last offset-index entry: point it past the footer.
+        data = bytearray(open(binary_path, "rb").read())
+        offset_at = len(data) - len(BINARY_END_MAGIC) - 4 - 8
+        struct.pack_into("<Q", data, offset_at, len(data))
+        bad = tmp_path / "bad-offsets.trace.bin"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="offset index"):
+            open_trace_source(str(bad))
+
+    def test_footer_chunk_count_mismatch_raises_format_error(
+        self, binary_path, tmp_path
+    ):
+        data = open(binary_path, "rb").read()
+        end = len(data) - len(BINARY_END_MAGIC) - 4
+        (footer_len,) = struct.unpack_from("<I", data, end)
+        footer_start = end - footer_len
+        chunk_count, at = _decode_varint(data[footer_start:end], 0)
+        mutated = (
+            data[:footer_start]
+            + _encode_varint(chunk_count + 1)
+            + data[footer_start + at : ]
+        )
+        # Keep the trailing framing consistent with the edited footer body.
+        body = mutated[footer_start : len(mutated) - len(BINARY_END_MAGIC) - 4]
+        mutated = (
+            mutated[: len(mutated) - len(BINARY_END_MAGIC) - 4]
+            + struct.pack("<I", len(body))
+            + BINARY_END_MAGIC
+        )
+        bad = tmp_path / "bad-count.trace.bin"
+        bad.write_bytes(mutated)
+        with pytest.raises(TraceFormatError, match="footer"):
+            open_trace_source(str(bad))
+
+    def test_digest_mismatch_through_mmap_raises_format_error(
+        self, binary_path, tmp_path
+    ):
+        # Swap one hex nibble of the header digest in place (same length, so
+        # all framing stays valid); load() must notice through the mmap.
+        data = bytearray(open(binary_path, "rb").read())
+        start, header_end = _header_span(bytes(data))
+        header = json.loads(bytes(data[start:header_end]).decode("utf-8"))
+        digest = header["digest"]
+        marker = f'"digest":"{digest}"'.encode("utf-8")
+        at = bytes(data).index(marker)
+        nibble_at = at + len(b'"digest":"')
+        data[nibble_at] = ord("0") if data[nibble_at] != ord("0") else ord("1")
+        bad = tmp_path / "bad-digest.trace.bin"
+        bad.write_bytes(bytes(data))
+        source = open_trace_source(str(bad))
+        assert source._mmap is not None
+        with pytest.raises(TraceFormatError, match="digest"):
+            source.load()
+
+    def test_wrong_schema_version_raises_version_error(self, binary_path, tmp_path):
+        data = open(binary_path, "rb").read()
+        start, header_end = _header_span(data)
+        header = json.loads(data[start:header_end].decode("utf-8"))
+        header["version"] = 999
+        body = json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        mutated = (
+            BINARY_MAGIC + struct.pack("<I", len(body)) + body + data[header_end:]
+        )
+        bad = tmp_path / "bad-version.trace.bin"
+        bad.write_bytes(mutated)
+        with pytest.raises(TraceVersionError):
+            open_trace_source(str(bad))
+
+    def test_corrupt_binary_yields_no_session_payload(self, binary_path, tmp_path):
+        data = bytearray(open(binary_path, "rb").read())
+        _start, header_end = _header_span(bytes(data))
+        (body_len,) = struct.unpack_from("<I", data, header_end)
+        struct.pack_into("<I", data, header_end, body_len - 7)
+        bad = tmp_path / "no-payload.trace.bin"
+        bad.write_bytes(bytes(data))
+        session = AnalysisSession()
+        with pytest.raises(TraceFormatError):
+            session.replay_trace(open_trace_source(str(bad)), COMPOSED)
+
+
+# --------------------------------------------------- cross-format identity
+class TestCrossFormatIdentity:
+    def test_v1_to_v2_round_trip_preserves_digest_and_payloads(
+        self, recorded, tmp_path
+    ):
+        _workload, trace = recorded
+        v1 = tmp_path / "myscript.trace.json.gz"
+        TraceWriter.write_trace(
+            trace, str(v1), chunk_events=CHUNK_EVENTS, encoding="json"
+        )
+        from_v1 = Trace.load(str(v1))
+        v2 = tmp_path / "myscript.trace.bin"
+        TraceWriter.write_trace(
+            from_v1, str(v2), chunk_events=CHUNK_EVENTS, encoding="binary"
+        )
+        from_v2 = open_trace_source(str(v2)).load()
+        assert from_v2.digest() == trace.digest()
+        assert from_v2.to_dict() == trace.to_dict()
+
+        session = AnalysisSession()
+        batch = session.replay_trace(trace, COMPOSED)
+        streamed_v1 = session.replay_trace(open_trace_source(str(v1)), COMPOSED)
+        streamed_v2 = session.replay_trace(open_trace_source(str(v2)), COMPOSED)
+        for mode in (LIGHTWEIGHT, GECKO, LOOP_PROFILE, DEPENDENCE):
+            want = payload_digest(batch.payloads[mode])
+            assert payload_digest(streamed_v1.payloads[mode]) == want
+            assert payload_digest(streamed_v2.payloads[mode]) == want, (
+                f"{mode} binary streamed replay diverged from batch"
+            )
+        assert streamed_v2.report_text == batch.report_text
+        assert streamed_v2.provenance == batch.provenance
+
+    def test_binary_source_replays_twice(self, recorded, binary_path):
+        from repro.ceres.loop_profiler import LoopProfiler
+
+        _workload, trace = recorded
+        source = open_trace_source(binary_path)
+
+        def rows(profiler):
+            return [profiler.profiles[k].as_row() for k in sorted(profiler.profiles)]
+
+        batch_profiler = LoopProfiler()
+        from repro.jsvm.hooks import TraceReplayer
+
+        TraceReplayer(trace).replay([batch_profiler])
+        first = LoopProfiler(incremental=True)
+        replayer = TraceReplayer(source)
+        assert replayer.streaming
+        replayer.replay([first])
+        second = LoopProfiler(incremental=True)
+        replayer.replay([second])
+        assert rows(first) == rows(batch_profiler)
+        assert rows(second) == rows(batch_profiler)
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        empty = Trace(mask=0b111, workload="w", fingerprint="fp-empty")
+        path = tmp_path / "empty.trace.bin"
+        assert (
+            TraceWriter.write_trace(empty, str(path), encoding="binary") == 1
+        )
+        loaded = open_trace_source(str(path)).load()
+        assert loaded.digest() == empty.digest()
+        assert loaded.events == []

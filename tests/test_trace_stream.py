@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from pathlib import Path
 
 import pytest
@@ -63,7 +64,9 @@ def chunked_path(recorded, tmp_path_factory):
     """The recorded trace written as a multi-chunk (uncompressed) file."""
     _workload, trace = recorded
     path = tmp_path_factory.mktemp("stream") / "myscript.trace.json"
-    chunks = TraceWriter.write_trace(trace, str(path), chunk_events=CHUNK_EVENTS)
+    chunks = TraceWriter.write_trace(
+        trace, str(path), chunk_events=CHUNK_EVENTS, encoding="json"
+    )
     assert chunks == -(-len(trace.events) // CHUNK_EVENTS)
     assert chunks > 1, "fixture must exercise the multi-chunk layout"
     return str(path)
@@ -105,7 +108,12 @@ class TestChunkedFormat:
         chunked = tmp_path / "one-chunk.trace.json"
         trace.save(str(legacy))
         assert (
-            TraceWriter.write_trace(trace, str(chunked), chunk_events=len(trace.events))
+            TraceWriter.write_trace(
+                trace,
+                str(chunked),
+                chunk_events=len(trace.events),
+                encoding="json",
+            )
             == 1
         )
         assert chunked.read_bytes() == legacy.read_bytes()
@@ -128,6 +136,39 @@ class TestChunkedFormat:
         assert stream_chunk_events() == 65536
         monkeypatch.delenv("REPRO_TRACE_CHUNK_EVENTS")
         assert stream_chunk_events() == 65536
+
+    def test_invalid_chunk_events_warns_once_naming_the_value(
+        self, monkeypatch, caplog
+    ):
+        import repro.jsvm.hooks as hooks
+
+        monkeypatch.setattr(hooks, "_warned_env_values", set())
+        monkeypatch.setenv("REPRO_TRACE_CHUNK_EVENTS", "banana")
+        with caplog.at_level(logging.WARNING, logger="repro.jsvm.hooks"):
+            assert stream_chunk_events() == 65536
+            assert stream_chunk_events() == 65536  # second read stays silent
+        warned = [
+            record
+            for record in caplog.records
+            if "REPRO_TRACE_CHUNK_EVENTS" in record.getMessage()
+        ]
+        assert len(warned) == 1, "the rejected value must be reported exactly once"
+        message = warned[0].getMessage()
+        assert "'banana'" in message
+        assert "65536" in message
+
+    def test_unset_chunk_events_stays_silent(self, monkeypatch, caplog):
+        import repro.jsvm.hooks as hooks
+
+        monkeypatch.setattr(hooks, "_warned_env_values", set())
+        monkeypatch.delenv("REPRO_TRACE_CHUNK_EVENTS", raising=False)
+        with caplog.at_level(logging.WARNING, logger="repro.jsvm.hooks"):
+            assert stream_chunk_events() == 65536
+        assert not [
+            record
+            for record in caplog.records
+            if "REPRO_TRACE_CHUNK_EVENTS" in record.getMessage()
+        ]
 
 
 class TestStreamedPayloadIdentity:
@@ -251,7 +292,7 @@ class TestStreamingFailureModes:
         workload = get_workload(WORKLOAD)
         loops_only = runner.record_trace(workload, EV_LOOP)
         path = tmp_path / "loops-only.trace.json"
-        TraceWriter.write_trace(loops_only, str(path), chunk_events=64)
+        TraceWriter.write_trace(loops_only, str(path), chunk_events=64, encoding="json")
         source = open_trace_source(str(path))
         session = AnalysisSession()
         with pytest.raises(TraceMaskError):

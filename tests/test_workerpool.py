@@ -237,6 +237,44 @@ class TestPipelineOnPool:
         finally:
             pipeline.close()
 
+    def test_warm_disk_backed_attach_ships_zero_trace_bytes(
+        self, tiny_workloads, tmp_path
+    ):
+        """Warm pool attach over a disk-backed store pipes no trace bytes.
+
+        The parent hands workers a ``(path, digest)`` segment reference; the
+        respawned workers open (mmap) the shared segment themselves.  The
+        pool's bytes-shipped counter is the evidence: it must not move across
+        the warm batch, while the ref counter must.
+        """
+        from repro.serve.store import DiskTraceStore
+
+        store = DiskTraceStore(tmp_path / "store")
+        pipeline = AnalysisPipeline(workers=2, use_pool=True, trace_store=store)
+        try:
+            first = pipeline._fan_out_pooled(tiny_workloads)
+            assert first is not None
+            pool = pipeline.shared_pool()
+            assert pool is not None
+            assert store.segment_count() >= len(tiny_workloads)
+            baseline_traces = pool.traces_shipped
+            baseline_bytes = pool.trace_bytes_shipped
+            baseline_refs = pool.trace_refs_shipped
+            # Respawned workers hold nothing: a warm attach must re-ship —
+            # by reference, not by value.
+            pool.refresh()
+            second = pipeline._fan_out_pooled(tiny_workloads)
+            assert second is not None
+            assert pool.trace_bytes_shipped == baseline_bytes
+            assert pool.traces_shipped == baseline_traces
+            assert pool.trace_refs_shipped >= baseline_refs + len(tiny_workloads)
+            assert build_tables(second).render_table2() == build_tables(
+                first
+            ).render_table2()
+        finally:
+            pipeline.close()
+            store.close()
+
     def test_workload_registered_after_spawn_triggers_refresh(self, tiny_workloads):
         pipeline = AnalysisPipeline(workers=2, use_pool=True)
         try:
